@@ -1,0 +1,49 @@
+#ifndef LDAPBOUND_BENCH_BENCH_COMMON_H_
+#define LDAPBOUND_BENCH_BENCH_COMMON_H_
+
+#include <map>
+#include <memory>
+
+#include "schema/directory_schema.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound::bench {
+
+/// A cached white-pages world of roughly `target_entries` entries: the
+/// benchmarks share instances so sweeps do not pay generation time.
+struct World {
+  std::shared_ptr<Vocabulary> vocab;
+  std::unique_ptr<DirectorySchema> schema;
+  std::unique_ptr<Directory> directory;
+};
+
+/// Builds (or returns the cached) legal white-pages instance with about
+/// `target_entries` entries: 2 levels of 8 org units each and as many
+/// persons per unit as needed.
+inline const World& GetWorld(size_t target_entries) {
+  static auto* cache = new std::map<size_t, World>();
+  auto it = cache->find(target_entries);
+  if (it != cache->end()) return it->second;
+
+  World world;
+  world.vocab = std::make_shared<Vocabulary>();
+  world.schema = std::make_unique<DirectorySchema>(
+      MakeWhitePagesSchema(world.vocab).value());
+
+  WhitePagesOptions options;
+  options.org_unit_fanout = 8;
+  options.org_unit_depth = 2;
+  size_t units = 8 + 8 * 8;
+  size_t overhead = 1 + units;
+  options.persons_per_unit =
+      target_entries > overhead + units ? (target_entries - overhead) / units
+                                        : 1;
+  options.seed = 0xC0FFEE ^ target_entries;
+  world.directory = std::make_unique<Directory>(
+      MakeWhitePagesInstance(*world.schema, options).value());
+  return cache->emplace(target_entries, std::move(world)).first->second;
+}
+
+}  // namespace ldapbound::bench
+
+#endif  // LDAPBOUND_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,110 @@
+// EXP-T52: Theorem 5.2 — schema consistency is decidable in time
+// polynomial in the schema size. Expectation: inference time grows
+// polynomially (roughly cubic in the class count for the closure rules,
+// nowhere exponential), is similar for consistent and inconsistent
+// schemas, and witness construction adds only modest cost.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "consistency/inference.h"
+#include "consistency/witness.h"
+#include "workload/random_gen.h"
+
+namespace ldapbound::bench {
+namespace {
+
+Result<DirectorySchema> BuildSchema(size_t num_classes, uint64_t seed) {
+  auto vocab = std::make_shared<Vocabulary>();
+  RandomSchemaOptions options;
+  options.num_classes = num_classes;
+  options.num_required_classes = 2;
+  options.num_required_edges = num_classes;      // |S| scales with classes
+  options.num_forbidden_edges = num_classes / 2;
+  options.seed = seed;
+  return MakeRandomSchema(std::move(vocab), options);
+}
+
+void BM_ConsistencyCheck(benchmark::State& state) {
+  auto schema = BuildSchema(static_cast<size_t>(state.range(0)), 12345);
+  size_t facts = 0;
+  bool consistent = false;
+  for (auto _ : state) {
+    InferenceEngine engine(*schema);
+    engine.Run();
+    consistent = !engine.FoundInconsistency();
+    facts = engine.NumFacts();
+    benchmark::DoNotOptimize(consistent);
+  }
+  state.counters["classes"] = static_cast<double>(state.range(0));
+  state.counters["facts"] = static_cast<double>(facts);
+  state.counters["consistent"] = consistent ? 1 : 0;
+}
+
+BENCHMARK(BM_ConsistencyCheck)->Arg(8)->Arg(16)->Arg(32)->Arg(64)->Arg(128);
+
+// A guaranteed-inconsistent schema of the §5.1 cycle shape, scaled to n
+// classes: c0⇓ and a required-descendant ring c0 -> c1 -> ... -> c0.
+void BM_ConsistencyCheck_CycleDetection(benchmark::State& state) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DirectorySchema schema(vocab);
+  int n = static_cast<int>(state.range(0));
+  std::vector<ClassId> ring;
+  for (int i = 0; i < n; ++i) {
+    ClassId c = vocab->InternClass("ring" + std::to_string(i));
+    (void)schema.mutable_classes().AddCoreClass(c, vocab->top_class());
+    ring.push_back(c);
+  }
+  for (int i = 0; i < n; ++i) {
+    schema.mutable_structure().Require(ring[i], Axis::kDescendant,
+                                       ring[(i + 1) % n]);
+  }
+  schema.mutable_structure().RequireClass(ring[0]);
+  bool consistent = true;
+  for (auto _ : state) {
+    ConsistencyChecker checker(schema);
+    consistent = checker.IsConsistent();
+    benchmark::DoNotOptimize(consistent);
+  }
+  state.counters["classes"] = static_cast<double>(n);
+  state.counters["consistent"] = consistent ? 1 : 0;
+}
+
+BENCHMARK(BM_ConsistencyCheck_CycleDetection)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128);
+
+// Witness construction (chase) for a consistent chain schema: each class
+// requires the next as a descendant.
+void BM_WitnessConstruction(benchmark::State& state) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DirectorySchema schema(vocab);
+  int n = static_cast<int>(state.range(0));
+  std::vector<ClassId> chain;
+  for (int i = 0; i < n; ++i) {
+    ClassId c = vocab->InternClass("chain" + std::to_string(i));
+    (void)schema.mutable_classes().AddCoreClass(c, vocab->top_class());
+    chain.push_back(c);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    schema.mutable_structure().Require(chain[i], Axis::kDescendant,
+                                       chain[i + 1]);
+  }
+  schema.mutable_structure().RequireClass(chain[0]);
+  size_t witness_size = 0;
+  for (auto _ : state) {
+    auto witness = WitnessBuilder(schema).Build();
+    witness_size = witness.ok() ? witness->NumEntries() : 0;
+    benchmark::DoNotOptimize(witness_size);
+  }
+  state.counters["classes"] = static_cast<double>(n);
+  state.counters["witness_entries"] = static_cast<double>(witness_size);
+}
+
+BENCHMARK(BM_WitnessConstruction)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+}  // namespace
+}  // namespace ldapbound::bench

@@ -1,0 +1,73 @@
+// EXP-Q9: the O(|Q|·|D|) evaluation claim of §3.2 (via Jagadish et al.).
+// Expectation: per-entry cost (time / |D|) stays flat as |D| grows for
+// every axis, and cost scales with query size |Q|.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "query/evaluator.h"
+
+namespace ldapbound::bench {
+namespace {
+
+Query ClassQuery(const World& world, const char* name) {
+  return Query::Select(MatchClass(*world.vocab->FindClass(name)));
+}
+
+void BM_AxisQuery(benchmark::State& state, Axis axis) {
+  const World& world = GetWorld(static_cast<size_t>(state.range(0)));
+  Query q = Query::Hier(axis, ClassQuery(world, "orgGroup"),
+                        ClassQuery(world, "person"));
+  size_t result_count = 0;
+  for (auto _ : state) {
+    QueryEvaluator evaluator(*world.directory);
+    EntrySet result = evaluator.Evaluate(q);
+    result_count = result.Count();
+    benchmark::DoNotOptimize(result_count);
+  }
+  state.counters["entries"] =
+      static_cast<double>(world.directory->NumEntries());
+  state.counters["results"] = static_cast<double>(result_count);
+  state.counters["ns_per_entry"] = benchmark::Counter(
+      static_cast<double>(world.directory->NumEntries()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+void BM_Child(benchmark::State& state) { BM_AxisQuery(state, Axis::kChild); }
+void BM_Parent(benchmark::State& state) {
+  BM_AxisQuery(state, Axis::kParent);
+}
+void BM_Descendant(benchmark::State& state) {
+  BM_AxisQuery(state, Axis::kDescendant);
+}
+void BM_Ancestor(benchmark::State& state) {
+  BM_AxisQuery(state, Axis::kAncestor);
+}
+
+BENCHMARK(BM_Child)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000);
+BENCHMARK(BM_Parent)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000);
+BENCHMARK(BM_Descendant)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000);
+BENCHMARK(BM_Ancestor)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000);
+
+// |Q| scaling: nest k difference operators (the Figure 4 pattern) and
+// check time grows ~linearly in k at fixed |D|.
+void BM_QuerySize(benchmark::State& state) {
+  const World& world = GetWorld(16000);
+  int depth = static_cast<int>(state.range(0));
+  Query q = ClassQuery(world, "orgGroup");
+  for (int i = 0; i < depth; ++i) {
+    q = Query::Diff(ClassQuery(world, "orgGroup"),
+                    Query::Descendant(q, ClassQuery(world, "person")));
+  }
+  for (auto _ : state) {
+    QueryEvaluator evaluator(*world.directory);
+    EntrySet result = evaluator.Evaluate(q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["query_size"] = static_cast<double>(q.Size());
+}
+
+BENCHMARK(BM_QuerySize)->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16);
+
+}  // namespace
+}  // namespace ldapbound::bench

@@ -1,0 +1,108 @@
+// Schema evolution (§6.2): the paper observes that many directory schema
+// changes are "extremely lightweight, involving no modifications to
+// existing directory entries" — unlike relational schema evolution. This
+// example classifies changes as legality-preserving or not, applies them
+// to the live white-pages deployment, and shows when revalidation (and the
+// Section 5 consistency check) is needed.
+//
+//   $ ./build/examples/schema_evolution
+#include <cstdio>
+
+#include "consistency/inference.h"
+#include "core/legality_checker.h"
+#include "schema/evolution.h"
+#include "workload/white_pages.h"
+
+using namespace ldapbound;
+
+namespace {
+
+void Apply(DirectorySchema& schema, const Directory& directory,
+           const SchemaChange& change) {
+  const Vocabulary& vocab = schema.vocab();
+  bool preserving = IsLegalityPreserving(change.kind);
+  std::printf("\n>> %s   [%s]\n", change.ToString(vocab).c_str(),
+              preserving ? "legality-preserving" : "needs revalidation");
+  Status status = ApplySchemaChange(&schema, change);
+  if (!status.ok()) {
+    std::printf("   rejected: %s\n", status.ToString().c_str());
+    return;
+  }
+  if (preserving) {
+    std::printf("   applied; existing entries untouched by construction\n");
+    return;
+  }
+  // Tightening change: revalidate the instance and the schema itself.
+  ConsistencyChecker consistency(schema);
+  if (!consistency.IsConsistent()) {
+    std::printf("   schema became INCONSISTENT:\n%s",
+                consistency.engine().Explain(SchemaElement::Bottom()).c_str());
+    return;
+  }
+  LegalityChecker checker(schema);
+  std::vector<Violation> violations;
+  if (checker.CheckLegal(directory, &violations)) {
+    std::printf("   instance still legal\n");
+  } else {
+    std::printf("   instance now ILLEGAL (%zu violations), e.g.:\n   %s\n",
+                violations.size(),
+                violations.front().Describe(vocab).c_str());
+  }
+}
+
+}  // namespace
+
+int main() {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  if (!schema.ok()) {
+    std::printf("error: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto directory = MakeFigure1Instance(*schema);
+  if (!directory.ok()) {
+    std::printf("error: %s\n", directory.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("deployed: Figure 1 instance under the Figures 2+3 schema\n");
+
+  // The §6.2 lightweight examples.
+  SchemaChange allow;
+  allow.kind = SchemaChange::Kind::kAddAllowedAttribute;
+  allow.cls = *vocab->FindClass("person");
+  allow.attr = vocab->InternAttribute("cellularPhone");
+  Apply(*schema, *directory, allow);
+
+  SchemaChange aux;
+  aux.kind = SchemaChange::Kind::kAddAuxiliaryAllowance;
+  aux.cls = *vocab->FindClass("orgUnit");
+  aux.other_cls = *vocab->FindClass("online");
+  Apply(*schema, *directory, aux);
+
+  SchemaChange new_class;
+  new_class.kind = SchemaChange::Kind::kAddCoreClass;
+  new_class.cls = *vocab->FindClass("person");
+  new_class.other_cls = vocab->InternClass("contractor");
+  Apply(*schema, *directory, new_class);
+
+  // A tightening change the deployment happens to satisfy...
+  SchemaChange key;
+  key.kind = SchemaChange::Kind::kAddKeyAttribute;
+  key.attr = *vocab->FindAttribute("uid");
+  Apply(*schema, *directory, key);
+
+  // ...one it does not...
+  SchemaChange require_phone;
+  require_phone.kind = SchemaChange::Kind::kAddRequiredAttribute;
+  require_phone.cls = *vocab->FindClass("person");
+  require_phone.attr = *vocab->FindAttribute("cellularPhone");
+  Apply(*schema, *directory, require_phone);
+
+  // ...and one that breaks the schema itself (a §5.1 cycle).
+  SchemaChange cyclic;
+  cyclic.kind = SchemaChange::Kind::kAddRequiredEdge;
+  cyclic.relationship = {*vocab->FindClass("person"), Axis::kDescendant,
+                         *vocab->FindClass("person"), false};
+  Apply(*schema, *directory, cyclic);
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Section 6: bounding constraints beyond LDAP — an OEM-style labeled data
+// graph (with sharing and cycles) checked against required/forbidden
+// reachability constraints, including the paper's country / corporation
+// example.
+//
+//   $ ./build/examples/semistructured_web
+#include <cstdio>
+
+#include "semistructured/graph_constraints.h"
+
+using namespace ldapbound;
+
+int main() {
+  DataGraph web;
+
+  // Countries and corporations (§6): national corporations live under a
+  // country, international corporations own country subtrees, and
+  // conglomerates own corporations.
+  GraphNodeId usa = web.AddNode("country");
+  GraphNodeId france = web.AddNode("country");
+  GraphNodeId acme = web.AddNode("corporation");      // national (US) corp
+  GraphNodeId megacorp = web.AddNode("corporation");  // international corp
+  GraphNodeId brand = web.AddNode("corporation");     // conglomerate member
+  (void)web.AddEdge(usa, acme);        // country -> corporation
+  (void)web.AddEdge(megacorp, france); // corporation -> country
+  (void)web.AddEdge(megacorp, brand);  // corporation -> corporation
+
+  // People (shared between corporations: a graph, not a tree).
+  GraphNodeId ada = web.AddNode("person");
+  GraphNodeId profile = web.AddNode("profile");
+  GraphNodeId name = web.AddNode("name");
+  (void)web.AddEdge(acme, ada);
+  (void)web.AddEdge(brand, ada);  // shared node
+  (void)web.AddEdge(ada, profile);
+  (void)web.AddEdge(profile, name);  // name at depth 2: no fixed path length
+
+  std::vector<GraphConstraint> constraints{
+      // "each person node must have a (descendant) name node"
+      {"person", Axis::kDescendant, "name", /*forbidden=*/false},
+      // "forbid a country node to be a descendant of another country node"
+      {"country", Axis::kDescendant, "country", /*forbidden=*/true},
+      // every profile hangs directly off a person
+      {"profile", Axis::kParent, "person", /*forbidden=*/false},
+  };
+
+  std::printf("constraints:\n");
+  for (const GraphConstraint& c : constraints) {
+    std::printf("  %s\n", c.ToString().c_str());
+  }
+
+  std::vector<GraphViolation> violations;
+  bool ok = CheckGraphConstraints(web, constraints, &violations);
+  std::printf("\ninitial web graph: %s\n", ok ? "LEGAL" : "ILLEGAL");
+
+  // Now nest france's subtree under a US corporation: countries become
+  // nested and the forbidden constraint fires.
+  std::printf("\nlinking acme -> megacorp (nests france under usa)...\n");
+  (void)web.AddEdge(acme, megacorp);
+  violations.clear();
+  ok = CheckGraphConstraints(web, constraints, &violations);
+  std::printf("after the link: %s\n", ok ? "LEGAL" : "ILLEGAL");
+  for (const GraphViolation& v : violations) {
+    std::printf("  node %u (%s) violates %s\n", v.node,
+                web.Label(v.node).c_str(), v.constraint.ToString().c_str());
+  }
+
+  // A person losing their name subtree violates the required constraint.
+  std::printf("\nadding a second person without a name...\n");
+  GraphNodeId ghost = web.AddNode("person");
+  (void)web.AddEdge(brand, ghost);
+  violations.clear();
+  CheckGraphConstraints(web, constraints, &violations);
+  for (const GraphViolation& v : violations) {
+    std::printf("  node %u (%s) violates %s\n", v.node,
+                web.Label(v.node).c_str(), v.constraint.ToString().c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "consistency/element.h"
+
+namespace ldapbound {
+
+namespace {
+
+std::string EdgeArrow(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "->";
+    case Axis::kDescendant:
+      return "->>";
+    case Axis::kParent:
+      return "<-";
+    case Axis::kAncestor:
+      return "<<-";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string SchemaElement::ToString(const Vocabulary& vocab) const {
+  switch (kind) {
+    case Kind::kRequiredClass:
+      return vocab.ClassName(a) + " (required class)";
+    case Kind::kRequiredEdge:
+      return vocab.ClassName(a) + " " + EdgeArrow(axis) + " " +
+             vocab.ClassName(b) + " (required)";
+    case Kind::kForbiddenEdge:
+      return vocab.ClassName(a) + " " + EdgeArrow(axis) + " " +
+             vocab.ClassName(b) + " (forbidden)";
+    case Kind::kSubclass:
+      return vocab.ClassName(a) + " isa " + vocab.ClassName(b);
+    case Kind::kExclusive:
+      return vocab.ClassName(a) + " excludes " + vocab.ClassName(b);
+    case Kind::kImpossible:
+      return "Impossible(" + vocab.ClassName(a) + ")";
+    case Kind::kBottom:
+      return "BOTTOM (no legal instance)";
+  }
+  return "?";
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,86 @@
+#ifndef LDAPBOUND_CONSISTENCY_ELEMENT_H_
+#define LDAPBOUND_CONSISTENCY_ELEMENT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "model/axis.h"
+#include "model/vocabulary.h"
+
+namespace ldapbound {
+
+/// The fact language of the Section 5 inference system. Facts are either
+/// schema elements of the bounding-schema itself or derived judgments:
+///
+///  - kRequiredClass  R(c)        — `c⇓`: some entry of class c must exist;
+///  - kRequiredEdge   E(a,ax,b)   — every a-entry has an ax-related b-entry;
+///  - kForbiddenEdge  F(a,ax,b)   — no a-entry has an ax-related b-entry
+///                                  (ax ∈ {child, descendant});
+///  - kSubclass       Sub(a,b)    — `a ⊑ b` from the core tree (reflexive);
+///  - kExclusive      Disj(a,b)   — incomparable core classes: no entry can
+///                                  belong to both (`a ∤ b`);
+///  - kImpossible     Imp(c)      — no entry of class c can occur in any
+///                                  finite legal instance. This encodes the
+///                                  paper's edges to/from the pseudo-class ∅
+///                                  (e.g. `c —>> ∅`);
+///  - kBottom         ⊥           — the paper's `⇓∅`: the schema admits no
+///                                  legal instance.
+struct SchemaElement {
+  enum class Kind : uint8_t {
+    kRequiredClass,
+    kRequiredEdge,
+    kForbiddenEdge,
+    kSubclass,
+    kExclusive,
+    kImpossible,
+    kBottom,
+  };
+
+  Kind kind = Kind::kBottom;
+  ClassId a = kInvalidClassId;
+  ClassId b = kInvalidClassId;
+  Axis axis = Axis::kChild;
+
+  static SchemaElement RequiredClass(ClassId c) {
+    return {Kind::kRequiredClass, c, kInvalidClassId, Axis::kChild};
+  }
+  static SchemaElement RequiredEdge(ClassId a, Axis ax, ClassId b) {
+    return {Kind::kRequiredEdge, a, b, ax};
+  }
+  static SchemaElement ForbiddenEdge(ClassId a, Axis ax, ClassId b) {
+    return {Kind::kForbiddenEdge, a, b, ax};
+  }
+  static SchemaElement Subclass(ClassId a, ClassId b) {
+    return {Kind::kSubclass, a, b, Axis::kChild};
+  }
+  static SchemaElement Exclusive(ClassId a, ClassId b) {
+    return {Kind::kExclusive, a, b, Axis::kChild};
+  }
+  static SchemaElement Impossible(ClassId c) {
+    return {Kind::kImpossible, c, kInvalidClassId, Axis::kChild};
+  }
+  static SchemaElement Bottom() {
+    return {Kind::kBottom, kInvalidClassId, kInvalidClassId, Axis::kChild};
+  }
+
+  friend bool operator==(const SchemaElement& x,
+                         const SchemaElement& y) = default;
+
+  /// Paper-style rendering, e.g. "person ->> name (required)", "Imp(c1)".
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+struct SchemaElementHash {
+  size_t operator()(const SchemaElement& e) const {
+    size_t h = static_cast<size_t>(e.kind);
+    h = h * 1000003 + e.a;
+    h = h * 1000003 + e.b;
+    h = h * 1000003 + static_cast<size_t>(e.axis);
+    return h;
+  }
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_CONSISTENCY_ELEMENT_H_

@@ -1,0 +1,492 @@
+#include "consistency/inference.h"
+
+#include <algorithm>
+
+namespace ldapbound {
+
+namespace {
+
+constexpr int kAxisCount = 4;
+constexpr int Ax(Axis axis) { return static_cast<int>(axis); }
+
+}  // namespace
+
+InferenceEngine::InferenceEngine(const DirectorySchema& schema)
+    : schema_(schema) {
+  // Dense-index the core classes (the structure schema only mentions core
+  // classes in well-formed schemas).
+  classes_ = schema.classes().CoreClasses();
+  std::sort(classes_.begin(), classes_.end());
+  n_ = static_cast<int>(classes_.size());
+  for (int i = 0; i < n_; ++i) index_.emplace(classes_[i], i);
+  top_ = Index(schema.classes().top_class());
+
+  required_.assign(n_, 0);
+  for (int ax = 0; ax < kAxisCount; ++ax) {
+    edge_[ax].assign(static_cast<size_t>(n_) * n_, 0);
+    forb_[ax].assign(static_cast<size_t>(n_) * n_, 0);
+  }
+  sub_.assign(static_cast<size_t>(n_) * n_, 0);
+  disj_.assign(static_cast<size_t>(n_) * n_, 0);
+  impossible_.assign(n_, 0);
+}
+
+bool InferenceEngine::AddFact(const SchemaElement& element, const char* rule,
+                              std::vector<SchemaElement> premises) {
+  // Update the dense tables; return false if the fact is already known.
+  switch (element.kind) {
+    case SchemaElement::Kind::kRequiredClass: {
+      uint8_t& cell = required_[Index(element.a)];
+      if (cell) return false;
+      cell = 1;
+      break;
+    }
+    case SchemaElement::Kind::kRequiredEdge: {
+      uint8_t& cell =
+          edge_[Ax(element.axis)][Index(element.a) * n_ + Index(element.b)];
+      if (cell) return false;
+      cell = 1;
+      break;
+    }
+    case SchemaElement::Kind::kForbiddenEdge: {
+      uint8_t& cell =
+          forb_[Ax(element.axis)][Index(element.a) * n_ + Index(element.b)];
+      if (cell) return false;
+      cell = 1;
+      break;
+    }
+    case SchemaElement::Kind::kSubclass: {
+      uint8_t& cell = sub_[Index(element.a) * n_ + Index(element.b)];
+      if (cell) return false;
+      cell = 1;
+      break;
+    }
+    case SchemaElement::Kind::kExclusive: {
+      uint8_t& cell = disj_[Index(element.a) * n_ + Index(element.b)];
+      if (cell) return false;
+      cell = 1;
+      break;
+    }
+    case SchemaElement::Kind::kImpossible: {
+      uint8_t& cell = impossible_[Index(element.a)];
+      if (cell) return false;
+      cell = 1;
+      break;
+    }
+    case SchemaElement::Kind::kBottom: {
+      if (bottom_) return false;
+      bottom_ = true;
+      break;
+    }
+  }
+  derivations_.emplace(element, Derivation{rule, std::move(premises)});
+  return true;
+}
+
+void InferenceEngine::Seed() {
+  const ClassSchema& classes = schema_.classes();
+  const StructureSchema& structure = schema_.structure();
+
+  // Class-schema judgments: reflexivity and transitivity of `isa` come for
+  // free from the tree walk; exclusivity from single inheritance (§2.2).
+  for (ClassId a : classes_) {
+    for (ClassId b : classes_) {
+      if (classes.IsSubclassOf(a, b)) {
+        AddFact(SchemaElement::Subclass(a, b), "class-schema", {});
+      } else if (!classes.IsSubclassOf(b, a)) {
+        AddFact(SchemaElement::Exclusive(a, b), "class-schema", {});
+      }
+    }
+  }
+
+  for (ClassId c : structure.required_classes()) {
+    AddFact(SchemaElement::RequiredClass(c), "axiom", {});
+  }
+  for (const StructuralRelationship& rel : structure.required()) {
+    AddFact(SchemaElement::RequiredEdge(rel.source, rel.axis, rel.target),
+            "axiom", {});
+  }
+  for (const StructuralRelationship& rel : structure.forbidden()) {
+    AddFact(SchemaElement::ForbiddenEdge(rel.source, rel.axis, rel.target),
+            "axiom", {});
+  }
+}
+
+// One pass over all rules; returns true if any new fact was derived.
+// Every rule carries a one-line semantic soundness argument.
+bool InferenceEngine::Pass() {
+  bool changed = false;
+  auto add = [&](SchemaElement e, const char* rule,
+                 std::vector<SchemaElement> premises) {
+    if (AddFact(e, rule, std::move(premises))) changed = true;
+  };
+  auto cls = [&](int i) { return classes_[i]; };
+
+  const Axis kDown[] = {Axis::kChild, Axis::kDescendant};
+
+  for (int s = 0; s < n_; ++s) {
+    // loops: a required descendant (ancestor) of one's own class forces an
+    // infinite chain, so no finite instance can hold an s-entry.
+    if (E(Ax(Axis::kDescendant), s, s) && !Imp(s)) {
+      add(SchemaElement::Impossible(cls(s)), "loop",
+          {SchemaElement::RequiredEdge(cls(s), Axis::kDescendant, cls(s))});
+    }
+    if (E(Ax(Axis::kAncestor), s, s) && !Imp(s)) {
+      add(SchemaElement::Impossible(cls(s)), "loop",
+          {SchemaElement::RequiredEdge(cls(s), Axis::kAncestor, cls(s))});
+    }
+
+    for (int t = 0; t < n_; ++t) {
+      // paths: a required child is a required descendant; a required parent
+      // is a required ancestor.
+      if (E(Ax(Axis::kChild), s, t) && !E(Ax(Axis::kDescendant), s, t)) {
+        add(SchemaElement::RequiredEdge(cls(s), Axis::kDescendant, cls(t)),
+            "paths",
+            {SchemaElement::RequiredEdge(cls(s), Axis::kChild, cls(t))});
+      }
+      if (E(Ax(Axis::kParent), s, t) && !E(Ax(Axis::kAncestor), s, t)) {
+        add(SchemaElement::RequiredEdge(cls(s), Axis::kAncestor, cls(t)),
+            "paths",
+            {SchemaElement::RequiredEdge(cls(s), Axis::kParent, cls(t))});
+      }
+
+      for (int ax = 0; ax < kAxisCount; ++ax) {
+        if (!E(ax, s, t)) continue;
+        Axis axis = static_cast<Axis>(ax);
+        // nodes-and-edges: if an s-entry must exist and every s-entry needs
+        // an axis-related t-entry, a t-entry must exist.
+        if (R(s) && !R(t)) {
+          add(SchemaElement::RequiredClass(cls(t)), "nodes-and-edges",
+              {SchemaElement::RequiredClass(cls(s)),
+               SchemaElement::RequiredEdge(cls(s), axis, cls(t))});
+        }
+        // impossible-propagation: an s-entry would need a t-relative, but
+        // t-entries cannot exist.
+        if (Imp(t) && !Imp(s)) {
+          add(SchemaElement::Impossible(cls(s)), "impossible-propagation",
+              {SchemaElement::RequiredEdge(cls(s), axis, cls(t)),
+               SchemaElement::Impossible(cls(t))});
+        }
+        for (int u = 0; u < n_; ++u) {
+          // source-strengthening: every u ⊑ s entry is an s-entry, so it
+          // inherits s's requirement.
+          if (Sub(u, s) && !E(ax, u, t)) {
+            add(SchemaElement::RequiredEdge(cls(u), axis, cls(t)),
+                "source-strengthening",
+                {SchemaElement::RequiredEdge(cls(s), axis, cls(t)),
+                 SchemaElement::Subclass(cls(u), cls(s))});
+          }
+          // target-weakening: the required t-relative is also a u-entry for
+          // any u ⊒ t.
+          if (Sub(t, u) && !E(ax, s, u)) {
+            add(SchemaElement::RequiredEdge(cls(s), axis, cls(u)),
+                "target-weakening",
+                {SchemaElement::RequiredEdge(cls(s), axis, cls(t)),
+                 SchemaElement::Subclass(cls(t), cls(u))});
+          }
+        }
+      }
+
+      // transitivity of required descendant/ancestor chains.
+      for (Axis axis : {Axis::kDescendant, Axis::kAncestor}) {
+        int ax = Ax(axis);
+        if (!E(ax, s, t)) continue;
+        for (int u = 0; u < n_; ++u) {
+          if (E(ax, t, u) && !E(ax, s, u)) {
+            add(SchemaElement::RequiredEdge(cls(s), axis, cls(u)),
+                "transitivity",
+                {SchemaElement::RequiredEdge(cls(s), axis, cls(t)),
+                 SchemaElement::RequiredEdge(cls(t), axis, cls(u))});
+          }
+        }
+      }
+
+      // forbidden-specialization: members of subclasses are members of the
+      // superclasses, so a forbidden pair propagates to subclass pairs.
+      for (Axis axis : kDown) {
+        int ax = Ax(axis);
+        if (!F(ax, s, t)) continue;
+        for (int s2 = 0; s2 < n_; ++s2) {
+          if (!Sub(s2, s)) continue;
+          for (int t2 = 0; t2 < n_; ++t2) {
+            if (Sub(t2, t) && !F(ax, s2, t2)) {
+              add(SchemaElement::ForbiddenEdge(cls(s2), axis, cls(t2)),
+                  "forbidden-specialization",
+                  {SchemaElement::ForbiddenEdge(cls(s), axis, cls(t)),
+                   SchemaElement::Subclass(cls(s2), cls(s)),
+                   SchemaElement::Subclass(cls(t2), cls(t))});
+            }
+          }
+        }
+      }
+    }
+
+    // required-superclass: an s-entry is itself a t-entry for every t ⊒ s.
+    for (int t = 0; t < n_; ++t) {
+      if (R(s) && Sub(s, t) && !R(t)) {
+        add(SchemaElement::RequiredClass(cls(t)), "required-superclass",
+            {SchemaElement::RequiredClass(cls(s)),
+             SchemaElement::Subclass(cls(s), cls(t))});
+      }
+      // impossible-subclass: if no t-entry can exist, no s ⊑ t entry can.
+      if (Imp(t) && Sub(s, t) && !Imp(s)) {
+        add(SchemaElement::Impossible(cls(s)), "impossible-subclass",
+            {SchemaElement::Impossible(cls(t)),
+             SchemaElement::Subclass(cls(s), cls(t))});
+      }
+    }
+
+    // required-paths-top: any descendant's walk starts with a child, and
+    // every entry is a top-entry; likewise any ancestor implies a parent.
+    if (E(Ax(Axis::kDescendant), s, top_) && !E(Ax(Axis::kChild), s, top_)) {
+      add(SchemaElement::RequiredEdge(cls(s), Axis::kChild, cls(top_)),
+          "required-paths-top",
+          {SchemaElement::RequiredEdge(cls(s), Axis::kDescendant,
+                                       cls(top_))});
+    }
+    if (E(Ax(Axis::kAncestor), s, top_) && !E(Ax(Axis::kParent), s, top_)) {
+      add(SchemaElement::RequiredEdge(cls(s), Axis::kParent, cls(top_)),
+          "required-paths-top",
+          {SchemaElement::RequiredEdge(cls(s), Axis::kAncestor, cls(top_))});
+    }
+    // forbidden-paths-top: with no child at all there is no descendant;
+    // a t-descendant of anything implies a t-child of something (its
+    // parent, which is a top-entry).
+    if (F(Ax(Axis::kChild), s, top_) && !F(Ax(Axis::kDescendant), s, top_)) {
+      add(SchemaElement::ForbiddenEdge(cls(s), Axis::kDescendant, cls(top_)),
+          "forbidden-paths-top",
+          {SchemaElement::ForbiddenEdge(cls(s), Axis::kChild, cls(top_))});
+    }
+    if (F(Ax(Axis::kChild), top_, s) && !F(Ax(Axis::kDescendant), top_, s)) {
+      add(SchemaElement::ForbiddenEdge(cls(top_), Axis::kDescendant, cls(s)),
+          "forbidden-paths-top",
+          {SchemaElement::ForbiddenEdge(cls(top_), Axis::kChild, cls(s))});
+    }
+
+    for (int t = 0; t < n_; ++t) {
+      // direct-conflict: the same pair cannot be both required and
+      // forbidden — any s-entry would violate one of them.
+      for (Axis axis : kDown) {
+        if (E(Ax(axis), s, t) && F(Ax(axis), s, t) && !Imp(s)) {
+          add(SchemaElement::Impossible(cls(s)), "direct-conflict",
+              {SchemaElement::RequiredEdge(cls(s), axis, cls(t)),
+               SchemaElement::ForbiddenEdge(cls(s), axis, cls(t))});
+        }
+      }
+      // parent-conflict: s's required t-parent would have an s-child,
+      // which is forbidden for t-entries.
+      if (E(Ax(Axis::kParent), s, t) && F(Ax(Axis::kChild), t, s) &&
+          !Imp(s)) {
+        add(SchemaElement::Impossible(cls(s)), "parent-conflict",
+            {SchemaElement::RequiredEdge(cls(s), Axis::kParent, cls(t)),
+             SchemaElement::ForbiddenEdge(cls(t), Axis::kChild, cls(s))});
+      }
+      // ancestor-conflict: s's required t-ancestor would have an
+      // s-descendant, which is forbidden for t-entries.
+      if (E(Ax(Axis::kAncestor), s, t) && F(Ax(Axis::kDescendant), t, s) &&
+          !Imp(s)) {
+        add(SchemaElement::Impossible(cls(s)), "ancestor-conflict",
+            {SchemaElement::RequiredEdge(cls(s), Axis::kAncestor, cls(t)),
+             SchemaElement::ForbiddenEdge(cls(t), Axis::kDescendant,
+                                          cls(s))});
+      }
+
+      for (int u = 0; u < n_; ++u) {
+        // parenthood: an entry has a single parent; requiring parents of
+        // two mutually exclusive classes is unsatisfiable.
+        if (E(Ax(Axis::kParent), s, t) && E(Ax(Axis::kParent), s, u) &&
+            Disj(t, u) && !Imp(s)) {
+          add(SchemaElement::Impossible(cls(s)), "parenthood",
+              {SchemaElement::RequiredEdge(cls(s), Axis::kParent, cls(t)),
+               SchemaElement::RequiredEdge(cls(s), Axis::kParent, cls(u)),
+               SchemaElement::Exclusive(cls(t), cls(u))});
+        }
+        // parenthood-via-child: every s-entry must have a t-child whose
+        // parent (the s-entry itself) must be a u-entry; if s and u are
+        // exclusive, no s-entry can exist.
+        if (E(Ax(Axis::kChild), s, t) && E(Ax(Axis::kParent), t, u) &&
+            Disj(s, u) && !Imp(s)) {
+          add(SchemaElement::Impossible(cls(s)), "parenthood-via-child",
+              {SchemaElement::RequiredEdge(cls(s), Axis::kChild, cls(t)),
+               SchemaElement::RequiredEdge(cls(t), Axis::kParent, cls(u)),
+               SchemaElement::Exclusive(cls(s), cls(u))});
+        }
+        // ancestorhood (pa/an): the required u-ancestor is distinct from
+        // the t-parent (exclusive classes) hence strictly above it, making
+        // the t-parent a forbidden descendant of the u-entry.
+        if (E(Ax(Axis::kParent), s, t) && E(Ax(Axis::kAncestor), s, u) &&
+            Disj(t, u) && F(Ax(Axis::kDescendant), u, t) && !Imp(s)) {
+          add(SchemaElement::Impossible(cls(s)), "ancestorhood-parent",
+              {SchemaElement::RequiredEdge(cls(s), Axis::kParent, cls(t)),
+               SchemaElement::RequiredEdge(cls(s), Axis::kAncestor, cls(u)),
+               SchemaElement::Exclusive(cls(t), cls(u)),
+               SchemaElement::ForbiddenEdge(cls(u), Axis::kDescendant,
+                                            cls(t))});
+        }
+        // ancestor-descendant conflict: the required u-descendant of s sits
+        // below s, hence below s's required t-ancestor — forbidden.
+        if (E(Ax(Axis::kAncestor), s, t) && E(Ax(Axis::kDescendant), s, u) &&
+            F(Ax(Axis::kDescendant), t, u) && !Imp(s)) {
+          add(SchemaElement::Impossible(cls(s)), "ancestor-descendant",
+              {SchemaElement::RequiredEdge(cls(s), Axis::kAncestor, cls(t)),
+               SchemaElement::RequiredEdge(cls(s), Axis::kDescendant,
+                                           cls(u)),
+               SchemaElement::ForbiddenEdge(cls(t), Axis::kDescendant,
+                                            cls(u))});
+        }
+        // ancestorhood: two required ancestors of exclusive classes lie on
+        // one root path, so one would be the other's descendant; if both
+        // directions are forbidden, no s-entry can exist.
+        if (E(Ax(Axis::kAncestor), s, t) && E(Ax(Axis::kAncestor), s, u) &&
+            t < u && Disj(t, u) && F(Ax(Axis::kDescendant), t, u) &&
+            F(Ax(Axis::kDescendant), u, t) && !Imp(s)) {
+          add(SchemaElement::Impossible(cls(s)), "ancestorhood",
+              {SchemaElement::RequiredEdge(cls(s), Axis::kAncestor, cls(t)),
+               SchemaElement::RequiredEdge(cls(s), Axis::kAncestor, cls(u)),
+               SchemaElement::Exclusive(cls(t), cls(u)),
+               SchemaElement::ForbiddenEdge(cls(t), Axis::kDescendant,
+                                            cls(u)),
+               SchemaElement::ForbiddenEdge(cls(u), Axis::kDescendant,
+                                            cls(t))});
+        }
+      }
+    }
+
+    // bottom: a required class whose entries cannot exist.
+    if (R(s) && Imp(s) && !bottom_) {
+      add(SchemaElement::Bottom(), "bottom",
+          {SchemaElement::RequiredClass(cls(s)),
+           SchemaElement::Impossible(cls(s))});
+    }
+  }
+  return changed;
+}
+
+void InferenceEngine::Run() {
+  if (ran_) return;
+  ran_ = true;
+  Seed();
+  while (Pass()) {
+  }
+}
+
+bool InferenceEngine::Has(const SchemaElement& element) const {
+  return derivations_.count(element) > 0;
+}
+
+std::vector<ClassId> InferenceEngine::ImpossibleClasses() const {
+  std::vector<ClassId> out;
+  for (int i = 0; i < n_; ++i) {
+    if (impossible_[i]) out.push_back(classes_[i]);
+  }
+  return out;
+}
+
+std::vector<SchemaElement> InferenceEngine::DerivedFacts() const {
+  std::vector<SchemaElement> out;
+  for (const auto& [element, derivation] : derivations_) {
+    if (derivation.rule != "axiom" && derivation.rule != "class-schema") {
+      out.push_back(element);
+    }
+  }
+  return out;
+}
+
+std::string InferenceEngine::Explain(const SchemaElement& element) const {
+  auto it = derivations_.find(element);
+  if (it == derivations_.end()) return "";
+  std::string out;
+  // Iterative DFS with indentation; visited guard prevents re-expansion.
+  struct Frame {
+    SchemaElement element;
+    int depth;
+  };
+  std::vector<Frame> stack{{element, 0}};
+  std::unordered_map<SchemaElement, bool, SchemaElementHash> expanded;
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    auto d = derivations_.find(f.element);
+    out.append(static_cast<size_t>(f.depth) * 2, ' ');
+    out += f.element.ToString(schema_.vocab());
+    if (d == derivations_.end()) {
+      out += "  [unknown]\n";
+      continue;
+    }
+    out += "  [" + d->second.rule + "]\n";
+    if (expanded[f.element]) continue;
+    expanded[f.element] = true;
+    for (auto p = d->second.premises.rbegin(); p != d->second.premises.rend();
+         ++p) {
+      stack.push_back({*p, f.depth + 1});
+    }
+  }
+  return out;
+}
+
+std::vector<SchemaElement> FindRedundantElements(
+    const DirectorySchema& schema) {
+  const StructureSchema& structure = schema.structure();
+
+  // Enumerate the structure elements with their fact representations.
+  struct Candidate {
+    SchemaElement fact;
+    int kind;  // 0 = Cr, 1 = Er, 2 = Ef
+    size_t index;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < structure.required_classes().size(); ++i) {
+    candidates.push_back(
+        {SchemaElement::RequiredClass(structure.required_classes()[i]), 0,
+         i});
+  }
+  for (size_t i = 0; i < structure.required().size(); ++i) {
+    const StructuralRelationship& rel = structure.required()[i];
+    candidates.push_back(
+        {SchemaElement::RequiredEdge(rel.source, rel.axis, rel.target), 1,
+         i});
+  }
+  for (size_t i = 0; i < structure.forbidden().size(); ++i) {
+    const StructuralRelationship& rel = structure.forbidden()[i];
+    candidates.push_back(
+        {SchemaElement::ForbiddenEdge(rel.source, rel.axis, rel.target), 2,
+         i});
+  }
+
+  std::vector<SchemaElement> redundant;
+  for (const Candidate& candidate : candidates) {
+    // Rebuild the schema without this one element.
+    DirectorySchema reduced(schema.vocab_ptr());
+    reduced.mutable_classes() = schema.classes();
+    reduced.mutable_attributes() = schema.attributes();
+    StructureSchema& rs = reduced.mutable_structure();
+    for (size_t i = 0; i < structure.required_classes().size(); ++i) {
+      if (candidate.kind == 0 && candidate.index == i) continue;
+      rs.RequireClass(structure.required_classes()[i]);
+    }
+    for (size_t i = 0; i < structure.required().size(); ++i) {
+      if (candidate.kind == 1 && candidate.index == i) continue;
+      const StructuralRelationship& rel = structure.required()[i];
+      rs.Require(rel.source, rel.axis, rel.target);
+    }
+    for (size_t i = 0; i < structure.forbidden().size(); ++i) {
+      if (candidate.kind == 2 && candidate.index == i) continue;
+      const StructuralRelationship& rel = structure.forbidden()[i];
+      (void)rs.Forbid(rel.source, rel.axis, rel.target);
+    }
+
+    InferenceEngine engine(reduced);
+    engine.Run();
+    if (engine.Has(candidate.fact)) redundant.push_back(candidate.fact);
+  }
+  return redundant;
+}
+
+Status ConsistencyChecker::EnsureConsistent() {
+  engine_.Run();
+  if (!engine_.FoundInconsistency()) return Status::OK();
+  return Status::Inconsistent("schema admits no legal instance:\n" +
+                              engine_.Explain(SchemaElement::Bottom()));
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,124 @@
+#ifndef LDAPBOUND_CONSISTENCY_INFERENCE_H_
+#define LDAPBOUND_CONSISTENCY_INFERENCE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "consistency/element.h"
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+
+/// How a fact was derived: a rule name plus its premises (empty premises =
+/// axiom seeded from the schema). Recorded for every first derivation so
+/// inconsistencies can be explained.
+struct Derivation {
+  std::string rule;
+  std::vector<SchemaElement> premises;
+};
+
+/// The Section 5 inference system (our reconstruction of Figures 6 and 7;
+/// rule-by-rule soundness arguments are inline in inference.cc and in
+/// DESIGN.md). Runs the rules to fixpoint over the schema's core classes;
+/// the schema is inconsistent exactly when ⊥ (the paper's `⇓∅`) is derived
+/// — Theorem 5.2. The fixpoint is polynomial in the schema size.
+class InferenceEngine {
+ public:
+  /// `schema` must be well-formed (DirectorySchema::Validate) and outlive
+  /// the engine.
+  explicit InferenceEngine(const DirectorySchema& schema);
+
+  /// Runs to fixpoint; idempotent.
+  void Run();
+
+  /// True if the fact has been derived (call after Run()).
+  bool Has(const SchemaElement& element) const;
+
+  /// True if ⊥ was derived: the schema admits no legal instance.
+  bool FoundInconsistency() const { return bottom_; }
+
+  /// Classes c with Imp(c): no entry of c can occur in a finite legal
+  /// instance. Such classes are not themselves inconsistencies (Imp-only
+  /// classes simply stay unpopulated) unless some Imp class is required.
+  std::vector<ClassId> ImpossibleClasses() const;
+
+  /// All derived (non-axiom, non-Sub/Disj) facts, for inspection.
+  std::vector<SchemaElement> DerivedFacts() const;
+
+  /// Renders the derivation tree of `element` (recursively, axioms as
+  /// leaves). Returns "" if the element was not derived.
+  std::string Explain(const SchemaElement& element) const;
+
+  /// Total number of stored facts (for the complexity benchmark).
+  size_t NumFacts() const { return derivations_.size(); }
+
+ private:
+  int Index(ClassId cls) const { return index_.at(cls); }
+
+  bool AddFact(const SchemaElement& element, const char* rule,
+               std::vector<SchemaElement> premises);
+  void Seed();
+  bool Pass();
+
+  // Dense views over the fact tables (N = classes_.size()).
+  bool R(int s) const { return required_[s]; }
+  bool E(int ax, int s, int t) const { return edge_[ax][s * n_ + t]; }
+  bool F(int ax, int s, int t) const { return forb_[ax][s * n_ + t]; }
+  bool Sub(int s, int t) const { return sub_[s * n_ + t]; }
+  bool Disj(int s, int t) const { return disj_[s * n_ + t]; }
+  bool Imp(int s) const { return impossible_[s]; }
+
+  const DirectorySchema& schema_;
+  std::vector<ClassId> classes_;  // dense index -> ClassId (core classes)
+  std::unordered_map<ClassId, int> index_;
+  int n_ = 0;
+  int top_ = 0;  // dense index of `top`
+
+  std::vector<uint8_t> required_;
+  std::vector<uint8_t> edge_[4];  // by Axis
+  std::vector<uint8_t> forb_[4];  // only kChild/kDescendant populated
+  std::vector<uint8_t> sub_;
+  std::vector<uint8_t> disj_;
+  std::vector<uint8_t> impossible_;
+  bool bottom_ = false;
+
+  bool ran_ = false;
+  std::unordered_map<SchemaElement, Derivation, SchemaElementHash>
+      derivations_;
+};
+
+/// Convenience wrapper answering the Section 5 question directly.
+class ConsistencyChecker {
+ public:
+  explicit ConsistencyChecker(const DirectorySchema& schema)
+      : engine_(schema) {}
+
+  /// True iff the schema admits at least one legal instance according to
+  /// the inference system.
+  bool IsConsistent() {
+    engine_.Run();
+    return !engine_.FoundInconsistency();
+  }
+
+  /// OK if consistent; kInconsistent carrying the ⊥ derivation otherwise.
+  Status EnsureConsistent();
+
+  const InferenceEngine& engine() const { return engine_; }
+
+ private:
+  InferenceEngine engine_;
+};
+
+/// Structure-schema elements (members of Cr, Er or Ef) that are *redundant*:
+/// derivable from the remaining elements by the (sound) inference rules, so
+/// removing them changes neither the set of legal instances the rules can
+/// certify nor the consistency verdict. A conservative analysis — an
+/// element the rules cannot derive may still be semantically implied.
+/// Useful to schema authors as a lint. O(|S|) fixpoint runs.
+std::vector<SchemaElement> FindRedundantElements(
+    const DirectorySchema& schema);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_CONSISTENCY_INFERENCE_H_

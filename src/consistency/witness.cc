@@ -1,0 +1,418 @@
+#include "consistency/witness.h"
+
+#include <string>
+#include <vector>
+
+#include "consistency/inference.h"
+#include "core/legality_checker.h"
+
+namespace ldapbound {
+
+namespace {
+
+// Work-in-progress forest over most-specific core classes.
+struct ChaseNode {
+  int parent = -1;
+  ClassId mclass = kInvalidClassId;
+  std::vector<int> children;
+};
+
+class Chase {
+ public:
+  explicit Chase(const DirectorySchema& schema)
+      : schema_(schema), classes_(schema.classes()) {}
+
+  Result<Directory> Run() {
+    ConsistencyChecker checker(schema_);
+    if (!checker.IsConsistent()) {
+      return checker.EnsureConsistent();  // kInconsistent with explanation
+    }
+
+    // Seed: one node per required class.
+    for (ClassId c : schema_.structure().required_classes()) {
+      LDAPBOUND_RETURN_IF_ERROR(FindOrCreateOfClass(c));
+    }
+
+    // Fixpoint over obligations with a divergence cap. The cap is generous:
+    // a consistent schema needs at most one node per (class, class) pair
+    // along required chains.
+    size_t n = schema_.classes().CoreClasses().size();
+    size_t max_rounds = 16 * (n + 1) * (n + 1) + 64;
+    for (size_t round = 0; round < max_rounds; ++round) {
+      bool changed = false;
+      stuck_.clear();
+      // Obligations may add nodes while we iterate; index loop is safe.
+      for (size_t i = 0; i < nodes_.size(); ++i) {
+        changed = Discharge(static_cast<int>(i)) || changed;
+      }
+      if (!changed && !stuck_.empty()) {
+        // No obligation made progress and at least one is blocked.
+        return Status::Internal("chase stuck: " + stuck_.front());
+      }
+      if (!changed) {
+        LDAPBOUND_ASSIGN_OR_RETURN(Directory directory, Materialize());
+        // Keep the API honest: a returned witness is always verified.
+        LegalityChecker checker(schema_);
+        std::vector<Violation> violations;
+        if (!checker.CheckLegal(directory, &violations)) {
+          return Status::Internal(
+              "chase produced an illegal instance:\n" +
+              DescribeViolations(violations, schema_.vocab()));
+        }
+        return directory;
+      }
+      if (nodes_.size() > 4 * max_rounds) break;
+    }
+    return Status::Internal("witness construction diverged");
+  }
+
+ private:
+  bool NodeIs(int node, ClassId cls) const {
+    return classes_.IsSubclassOf(nodes_[node].mclass, cls);
+  }
+
+  int RootOf(int node) const {
+    while (nodes_[node].parent >= 0) node = nodes_[node].parent;
+    return node;
+  }
+
+  bool HasDescendantOfClass(int node, ClassId cls) const {
+    std::vector<int> stack(nodes_[node].children.begin(),
+                           nodes_[node].children.end());
+    while (!stack.empty()) {
+      int cur = stack.back();
+      stack.pop_back();
+      if (NodeIs(cur, cls)) return true;
+      stack.insert(stack.end(), nodes_[cur].children.begin(),
+                   nodes_[cur].children.end());
+    }
+    return false;
+  }
+
+  bool HasAncestorOfClass(int node, ClassId cls) const {
+    for (int a = nodes_[node].parent; a >= 0; a = nodes_[a].parent) {
+      if (NodeIs(a, cls)) return true;
+    }
+    return false;
+  }
+
+  // Would making `lower` a child of `upper` violate a forbidden
+  // relationship, considering only the (upper-chain, lower) pairs?
+  // `lower_class` describes the prospective node when it does not exist yet.
+  bool EdgeForbidden(int upper, ClassId lower_class) const {
+    for (const StructuralRelationship& rel : schema_.structure().forbidden()) {
+      if (!classes_.IsSubclassOf(lower_class, rel.target)) continue;
+      if (rel.axis == Axis::kChild) {
+        if (NodeIs(upper, rel.source)) return true;
+      } else {
+        for (int a = upper; a >= 0; a = nodes_[a].parent) {
+          if (NodeIs(a, rel.source)) return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // Would placing a new node of `upper_class` above root `root` violate a
+  // forbidden relationship against anything in root's subtree?
+  bool ParentPlacementForbidden(ClassId upper_class, int root) const {
+    for (const StructuralRelationship& rel : schema_.structure().forbidden()) {
+      if (!classes_.IsSubclassOf(upper_class, rel.source)) continue;
+      if (rel.axis == Axis::kChild) {
+        if (NodeIs(root, rel.target)) return true;
+      } else {
+        if (NodeIs(root, rel.target) ||
+            HasDescendantOfClass(root, rel.target)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  // The most specific class that a node of most-specific class `t` needs
+  // its parent to belong to (from required-parent elements with source
+  // ⊒ t). kInvalidClassId when unconstrained; mutually exclusive
+  // requirements also yield kInvalidClassId and are left to the inference
+  // system's parenthood rule.
+  ClassId RequiredParentClassFor(ClassId t) const {
+    ClassId need = kInvalidClassId;
+    for (const StructuralRelationship& rel : schema_.structure().required()) {
+      if (rel.axis != Axis::kParent) continue;
+      if (!classes_.IsSubclassOf(t, rel.source)) continue;
+      if (need == kInvalidClassId ||
+          classes_.IsSubclassOf(rel.target, need)) {
+        need = rel.target;
+      } else if (!classes_.IsSubclassOf(need, rel.target)) {
+        return kInvalidClassId;
+      }
+    }
+    return need;
+  }
+
+  // Could `upper_class` sit above `root` with one plain `top` node in
+  // between? True when every rule blocking the direct placement is a
+  // child-axis rule whose target is not `top` itself.
+  bool CanPlaceAboveViaIntermediate(ClassId upper_class, int root) const {
+    for (const StructuralRelationship& rel : schema_.structure().forbidden()) {
+      if (classes_.IsSubclassOf(upper_class, rel.source)) {
+        if (rel.target == classes_.top_class()) return false;
+        if (rel.axis == Axis::kDescendant &&
+            (NodeIs(root, rel.target) ||
+             HasDescendantOfClass(root, rel.target))) {
+          return false;
+        }
+      }
+      // Rules constraining the intermediate top node as a source.
+      if (rel.source == classes_.top_class()) {
+        if (rel.axis == Axis::kChild && NodeIs(root, rel.target)) {
+          return false;
+        }
+        if (rel.axis == Axis::kDescendant &&
+            (NodeIs(root, rel.target) ||
+             HasDescendantOfClass(root, rel.target))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  }
+
+  // A descendant of `from` able to host a new child of class `target`:
+  // it must belong to `need` (when given) and the edge must be allowed.
+  int FindDescendantHost(int from, ClassId need, ClassId target) const {
+    std::vector<int> stack(nodes_[from].children.begin(),
+                           nodes_[from].children.end());
+    while (!stack.empty()) {
+      int cur = stack.back();
+      stack.pop_back();
+      if ((need == kInvalidClassId || NodeIs(cur, need)) &&
+          !EdgeForbidden(cur, target)) {
+        return cur;
+      }
+      stack.insert(stack.end(), nodes_[cur].children.begin(),
+                   nodes_[cur].children.end());
+    }
+    return -1;
+  }
+
+  int NewNode(int parent, ClassId cls) {
+    nodes_.push_back(ChaseNode{parent, cls, {}});
+    int id = static_cast<int>(nodes_.size()) - 1;
+    if (parent >= 0) nodes_[parent].children.push_back(id);
+    return id;
+  }
+
+  // Ensures some node of class `cls` exists (for Cr seeds).
+  Status FindOrCreateOfClass(ClassId cls) {
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (NodeIs(static_cast<int>(i), cls)) return Status::OK();
+    }
+    NewNode(-1, cls);
+    return Status::OK();
+  }
+
+  // Discharges the obligations of one node; true if the forest changed.
+  // Blocked obligations are recorded in stuck_ and retried next round —
+  // another node's progress may unblock them.
+  bool Discharge(int i) {
+    bool changed = false;
+    for (const StructuralRelationship& rel : schema_.structure().required()) {
+      if (!NodeIs(i, rel.source)) continue;
+      switch (rel.axis) {
+        case Axis::kChild: {
+          bool satisfied = false;
+          for (int c : nodes_[i].children) {
+            if (NodeIs(c, rel.target)) {
+              satisfied = true;
+              break;
+            }
+          }
+          if (satisfied) break;
+          if (EdgeForbidden(i, rel.target)) {
+            stuck_.push_back("required child of class '" +
+                             schema_.vocab().ClassName(rel.target) +
+                             "' is forbidden here");
+            break;
+          }
+          NewNode(i, rel.target);
+          changed = true;
+          break;
+        }
+        case Axis::kDescendant: {
+          if (HasDescendantOfClass(i, rel.target)) break;
+          // A node of the target class may itself require a parent of some
+          // class; placing it directly under `i` only works if `i`
+          // satisfies that.
+          ClassId need = RequiredParentClassFor(rel.target);
+          bool parent_fits = need == kInvalidClassId || NodeIs(i, need);
+          if (parent_fits && !EdgeForbidden(i, rel.target)) {
+            NewNode(i, rel.target);
+            changed = true;
+            break;
+          }
+          // Try an existing descendant as the attachment point (it may
+          // satisfy the target's required-parent class, or dodge a
+          // child-forbidden rule).
+          int host = FindDescendantHost(i, need, rel.target);
+          if (host >= 0) {
+            NewNode(host, rel.target);
+            changed = true;
+            break;
+          }
+          // Otherwise descend through an intermediate node: of the required
+          // parent class when there is one, else plain `top` (sidestepping
+          // child-forbidden rules; a descendant-forbidden rule would block
+          // either way).
+          ClassId mid_class = parent_fits ? classes_.top_class() : need;
+          if (!EdgeForbidden(i, mid_class)) {
+            int mid = NewNode(i, mid_class);
+            if (!EdgeForbidden(mid, rel.target)) {
+              NewNode(mid, rel.target);
+              changed = true;
+              break;
+            }
+          }
+          stuck_.push_back("required descendant of class '" +
+                           schema_.vocab().ClassName(rel.target) +
+                           "' is forbidden here");
+          break;
+        }
+        case Axis::kParent: {
+          int p = nodes_[i].parent;
+          if (p >= 0) {
+            if (NodeIs(p, rel.target)) break;
+            // Specialize the parent if its class is comparable with the
+            // required target (deepening keeps previously satisfied
+            // memberships: subclass entries belong to all superclasses).
+            if (classes_.IsSubclassOf(rel.target, nodes_[p].mclass)) {
+              nodes_[p].mclass = rel.target;
+              changed = true;
+              break;
+            }
+            stuck_.push_back("node needs parent of class '" +
+                             schema_.vocab().ClassName(rel.target) +
+                             "' but has an incomparable parent");
+            break;
+          }
+          if (ParentPlacementForbidden(rel.target, i)) {
+            stuck_.push_back("required parent of class '" +
+                             schema_.vocab().ClassName(rel.target) +
+                             "' is forbidden");
+            break;
+          }
+          int parent = NewNode(-1, rel.target);
+          nodes_[parent].children.push_back(i);
+          nodes_[i].parent = parent;
+          changed = true;
+          break;
+        }
+        case Axis::kAncestor: {
+          if (HasAncestorOfClass(i, rel.target)) break;
+          // Deepen a comparable ancestor: its entry then belongs to the
+          // target class too (memberships only grow, so previously
+          // satisfied requirements stay satisfied).
+          bool specialized = false;
+          for (int a = nodes_[i].parent; a >= 0; a = nodes_[a].parent) {
+            if (classes_.IsSubclassOf(rel.target, nodes_[a].mclass)) {
+              nodes_[a].mclass = rel.target;
+              specialized = true;
+              changed = true;
+              break;
+            }
+          }
+          if (specialized) break;
+          int root = RootOf(i);
+          if (!ParentPlacementForbidden(rel.target, root)) {
+            int parent = NewNode(-1, rel.target);
+            nodes_[parent].children.push_back(root);
+            nodes_[root].parent = parent;
+            changed = true;
+            break;
+          }
+          // A child-axis rule may forbid the direct (target, root) edge
+          // while the ancestor relation itself is fine: interpose a plain
+          // top node.
+          if (CanPlaceAboveViaIntermediate(rel.target, root)) {
+            ClassId top = classes_.top_class();
+            int mid = NewNode(-1, top);
+            nodes_[mid].children.push_back(root);
+            nodes_[root].parent = mid;
+            int parent = NewNode(-1, rel.target);
+            nodes_[parent].children.push_back(mid);
+            nodes_[mid].parent = parent;
+            changed = true;
+            break;
+          }
+          stuck_.push_back("required ancestor of class '" +
+                           schema_.vocab().ClassName(rel.target) +
+                           "' is forbidden");
+          break;
+        }
+      }
+    }
+    return changed;
+  }
+
+  // Builds the actual Directory: entries get the full superclass chain and
+  // synthesized values for every required attribute.
+  Result<Directory> Materialize() const {
+    Directory directory(schema_.vocab_ptr());
+    const AttributeSchema& attrs = schema_.attributes();
+    const AttributeId oc = schema_.vocab().objectclass_attr();
+
+    std::vector<EntryId> made(nodes_.size(), kInvalidEntryId);
+    // Parents may have larger indices than children (pa/an create late);
+    // process via DFS from roots.
+    std::vector<int> stack;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i].parent < 0) stack.push_back(static_cast<int>(i));
+    }
+    while (!stack.empty()) {
+      int i = stack.back();
+      stack.pop_back();
+      std::vector<ClassId> chain = classes_.AncestorsOf(nodes_[i].mclass);
+      std::vector<AttributeValue> values;
+      for (ClassId c : chain) {
+        for (AttributeId a : attrs.Required(c)) {
+          if (a == oc) continue;
+          Value v;
+          switch (schema_.vocab().AttributeType(a)) {
+            case ValueType::kString:
+              v = Value(std::string("w"));
+              break;
+            case ValueType::kInteger:
+              v = Value(int64_t{0});
+              break;
+            case ValueType::kBoolean:
+              v = Value(false);
+              break;
+          }
+          values.push_back(AttributeValue{a, std::move(v)});
+        }
+      }
+      EntryId parent = nodes_[i].parent < 0 ? kInvalidEntryId
+                                            : made[nodes_[i].parent];
+      LDAPBOUND_ASSIGN_OR_RETURN(
+          EntryId id,
+          directory.AddEntry(parent, "cn=w" + std::to_string(i),
+                             std::move(chain), std::move(values)));
+      made[i] = id;
+      for (int c : nodes_[i].children) stack.push_back(c);
+    }
+    return directory;
+  }
+
+  const DirectorySchema& schema_;
+  const ClassSchema& classes_;
+  std::vector<ChaseNode> nodes_;
+  std::vector<std::string> stuck_;
+};
+
+}  // namespace
+
+Result<Directory> WitnessBuilder::Build() const {
+  return Chase(schema_).Run();
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,42 @@
+#ifndef LDAPBOUND_CONSISTENCY_WITNESS_H_
+#define LDAPBOUND_CONSISTENCY_WITNESS_H_
+
+#include "model/directory.h"
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+
+/// Constructs a small legal instance of a consistent bounding-schema — a
+/// "witness" realizing the consistency verdict of Section 5. This is a
+/// chase-style procedure the paper does not spell out; the test suite uses
+/// it to cross-validate the inference system: whenever the
+/// ConsistencyChecker answers *consistent*, the witness must exist and pass
+/// the LegalityChecker.
+///
+/// Construction sketch: seed one node per required class; repeatedly
+/// discharge obligations — required child/descendant edges create child
+/// nodes of exactly the target class (reusing an existing satisfying child),
+/// required parent/ancestor edges create or specialize ancestors — while
+/// checking forbidden relationships on every new edge. Nodes carry a single
+/// most-specific core class; on materialization each entry receives the
+/// class's ancestor chain and synthesized values for all required
+/// attributes.
+class WitnessBuilder {
+ public:
+  explicit WitnessBuilder(const DirectorySchema& schema) : schema_(schema) {}
+
+  /// Attempts construction. Errors:
+  ///  - kInconsistent if the inference system derives ⊥;
+  ///  - kInternal if the chase gets stuck or diverges (with the paper's
+  ///    Theorem 5.2 and our rule set, this indicates either an
+  ///    inconsistency the rules missed or a chase limitation — the caller
+  ///    should treat it as "no witness found", not as a consistency proof).
+  Result<Directory> Build() const;
+
+ private:
+  const DirectorySchema& schema_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_CONSISTENCY_WITNESS_H_

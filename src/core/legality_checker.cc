@@ -1,0 +1,271 @@
+#include "core/legality_checker.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "core/translation.h"
+#include "query/evaluator.h"
+
+namespace ldapbound {
+
+namespace {
+
+// Records `v` if collecting; returns false ("stop now") when not collecting.
+bool Report(std::vector<Violation>* out, Violation v, bool* ok) {
+  *ok = false;
+  if (out == nullptr) return false;
+  out->push_back(std::move(v));
+  return true;
+}
+
+}  // namespace
+
+bool LegalityChecker::CheckEntryClassSchema(const Directory&,
+                                            const Entry& entry,
+                                            std::vector<Violation>* out) const {
+  const ClassSchema& classes = schema_.classes();
+  bool ok = true;
+
+  // Only schema classes may be present; split into core and auxiliary.
+  ClassId deepest = kInvalidClassId;
+  uint32_t deepest_depth = 0;
+  size_t num_core = 0;
+  for (ClassId c : entry.classes()) {
+    if (!classes.Contains(c)) {
+      Violation v;
+      v.kind = ViolationKind::kUnknownClass;
+      v.entry = entry.id();
+      v.cls = c;
+      if (!Report(out, v, &ok)) return false;
+      continue;
+    }
+    if (classes.IsCore(c)) {
+      ++num_core;
+      uint32_t d = classes.DepthOf(c);
+      if (deepest == kInvalidClassId || d > deepest_depth) {
+        deepest = c;
+        deepest_depth = d;
+      }
+    }
+  }
+
+  // At least one core class.
+  if (num_core == 0) {
+    Violation v;
+      v.kind = ViolationKind::kNoCoreClass;
+      v.entry = entry.id();
+    if (!Report(out, v, &ok)) return false;
+    return ok;  // inheritance/auxiliary checks need a core chain
+  }
+
+  // Single inheritance: the core classes must be exactly the ancestors of
+  // the deepest one — any other configuration is either a missing
+  // superclass or a pair of incomparable core classes.
+  std::vector<ClassId> chain = classes.AncestorsOf(deepest);
+  std::sort(chain.begin(), chain.end());
+  for (ClassId c : entry.classes()) {
+    if (!classes.IsCore(c)) continue;
+    if (!std::binary_search(chain.begin(), chain.end(), c)) {
+      Violation v;
+      v.kind = ViolationKind::kExclusiveClasses;
+      v.entry = entry.id();
+      v.cls = deepest;
+      v.cls2 = c;
+      if (!Report(out, v, &ok)) return false;
+    }
+  }
+  for (ClassId c : chain) {
+    if (!entry.HasClass(c)) {
+      Violation v;
+      v.kind = ViolationKind::kMissingSuperclass;
+      v.entry = entry.id();
+      v.cls = deepest;
+      v.cls2 = c;
+      if (!Report(out, v, &ok)) return false;
+    }
+  }
+
+  // Auxiliary classes must be allowed by some core class of the entry.
+  for (ClassId c : entry.classes()) {
+    if (!classes.IsAuxiliary(c)) continue;
+    bool allowed = false;
+    for (ClassId core : entry.classes()) {
+      if (!classes.IsCore(core)) continue;
+      const std::vector<ClassId>& aux = classes.AuxAllowed(core);
+      if (std::binary_search(aux.begin(), aux.end(), c)) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) {
+      Violation v;
+      v.kind = ViolationKind::kDisallowedAuxiliary;
+      v.entry = entry.id();
+      v.cls = c;
+      if (!Report(out, v, &ok)) return false;
+    }
+  }
+  return ok;
+}
+
+bool LegalityChecker::CheckEntryAttributeSchema(
+    const Directory& directory, const Entry& entry,
+    std::vector<Violation>* out) const {
+  const AttributeSchema& attrs = schema_.attributes();
+  const AttributeId oc = directory.vocab().objectclass_attr();
+  bool ok = true;
+
+  // Required attributes of every member class must be present. The
+  // objectClass attribute mirrors class(e), which is non-empty, so it is
+  // always present.
+  for (ClassId c : entry.classes()) {
+    for (AttributeId a : attrs.Required(c)) {
+      if (a == oc) continue;
+      if (!entry.HasAttribute(a)) {
+        Violation v;
+      v.kind = ViolationKind::kMissingRequiredAttribute;
+      v.entry = entry.id();
+        v.cls = c;
+        v.attr = a;
+        if (!Report(out, v, &ok)) return false;
+      }
+    }
+  }
+
+  // Every present attribute must be allowed by some member class.
+  AttributeId last = kInvalidAttributeId;
+  for (const AttributeValue& av : entry.values()) {
+    if (av.attribute == last) continue;  // values are sorted by attribute
+    last = av.attribute;
+    bool allowed = false;
+    for (ClassId c : entry.classes()) {
+      if (attrs.IsAllowed(c, av.attribute)) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) {
+      Violation v;
+      v.kind = ViolationKind::kDisallowedAttribute;
+      v.entry = entry.id();
+      v.attr = av.attribute;
+      if (!Report(out, v, &ok)) return false;
+    }
+  }
+  return ok;
+}
+
+bool LegalityChecker::CheckEntryContent(const Directory& directory,
+                                        EntryId id,
+                                        std::vector<Violation>* out) const {
+  const Entry& entry = directory.entry(id);
+  bool class_ok = CheckEntryClassSchema(directory, entry, out);
+  if (!class_ok && out == nullptr) return false;
+  bool attr_ok = CheckEntryAttributeSchema(directory, entry, out);
+  return class_ok && attr_ok;
+}
+
+bool LegalityChecker::CheckContent(const Directory& directory,
+                                   std::vector<Violation>* out) const {
+  bool ok = true;
+  for (size_t id = 0; id < directory.IdCapacity(); ++id) {
+    EntryId eid = static_cast<EntryId>(id);
+    if (!directory.IsAlive(eid)) continue;
+    if (!CheckEntryContent(directory, eid, out)) {
+      ok = false;
+      if (out == nullptr) return false;
+    }
+  }
+  return ok;
+}
+
+bool LegalityChecker::CheckStructure(const Directory& directory,
+                                     std::vector<Violation>* out,
+                                     const ValueIndex* index) const {
+  const StructureSchema& structure = schema_.structure();
+  QueryEvaluator evaluator(directory, /*delta=*/nullptr, index);
+  bool ok = true;
+
+  // Required classes Cr: the atomic witness query must be non-empty.
+  for (ClassId cls : structure.required_classes()) {
+    if (directory.CountWithClass(cls) > 0) continue;
+    Violation v;
+    v.kind = ViolationKind::kMissingRequiredClass;
+    v.cls = cls;
+    if (!Report(out, v, &ok)) return false;
+  }
+
+  // Er and Ef: the Figure 4 violation query must be empty; its members are
+  // the offending entries.
+  auto run = [&](const StructuralRelationship& rel) -> bool {
+    EntrySet offenders = evaluator.Evaluate(ViolationQuery(rel));
+    if (offenders.Empty()) return true;
+    if (out == nullptr) return false;
+    offenders.ForEach([&](EntryId id) {
+      Violation v;
+      v.kind = rel.forbidden ? ViolationKind::kForbiddenRelationship
+                             : ViolationKind::kRequiredRelationship;
+      v.entry = id;
+      v.relationship = rel;
+      out->push_back(v);
+    });
+    return false;
+  };
+  for (const StructuralRelationship& rel : structure.required()) {
+    if (!run(rel)) {
+      ok = false;
+      if (out == nullptr) return false;
+    }
+  }
+  for (const StructuralRelationship& rel : structure.forbidden()) {
+    if (!run(rel)) {
+      ok = false;
+      if (out == nullptr) return false;
+    }
+  }
+  return ok;
+}
+
+bool LegalityChecker::CheckKeys(const Directory& directory,
+                                std::vector<Violation>* out) const {
+  const std::vector<AttributeId>& keys = schema_.key_attributes();
+  if (keys.empty()) return true;
+  bool ok = true;
+  std::unordered_set<Value, ValueHash> seen;
+  for (AttributeId attr : keys) {
+    seen.clear();
+    bool stop = false;
+    directory.ForEachAlive([&](const Entry& e) {
+      if (stop) return;
+      for (const Value& v : e.GetValues(attr)) {
+        if (!seen.insert(v).second) {
+          Violation violation;
+          violation.kind = ViolationKind::kDuplicateKeyValue;
+          violation.entry = e.id();
+          violation.attr = attr;
+          if (!Report(out, violation, &ok)) stop = true;
+        }
+      }
+    });
+    if (stop) return false;
+  }
+  return ok;
+}
+
+bool LegalityChecker::CheckLegal(const Directory& directory,
+                                 std::vector<Violation>* out) const {
+  bool content_ok = CheckContent(directory, out);
+  if (!content_ok && out == nullptr) return false;
+  bool structure_ok = CheckStructure(directory, out);
+  if (!structure_ok && out == nullptr) return false;
+  bool keys_ok = CheckKeys(directory, out);
+  return content_ok && structure_ok && keys_ok;
+}
+
+Status LegalityChecker::EnsureLegal(const Directory& directory) const {
+  std::vector<Violation> violations;
+  if (CheckLegal(directory, &violations)) return Status::OK();
+  return Status::Illegal(DescribeViolations(violations, schema_.vocab()));
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,71 @@
+#ifndef LDAPBOUND_CORE_LEGALITY_CHECKER_H_
+#define LDAPBOUND_CORE_LEGALITY_CHECKER_H_
+
+#include <vector>
+
+#include "core/violation.h"
+#include "model/directory.h"
+#include "query/value_index.h"
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+
+/// Tests legality of directory instances against a bounding-schema
+/// (Definition 2.7, Section 3).
+///
+/// Content legality (§3.1) is a per-entry check costing
+/// O(|class(e)| + maxAux·depth(H) + |val(e)| + Σ|alpha(c)|) per entry.
+/// Structure legality (§3.2) translates every element of the structure
+/// schema into a hierarchical selection query (Figure 4) and tests
+/// emptiness / non-emptiness, for O(|S|·|D|) total — the Theorem 3.1 bound.
+///
+/// The checker borrows the schema; the schema must outlive it and must
+/// share the directory's Vocabulary.
+class LegalityChecker {
+ public:
+  explicit LegalityChecker(const DirectorySchema& schema) : schema_(schema) {}
+
+  /// Content check for a single entry. Appends violations to `out` if
+  /// non-null; with a null `out`, stops at the first violation.
+  /// Returns true iff the entry satisfies the attribute and class schemas.
+  bool CheckEntryContent(const Directory& directory, EntryId id,
+                         std::vector<Violation>* out = nullptr) const;
+
+  /// Content check for every alive entry.
+  bool CheckContent(const Directory& directory,
+                    std::vector<Violation>* out = nullptr) const;
+
+  /// Structure check via the Figure 4 query reduction. An optional fresh
+  /// ValueIndex accelerates the atomic (objectClass=c) selections.
+  bool CheckStructure(const Directory& directory,
+                      std::vector<Violation>* out = nullptr,
+                      const ValueIndex* index = nullptr) const;
+
+  /// Key uniqueness (§6.1 extension): every value of a key attribute is
+  /// unique across all entries. O(|D|) with hashing.
+  bool CheckKeys(const Directory& directory,
+                 std::vector<Violation>* out = nullptr) const;
+
+  /// Full legality: content and structure.
+  bool CheckLegal(const Directory& directory,
+                  std::vector<Violation>* out = nullptr) const;
+
+  /// Status-typed convenience: OK if legal, kIllegal carrying a rendered
+  /// violation list otherwise.
+  Status EnsureLegal(const Directory& directory) const;
+
+  const DirectorySchema& schema() const { return schema_; }
+
+ private:
+  bool CheckEntryClassSchema(const Directory& directory, const Entry& entry,
+                             std::vector<Violation>* out) const;
+  bool CheckEntryAttributeSchema(const Directory& directory,
+                                 const Entry& entry,
+                                 std::vector<Violation>* out) const;
+
+  const DirectorySchema& schema_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_CORE_LEGALITY_CHECKER_H_

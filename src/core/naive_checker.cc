@@ -1,0 +1,111 @@
+#include "core/naive_checker.h"
+
+namespace ldapbound {
+
+namespace {
+
+// Is `e2` axis-related to `e1` (e.g. axis kChild: is e2 a child of e1)?
+// Deliberately index-free: ancestor tests walk the parent chain.
+bool Related(const Directory& directory, EntryId e1, EntryId e2, Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return directory.entry(e2).parent() == e1;
+    case Axis::kParent:
+      return directory.entry(e1).parent() == e2;
+    case Axis::kDescendant: {
+      EntryId cur = directory.entry(e2).parent();
+      while (cur != kInvalidEntryId) {
+        if (cur == e1) return true;
+        cur = directory.entry(cur).parent();
+      }
+      return false;
+    }
+    case Axis::kAncestor: {
+      EntryId cur = directory.entry(e1).parent();
+      while (cur != kInvalidEntryId) {
+        if (cur == e2) return true;
+        cur = directory.entry(cur).parent();
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool NaiveStructureChecker::CheckStructure(const Directory& directory,
+                                           std::vector<Violation>* out) const {
+  const StructureSchema& structure = schema_.structure();
+  bool ok = true;
+
+  std::vector<EntryId> alive;
+  alive.reserve(directory.NumEntries());
+  directory.ForEachAlive([&](const Entry& e) { alive.push_back(e.id()); });
+
+  auto report = [&](Violation v) -> bool {
+    ok = false;
+    if (out == nullptr) return false;
+    out->push_back(v);
+    return true;
+  };
+
+  for (ClassId cls : structure.required_classes()) {
+    bool found = false;
+    for (EntryId id : alive) {
+      if (directory.entry(id).HasClass(cls)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      Violation v;
+    v.kind = ViolationKind::kMissingRequiredClass;
+      v.cls = cls;
+      if (!report(v)) return false;
+    }
+  }
+
+  for (const StructuralRelationship& rel : structure.required()) {
+    for (EntryId e1 : alive) {
+      if (!directory.entry(e1).HasClass(rel.source)) continue;
+      bool satisfied = false;
+      for (EntryId e2 : alive) {
+        if (e1 == e2) continue;
+        if (directory.entry(e2).HasClass(rel.target) &&
+            Related(directory, e1, e2, rel.axis)) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        Violation v;
+        v.kind = ViolationKind::kRequiredRelationship;
+        v.entry = e1;
+        v.relationship = rel;
+        if (!report(v)) return false;
+      }
+    }
+  }
+
+  for (const StructuralRelationship& rel : structure.forbidden()) {
+    for (EntryId e1 : alive) {
+      if (!directory.entry(e1).HasClass(rel.source)) continue;
+      for (EntryId e2 : alive) {
+        if (e1 == e2) continue;
+        if (directory.entry(e2).HasClass(rel.target) &&
+            Related(directory, e1, e2, rel.axis)) {
+          Violation v;
+          v.kind = ViolationKind::kForbiddenRelationship;
+          v.entry = e1;
+          v.relationship = rel;
+          if (!report(v)) return false;
+          break;  // one violation per offending source entry
+        }
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,33 @@
+#ifndef LDAPBOUND_CORE_NAIVE_CHECKER_H_
+#define LDAPBOUND_CORE_NAIVE_CHECKER_H_
+
+#include <vector>
+
+#include "core/violation.h"
+#include "model/directory.h"
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+
+/// The strawman structure-legality test of §3.2: compare every pair of
+/// entries against every structural relationship, deciding
+/// ancestor/descendant by walking parent pointers (no preorder index).
+/// Cost is O((|Er|+|Ef|)·|D|²) — the baseline the query reduction beats
+/// (EXP-T31). Semantics are identical to LegalityChecker::CheckStructure;
+/// the test suite uses this as the ground-truth oracle in property tests.
+class NaiveStructureChecker {
+ public:
+  explicit NaiveStructureChecker(const DirectorySchema& schema)
+      : schema_(schema) {}
+
+  /// Structure check by exhaustive pairwise comparison.
+  bool CheckStructure(const Directory& directory,
+                      std::vector<Violation>* out = nullptr) const;
+
+ private:
+  const DirectorySchema& schema_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_CORE_NAIVE_CHECKER_H_

@@ -1,0 +1,25 @@
+#include "core/translation.h"
+
+namespace ldapbound {
+
+Query ViolationQuery(const StructuralRelationship& rel, Scope source_scope,
+                     Scope target_scope) {
+  Query source = Query::Select(MatchClass(rel.source), source_scope);
+  Query target = Query::Select(MatchClass(rel.target), target_scope);
+  if (rel.forbidden) {
+    // Forbidden ci (ax) cj: offenders are ci-entries that do have an
+    // ax-related cj-entry; the relationship holds iff none exist.
+    return Query::Hier(rel.axis, std::move(source), std::move(target));
+  }
+  // Required ci (ax) cj: offenders are ci-entries minus those with an
+  // ax-related cj-entry, e.g. Q1 of §3.2:
+  //   (? (objectClass=ci) ((ax) (objectClass=ci) (objectClass=cj))).
+  Query satisfied = Query::Hier(rel.axis, source, std::move(target));
+  return Query::Diff(std::move(source), std::move(satisfied));
+}
+
+Query RequiredClassWitnessQuery(ClassId cls) {
+  return Query::Select(MatchClass(cls));
+}
+
+}  // namespace ldapbound

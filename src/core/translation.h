@@ -1,0 +1,34 @@
+#ifndef LDAPBOUND_CORE_TRANSLATION_H_
+#define LDAPBOUND_CORE_TRANSLATION_H_
+
+#include "query/query.h"
+#include "schema/structure_schema.h"
+
+namespace ldapbound {
+
+/// The Figure 4 reduction from structure-schema elements to hierarchical
+/// selection queries, with the Figure 5 generalization: each side of the
+/// relationship may be scoped to a sub-instance (∅ / Δ / D / whole).
+///
+/// For a relationship `rel`, `ViolationQuery(rel)` is the query `Q_phi`
+/// such that a directory D satisfies `rel` if and only if `Q_phi[D]` is
+/// empty:
+///
+///   required ci (ax) cj : (? (oc=ci)[s] ((ax) (oc=ci)[s] (oc=cj)[t]))
+///   forbidden ci (ax) cj : ((ax) (oc=ci)[s] (oc=cj)[t])
+///
+/// where `s` scopes the source-class selections and `t` the target-class
+/// selection. With both scopes kAll this is exactly Figure 4; the Δ-queries
+/// of Figure 5 instantiate the scopes per axis and update kind (see
+/// update/incremental.h).
+Query ViolationQuery(const StructuralRelationship& rel,
+                     Scope source_scope = Scope::kAll,
+                     Scope target_scope = Scope::kAll);
+
+/// The Figure 4 translation for a required class `c⇓`: the atomic query
+/// `(objectClass=c)`, which must be NON-empty for the instance to be legal.
+Query RequiredClassWitnessQuery(ClassId cls);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_CORE_TRANSLATION_H_

@@ -1,0 +1,84 @@
+#include "core/violation.h"
+
+namespace ldapbound {
+
+std::string_view ViolationKindToString(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kMissingRequiredAttribute:
+      return "MissingRequiredAttribute";
+    case ViolationKind::kDisallowedAttribute:
+      return "DisallowedAttribute";
+    case ViolationKind::kUnknownClass:
+      return "UnknownClass";
+    case ViolationKind::kNoCoreClass:
+      return "NoCoreClass";
+    case ViolationKind::kMissingSuperclass:
+      return "MissingSuperclass";
+    case ViolationKind::kExclusiveClasses:
+      return "ExclusiveClasses";
+    case ViolationKind::kDisallowedAuxiliary:
+      return "DisallowedAuxiliary";
+    case ViolationKind::kMissingRequiredClass:
+      return "MissingRequiredClass";
+    case ViolationKind::kRequiredRelationship:
+      return "RequiredRelationship";
+    case ViolationKind::kForbiddenRelationship:
+      return "ForbiddenRelationship";
+    case ViolationKind::kDuplicateKeyValue:
+      return "DuplicateKeyValue";
+  }
+  return "Unknown";
+}
+
+std::string Violation::Describe(const Vocabulary& vocab) const {
+  std::string where = (entry == kInvalidEntryId)
+                          ? std::string("instance")
+                          : "entry " + std::to_string(entry);
+  switch (kind) {
+    case ViolationKind::kMissingRequiredAttribute:
+      return where + ": missing required attribute '" +
+             vocab.AttributeName(attr) + "' of class " + vocab.ClassName(cls);
+    case ViolationKind::kDisallowedAttribute:
+      return where + ": attribute '" + vocab.AttributeName(attr) +
+             "' is not allowed by any of the entry's classes";
+    case ViolationKind::kUnknownClass:
+      return where + ": class '" + vocab.ClassName(cls) +
+             "' is not part of the schema";
+    case ViolationKind::kNoCoreClass:
+      return where + ": entry belongs to no core object class";
+    case ViolationKind::kMissingSuperclass:
+      return where + ": belongs to " + vocab.ClassName(cls) +
+             " but not to its superclass " + vocab.ClassName(cls2);
+    case ViolationKind::kExclusiveClasses:
+      return where + ": belongs to incomparable core classes " +
+             vocab.ClassName(cls) + " and " + vocab.ClassName(cls2);
+    case ViolationKind::kDisallowedAuxiliary:
+      return where + ": auxiliary class '" + vocab.ClassName(cls) +
+             "' is not allowed for any of the entry's core classes";
+    case ViolationKind::kMissingRequiredClass:
+      return "instance: no entry belongs to required class '" +
+             vocab.ClassName(cls) + "'";
+    case ViolationKind::kRequiredRelationship:
+      return where + ": violates required relationship " +
+             relationship.ToString(vocab);
+    case ViolationKind::kForbiddenRelationship:
+      return where + ": violates forbidden relationship " +
+             relationship.ToString(vocab);
+    case ViolationKind::kDuplicateKeyValue:
+      return where + ": duplicate value for key attribute '" +
+             vocab.AttributeName(attr) + "'";
+  }
+  return "unknown violation";
+}
+
+std::string DescribeViolations(const std::vector<Violation>& violations,
+                               const Vocabulary& vocab) {
+  std::string out;
+  for (const Violation& v : violations) {
+    out += v.Describe(vocab);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ldapbound

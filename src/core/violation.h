@@ -1,0 +1,57 @@
+#ifndef LDAPBOUND_CORE_VIOLATION_H_
+#define LDAPBOUND_CORE_VIOLATION_H_
+
+#include <string>
+#include <vector>
+
+#include "model/directory.h"
+#include "schema/structure_schema.h"
+
+namespace ldapbound {
+
+/// The ways a directory instance can fail the legality conditions of
+/// Definition 2.7.
+enum class ViolationKind {
+  // Attribute schema (§2.2, Def. 2.7 "Attribute Schema").
+  kMissingRequiredAttribute,  ///< a required attribute has no value
+  kDisallowedAttribute,       ///< an attribute allowed by no member class
+
+  // Class schema (Def. 2.7 "Class Schema").
+  kUnknownClass,        ///< class not mentioned in the schema
+  kNoCoreClass,         ///< entry belongs to no core class
+  kMissingSuperclass,   ///< single inheritance: superclass membership missing
+  kExclusiveClasses,    ///< two incomparable core classes co-occur
+  kDisallowedAuxiliary, ///< auxiliary class not in Aux(c) of any member core
+
+  // Structure schema (Def. 2.7 "Structure Schema").
+  kMissingRequiredClass,    ///< `c⇓` with no entry of class c
+  kRequiredRelationship,    ///< entry lacking a required related entry
+  kForbiddenRelationship,   ///< entry having a forbidden related entry
+
+  // Keys (§6.1 extension).
+  kDuplicateKeyValue,       ///< a key attribute's value occurs twice
+};
+
+std::string_view ViolationKindToString(ViolationKind kind);
+
+/// One legality violation, localized to an entry when applicable.
+struct Violation {
+  ViolationKind kind;
+  EntryId entry = kInvalidEntryId;       ///< offender; invalid for kMissingRequiredClass
+  ClassId cls = kInvalidClassId;         ///< class involved
+  ClassId cls2 = kInvalidClassId;        ///< second class (exclusive pairs)
+  AttributeId attr = kInvalidAttributeId;///< attribute involved
+  StructuralRelationship relationship;   ///< for structure violations
+
+  /// Human-readable description, e.g.
+  /// "entry 4 (uid=suciu): missing required attribute 'uid' of class person".
+  std::string Describe(const Vocabulary& vocab) const;
+};
+
+/// Renders all violations, one per line.
+std::string DescribeViolations(const std::vector<Violation>& violations,
+                               const Vocabulary& vocab);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_CORE_VIOLATION_H_

@@ -1,0 +1,94 @@
+#include "ldap/dn.h"
+
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+Result<DistinguishedName> DistinguishedName::Parse(std::string_view text) {
+  DistinguishedName dn;
+  text = StripWhitespace(text);
+  if (text.empty()) return dn;
+  for (std::string_view piece : SplitEscaped(text, ',')) {
+    std::string_view rdn = StripWhitespace(piece);
+    if (rdn.empty()) {
+      return Status::InvalidArgument("empty RDN in DN '" + std::string(text) +
+                                     "'");
+    }
+    size_t eq = rdn.find('=');
+    if (eq == std::string_view::npos || eq == 0) {
+      return Status::InvalidArgument("RDN '" + std::string(rdn) +
+                                     "' is not of the form attr=value");
+    }
+    dn.rdns_.emplace_back(rdn);
+  }
+  return dn;
+}
+
+const std::string& DistinguishedName::Leaf() const {
+  static const std::string* empty = new std::string();
+  return rdns_.empty() ? *empty : rdns_.front();
+}
+
+DistinguishedName DistinguishedName::Parent() const {
+  DistinguishedName parent;
+  if (rdns_.size() > 1) {
+    parent.rdns_.assign(rdns_.begin() + 1, rdns_.end());
+  }
+  return parent;
+}
+
+DistinguishedName DistinguishedName::Child(std::string rdn) const {
+  DistinguishedName child;
+  child.rdns_.reserve(rdns_.size() + 1);
+  child.rdns_.push_back(std::move(rdn));
+  child.rdns_.insert(child.rdns_.end(), rdns_.begin(), rdns_.end());
+  return child;
+}
+
+std::string DistinguishedName::ToString() const {
+  std::vector<std::string> copy = rdns_;
+  return Join(copy, ",");
+}
+
+bool DistinguishedName::Equals(const DistinguishedName& other) const {
+  if (rdns_.size() != other.rdns_.size()) return false;
+  for (size_t i = 0; i < rdns_.size(); ++i) {
+    if (!EqualsIgnoreCase(rdns_[i], other.rdns_[i])) return false;
+  }
+  return true;
+}
+
+Result<EntryId> ResolveDn(const Directory& directory,
+                          const DistinguishedName& dn) {
+  if (dn.IsEmpty()) {
+    return Status::InvalidArgument("cannot resolve the empty DN");
+  }
+  EntryId current = kInvalidEntryId;  // start above the roots
+  const std::vector<std::string>& rdns = dn.rdns();
+  for (auto it = rdns.rbegin(); it != rdns.rend(); ++it) {
+    current = directory.FindChildByRdn(current, *it);
+    if (current == kInvalidEntryId) {
+      return Status::NotFound("no entry named '" + dn.ToString() + "'");
+    }
+  }
+  return current;
+}
+
+Result<DistinguishedName> DnOf(const Directory& directory, EntryId id) {
+  if (!directory.IsAlive(id)) {
+    return Status::NotFound("entry " + std::to_string(id) + " is not alive");
+  }
+  DistinguishedName dn;
+  EntryId current = id;
+  std::string text;
+  bool first = true;
+  while (current != kInvalidEntryId) {
+    if (!first) text += ",";
+    text += directory.entry(current).rdn();
+    first = false;
+    current = directory.entry(current).parent();
+  }
+  return DistinguishedName::Parse(text);
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,63 @@
+#ifndef LDAPBOUND_LDAP_DN_H_
+#define LDAPBOUND_LDAP_DN_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/directory.h"
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// A distinguished name: the hierarchical name of a directory entry, listed
+/// leaf-first as in LDAP, e.g. "uid=laks,ou=databases,ou=attLabs,o=att".
+/// The paper abstracts DNs into the forest relation N (footnote 1); this
+/// type provides the concrete naming layer a usable directory needs.
+///
+/// RDN components are kept verbatim (escapes preserved); comparisons are
+/// ASCII case-insensitive, per LDAP convention.
+class DistinguishedName {
+ public:
+  /// The empty DN (the conceptual parent of root entries).
+  DistinguishedName() = default;
+
+  /// Parses "rdn,rdn,...,rdn". Commas escaped with '\' do not split.
+  /// Every RDN must be of the form attr=value.
+  static Result<DistinguishedName> Parse(std::string_view text);
+
+  /// RDNs leaf-first: rdns()[0] names the entry, rdns().back() the root.
+  const std::vector<std::string>& rdns() const { return rdns_; }
+
+  bool IsEmpty() const { return rdns_.empty(); }
+  size_t Depth() const { return rdns_.size(); }
+
+  /// The RDN of the named entry itself ("" for the empty DN).
+  const std::string& Leaf() const;
+
+  /// The DN of the parent (empty DN if this names a root).
+  DistinguishedName Parent() const;
+
+  /// The DN of a child with the given RDN.
+  DistinguishedName Child(std::string rdn) const;
+
+  /// "rdn,rdn,...,rdn"; empty string for the empty DN.
+  std::string ToString() const;
+
+  /// Case-insensitive comparison.
+  bool Equals(const DistinguishedName& other) const;
+
+ private:
+  std::vector<std::string> rdns_;  // leaf-first
+};
+
+/// Finds the entry named by `dn` by walking RDNs from the roots.
+Result<EntryId> ResolveDn(const Directory& directory,
+                          const DistinguishedName& dn);
+
+/// Builds the DN of an alive entry from its path to the root.
+Result<DistinguishedName> DnOf(const Directory& directory, EntryId id);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_LDAP_DN_H_

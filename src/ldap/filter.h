@@ -1,0 +1,66 @@
+#ifndef LDAPBOUND_LDAP_FILTER_H_
+#define LDAPBOUND_LDAP_FILTER_H_
+
+#include <string_view>
+
+#include "query/matcher.h"
+
+namespace ldapbound {
+
+/// Compiles an RFC 1960-style LDAP search filter into a Matcher over the
+/// given vocabulary.
+///
+/// Supported grammar:
+///
+///   filter     := '(' filtercomp ')'
+///   filtercomp := '&' filter+ | '|' filter+ | '!' filter | item
+///   item       := attr '=*'            presence
+///              |  attr '=' pattern     equality; '*' wildcards allowed in
+///                                      string patterns (substring match)
+///              |  attr '>=' value      integer comparison
+///              |  attr '<=' value      integer comparison
+///
+/// `objectClass=<name>` items compile to class-membership tests. Items over
+/// attributes or classes absent from the vocabulary compile to
+/// match-nothing, mirroring LDAP's "Undefined evaluates to FALSE".
+Result<MatcherPtr> ParseFilter(std::string_view text,
+                               const Vocabulary& vocab);
+
+/// Matches string-valued attributes against a '*'-wildcard pattern (the
+/// LDAP substring filter). Exposed for direct construction in tests.
+class SubstringMatcher : public Matcher {
+ public:
+  /// `pattern` with at least one '*', e.g. "a*t*t".
+  SubstringMatcher(AttributeId attr, std::string pattern);
+
+  bool Matches(const Entry& entry) const override;
+  std::string ToString(const Vocabulary& vocab) const override;
+
+ private:
+  AttributeId attr_;
+  std::string pattern_;
+  std::vector<std::string> pieces_;  // pattern split on '*'
+  bool anchored_front_;
+  bool anchored_back_;
+};
+
+/// Integer >= / <= comparisons.
+class CompareMatcher : public Matcher {
+ public:
+  enum class Op { kGreaterOrEqual, kLessOrEqual };
+
+  CompareMatcher(AttributeId attr, Op op, int64_t bound)
+      : attr_(attr), op_(op), bound_(bound) {}
+
+  bool Matches(const Entry& entry) const override;
+  std::string ToString(const Vocabulary& vocab) const override;
+
+ private:
+  AttributeId attr_;
+  Op op_;
+  int64_t bound_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_LDAP_FILTER_H_

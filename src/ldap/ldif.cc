@@ -1,0 +1,165 @@
+#include "ldap/ldif.h"
+
+#include <vector>
+
+#include "ldap/dn.h"
+#include "util/base64.h"
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+namespace {
+
+struct Record {
+  size_t line = 0;  // 1-based line number of the dn: line
+  std::string dn;
+  std::vector<std::pair<std::string, std::string>> values;
+};
+
+Status LdifError(size_t line, const std::string& msg) {
+  return Status::InvalidArgument("LDIF line " + std::to_string(line) + ": " +
+                                 msg);
+}
+
+// Splits the text into records, handling comments and continuations.
+Result<std::vector<Record>> Tokenize(std::string_view text) {
+  std::vector<Record> records;
+  Record current;
+  bool in_record = false;
+  // (attribute, value) currently being accumulated (for continuations).
+  std::string pending_attr;
+  std::string pending_value;
+  bool pending_base64 = false;
+  size_t pending_line = 0;
+
+  auto flush_pending = [&]() -> Status {
+    if (pending_attr.empty()) return Status::OK();
+    std::string value = pending_value;
+    if (pending_base64) {
+      auto decoded = Base64Decode(value);
+      if (!decoded.ok()) {
+        return LdifError(pending_line, decoded.status().message());
+      }
+      value = *decoded;
+    }
+    if (EqualsIgnoreCase(pending_attr, "dn")) {
+      current.dn = value;
+      current.line = pending_line;
+    } else {
+      current.values.emplace_back(pending_attr, value);
+    }
+    pending_attr.clear();
+    pending_value.clear();
+    pending_base64 = false;
+    return Status::OK();
+  };
+  auto flush_record = [&]() -> Status {
+    LDAPBOUND_RETURN_IF_ERROR(flush_pending());
+    if (!in_record) return Status::OK();
+    if (current.dn.empty()) {
+      return LdifError(current.line, "record without dn: line");
+    }
+    records.push_back(std::move(current));
+    current = Record{};
+    in_record = false;
+    return Status::OK();
+  };
+
+  size_t number = 0;
+  for (std::string_view raw : Split(text, '\n')) {
+    ++number;
+    if (!raw.empty() && raw.back() == '\r') raw.remove_suffix(1);
+    if (!raw.empty() && raw[0] == '#') continue;
+    if (StripWhitespace(raw).empty()) {
+      LDAPBOUND_RETURN_IF_ERROR(flush_record());
+      continue;
+    }
+    if (raw[0] == ' ') {
+      // Continuation of the previous value.
+      if (pending_attr.empty()) {
+        return LdifError(number, "continuation line with nothing to continue");
+      }
+      pending_value += raw.substr(1);
+      continue;
+    }
+    LDAPBOUND_RETURN_IF_ERROR(flush_pending());
+    size_t colon = raw.find(':');
+    if (colon == std::string_view::npos) {
+      return LdifError(number, "expected 'attr: value'");
+    }
+    pending_attr = std::string(StripWhitespace(raw.substr(0, colon)));
+    std::string_view rest = raw.substr(colon + 1);
+    pending_base64 = false;
+    if (!rest.empty() && rest[0] == ':') {
+      pending_base64 = true;  // "attr:: <base64>"
+      rest.remove_prefix(1);
+    } else if (!rest.empty() && rest[0] == '<') {
+      return LdifError(number, "URL-valued attributes (attr:< ...) are not "
+                               "supported");
+    }
+    pending_value = std::string(StripWhitespace(rest));
+    pending_line = number;
+    if (pending_attr.empty()) return LdifError(number, "empty attribute name");
+    in_record = true;
+    if (current.line == 0) current.line = number;
+  }
+  LDAPBOUND_RETURN_IF_ERROR(flush_record());
+  return records;
+}
+
+}  // namespace
+
+Result<size_t> LoadLdif(std::string_view text, Directory* directory) {
+  LDAPBOUND_ASSIGN_OR_RETURN(std::vector<Record> records, Tokenize(text));
+  size_t created = 0;
+  for (Record& record : records) {
+    auto dn = DistinguishedName::Parse(record.dn);
+    if (!dn.ok()) return LdifError(record.line, dn.status().message());
+    EntryId parent = kInvalidEntryId;
+    DistinguishedName parent_dn = dn->Parent();
+    if (!parent_dn.IsEmpty()) {
+      auto resolved = ResolveDn(*directory, parent_dn);
+      if (!resolved.ok()) {
+        return LdifError(record.line,
+                         "parent entry '" + parent_dn.ToString() +
+                             "' does not exist (records must be "
+                             "parent-before-child)");
+      }
+      parent = *resolved;
+    }
+    EntrySpec spec;
+    spec.rdn = dn->Leaf();
+    spec.values = std::move(record.values);
+    auto id = directory->AddEntryFromSpec(parent, spec);
+    if (!id.ok()) return LdifError(record.line, id.status().message());
+    ++created;
+  }
+  return created;
+}
+
+std::string WriteLdif(const Directory& directory) {
+  std::string out;
+  const Vocabulary& vocab = directory.vocab();
+  auto emit = [&out](const std::string& attr, const std::string& value) {
+    if (IsLdifSafe(value)) {
+      out += attr + ": " + value + "\n";
+    } else {
+      out += attr + ":: " + Base64Encode(value) + "\n";
+    }
+  };
+  for (EntryId id : directory.GetIndex().preorder()) {
+    const Entry& e = directory.entry(id);
+    auto dn = DnOf(directory, id);
+    out += "dn: " + dn->ToString() + "\n";
+    for (ClassId c : e.classes()) {
+      out += "objectClass: " + vocab.ClassName(c) + "\n";
+    }
+    for (const AttributeValue& av : e.values()) {
+      emit(vocab.AttributeName(av.attribute), av.value.ToString());
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,34 @@
+#ifndef LDAPBOUND_LDAP_LDIF_H_
+#define LDAPBOUND_LDAP_LDIF_H_
+
+#include <string>
+#include <string_view>
+
+#include "model/directory.h"
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// Loads LDIF-formatted text into `directory`, returning the number of
+/// entries created.
+///
+/// Supported LDIF subset:
+///  - records separated by blank lines, each starting with a `dn:` line;
+///  - `attr: value` lines; repeated attributes give multiple values;
+///  - continuation lines (leading space) extend the previous value;
+///  - `#` comment lines;
+///  - `objectClass:` values become class memberships.
+///
+/// Records must appear parent-before-child (the conventional LDIF order);
+/// a record whose parent DN has no entry yet is an error. Values are parsed
+/// according to each attribute's declared type in the directory's
+/// vocabulary; unknown attributes are interned as string-typed.
+Result<size_t> LoadLdif(std::string_view text, Directory* directory);
+
+/// Renders the directory as LDIF, entries in preorder (parents first), so
+/// the output round-trips through LoadLdif.
+std::string WriteLdif(const Directory& directory);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_LDAP_LDIF_H_

@@ -1,0 +1,160 @@
+#include "ldap/query_parser.h"
+
+#include <vector>
+
+#include "ldap/filter.h"
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+namespace {
+
+class QueryParser {
+ public:
+  QueryParser(std::string_view text, const Vocabulary& vocab)
+      : text_(text), vocab_(vocab) {}
+
+  Result<Query> Run() {
+    LDAPBOUND_ASSIGN_OR_RETURN(Query q, ParseOne());
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return q;
+  }
+
+ private:
+  Status Error(const std::string& msg) const {
+    return Status::InvalidArgument("query position " + std::to_string(pos_) +
+                                   ": " + msg);
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  // Finds the position just past the ')' matching the '(' at `open`.
+  Result<size_t> MatchParen(size_t open) const {
+    int depth = 0;
+    for (size_t i = open; i < text_.size(); ++i) {
+      if (text_[i] == '(') ++depth;
+      if (text_[i] == ')') {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+    }
+    return Status::InvalidArgument("unbalanced parentheses in query");
+  }
+
+  Result<Query> ParseOne() {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != '(') {
+      return Error("expected '('");
+    }
+    // Look at the first token inside to decide operator vs atomic.
+    size_t inner = pos_ + 1;
+    while (inner < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[inner]))) {
+      ++inner;
+    }
+    if (inner >= text_.size()) return Error("unterminated query");
+    char op = text_[inner];
+    bool is_operator = false;
+    if (op == '?' || op == 'U' || op == 'N' || op == 'c' || op == 'p' ||
+        op == 'd' || op == 'a') {
+      // Operators are a single letter followed by whitespace and '('.
+      size_t after = inner + 1;
+      while (after < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[after]))) {
+        ++after;
+      }
+      is_operator = after < text_.size() && text_[after] == '(' &&
+                    after > inner + 1;
+    }
+
+    if (!is_operator) return ParseAtomic();
+
+    pos_ = inner + 1;  // past '(' and the operator letter
+    std::vector<Query> operands;
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == ')') {
+        ++pos_;
+        break;
+      }
+      LDAPBOUND_ASSIGN_OR_RETURN(Query q, ParseOne());
+      operands.push_back(std::move(q));
+    }
+
+    switch (op) {
+      case '?':
+        if (operands.size() != 2) {
+          return Error("'?' takes exactly two operands");
+        }
+        return Query::Diff(std::move(operands[0]), std::move(operands[1]));
+      case 'c':
+      case 'p':
+      case 'd':
+      case 'a': {
+        if (operands.size() != 2) {
+          return Error(std::string("'") + op +
+                       "' takes exactly two operands");
+        }
+        Axis axis = op == 'c'   ? Axis::kChild
+                    : op == 'p' ? Axis::kParent
+                    : op == 'd' ? Axis::kDescendant
+                                : Axis::kAncestor;
+        return Query::Hier(axis, std::move(operands[0]),
+                           std::move(operands[1]));
+      }
+      case 'U':
+        if (operands.empty()) return Error("'U' needs operands");
+        return Query::Union(std::move(operands));
+      case 'N':
+        if (operands.empty()) return Error("'N' needs operands");
+        return Query::Intersect(std::move(operands));
+    }
+    return Error("unknown operator");
+  }
+
+  Result<Query> ParseAtomic() {
+    LDAPBOUND_ASSIGN_OR_RETURN(size_t end, MatchParen(pos_));
+    std::string_view filter_text = text_.substr(pos_, end - pos_);
+    LDAPBOUND_ASSIGN_OR_RETURN(MatcherPtr matcher,
+                               ParseFilter(filter_text, vocab_));
+    pos_ = end;
+    // Optional scope suffix.
+    Scope scope = Scope::kAll;
+    if (pos_ < text_.size() && text_[pos_] == '[') {
+      size_t close = text_.find(']', pos_);
+      if (close == std::string_view::npos) {
+        return Error("unterminated scope suffix");
+      }
+      std::string_view name = text_.substr(pos_ + 1, close - pos_ - 1);
+      if (name == "delta") {
+        scope = Scope::kDeltaOnly;
+      } else if (name == "old") {
+        scope = Scope::kExcludeDelta;
+      } else if (name == "empty") {
+        scope = Scope::kEmpty;
+      } else {
+        return Error("unknown scope '" + std::string(name) + "'");
+      }
+      pos_ = close + 1;
+    }
+    return Query::Select(std::move(matcher), scope);
+  }
+
+  std::string_view text_;
+  const Vocabulary& vocab_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text, const Vocabulary& vocab) {
+  return QueryParser(text, vocab).Run();
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,32 @@
+#ifndef LDAPBOUND_LDAP_QUERY_PARSER_H_
+#define LDAPBOUND_LDAP_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/query.h"
+
+namespace ldapbound {
+
+/// Parses the paper's s-expression syntax for hierarchical selection
+/// queries (the notation of §3.2 and Figure 4):
+///
+///   query  := '(' 'c'|'p'|'d'|'a' query query ')'   hierarchical selection
+///           | '(' '?' query query ')'               set difference
+///           | '(' 'U' query+ ')'                    union
+///           | '(' 'N' query+ ')'                    intersection
+///           | '(' <filter-item> ')' [scope]         atomic selection
+///
+/// Atomic selections accept any RFC-1960 filter component (so
+/// `(objectClass=person)`, `(mail=*)`, `(&(objectClass=person)(age>=30))`
+/// all work); an optional scope suffix `[delta]` / `[old]` / `[empty]`
+/// restricts the selection as in the Figure 5 Δ-queries. The grammar is
+/// exactly what Query::ToString prints, so queries round-trip.
+///
+/// Example (the paper's Q1):
+///   (? (objectClass=orgGroup)
+///      (d (objectClass=orgGroup) (objectClass=person)))
+Result<Query> ParseQuery(std::string_view text, const Vocabulary& vocab);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_LDAP_QUERY_PARSER_H_

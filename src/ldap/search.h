@@ -1,0 +1,41 @@
+#ifndef LDAPBOUND_LDAP_SEARCH_H_
+#define LDAPBOUND_LDAP_SEARCH_H_
+
+#include <vector>
+
+#include "ldap/dn.h"
+#include "model/directory.h"
+#include "query/matcher.h"
+
+namespace ldapbound {
+
+/// LDAP search scopes: the base entry alone, its direct children, or its
+/// whole subtree (including the base) — the "retrieval typically scoped to
+/// some subtree" of the paper's introduction.
+enum class SearchScope : uint8_t {
+  kBase = 0,
+  kOneLevel = 1,
+  kSubtree = 2,
+};
+
+/// A directory search: filter evaluation under a scope rooted at a base
+/// entry (named by DN or by id).
+struct SearchRequest {
+  DistinguishedName base;          ///< empty DN = search the whole forest
+  SearchScope scope = SearchScope::kSubtree;
+  MatcherPtr filter;               ///< null = match all
+};
+
+/// Runs the search, returning matching entry ids in preorder.
+/// NotFound if the base DN does not resolve.
+Result<std::vector<EntryId>> Search(const Directory& directory,
+                                    const SearchRequest& request);
+
+/// Id-based variant: base == kInvalidEntryId searches the whole forest.
+Result<std::vector<EntryId>> SearchFrom(const Directory& directory,
+                                        EntryId base, SearchScope scope,
+                                        const MatcherPtr& filter);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_LDAP_SEARCH_H_

@@ -1,0 +1,400 @@
+#include "model/directory.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+Directory::Directory(std::shared_ptr<Vocabulary> vocab)
+    : vocab_(std::move(vocab)) {}
+
+Status Directory::CheckAlive(EntryId id) const {
+  if (!IsAlive(id)) {
+    return Status::NotFound("no such entry: id " + std::to_string(id));
+  }
+  return Status::OK();
+}
+
+std::string Directory::RdnKey(EntryId parent, std::string_view rdn) {
+  std::string key = std::to_string(parent);
+  key += '/';
+  key += ToLower(rdn);
+  return key;
+}
+
+void Directory::BumpClassCount(ClassId c, int delta) {
+  if (c >= class_counts_.size()) class_counts_.resize(c + 1, 0);
+  class_counts_[c] += delta;
+}
+
+Result<EntryId> Directory::AddEntry(EntryId parent, std::string rdn,
+                                    std::vector<ClassId> classes,
+                                    std::vector<AttributeValue> values) {
+  if (parent != kInvalidEntryId) {
+    LDAPBOUND_RETURN_IF_ERROR(CheckAlive(parent));
+  }
+  if (FindChildByRdn(parent, rdn) != kInvalidEntryId) {
+    return Status::AlreadyExists("sibling with RDN '" + rdn +
+                                 "' already exists");
+  }
+
+  // Fold explicit objectClass values into class memberships (Def. 2.1 3(b));
+  // type-check everything else.
+  const AttributeId oc = vocab_->objectclass_attr();
+  std::vector<AttributeValue> kept;
+  kept.reserve(values.size());
+  for (AttributeValue& av : values) {
+    if (av.attribute == oc) {
+      if (!av.value.is_string()) {
+        return Status::InvalidArgument("objectClass value must be a string");
+      }
+      classes.push_back(vocab_->InternClass(av.value.AsString()));
+      continue;
+    }
+    if (av.attribute >= vocab_->num_attributes()) {
+      return Status::OutOfRange("attribute id out of range");
+    }
+    if (av.value.type() != vocab_->AttributeType(av.attribute)) {
+      return Status::InvalidArgument(
+          "value '" + av.value.ToString() + "' has wrong type for attribute " +
+          vocab_->AttributeName(av.attribute));
+    }
+    kept.push_back(std::move(av));
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+  if (classes.empty()) {
+    return Status::InvalidArgument(
+        "an entry must belong to at least one object class");
+  }
+  for (ClassId c : classes) {
+    if (c >= vocab_->num_classes()) {
+      return Status::OutOfRange("class id out of range");
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+  kept.erase(std::unique(kept.begin(), kept.end()), kept.end());
+  for (size_t i = 1; i < kept.size(); ++i) {
+    if (kept[i].attribute == kept[i - 1].attribute &&
+        vocab_->IsSingleValued(kept[i].attribute)) {
+      return Status::InvalidArgument(
+          "attribute " + vocab_->AttributeName(kept[i].attribute) +
+          " is single-valued");
+    }
+  }
+
+  EntryId id = static_cast<EntryId>(entries_.size());
+  entries_.emplace_back();
+  Entry& e = entries_.back();
+  e.id_ = id;
+  e.parent_ = parent;
+  e.rdn_ = std::move(rdn);
+  e.classes_ = std::move(classes);
+  e.values_ = std::move(kept);
+  alive_.push_back(true);
+  ++num_alive_;
+  if (parent == kInvalidEntryId) {
+    roots_.push_back(id);
+  } else {
+    entries_[parent].children_.push_back(id);
+  }
+  rdn_index_.emplace(RdnKey(parent, e.rdn_), id);
+  for (ClassId c : e.classes_) BumpClassCount(c, +1);
+  ++version_;
+  return id;
+}
+
+Result<EntryId> Directory::AddEntryFromSpec(EntryId parent,
+                                            const EntrySpec& spec) {
+  std::vector<ClassId> classes;
+  classes.reserve(spec.classes.size());
+  for (const std::string& name : spec.classes) {
+    classes.push_back(vocab_->InternClass(name));
+  }
+  std::vector<AttributeValue> values;
+  values.reserve(spec.values.size());
+  for (const auto& [attr_name, text] : spec.values) {
+    AttributeId attr = vocab_->InternAttribute(attr_name);
+    LDAPBOUND_ASSIGN_OR_RETURN(
+        Value v, Value::Parse(vocab_->AttributeType(attr), text));
+    values.push_back(AttributeValue{attr, std::move(v)});
+  }
+  return AddEntry(parent, spec.rdn, std::move(classes), std::move(values));
+}
+
+Status Directory::AddValue(EntryId id, AttributeId attr, Value value) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckAlive(id));
+  if (attr == vocab_->objectclass_attr()) {
+    if (!value.is_string()) {
+      return Status::InvalidArgument("objectClass value must be a string");
+    }
+    return AddClass(id, vocab_->InternClass(value.AsString()));
+  }
+  if (attr >= vocab_->num_attributes()) {
+    return Status::OutOfRange("attribute id out of range");
+  }
+  if (value.type() != vocab_->AttributeType(attr)) {
+    return Status::InvalidArgument("value '" + value.ToString() +
+                                   "' has wrong type for attribute " +
+                                   vocab_->AttributeName(attr));
+  }
+  Entry& e = entries_[id];
+  AttributeValue av{attr, std::move(value)};
+  auto it = std::lower_bound(e.values_.begin(), e.values_.end(), av);
+  if (it != e.values_.end() && *it == av) return Status::OK();
+  if (vocab_->IsSingleValued(attr) && e.HasAttribute(attr)) {
+    return Status::FailedPrecondition("attribute " +
+                                      vocab_->AttributeName(attr) +
+                                      " is single-valued");
+  }
+  e.values_.insert(it, std::move(av));
+  ++version_;
+  return Status::OK();
+}
+
+Status Directory::RemoveValue(EntryId id, AttributeId attr,
+                              const Value& value) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckAlive(id));
+  if (attr == vocab_->objectclass_attr()) {
+    if (!value.is_string()) {
+      return Status::InvalidArgument("objectClass value must be a string");
+    }
+    LDAPBOUND_ASSIGN_OR_RETURN(ClassId c, vocab_->FindClass(value.AsString()));
+    return RemoveClass(id, c);
+  }
+  Entry& e = entries_[id];
+  AttributeValue av{attr, value};
+  auto it = std::lower_bound(e.values_.begin(), e.values_.end(), av);
+  if (it == e.values_.end() || !(*it == av)) {
+    return Status::NotFound("no such (attribute, value) pair");
+  }
+  e.values_.erase(it);
+  ++version_;
+  return Status::OK();
+}
+
+Status Directory::AddClass(EntryId id, ClassId cls) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckAlive(id));
+  if (cls >= vocab_->num_classes()) {
+    return Status::OutOfRange("class id out of range");
+  }
+  Entry& e = entries_[id];
+  auto it = std::lower_bound(e.classes_.begin(), e.classes_.end(), cls);
+  if (it != e.classes_.end() && *it == cls) return Status::OK();
+  e.classes_.insert(it, cls);
+  BumpClassCount(cls, +1);
+  ++version_;
+  return Status::OK();
+}
+
+Status Directory::RemoveClass(EntryId id, ClassId cls) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckAlive(id));
+  Entry& e = entries_[id];
+  auto it = std::lower_bound(e.classes_.begin(), e.classes_.end(), cls);
+  if (it == e.classes_.end() || *it != cls) {
+    return Status::NotFound("entry does not belong to class");
+  }
+  if (e.classes_.size() == 1) {
+    return Status::FailedPrecondition(
+        "an entry must belong to at least one object class");
+  }
+  e.classes_.erase(it);
+  BumpClassCount(cls, -1);
+  ++version_;
+  return Status::OK();
+}
+
+Status Directory::MoveSubtree(EntryId id, EntryId new_parent) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckAlive(id));
+  if (new_parent != kInvalidEntryId) {
+    LDAPBOUND_RETURN_IF_ERROR(CheckAlive(new_parent));
+    // The new parent must not be inside the moved subtree.
+    for (EntryId a = new_parent; a != kInvalidEntryId;
+         a = entries_[a].parent_) {
+      if (a == id) {
+        return Status::InvalidArgument(
+            "cannot move an entry under its own subtree");
+      }
+    }
+  }
+  Entry& e = entries_[id];
+  if (e.parent_ == new_parent) return Status::OK();
+  if (FindChildByRdn(new_parent, e.rdn_) != kInvalidEntryId) {
+    return Status::AlreadyExists("sibling with RDN '" + e.rdn_ +
+                                 "' already exists at the destination");
+  }
+  // Detach.
+  if (e.parent_ == kInvalidEntryId) {
+    roots_.erase(std::find(roots_.begin(), roots_.end(), id));
+  } else {
+    auto& siblings = entries_[e.parent_].children_;
+    siblings.erase(std::find(siblings.begin(), siblings.end(), id));
+  }
+  rdn_index_.erase(RdnKey(e.parent_, e.rdn_));
+  rdn_index_.emplace(RdnKey(new_parent, e.rdn_), id);
+  // Attach.
+  e.parent_ = new_parent;
+  if (new_parent == kInvalidEntryId) {
+    roots_.push_back(id);
+  } else {
+    entries_[new_parent].children_.push_back(id);
+  }
+  ++version_;
+  return Status::OK();
+}
+
+Status Directory::Rename(EntryId id, std::string new_rdn) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckAlive(id));
+  Entry& e = entries_[id];
+  if (EqualsIgnoreCase(e.rdn_, new_rdn)) {
+    e.rdn_ = std::move(new_rdn);  // case-only change: same index key
+    ++version_;
+    return Status::OK();
+  }
+  if (FindChildByRdn(e.parent_, new_rdn) != kInvalidEntryId) {
+    return Status::AlreadyExists("sibling with RDN '" + new_rdn +
+                                 "' already exists");
+  }
+  rdn_index_.erase(RdnKey(e.parent_, e.rdn_));
+  rdn_index_.emplace(RdnKey(e.parent_, new_rdn), id);
+  e.rdn_ = std::move(new_rdn);
+  ++version_;
+  return Status::OK();
+}
+
+Status Directory::DeleteLeaf(EntryId id) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckAlive(id));
+  Entry& e = entries_[id];
+  if (!e.children_.empty()) {
+    return Status::FailedPrecondition(
+        "only leaf entries can be deleted (entry has " +
+        std::to_string(e.children_.size()) + " children)");
+  }
+  alive_[id] = false;
+  --num_alive_;
+  for (ClassId c : e.classes_) BumpClassCount(c, -1);
+  if (e.parent_ == kInvalidEntryId) {
+    roots_.erase(std::find(roots_.begin(), roots_.end(), id));
+  } else {
+    auto& siblings = entries_[e.parent_].children_;
+    siblings.erase(std::find(siblings.begin(), siblings.end(), id));
+  }
+  rdn_index_.erase(RdnKey(e.parent_, e.rdn_));
+  ++version_;
+  return Status::OK();
+}
+
+Status Directory::DeleteSubtree(EntryId id) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckAlive(id));
+  std::vector<EntryId> order = SubtreeEntries(id);
+  // Delete leaves first: reverse preorder is a valid bottom-up order.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    LDAPBOUND_RETURN_IF_ERROR(DeleteLeaf(*it));
+  }
+  return Status::OK();
+}
+
+const ForestIndex& Directory::GetIndex() const {
+  if (index_version_ != version_) {
+    RebuildIndex();
+    index_version_ = version_;
+  }
+  return index_;
+}
+
+void Directory::RebuildIndex() const {
+  ForestIndex& idx = index_;
+  idx.pre_.assign(entries_.size(), ForestIndex::kNotIndexed);
+  idx.sub_end_.assign(entries_.size(), ForestIndex::kNotIndexed);
+  idx.depth_.assign(entries_.size(), 0);
+  idx.preorder_.clear();
+  idx.preorder_.reserve(num_alive_);
+
+  // Iterative DFS: frame = (entry, whether this is the exit visit).
+  struct Frame {
+    EntryId id;
+    bool exit;
+  };
+  std::vector<Frame> stack;
+  for (auto root = roots_.rbegin(); root != roots_.rend(); ++root) {
+    stack.push_back({*root, false});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.exit) {
+      idx.sub_end_[f.id] = idx.preorder_.size();
+      continue;
+    }
+    const Entry& e = entries_[f.id];
+    idx.pre_[f.id] = idx.preorder_.size();
+    idx.depth_[f.id] = (e.parent_ == kInvalidEntryId)
+                           ? 0
+                           : idx.depth_[e.parent_] + 1;
+    idx.preorder_.push_back(f.id);
+    stack.push_back({f.id, true});
+    for (auto child = e.children_.rbegin(); child != e.children_.rend();
+         ++child) {
+      stack.push_back({*child, false});
+    }
+  }
+}
+
+EntrySet Directory::AliveSet() const {
+  EntrySet set(IdCapacity());
+  for (size_t id = 0; id < entries_.size(); ++id) {
+    if (alive_[id]) set.Insert(static_cast<EntryId>(id));
+  }
+  return set;
+}
+
+EntryId Directory::FindChildByRdn(EntryId parent,
+                                  std::string_view rdn) const {
+  auto it = rdn_index_.find(RdnKey(parent, rdn));
+  return it == rdn_index_.end() ? kInvalidEntryId : it->second;
+}
+
+std::vector<EntryId> Directory::SubtreeEntries(EntryId id) const {
+  std::vector<EntryId> out;
+  if (!IsAlive(id)) return out;
+  std::vector<EntryId> stack{id};
+  while (!stack.empty()) {
+    EntryId cur = stack.back();
+    stack.pop_back();
+    out.push_back(cur);
+    const auto& children = entries_[cur].children_;
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+DirectoryStats Directory::ComputeStats() const {
+  DirectoryStats stats;
+  stats.num_entries = num_alive_;
+  stats.num_roots = roots_.size();
+  const ForestIndex& index = GetIndex();
+  size_t depth_sum = 0;
+  ForEachAlive([&](const Entry& e) {
+    uint32_t depth = index.depth(e.id());
+    if (depth >= stats.depth_histogram.size()) {
+      stats.depth_histogram.resize(depth + 1, 0);
+    }
+    ++stats.depth_histogram[depth];
+    depth_sum += depth;
+    stats.max_depth = std::max<size_t>(stats.max_depth, depth);
+    stats.max_fanout = std::max(stats.max_fanout, e.children().size());
+    if (e.children().empty()) ++stats.num_leaves;
+    stats.total_values += e.values().size();
+    stats.total_classes += e.classes().size();
+  });
+  stats.avg_depth = num_alive_ == 0
+                        ? 0.0
+                        : static_cast<double>(depth_sum) /
+                              static_cast<double>(num_alive_);
+  return stats;
+}
+
+}  // namespace ldapbound

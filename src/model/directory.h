@@ -1,0 +1,186 @@
+#ifndef LDAPBOUND_MODEL_DIRECTORY_H_
+#define LDAPBOUND_MODEL_DIRECTORY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "model/entry.h"
+#include "model/entry_set.h"
+#include "model/forest_index.h"
+#include "model/value.h"
+#include "model/vocabulary.h"
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// Name-based description of an entry to create; the convenience layer over
+/// the id-based Directory API. Attribute values are given as text and parsed
+/// according to the attribute's declared type.
+struct EntrySpec {
+  std::string rdn;
+  std::vector<std::string> classes;
+  std::vector<std::pair<std::string, std::string>> values;
+};
+
+/// Shape summary of a directory instance (see Directory::ComputeStats).
+struct DirectoryStats {
+  size_t num_entries = 0;
+  size_t num_roots = 0;
+  size_t num_leaves = 0;
+  size_t max_depth = 0;      ///< root depth 0
+  double avg_depth = 0.0;
+  size_t max_fanout = 0;
+  size_t total_values = 0;   ///< (attribute, value) pairs, objectClass aside
+  size_t total_classes = 0;  ///< class memberships
+  std::vector<size_t> depth_histogram;  ///< index = depth, value = entries
+};
+
+/// A directory instance `D = (R, class, val, N)` (Definition 2.1): a finite
+/// forest of entries, each belonging to a non-empty set of object classes
+/// and holding typed (attribute, value) pairs.
+///
+/// Model-level invariants enforced here (independent of any schema):
+///  - the graph is a forest: new entries are roots or children of existing
+///    entries; only leaves can be deleted (the LDAP update rules of §4.1);
+///  - `class(r)` is non-empty;
+///  - values have the type declared for their attribute (Def. 2.1 3(a));
+///  - the objectClass attribute mirrors `class(r)` exactly (Def. 2.1 3(b)):
+///    objectClass values passed in are converted to class memberships;
+///  - sibling RDNs are unique (distinguished names identify entries).
+///
+/// Entry ids are stable: deletion tombstones the slot and never reuses it,
+/// so EntrySets and incremental-update bookkeeping stay valid across a
+/// transaction. `version()` increments on every mutation; the preorder
+/// index is rebuilt lazily on access.
+class Directory {
+ public:
+  explicit Directory(std::shared_ptr<Vocabulary> vocab);
+
+  Directory(const Directory&) = delete;
+  Directory& operator=(const Directory&) = delete;
+  Directory(Directory&&) = default;
+  Directory& operator=(Directory&&) = default;
+
+  const Vocabulary& vocab() const { return *vocab_; }
+  Vocabulary& mutable_vocab() { return *vocab_; }
+  const std::shared_ptr<Vocabulary>& vocab_ptr() const { return vocab_; }
+
+  /// Creates an entry. `parent` must be alive, or kInvalidEntryId for a
+  /// root. `classes` must be non-empty after folding in any objectClass
+  /// values found in `values`.
+  Result<EntryId> AddEntry(EntryId parent, std::string rdn,
+                           std::vector<ClassId> classes,
+                           std::vector<AttributeValue> values);
+
+  /// Name-based convenience over AddEntry; parses values by attribute type
+  /// (interning unknown attributes as string-typed).
+  Result<EntryId> AddEntryFromSpec(EntryId parent, const EntrySpec& spec);
+
+  /// Adds one value; no-op OK if the identical pair is already present.
+  /// Adding an objectClass value is redirected to AddClass.
+  Status AddValue(EntryId id, AttributeId attr, Value value);
+
+  /// Removes one (attribute, value) pair; NotFound if absent.
+  Status RemoveValue(EntryId id, AttributeId attr, const Value& value);
+
+  /// Adds a class membership (and its implicit objectClass value).
+  Status AddClass(EntryId id, ClassId cls);
+
+  /// Removes a class membership; the entry must retain >= 1 class.
+  Status RemoveClass(EntryId id, ClassId cls);
+
+  /// Moves the subtree rooted at `id` under `new_parent` (kInvalidEntryId
+  /// re-roots it). The LDAP ModDN operation. Fails if `new_parent` lies
+  /// inside the moved subtree (would create a cycle) or a sibling RDN
+  /// collides. Entry ids are preserved.
+  Status MoveSubtree(EntryId id, EntryId new_parent);
+
+  /// Renames an entry (changes its RDN); sibling RDNs must stay unique.
+  Status Rename(EntryId id, std::string new_rdn);
+
+  /// Deletes a leaf entry (LDAP permits deleting only leaves).
+  Status DeleteLeaf(EntryId id);
+
+  /// Deletes an entire subtree, leaves first.
+  Status DeleteSubtree(EntryId id);
+
+  bool IsAlive(EntryId id) const {
+    return id < entries_.size() && alive_[id];
+  }
+
+  /// Read access; `id` must be alive or tombstoned (but allocated).
+  const Entry& entry(EntryId id) const { return entries_[id]; }
+
+  /// Alive roots in insertion order.
+  const std::vector<EntryId>& roots() const { return roots_; }
+
+  /// Number of alive entries.
+  size_t NumEntries() const { return num_alive_; }
+
+  /// One past the largest allocated id; EntrySets over this directory use
+  /// this as their capacity.
+  size_t IdCapacity() const { return entries_.size(); }
+
+  /// Number of alive entries that belong to class `c` (maintained
+  /// incrementally; this is the count index that, per §4, makes required
+  /// classes incrementally testable under deletion).
+  size_t CountWithClass(ClassId c) const {
+    return c < class_counts_.size() ? class_counts_[c] : 0;
+  }
+
+  /// Monotonically increasing mutation counter.
+  uint64_t version() const { return version_; }
+
+  /// The preorder/interval index, rebuilt if stale. O(|D|) when stale,
+  /// O(1) otherwise.
+  const ForestIndex& GetIndex() const;
+
+  /// Calls `fn(const Entry&)` for each alive entry in id order.
+  template <typename Fn>
+  void ForEachAlive(Fn&& fn) const {
+    for (size_t id = 0; id < entries_.size(); ++id) {
+      if (alive_[id]) fn(entries_[id]);
+    }
+  }
+
+  /// The set of all alive entries.
+  EntrySet AliveSet() const;
+
+  /// Finds the child of `parent` whose RDN equals `rdn` (case-insensitive);
+  /// with parent == kInvalidEntryId, searches the roots. Returns
+  /// kInvalidEntryId if absent.
+  EntryId FindChildByRdn(EntryId parent, std::string_view rdn) const;
+
+  /// All alive entries of the subtree rooted at `id`, preorder.
+  std::vector<EntryId> SubtreeEntries(EntryId id) const;
+
+  /// Shape summary of the instance; O(|D|).
+  DirectoryStats ComputeStats() const;
+
+ private:
+  Status CheckAlive(EntryId id) const;
+  void BumpClassCount(ClassId c, int delta);
+  void RebuildIndex() const;
+  // Key of the sibling-RDN uniqueness index: "<parent>/<lowercased rdn>".
+  static std::string RdnKey(EntryId parent, std::string_view rdn);
+
+  std::shared_ptr<Vocabulary> vocab_;
+  std::vector<Entry> entries_;
+  std::vector<bool> alive_;
+  std::vector<EntryId> roots_;
+  std::vector<size_t> class_counts_;
+  std::unordered_map<std::string, EntryId> rdn_index_;
+  size_t num_alive_ = 0;
+  uint64_t version_ = 0;
+
+  mutable ForestIndex index_;
+  mutable uint64_t index_version_ = ~uint64_t{0};
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_MODEL_DIRECTORY_H_

@@ -1,0 +1,115 @@
+#ifndef LDAPBOUND_MODEL_ENTRY_H_
+#define LDAPBOUND_MODEL_ENTRY_H_
+
+#include <algorithm>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/entry_set.h"
+#include "model/value.h"
+#include "model/vocabulary.h"
+
+namespace ldapbound {
+
+/// One (attribute, value) pair of an entry's `val(r)` set.
+struct AttributeValue {
+  AttributeId attribute;
+  Value value;
+
+  friend bool operator==(const AttributeValue& a, const AttributeValue& b) {
+    return a.attribute == b.attribute && a.value == b.value;
+  }
+  friend bool operator<(const AttributeValue& a, const AttributeValue& b) {
+    if (a.attribute != b.attribute) return a.attribute < b.attribute;
+    return a.value < b.value;
+  }
+};
+
+/// A directory entry (Definition 2.1): a node of the directory forest that
+/// belongs to a finite non-empty set of object classes and holds a finite
+/// set of (attribute, value) pairs.
+///
+/// Invariant 3(b) of the paper — `(objectClass, c) in val(r)` iff
+/// `c in class(r)` — is maintained structurally: class membership is stored
+/// once in `classes` and the entry's objectClass attribute values are those
+/// class names; `Directory` keeps the two views in sync.
+///
+/// Entries are owned by their Directory; this type is read-only outside the
+/// `model` target (mutation goes through Directory so indexes stay valid).
+class Entry {
+ public:
+  EntryId id() const { return id_; }
+  /// Parent entry, or kInvalidEntryId for roots.
+  EntryId parent() const { return parent_; }
+  /// Child ids in insertion order. May contain deleted entries' ids never:
+  /// Directory removes a child link when the child is deleted.
+  const std::vector<EntryId>& children() const { return children_; }
+
+  /// Relative distinguished name, e.g. "uid=laks". Purely a naming handle;
+  /// the paper abstracts DNs away but a usable directory needs them.
+  const std::string& rdn() const { return rdn_; }
+
+  /// The set `class(r)`: sorted, unique.
+  const std::vector<ClassId>& classes() const { return classes_; }
+
+  bool HasClass(ClassId c) const {
+    return std::binary_search(classes_.begin(), classes_.end(), c);
+  }
+
+  /// The set `val(r)` minus the implicit objectClass pairs; sorted by
+  /// (attribute, value), unique.
+  const std::vector<AttributeValue>& values() const { return values_; }
+
+  bool HasAttribute(AttributeId a) const {
+    auto it = std::lower_bound(
+        values_.begin(), values_.end(), a,
+        [](const AttributeValue& av, AttributeId x) { return av.attribute < x; });
+    return it != values_.end() && it->attribute == a;
+  }
+
+  /// All values of attribute `a`, in sorted order.
+  std::vector<Value> GetValues(AttributeId a) const {
+    std::vector<Value> out;
+    auto it = std::lower_bound(
+        values_.begin(), values_.end(), a,
+        [](const AttributeValue& av, AttributeId x) { return av.attribute < x; });
+    for (; it != values_.end() && it->attribute == a; ++it) {
+      out.push_back(it->value);
+    }
+    return out;
+  }
+
+  /// True if some value of attribute `a` equals `v`.
+  bool HasValue(AttributeId a, const Value& v) const {
+    return std::binary_search(values_.begin(), values_.end(),
+                              AttributeValue{a, v});
+  }
+
+  /// Number of distinct attributes present (not counting objectClass).
+  size_t NumAttributes() const {
+    size_t n = 0;
+    AttributeId last = kInvalidAttributeId;
+    for (const AttributeValue& av : values_) {
+      if (av.attribute != last) {
+        ++n;
+        last = av.attribute;
+      }
+    }
+    return n;
+  }
+
+ private:
+  friend class Directory;
+
+  EntryId id_ = kInvalidEntryId;
+  EntryId parent_ = kInvalidEntryId;
+  std::vector<EntryId> children_;
+  std::string rdn_;
+  std::vector<ClassId> classes_;        // sorted, unique
+  std::vector<AttributeValue> values_;  // sorted, unique
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_MODEL_ENTRY_H_

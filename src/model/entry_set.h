@@ -1,0 +1,99 @@
+#ifndef LDAPBOUND_MODEL_ENTRY_SET_H_
+#define LDAPBOUND_MODEL_ENTRY_SET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ldapbound {
+
+/// Identifier of a directory entry: a dense index into its Directory's
+/// entry table. Ids are stable across deletions (tombstoned, never reused).
+using EntryId = uint32_t;
+
+inline constexpr EntryId kInvalidEntryId = ~EntryId{0};
+
+/// A set of entry ids, stored as a bitmap sized to the Directory's id
+/// capacity. Query evaluation represents intermediate and final results as
+/// EntrySets so that set algebra (union, difference) is O(|D|/64).
+class EntrySet {
+ public:
+  EntrySet() = default;
+  /// Creates an empty set able to hold ids in [0, capacity).
+  explicit EntrySet(size_t capacity)
+      : capacity_(capacity), words_((capacity + 63) / 64, 0) {}
+
+  size_t capacity() const { return capacity_; }
+
+  void Insert(EntryId id) { words_[id >> 6] |= uint64_t{1} << (id & 63); }
+  void Erase(EntryId id) { words_[id >> 6] &= ~(uint64_t{1} << (id & 63)); }
+  bool Contains(EntryId id) const {
+    return id < capacity_ && (words_[id >> 6] >> (id & 63)) & 1;
+  }
+
+  /// Number of ids in the set.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  bool Empty() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return false;
+    }
+    return true;
+  }
+
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  /// In-place union with `other` (capacities must match).
+  void UnionWith(const EntrySet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+
+  /// In-place intersection with `other`.
+  void IntersectWith(const EntrySet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+
+  /// In-place set difference: removes the ids present in `other`.
+  void SubtractFrom(const EntrySet& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  /// Calls `fn(id)` for every id in the set in increasing order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      while (w != 0) {
+        int bit = __builtin_ctzll(w);
+        fn(static_cast<EntryId>(i * 64 + bit));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// All ids in the set, in increasing order.
+  std::vector<EntryId> ToVector() const {
+    std::vector<EntryId> out;
+    out.reserve(Count());
+    ForEach([&out](EntryId id) { out.push_back(id); });
+    return out;
+  }
+
+  friend bool operator==(const EntrySet& a, const EntrySet& b) {
+    return a.capacity_ == b.capacity_ && a.words_ == b.words_;
+  }
+
+ private:
+  size_t capacity_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_MODEL_ENTRY_SET_H_

@@ -1,0 +1,63 @@
+#ifndef LDAPBOUND_MODEL_FOREST_INDEX_H_
+#define LDAPBOUND_MODEL_FOREST_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "model/entry_set.h"
+
+namespace ldapbound {
+
+/// Positional index of a directory forest: the preorder ("sorted") sequence
+/// of alive entries plus, per entry, its preorder position, the end of its
+/// subtree interval and its depth.
+///
+/// This is the "directory entries are sorted" prerequisite of the
+/// hierarchical query evaluation of Jagadish et al. (SIGMOD'99) that the
+/// paper's Section 3.2 relies on: with the interval encoding, every
+/// structural operator is evaluable in one linear pass over the preorder.
+///
+/// An index is a snapshot: it is (re)built by Directory after mutations.
+class ForestIndex {
+ public:
+  static constexpr size_t kNotIndexed = ~size_t{0};
+
+  ForestIndex() = default;
+
+  /// Preorder positions of entry `id`; kNotIndexed for dead ids.
+  size_t pre(EntryId id) const { return pre_[id]; }
+
+  /// One past the last preorder position of `id`'s subtree. The subtree of
+  /// `id` occupies preorder positions [pre(id), sub_end(id)).
+  size_t sub_end(EntryId id) const { return sub_end_[id]; }
+
+  /// Root depth 0.
+  uint32_t depth(EntryId id) const { return depth_[id]; }
+
+  /// Alive entries in preorder (roots in insertion order, children in
+  /// sibling order).
+  const std::vector<EntryId>& preorder() const { return preorder_; }
+
+  /// True if `anc` is a proper ancestor of `desc`.
+  bool IsAncestor(EntryId anc, EntryId desc) const {
+    size_t pa = pre_[anc];
+    size_t pd = pre_[desc];
+    if (pa == kNotIndexed || pd == kNotIndexed) return false;
+    return pa < pd && pd < sub_end_[anc];
+  }
+
+  size_t num_entries() const { return preorder_.size(); }
+
+ private:
+  friend class Directory;
+
+  std::vector<size_t> pre_;      // by entry id
+  std::vector<size_t> sub_end_;  // by entry id
+  std::vector<uint32_t> depth_;  // by entry id
+  std::vector<EntryId> preorder_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_MODEL_FOREST_INDEX_H_

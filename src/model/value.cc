@@ -1,0 +1,79 @@
+#include "model/value.h"
+
+#include <charconv>
+
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kString:
+      return "string";
+    case ValueType::kInteger:
+      return "integer";
+    case ValueType::kBoolean:
+      return "boolean";
+  }
+  return "unknown";
+}
+
+Result<ValueType> ValueTypeFromString(std::string_view name) {
+  if (EqualsIgnoreCase(name, "string")) return ValueType::kString;
+  if (EqualsIgnoreCase(name, "integer")) return ValueType::kInteger;
+  if (EqualsIgnoreCase(name, "boolean")) return ValueType::kBoolean;
+  return Status::InvalidArgument("unknown value type: " + std::string(name));
+}
+
+Result<Value> Value::Parse(ValueType type, std::string_view text) {
+  switch (type) {
+    case ValueType::kString:
+      return Value(std::string(text));
+    case ValueType::kInteger: {
+      int64_t v = 0;
+      const char* begin = text.data();
+      const char* end = begin + text.size();
+      auto [ptr, ec] = std::from_chars(begin, end, v);
+      if (ec != std::errc() || ptr != end) {
+        return Status::InvalidArgument("not an integer: " + std::string(text));
+      }
+      return Value(v);
+    }
+    case ValueType::kBoolean: {
+      if (EqualsIgnoreCase(text, "true")) return Value(true);
+      if (EqualsIgnoreCase(text, "false")) return Value(false);
+      return Status::InvalidArgument("not a boolean: " + std::string(text));
+    }
+  }
+  return Status::InvalidArgument("unknown value type");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kString:
+      return AsString();
+    case ValueType::kInteger:
+      return std::to_string(AsInteger());
+    case ValueType::kBoolean:
+      return AsBoolean() ? "true" : "false";
+  }
+  return "";
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kString:
+      return std::hash<std::string>()(AsString());
+    case ValueType::kInteger:
+      return std::hash<int64_t>()(AsInteger()) * 3;
+    case ValueType::kBoolean:
+      return std::hash<bool>()(AsBoolean()) * 7;
+  }
+  return 0;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace ldapbound

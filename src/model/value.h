@@ -1,0 +1,84 @@
+#ifndef LDAPBOUND_MODEL_VALUE_H_
+#define LDAPBOUND_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// The type set `T` of the paper (Definition 2.1 assumes a set of types with
+/// domains and a typing function `tau : A -> T`). We support the basic LDAP
+/// attribute syntaxes needed by directories: strings, integers and booleans.
+enum class ValueType : uint8_t {
+  kString = 0,
+  kInteger = 1,
+  kBoolean = 2,
+};
+
+/// Stable name of a value type ("string", "integer", "boolean").
+std::string_view ValueTypeToString(ValueType type);
+
+/// Parses a type name; accepts the names produced by ValueTypeToString.
+Result<ValueType> ValueTypeFromString(std::string_view name);
+
+/// A single attribute value: an element of `dom(T)`. Values are immutable
+/// and totally ordered (first by type, then by content) so they can be kept
+/// in sorted containers.
+class Value {
+ public:
+  /// Defaults to the empty string.
+  Value() : data_(std::string()) {}
+  explicit Value(std::string s) : data_(std::move(s)) {}
+  explicit Value(const char* s) : data_(std::string(s)) {}
+  explicit Value(int64_t i) : data_(i) {}
+  explicit Value(bool b) : data_(b) {}
+
+  /// Parses `text` as a value of the given type. Integers must be fully
+  /// numeric; booleans accept "true"/"false" (case-insensitive).
+  static Result<Value> Parse(ValueType type, std::string_view text);
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+
+  bool is_string() const { return type() == ValueType::kString; }
+  bool is_integer() const { return type() == ValueType::kInteger; }
+  bool is_boolean() const { return type() == ValueType::kBoolean; }
+
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+  int64_t AsInteger() const { return std::get<int64_t>(data_); }
+  bool AsBoolean() const { return std::get<bool>(data_); }
+
+  /// Renders the value as text; inverse of Parse for all three types.
+  std::string ToString() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.data_ < b.data_;
+  }
+
+  /// Hash suitable for unordered containers.
+  size_t Hash() const;
+
+ private:
+  std::variant<std::string, int64_t, bool> data_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_MODEL_VALUE_H_

@@ -1,0 +1,182 @@
+#include "query/evaluator.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace ldapbound {
+
+EntrySet QueryEvaluator::Evaluate(const Query& query) {
+  ++stats_.nodes_evaluated;
+  switch (query.kind()) {
+    case Query::Kind::kSelect:
+      return EvaluateSelect(query);
+    case Query::Kind::kHier:
+      return EvaluateHier(query);
+    case Query::Kind::kDiff: {
+      EntrySet lhs = Evaluate(query.operands()[0]);
+      EntrySet rhs = Evaluate(query.operands()[1]);
+      lhs.SubtractFrom(rhs);
+      return lhs;
+    }
+    case Query::Kind::kUnion: {
+      EntrySet out(directory_.IdCapacity());
+      for (const Query& op : query.operands()) {
+        EntrySet part = Evaluate(op);
+        out.UnionWith(part);
+      }
+      return out;
+    }
+    case Query::Kind::kIntersect: {
+      if (query.operands().empty()) {
+        // Empty intersection over subsets of D: all alive entries.
+        return directory_.AliveSet();
+      }
+      EntrySet out = Evaluate(query.operands()[0]);
+      for (size_t i = 1; i < query.operands().size(); ++i) {
+        EntrySet part = Evaluate(query.operands()[i]);
+        out.IntersectWith(part);
+      }
+      return out;
+    }
+  }
+  return EntrySet(directory_.IdCapacity());
+}
+
+EntrySet QueryEvaluator::EvaluateSelect(const Query& query) {
+  EntrySet out(directory_.IdCapacity());
+  const Scope scope = query.scope();
+  if (scope == Scope::kEmpty) return out;
+  const Matcher& matcher = *query.matcher();
+  if (scope == Scope::kDeltaOnly) {
+    // Δ-scoped selections touch only Δ — the ingredient that makes the
+    // Figure 5 insertion checks cost O(|Δ|) rather than O(|D|).
+    if (delta_ == nullptr) return out;
+    delta_->ForEach([&](EntryId id) {
+      if (!directory_.IsAlive(id)) return;
+      ++stats_.entries_scanned;
+      if (matcher.Matches(directory_.entry(id))) out.Insert(id);
+    });
+    return out;
+  }
+  if (scope == Scope::kAll && index_ != nullptr && index_->IsFresh() &&
+      &index_->directory() == &directory_) {
+    const std::vector<EntryId>* ids = nullptr;
+    if (matcher.ProbeIndex(*index_, &ids)) {
+      if (ids != nullptr) {
+        for (EntryId id : *ids) {
+          ++stats_.entries_scanned;
+          out.Insert(id);
+        }
+      }
+      return out;
+    }
+  }
+  directory_.ForEachAlive([&](const Entry& e) {
+    ++stats_.entries_scanned;
+    if (scope == Scope::kExcludeDelta && delta_ != nullptr &&
+        delta_->Contains(e.id())) {
+      return;
+    }
+    if (matcher.Matches(e)) out.Insert(e.id());
+  });
+  return out;
+}
+
+EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
+  EntrySet node_set = Evaluate(query.operands()[0]);
+  EntrySet related = Evaluate(query.operands()[1]);
+  const ForestIndex& index = directory_.GetIndex();
+  const std::vector<EntryId>& preorder = index.preorder();
+  EntrySet out(directory_.IdCapacity());
+
+  switch (query.axis()) {
+    case Axis::kChild: {
+      // Parents of related-members, intersected with the node set.
+      EntrySet parents(directory_.IdCapacity());
+      related.ForEach([&](EntryId id) {
+        ++stats_.entries_scanned;
+        EntryId p = directory_.entry(id).parent();
+        if (p != kInvalidEntryId) parents.Insert(p);
+      });
+      parents.IntersectWith(node_set);
+      return parents;
+    }
+    case Axis::kParent: {
+      node_set.ForEach([&](EntryId id) {
+        ++stats_.entries_scanned;
+        EntryId p = directory_.entry(id).parent();
+        if (p != kInvalidEntryId && related.Contains(p)) out.Insert(id);
+      });
+      return out;
+    }
+    case Axis::kDescendant: {
+      // Sparse path: when both operand sets are small relative to |D| —
+      // the situation the Figure 5 Δ-queries create — sort the related
+      // members' preorder positions and binary-search each node's subtree
+      // interval: O((|A|+|B|)·log|B|) instead of a full preorder pass.
+      size_t count_a = node_set.Count();
+      size_t count_b = related.Count();
+      if ((count_a + count_b) * 8 < preorder.size()) {
+        std::vector<size_t> positions;
+        positions.reserve(count_b);
+        related.ForEach([&](EntryId id) {
+          ++stats_.entries_scanned;
+          positions.push_back(index.pre(id));
+        });
+        std::sort(positions.begin(), positions.end());
+        node_set.ForEach([&](EntryId id) {
+          ++stats_.entries_scanned;
+          size_t lo = index.pre(id) + 1;  // proper descendants only
+          size_t hi = index.sub_end(id);
+          auto it = std::lower_bound(positions.begin(), positions.end(), lo);
+          if (it != positions.end() && *it < hi) out.Insert(id);
+        });
+        return out;
+      }
+      // Dense path: prefix[i] = number of related-members in preorder[0..i).
+      std::vector<uint32_t> prefix(preorder.size() + 1, 0);
+      for (size_t i = 0; i < preorder.size(); ++i) {
+        ++stats_.entries_scanned;
+        prefix[i + 1] =
+            prefix[i] + (related.Contains(preorder[i]) ? 1u : 0u);
+      }
+      node_set.ForEach([&](EntryId id) {
+        size_t lo = index.pre(id) + 1;  // proper descendants only
+        size_t hi = index.sub_end(id);
+        if (hi > lo && prefix[hi] > prefix[lo]) out.Insert(id);
+      });
+      return out;
+    }
+    case Axis::kAncestor: {
+      // Sparse path: few candidate nodes — walk their parent chains.
+      size_t count_a = node_set.Count();
+      if (count_a * 8 < preorder.size()) {
+        node_set.ForEach([&](EntryId id) {
+          for (EntryId p = directory_.entry(id).parent();
+               p != kInvalidEntryId; p = directory_.entry(p).parent()) {
+            ++stats_.entries_scanned;
+            if (related.Contains(p)) {
+              out.Insert(id);
+              break;
+            }
+          }
+        });
+        return out;
+      }
+      // Dense path: top-down pass (preorder visits parents first).
+      std::vector<uint8_t> has_anc(directory_.IdCapacity(), 0);
+      for (EntryId id : preorder) {
+        ++stats_.entries_scanned;
+        EntryId p = directory_.entry(id).parent();
+        if (p != kInvalidEntryId) {
+          has_anc[id] = has_anc[p] || related.Contains(p);
+        }
+        if (has_anc[id] && node_set.Contains(id)) out.Insert(id);
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,65 @@
+#ifndef LDAPBOUND_QUERY_EVALUATOR_H_
+#define LDAPBOUND_QUERY_EVALUATOR_H_
+
+#include <cstdint>
+
+#include "model/directory.h"
+#include "model/entry_set.h"
+#include "query/query.h"
+#include "query/value_index.h"
+
+namespace ldapbound {
+
+/// Counters exposed for testing the O(|Q|·|D|) evaluation bound.
+struct EvaluatorStats {
+  uint64_t nodes_evaluated = 0;   ///< query AST nodes processed
+  uint64_t entries_scanned = 0;   ///< per-entry work units performed
+};
+
+/// Evaluates hierarchical selection queries over a Directory.
+///
+/// Every AST node is processed with O(|D|) work over the directory's
+/// preorder index (one pass; no pairwise joins), realizing the evaluation
+/// bound of Jagadish et al. that Section 3.2 builds on:
+///   - atomic select: one scan applying the matcher;
+///   - child:       mark parents of B-members, intersect with A;
+///   - parent:      test each A-member's parent against B;
+///   - descendant:  prefix-sum B over the preorder, test A's subtree ranges;
+///   - ancestor:    top-down pass propagating "has B ancestor" flags;
+///   - diff / union / intersect: bitmap algebra.
+///
+/// An optional Δ-set enables the scoped predicates of Figure 5: atomic
+/// selections can be restricted to Δ, to its complement, or suppressed.
+class QueryEvaluator {
+ public:
+  /// `delta`, if given, must remain valid while the evaluator is used and
+  /// must have capacity >= directory.IdCapacity(). `index`, if given and
+  /// fresh, answers unscoped class/value selections in O(|result|); a
+  /// stale or absent index falls back to the scan.
+  explicit QueryEvaluator(const Directory& directory,
+                          const EntrySet* delta = nullptr,
+                          const ValueIndex* index = nullptr)
+      : directory_(directory), delta_(delta), index_(index) {}
+
+  /// Evaluates `query`; the result holds alive entry ids.
+  EntrySet Evaluate(const Query& query);
+
+  /// True iff the query result is empty. (Legality tests only need
+  /// emptiness; this still evaluates fully but avoids materializing ids.)
+  bool IsEmpty(const Query& query) { return Evaluate(query).Empty(); }
+
+  const EvaluatorStats& stats() const { return stats_; }
+
+ private:
+  EntrySet EvaluateSelect(const Query& query);
+  EntrySet EvaluateHier(const Query& query);
+
+  const Directory& directory_;
+  const EntrySet* delta_;
+  const ValueIndex* index_;
+  EvaluatorStats stats_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_QUERY_EVALUATOR_H_

@@ -1,0 +1,90 @@
+#include "query/query.h"
+
+namespace ldapbound {
+
+std::string_view ScopeToString(Scope scope) {
+  switch (scope) {
+    case Scope::kAll:
+      return "";
+    case Scope::kDeltaOnly:
+      return "[delta]";
+    case Scope::kExcludeDelta:
+      return "[old]";
+    case Scope::kEmpty:
+      return "[empty]";
+  }
+  return "?";
+}
+
+Query Query::Select(MatcherPtr matcher, Scope scope) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kSelect;
+  node->matcher = std::move(matcher);
+  node->scope = scope;
+  return Query(std::move(node));
+}
+
+Query Query::Hier(Axis axis, Query target, Query related) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kHier;
+  node->axis = axis;
+  node->operands.push_back(std::move(target));
+  node->operands.push_back(std::move(related));
+  return Query(std::move(node));
+}
+
+Query Query::Diff(Query lhs, Query rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kDiff;
+  node->operands.push_back(std::move(lhs));
+  node->operands.push_back(std::move(rhs));
+  return Query(std::move(node));
+}
+
+Query Query::Union(std::vector<Query> operands) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kUnion;
+  node->operands = std::move(operands);
+  return Query(std::move(node));
+}
+
+Query Query::Intersect(std::vector<Query> operands) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kIntersect;
+  node->operands = std::move(operands);
+  return Query(std::move(node));
+}
+
+size_t Query::Size() const {
+  size_t n = 1;
+  for (const Query& op : node_->operands) n += op.Size();
+  return n;
+}
+
+std::string Query::ToString(const Vocabulary& vocab) const {
+  switch (kind()) {
+    case Kind::kSelect:
+      return "(" + node_->matcher->ToString(vocab) + ")" +
+             std::string(ScopeToString(node_->scope));
+    case Kind::kHier:
+      return "(" + std::string(AxisToString(node_->axis)) + " " +
+             node_->operands[0].ToString(vocab) + " " +
+             node_->operands[1].ToString(vocab) + ")";
+    case Kind::kDiff:
+      return "(? " + node_->operands[0].ToString(vocab) + " " +
+             node_->operands[1].ToString(vocab) + ")";
+    case Kind::kUnion: {
+      std::string out = "(U";
+      for (const Query& op : node_->operands) out += " " + op.ToString(vocab);
+      return out + ")";
+    }
+    case Kind::kIntersect: {
+      std::string out = "(N";
+      for (const Query& op : node_->operands) out += " " + op.ToString(vocab);
+      return out + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,96 @@
+#ifndef LDAPBOUND_QUERY_QUERY_H_
+#define LDAPBOUND_QUERY_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/axis.h"
+#include "query/matcher.h"
+
+namespace ldapbound {
+
+/// Instance scope of an atomic selection. Section 4's incremental Δ-queries
+/// (Figure 5) evaluate each sub-expression against one of: the empty
+/// instance, only the updated subtree Δ, only the pre-update instance D, or
+/// the whole current instance (D+Δ for insertions, D−Δ for deletions when
+/// the check runs against the post-update directory).
+enum class Scope : uint8_t {
+  kAll = 0,          ///< every alive entry of the evaluated directory
+  kDeltaOnly = 1,    ///< only entries in the evaluator's Δ set
+  kExcludeDelta = 2, ///< only entries NOT in the evaluator's Δ set
+  kEmpty = 3,        ///< no entries (sub-expression known to contribute none)
+};
+
+std::string_view ScopeToString(Scope scope);
+
+/// A hierarchical selection query (Jagadish et al., SIGMOD'99), as used by
+/// the paper's Section 3.2 reduction:
+///
+///  - `Select(m)`            — atomic selection: entries matching m;
+///  - `Hier(ax, A, B)`       — entries of A with an ax-related entry in B,
+///                             e.g. `(d (objectClass=x) (objectClass=y))`;
+///  - `Diff(A, B)`           — the paper's `(? A B)`: results of A not in B;
+///  - `Union`, `Intersect`   — n-ary set combinations.
+///
+/// Query is an immutable value type (cheap shared-structure copies).
+class Query {
+ public:
+  enum class Kind : uint8_t { kSelect, kHier, kDiff, kUnion, kIntersect };
+
+  /// Atomic selection with an optional non-default scope.
+  static Query Select(MatcherPtr matcher, Scope scope = Scope::kAll);
+
+  /// Hierarchical selection: members of `node` having an `axis`-related
+  /// member of `related`.
+  static Query Hier(Axis axis, Query node, Query related);
+
+  static Query Child(Query node, Query related) {
+    return Hier(Axis::kChild, std::move(node), std::move(related));
+  }
+  static Query Parent(Query node, Query related) {
+    return Hier(Axis::kParent, std::move(node), std::move(related));
+  }
+  static Query Descendant(Query node, Query related) {
+    return Hier(Axis::kDescendant, std::move(node), std::move(related));
+  }
+  static Query Ancestor(Query node, Query related) {
+    return Hier(Axis::kAncestor, std::move(node), std::move(related));
+  }
+
+  /// Set difference, the paper's `(? A B)`.
+  static Query Diff(Query lhs, Query rhs);
+
+  static Query Union(std::vector<Query> operands);
+  static Query Intersect(std::vector<Query> operands);
+
+  Kind kind() const { return node_->kind; }
+  const MatcherPtr& matcher() const { return node_->matcher; }
+  Scope scope() const { return node_->scope; }
+  Axis axis() const { return node_->axis; }
+  const std::vector<Query>& operands() const { return node_->operands; }
+
+  /// Number of AST nodes: the |Q| of the O(|Q|·|D|) evaluation bound.
+  size_t Size() const;
+
+  /// Paper-style rendering, e.g.
+  /// "(? (objectClass=orgGroup) (d (objectClass=orgGroup) (objectClass=person)))".
+  std::string ToString(const Vocabulary& vocab) const;
+
+ private:
+  struct Node {
+    Kind kind;
+    MatcherPtr matcher;                // kSelect
+    Scope scope = Scope::kAll;         // kSelect
+    Axis axis = Axis::kChild;          // kHier
+    std::vector<Query> operands;       // kHier: [node, related]; others: n-ary
+  };
+
+  explicit Query(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_QUERY_QUERY_H_

@@ -1,0 +1,31 @@
+#include "query/value_index.h"
+
+namespace ldapbound {
+
+void ValueIndex::Refresh() {
+  if (version_ == directory_.version()) return;
+  by_class_.clear();
+  by_value_.clear();
+  directory_.ForEachAlive([&](const Entry& e) {
+    for (ClassId c : e.classes()) {
+      by_class_[c].push_back(e.id());  // id order: ForEachAlive ascends
+    }
+    for (const AttributeValue& av : e.values()) {
+      by_value_[PairKey{av.attribute, av.value}].push_back(e.id());
+    }
+  });
+  version_ = directory_.version();
+}
+
+const std::vector<EntryId>* ValueIndex::LookupClass(ClassId cls) const {
+  auto it = by_class_.find(cls);
+  return it == by_class_.end() ? nullptr : &it->second;
+}
+
+const std::vector<EntryId>* ValueIndex::LookupValue(
+    AttributeId attr, const Value& value) const {
+  auto it = by_value_.find(PairKey{attr, value});
+  return it == by_value_.end() ? nullptr : &it->second;
+}
+
+}  // namespace ldapbound

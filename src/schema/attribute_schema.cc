@@ -1,0 +1,85 @@
+#include "schema/attribute_schema.h"
+
+#include <algorithm>
+
+namespace ldapbound {
+
+namespace {
+
+void InsertSorted(std::vector<AttributeId>& v, AttributeId attr) {
+  auto it = std::lower_bound(v.begin(), v.end(), attr);
+  if (it == v.end() || *it != attr) v.insert(it, attr);
+}
+
+const std::vector<AttributeId>& EmptyAttrs() {
+  static const std::vector<AttributeId>* empty =
+      new std::vector<AttributeId>();
+  return *empty;
+}
+
+}  // namespace
+
+void AttributeSchema::AddRequired(ClassId cls, AttributeId attr) {
+  PerClass& pc = per_class_[cls];
+  InsertSorted(pc.required, attr);
+  InsertSorted(pc.allowed, attr);
+}
+
+void AttributeSchema::AddAllowed(ClassId cls, AttributeId attr) {
+  InsertSorted(per_class_[cls].allowed, attr);
+}
+
+Status AttributeSchema::RemoveRequired(ClassId cls, AttributeId attr) {
+  auto it = per_class_.find(cls);
+  if (it == per_class_.end()) {
+    return Status::NotFound("class not in attribute schema");
+  }
+  std::vector<AttributeId>& required = it->second.required;
+  auto pos = std::lower_bound(required.begin(), required.end(), attr);
+  if (pos == required.end() || *pos != attr) {
+    return Status::NotFound("attribute is not required for this class");
+  }
+  required.erase(pos);  // stays allowed
+  return Status::OK();
+}
+
+void AttributeSchema::AddClass(ClassId cls) { per_class_[cls]; }
+
+const std::vector<AttributeId>& AttributeSchema::Required(ClassId cls) const {
+  auto it = per_class_.find(cls);
+  return it == per_class_.end() ? EmptyAttrs() : it->second.required;
+}
+
+const std::vector<AttributeId>& AttributeSchema::Allowed(ClassId cls) const {
+  auto it = per_class_.find(cls);
+  return it == per_class_.end() ? EmptyAttrs() : it->second.allowed;
+}
+
+bool AttributeSchema::IsAllowed(ClassId cls, AttributeId attr) const {
+  const std::vector<AttributeId>& v = Allowed(cls);
+  return std::binary_search(v.begin(), v.end(), attr);
+}
+
+bool AttributeSchema::IsRequired(ClassId cls, AttributeId attr) const {
+  const std::vector<AttributeId>& v = Required(cls);
+  return std::binary_search(v.begin(), v.end(), attr);
+}
+
+std::vector<ClassId> AttributeSchema::Classes() const {
+  std::vector<ClassId> out;
+  out.reserve(per_class_.size());
+  for (const auto& [cls, _] : per_class_) out.push_back(cls);
+  return out;
+}
+
+std::vector<AttributeId> AttributeSchema::Attributes() const {
+  std::vector<AttributeId> out;
+  for (const auto& [cls, pc] : per_class_) {
+    out.insert(out.end(), pc.allowed.begin(), pc.allowed.end());
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,64 @@
+#ifndef LDAPBOUND_SCHEMA_ATTRIBUTE_SCHEMA_H_
+#define LDAPBOUND_SCHEMA_ATTRIBUTE_SCHEMA_H_
+
+#include <map>
+#include <vector>
+
+#include "model/vocabulary.h"
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// The attribute schema `A = (C, A, r, a)` of Definition 2.2: per object
+/// class, the set of *required* attributes (each member entry must have at
+/// least one value for each) and of *allowed* attributes (no other
+/// attributes may appear). The invariant `r(c) ⊆ a(c)` is maintained
+/// structurally: requiring an attribute also allows it.
+class AttributeSchema {
+ public:
+  AttributeSchema() = default;
+
+  /// Declares `attr` required for members of `cls`.
+  void AddRequired(ClassId cls, AttributeId attr);
+
+  /// Declares `attr` allowed (but not required) for members of `cls`.
+  void AddAllowed(ClassId cls, AttributeId attr);
+
+  /// Demotes a required attribute to allowed-only; NotFound if it was not
+  /// required for `cls`.
+  Status RemoveRequired(ClassId cls, AttributeId attr);
+
+  /// Ensures `cls` is mentioned in the schema (with possibly empty
+  /// required/allowed sets).
+  void AddClass(ClassId cls);
+
+  /// True if the schema mentions `cls`.
+  bool HasClass(ClassId cls) const { return per_class_.count(cls) > 0; }
+
+  /// `r(c)`: sorted; empty for unmentioned classes.
+  const std::vector<AttributeId>& Required(ClassId cls) const;
+
+  /// `a(c)`: sorted, superset of Required; empty for unmentioned classes.
+  const std::vector<AttributeId>& Allowed(ClassId cls) const;
+
+  bool IsAllowed(ClassId cls, AttributeId attr) const;
+  bool IsRequired(ClassId cls, AttributeId attr) const;
+
+  /// Classes mentioned, ascending.
+  std::vector<ClassId> Classes() const;
+
+  /// All attributes mentioned anywhere, ascending and unique.
+  std::vector<AttributeId> Attributes() const;
+
+ private:
+  struct PerClass {
+    std::vector<AttributeId> required;  // sorted, unique
+    std::vector<AttributeId> allowed;   // sorted, unique, superset of required
+  };
+
+  std::map<ClassId, PerClass> per_class_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SCHEMA_ATTRIBUTE_SCHEMA_H_

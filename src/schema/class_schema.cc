@@ -1,0 +1,112 @@
+#include "schema/class_schema.h"
+
+#include <algorithm>
+
+namespace ldapbound {
+
+ClassSchema::ClassSchema(ClassId top_class) : top_(top_class) {
+  core_[top_] = CoreInfo{};
+}
+
+Status ClassSchema::AddCoreClass(ClassId cls, ClassId parent) {
+  if (Contains(cls)) {
+    return Status::AlreadyExists("class already in schema");
+  }
+  auto it = core_.find(parent);
+  if (it == core_.end()) {
+    return Status::NotFound("parent is not a core class of this schema");
+  }
+  CoreInfo info;
+  info.parent = parent;
+  info.depth = it->second.depth + 1;
+  height_ = std::max(height_, info.depth);
+  core_.emplace(cls, std::move(info));
+  return Status::OK();
+}
+
+Status ClassSchema::AddAuxiliaryClass(ClassId cls) {
+  if (Contains(cls)) {
+    return Status::AlreadyExists("class already in schema");
+  }
+  aux_.emplace(cls, 0);
+  return Status::OK();
+}
+
+Status ClassSchema::AllowAuxiliary(ClassId core, ClassId aux) {
+  auto it = core_.find(core);
+  if (it == core_.end()) {
+    return Status::NotFound("not a core class of this schema");
+  }
+  if (!IsAuxiliary(aux)) {
+    return Status::NotFound("not an auxiliary class of this schema");
+  }
+  std::vector<ClassId>& v = it->second.aux_allowed;
+  auto pos = std::lower_bound(v.begin(), v.end(), aux);
+  if (pos == v.end() || *pos != aux) v.insert(pos, aux);
+  return Status::OK();
+}
+
+bool ClassSchema::IsSubclassOf(ClassId sub, ClassId super) const {
+  auto sub_it = core_.find(sub);
+  auto super_it = core_.find(super);
+  if (sub_it == core_.end() || super_it == core_.end()) return false;
+  uint32_t target_depth = super_it->second.depth;
+  ClassId cur = sub;
+  uint32_t depth = sub_it->second.depth;
+  while (depth > target_depth) {
+    cur = core_.at(cur).parent;
+    --depth;
+  }
+  return cur == super;
+}
+
+bool ClassSchema::AreExclusive(ClassId a, ClassId b) const {
+  if (!IsCore(a) || !IsCore(b)) return false;
+  return !IsSubclassOf(a, b) && !IsSubclassOf(b, a);
+}
+
+std::vector<ClassId> ClassSchema::AncestorsOf(ClassId cls) const {
+  std::vector<ClassId> out;
+  ClassId cur = cls;
+  while (cur != kInvalidClassId) {
+    out.push_back(cur);
+    cur = core_.at(cur).parent;
+  }
+  return out;
+}
+
+const std::vector<ClassId>& ClassSchema::AuxAllowed(ClassId core) const {
+  return core_.at(core).aux_allowed;
+}
+
+size_t ClassSchema::MaxAuxSize() const {
+  size_t best = 0;
+  for (const auto& [_, info] : core_) {
+    best = std::max(best, info.aux_allowed.size());
+  }
+  return best;
+}
+
+std::vector<ClassId> ClassSchema::CoreClasses() const {
+  std::vector<ClassId> out;
+  out.reserve(core_.size());
+  for (const auto& [cls, _] : core_) out.push_back(cls);
+  return out;
+}
+
+std::vector<ClassId> ClassSchema::AuxiliaryClasses() const {
+  std::vector<ClassId> out;
+  out.reserve(aux_.size());
+  for (const auto& [cls, _] : aux_) out.push_back(cls);
+  return out;
+}
+
+std::vector<ClassId> ClassSchema::ChildrenOf(ClassId cls) const {
+  std::vector<ClassId> out;
+  for (const auto& [c, info] : core_) {
+    if (info.parent == cls) out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace ldapbound

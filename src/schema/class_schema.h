@@ -1,0 +1,94 @@
+#ifndef LDAPBOUND_SCHEMA_CLASS_SCHEMA_H_
+#define LDAPBOUND_SCHEMA_CLASS_SCHEMA_H_
+
+#include <map>
+#include <vector>
+
+#include "model/vocabulary.h"
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// The class schema `H = (Cc, E, Aux)` of Definition 2.3: a single
+/// inheritance tree of *core* object classes rooted at `top`, a set of
+/// *auxiliary* classes, and per core class the auxiliary classes its
+/// members may additionally belong to.
+///
+/// Derived judgments (the paper's §2.2 notation):
+///  - `ci ⊑ cj` ("ci isa cj", written ci—cj): IsSubclassOf — an entry of ci
+///    must also belong to cj;
+///  - `ci ⋈ cj` (ci ∦ cj): AreExclusive — single inheritance forbids any
+///    entry from belonging to two incomparable core classes.
+class ClassSchema {
+ public:
+  /// The schema starts containing only the core class `top`.
+  explicit ClassSchema(ClassId top_class);
+
+  /// Adds a core class under `parent` (which must be a known core class).
+  Status AddCoreClass(ClassId cls, ClassId parent);
+
+  /// Adds an auxiliary class. Auxiliary classes are not in the tree.
+  Status AddAuxiliaryClass(ClassId cls);
+
+  /// Permits members of core class `core` to also belong to auxiliary
+  /// class `aux` (i.e. `aux ∈ Aux(core)`).
+  Status AllowAuxiliary(ClassId core, ClassId aux);
+
+  bool IsCore(ClassId cls) const { return core_.count(cls) > 0; }
+  bool IsAuxiliary(ClassId cls) const { return aux_.count(cls) > 0; }
+  /// True if `cls` is mentioned in the schema (core or auxiliary).
+  bool Contains(ClassId cls) const { return IsCore(cls) || IsAuxiliary(cls); }
+
+  ClassId top_class() const { return top_; }
+
+  /// Parent in the core tree; kInvalidClassId for `top`.
+  /// Precondition: IsCore(cls).
+  ClassId ParentOf(ClassId cls) const { return core_.at(cls).parent; }
+
+  /// Depth in the core tree; `top` has depth 0.
+  uint32_t DepthOf(ClassId cls) const { return core_.at(cls).depth; }
+
+  /// Height of the core tree (max depth); the `depth(H)` of Theorem 3.1.
+  uint32_t Height() const { return height_; }
+
+  /// Reflexive subclass test over the core tree: true iff `sub` equals
+  /// `super` or lies below it. O(depth difference).
+  bool IsSubclassOf(ClassId sub, ClassId super) const;
+
+  /// True iff `a` and `b` are incomparable core classes — single
+  /// inheritance then makes co-membership impossible (`a ⋈ b`).
+  bool AreExclusive(ClassId a, ClassId b) const;
+
+  /// `cls` and its proper ancestors, self first, ending at `top`.
+  /// Precondition: IsCore(cls).
+  std::vector<ClassId> AncestorsOf(ClassId cls) const;
+
+  /// `Aux(core)`: sorted; empty if none. Precondition: IsCore(core).
+  const std::vector<ClassId>& AuxAllowed(ClassId core) const;
+
+  /// Largest Aux set size: the `max |Aux(c)|` of Theorem 3.1.
+  size_t MaxAuxSize() const;
+
+  /// Core classes, ascending by id.
+  std::vector<ClassId> CoreClasses() const;
+  /// Auxiliary classes, ascending by id.
+  std::vector<ClassId> AuxiliaryClasses() const;
+  /// Direct children of `cls` in the core tree, ascending.
+  std::vector<ClassId> ChildrenOf(ClassId cls) const;
+
+ private:
+  struct CoreInfo {
+    ClassId parent = kInvalidClassId;
+    uint32_t depth = 0;
+    std::vector<ClassId> aux_allowed;  // sorted, unique
+  };
+
+  ClassId top_;
+  std::map<ClassId, CoreInfo> core_;
+  std::map<ClassId, char> aux_;
+  uint32_t height_ = 0;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SCHEMA_CLASS_SCHEMA_H_

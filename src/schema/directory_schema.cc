@@ -1,0 +1,66 @@
+#include "schema/directory_schema.h"
+
+#include <algorithm>
+
+namespace ldapbound {
+
+void DirectorySchema::AddKeyAttribute(AttributeId attr) {
+  auto it = std::lower_bound(keys_.begin(), keys_.end(), attr);
+  if (it == keys_.end() || *it != attr) keys_.insert(it, attr);
+}
+
+Status DirectorySchema::Validate() const {
+  for (ClassId cls : attributes_.Classes()) {
+    if (cls >= vocab_->num_classes()) {
+      return Status::OutOfRange("attribute schema: class id out of range");
+    }
+    if (!classes_.Contains(cls)) {
+      return Status::FailedPrecondition(
+          "attribute schema mentions class '" + vocab_->ClassName(cls) +
+          "' that is not in the class schema");
+    }
+    for (AttributeId attr : attributes_.Allowed(cls)) {
+      if (attr >= vocab_->num_attributes()) {
+        return Status::OutOfRange(
+            "attribute schema: attribute id out of range");
+      }
+    }
+  }
+
+  auto check_core = [&](ClassId cls, const char* where) -> Status {
+    if (cls >= vocab_->num_classes()) {
+      return Status::OutOfRange(std::string(where) +
+                                ": class id out of range");
+    }
+    if (!classes_.IsCore(cls)) {
+      return Status::FailedPrecondition(
+          std::string(where) + ": class '" + vocab_->ClassName(cls) +
+          "' is not a core class (Definition 2.4 requires core classes)");
+    }
+    return Status::OK();
+  };
+
+  for (ClassId cls : structure_.required_classes()) {
+    LDAPBOUND_RETURN_IF_ERROR(check_core(cls, "structure schema (Cr)"));
+  }
+  for (const StructuralRelationship& rel : structure_.required()) {
+    LDAPBOUND_RETURN_IF_ERROR(check_core(rel.source, "structure schema (Er)"));
+    LDAPBOUND_RETURN_IF_ERROR(check_core(rel.target, "structure schema (Er)"));
+  }
+  for (const StructuralRelationship& rel : structure_.forbidden()) {
+    LDAPBOUND_RETURN_IF_ERROR(check_core(rel.source, "structure schema (Ef)"));
+    LDAPBOUND_RETURN_IF_ERROR(check_core(rel.target, "structure schema (Ef)"));
+  }
+  for (AttributeId attr : keys_) {
+    if (attr >= vocab_->num_attributes()) {
+      return Status::OutOfRange("key attribute id out of range");
+    }
+    if (attr == vocab_->objectclass_attr()) {
+      return Status::FailedPrecondition(
+          "objectClass cannot be a key attribute");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ldapbound

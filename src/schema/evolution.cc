@@ -1,0 +1,149 @@
+#include "schema/evolution.h"
+
+namespace ldapbound {
+
+std::string SchemaChange::ToString(const Vocabulary& vocab) const {
+  auto cls_name = [&](ClassId c) {
+    return c == kInvalidClassId ? std::string("?") : vocab.ClassName(c);
+  };
+  auto attr_name = [&](AttributeId a) {
+    return a == kInvalidAttributeId ? std::string("?")
+                                    : vocab.AttributeName(a);
+  };
+  switch (kind) {
+    case Kind::kAddAllowedAttribute:
+      return "allow attribute " + attr_name(attr) + " on " + cls_name(cls);
+    case Kind::kAddAuxiliaryAllowance:
+      return "allow auxiliary " + cls_name(other_cls) + " on " +
+             cls_name(cls);
+    case Kind::kAddCoreClass:
+      return "add core class " + cls_name(other_cls) + " under " +
+             cls_name(cls);
+    case Kind::kAddAuxiliaryClass:
+      return "add auxiliary class " + cls_name(other_cls);
+    case Kind::kRemoveRequiredClass:
+      return "drop required class " + cls_name(cls);
+    case Kind::kRemoveRequiredEdge:
+      return "drop required " + relationship.ToString(vocab);
+    case Kind::kRemoveForbiddenEdge:
+      return "drop forbidden " + relationship.ToString(vocab);
+    case Kind::kRemoveRequiredAttribute:
+      return "make attribute " + attr_name(attr) + " optional on " +
+             cls_name(cls);
+    case Kind::kAddRequiredAttribute:
+      return "require attribute " + attr_name(attr) + " on " + cls_name(cls);
+    case Kind::kAddRequiredClass:
+      return "require class " + cls_name(cls);
+    case Kind::kAddRequiredEdge:
+      return "require " + relationship.ToString(vocab);
+    case Kind::kAddForbiddenEdge:
+      return "forbid " + relationship.ToString(vocab);
+    case Kind::kAddKeyAttribute:
+      return "declare key attribute " + attr_name(attr);
+  }
+  return "?";
+}
+
+bool IsLegalityPreserving(SchemaChange::Kind kind) {
+  switch (kind) {
+    case SchemaChange::Kind::kAddAllowedAttribute:
+    case SchemaChange::Kind::kAddAuxiliaryAllowance:
+    case SchemaChange::Kind::kAddCoreClass:
+    case SchemaChange::Kind::kAddAuxiliaryClass:
+    case SchemaChange::Kind::kRemoveRequiredClass:
+    case SchemaChange::Kind::kRemoveRequiredEdge:
+    case SchemaChange::Kind::kRemoveForbiddenEdge:
+    case SchemaChange::Kind::kRemoveRequiredAttribute:
+      return true;
+    case SchemaChange::Kind::kAddRequiredAttribute:
+    case SchemaChange::Kind::kAddRequiredClass:
+    case SchemaChange::Kind::kAddRequiredEdge:
+    case SchemaChange::Kind::kAddForbiddenEdge:
+    case SchemaChange::Kind::kAddKeyAttribute:
+      return false;
+  }
+  return false;
+}
+
+Status ApplySchemaChange(DirectorySchema* schema,
+                         const SchemaChange& change) {
+  const Vocabulary& vocab = schema->vocab();
+  auto check_class = [&](ClassId cls) -> Status {
+    if (cls >= vocab.num_classes() || !schema->classes().Contains(cls)) {
+      return Status::NotFound("class is not part of the schema");
+    }
+    return Status::OK();
+  };
+  auto check_attr = [&](AttributeId attr) -> Status {
+    if (attr >= vocab.num_attributes()) {
+      return Status::OutOfRange("attribute id out of range");
+    }
+    return Status::OK();
+  };
+
+  switch (change.kind) {
+    case SchemaChange::Kind::kAddAllowedAttribute:
+      LDAPBOUND_RETURN_IF_ERROR(check_class(change.cls));
+      LDAPBOUND_RETURN_IF_ERROR(check_attr(change.attr));
+      schema->mutable_attributes().AddAllowed(change.cls, change.attr);
+      return Status::OK();
+    case SchemaChange::Kind::kAddAuxiliaryAllowance:
+      return schema->mutable_classes().AllowAuxiliary(change.cls,
+                                                      change.other_cls);
+    case SchemaChange::Kind::kAddCoreClass:
+      return schema->mutable_classes().AddCoreClass(change.other_cls,
+                                                    change.cls);
+    case SchemaChange::Kind::kAddAuxiliaryClass:
+      return schema->mutable_classes().AddAuxiliaryClass(change.other_cls);
+    case SchemaChange::Kind::kRemoveRequiredClass:
+      return schema->mutable_structure().RemoveRequiredClass(change.cls);
+    case SchemaChange::Kind::kRemoveRequiredEdge:
+      return schema->mutable_structure().RemoveRequired(
+          change.relationship.source, change.relationship.axis,
+          change.relationship.target);
+    case SchemaChange::Kind::kRemoveForbiddenEdge:
+      return schema->mutable_structure().RemoveForbidden(
+          change.relationship.source, change.relationship.axis,
+          change.relationship.target);
+    case SchemaChange::Kind::kRemoveRequiredAttribute:
+      return schema->mutable_attributes().RemoveRequired(change.cls,
+                                                         change.attr);
+    case SchemaChange::Kind::kAddRequiredAttribute:
+      LDAPBOUND_RETURN_IF_ERROR(check_class(change.cls));
+      LDAPBOUND_RETURN_IF_ERROR(check_attr(change.attr));
+      schema->mutable_attributes().AddRequired(change.cls, change.attr);
+      return Status::OK();
+    case SchemaChange::Kind::kAddRequiredClass:
+      LDAPBOUND_RETURN_IF_ERROR(check_class(change.cls));
+      if (!schema->classes().IsCore(change.cls)) {
+        return Status::FailedPrecondition(
+            "required classes must be core classes");
+      }
+      schema->mutable_structure().RequireClass(change.cls);
+      return Status::OK();
+    case SchemaChange::Kind::kAddRequiredEdge:
+      LDAPBOUND_RETURN_IF_ERROR(check_class(change.relationship.source));
+      LDAPBOUND_RETURN_IF_ERROR(check_class(change.relationship.target));
+      schema->mutable_structure().Require(change.relationship.source,
+                                          change.relationship.axis,
+                                          change.relationship.target);
+      return Status::OK();
+    case SchemaChange::Kind::kAddForbiddenEdge:
+      LDAPBOUND_RETURN_IF_ERROR(check_class(change.relationship.source));
+      LDAPBOUND_RETURN_IF_ERROR(check_class(change.relationship.target));
+      return schema->mutable_structure().Forbid(change.relationship.source,
+                                                change.relationship.axis,
+                                                change.relationship.target);
+    case SchemaChange::Kind::kAddKeyAttribute:
+      LDAPBOUND_RETURN_IF_ERROR(check_attr(change.attr));
+      if (change.attr == vocab.objectclass_attr()) {
+        return Status::FailedPrecondition(
+            "objectClass cannot be a key attribute");
+      }
+      schema->AddKeyAttribute(change.attr);
+      return Status::OK();
+  }
+  return Status::InvalidArgument("unknown schema change kind");
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,64 @@
+#ifndef LDAPBOUND_SCHEMA_EVOLUTION_H_
+#define LDAPBOUND_SCHEMA_EVOLUTION_H_
+
+#include <string>
+
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+
+/// One evolution step of a bounding-schema. Section 6.2 observes that many
+/// directory schema changes are "extremely lightweight, involving no
+/// modifications to existing directory entries" — here that intuition is
+/// made precise: a change is *legality-preserving* when every instance
+/// legal under the old schema is legal under the evolved schema, so no
+/// revalidation is needed.
+struct SchemaChange {
+  enum class Kind : uint8_t {
+    // Legality-preserving (weaken upper bounds / extend the vocabulary):
+    kAddAllowedAttribute,    ///< alpha(cls) += attr
+    kAddAuxiliaryAllowance,  ///< Aux(cls) += aux_cls
+    kAddCoreClass,           ///< new (leaf) core class under `cls`
+    kAddAuxiliaryClass,      ///< new auxiliary class
+    kRemoveRequiredClass,    ///< Cr -= cls
+    kRemoveRequiredEdge,     ///< Er -= relationship
+    kRemoveForbiddenEdge,    ///< Ef -= relationship
+    kRemoveRequiredAttribute,///< rho(cls) -= attr (stays allowed)
+
+    // Not legality-preserving (tighten bounds; revalidate instances):
+    kAddRequiredAttribute,   ///< rho(cls) += attr
+    kAddRequiredClass,       ///< Cr += cls
+    kAddRequiredEdge,        ///< Er += relationship
+    kAddForbiddenEdge,       ///< Ef += relationship
+    kAddKeyAttribute,        ///< keys += attr
+  };
+
+  Kind kind;
+  ClassId cls = kInvalidClassId;        ///< primary class operand
+  ClassId other_cls = kInvalidClassId;  ///< aux class / new class / parent
+  AttributeId attr = kInvalidAttributeId;
+  StructuralRelationship relationship;  ///< for edge changes
+
+  /// Human-readable description.
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// True if applying `kind` can never turn a legal instance illegal.
+/// (Weakening an upper bound or dropping a lower bound only enlarges the
+/// set of legal instances; the converse changes may shrink it.)
+bool IsLegalityPreserving(SchemaChange::Kind kind);
+
+/// Applies `change` to `schema`. Well-formedness is enforced (e.g. the
+/// class operands must exist and have the right kind); removal changes are
+/// NotFound if the element is absent.
+///
+/// Note: applying a non-preserving change leaves existing directories
+/// possibly-illegal — callers should revalidate (LegalityChecker) and, for
+/// structure additions, re-check schema consistency (ConsistencyChecker),
+/// since adding required/forbidden elements can introduce the Section 5
+/// cycles and contradictions.
+Status ApplySchemaChange(DirectorySchema* schema, const SchemaChange& change);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SCHEMA_EVOLUTION_H_

@@ -1,0 +1,48 @@
+#ifndef LDAPBOUND_SCHEMA_SCHEMA_FORMAT_H_
+#define LDAPBOUND_SCHEMA_SCHEMA_FORMAT_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+
+/// Parses the bounding-schema text format into a DirectorySchema over
+/// `vocab` (attributes and classes are interned into it).
+///
+/// The format, line-oriented with `#` comments:
+///
+///   attribute <name> <string|integer|boolean>
+///
+///   class <name> : <parent> {        # core class; parent declared earlier
+///     require <attr>[, <attr>...]
+///     allow <attr>[, <attr>...]
+///     aux <class>[, <class>...]      # allowed auxiliary classes
+///   }
+///
+///   auxclass <name> {                # auxiliary class
+///     require <attr>[, ...]
+///     allow <attr>[, ...]
+///   }
+///
+///   structure {
+///     require-class <class>                       # c-down-arrow
+///     require <class> <axis> <class>              # element of Er
+///     forbid <class> <child|descendant> <class>   # element of Ef
+///   }
+///
+/// where <axis> is child | descendant | parent | ancestor or the arrow
+/// aliases -> | ->> | <- | <<-. Undeclared attributes referenced in
+/// require/allow lines are defined as string-typed.
+Result<DirectorySchema> ParseDirectorySchema(
+    std::string_view text, std::shared_ptr<Vocabulary> vocab);
+
+/// Renders `schema` in the text format; the output reparses to an
+/// equivalent schema.
+std::string FormatDirectorySchema(const DirectorySchema& schema);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SCHEMA_SCHEMA_FORMAT_H_

@@ -1,0 +1,88 @@
+#include "schema/structure_schema.h"
+
+#include <algorithm>
+
+namespace ldapbound {
+
+std::string StructuralRelationship::ToString(const Vocabulary& vocab) const {
+  std::string arrow;
+  switch (axis) {
+    case Axis::kChild:
+      arrow = "->";
+      break;
+    case Axis::kDescendant:
+      arrow = "->>";
+      break;
+    case Axis::kParent:
+      arrow = "<-";
+      break;
+    case Axis::kAncestor:
+      arrow = "<<-";
+      break;
+  }
+  return vocab.ClassName(source) + " " + arrow + " " +
+         vocab.ClassName(target) + (forbidden ? " (forbidden)" : " (required)");
+}
+
+void StructureSchema::RequireClass(ClassId cls) {
+  auto it = std::lower_bound(required_classes_.begin(),
+                             required_classes_.end(), cls);
+  if (it == required_classes_.end() || *it != cls) {
+    required_classes_.insert(it, cls);
+  }
+}
+
+void StructureSchema::Require(ClassId source, Axis axis, ClassId target) {
+  StructuralRelationship rel{source, axis, target, /*forbidden=*/false};
+  if (std::find(required_.begin(), required_.end(), rel) == required_.end()) {
+    required_.push_back(rel);
+  }
+}
+
+Status StructureSchema::Forbid(ClassId source, Axis axis, ClassId target) {
+  if (axis != Axis::kChild && axis != Axis::kDescendant) {
+    return Status::InvalidArgument(
+        "forbidden relationships use only the child/descendant axes "
+        "(Definition 2.4)");
+  }
+  StructuralRelationship rel{source, axis, target, /*forbidden=*/true};
+  if (std::find(forbidden_.begin(), forbidden_.end(), rel) ==
+      forbidden_.end()) {
+    forbidden_.push_back(rel);
+  }
+  return Status::OK();
+}
+
+Status StructureSchema::RemoveRequiredClass(ClassId cls) {
+  auto it = std::lower_bound(required_classes_.begin(),
+                             required_classes_.end(), cls);
+  if (it == required_classes_.end() || *it != cls) {
+    return Status::NotFound("class is not in Cr");
+  }
+  required_classes_.erase(it);
+  return Status::OK();
+}
+
+Status StructureSchema::RemoveRequired(ClassId source, Axis axis,
+                                       ClassId target) {
+  StructuralRelationship rel{source, axis, target, /*forbidden=*/false};
+  auto it = std::find(required_.begin(), required_.end(), rel);
+  if (it == required_.end()) {
+    return Status::NotFound("relationship is not in Er");
+  }
+  required_.erase(it);
+  return Status::OK();
+}
+
+Status StructureSchema::RemoveForbidden(ClassId source, Axis axis,
+                                        ClassId target) {
+  StructuralRelationship rel{source, axis, target, /*forbidden=*/true};
+  auto it = std::find(forbidden_.begin(), forbidden_.end(), rel);
+  if (it == forbidden_.end()) {
+    return Status::NotFound("relationship is not in Ef");
+  }
+  forbidden_.erase(it);
+  return Status::OK();
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,90 @@
+#ifndef LDAPBOUND_SCHEMA_STRUCTURE_SCHEMA_H_
+#define LDAPBOUND_SCHEMA_STRUCTURE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "model/axis.h"
+#include "model/vocabulary.h"
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// One element of `Er` or `Ef` (Definition 2.4).
+///
+/// Required (`forbidden == false`), any axis: every entry belonging to
+/// `source` must have an `axis`-related entry belonging to `target` —
+/// e.g. {orgGroup, kDescendant, person} is the paper's
+/// `orgGroup —>> person⇓` ("every organizational group employs a person").
+///
+/// Forbidden (`forbidden == true`), axis ∈ {kChild, kDescendant}: no entry
+/// belonging to `source` may have an `axis`-related entry belonging to
+/// `target` — e.g. {person, kChild, top} forbids person entries from having
+/// any children.
+struct StructuralRelationship {
+  ClassId source = kInvalidClassId;
+  Axis axis = Axis::kChild;
+  ClassId target = kInvalidClassId;
+  bool forbidden = false;
+
+  friend bool operator==(const StructuralRelationship& a,
+                         const StructuralRelationship& b) = default;
+
+  /// Paper-style rendering, e.g. "orgGroup ->> person (required)".
+  std::string ToString(const Vocabulary& vocab) const;
+};
+
+/// The structure schema `S = (Cr, Er, Ef)` of Definition 2.4: required
+/// object classes, required structural relationships, forbidden structural
+/// relationships. All classes referenced must be core classes of the
+/// accompanying class schema (checked by DirectorySchema::Validate).
+class StructureSchema {
+ public:
+  StructureSchema() = default;
+
+  /// Adds `c⇓`: at least one entry of class `cls` must exist.
+  void RequireClass(ClassId cls);
+
+  /// Adds a required relationship (any axis).
+  void Require(ClassId source, Axis axis, ClassId target);
+
+  /// Adds a forbidden relationship; only child/descendant are expressible
+  /// (Definition 2.4 restricts Ef to the downward axes).
+  Status Forbid(ClassId source, Axis axis, ClassId target);
+
+  /// Removes `cls` from Cr; NotFound if absent.
+  Status RemoveRequiredClass(ClassId cls);
+
+  /// Removes an element of Er; NotFound if absent.
+  Status RemoveRequired(ClassId source, Axis axis, ClassId target);
+
+  /// Removes an element of Ef; NotFound if absent.
+  Status RemoveForbidden(ClassId source, Axis axis, ClassId target);
+
+  /// `Cr`, ascending and unique.
+  const std::vector<ClassId>& required_classes() const {
+    return required_classes_;
+  }
+  /// `Er`, in insertion order, unique.
+  const std::vector<StructuralRelationship>& required() const {
+    return required_;
+  }
+  /// `Ef`, in insertion order, unique.
+  const std::vector<StructuralRelationship>& forbidden() const {
+    return forbidden_;
+  }
+
+  /// |Cr| + |Er| + |Ef|: the |S| in Theorem 3.1's bound.
+  size_t Size() const {
+    return required_classes_.size() + required_.size() + forbidden_.size();
+  }
+
+ private:
+  std::vector<ClassId> required_classes_;
+  std::vector<StructuralRelationship> required_;
+  std::vector<StructuralRelationship> forbidden_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SCHEMA_STRUCTURE_SCHEMA_H_

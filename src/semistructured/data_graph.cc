@@ -1,0 +1,39 @@
+#include "semistructured/data_graph.h"
+
+#include <algorithm>
+
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+GraphNodeId DataGraph::AddNode(std::string label) {
+  GraphNodeId id = static_cast<GraphNodeId>(labels_.size());
+  by_label_[ToLower(label)].push_back(id);
+  labels_.push_back(std::move(label));
+  successors_.emplace_back();
+  predecessors_.emplace_back();
+  return id;
+}
+
+Status DataGraph::AddEdge(GraphNodeId from, GraphNodeId to) {
+  if (from >= labels_.size() || to >= labels_.size()) {
+    return Status::OutOfRange("edge endpoint out of range");
+  }
+  std::vector<GraphNodeId>& succ = successors_[from];
+  if (std::find(succ.begin(), succ.end(), to) != succ.end()) {
+    return Status::OK();  // parallel edge: no-op
+  }
+  succ.push_back(to);
+  predecessors_[to].push_back(from);
+  ++num_edges_;
+  return Status::OK();
+}
+
+std::vector<GraphNodeId> DataGraph::NodesLabeled(
+    std::string_view label) const {
+  auto it = by_label_.find(ToLower(label));
+  if (it == by_label_.end()) return {};
+  return it->second;
+}
+
+}  // namespace ldapbound

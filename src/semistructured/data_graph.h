@@ -1,0 +1,55 @@
+#ifndef LDAPBOUND_SEMISTRUCTURED_DATA_GRAPH_H_
+#define LDAPBOUND_SEMISTRUCTURED_DATA_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// Node identifier in a DataGraph.
+using GraphNodeId = uint32_t;
+
+/// A labeled directed graph: the semi-structured (OEM-style) data model of
+/// Section 6. Unlike the directory forest, a data graph may share subtrees
+/// and contain cycles; "descendant" means reachability by a non-empty path.
+class DataGraph {
+ public:
+  DataGraph() = default;
+
+  /// Adds a node with the given label (labels need not be unique).
+  GraphNodeId AddNode(std::string label);
+
+  /// Adds a directed edge; self-loops and parallel edges are permitted
+  /// (parallel edges are de-duplicated).
+  Status AddEdge(GraphNodeId from, GraphNodeId to);
+
+  size_t NumNodes() const { return labels_.size(); }
+  size_t NumEdges() const { return num_edges_; }
+
+  const std::string& Label(GraphNodeId node) const { return labels_[node]; }
+  const std::vector<GraphNodeId>& Successors(GraphNodeId node) const {
+    return successors_[node];
+  }
+  const std::vector<GraphNodeId>& Predecessors(GraphNodeId node) const {
+    return predecessors_[node];
+  }
+
+  /// All nodes with the given label, ascending.
+  std::vector<GraphNodeId> NodesLabeled(std::string_view label) const;
+
+ private:
+  std::vector<std::string> labels_;
+  std::vector<std::vector<GraphNodeId>> successors_;
+  std::vector<std::vector<GraphNodeId>> predecessors_;
+  std::unordered_map<std::string, std::vector<GraphNodeId>> by_label_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SEMISTRUCTURED_DATA_GRAPH_H_

@@ -1,0 +1,105 @@
+#include "semistructured/graph_constraints.h"
+
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+std::string GraphConstraint::ToString() const {
+  std::string arrow;
+  switch (axis) {
+    case Axis::kChild:
+      arrow = "->";
+      break;
+    case Axis::kDescendant:
+      arrow = "->>";
+      break;
+    case Axis::kParent:
+      arrow = "<-";
+      break;
+    case Axis::kAncestor:
+      arrow = "<<-";
+      break;
+  }
+  return source + " " + arrow + " " + target +
+         (forbidden ? " (forbidden)" : " (required)");
+}
+
+namespace {
+
+// Marks every node from which a `target`-labeled node is reachable by a
+// non-empty path along `forward ? successors : predecessors`.
+std::vector<uint8_t> RelatedSet(const DataGraph& graph,
+                                std::string_view target, bool forward) {
+  std::vector<uint8_t> related(graph.NumNodes(), 0);
+  std::vector<GraphNodeId> queue;
+  // Seed with the immediate neighbors "one step before" target nodes.
+  for (GraphNodeId t : graph.NodesLabeled(target)) {
+    const std::vector<GraphNodeId>& step =
+        forward ? graph.Predecessors(t) : graph.Successors(t);
+    for (GraphNodeId n : step) {
+      if (!related[n]) {
+        related[n] = 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  while (!queue.empty()) {
+    GraphNodeId cur = queue.back();
+    queue.pop_back();
+    const std::vector<GraphNodeId>& step =
+        forward ? graph.Predecessors(cur) : graph.Successors(cur);
+    for (GraphNodeId n : step) {
+      if (!related[n]) {
+        related[n] = 1;
+        queue.push_back(n);
+      }
+    }
+  }
+  return related;
+}
+
+// Does `node` have a direct neighbor labeled `label` along the axis?
+bool HasNeighborLabeled(const DataGraph& graph, GraphNodeId node,
+                        std::string_view label, bool forward) {
+  const std::vector<GraphNodeId>& step =
+      forward ? graph.Successors(node) : graph.Predecessors(node);
+  for (GraphNodeId n : step) {
+    if (EqualsIgnoreCase(graph.Label(n), label)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool CheckGraphConstraints(const DataGraph& graph,
+                           const std::vector<GraphConstraint>& constraints,
+                           std::vector<GraphViolation>* out) {
+  bool ok = true;
+  for (const GraphConstraint& constraint : constraints) {
+    std::vector<GraphNodeId> sources = graph.NodesLabeled(constraint.source);
+    if (sources.empty()) continue;
+
+    const bool forward = constraint.axis == Axis::kChild ||
+                         constraint.axis == Axis::kDescendant;
+    const bool direct = constraint.axis == Axis::kChild ||
+                        constraint.axis == Axis::kParent;
+
+    std::vector<uint8_t> related;
+    if (!direct) {
+      related = RelatedSet(graph, constraint.target, forward);
+    }
+    for (GraphNodeId s : sources) {
+      bool has = direct ? HasNeighborLabeled(graph, s, constraint.target,
+                                             forward)
+                        : related[s] != 0;
+      if (has == constraint.forbidden) {
+        ok = false;
+        if (out == nullptr) return false;
+        out->push_back(GraphViolation{constraint, s});
+      }
+    }
+  }
+  return ok;
+}
+
+}  // namespace ldapbound

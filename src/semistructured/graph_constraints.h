@@ -1,0 +1,47 @@
+#ifndef LDAPBOUND_SEMISTRUCTURED_GRAPH_CONSTRAINTS_H_
+#define LDAPBOUND_SEMISTRUCTURED_GRAPH_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "model/axis.h"
+#include "semistructured/data_graph.h"
+
+namespace ldapbound {
+
+/// A bounding constraint over a data graph — the Section 6 transfer of the
+/// structure schema to semi-structured databases. Unlike the path
+/// constraints of Buneman et al. / Abiteboul-Vianu that the paper contrasts
+/// with, the descendant/ancestor forms place no bound on path length:
+///
+///  - required:  every node labeled `source` has an axis-related node
+///    labeled `target` (e.g. person —>> name: every person reaches a name);
+///  - forbidden (child/descendant only): no node labeled `source` has an
+///    axis-related node labeled `target` (e.g. country —>>∤ country).
+struct GraphConstraint {
+  std::string source;
+  Axis axis = Axis::kChild;
+  std::string target;
+  bool forbidden = false;
+
+  std::string ToString() const;
+};
+
+/// A violation: the node that lacks a required relative or possesses a
+/// forbidden one.
+struct GraphViolation {
+  GraphConstraint constraint;
+  GraphNodeId node = 0;
+};
+
+/// Checks `graph` against `constraints`. Each constraint is evaluated in
+/// O(V + E) by label-set BFS (reachability handles shared subtrees and
+/// cycles, which the tree-shaped directory evaluator never sees). Appends
+/// violations to `out` if non-null. Returns true iff all constraints hold.
+bool CheckGraphConstraints(const DataGraph& graph,
+                           const std::vector<GraphConstraint>& constraints,
+                           std::vector<GraphViolation>* out = nullptr);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SEMISTRUCTURED_GRAPH_CONSTRAINTS_H_

@@ -1,0 +1,311 @@
+#include "server/changelog.h"
+
+#include "server/directory_server.h"
+#include "util/base64.h"
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+void Changelog::Append(ChangeRecord record) {
+  record.sequence = next_sequence_++;
+  records_.push_back(std::move(record));
+}
+
+namespace {
+
+void EmitValueLine(std::string& out, const std::string& attr,
+                   const std::string& value) {
+  if (IsLdifSafe(value)) {
+    out += attr + ": " + value + "\n";
+  } else {
+    out += attr + ":: " + Base64Encode(value) + "\n";
+  }
+}
+
+}  // namespace
+
+std::string Changelog::ToLdif(const Vocabulary& vocab,
+                              uint64_t after_sequence) const {
+  std::string out;
+  for (const ChangeRecord& record : records_) {
+    if (record.sequence <= after_sequence) continue;
+    out += "# txn: " + std::to_string(record.txn) + "\n";
+    EmitValueLine(out, "dn", record.dn);
+    switch (record.kind) {
+      case ChangeRecord::Kind::kAdd: {
+        out += "changetype: add\n";
+        for (const std::string& cls : record.spec.classes) {
+          out += "objectClass: " + cls + "\n";
+        }
+        for (const auto& [attr, value] : record.spec.values) {
+          EmitValueLine(out, attr, value);
+        }
+        break;
+      }
+      case ChangeRecord::Kind::kDelete:
+        out += "changetype: delete\n";
+        break;
+      case ChangeRecord::Kind::kModify: {
+        out += "changetype: modify\n";
+        for (const Modification& mod : record.mods) {
+          switch (mod.kind) {
+            case Modification::Kind::kAddValue:
+              out += "add: " + vocab.AttributeName(mod.attr) + "\n";
+              EmitValueLine(out, vocab.AttributeName(mod.attr),
+                            mod.value.ToString());
+              break;
+            case Modification::Kind::kRemoveValue:
+              out += "delete: " + vocab.AttributeName(mod.attr) + "\n";
+              EmitValueLine(out, vocab.AttributeName(mod.attr),
+                            mod.value.ToString());
+              break;
+            case Modification::Kind::kAddClass:
+              out += "add: objectClass\n";
+              out += "objectClass: " + vocab.ClassName(mod.cls) + "\n";
+              break;
+            case Modification::Kind::kRemoveClass:
+              out += "delete: objectClass\n";
+              out += "objectClass: " + vocab.ClassName(mod.cls) + "\n";
+              break;
+          }
+          out += "-\n";
+        }
+        break;
+      }
+      case ChangeRecord::Kind::kModifyDn: {
+        out += "changetype: modrdn\n";
+        EmitValueLine(out, "newrdn",
+                      record.new_rdn.empty()
+                          ? std::string(
+                                SplitEscaped(record.dn, ',').front())
+                          : record.new_rdn);
+        out += "deleteoldrdn: 0\n";
+        EmitValueLine(out, "newsuperior", record.new_parent_dn);
+        break;
+      }
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+// A tokenized change record: its txn id and its raw "attr[:]: value"
+// lines in order.
+struct RawChange {
+  uint64_t txn = 0;
+  size_t line = 0;
+  std::vector<std::pair<std::string, std::string>> lines;  // attr, value
+};
+
+Status ChangeError(size_t line, const std::string& msg) {
+  return Status::InvalidArgument("change LDIF line " + std::to_string(line) +
+                                 ": " + msg);
+}
+
+Result<std::vector<RawChange>> TokenizeChanges(std::string_view text) {
+  std::vector<RawChange> changes;
+  RawChange current;
+  bool in_record = false;
+  uint64_t pending_txn = 0;
+
+  auto flush = [&]() {
+    if (in_record) changes.push_back(std::move(current));
+    current = RawChange{};
+    in_record = false;
+  };
+
+  size_t number = 0;
+  for (std::string_view raw : Split(text, '\n')) {
+    ++number;
+    if (!raw.empty() && raw.back() == '\r') raw.remove_suffix(1);
+    if (!raw.empty() && raw[0] == '#') {
+      std::string_view comment = StripWhitespace(raw.substr(1));
+      if (StartsWith(comment, "txn:")) {
+        pending_txn = 0;
+        for (char c : StripWhitespace(comment.substr(4))) {
+          if (c < '0' || c > '9') break;
+          pending_txn = pending_txn * 10 + (c - '0');
+        }
+      }
+      continue;
+    }
+    if (StripWhitespace(raw).empty()) {
+      flush();
+      continue;
+    }
+    if (raw == "-") {
+      current.lines.emplace_back("-", "");
+      continue;
+    }
+    size_t colon = raw.find(':');
+    if (colon == std::string_view::npos) {
+      return ChangeError(number, "expected 'attr: value'");
+    }
+    std::string attr(StripWhitespace(raw.substr(0, colon)));
+    std::string_view rest = raw.substr(colon + 1);
+    bool base64 = false;
+    if (!rest.empty() && rest[0] == ':') {
+      base64 = true;
+      rest.remove_prefix(1);
+    }
+    std::string value(StripWhitespace(rest));
+    if (base64) {
+      auto decoded = Base64Decode(value);
+      if (!decoded.ok()) return ChangeError(number, decoded.status().message());
+      value = *decoded;
+    }
+    if (!in_record) {
+      in_record = true;
+      current.txn = pending_txn;
+      current.line = number;
+    }
+    current.lines.emplace_back(std::move(attr), std::move(value));
+  }
+  flush();
+  return changes;
+}
+
+}  // namespace
+
+Result<size_t> ApplyChangeLdif(std::string_view text,
+                               DirectoryServer* server) {
+  LDAPBOUND_ASSIGN_OR_RETURN(std::vector<RawChange> changes,
+                             TokenizeChanges(text));
+  const Vocabulary& vocab = server->vocab();
+  size_t applied = 0;
+
+  // Pending transaction built from consecutive add/delete records sharing
+  // a txn id.
+  UpdateTransaction pending;
+  uint64_t pending_txn = 0;
+  size_t pending_count = 0;
+  auto commit_pending = [&]() -> Status {
+    if (pending.empty()) return Status::OK();
+    Status status = server->Apply(pending);
+    if (status.ok()) applied += pending_count;
+    pending = UpdateTransaction();
+    pending_txn = 0;
+    pending_count = 0;
+    return status;
+  };
+
+  for (const RawChange& change : changes) {
+    if (change.lines.empty() ||
+        !EqualsIgnoreCase(change.lines[0].first, "dn")) {
+      return ChangeError(change.line, "change record must start with dn:");
+    }
+    auto dn = DistinguishedName::Parse(change.lines[0].second);
+    if (!dn.ok()) return ChangeError(change.line, dn.status().message());
+    if (change.lines.size() < 2 ||
+        !EqualsIgnoreCase(change.lines[1].first, "changetype")) {
+      return ChangeError(change.line, "missing changetype:");
+    }
+    const std::string& type = change.lines[1].second;
+
+    if (EqualsIgnoreCase(type, "add") || EqualsIgnoreCase(type, "delete")) {
+      // Groupable records.
+      if (!pending.empty() && change.txn != pending_txn) {
+        LDAPBOUND_RETURN_IF_ERROR(commit_pending());
+      }
+      if (pending.empty()) pending_txn = change.txn;
+      if (EqualsIgnoreCase(type, "add")) {
+        EntrySpec spec;
+        for (size_t i = 2; i < change.lines.size(); ++i) {
+          const auto& [attr, value] = change.lines[i];
+          if (EqualsIgnoreCase(attr, "objectClass")) {
+            spec.classes.push_back(value);
+          } else {
+            spec.values.emplace_back(attr, value);
+          }
+        }
+        pending.Insert(*dn, std::move(spec));
+      } else {
+        pending.Delete(*dn);
+      }
+      ++pending_count;
+      // A record with txn 0 is never grouped with its neighbors.
+      if (change.txn == 0) LDAPBOUND_RETURN_IF_ERROR(commit_pending());
+      continue;
+    }
+
+    // Non-groupable change: flush any pending transaction first.
+    LDAPBOUND_RETURN_IF_ERROR(commit_pending());
+
+    if (EqualsIgnoreCase(type, "modify")) {
+      std::vector<Modification> mods;
+      size_t i = 2;
+      while (i < change.lines.size()) {
+        const auto& [op, attr_name] = change.lines[i];
+        bool add = EqualsIgnoreCase(op, "add");
+        bool del = EqualsIgnoreCase(op, "delete");
+        if (!add && !del) {
+          return ChangeError(change.line,
+                             "modify op must be add: or delete: (got '" +
+                                 op + "')");
+        }
+        ++i;
+        for (; i < change.lines.size() && change.lines[i].first != "-";
+             ++i) {
+          const auto& [attr, value] = change.lines[i];
+          Modification mod;
+          if (EqualsIgnoreCase(attr, "objectClass")) {
+            mod.kind = add ? Modification::Kind::kAddClass
+                           : Modification::Kind::kRemoveClass;
+            mod.cls = server->mutable_vocab().InternClass(value);
+          } else {
+            mod.kind = add ? Modification::Kind::kAddValue
+                           : Modification::Kind::kRemoveValue;
+            auto attr_id = vocab.FindAttribute(attr);
+            if (!attr_id.ok()) {
+              return ChangeError(change.line, attr_id.status().message());
+            }
+            mod.attr = *attr_id;
+            auto parsed = Value::Parse(vocab.AttributeType(*attr_id), value);
+            if (!parsed.ok()) {
+              return ChangeError(change.line, parsed.status().message());
+            }
+            mod.value = *parsed;
+          }
+          mods.push_back(std::move(mod));
+        }
+        if (i < change.lines.size() && change.lines[i].first == "-") ++i;
+      }
+      LDAPBOUND_RETURN_IF_ERROR(server->Modify(*dn, mods));
+      ++applied;
+      continue;
+    }
+
+    if (EqualsIgnoreCase(type, "modrdn") ||
+        EqualsIgnoreCase(type, "moddn")) {
+      std::string new_rdn;
+      std::string new_superior;
+      for (size_t i = 2; i < change.lines.size(); ++i) {
+        const auto& [attr, value] = change.lines[i];
+        if (EqualsIgnoreCase(attr, "newrdn")) new_rdn = value;
+        if (EqualsIgnoreCase(attr, "newsuperior")) new_superior = value;
+      }
+      if (new_rdn.empty()) {
+        return ChangeError(change.line, "modrdn without newrdn:");
+      }
+      DistinguishedName parent;
+      if (!new_superior.empty()) {
+        auto parsed = DistinguishedName::Parse(new_superior);
+        if (!parsed.ok()) {
+          return ChangeError(change.line, parsed.status().message());
+        }
+        parent = *parsed;
+      }
+      LDAPBOUND_RETURN_IF_ERROR(server->ModifyDn(*dn, parent, new_rdn));
+      ++applied;
+      continue;
+    }
+
+    return ChangeError(change.line, "unknown changetype '" + type + "'");
+  }
+  LDAPBOUND_RETURN_IF_ERROR(commit_pending());
+  return applied;
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,69 @@
+#ifndef LDAPBOUND_SERVER_CHANGELOG_H_
+#define LDAPBOUND_SERVER_CHANGELOG_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/directory.h"
+#include "server/modification.h"
+
+namespace ldapbound {
+
+class DirectoryServer;
+
+/// One committed DirectoryServer mutation, as recorded for replication and
+/// audit. Serialized as RFC 2849 LDIF *change records* (changetype:
+/// add / delete / modify / modrdn), with a `# txn: N` comment preserving
+/// the transaction grouping that Theorem 4.1 checking depends on —
+/// standard LDIF consumers ignore the comment; our replayer uses it to
+/// re-commit grouped records atomically.
+struct ChangeRecord {
+  enum class Kind : uint8_t { kAdd, kDelete, kModify, kModifyDn };
+
+  Kind kind;
+  uint64_t sequence = 0;  ///< assigned by Changelog::Append
+  uint64_t txn = 0;       ///< records sharing a txn id replay atomically
+  std::string dn;
+
+  EntrySpec spec;                   ///< kAdd
+  std::vector<Modification> mods;   ///< kModify
+  std::string new_parent_dn;        ///< kModifyDn
+  std::string new_rdn;              ///< kModifyDn (empty = keep)
+};
+
+/// An append-only log of committed changes.
+class Changelog {
+ public:
+  /// Appends, assigning the next sequence number.
+  void Append(ChangeRecord record);
+
+  const std::vector<ChangeRecord>& records() const { return records_; }
+  uint64_t last_sequence() const { return next_sequence_ - 1; }
+
+  /// Fresh transaction id for grouping the records of one commit.
+  uint64_t NextTxnId() { return next_txn_++; }
+
+  /// Serializes records with sequence > `after_sequence` as LDIF change
+  /// records.
+  std::string ToLdif(const Vocabulary& vocab,
+                     uint64_t after_sequence = 0) const;
+
+ private:
+  std::vector<ChangeRecord> records_;
+  uint64_t next_sequence_ = 1;
+  uint64_t next_txn_ = 1;
+};
+
+/// Parses LDIF change records and applies them to `server` through its
+/// guarded operations (records sharing a `# txn:` id commit as one
+/// transaction). Stops at the first failure, returning it; previously
+/// applied changes remain (replication is sequential). Returns the number
+/// of change records applied.
+Result<size_t> ApplyChangeLdif(std::string_view text,
+                               DirectoryServer* server);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SERVER_CHANGELOG_H_

@@ -1,0 +1,295 @@
+#include "server/directory_server.h"
+
+#include "consistency/inference.h"
+#include "core/legality_checker.h"
+#include "ldap/filter.h"
+#include "ldap/ldif.h"
+#include "schema/schema_format.h"
+#include "update/incremental.h"
+
+namespace ldapbound {
+
+DirectoryServer::DirectoryServer(std::shared_ptr<Vocabulary> vocab,
+                                 DirectorySchema schema)
+    : vocab_(std::move(vocab)),
+      schema_(std::make_unique<DirectorySchema>(std::move(schema))),
+      directory_(std::make_unique<Directory>(vocab_)) {}
+
+Result<DirectoryServer> DirectoryServer::Create(
+    std::string_view schema_text) {
+  auto vocab = std::make_shared<Vocabulary>();
+  LDAPBOUND_ASSIGN_OR_RETURN(DirectorySchema schema,
+                             ParseDirectorySchema(schema_text, vocab));
+  return Create(std::move(vocab), std::move(schema));
+}
+
+Result<DirectoryServer> DirectoryServer::Create(
+    std::shared_ptr<Vocabulary> vocab, DirectorySchema schema) {
+  LDAPBOUND_RETURN_IF_ERROR(schema.Validate());
+  ConsistencyChecker consistency(schema);
+  LDAPBOUND_RETURN_IF_ERROR(consistency.EnsureConsistent());
+  return DirectoryServer(std::move(vocab), std::move(schema));
+}
+
+Status DirectoryServer::Add(const DistinguishedName& dn, EntrySpec spec) {
+  UpdateTransaction txn;
+  txn.Insert(dn, std::move(spec));
+  Status status = Apply(txn);
+  if (status.ok()) ++stats_.adds;
+  return status;
+}
+
+Status DirectoryServer::Delete(const DistinguishedName& dn) {
+  UpdateTransaction txn;
+  txn.Delete(dn);
+  Status status = Apply(txn);
+  if (status.ok()) ++stats_.deletes;
+  return status;
+}
+
+Status DirectoryServer::Apply(const UpdateTransaction& txn,
+                              CommitStats* stats) {
+  TransactionExecutor executor(directory_.get(), *schema_);
+  Status status = executor.Commit(txn, stats);
+  if (!status.ok()) {
+    ++stats_.rejected;
+    return status;
+  }
+  if (changelog_ != nullptr && !txn.empty()) {
+    uint64_t txn_id = changelog_->NextTxnId();
+    for (const UpdateOp& op : txn.ops()) {
+      ChangeRecord record;
+      record.txn = txn_id;
+      record.dn = op.dn.ToString();
+      if (op.kind == UpdateOp::Kind::kInsert) {
+        record.kind = ChangeRecord::Kind::kAdd;
+        record.spec = op.spec;
+      } else {
+        record.kind = ChangeRecord::Kind::kDelete;
+      }
+      changelog_->Append(std::move(record));
+    }
+  }
+  return status;
+}
+
+DirectoryServer::Modification DirectoryServer::Inverse(
+    const Modification& mod) {
+  Modification inverse = mod;
+  switch (mod.kind) {
+    case Modification::Kind::kAddValue:
+      inverse.kind = Modification::Kind::kRemoveValue;
+      break;
+    case Modification::Kind::kRemoveValue:
+      inverse.kind = Modification::Kind::kAddValue;
+      break;
+    case Modification::Kind::kAddClass:
+      inverse.kind = Modification::Kind::kRemoveClass;
+      break;
+    case Modification::Kind::kRemoveClass:
+      inverse.kind = Modification::Kind::kAddClass;
+      break;
+  }
+  return inverse;
+}
+
+Status DirectoryServer::ApplyOneModification(EntryId id,
+                                             const Modification& mod,
+                                             std::vector<Modification>* undo) {
+  const Entry& entry = directory_->entry(id);
+  switch (mod.kind) {
+    case Modification::Kind::kAddValue:
+      if (entry.HasValue(mod.attr, mod.value)) return Status::OK();  // no-op
+      LDAPBOUND_RETURN_IF_ERROR(
+          directory_->AddValue(id, mod.attr, mod.value));
+      break;
+    case Modification::Kind::kRemoveValue:
+      if (!entry.HasValue(mod.attr, mod.value)) return Status::OK();
+      LDAPBOUND_RETURN_IF_ERROR(
+          directory_->RemoveValue(id, mod.attr, mod.value));
+      break;
+    case Modification::Kind::kAddClass:
+      if (entry.HasClass(mod.cls)) return Status::OK();
+      LDAPBOUND_RETURN_IF_ERROR(directory_->AddClass(id, mod.cls));
+      break;
+    case Modification::Kind::kRemoveClass:
+      if (!entry.HasClass(mod.cls)) return Status::OK();
+      LDAPBOUND_RETURN_IF_ERROR(directory_->RemoveClass(id, mod.cls));
+      break;
+  }
+  undo->push_back(Inverse(mod));
+  return Status::OK();
+}
+
+Status DirectoryServer::Modify(const DistinguishedName& dn,
+                               const std::vector<Modification>& mods) {
+  auto resolved = ResolveDn(*directory_, dn);
+  if (!resolved.ok()) {
+    ++stats_.rejected;
+    return resolved.status();
+  }
+  EntryId id = *resolved;
+
+  std::vector<Modification> undo;
+  auto rollback = [&]() {
+    for (auto it = undo.rbegin(); it != undo.rend(); ++it) {
+      std::vector<Modification> ignored;
+      (void)ApplyOneModification(id, *it, &ignored);
+    }
+  };
+
+  for (const Modification& mod : mods) {
+    Status status = ApplyOneModification(id, mod, &undo);
+    if (!status.ok()) {
+      rollback();
+      ++stats_.rejected;
+      return status;
+    }
+  }
+
+  // Which class memberships actually changed (derived from the undo log:
+  // it records only effective mutations).
+  std::vector<ClassId> added_classes;
+  std::vector<ClassId> removed_classes;
+  for (const Modification& inverse : undo) {
+    if (inverse.kind == Modification::Kind::kRemoveClass) {
+      added_classes.push_back(inverse.cls);  // inverse of an effective add
+    } else if (inverse.kind == Modification::Kind::kAddClass) {
+      removed_classes.push_back(inverse.cls);
+    }
+  }
+
+  // Re-check. Value-only modifies need the entry's content plus key
+  // uniqueness; class changes run the reclassification validator, which
+  // covers the entry's content and exactly the entries whose structural
+  // requirements can be affected.
+  LegalityChecker checker(*schema_);
+  std::vector<Violation> violations;
+  bool ok;
+  if (added_classes.empty() && removed_classes.empty()) {
+    ok = checker.CheckEntryContent(*directory_, id, &violations);
+  } else {
+    IncrementalValidator validator(*schema_);
+    ok = validator.CheckAfterReclassify(*directory_, id, added_classes,
+                                        removed_classes, &violations);
+  }
+  ok = checker.CheckKeys(*directory_, &violations) && ok;
+  if (!ok) {
+    rollback();
+    ++stats_.rejected;
+    return Status::Illegal("modify of '" + dn.ToString() +
+                           "' violates the schema:\n" +
+                           DescribeViolations(violations, *vocab_));
+  }
+  if (changelog_ != nullptr) {
+    ChangeRecord record;
+    record.kind = ChangeRecord::Kind::kModify;
+    record.txn = changelog_->NextTxnId();
+    record.dn = dn.ToString();
+    record.mods = mods;
+    changelog_->Append(std::move(record));
+  }
+  ++stats_.modifies;
+  return Status::OK();
+}
+
+Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
+                                 const DistinguishedName& new_parent_dn,
+                                 std::string new_rdn) {
+  auto entry = ResolveDn(*directory_, dn);
+  if (!entry.ok()) {
+    ++stats_.rejected;
+    return entry.status();
+  }
+  EntryId new_parent = kInvalidEntryId;
+  if (!new_parent_dn.IsEmpty()) {
+    auto resolved = ResolveDn(*directory_, new_parent_dn);
+    if (!resolved.ok()) {
+      ++stats_.rejected;
+      return resolved.status();
+    }
+    new_parent = *resolved;
+  }
+
+  EntryId old_parent = directory_->entry(*entry).parent();
+  std::string old_rdn = directory_->entry(*entry).rdn();
+
+  Status status = directory_->MoveSubtree(*entry, new_parent);
+  if (!status.ok()) {
+    ++stats_.rejected;
+    return status;
+  }
+  if (!new_rdn.empty()) {
+    status = directory_->Rename(*entry, new_rdn);
+    if (!status.ok()) {
+      (void)directory_->MoveSubtree(*entry, old_parent);
+      ++stats_.rejected;
+      return status;
+    }
+  }
+
+  IncrementalValidator validator(*schema_);
+  std::vector<Violation> violations;
+  if (!validator.CheckAfterMove(*directory_, *entry, old_parent,
+                                &violations)) {
+    (void)directory_->Rename(*entry, old_rdn);
+    (void)directory_->MoveSubtree(*entry, old_parent);
+    ++stats_.rejected;
+    return Status::Illegal("moving '" + dn.ToString() +
+                           "' violates the schema:\n" +
+                           DescribeViolations(violations, *vocab_));
+  }
+  if (changelog_ != nullptr) {
+    ChangeRecord record;
+    record.kind = ChangeRecord::Kind::kModifyDn;
+    record.txn = changelog_->NextTxnId();
+    record.dn = dn.ToString();
+    record.new_parent_dn = new_parent_dn.ToString();
+    record.new_rdn = directory_->entry(*entry).rdn();
+    changelog_->Append(std::move(record));
+  }
+  ++stats_.modifies;
+  return Status::OK();
+}
+
+Result<std::vector<EntryId>> DirectoryServer::Search(
+    const SearchRequest& request) const {
+  ++stats_.searches;
+  return ldapbound::Search(*directory_, request);
+}
+
+Result<std::vector<EntryId>> DirectoryServer::Search(
+    std::string_view base_dn, std::string_view filter) const {
+  SearchRequest request;
+  LDAPBOUND_ASSIGN_OR_RETURN(request.base,
+                             DistinguishedName::Parse(base_dn));
+  request.scope = SearchScope::kSubtree;
+  LDAPBOUND_ASSIGN_OR_RETURN(request.filter, ParseFilter(filter, *vocab_));
+  return Search(request);
+}
+
+Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
+  // Load into a scratch directory first so failures cannot disturb the
+  // live one; on success, load again into the live directory.
+  Directory scratch(vocab_);
+  {
+    std::string current = WriteLdif(*directory_);
+    LDAPBOUND_RETURN_IF_ERROR(LoadLdif(current, &scratch).status());
+  }
+  LDAPBOUND_ASSIGN_OR_RETURN(size_t created, LoadLdif(text, &scratch));
+  LegalityChecker checker(*schema_);
+  LDAPBOUND_RETURN_IF_ERROR(checker.EnsureLegal(scratch));
+  LDAPBOUND_RETURN_IF_ERROR(LoadLdif(text, directory_.get()).status());
+  return created;
+}
+
+std::string DirectoryServer::ExportLdif() const {
+  return WriteLdif(*directory_);
+}
+
+bool DirectoryServer::IsLegal() const {
+  LegalityChecker checker(*schema_);
+  return checker.CheckLegal(*directory_);
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,135 @@
+#ifndef LDAPBOUND_SERVER_DIRECTORY_SERVER_H_
+#define LDAPBOUND_SERVER_DIRECTORY_SERVER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ldap/search.h"
+#include "schema/directory_schema.h"
+#include "server/changelog.h"
+#include "server/modification.h"
+#include "update/transaction.h"
+
+namespace ldapbound {
+
+/// An embeddable, schema-guarded directory: the facade a directory
+/// application would link against. It owns a Directory and its
+/// bounding-schema and guarantees the invariant the paper is after —
+/// *every externally visible state is a legal instance*:
+///
+///  - construction verifies the schema is well-formed AND consistent
+///    (an inconsistent schema would make every mutation fail, §5);
+///  - Add / Delete / Apply run as transactions with the Theorem 4.1
+///    discipline (subtree normalization, incremental Figure 5 checks,
+///    rollback on violation);
+///  - Modify applies value/class mutations to one entry, re-checks
+///    incrementally, and undoes them on violation;
+///  - ImportLdif bulk-loads and validates, refusing illegal data sets.
+class DirectoryServer {
+ public:
+  /// Parses `schema_text`, checks consistency, starts with an empty
+  /// (trivially... only if Cr = ∅) directory. When the schema requires
+  /// classes, the instance is illegal-until-populated: bulk-load via
+  /// ImportLdif or build up with transactions; reads are always allowed.
+  static Result<DirectoryServer> Create(std::string_view schema_text);
+
+  /// Adopts an existing schema (validated + consistency-checked).
+  static Result<DirectoryServer> Create(std::shared_ptr<Vocabulary> vocab,
+                                        DirectorySchema schema);
+
+  DirectoryServer(DirectoryServer&&) = default;
+  DirectoryServer& operator=(DirectoryServer&&) = default;
+
+  const DirectorySchema& schema() const { return *schema_; }
+  const Directory& directory() const { return *directory_; }
+  const Vocabulary& vocab() const { return *vocab_; }
+  Vocabulary& mutable_vocab() { return *vocab_; }
+
+  /// One modification of a Modify request (see server/modification.h).
+  using Modification = ldapbound::Modification;
+
+  /// Adds one entry (a single-insert transaction).
+  Status Add(const DistinguishedName& dn, EntrySpec spec);
+
+  /// Deletes one leaf entry (a single-delete transaction).
+  Status Delete(const DistinguishedName& dn);
+
+  /// Applies a multi-operation transaction atomically.
+  Status Apply(const UpdateTransaction& txn, CommitStats* stats = nullptr);
+
+  /// Applies `mods` to the entry named `dn`, re-checks legality, and rolls
+  /// the entry back if the result would be illegal. Value-only mods re-check
+  /// the entry's content plus key uniqueness; class mods additionally
+  /// re-check the structure schema (class membership participates in
+  /// structural relationships).
+  Status Modify(const DistinguishedName& dn,
+                const std::vector<Modification>& mods);
+
+  /// The LDAP ModDN operation: moves the subtree named `dn` under
+  /// `new_parent_dn` (empty DN = make it a root), optionally renaming its
+  /// RDN to `new_rdn`. Incrementally re-checked (IncrementalValidator::
+  /// CheckAfterMove); moved back on violation.
+  Status ModifyDn(const DistinguishedName& dn,
+                  const DistinguishedName& new_parent_dn,
+                  std::string new_rdn = "");
+
+  /// Filtered, scoped search (read-only; no legality interaction).
+  Result<std::vector<EntryId>> Search(const SearchRequest& request) const;
+
+  /// Parses an RFC-1960 filter string and searches under `base_dn` with
+  /// subtree scope.
+  Result<std::vector<EntryId>> Search(std::string_view base_dn,
+                                      std::string_view filter) const;
+
+  /// Bulk-loads LDIF and validates the result; on any error or violation
+  /// the directory is left unchanged. Returns entries created.
+  /// NOTE: bulk imports are NOT recorded in the changelog — replication
+  /// setups should seed primary and replicas from the same LDIF before
+  /// enabling the log.
+  Result<size_t> ImportLdif(std::string_view text);
+
+  /// The directory as LDIF.
+  std::string ExportLdif() const;
+
+  /// True if the current instance is legal (an empty directory is legal
+  /// iff the schema requires no classes).
+  bool IsLegal() const;
+
+  /// Starts recording committed mutations as ChangeRecords (for
+  /// replication and audit; see server/changelog.h). Idempotent.
+  void EnableChangelog() {
+    if (changelog_ == nullptr) changelog_ = std::make_unique<Changelog>();
+  }
+
+  /// The change log, or nullptr when not enabled.
+  const Changelog* changelog() const { return changelog_.get(); }
+
+  /// Operation counters.
+  struct Stats {
+    size_t adds = 0;
+    size_t deletes = 0;
+    size_t modifies = 0;
+    size_t searches = 0;
+    size_t rejected = 0;  ///< mutations refused by the schema
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  DirectoryServer(std::shared_ptr<Vocabulary> vocab, DirectorySchema schema);
+
+  Status ApplyOneModification(EntryId id, const Modification& mod,
+                              std::vector<Modification>* undo);
+  static Modification Inverse(const Modification& mod);
+
+  std::shared_ptr<Vocabulary> vocab_;
+  std::unique_ptr<DirectorySchema> schema_;
+  std::unique_ptr<Directory> directory_;
+  std::unique_ptr<Changelog> changelog_;
+  mutable Stats stats_;  // search counting happens in const reads
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SERVER_DIRECTORY_SERVER_H_

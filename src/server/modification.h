@@ -1,0 +1,29 @@
+#ifndef LDAPBOUND_SERVER_MODIFICATION_H_
+#define LDAPBOUND_SERVER_MODIFICATION_H_
+
+#include <cstdint>
+
+#include "model/value.h"
+#include "model/vocabulary.h"
+
+namespace ldapbound {
+
+/// One modification of an LDAP Modify request, plus explicit class
+/// operations (standard LDAP folds those into objectClass value mods;
+/// both spellings are accepted and recorded canonically).
+struct Modification {
+  enum class Kind : uint8_t {
+    kAddValue,
+    kRemoveValue,
+    kAddClass,
+    kRemoveClass,
+  };
+  Kind kind;
+  AttributeId attr = kInvalidAttributeId;  // value mods
+  Value value;                             // value mods
+  ClassId cls = kInvalidClassId;           // class mods
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SERVER_MODIFICATION_H_

@@ -1,0 +1,46 @@
+#ifndef LDAPBOUND_UPDATE_SUBTREE_SNAPSHOT_H_
+#define LDAPBOUND_UPDATE_SUBTREE_SNAPSHOT_H_
+
+#include <string>
+#include <vector>
+
+#include "model/directory.h"
+
+namespace ldapbound {
+
+/// A detached copy of a directory subtree: enough to re-create it under the
+/// same parent. Used by TransactionExecutor to roll back subtree deletions
+/// when a later step of an update transaction turns out to be illegal.
+class SubtreeSnapshot {
+ public:
+  /// Captures the subtree rooted at `root` (which must be alive).
+  static Result<SubtreeSnapshot> Capture(const Directory& directory,
+                                         EntryId root);
+
+  /// Re-creates the subtree under `parent` (kInvalidEntryId for a root).
+  /// Returns the ids of the created entries in creation (preorder) order.
+  /// Note ids are freshly allocated — snapshots do not preserve ids.
+  Result<std::vector<EntryId>> Restore(Directory* directory,
+                                       EntryId parent) const;
+
+  /// Number of entries captured.
+  size_t Size() const { return nodes_.size(); }
+
+  /// The RDN of the captured subtree's root.
+  const std::string& RootRdn() const { return nodes_.front().rdn; }
+
+ private:
+  struct Node {
+    std::string rdn;
+    std::vector<ClassId> classes;
+    std::vector<AttributeValue> values;
+    // Index into nodes_ of the parent; -1 for the subtree root.
+    int parent = -1;
+  };
+
+  std::vector<Node> nodes_;  // preorder: parents precede children
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UPDATE_SUBTREE_SNAPSHOT_H_

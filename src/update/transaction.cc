@@ -1,0 +1,222 @@
+#include "update/transaction.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+UpdateTransaction& UpdateTransaction::Insert(DistinguishedName dn,
+                                             EntrySpec spec) {
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kInsert;
+  op.dn = std::move(dn);
+  op.spec = std::move(spec);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+UpdateTransaction& UpdateTransaction::Delete(DistinguishedName dn) {
+  UpdateOp op;
+  op.kind = UpdateOp::Kind::kDelete;
+  op.dn = std::move(dn);
+  ops_.push_back(std::move(op));
+  return *this;
+}
+
+namespace {
+
+std::string DnKey(const DistinguishedName& dn) {
+  return ToLower(dn.ToString());
+}
+
+}  // namespace
+
+Status TransactionExecutor::Normalize(
+    const UpdateTransaction& txn, std::vector<InsertGroup>* inserts,
+    std::vector<DistinguishedName>* delete_roots) const {
+  std::unordered_set<std::string> inserted;
+  std::unordered_set<std::string> deleted;
+  for (const UpdateOp& op : txn.ops()) {
+    std::string key = DnKey(op.dn);
+    if (op.dn.IsEmpty()) {
+      return Status::InvalidArgument("update op with empty DN");
+    }
+    auto& set = (op.kind == UpdateOp::Kind::kInsert) ? inserted : deleted;
+    if (!set.insert(key).second) {
+      return Status::InvalidArgument("duplicate update op for '" +
+                                     op.dn.ToString() + "'");
+    }
+  }
+  for (const std::string& key : inserted) {
+    if (deleted.count(key) > 0) {
+      return Status::InvalidArgument(
+          "transaction both inserts and deletes '" + key +
+          "' (operations must be distinct; see §4.1)");
+    }
+  }
+
+  // Group inserts into maximal subtrees: an op roots a group when its
+  // parent DN is not itself inserted by this transaction.
+  std::unordered_map<std::string, size_t> group_of_root;
+  for (const UpdateOp& op : txn.ops()) {
+    if (op.kind != UpdateOp::Kind::kInsert) continue;
+    DistinguishedName root = op.dn;
+    while (!root.Parent().IsEmpty() &&
+           inserted.count(DnKey(root.Parent())) > 0) {
+      root = root.Parent();
+    }
+    // Roots whose parent is an inserted DN only via a gap (parent missing
+    // from the transaction) will fail at apply time with NotFound.
+    std::string root_key = DnKey(root);
+    auto [it, fresh] = group_of_root.emplace(root_key, inserts->size());
+    if (fresh) inserts->emplace_back();
+    (*inserts)[it->second].ops.push_back(&op);
+  }
+  // Parents before children within each group.
+  for (InsertGroup& group : *inserts) {
+    std::stable_sort(group.ops.begin(), group.ops.end(),
+                     [](const UpdateOp* a, const UpdateOp* b) {
+                       return a->dn.Depth() < b->dn.Depth();
+                     });
+  }
+
+  // Delete roots: deleted entries whose parent is not deleted.
+  for (const UpdateOp& op : txn.ops()) {
+    if (op.kind != UpdateOp::Kind::kDelete) continue;
+    if (op.dn.Parent().IsEmpty() ||
+        deleted.count(DnKey(op.dn.Parent())) == 0) {
+      delete_roots->push_back(op.dn);
+    }
+  }
+  return Status::OK();
+}
+
+Status TransactionExecutor::Commit(const UpdateTransaction& txn,
+                                   CommitStats* stats) {
+  std::vector<InsertGroup> insert_groups;
+  std::vector<DistinguishedName> delete_roots;
+  LDAPBOUND_RETURN_IF_ERROR(Normalize(txn, &insert_groups, &delete_roots));
+
+  CommitStats local_stats;
+  std::vector<EntryId> inserted_roots;  // for rollback
+  struct AppliedDelete {
+    EntryId parent;
+    SubtreeSnapshot snapshot;
+  };
+  std::vector<AppliedDelete> applied_deletes;
+
+  auto rollback = [&]() {
+    for (const AppliedDelete& d : applied_deletes) {
+      // Restores cannot fail: the parent is alive and the RDN slot is free.
+      d.snapshot.Restore(directory_, d.parent);
+    }
+    for (EntryId root : inserted_roots) {
+      directory_->DeleteSubtree(root);
+    }
+  };
+
+  // Phase 1: apply inserted subtrees, checking after each (Theorem 4.1
+  // prescribes insertions before deletions).
+  for (const InsertGroup& group : insert_groups) {
+    std::vector<EntryId> created;
+    created.reserve(group.ops.size());
+    for (const UpdateOp* op : group.ops) {
+      EntryId parent = kInvalidEntryId;
+      DistinguishedName parent_dn = op->dn.Parent();
+      if (!parent_dn.IsEmpty()) {
+        auto resolved = ResolveDn(*directory_, parent_dn);
+        if (!resolved.ok()) {
+          // Creation of this subtree is impossible; undo and fail.
+          for (auto it = created.rbegin(); it != created.rend(); ++it) {
+            directory_->DeleteLeaf(*it);
+          }
+          rollback();
+          return Status::NotFound("insert '" + op->dn.ToString() +
+                                  "': parent entry does not exist");
+        }
+        parent = *resolved;
+      }
+      EntrySpec spec = op->spec;
+      spec.rdn = op->dn.Leaf();
+      auto id = directory_->AddEntryFromSpec(parent, spec);
+      if (!id.ok()) {
+        for (auto it = created.rbegin(); it != created.rend(); ++it) {
+          directory_->DeleteLeaf(*it);
+        }
+        rollback();
+        return id.status();
+      }
+      created.push_back(*id);
+    }
+    EntrySet delta(directory_->IdCapacity());
+    for (EntryId id : created) delta.Insert(id);
+    std::vector<Violation> violations;
+    if (!validator_.CheckAfterInsert(*directory_, delta, &violations)) {
+      rollback();
+      for (auto it = created.rbegin(); it != created.rend(); ++it) {
+        directory_->DeleteLeaf(*it);
+      }
+      return Status::Illegal(
+          "inserting subtree at '" + group.ops.front()->dn.ToString() +
+          "' violates the schema:\n" +
+          DescribeViolations(violations, schema_.vocab()));
+    }
+    inserted_roots.push_back(created.front());
+    local_stats.inserted_subtrees += 1;
+    local_stats.inserted_entries += created.size();
+  }
+
+  // Phase 2: deleted subtrees, checking before each.
+  for (const DistinguishedName& root_dn : delete_roots) {
+    auto root = ResolveDn(*directory_, root_dn);
+    if (!root.ok()) {
+      rollback();
+      return Status::NotFound("delete '" + root_dn.ToString() +
+                              "': no such entry");
+    }
+    // Every entry of the subtree must have been listed for deletion —
+    // transactions delete entries, not implicit subtrees.
+    std::unordered_set<std::string> deleted_keys;
+    for (const UpdateOp& op : txn.ops()) {
+      if (op.kind == UpdateOp::Kind::kDelete) {
+        deleted_keys.insert(DnKey(op.dn));
+      }
+    }
+    std::vector<EntryId> doomed = directory_->SubtreeEntries(*root);
+    for (EntryId id : doomed) {
+      auto dn = DnOf(*directory_, id);
+      if (!dn.ok() || deleted_keys.count(DnKey(*dn)) == 0) {
+        rollback();
+        return Status::InvalidArgument(
+            "transaction deletes '" + root_dn.ToString() +
+            "' but not all of its descendants (LDAP deletes leaves only)");
+      }
+    }
+    EntrySet delta(directory_->IdCapacity());
+    for (EntryId id : doomed) delta.Insert(id);
+    std::vector<Violation> violations;
+    if (!validator_.CheckBeforeDelete(*directory_, *root, delta,
+                                      &violations)) {
+      rollback();
+      return Status::Illegal(
+          "deleting subtree at '" + root_dn.ToString() +
+          "' violates the schema:\n" +
+          DescribeViolations(violations, schema_.vocab()));
+    }
+    EntryId parent = directory_->entry(*root).parent();
+    LDAPBOUND_ASSIGN_OR_RETURN(SubtreeSnapshot snapshot,
+                               SubtreeSnapshot::Capture(*directory_, *root));
+    LDAPBOUND_RETURN_IF_ERROR(directory_->DeleteSubtree(*root));
+    applied_deletes.push_back(AppliedDelete{parent, std::move(snapshot)});
+    local_stats.deleted_subtrees += 1;
+    local_stats.deleted_entries += doomed.size();
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return Status::OK();
+}
+
+}  // namespace ldapbound

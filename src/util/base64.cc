@@ -1,0 +1,102 @@
+#include "util/base64.h"
+
+#include <array>
+
+namespace ldapbound {
+
+namespace {
+
+constexpr char kAlphabet[] =
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+constexpr std::array<int8_t, 256> MakeDecodeTable() {
+  std::array<int8_t, 256> table{};
+  for (size_t i = 0; i < table.size(); ++i) table[i] = -1;
+  for (int8_t i = 0; i < 64; ++i) {
+    table[static_cast<unsigned char>(kAlphabet[i])] = i;
+  }
+  return table;
+}
+
+constexpr std::array<int8_t, 256> kDecode = MakeDecodeTable();
+
+}  // namespace
+
+std::string Base64Encode(std::string_view data) {
+  std::string out;
+  out.reserve((data.size() + 2) / 3 * 4);
+  size_t i = 0;
+  while (i + 3 <= data.size()) {
+    uint32_t v = (static_cast<unsigned char>(data[i]) << 16) |
+                 (static_cast<unsigned char>(data[i + 1]) << 8) |
+                 static_cast<unsigned char>(data[i + 2]);
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += kAlphabet[v & 63];
+    i += 3;
+  }
+  size_t rest = data.size() - i;
+  if (rest == 1) {
+    uint32_t v = static_cast<unsigned char>(data[i]) << 16;
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += "==";
+  } else if (rest == 2) {
+    uint32_t v = (static_cast<unsigned char>(data[i]) << 16) |
+                 (static_cast<unsigned char>(data[i + 1]) << 8);
+    out += kAlphabet[(v >> 18) & 63];
+    out += kAlphabet[(v >> 12) & 63];
+    out += kAlphabet[(v >> 6) & 63];
+    out += '=';
+  }
+  return out;
+}
+
+Result<std::string> Base64Decode(std::string_view text) {
+  if (text.size() % 4 != 0) {
+    return Status::InvalidArgument("base64 length not a multiple of 4");
+  }
+  std::string out;
+  out.reserve(text.size() / 4 * 3);
+  for (size_t i = 0; i < text.size(); i += 4) {
+    int8_t a = kDecode[static_cast<unsigned char>(text[i])];
+    int8_t b = kDecode[static_cast<unsigned char>(text[i + 1])];
+    if (a < 0 || b < 0) {
+      return Status::InvalidArgument("invalid base64 character");
+    }
+    bool pad3 = text[i + 2] == '=';
+    bool pad4 = text[i + 3] == '=';
+    if ((pad3 || pad4) && i + 4 != text.size()) {
+      return Status::InvalidArgument("base64 padding not at the end");
+    }
+    if (pad3 && !pad4) {
+      return Status::InvalidArgument("invalid base64 padding");
+    }
+    int8_t c = pad3 ? 0 : kDecode[static_cast<unsigned char>(text[i + 2])];
+    int8_t d = pad4 ? 0 : kDecode[static_cast<unsigned char>(text[i + 3])];
+    if (c < 0 || d < 0) {
+      return Status::InvalidArgument("invalid base64 character");
+    }
+    uint32_t v = (static_cast<uint32_t>(a) << 18) |
+                 (static_cast<uint32_t>(b) << 12) |
+                 (static_cast<uint32_t>(c) << 6) | static_cast<uint32_t>(d);
+    out += static_cast<char>((v >> 16) & 0xFF);
+    if (!pad3) out += static_cast<char>((v >> 8) & 0xFF);
+    if (!pad4) out += static_cast<char>(v & 0xFF);
+  }
+  return out;
+}
+
+bool IsLdifSafe(std::string_view value) {
+  if (value.empty()) return true;  // "attr: " with empty value is fine
+  unsigned char first = value.front();
+  if (first == ' ' || first == ':' || first == '<') return false;
+  if (value.back() == ' ') return false;
+  for (unsigned char c : value) {
+    if (c < 0x20 || c >= 0x7F) return false;  // control or non-ASCII
+  }
+  return true;
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,26 @@
+#ifndef LDAPBOUND_UTIL_BASE64_H_
+#define LDAPBOUND_UTIL_BASE64_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/result.h"
+
+namespace ldapbound {
+
+/// Standard base64 (RFC 4648, with padding). Used by the LDIF reader and
+/// writer for values that cannot be written verbatim (`attr:: <base64>`).
+std::string Base64Encode(std::string_view data);
+
+/// Strict decode: rejects bad characters, bad lengths and bad padding.
+Result<std::string> Base64Decode(std::string_view text);
+
+/// True if an LDIF value can be written directly after "attr: " — it must
+/// be non-empty ASCII without control characters and must not start with a
+/// space, colon or '<' (RFC 2849 SAFE-INIT-CHAR / SAFE-CHAR rules),
+/// nor end with a space.
+bool IsLdifSafe(std::string_view value);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_BASE64_H_

@@ -1,0 +1,75 @@
+#ifndef LDAPBOUND_UTIL_RESULT_H_
+#define LDAPBOUND_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ldapbound {
+
+/// Either a value of type `T` or an error `Status`. Analogous to
+/// `arrow::Result<T>` / `absl::StatusOr<T>`; the value accessors must only
+/// be used after checking `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from a value: allows `return value;` in Result functions.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from an error status: allows `return Status::...;`.
+  /// A non-OK status is required; constructing from an OK status is a bug.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value or `fallback` if this holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Propagates the error of a `Result` expression, otherwise binds the value.
+/// Usable in functions returning `Status` or `Result<U>`.
+#define LDAPBOUND_ASSIGN_OR_RETURN(lhs, expr)       \
+  LDAPBOUND_ASSIGN_OR_RETURN_IMPL(                  \
+      LDAPBOUND_CONCAT_NAME(_result_, __LINE__), lhs, expr)
+
+#define LDAPBOUND_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#define LDAPBOUND_CONCAT_NAME(a, b) LDAPBOUND_CONCAT_NAME_INNER(a, b)
+#define LDAPBOUND_CONCAT_NAME_INNER(a, b) a##b
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_RESULT_H_

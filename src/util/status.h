@@ -1,0 +1,95 @@
+#ifndef LDAPBOUND_UTIL_STATUS_H_
+#define LDAPBOUND_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ldapbound {
+
+/// Error categories used across the library. Mirrors the coarse-grained
+/// code sets of Status types in RocksDB / Arrow: a small fixed enum plus a
+/// free-form message.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,   ///< malformed input (bad DN, bad LDIF, bad schema text)
+  kNotFound,          ///< referenced entity does not exist
+  kAlreadyExists,     ///< duplicate entry / class / attribute definition
+  kFailedPrecondition,///< operation not valid in the current state
+  kOutOfRange,        ///< index or id out of range
+  kIllegal,           ///< directory instance violates the bounding-schema
+  kInconsistent,      ///< bounding-schema admits no legal instance
+  kInternal,          ///< invariant breakage inside the library (a bug)
+};
+
+/// Returns a stable human-readable name, e.g. "InvalidArgument".
+std::string_view StatusCodeToString(StatusCode code);
+
+/// Result of a fallible operation: a code plus a message. `Status` is cheap
+/// to copy in the OK case (no allocation) and is the only error-reporting
+/// channel of the public API — the library never throws.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Illegal(std::string msg) {
+    return Status(StatusCode::kIllegal, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK status to the caller. Usable only in functions that
+/// return `Status`.
+#define LDAPBOUND_RETURN_IF_ERROR(expr)            \
+  do {                                             \
+    ::ldapbound::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_STATUS_H_

@@ -1,0 +1,36 @@
+#ifndef LDAPBOUND_UTIL_STRING_UTIL_H_
+#define LDAPBOUND_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ldapbound {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view s);
+
+/// Splits `s` on `sep`. Consecutive separators produce empty pieces.
+std::vector<std::string_view> Split(std::string_view s, char sep);
+
+/// Splits `s` on `sep`, honoring backslash escapes: a separator preceded by
+/// an unescaped backslash does not split. Escapes are preserved verbatim in
+/// the output pieces. Used by the DN parser.
+std::vector<std::string_view> SplitEscaped(std::string_view s, char sep);
+
+/// ASCII case-insensitive equality; LDAP attribute and class names compare
+/// case-insensitively.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Lowercases ASCII characters.
+std::string ToLower(std::string_view s);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_STRING_UTIL_H_

@@ -1,0 +1,46 @@
+#ifndef LDAPBOUND_WORKLOAD_RANDOM_GEN_H_
+#define LDAPBOUND_WORKLOAD_RANDOM_GEN_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/directory.h"
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+
+/// Random forest of entries over a palette of classes — NOT necessarily
+/// legal w.r.t. any schema. Property tests use these to compare the
+/// query-based structure checker against the naive pairwise oracle, and to
+/// compare incremental verdicts against full rechecks.
+struct RandomForestOptions {
+  size_t num_entries = 100;
+  /// Probability that an entry becomes a new root (otherwise its parent is
+  /// picked uniformly among existing entries).
+  double root_probability = 0.05;
+  /// Maximum classes per entry (at least 1 is always assigned).
+  size_t max_classes_per_entry = 3;
+  uint64_t seed = 1;
+};
+
+Directory MakeRandomForest(std::shared_ptr<Vocabulary> vocab,
+                           const std::vector<ClassId>& palette,
+                           const RandomForestOptions& options);
+
+/// Random bounding-schema over a random single-inheritance tree — used by
+/// consistency property tests (soundness sampling and witness
+/// cross-validation) and by the consistency benchmark.
+struct RandomSchemaOptions {
+  size_t num_classes = 8;            ///< core classes besides top
+  size_t num_required_classes = 2;   ///< |Cr|
+  size_t num_required_edges = 6;     ///< |Er|
+  size_t num_forbidden_edges = 3;    ///< |Ef|
+  uint64_t seed = 1;
+};
+
+Result<DirectorySchema> MakeRandomSchema(std::shared_ptr<Vocabulary> vocab,
+                                         const RandomSchemaOptions& options);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_WORKLOAD_RANDOM_GEN_H_

@@ -1,0 +1,213 @@
+#include "workload/white_pages.h"
+
+#include <random>
+#include <string>
+
+#include "schema/schema_format.h"
+
+namespace ldapbound {
+
+namespace {
+
+constexpr char kWhitePagesSchemaText[] = R"(
+# Corporate white-pages bounding-schema (Figures 2 and 3).
+attribute o string
+attribute ou string
+attribute uid string
+attribute name string
+attribute uri string
+attribute location string
+attribute mail string
+
+class orgGroup : top {
+  aux online
+}
+class organization : orgGroup {
+  require o
+  allow uri
+}
+class orgUnit : orgGroup {
+  require ou
+  allow location
+}
+class person : top {
+  require name, uid
+  aux online
+}
+class staffMember : person {
+  aux manager, secretary, consultant
+}
+class researcher : person {
+  aux manager, consultant, facultyMember
+}
+
+auxclass online {
+  allow mail
+}
+auxclass manager {
+}
+auxclass secretary {
+}
+auxclass consultant {
+}
+auxclass facultyMember {
+}
+
+structure {
+  require-class organization
+  require-class orgUnit
+  require-class person
+  require orgGroup descendant person
+  require organization child orgUnit
+  require orgUnit ancestor organization
+  require person ancestor organization
+  forbid person child top
+  forbid orgUnit descendant organization
+}
+)";
+
+}  // namespace
+
+Result<DirectorySchema> MakeWhitePagesSchema(
+    std::shared_ptr<Vocabulary> vocab) {
+  return ParseDirectorySchema(kWhitePagesSchemaText, std::move(vocab));
+}
+
+Result<Directory> MakeFigure1Instance(const DirectorySchema& schema) {
+  Directory directory(schema.vocab_ptr());
+
+  EntrySpec att;
+  att.rdn = "o=att";
+  att.classes = {"organization", "orgGroup", "online", "top"};
+  att.values = {{"o", "att"}, {"uri", "http://www.att.com/"}};
+  LDAPBOUND_ASSIGN_OR_RETURN(EntryId att_id,
+                             directory.AddEntryFromSpec(kInvalidEntryId, att));
+
+  EntrySpec att_labs;
+  att_labs.rdn = "ou=attLabs";
+  att_labs.classes = {"orgUnit", "orgGroup", "top"};
+  att_labs.values = {{"ou", "attLabs"}, {"location", "FP"}};
+  LDAPBOUND_ASSIGN_OR_RETURN(EntryId att_labs_id,
+                             directory.AddEntryFromSpec(att_id, att_labs));
+
+  EntrySpec armstrong;
+  armstrong.rdn = "uid=armstrong";
+  armstrong.classes = {"staffMember", "person", "top"};
+  armstrong.values = {{"uid", "armstrong"}, {"name", "m armstrong"}};
+  LDAPBOUND_RETURN_IF_ERROR(
+      directory.AddEntryFromSpec(att_labs_id, armstrong).status());
+
+  EntrySpec databases;
+  databases.rdn = "ou=databases";
+  databases.classes = {"orgUnit", "orgGroup", "top"};
+  databases.values = {{"ou", "databases"}};
+  LDAPBOUND_ASSIGN_OR_RETURN(EntryId databases_id,
+                             directory.AddEntryFromSpec(att_labs_id,
+                                                        databases));
+
+  EntrySpec laks;
+  laks.rdn = "uid=laks";
+  laks.classes = {"researcher", "facultyMember", "person", "online", "top"};
+  laks.values = {{"uid", "laks"},
+                 {"name", "laks lakshmanan"},
+                 {"mail", "laks@cs.concordia.ca"},
+                 {"mail", "laks@cse.iitb.ernet.in"}};
+  LDAPBOUND_RETURN_IF_ERROR(
+      directory.AddEntryFromSpec(databases_id, laks).status());
+
+  EntrySpec suciu;
+  suciu.rdn = "uid=suciu";
+  suciu.classes = {"researcher", "person", "top"};
+  suciu.values = {{"uid", "suciu"}, {"name", "dan suciu"}};
+  LDAPBOUND_RETURN_IF_ERROR(
+      directory.AddEntryFromSpec(databases_id, suciu).status());
+
+  return directory;
+}
+
+Result<Directory> MakeWhitePagesInstance(const DirectorySchema& schema,
+                                         const WhitePagesOptions& options) {
+  Directory directory(schema.vocab_ptr());
+  std::mt19937_64 rng(options.seed);
+  std::uniform_int_distribution<int> persona(0, 5);
+
+  EntrySpec org;
+  org.rdn = "o=acme";
+  org.classes = {"organization", "orgGroup", "top"};
+  org.values = {{"o", "acme"}};
+  LDAPBOUND_ASSIGN_OR_RETURN(EntryId root,
+                             directory.AddEntryFromSpec(kInvalidEntryId, org));
+
+  size_t unit_counter = 0;
+  size_t person_counter = 0;
+
+  // Recursive orgUnit tree; every unit gets persons so that the
+  // orgGroup —>> person requirement holds at every level.
+  struct Frame {
+    EntryId parent;
+    size_t depth;
+  };
+  std::vector<Frame> stack{{root, 0}};
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.depth >= options.org_unit_depth) continue;
+    for (size_t i = 0; i < options.org_unit_fanout; ++i) {
+      std::string name = "unit" + std::to_string(unit_counter++);
+      EntrySpec unit;
+      unit.rdn = "ou=" + name;
+      unit.classes = {"orgUnit", "orgGroup", "top"};
+      unit.values = {{"ou", name}};
+      LDAPBOUND_ASSIGN_OR_RETURN(EntryId unit_id,
+                                 directory.AddEntryFromSpec(frame.parent,
+                                                            unit));
+      for (size_t p = 0; p < options.persons_per_unit; ++p) {
+        std::string uid = "p" + std::to_string(person_counter++);
+        EntrySpec person;
+        person.rdn = "uid=" + uid;
+        person.values = {{"uid", uid}, {"name", "employee " + uid}};
+        switch (persona(rng)) {
+          case 0:
+            person.classes = {"researcher", "person", "top", "online"};
+            person.values.emplace_back("mail", uid + "@acme.example");
+            break;
+          case 1:
+            person.classes = {"researcher", "facultyMember", "person", "top"};
+            break;
+          case 2:
+            person.classes = {"staffMember", "manager", "person", "top"};
+            break;
+          case 3:
+            person.classes = {"staffMember", "person", "top", "online"};
+            person.values.emplace_back("mail", uid + "@acme.example");
+            break;
+          default:
+            person.classes = {"person", "top"};
+            break;
+        }
+        LDAPBOUND_RETURN_IF_ERROR(
+            directory.AddEntryFromSpec(unit_id, person).status());
+      }
+      stack.push_back({unit_id, frame.depth + 1});
+    }
+  }
+
+  // The organization itself needs a person descendant even with depth 0.
+  if (options.org_unit_depth == 0 || options.org_unit_fanout == 0) {
+    EntrySpec unit;
+    unit.rdn = "ou=unitLast";
+    unit.classes = {"orgUnit", "orgGroup", "top"};
+    unit.values = {{"ou", "unitLast"}};
+    LDAPBOUND_ASSIGN_OR_RETURN(EntryId unit_id,
+                               directory.AddEntryFromSpec(root, unit));
+    EntrySpec person;
+    person.rdn = "uid=pLast";
+    person.classes = {"person", "top"};
+    person.values = {{"uid", "pLast"}, {"name", "employee pLast"}};
+    LDAPBOUND_RETURN_IF_ERROR(
+        directory.AddEntryFromSpec(unit_id, person).status());
+  }
+  return directory;
+}
+
+}  // namespace ldapbound

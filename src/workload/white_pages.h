@@ -1,0 +1,38 @@
+#ifndef LDAPBOUND_WORKLOAD_WHITE_PAGES_H_
+#define LDAPBOUND_WORKLOAD_WHITE_PAGES_H_
+
+#include <memory>
+
+#include "model/directory.h"
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+
+/// The corporate white-pages bounding-schema of the paper's running
+/// example: the class schema of Figure 2 (core tree top / orgGroup /
+/// organization / orgUnit / person / staffMember / researcher with
+/// auxiliaries online, manager, secretary, consultant, facultyMember), an
+/// attribute schema per §1.2/§2.2 (person requires name and uid, ...), and
+/// a structure schema in the spirit of Figure 3, including the elements the
+/// text states explicitly: orgGroup —>> person⇓, person —>∤ top, orgUnit⇓.
+Result<DirectorySchema> MakeWhitePagesSchema(
+    std::shared_ptr<Vocabulary> vocab);
+
+/// The exact directory instance of Figure 1 (att / attLabs / armstrong /
+/// databases / laks / suciu), legal w.r.t. MakeWhitePagesSchema.
+Result<Directory> MakeFigure1Instance(const DirectorySchema& schema);
+
+/// A scalable legal white-pages instance for benchmarks.
+struct WhitePagesOptions {
+  size_t org_unit_fanout = 4;   ///< child orgUnits per unit
+  size_t org_unit_depth = 2;    ///< levels of orgUnits under the organization
+  size_t persons_per_unit = 8;  ///< person entries per orgUnit
+  uint64_t seed = 42;           ///< drives class/attribute variety
+};
+
+Result<Directory> MakeWhitePagesInstance(const DirectorySchema& schema,
+                                         const WhitePagesOptions& options);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_WORKLOAD_WHITE_PAGES_H_

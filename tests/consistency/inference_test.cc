@@ -1,0 +1,369 @@
+// EXP-F6 / EXP-F7: the Section 5 inference system — the paper's worked
+// examples plus rule-by-rule coverage.
+#include "consistency/inference.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+// Harness: builds a schema over named classes with a given tree and
+// structure elements, then runs the engine.
+class InferenceHarness {
+ public:
+  InferenceHarness() : vocab_(std::make_shared<Vocabulary>()),
+                       schema_(vocab_) {}
+
+  // "child:parent" strings, parents first.
+  void Tree(std::initializer_list<const char*> edges) {
+    for (const char* edge : edges) {
+      std::string text(edge);
+      size_t colon = text.find(':');
+      ClassId child = vocab_->InternClass(text.substr(0, colon));
+      ClassId parent = vocab_->InternClass(text.substr(colon + 1));
+      EXPECT_TRUE(
+          schema_.mutable_classes().AddCoreClass(child, parent).ok());
+    }
+  }
+
+  ClassId C(const std::string& name) { return vocab_->InternClass(name); }
+
+  void Req(const std::string& c) {
+    schema_.mutable_structure().RequireClass(C(c));
+  }
+  void Edge(const std::string& s, Axis ax, const std::string& t) {
+    schema_.mutable_structure().Require(C(s), ax, C(t));
+  }
+  void Forbid(const std::string& s, Axis ax, const std::string& t) {
+    EXPECT_TRUE(schema_.mutable_structure().Forbid(C(s), ax, C(t)).ok());
+  }
+
+  bool Consistent() {
+    ConsistencyChecker checker(schema_);
+    return checker.IsConsistent();
+  }
+
+  InferenceEngine Engine() {
+    InferenceEngine engine(schema_);
+    engine.Run();
+    return engine;
+  }
+
+  std::shared_ptr<Vocabulary> vocab_;
+  DirectorySchema schema_;
+};
+
+// §5.1 first example: c1⇓, c1 -> c2, c2 ->> c1 forces an infinite chain.
+TEST(InferenceTest, Section51DirectCycle) {
+  InferenceHarness h;
+  h.Tree({"c1:top", "c2:top"});
+  h.Req("c1");
+  h.Edge("c1", Axis::kChild, "c2");
+  h.Edge("c2", Axis::kDescendant, "c1");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// §5.1 footnote 3: without c1⇓ the same edges are satisfiable (by the
+// instance containing no c1/c2 entries).
+TEST(InferenceTest, Section51CycleWithoutRequiredClassIsConsistent) {
+  InferenceHarness h;
+  h.Tree({"c1:top", "c2:top"});
+  h.Edge("c1", Axis::kChild, "c2");
+  h.Edge("c2", Axis::kDescendant, "c1");
+  EXPECT_TRUE(h.Consistent());
+  // The loop is still derived — c1 just cannot be populated.
+  InferenceEngine engine = h.Engine();
+  auto impossible = engine.ImpossibleClasses();
+  EXPECT_EQ(impossible.size(), 2u);
+}
+
+// §5.1 second example: the cycle appears only through the class hierarchy
+// (subclass interactions; see DESIGN.md for the reconstruction).
+TEST(InferenceTest, Section51CycleViaSubclassing) {
+  InferenceHarness h;
+  // c1 ⊑ c2, c3 ⊑ c4, c5 ⊑ c1, and required edges c2 -> c3, c4 ->> c5.
+  h.Tree({"c2:top", "c1:c2", "c5:c1", "c4:top", "c3:c4"});
+  h.Req("c1");
+  h.Edge("c2", Axis::kChild, "c3");
+  h.Edge("c4", Axis::kDescendant, "c5");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// ...and removing the subclass link breaks the cycle.
+TEST(InferenceTest, NoCycleWithoutSubclassLink) {
+  InferenceHarness h;
+  h.Tree({"c2:top", "c1:c2", "c5:top", "c4:top", "c3:c4"});
+  h.Req("c1");
+  h.Edge("c2", Axis::kChild, "c3");
+  h.Edge("c4", Axis::kDescendant, "c5");
+  EXPECT_TRUE(h.Consistent());
+}
+
+// §5.2: c1⇓, c1 ->> c2, c1 ∤->> c2 is a direct contradiction.
+TEST(InferenceTest, Section52DirectContradiction) {
+  InferenceHarness h;
+  h.Tree({"c1:top", "c2:top"});
+  h.Req("c1");
+  h.Edge("c1", Axis::kDescendant, "c2");
+  h.Forbid("c1", Axis::kDescendant, "c2");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// Without the requirement the contradiction is dormant.
+TEST(InferenceTest, DormantContradictionIsConsistent) {
+  InferenceHarness h;
+  h.Tree({"c1:top", "c2:top"});
+  h.Edge("c1", Axis::kDescendant, "c2");
+  h.Forbid("c1", Axis::kDescendant, "c2");
+  EXPECT_TRUE(h.Consistent());
+}
+
+TEST(InferenceTest, ChildConflict) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kChild, "b");
+  h.Forbid("a", Axis::kChild, "b");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// Required child + forbidden DESCENDANT conflicts via the paths rule.
+TEST(InferenceTest, PathsLiftChildToDescendant) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kChild, "b");
+  h.Forbid("a", Axis::kDescendant, "b");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// Required descendant + forbidden child is satisfiable (a deeper b).
+TEST(InferenceTest, DescendantSurvivesChildForbidden) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kDescendant, "b");
+  h.Forbid("a", Axis::kChild, "b");
+  EXPECT_TRUE(h.Consistent());
+}
+
+// ...but forbidding ALL children of a kills any required descendant.
+TEST(InferenceTest, NoChildrenMeansNoDescendants) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kDescendant, "b");
+  h.Forbid("a", Axis::kChild, "top");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// F(top -> b): b can only live at roots, so nothing can require a b
+// descendant.
+TEST(InferenceTest, RootOnlyClassCannotBeDescendant) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kDescendant, "b");
+  h.Forbid("top", Axis::kChild, "b");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// ...but requiring b itself is fine (it sits at a root).
+TEST(InferenceTest, RootOnlyClassItselfIsFine) {
+  InferenceHarness h;
+  h.Tree({"b:top"});
+  h.Req("b");
+  h.Forbid("top", Axis::kChild, "b");
+  EXPECT_TRUE(h.Consistent());
+}
+
+// A required parent of a root-only class conflicts (parent-conflict rule).
+TEST(InferenceTest, ParentConflict) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kParent, "b");
+  h.Forbid("b", Axis::kChild, "a");
+  EXPECT_FALSE(h.Consistent());
+}
+
+TEST(InferenceTest, AncestorConflict) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kAncestor, "b");
+  h.Forbid("b", Axis::kDescendant, "a");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// Parenthood: one parent cannot belong to two exclusive classes.
+TEST(InferenceTest, ParenthoodTwoExclusiveParents) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top", "c:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kParent, "b");
+  h.Edge("a", Axis::kParent, "c");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// ...comparable classes are fine: the parent is just the subclass.
+TEST(InferenceTest, ParenthoodComparableParentsFine) {
+  InferenceHarness h;
+  h.Tree({"b:top", "c:b", "a:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kParent, "b");
+  h.Edge("a", Axis::kParent, "c");
+  EXPECT_TRUE(h.Consistent());
+}
+
+// Parenthood via child: every p needs an s child whose parent must be
+// t ∦ p.
+TEST(InferenceTest, ParenthoodViaChild) {
+  InferenceHarness h;
+  h.Tree({"p:top", "s:top", "t:top"});
+  h.Req("p");
+  h.Edge("p", Axis::kChild, "s");
+  h.Edge("s", Axis::kParent, "t");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// Ancestorhood-parent: the required t2-ancestor must sit strictly above
+// the required t-parent, making t a forbidden descendant of t2.
+TEST(InferenceTest, AncestorhoodParentConflict) {
+  InferenceHarness h;
+  h.Tree({"s:top", "t:top", "t2:top"});
+  h.Req("s");
+  h.Edge("s", Axis::kParent, "t");
+  h.Edge("s", Axis::kAncestor, "t2");
+  h.Forbid("t2", Axis::kDescendant, "t");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// ...but if t and t2 are comparable, one node can play both roles.
+TEST(InferenceTest, AncestorhoodParentComparableFine) {
+  InferenceHarness h;
+  h.Tree({"t:top", "t2:t", "s:top"});
+  h.Req("s");
+  h.Edge("s", Axis::kParent, "t2");  // parent is a t2, hence also a t
+  h.Edge("s", Axis::kAncestor, "t");
+  h.Forbid("t", Axis::kDescendant, "t2");
+  EXPECT_TRUE(h.Consistent());
+}
+
+// Ancestorhood: two required ancestors of exclusive classes lie on one
+// root path; forbidding both nestings is unsatisfiable.
+TEST(InferenceTest, AncestorhoodChainConflict) {
+  InferenceHarness h;
+  h.Tree({"s:top", "t1:top", "t2:top"});
+  h.Req("s");
+  h.Edge("s", Axis::kAncestor, "t1");
+  h.Edge("s", Axis::kAncestor, "t2");
+  h.Forbid("t1", Axis::kDescendant, "t2");
+  h.Forbid("t2", Axis::kDescendant, "t1");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// With only one direction forbidden the other nesting order remains.
+TEST(InferenceTest, AncestorhoodOneDirectionFine) {
+  InferenceHarness h;
+  h.Tree({"s:top", "t1:top", "t2:top"});
+  h.Req("s");
+  h.Edge("s", Axis::kAncestor, "t1");
+  h.Edge("s", Axis::kAncestor, "t2");
+  h.Forbid("t1", Axis::kDescendant, "t2");
+  EXPECT_TRUE(h.Consistent());
+}
+
+// Loop through up-axis.
+TEST(InferenceTest, AncestorSelfLoop) {
+  InferenceHarness h;
+  h.Tree({"a:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kParent, "a");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// Transitivity across subclassing on the target side.
+TEST(InferenceTest, TargetWeakeningFeedsTransitivity) {
+  InferenceHarness h;
+  // a ->> b', b' ⊑ b, b ->> a gives a ->> a.
+  h.Tree({"b:top", "bp:b", "a:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kDescendant, "bp");
+  h.Edge("b", Axis::kDescendant, "a");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// Impossible propagation: requiring a relative of an impossible class.
+TEST(InferenceTest, ImpossiblePropagation) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("b", Axis::kDescendant, "b");  // b impossible
+  h.Edge("a", Axis::kChild, "b");
+  EXPECT_FALSE(h.Consistent());
+}
+
+// Explanations: the Bottom derivation names the participating rules.
+TEST(InferenceTest, ExplainBottom) {
+  InferenceHarness h;
+  h.Tree({"c1:top", "c2:top"});
+  h.Req("c1");
+  h.Edge("c1", Axis::kChild, "c2");
+  h.Edge("c2", Axis::kDescendant, "c1");
+  ConsistencyChecker checker(h.schema_);
+  Status status = checker.EnsureConsistent();
+  ASSERT_EQ(status.code(), StatusCode::kInconsistent);
+  EXPECT_NE(status.message().find("[bottom]"), std::string::npos);
+  EXPECT_NE(status.message().find("[axiom]"), std::string::npos);
+  EXPECT_NE(status.message().find("Impossible"), std::string::npos);
+}
+
+TEST(InferenceTest, DerivedFactsQueryable) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top", "c:top"});
+  h.Edge("a", Axis::kChild, "b");
+  h.Edge("b", Axis::kDescendant, "c");
+  InferenceEngine engine = h.Engine();
+  // paths: a ->> b; transitivity: a ->> c.
+  EXPECT_TRUE(engine.Has(
+      SchemaElement::RequiredEdge(h.C("a"), Axis::kDescendant, h.C("b"))));
+  EXPECT_TRUE(engine.Has(
+      SchemaElement::RequiredEdge(h.C("a"), Axis::kDescendant, h.C("c"))));
+  EXPECT_FALSE(engine.Has(
+      SchemaElement::RequiredEdge(h.C("c"), Axis::kDescendant, h.C("a"))));
+  EXPECT_FALSE(engine.FoundInconsistency());
+  EXPECT_GT(engine.NumFacts(), 0u);
+}
+
+TEST(InferenceTest, NodesAndEdgesPropagateRequiredness) {
+  InferenceHarness h;
+  h.Tree({"a:top", "b:top"});
+  h.Req("a");
+  h.Edge("a", Axis::kParent, "b");
+  InferenceEngine engine = h.Engine();
+  EXPECT_TRUE(engine.Has(SchemaElement::RequiredClass(h.C("b"))));
+  EXPECT_TRUE(engine.Has(SchemaElement::RequiredClass(
+      h.vocab_->top_class())));  // via required-superclass
+}
+
+// The white-pages schema of Figures 2+3 is consistent.
+TEST(InferenceTest, WhitePagesSchemaConsistent) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  ASSERT_TRUE(schema.ok());
+  ConsistencyChecker checker(*schema);
+  EXPECT_TRUE(checker.IsConsistent());
+  EXPECT_TRUE(checker.EnsureConsistent().ok());
+}
+
+// An empty structure schema is trivially consistent.
+TEST(InferenceTest, EmptySchemaConsistent) {
+  InferenceHarness h;
+  EXPECT_TRUE(h.Consistent());
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "consistency/inference.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+class RedundancyHarness {
+ public:
+  RedundancyHarness()
+      : vocab_(std::make_shared<Vocabulary>()), schema_(vocab_) {}
+
+  ClassId C(const std::string& name, const std::string& parent = "top") {
+    ClassId cls = vocab_->InternClass(name);
+    if (!schema_.classes().Contains(cls)) {
+      EXPECT_TRUE(schema_.mutable_classes()
+                      .AddCoreClass(cls, *vocab_->FindClass(parent))
+                      .ok());
+    }
+    return cls;
+  }
+
+  std::vector<SchemaElement> Run() { return FindRedundantElements(schema_); }
+
+  std::shared_ptr<Vocabulary> vocab_;
+  DirectorySchema schema_;
+};
+
+TEST(RedundancyTest, EmptySchemaHasNone) {
+  RedundancyHarness h;
+  EXPECT_TRUE(h.Run().empty());
+}
+
+TEST(RedundancyTest, PathsMakeDescendantRedundant) {
+  RedundancyHarness h;
+  ClassId a = h.C("a");
+  ClassId b = h.C("b");
+  h.schema_.mutable_structure().Require(a, Axis::kChild, b);
+  h.schema_.mutable_structure().Require(a, Axis::kDescendant, b);
+  auto redundant = h.Run();
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0],
+            SchemaElement::RequiredEdge(a, Axis::kDescendant, b));
+}
+
+TEST(RedundancyTest, SourceStrengtheningMakesSubclassEdgeRedundant) {
+  RedundancyHarness h;
+  ClassId a = h.C("a");
+  ClassId a2 = h.C("a2", "a");
+  ClassId b = h.C("b");
+  h.schema_.mutable_structure().Require(a, Axis::kChild, b);
+  h.schema_.mutable_structure().Require(a2, Axis::kChild, b);  // implied
+  auto redundant = h.Run();
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0], SchemaElement::RequiredEdge(a2, Axis::kChild, b));
+}
+
+TEST(RedundancyTest, RequiredSuperclassMakesCrRedundant) {
+  RedundancyHarness h;
+  ClassId a = h.C("a");
+  ClassId a2 = h.C("a2", "a");
+  h.schema_.mutable_structure().RequireClass(a2);
+  h.schema_.mutable_structure().RequireClass(a);  // implied by a2's
+  auto redundant = h.Run();
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0], SchemaElement::RequiredClass(a));
+}
+
+TEST(RedundancyTest, ForbiddenSpecializationRedundant) {
+  RedundancyHarness h;
+  ClassId a = h.C("a");
+  ClassId a2 = h.C("a2", "a");
+  ClassId b = h.C("b");
+  EXPECT_TRUE(
+      h.schema_.mutable_structure().Forbid(a, Axis::kDescendant, b).ok());
+  EXPECT_TRUE(
+      h.schema_.mutable_structure().Forbid(a2, Axis::kDescendant, b).ok());
+  auto redundant = h.Run();
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0],
+            SchemaElement::ForbiddenEdge(a2, Axis::kDescendant, b));
+}
+
+TEST(RedundancyTest, TransitivityRedundant) {
+  RedundancyHarness h;
+  ClassId a = h.C("a");
+  ClassId b = h.C("b");
+  ClassId c = h.C("c");
+  h.schema_.mutable_structure().Require(a, Axis::kDescendant, b);
+  h.schema_.mutable_structure().Require(b, Axis::kDescendant, c);
+  h.schema_.mutable_structure().Require(a, Axis::kDescendant, c);  // implied
+  auto redundant = h.Run();
+  ASSERT_EQ(redundant.size(), 1u);
+  EXPECT_EQ(redundant[0],
+            SchemaElement::RequiredEdge(a, Axis::kDescendant, c));
+}
+
+TEST(RedundancyTest, IndependentElementsNotFlagged) {
+  RedundancyHarness h;
+  ClassId a = h.C("a");
+  ClassId b = h.C("b");
+  h.schema_.mutable_structure().Require(a, Axis::kChild, b);
+  h.schema_.mutable_structure().Require(b, Axis::kParent, a);
+  h.schema_.mutable_structure().RequireClass(a);
+  EXPECT_TRUE(h.Run().empty());
+}
+
+TEST(RedundancyTest, WhitePagesRequiredClassesMutuallyImplied) {
+  // In the Figures 2+3 schema the three required classes imply one another
+  // through the required edges (orgUnit⇓ + orgUnit <<- organization gives
+  // organization⇓; orgUnit ⊑ orgGroup + orgGroup ->> person gives person⇓;
+  // organization -> orgUnit closes the loop), so each is individually
+  // redundant — they are kept for documentation value. No required or
+  // forbidden *edge* is redundant.
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  ASSERT_TRUE(schema.ok());
+  auto redundant = FindRedundantElements(*schema);
+  ASSERT_EQ(redundant.size(), 3u);
+  for (const SchemaElement& e : redundant) {
+    EXPECT_EQ(e.kind, SchemaElement::Kind::kRequiredClass)
+        << e.ToString(*vocab);
+  }
+}
+
+}  // namespace
+}  // namespace ldapbound

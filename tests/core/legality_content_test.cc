@@ -1,0 +1,187 @@
+#include <gtest/gtest.h>
+
+#include "core/legality_checker.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+class ContentLegalityTest : public ::testing::Test {
+ protected:
+  ContentLegalityTest() : d_(w_.vocab), checker_(w_.schema) {}
+
+  std::vector<Violation> Check(EntryId id) {
+    std::vector<Violation> out;
+    checker_.CheckEntryContent(d_, id, &out);
+    return out;
+  }
+
+  SimpleWorld w_;
+  Directory d_;
+  LegalityChecker checker_;
+};
+
+TEST_F(ContentLegalityTest, LegalEntry) {
+  EntryId id = d_.AddEntry(kInvalidEntryId, "uid=bob",
+                           {w_.top, w_.person, w_.mailbox},
+                           {{w_.name, Value("Bob")},
+                            {w_.age, Value(int64_t{30})},
+                            {w_.mail, Value("bob@x")}})
+                   .value();
+  EXPECT_TRUE(checker_.CheckEntryContent(d_, id));
+  EXPECT_TRUE(Check(id).empty());
+}
+
+TEST_F(ContentLegalityTest, MissingRequiredAttribute) {
+  EntryId id = AddBare(d_, kInvalidEntryId, "uid=bob", {w_.top, w_.person});
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kMissingRequiredAttribute);
+  EXPECT_EQ(violations[0].attr, w_.name);
+  EXPECT_EQ(violations[0].cls, w_.person);
+  // Description mentions the attribute and class by name.
+  std::string text = violations[0].Describe(*w_.vocab);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("person"), std::string::npos);
+}
+
+TEST_F(ContentLegalityTest, RequiredAttributeInheritedBySubclass) {
+  // engineer ⊑ person, and a legal engineer also carries person, whose
+  // required attribute applies.
+  EntryId id = AddBare(d_, kInvalidEntryId, "uid=e",
+                       {w_.top, w_.person, w_.engineer});
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kMissingRequiredAttribute);
+}
+
+TEST_F(ContentLegalityTest, DisallowedAttribute) {
+  EntryId id = d_.AddEntry(kInvalidEntryId, "o=acme", {w_.top, w_.org},
+                           {{w_.ou, Value("acme")},
+                            {w_.age, Value(int64_t{12})}})
+                   .value();
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kDisallowedAttribute);
+  EXPECT_EQ(violations[0].attr, w_.age);
+}
+
+TEST_F(ContentLegalityTest, AttributeAllowedByAuxiliaryClass) {
+  // mail is allowed only via the mailbox auxiliary class.
+  EntryId without = d_.AddEntry(kInvalidEntryId, "uid=a",
+                                {w_.top, w_.person},
+                                {{w_.name, Value("A")},
+                                 {w_.mail, Value("a@x")}})
+                        .value();
+  auto violations = Check(without);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kDisallowedAttribute);
+
+  EntryId with = d_.AddEntry(kInvalidEntryId, "uid=b",
+                             {w_.top, w_.person, w_.mailbox},
+                             {{w_.name, Value("B")},
+                              {w_.mail, Value("b@x")}})
+                     .value();
+  EXPECT_TRUE(Check(with).empty());
+}
+
+TEST_F(ContentLegalityTest, UnknownClass) {
+  ClassId alien = w_.vocab->InternClass("alien");
+  EntryId id = AddBare(d_, kInvalidEntryId, "uid=x",
+                       {w_.top, w_.person, alien});
+  ASSERT_TRUE(d_.AddValue(id, w_.name, Value("x")).ok());
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kUnknownClass);
+  EXPECT_EQ(violations[0].cls, alien);
+}
+
+TEST_F(ContentLegalityTest, NoCoreClass) {
+  EntryId id = AddBare(d_, kInvalidEntryId, "uid=x", {w_.mailbox});
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kNoCoreClass);
+}
+
+TEST_F(ContentLegalityTest, MissingSuperclass) {
+  // engineer without person: single inheritance demands the whole chain.
+  // (No 'name' value: the requirement belongs to person, which the entry
+  // does not — illegally — carry, so only the superclass violation fires.)
+  EntryId id = AddBare(d_, kInvalidEntryId, "uid=x", {w_.top, w_.engineer});
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kMissingSuperclass);
+  EXPECT_EQ(violations[0].cls, w_.engineer);
+  EXPECT_EQ(violations[0].cls2, w_.person);
+}
+
+TEST_F(ContentLegalityTest, MissingTopIsAlsoMissingSuperclass) {
+  EntryId id = d_.AddEntry(kInvalidEntryId, "uid=x", {w_.person},
+                           {{w_.name, Value("x")}})
+                   .value();
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kMissingSuperclass);
+  EXPECT_EQ(violations[0].cls2, w_.top);
+}
+
+TEST_F(ContentLegalityTest, ExclusiveCoreClasses) {
+  // org and person are incomparable: forbidden co-occurrence.
+  EntryId id = d_.AddEntry(kInvalidEntryId, "uid=x",
+                           {w_.top, w_.org, w_.person},
+                           {{w_.name, Value("x")}, {w_.ou, Value("y")}})
+                   .value();
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kExclusiveClasses);
+}
+
+TEST_F(ContentLegalityTest, DisallowedAuxiliary) {
+  // mailbox is allowed for person, not for org.
+  EntryId id = d_.AddEntry(kInvalidEntryId, "o=acme",
+                           {w_.top, w_.org, w_.mailbox},
+                           {{w_.ou, Value("acme")}})
+                   .value();
+  auto violations = Check(id);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kDisallowedAuxiliary);
+  EXPECT_EQ(violations[0].cls, w_.mailbox);
+}
+
+TEST_F(ContentLegalityTest, AuxAllowedViaSubclass) {
+  // mailbox is allowed for person; an engineer (⊑ person) may carry it,
+  // because the entry also belongs to person.
+  EntryId id = d_.AddEntry(kInvalidEntryId, "uid=x",
+                           {w_.top, w_.person, w_.engineer, w_.mailbox},
+                           {{w_.name, Value("x")}})
+                   .value();
+  EXPECT_TRUE(Check(id).empty());
+}
+
+TEST_F(ContentLegalityTest, CheckContentCoversAllEntries) {
+  AddBare(d_, kInvalidEntryId, "uid=ok", {w_.top});
+  EntryId bad = AddBare(d_, kInvalidEntryId, "uid=bad", {w_.top, w_.person});
+  std::vector<Violation> out;
+  EXPECT_FALSE(checker_.CheckContent(d_, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].entry, bad);
+  // Null-out short-circuit variant agrees.
+  EXPECT_FALSE(checker_.CheckContent(d_));
+}
+
+TEST_F(ContentLegalityTest, MultipleViolationsAllReported) {
+  ClassId alien = w_.vocab->InternClass("alien2");
+  EntryId id = d_.AddEntry(kInvalidEntryId, "uid=x",
+                           {w_.person, alien},
+                           {{w_.mail, Value("m@x")}})
+                   .value();
+  auto violations = Check(id);
+  // unknown class + missing top + missing name + disallowed mail.
+  EXPECT_EQ(violations.size(), 4u);
+}
+
+}  // namespace
+}  // namespace ldapbound

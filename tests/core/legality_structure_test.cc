@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "core/legality_checker.h"
+#include "core/naive_checker.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+// Forest: acme(org) ── hr(org) ── bob(person)
+//                   └─ empty(org)            <- no person below
+class StructureLegalityTest : public ::testing::Test {
+ protected:
+  StructureLegalityTest() : d_(w_.vocab) {
+    acme_ = AddBare(d_, kInvalidEntryId, "o=acme", {w_.top, w_.org});
+    EXPECT_TRUE(d_.AddValue(acme_, w_.ou, Value("acme")).ok());
+    hr_ = AddBare(d_, acme_, "ou=hr", {w_.top, w_.org});
+    EXPECT_TRUE(d_.AddValue(hr_, w_.ou, Value("hr")).ok());
+    bob_ = AddBare(d_, hr_, "uid=bob", {w_.top, w_.person});
+  }
+
+  std::vector<Violation> Check() {
+    std::vector<Violation> out;
+    LegalityChecker(w_.schema).CheckStructure(d_, &out);
+    return out;
+  }
+
+  SimpleWorld w_;
+  Directory d_;
+  EntryId acme_, hr_, bob_;
+};
+
+TEST_F(StructureLegalityTest, EmptyStructureSchemaAlwaysLegal) {
+  EXPECT_TRUE(Check().empty());
+}
+
+TEST_F(StructureLegalityTest, RequiredClassPresent) {
+  w_.schema.mutable_structure().RequireClass(w_.person);
+  EXPECT_TRUE(Check().empty());
+}
+
+TEST_F(StructureLegalityTest, RequiredClassMissing) {
+  w_.schema.mutable_structure().RequireClass(w_.engineer);
+  auto violations = Check();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kMissingRequiredClass);
+  EXPECT_EQ(violations[0].cls, w_.engineer);
+  EXPECT_EQ(violations[0].entry, kInvalidEntryId);
+}
+
+TEST_F(StructureLegalityTest, RequiredDescendantViolated) {
+  // Every org must employ a person (the paper's orgGroup ->> person).
+  w_.schema.mutable_structure().Require(w_.org, Axis::kDescendant,
+                                        w_.person);
+  EXPECT_TRUE(Check().empty());
+  // An org leaf with no person below breaks it.
+  EntryId empty = AddBare(d_, acme_, "ou=empty", {w_.top, w_.org});
+  auto violations = Check();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kRequiredRelationship);
+  EXPECT_EQ(violations[0].entry, empty);
+}
+
+TEST_F(StructureLegalityTest, RequiredChildViolated) {
+  w_.schema.mutable_structure().Require(w_.org, Axis::kChild, w_.org);
+  auto violations = Check();
+  // hr has no org child.
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].entry, hr_);
+}
+
+TEST_F(StructureLegalityTest, RequiredParentAndAncestor) {
+  w_.schema.mutable_structure().Require(w_.person, Axis::kParent, w_.org);
+  w_.schema.mutable_structure().Require(w_.person, Axis::kAncestor, w_.org);
+  EXPECT_TRUE(Check().empty());
+  // A person at the root violates both.
+  EntryId stray = AddBare(d_, kInvalidEntryId, "uid=stray",
+                          {w_.top, w_.person});
+  auto violations = Check();
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].entry, stray);
+  EXPECT_EQ(violations[1].entry, stray);
+}
+
+TEST_F(StructureLegalityTest, ForbiddenChild) {
+  // The paper's person -> top: persons must be leaves.
+  ASSERT_TRUE(w_.schema.mutable_structure()
+                  .Forbid(w_.person, Axis::kChild, w_.top)
+                  .ok());
+  EXPECT_TRUE(Check().empty());
+  AddBare(d_, bob_, "cn=gadget", {w_.top});
+  auto violations = Check();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].kind, ViolationKind::kForbiddenRelationship);
+  EXPECT_EQ(violations[0].entry, bob_);
+}
+
+TEST_F(StructureLegalityTest, ForbiddenDescendant) {
+  // No person may be nested below a person, at any depth.
+  ASSERT_TRUE(w_.schema.mutable_structure()
+                  .Forbid(w_.person, Axis::kDescendant, w_.person)
+                  .ok());
+  EXPECT_TRUE(Check().empty());
+  EntryId mid = AddBare(d_, bob_, "cn=mid", {w_.top});
+  AddBare(d_, mid, "uid=nested", {w_.top, w_.person});
+  auto violations = Check();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].entry, bob_);
+}
+
+TEST_F(StructureLegalityTest, CheckLegalCombinesContentAndStructure) {
+  w_.schema.mutable_structure().RequireClass(w_.engineer);
+  LegalityChecker checker(w_.schema);
+  std::vector<Violation> out;
+  EXPECT_FALSE(checker.CheckLegal(d_, &out));
+  // bob lacks 'name' (content) and engineer is missing (structure).
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, ViolationKind::kMissingRequiredAttribute);
+  EXPECT_EQ(out[1].kind, ViolationKind::kMissingRequiredClass);
+
+  Status status = checker.EnsureLegal(d_);
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  EXPECT_NE(status.message().find("engineer"), std::string::npos);
+}
+
+TEST_F(StructureLegalityTest, NaiveCheckerAgreesHere) {
+  w_.schema.mutable_structure().Require(w_.org, Axis::kDescendant,
+                                        w_.person);
+  ASSERT_TRUE(w_.schema.mutable_structure()
+                  .Forbid(w_.person, Axis::kChild, w_.top)
+                  .ok());
+  AddBare(d_, acme_, "ou=empty", {w_.top, w_.org});
+  std::vector<Violation> fast, naive;
+  LegalityChecker(w_.schema).CheckStructure(d_, &fast);
+  NaiveStructureChecker(w_.schema).CheckStructure(d_, &naive);
+  ASSERT_EQ(fast.size(), naive.size());
+  ASSERT_EQ(fast.size(), 1u);
+  EXPECT_EQ(fast[0].entry, naive[0].entry);
+}
+
+TEST_F(StructureLegalityTest, SelfRelationshipOnSingleEntry) {
+  // A required descendant of one's own class: bob (a person with no person
+  // below) violates it; the violation names bob, not the org entries.
+  w_.schema.mutable_structure().Require(w_.person, Axis::kDescendant,
+                                        w_.person);
+  auto violations = Check();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].entry, bob_);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,96 @@
+// EXP-F4: the Figure 4 translation table. Each structure-schema element
+// maps to a hierarchical selection query whose emptiness characterizes
+// satisfaction.
+#include "core/translation.h"
+
+#include <gtest/gtest.h>
+
+#include "query/evaluator.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+class TranslationTest : public ::testing::Test {
+ protected:
+  TranslationTest() : d_(w_.vocab) {
+    org_ = AddBare(d_, kInvalidEntryId, "o=org", {w_.top, w_.org});
+    person_ = AddBare(d_, org_, "uid=p", {w_.top, w_.person});
+  }
+
+  SimpleWorld w_;
+  Directory d_;
+  EntryId org_, person_;
+};
+
+TEST_F(TranslationTest, RequiredChildShape) {
+  StructuralRelationship rel{w_.org, Axis::kChild, w_.person, false};
+  Query q = ViolationQuery(rel);
+  EXPECT_EQ(q.ToString(*w_.vocab),
+            "(? (objectClass=org) (c (objectClass=org) (objectClass=person)))");
+}
+
+TEST_F(TranslationTest, RequiredDescendantShapeMatchesPaperQ1) {
+  // §3.2's Q1 for orgGroup ->> person, with our class names.
+  StructuralRelationship rel{w_.org, Axis::kDescendant, w_.person, false};
+  EXPECT_EQ(ViolationQuery(rel).ToString(*w_.vocab),
+            "(? (objectClass=org) (d (objectClass=org) (objectClass=person)))");
+}
+
+TEST_F(TranslationTest, RequiredParentAndAncestorShapes) {
+  StructuralRelationship pa{w_.person, Axis::kParent, w_.org, false};
+  EXPECT_EQ(
+      ViolationQuery(pa).ToString(*w_.vocab),
+      "(? (objectClass=person) (p (objectClass=person) (objectClass=org)))");
+  StructuralRelationship an{w_.person, Axis::kAncestor, w_.org, false};
+  EXPECT_EQ(
+      ViolationQuery(an).ToString(*w_.vocab),
+      "(? (objectClass=person) (a (objectClass=person) (objectClass=org)))");
+}
+
+TEST_F(TranslationTest, ForbiddenShapesMatchPaperQ2) {
+  // §3.2's Q2 for person -> top.
+  StructuralRelationship ch{w_.person, Axis::kChild, w_.top, true};
+  EXPECT_EQ(ViolationQuery(ch).ToString(*w_.vocab),
+            "(c (objectClass=person) (objectClass=top))");
+  StructuralRelationship de{w_.person, Axis::kDescendant, w_.top, true};
+  EXPECT_EQ(ViolationQuery(de).ToString(*w_.vocab),
+            "(d (objectClass=person) (objectClass=top))");
+}
+
+TEST_F(TranslationTest, RequiredClassWitnessShape) {
+  Query q = RequiredClassWitnessQuery(w_.org);
+  EXPECT_EQ(q.ToString(*w_.vocab), "(objectClass=org)");
+  QueryEvaluator evaluator(d_);
+  EXPECT_FALSE(evaluator.IsEmpty(q));
+  EXPECT_TRUE(evaluator.IsEmpty(RequiredClassWitnessQuery(w_.engineer)));
+}
+
+TEST_F(TranslationTest, EmptinessCharacterizesSatisfaction) {
+  // org -> person is satisfied here (person is org's child).
+  StructuralRelationship ok{w_.org, Axis::kChild, w_.person, false};
+  QueryEvaluator evaluator(d_);
+  EXPECT_TRUE(evaluator.IsEmpty(ViolationQuery(ok)));
+  // org -> engineer is not.
+  StructuralRelationship bad{w_.org, Axis::kChild, w_.engineer, false};
+  EntrySet offenders = evaluator.Evaluate(ViolationQuery(bad));
+  EXPECT_EQ(offenders.ToVector(), (std::vector<EntryId>{org_}));
+  // Forbidden org -> person currently violated by the org entry.
+  StructuralRelationship forb{w_.org, Axis::kChild, w_.person, true};
+  EXPECT_EQ(evaluator.Evaluate(ViolationQuery(forb)).ToVector(),
+            (std::vector<EntryId>{org_}));
+}
+
+TEST_F(TranslationTest, ScopedTranslationPrintsScopes) {
+  StructuralRelationship rel{w_.org, Axis::kChild, w_.person, false};
+  Query q = ViolationQuery(rel, Scope::kDeltaOnly, Scope::kAll);
+  EXPECT_EQ(q.ToString(*w_.vocab),
+            "(? (objectClass=org)[delta] (c (objectClass=org)[delta] "
+            "(objectClass=person)))");
+}
+
+}  // namespace
+}  // namespace ldapbound

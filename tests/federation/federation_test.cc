@@ -1,0 +1,227 @@
+// §2.4: distributed management of the DIT across naming contexts with a
+// conceptually unified view — split, referral-chasing search, reunify, and
+// the key observation that structure-schema legality is a property of the
+// unified view, not of the partitions.
+#include "federation/federation.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/filter.h"
+#include "ldap/ldif.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+class FederationTest : public ::testing::Test {
+ protected:
+  FederationTest()
+      : vocab_(std::make_shared<Vocabulary>()),
+        schema_(MakeWhitePagesSchema(vocab_).value()),
+        directory_(MakeFigure1Instance(schema_).value()) {}
+
+  Result<Federation> SplitAtLabs() {
+    return Federation::Split(
+        directory_, {*DistinguishedName::Parse("ou=attLabs,o=att")});
+  }
+
+  std::shared_ptr<Vocabulary> vocab_;
+  DirectorySchema schema_;
+  Directory directory_;
+};
+
+TEST_F(FederationTest, SplitProducesGlueAndContext) {
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok()) << federation.status();
+  // Glue: o=att plus the referral placeholder.
+  EXPECT_EQ(federation->glue().NumEntries(), 2u);
+  ASSERT_EQ(federation->contexts().size(), 1u);
+  // Context: attLabs + armstrong + databases + laks + suciu.
+  EXPECT_EQ(federation->contexts()[0].directory->NumEntries(), 5u);
+  EXPECT_EQ(federation->contexts()[0].mount_parent.ToString(), "o=att");
+  // The referral carries only the referral class.
+  EntryId referral =
+      federation->glue().FindChildByRdn(federation->glue().roots()[0],
+                                        "ou=attLabs");
+  ASSERT_NE(referral, kInvalidEntryId);
+  EXPECT_TRUE(federation->glue()
+                  .entry(referral)
+                  .HasClass(federation->referral_class()));
+}
+
+TEST_F(FederationTest, SplitRejectsNestedRoots) {
+  auto federation = Federation::Split(
+      directory_,
+      {*DistinguishedName::Parse("ou=attLabs,o=att"),
+       *DistinguishedName::Parse("ou=databases,ou=attLabs,o=att")});
+  ASSERT_FALSE(federation.ok());
+  EXPECT_EQ(federation.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FederationTest, SplitRejectsMissingRoot) {
+  auto federation = Federation::Split(
+      directory_, {*DistinguishedName::Parse("ou=ghost,o=att")});
+  ASSERT_FALSE(federation.ok());
+  EXPECT_EQ(federation.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FederationTest, UnifyRoundTripsExactly) {
+  std::string before = WriteLdif(directory_);
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok());
+  auto unified = federation->Unify();
+  ASSERT_TRUE(unified.ok()) << unified.status();
+  EXPECT_EQ(WriteLdif(*unified), before);
+}
+
+TEST_F(FederationTest, MultipleContexts) {
+  auto federation = Federation::Split(
+      directory_,
+      {*DistinguishedName::Parse("ou=databases,ou=attLabs,o=att"),
+       *DistinguishedName::Parse("uid=armstrong,ou=attLabs,o=att")});
+  ASSERT_TRUE(federation.ok()) << federation.status();
+  EXPECT_EQ(federation->contexts().size(), 2u);
+  EXPECT_EQ(federation->glue().NumEntries(), 4u);  // att, attLabs, 2 refs
+  auto unified = federation->Unify();
+  ASSERT_TRUE(unified.ok());
+  EXPECT_EQ(WriteLdif(*unified), WriteLdif(directory_));
+}
+
+TEST_F(FederationTest, SearchWholeNamespace) {
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok());
+  auto filter = ParseFilter("(objectClass=person)", *vocab_);
+  ASSERT_TRUE(filter.ok());
+  auto hits = federation->Search(DistinguishedName(), *filter);
+  ASSERT_TRUE(hits.ok()) << hits.status();
+  ASSERT_EQ(hits->size(), 3u);
+  EXPECT_EQ((*hits)[0], "uid=armstrong,ou=attLabs,o=att");
+}
+
+TEST_F(FederationTest, SearchFromGlueChasesReferrals) {
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok());
+  auto filter = ParseFilter("(objectClass=researcher)", *vocab_);
+  auto hits =
+      federation->Search(*DistinguishedName::Parse("o=att"), *filter);
+  ASSERT_TRUE(hits.ok()) << hits.status();
+  EXPECT_EQ(hits->size(), 2u);  // laks + suciu, inside the context
+}
+
+TEST_F(FederationTest, SearchBaseInsideContext) {
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok());
+  auto filter = ParseFilter("(objectClass=person)", *vocab_);
+  auto hits = federation->Search(
+      *DistinguishedName::Parse("ou=databases,ou=attLabs,o=att"), *filter);
+  ASSERT_TRUE(hits.ok()) << hits.status();
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0], "uid=laks,ou=databases,ou=attLabs,o=att");
+}
+
+TEST_F(FederationTest, SearchReferralsNeverMatch) {
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok());
+  auto hits = federation->Search(DistinguishedName(), nullptr);
+  ASSERT_TRUE(hits.ok());
+  // All 6 real entries, no referral placeholder.
+  EXPECT_EQ(hits->size(), 6u);
+}
+
+TEST_F(FederationTest, SearchMissingBase) {
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok());
+  auto hits = federation->Search(*DistinguishedName::Parse("o=ghost"),
+                                 nullptr);
+  ASSERT_FALSE(hits.ok());
+  EXPECT_EQ(hits.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FederationTest, FederatedLegalityMatchesUnified) {
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok());
+  EXPECT_TRUE(federation->CheckLegality(schema_));
+
+  // Break a cross-partition structure constraint: delete the context's
+  // persons so orgGroup ->> person fails for entries in BOTH partitions.
+  Directory broken(vocab_);
+  ASSERT_TRUE(LoadLdif(WriteLdif(directory_), &broken).ok());
+  auto laks = ResolveDn(
+      broken, *DistinguishedName::Parse(
+                  "uid=laks,ou=databases,ou=attLabs,o=att"));
+  auto suciu = ResolveDn(
+      broken, *DistinguishedName::Parse(
+                  "uid=suciu,ou=databases,ou=attLabs,o=att"));
+  auto armstrong = ResolveDn(
+      broken, *DistinguishedName::Parse("uid=armstrong,ou=attLabs,o=att"));
+  ASSERT_TRUE(broken.DeleteLeaf(*laks).ok());
+  ASSERT_TRUE(broken.DeleteLeaf(*suciu).ok());
+  ASSERT_TRUE(broken.DeleteLeaf(*armstrong).ok());
+  auto broken_federation = Federation::Split(
+      broken, {*DistinguishedName::Parse("ou=attLabs,o=att")});
+  ASSERT_TRUE(broken_federation.ok());
+  std::vector<std::string> text;
+  EXPECT_FALSE(broken_federation->CheckLegality(schema_, &text));
+  EXPECT_FALSE(text.empty());
+}
+
+// The §2.4 punchline: per-partition structure checking is wrong in both
+// directions.
+TEST_F(FederationTest, NaivePerPartitionStructureCheckingIsWrong) {
+  // Direction 1: globally LEGAL, but partitions look illegal in isolation
+  // (att's person descendants live in the carved-out context; the
+  // context's orgUnits lack their organization ancestor).
+  auto federation = SplitAtLabs();
+  ASSERT_TRUE(federation.ok());
+  ASSERT_TRUE(federation->CheckLegality(schema_));
+  auto verdicts = federation->NaivePerPartitionStructureVerdicts(schema_);
+  ASSERT_EQ(verdicts.size(), 2u);
+  EXPECT_FALSE(verdicts[0]);  // glue: att has no person descendant locally
+  EXPECT_FALSE(verdicts[1]);  // context: orgUnit lacks organization above
+
+  // Direction 2: globally ILLEGAL although the affected source entry sits
+  // in a partition that looks locally fine — person armstrong gains a
+  // child that lives in... (construct: databases context carved out, then
+  // the glue violation is invisible to the context check).
+  Directory broken(vocab_);
+  ASSERT_TRUE(LoadLdif(WriteLdif(directory_), &broken).ok());
+  auto armstrong = ResolveDn(
+      broken, *DistinguishedName::Parse("uid=armstrong,ou=attLabs,o=att"));
+  EntrySpec gadget;
+  gadget.rdn = "ou=gadget";
+  gadget.classes = {"orgUnit", "orgGroup", "top"};
+  gadget.values = {{"ou", "gadget"}};
+  EntryId gid = broken.AddEntryFromSpec(*armstrong, gadget).value();
+  EntrySpec p;
+  p.rdn = "uid=inner";
+  p.classes = {"person", "top"};
+  p.values = {{"uid", "inner"}, {"name", "inner"}};
+  ASSERT_TRUE(broken.AddEntryFromSpec(gid, p).ok());
+  // Carve out the gadget subtree: in isolation it is a staffed orgUnit
+  // (locally the forbidden person->child edge is invisible — the edge
+  // crosses the partition boundary).
+  auto f2 = Federation::Split(
+      broken, {*DistinguishedName::Parse(
+                  "ou=gadget,uid=armstrong,ou=attLabs,o=att")});
+  ASSERT_TRUE(f2.ok()) << f2.status();
+  std::vector<std::string> text;
+  EXPECT_FALSE(f2->CheckLegality(schema_, &text));  // unified view: illegal
+  auto v2 = f2->NaivePerPartitionStructureVerdicts(schema_);
+  // The context alone looks structurally... (it lacks an organization
+  // ancestor, so it is also locally illegal — but for the WRONG reason;
+  // the real violation, person -> child, is invisible to every partition:
+  // person armstrong's child lives in the context.) Assert the naive glue
+  // check misses the forbidden edge entirely: the glue's armstrong has
+  // only a referral child, which carries no person/orgUnit class.
+  LegalityChecker checker(schema_);
+  std::vector<Violation> glue_violations;
+  checker.CheckStructure(f2->glue(), &glue_violations);
+  for (const Violation& v : glue_violations) {
+    EXPECT_NE(v.kind, ViolationKind::kForbiddenRelationship)
+        << "the cross-boundary forbidden edge should be invisible locally";
+  }
+  (void)v2;
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,101 @@
+// End-to-end: schema text -> consistency -> LDIF load -> legality ->
+// searches -> transactional updates, across all modules.
+#include <gtest/gtest.h>
+
+#include "consistency/inference.h"
+#include "consistency/witness.h"
+#include "core/legality_checker.h"
+#include "ldap/filter.h"
+#include "ldap/ldif.h"
+#include "ldap/search.h"
+#include "schema/schema_format.h"
+#include "update/transaction.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+TEST(EndToEndTest, FullLifecycle) {
+  // 1. Author a schema in the text format and parse it.
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_TRUE(schema->Validate().ok());
+
+  // 2. Prove it consistent and materialize a witness.
+  ConsistencyChecker consistency(*schema);
+  ASSERT_TRUE(consistency.EnsureConsistent().ok());
+  auto witness = WitnessBuilder(*schema).Build();
+  ASSERT_TRUE(witness.ok()) << witness.status();
+
+  // 3. Load the Figure 1 population via LDIF and validate it.
+  auto directory = MakeFigure1Instance(*schema);
+  ASSERT_TRUE(directory.ok());
+  std::string ldif = WriteLdif(*directory);
+  Directory live(vocab);
+  ASSERT_TRUE(LoadLdif(ldif, &live).ok());
+  LegalityChecker checker(*schema);
+  ASSERT_TRUE(checker.EnsureLegal(live).ok());
+
+  // 4. Query it like an LDAP server.
+  SearchRequest request;
+  request.base = *DistinguishedName::Parse("o=att");
+  request.scope = SearchScope::kSubtree;
+  request.filter = *ParseFilter("(&(objectClass=researcher)(mail=*))",
+                                *vocab);
+  auto hits = Search(live, request);
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ(live.entry((*hits)[0]).rdn(), "uid=laks");
+
+  // 5. Run a guarded update transaction: a new unit with its people.
+  UpdateTransaction txn;
+  EntrySpec unit;
+  unit.classes = {"orgUnit", "orgGroup", "top"};
+  unit.values = {{"ou", "security"}};
+  txn.Insert(*DistinguishedName::Parse("ou=security,o=att"), unit);
+  EntrySpec person;
+  person.classes = {"staffMember", "person", "top"};
+  person.values = {{"uid", "trent"}, {"name", "trent t"}};
+  txn.Insert(*DistinguishedName::Parse("uid=trent,ou=security,o=att"),
+             person);
+  TransactionExecutor executor(&live, *schema);
+  ASSERT_TRUE(executor.Commit(txn).ok());
+  ASSERT_TRUE(checker.EnsureLegal(live).ok());
+
+  // 6. An update that would orphan the requirement is refused atomically.
+  UpdateTransaction bad;
+  bad.Delete(*DistinguishedName::Parse("uid=trent,ou=security,o=att"));
+  Status status = executor.Commit(bad);
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  ASSERT_TRUE(checker.EnsureLegal(live).ok());
+
+  // 7. The directory round-trips through LDIF unchanged.
+  std::string out = WriteLdif(live);
+  Directory reloaded(vocab);
+  ASSERT_TRUE(LoadLdif(out, &reloaded).ok());
+  EXPECT_EQ(WriteLdif(reloaded), out);
+}
+
+TEST(EndToEndTest, SchemaTextRoundTripPreservesBehavior) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  ASSERT_TRUE(schema.ok());
+  std::string text = FormatDirectorySchema(*schema);
+
+  auto vocab2 = std::make_shared<Vocabulary>();
+  auto schema2 = ParseDirectorySchema(text, vocab2);
+  ASSERT_TRUE(schema2.ok()) << schema2.status();
+
+  // The same population must be legal under the reparsed schema.
+  auto directory = MakeFigure1Instance(*schema2);
+  ASSERT_TRUE(directory.ok()) << directory.status();
+  LegalityChecker checker(*schema2);
+  EXPECT_TRUE(checker.EnsureLegal(*directory).ok());
+  // And consistency is preserved.
+  ConsistencyChecker consistency(*schema2);
+  EXPECT_TRUE(consistency.IsConsistent());
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,103 @@
+// Robustness: every parser in the library must return a Status for
+// malformed and adversarial inputs — never crash, hang or corrupt state.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+
+#include "ldap/dn.h"
+#include "ldap/filter.h"
+#include "ldap/ldif.h"
+#include "ldap/query_parser.h"
+#include "schema/schema_format.h"
+#include "server/changelog.h"
+#include "server/directory_server.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::SimpleWorld;
+
+// Deterministic pseudo-random byte strings over a structured alphabet (so
+// the parsers get plausible-looking garbage, not just noise).
+std::string RandomInput(std::mt19937_64& rng, size_t max_len) {
+  static constexpr char kAlphabet[] =
+      "abcdefghij:=(),*&|!<>-#\n \t{}[]?cdpaUN\\0123456789\r.";
+  std::uniform_int_distribution<size_t> len(0, max_len);
+  std::uniform_int_distribution<size_t> pick(0, sizeof(kAlphabet) - 2);
+  std::string out;
+  size_t n = len(rng);
+  for (size_t i = 0; i < n; ++i) out += kAlphabet[pick(rng)];
+  return out;
+}
+
+class RobustnessTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RobustnessTest, ParsersNeverCrash) {
+  std::mt19937_64 rng(GetParam());
+  SimpleWorld w;
+  for (int round = 0; round < 300; ++round) {
+    std::string input = RandomInput(rng, 120);
+    // Each parser either succeeds or reports a Status; both are fine.
+    (void)DistinguishedName::Parse(input);
+    (void)ParseFilter(input, *w.vocab);
+    (void)ParseQuery(input, *w.vocab);
+    {
+      Directory d(w.vocab);
+      (void)LoadLdif(input, &d);
+    }
+    {
+      auto vocab = std::make_shared<Vocabulary>();
+      (void)ParseDirectorySchema(input, vocab);
+    }
+  }
+}
+
+TEST_P(RobustnessTest, ChangeReplayNeverCrashesOrCorrupts) {
+  std::mt19937_64 rng(GetParam() ^ 0xABCDEF);
+  for (int round = 0; round < 100; ++round) {
+    auto server = DirectoryServer::Create(
+        "attribute cn string\nclass node : top {\n  allow cn\n}\n");
+    ASSERT_TRUE(server.ok());
+    std::string input = RandomInput(rng, 200);
+    (void)ApplyChangeLdif(input, &*server);
+    // Whatever happened, the server must still satisfy its invariant.
+    EXPECT_TRUE(server->IsLegal());
+  }
+}
+
+TEST_P(RobustnessTest, StructuredFragmentsRecombined) {
+  // Mix plausible LDIF fragments in random order; the loader must accept
+  // or reject, never crash, and accepted loads must be coherent.
+  std::mt19937_64 rng(GetParam() * 31337);
+  const char* fragments[] = {
+      "dn: o=a\n",          "dn: uid=x,o=a\n",  "objectClass: top\n",
+      "objectClass: org\n", "name: hello\n",    " continuation\n",
+      "\n",                 "# comment\n",      "name:: Zm9v\n",
+      "name:< url\n",       "dn: \n",           ":\n",
+  };
+  std::uniform_int_distribution<size_t> pick(
+      0, sizeof(fragments) / sizeof(fragments[0]) - 1);
+  SimpleWorld w;
+  for (int round = 0; round < 200; ++round) {
+    std::string input;
+    std::uniform_int_distribution<int> count(1, 12);
+    int n = count(rng);
+    for (int i = 0; i < n; ++i) input += fragments[pick(rng)];
+    Directory d(w.vocab);
+    auto result = LoadLdif(input, &d);
+    if (result.ok()) {
+      // Loaded entries must be internally consistent.
+      d.ForEachAlive([&](const Entry& e) {
+        EXPECT_FALSE(e.classes().empty());
+      });
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RobustnessTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,93 @@
+#include "ldap/dn.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+TEST(DnTest, ParseBasic) {
+  auto dn = DistinguishedName::Parse("uid=laks,ou=databases,o=att");
+  ASSERT_TRUE(dn.ok());
+  ASSERT_EQ(dn->Depth(), 3u);
+  EXPECT_EQ(dn->rdns()[0], "uid=laks");
+  EXPECT_EQ(dn->rdns()[2], "o=att");
+  EXPECT_EQ(dn->Leaf(), "uid=laks");
+  EXPECT_EQ(dn->ToString(), "uid=laks,ou=databases,o=att");
+}
+
+TEST(DnTest, ParseEmpty) {
+  auto dn = DistinguishedName::Parse("   ");
+  ASSERT_TRUE(dn.ok());
+  EXPECT_TRUE(dn->IsEmpty());
+  EXPECT_EQ(dn->ToString(), "");
+}
+
+TEST(DnTest, ParseRejectsMalformedRdns) {
+  EXPECT_FALSE(DistinguishedName::Parse("uid=a,,o=b").ok());
+  EXPECT_FALSE(DistinguishedName::Parse("justaname").ok());
+  EXPECT_FALSE(DistinguishedName::Parse("=value,o=b").ok());
+}
+
+TEST(DnTest, EscapedComma) {
+  auto dn = DistinguishedName::Parse("cn=doe\\, john,o=att");
+  ASSERT_TRUE(dn.ok());
+  ASSERT_EQ(dn->Depth(), 2u);
+  EXPECT_EQ(dn->rdns()[0], "cn=doe\\, john");
+}
+
+TEST(DnTest, ParentAndChild) {
+  auto dn = DistinguishedName::Parse("uid=laks,ou=db,o=att");
+  DistinguishedName parent = dn->Parent();
+  EXPECT_EQ(parent.ToString(), "ou=db,o=att");
+  EXPECT_EQ(parent.Parent().ToString(), "o=att");
+  EXPECT_TRUE(parent.Parent().Parent().IsEmpty());
+  DistinguishedName child = parent.Child("uid=suciu");
+  EXPECT_EQ(child.ToString(), "uid=suciu,ou=db,o=att");
+}
+
+TEST(DnTest, EqualsIsCaseInsensitive) {
+  auto a = DistinguishedName::Parse("uid=Laks,O=ATT");
+  auto b = DistinguishedName::Parse("UID=laks,o=att");
+  EXPECT_TRUE(a->Equals(*b));
+  auto c = DistinguishedName::Parse("uid=other,o=att");
+  EXPECT_FALSE(a->Equals(*c));
+}
+
+TEST(DnTest, ResolveAndDnOfRoundTrip) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId att = AddBare(d, kInvalidEntryId, "o=att", {w.top, w.org});
+  EntryId labs = AddBare(d, att, "ou=labs", {w.top, w.org});
+  EntryId laks = AddBare(d, labs, "uid=laks", {w.top, w.person});
+
+  auto resolved = ResolveDn(d, *DistinguishedName::Parse("uid=laks,ou=labs,o=att"));
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, laks);
+
+  auto dn = DnOf(d, laks);
+  ASSERT_TRUE(dn.ok());
+  EXPECT_EQ(dn->ToString(), "uid=laks,ou=labs,o=att");
+
+  EXPECT_EQ(ResolveDn(d, *DistinguishedName::Parse("uid=eve,ou=labs,o=att"))
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(ResolveDn(d, DistinguishedName()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(DnTest, DnOfDeadEntryFails) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId a = AddBare(d, kInvalidEntryId, "o=a", {w.top});
+  ASSERT_TRUE(d.DeleteLeaf(a).ok());
+  EXPECT_EQ(DnOf(d, a).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ldapbound

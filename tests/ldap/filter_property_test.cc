@@ -1,0 +1,69 @@
+// Property test: the SubstringMatcher's anchored-greedy wildcard algorithm
+// must agree with a naive exponential reference matcher on random
+// pattern/string pairs over a small alphabet.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ldap/filter.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::SimpleWorld;
+
+// Classic recursive wildcard semantics: '*' matches any (possibly empty)
+// substring.
+bool ReferenceMatch(std::string_view pattern, std::string_view s) {
+  if (pattern.empty()) return s.empty();
+  if (pattern[0] == '*') {
+    return ReferenceMatch(pattern.substr(1), s) ||
+           (!s.empty() && ReferenceMatch(pattern, s.substr(1)));
+  }
+  return !s.empty() && pattern[0] == s[0] &&
+         ReferenceMatch(pattern.substr(1), s.substr(1));
+}
+
+class FilterPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FilterPropertyTest, SubstringMatcherAgreesWithReference) {
+  uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> pattern_len(1, 8);
+  std::uniform_int_distribution<int> string_len(0, 10);
+  std::uniform_int_distribution<int> pattern_char(0, 2);  // a, b, *
+  std::uniform_int_distribution<int> string_char(0, 1);   // a, b
+
+  SimpleWorld w;
+  Directory d(w.vocab);
+
+  for (int round = 0; round < 400; ++round) {
+    std::string pattern;
+    int plen = pattern_len(rng);
+    for (int i = 0; i < plen; ++i) {
+      pattern += "ab*"[pattern_char(rng)];
+    }
+    if (pattern.find('*') == std::string::npos) pattern += '*';
+
+    std::string value;
+    int slen = string_len(rng);
+    for (int i = 0; i < slen; ++i) value += "ab"[string_char(rng)];
+
+    Directory fresh(w.vocab);
+    EntryId id = fresh
+                     .AddEntry(kInvalidEntryId, "cn=x", {w.top},
+                               {{w.name, Value(value)}})
+                     .value();
+    SubstringMatcher matcher(w.name, pattern);
+    EXPECT_EQ(matcher.Matches(fresh.entry(id)),
+              ReferenceMatch(pattern, value))
+        << "pattern='" << pattern << "' value='" << value << "'";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FilterPropertyTest,
+                         ::testing::Range<uint64_t>(1, 9));
+
+}  // namespace
+}  // namespace ldapbound

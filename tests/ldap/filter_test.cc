@@ -1,0 +1,114 @@
+#include "ldap/filter.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::SimpleWorld;
+
+class FilterTest : public ::testing::Test {
+ protected:
+  FilterTest() : directory_(world_.vocab) {
+    EntrySpec bob;
+    bob.rdn = "uid=bob";
+    bob.classes = {"person", "top"};
+    bob.values = {{"name", "Bob Smith"}, {"age", "31"}};
+    bob_ = directory_.AddEntryFromSpec(kInvalidEntryId, bob).value();
+
+    EntrySpec acme;
+    acme.rdn = "o=acme";
+    acme.classes = {"org", "top"};
+    acme.values = {{"ou", "acme"}, {"active", "true"}};
+    acme_ = directory_.AddEntryFromSpec(kInvalidEntryId, acme).value();
+  }
+
+  bool Matches(const std::string& filter, EntryId id) {
+    auto m = ParseFilter(filter, *world_.vocab);
+    EXPECT_TRUE(m.ok()) << filter << ": " << m.status();
+    return (*m)->Matches(directory_.entry(id));
+  }
+
+  SimpleWorld world_;
+  Directory directory_;
+  EntryId bob_;
+  EntryId acme_;
+};
+
+TEST_F(FilterTest, Equality) {
+  EXPECT_TRUE(Matches("(name=Bob Smith)", bob_));
+  EXPECT_FALSE(Matches("(name=bob smith)", bob_));  // values case-sensitive
+  EXPECT_FALSE(Matches("(name=Bob Smith)", acme_));
+}
+
+TEST_F(FilterTest, ObjectClassCompilesToClassTest) {
+  EXPECT_TRUE(Matches("(objectClass=person)", bob_));
+  EXPECT_TRUE(Matches("(objectClass=PERSON)", bob_));  // names insensitive
+  EXPECT_FALSE(Matches("(objectClass=person)", acme_));
+  EXPECT_TRUE(Matches("(objectClass=top)", acme_));
+}
+
+TEST_F(FilterTest, Presence) {
+  EXPECT_TRUE(Matches("(age=*)", bob_));
+  EXPECT_FALSE(Matches("(age=*)", acme_));
+}
+
+TEST_F(FilterTest, Substring) {
+  EXPECT_TRUE(Matches("(name=Bob*)", bob_));
+  EXPECT_TRUE(Matches("(name=*Smith)", bob_));
+  EXPECT_TRUE(Matches("(name=*ob*mit*)", bob_));
+  EXPECT_FALSE(Matches("(name=*Smythe)", bob_));
+  EXPECT_FALSE(Matches("(name=Smith*)", bob_));
+}
+
+TEST_F(FilterTest, SubstringAnchors) {
+  // "B*b Smith" must anchor both ends.
+  EXPECT_TRUE(Matches("(name=B*h)", bob_));
+  EXPECT_FALSE(Matches("(name=o*h)", bob_));   // front anchor fails
+  EXPECT_FALSE(Matches("(name=B*it)", bob_));  // back anchor fails
+}
+
+TEST_F(FilterTest, IntegerComparisons) {
+  EXPECT_TRUE(Matches("(age>=31)", bob_));
+  EXPECT_TRUE(Matches("(age>=30)", bob_));
+  EXPECT_FALSE(Matches("(age>=32)", bob_));
+  EXPECT_TRUE(Matches("(age<=31)", bob_));
+  EXPECT_FALSE(Matches("(age<=30)", bob_));
+}
+
+TEST_F(FilterTest, BooleanCombinators) {
+  EXPECT_TRUE(Matches("(&(objectClass=person)(age>=30))", bob_));
+  EXPECT_FALSE(Matches("(&(objectClass=person)(age>=99))", bob_));
+  EXPECT_TRUE(Matches("(|(objectClass=org)(objectClass=person))", acme_));
+  EXPECT_TRUE(Matches("(!(objectClass=person))", acme_));
+  EXPECT_FALSE(Matches("(!(objectClass=person))", bob_));
+  EXPECT_TRUE(
+      Matches("(&(objectClass=top)(|(age>=30)(active=true)))", acme_));
+}
+
+TEST_F(FilterTest, UnknownAttributeOrClassMatchesNothing) {
+  EXPECT_FALSE(Matches("(frobnicator=3)", bob_));
+  EXPECT_FALSE(Matches("(objectClass=alien)", bob_));
+  // ...and its negation matches everything (LDAP undefined semantics).
+  EXPECT_TRUE(Matches("(!(frobnicator=3))", bob_));
+}
+
+TEST_F(FilterTest, ParseErrors) {
+  EXPECT_FALSE(ParseFilter("name=Bob", *world_.vocab).ok());      // no parens
+  EXPECT_FALSE(ParseFilter("(name=Bob", *world_.vocab).ok());     // unclosed
+  EXPECT_FALSE(ParseFilter("(&)", *world_.vocab).ok());           // empty list
+  EXPECT_FALSE(ParseFilter("(name=Bob)x", *world_.vocab).ok());   // trailing
+  EXPECT_FALSE(ParseFilter("(age>=ten)", *world_.vocab).ok());    // not int
+}
+
+TEST_F(FilterTest, ToStringIsStable) {
+  auto m = ParseFilter("(&(objectClass=person)(age>=30))", *world_.vocab);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ((*m)->ToString(*world_.vocab),
+            "(&objectClass=personage>=30)");
+}
+
+}  // namespace
+}  // namespace ldapbound

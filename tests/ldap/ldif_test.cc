@@ -1,0 +1,171 @@
+#include "ldap/ldif.h"
+
+#include <gtest/gtest.h>
+
+#include "ldap/dn.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::SimpleWorld;
+
+constexpr char kSample[] = R"(# a comment
+dn: o=att
+objectClass: top
+objectClass: org
+ou: research
+
+dn: uid=laks,o=att
+objectClass: top
+objectClass: person
+name: laks lakshmanan
+mail: laks@cs.concordia.ca
+mail: laks@cse.iitb.ernet.in
+)";
+
+TEST(LdifTest, LoadBasic) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  auto n = LoadLdif(kSample, &d);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  auto laks = ResolveDn(d, *DistinguishedName::Parse("uid=laks,o=att"));
+  ASSERT_TRUE(laks.ok());
+  const Entry& e = d.entry(*laks);
+  EXPECT_TRUE(e.HasClass(w.person));
+  EXPECT_EQ(e.GetValues(w.mail).size(), 2u);
+  EXPECT_EQ(e.GetValues(w.name)[0].AsString(), "laks lakshmanan");
+}
+
+TEST(LdifTest, ContinuationLines) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  std::string text =
+      "dn: o=att\n"
+      "objectClass: top\n"
+      "name: a very long\n"
+      "  name indeed\n";
+  ASSERT_TRUE(LoadLdif(text, &d).ok());
+  EntryId root = d.roots()[0];
+  EXPECT_EQ(d.entry(root).GetValues(w.name)[0].AsString(),
+            "a very long name indeed");
+}
+
+TEST(LdifTest, ParentMustComeFirst) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  std::string text =
+      "dn: uid=laks,o=att\n"
+      "objectClass: top\n";
+  auto n = LoadLdif(text, &d);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LdifTest, RecordWithoutDnFails) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EXPECT_FALSE(LoadLdif("objectClass: top\n", &d).ok());
+}
+
+TEST(LdifTest, MalformedLineFails) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EXPECT_FALSE(LoadLdif("dn: o=a\nobjectClass top\n", &d).ok());
+}
+
+TEST(LdifTest, TypedValueParsing) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  std::string good =
+      "dn: uid=bob\n"
+      "objectClass: top\n"
+      "age: 42\n";
+  ASSERT_TRUE(LoadLdif(good, &d).ok());
+  EXPECT_EQ(d.entry(d.roots()[0]).GetValues(w.age)[0].AsInteger(), 42);
+
+  Directory d2(w.vocab);
+  std::string bad =
+      "dn: uid=bob\n"
+      "objectClass: top\n"
+      "age: forty\n";
+  EXPECT_FALSE(LoadLdif(bad, &d2).ok());
+}
+
+TEST(LdifTest, WriteThenLoadRoundTrips) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  ASSERT_TRUE(LoadLdif(kSample, &d).ok());
+  std::string out = WriteLdif(d);
+
+  Directory d2(w.vocab);
+  auto n = LoadLdif(out, &d2);
+  ASSERT_TRUE(n.ok()) << n.status() << "\n" << out;
+  EXPECT_EQ(*n, 2u);
+  auto laks = ResolveDn(d2, *DistinguishedName::Parse("uid=laks,o=att"));
+  ASSERT_TRUE(laks.ok());
+  EXPECT_EQ(d2.entry(*laks).GetValues(w.mail).size(), 2u);
+  EXPECT_EQ(WriteLdif(d2), out);
+}
+
+TEST(LdifTest, Base64ValuesDecoded) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  // "caf\xc3\xa9 row" base64-encoded.
+  std::string text =
+      "dn: o=att\n"
+      "objectClass: top\n"
+      "name:: Y2Fmw6kgcm93\n";
+  ASSERT_TRUE(LoadLdif(text, &d).ok());
+  EXPECT_EQ(d.entry(d.roots()[0]).GetValues(w.name)[0].AsString(),
+            "caf\xc3\xa9 row");
+}
+
+TEST(LdifTest, UnsafeValuesWrittenAsBase64AndRoundTrip) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId root =
+      d.AddEntry(kInvalidEntryId, "o=att", {w.top},
+                 {{w.name, Value(" leading space and caf\xc3\xa9")}})
+          .value();
+  (void)root;
+  std::string out = WriteLdif(d);
+  EXPECT_NE(out.find("name:: "), std::string::npos);
+  Directory d2(w.vocab);
+  ASSERT_TRUE(LoadLdif(out, &d2).ok());
+  EXPECT_EQ(d2.entry(d2.roots()[0]).GetValues(w.name)[0].AsString(),
+            " leading space and caf\xc3\xa9");
+  EXPECT_EQ(WriteLdif(d2), out);
+}
+
+TEST(LdifTest, BadBase64Rejected) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  std::string text =
+      "dn: o=att\n"
+      "objectClass: top\n"
+      "name:: !!!!\n";
+  EXPECT_FALSE(LoadLdif(text, &d).ok());
+}
+
+TEST(LdifTest, UrlValuesRejected) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  std::string text =
+      "dn: o=att\n"
+      "objectClass: top\n"
+      "name:< file:///etc/passwd\n";
+  EXPECT_FALSE(LoadLdif(text, &d).ok());
+}
+
+TEST(LdifTest, CrLfAccepted) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  std::string text = "dn: o=att\r\nobjectClass: top\r\n";
+  ASSERT_TRUE(LoadLdif(text, &d).ok());
+  EXPECT_EQ(d.NumEntries(), 1u);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,121 @@
+#include "ldap/query_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "query/evaluator.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+class QueryParserTest : public ::testing::Test {
+ protected:
+  QueryParserTest() : d_(w_.vocab) {
+    att_ = AddBare(d_, kInvalidEntryId, "o=att", {w_.top, w_.org});
+    labs_ = AddBare(d_, att_, "ou=labs", {w_.top, w_.org});
+    laks_ = AddBare(d_, labs_, "uid=laks", {w_.top, w_.person});
+    empty_ = AddBare(d_, att_, "ou=empty", {w_.top, w_.org});
+  }
+
+  Result<Query> Parse(const std::string& text) {
+    return ParseQuery(text, *w_.vocab);
+  }
+
+  std::vector<EntryId> Eval(const Query& q) {
+    QueryEvaluator evaluator(d_);
+    return evaluator.Evaluate(q).ToVector();
+  }
+
+  SimpleWorld w_;
+  Directory d_;
+  EntryId att_, labs_, laks_, empty_;
+};
+
+TEST_F(QueryParserTest, Atomic) {
+  auto q = Parse("(objectClass=person)");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(Eval(*q), (std::vector<EntryId>{laks_}));
+}
+
+TEST_F(QueryParserTest, PaperQ1) {
+  // §3.2's Q1 with our class names: org entries lacking a person
+  // descendant.
+  auto q = Parse(
+      "(? (objectClass=org) (d (objectClass=org) (objectClass=person)))");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(Eval(*q), (std::vector<EntryId>{empty_}));
+}
+
+TEST_F(QueryParserTest, PaperQ2) {
+  auto q = Parse("(c (objectClass=person) (objectClass=top))");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(Eval(*q).empty());
+}
+
+TEST_F(QueryParserTest, AllAxes) {
+  EXPECT_EQ(Eval(*Parse("(p (objectClass=org) (objectClass=org))")),
+            (std::vector<EntryId>{labs_, empty_}));
+  EXPECT_EQ(Eval(*Parse("(a (objectClass=person) (objectClass=org))")),
+            (std::vector<EntryId>{laks_}));
+}
+
+TEST_F(QueryParserTest, UnionIntersect) {
+  EXPECT_EQ(
+      Eval(*Parse("(U (objectClass=person) (objectClass=org))")).size(),
+      4u);
+  EXPECT_EQ(
+      Eval(*Parse("(N (objectClass=person) (objectClass=top))")),
+      (std::vector<EntryId>{laks_}));
+}
+
+TEST_F(QueryParserTest, RichAtomicFilters) {
+  ASSERT_TRUE(d_.AddValue(laks_, w_.name, Value("laks")).ok());
+  auto q = Parse("(&(objectClass=person)(name=l*))");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_EQ(Eval(*q), (std::vector<EntryId>{laks_}));
+}
+
+TEST_F(QueryParserTest, ScopeSuffixes) {
+  auto q = Parse("(objectClass=person)[empty]");
+  ASSERT_TRUE(q.ok()) << q.status();
+  EXPECT_TRUE(Eval(*q).empty());
+  EXPECT_TRUE(Parse("(objectClass=person)[delta]").ok());
+  EXPECT_TRUE(Parse("(objectClass=person)[old]").ok());
+  EXPECT_FALSE(Parse("(objectClass=person)[sideways]").ok());
+}
+
+TEST_F(QueryParserTest, RoundTripsThroughToString) {
+  const char* queries[] = {
+      "(objectClass=person)",
+      "(? (objectClass=org) (d (objectClass=org) (objectClass=person)))",
+      "(c (objectClass=person) (objectClass=top))",
+      "(U (objectClass=person) (objectClass=org))",
+      "(N (objectClass=person) (objectClass=top))",
+      "(a (objectClass=person)[delta] (objectClass=org)[old])",
+  };
+  for (const char* text : queries) {
+    auto q = Parse(text);
+    ASSERT_TRUE(q.ok()) << text << ": " << q.status();
+    std::string printed = q->ToString(*w_.vocab);
+    auto again = Parse(printed);
+    ASSERT_TRUE(again.ok()) << printed << ": " << again.status();
+    EXPECT_EQ(again->ToString(*w_.vocab), printed);
+  }
+}
+
+TEST_F(QueryParserTest, Errors) {
+  EXPECT_FALSE(Parse("").ok());
+  EXPECT_FALSE(Parse("objectClass=person").ok());  // no parens
+  EXPECT_FALSE(Parse("(? (objectClass=org))").ok());  // missing operand
+  EXPECT_FALSE(
+      Parse("(d (objectClass=a) (objectClass=b) (objectClass=c))").ok());
+  EXPECT_FALSE(Parse("(U)").ok());
+  EXPECT_FALSE(Parse("(? (objectClass=a) (objectClass=b)) x").ok());
+  EXPECT_FALSE(Parse("((objectClass=a)").ok());  // unbalanced
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,222 @@
+#include "model/directory.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+TEST(DirectoryTest, AddRootAndChild) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top, w.org});
+  EntryId child = AddBare(d, root, "uid=bob", {w.top, w.person});
+  EXPECT_EQ(d.NumEntries(), 2u);
+  EXPECT_EQ(d.entry(child).parent(), root);
+  ASSERT_EQ(d.entry(root).children().size(), 1u);
+  EXPECT_EQ(d.entry(root).children()[0], child);
+  EXPECT_EQ(d.roots(), std::vector<EntryId>{root});
+}
+
+TEST(DirectoryTest, ParentMustExist) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  auto r = d.AddEntry(77, "uid=x", {w.top}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DirectoryTest, EntryMustHaveAClass) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  auto r = d.AddEntry(kInvalidEntryId, "uid=x", {}, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DirectoryTest, SiblingRdnsMustBeUnique) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top});
+  AddBare(d, root, "uid=bob", {w.top});
+  auto dup = d.AddEntry(root, "UID=BOB", {w.top}, {});
+  ASSERT_FALSE(dup.ok());
+  EXPECT_EQ(dup.status().code(), StatusCode::kAlreadyExists);
+  // Same RDN under a different parent is fine.
+  EntryId other = AddBare(d, kInvalidEntryId, "o=other", {w.top});
+  EXPECT_TRUE(d.AddEntry(other, "uid=bob", {w.top}, {}).ok());
+}
+
+TEST(DirectoryTest, ValueTypeChecked) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  auto bad = d.AddEntry(kInvalidEntryId, "uid=x", {w.top},
+                        {AttributeValue{w.age, Value("not a number")}});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  auto good = d.AddEntry(kInvalidEntryId, "uid=y", {w.top},
+                         {AttributeValue{w.age, Value(int64_t{30})}});
+  EXPECT_TRUE(good.ok());
+}
+
+TEST(DirectoryTest, ObjectClassValuesBecomeClasses) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  AttributeId oc = w.vocab->objectclass_attr();
+  EntryId id = d.AddEntry(kInvalidEntryId, "uid=x", {w.top},
+                          {AttributeValue{oc, Value("person")}})
+                   .value();
+  EXPECT_TRUE(d.entry(id).HasClass(w.person));
+  EXPECT_TRUE(d.entry(id).HasClass(w.top));
+  // objectClass pairs are not duplicated into values().
+  EXPECT_FALSE(d.entry(id).HasAttribute(oc));
+}
+
+TEST(DirectoryTest, AddRemoveValueKeepsSortedMultiset) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId id = AddBare(d, kInvalidEntryId, "uid=x", {w.top, w.person});
+  ASSERT_TRUE(d.AddValue(id, w.mail, Value("b@x")).ok());
+  ASSERT_TRUE(d.AddValue(id, w.mail, Value("a@x")).ok());
+  ASSERT_TRUE(d.AddValue(id, w.mail, Value("a@x")).ok());  // duplicate no-op
+  auto values = d.entry(id).GetValues(w.mail);
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0].AsString(), "a@x");
+  EXPECT_EQ(values[1].AsString(), "b@x");
+  ASSERT_TRUE(d.RemoveValue(id, w.mail, Value("a@x")).ok());
+  EXPECT_EQ(d.entry(id).GetValues(w.mail).size(), 1u);
+  EXPECT_EQ(d.RemoveValue(id, w.mail, Value("zz")).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(DirectoryTest, AddRemoveClassMaintainsCounts) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId id = AddBare(d, kInvalidEntryId, "uid=x", {w.top});
+  EXPECT_EQ(d.CountWithClass(w.person), 0u);
+  ASSERT_TRUE(d.AddClass(id, w.person).ok());
+  EXPECT_EQ(d.CountWithClass(w.person), 1u);
+  ASSERT_TRUE(d.RemoveClass(id, w.person).ok());
+  EXPECT_EQ(d.CountWithClass(w.person), 0u);
+  // The last class cannot be removed.
+  EXPECT_EQ(d.RemoveClass(id, w.top).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(DirectoryTest, DeleteLeafOnly) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top});
+  EntryId child = AddBare(d, root, "uid=bob", {w.top, w.person});
+  EXPECT_EQ(d.DeleteLeaf(root).code(), StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(d.DeleteLeaf(child).ok());
+  EXPECT_FALSE(d.IsAlive(child));
+  EXPECT_EQ(d.NumEntries(), 1u);
+  EXPECT_EQ(d.CountWithClass(w.person), 0u);
+  EXPECT_TRUE(d.entry(root).children().empty());
+  ASSERT_TRUE(d.DeleteLeaf(root).ok());
+  EXPECT_TRUE(d.roots().empty());
+}
+
+TEST(DirectoryTest, DeleteSubtree) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top});
+  EntryId a = AddBare(d, root, "ou=a", {w.top, w.org});
+  AddBare(d, a, "uid=p1", {w.top, w.person});
+  AddBare(d, a, "uid=p2", {w.top, w.person});
+  ASSERT_TRUE(d.DeleteSubtree(a).ok());
+  EXPECT_EQ(d.NumEntries(), 1u);
+  EXPECT_TRUE(d.IsAlive(root));
+}
+
+TEST(DirectoryTest, DeletedIdsAreNotReused) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId a = AddBare(d, kInvalidEntryId, "o=a", {w.top});
+  ASSERT_TRUE(d.DeleteLeaf(a).ok());
+  EntryId b = AddBare(d, kInvalidEntryId, "o=b", {w.top});
+  EXPECT_NE(a, b);
+  EXPECT_EQ(d.IdCapacity(), 2u);
+}
+
+TEST(DirectoryTest, FindChildByRdn) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top});
+  EntryId bob = AddBare(d, root, "uid=bob", {w.top});
+  EXPECT_EQ(d.FindChildByRdn(kInvalidEntryId, "O=ACME"), root);
+  EXPECT_EQ(d.FindChildByRdn(root, "uid=bob"), bob);
+  EXPECT_EQ(d.FindChildByRdn(root, "uid=eve"), kInvalidEntryId);
+}
+
+TEST(DirectoryTest, AddEntryFromSpecParsesTypes) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntrySpec spec;
+  spec.rdn = "uid=bob";
+  spec.classes = {"person", "top"};
+  spec.values = {{"name", "Bob"}, {"age", "31"}, {"active", "true"}};
+  auto id = d.AddEntryFromSpec(kInvalidEntryId, spec);
+  ASSERT_TRUE(id.ok());
+  const Entry& e = d.entry(*id);
+  EXPECT_EQ(e.GetValues(w.age)[0].AsInteger(), 31);
+  EXPECT_EQ(e.GetValues(w.active)[0].AsBoolean(), true);
+  EXPECT_EQ(e.NumAttributes(), 3u);
+}
+
+TEST(DirectoryTest, VersionBumpsOnMutation) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  uint64_t v0 = d.version();
+  EntryId id = AddBare(d, kInvalidEntryId, "o=a", {w.top});
+  EXPECT_GT(d.version(), v0);
+  uint64_t v1 = d.version();
+  ASSERT_TRUE(d.AddValue(id, w.name, Value("x")).ok());
+  EXPECT_GT(d.version(), v1);
+}
+
+TEST(DirectoryTest, ComputeStats) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId r = AddBare(d, kInvalidEntryId, "o=r", {w.top});
+  EntryId a = AddBare(d, r, "ou=a", {w.top, w.org});
+  ASSERT_TRUE(d.AddValue(a, w.ou, Value("a")).ok());
+  AddBare(d, a, "uid=p1", {w.top, w.person});
+  AddBare(d, a, "uid=p2", {w.top, w.person});
+  AddBare(d, kInvalidEntryId, "o=r2", {w.top});
+
+  DirectoryStats stats = d.ComputeStats();
+  EXPECT_EQ(stats.num_entries, 5u);
+  EXPECT_EQ(stats.num_roots, 2u);
+  EXPECT_EQ(stats.num_leaves, 3u);
+  EXPECT_EQ(stats.max_depth, 2u);
+  EXPECT_DOUBLE_EQ(stats.avg_depth, (0 + 1 + 2 + 2 + 0) / 5.0);
+  EXPECT_EQ(stats.max_fanout, 2u);
+  EXPECT_EQ(stats.total_values, 1u);
+  EXPECT_EQ(stats.total_classes, 1 + 2 + 2 + 2 + 1u);
+  EXPECT_EQ(stats.depth_histogram, (std::vector<size_t>{2, 1, 2}));
+
+  DirectoryStats empty = Directory(w.vocab).ComputeStats();
+  EXPECT_EQ(empty.num_entries, 0u);
+  EXPECT_DOUBLE_EQ(empty.avg_depth, 0.0);
+}
+
+TEST(DirectoryTest, SubtreeEntriesPreorder) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId root = AddBare(d, kInvalidEntryId, "o=r", {w.top});
+  EntryId a = AddBare(d, root, "ou=a", {w.top});
+  EntryId b = AddBare(d, root, "ou=b", {w.top});
+  EntryId a1 = AddBare(d, a, "uid=a1", {w.top});
+  EXPECT_EQ(d.SubtreeEntries(root),
+            (std::vector<EntryId>{root, a, a1, b}));
+  EXPECT_EQ(d.SubtreeEntries(a), (std::vector<EntryId>{a, a1}));
+}
+
+}  // namespace
+}  // namespace ldapbound

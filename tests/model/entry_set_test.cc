@@ -1,0 +1,78 @@
+#include "model/entry_set.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+TEST(EntrySetTest, InsertEraseContains) {
+  EntrySet set(200);
+  EXPECT_TRUE(set.Empty());
+  set.Insert(0);
+  set.Insert(63);
+  set.Insert(64);
+  set.Insert(199);
+  EXPECT_TRUE(set.Contains(0));
+  EXPECT_TRUE(set.Contains(63));
+  EXPECT_TRUE(set.Contains(64));
+  EXPECT_TRUE(set.Contains(199));
+  EXPECT_FALSE(set.Contains(1));
+  EXPECT_FALSE(set.Contains(500));  // out of capacity: false, not UB
+  EXPECT_EQ(set.Count(), 4u);
+  set.Erase(63);
+  EXPECT_FALSE(set.Contains(63));
+  EXPECT_EQ(set.Count(), 3u);
+}
+
+TEST(EntrySetTest, SetAlgebra) {
+  EntrySet a(128), b(128);
+  a.Insert(1);
+  a.Insert(2);
+  a.Insert(100);
+  b.Insert(2);
+  b.Insert(3);
+
+  EntrySet u = a;
+  u.UnionWith(b);
+  EXPECT_EQ(u.Count(), 4u);
+
+  EntrySet i = a;
+  i.IntersectWith(b);
+  EXPECT_EQ(i.Count(), 1u);
+  EXPECT_TRUE(i.Contains(2));
+
+  EntrySet d = a;
+  d.SubtractFrom(b);
+  EXPECT_EQ(d.Count(), 2u);
+  EXPECT_TRUE(d.Contains(1));
+  EXPECT_TRUE(d.Contains(100));
+  EXPECT_FALSE(d.Contains(2));
+}
+
+TEST(EntrySetTest, ForEachAscending) {
+  EntrySet set(300);
+  for (EntryId id : {250u, 3u, 64u, 65u}) set.Insert(id);
+  std::vector<EntryId> seen;
+  set.ForEach([&](EntryId id) { seen.push_back(id); });
+  EXPECT_EQ(seen, (std::vector<EntryId>{3, 64, 65, 250}));
+  EXPECT_EQ(set.ToVector(), seen);
+}
+
+TEST(EntrySetTest, ClearAndEquality) {
+  EntrySet a(64), b(64);
+  a.Insert(5);
+  EXPECT_FALSE(a == b);
+  a.Clear();
+  EXPECT_TRUE(a == b);
+  EXPECT_TRUE(a.Empty());
+}
+
+TEST(EntrySetTest, CapacityZero) {
+  EntrySet set;
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Count(), 0u);
+  EXPECT_FALSE(set.Contains(0));
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,77 @@
+#include "model/value.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+TEST(ValueTest, DefaultIsEmptyString) {
+  Value v;
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.AsString(), "");
+}
+
+TEST(ValueTest, Constructors) {
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+  EXPECT_EQ(Value(int64_t{-3}).AsInteger(), -3);
+  EXPECT_EQ(Value(true).AsBoolean(), true);
+}
+
+TEST(ValueTest, ParseString) {
+  auto v = Value::Parse(ValueType::kString, "anything at all");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsString(), "anything at all");
+}
+
+TEST(ValueTest, ParseInteger) {
+  auto v = Value::Parse(ValueType::kInteger, "-42");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v->AsInteger(), -42);
+  EXPECT_FALSE(Value::Parse(ValueType::kInteger, "12x").ok());
+  EXPECT_FALSE(Value::Parse(ValueType::kInteger, "").ok());
+}
+
+TEST(ValueTest, ParseBoolean) {
+  EXPECT_TRUE(Value::Parse(ValueType::kBoolean, "TRUE")->AsBoolean());
+  EXPECT_FALSE(Value::Parse(ValueType::kBoolean, "false")->AsBoolean());
+  EXPECT_FALSE(Value::Parse(ValueType::kBoolean, "yes").ok());
+}
+
+TEST(ValueTest, ToStringRoundTrips) {
+  for (const char* s : {"", "x", "hello world"}) {
+    Value v(s);
+    EXPECT_EQ(Value::Parse(ValueType::kString, v.ToString())->AsString(), s);
+  }
+  Value i(int64_t{-7});
+  EXPECT_EQ(Value::Parse(ValueType::kInteger, i.ToString())->AsInteger(), -7);
+  Value b(true);
+  EXPECT_EQ(Value::Parse(ValueType::kBoolean, b.ToString())->AsBoolean(),
+            true);
+}
+
+TEST(ValueTest, OrderingIsTypeThenContent) {
+  // string < integer < boolean by variant index.
+  EXPECT_LT(Value("zzz"), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{0}), Value(false));
+  EXPECT_LT(Value("a"), Value("b"));
+  EXPECT_LT(Value(int64_t{1}), Value(int64_t{2}));
+}
+
+TEST(ValueTest, EqualityAndHash) {
+  EXPECT_EQ(Value("a"), Value("a"));
+  EXPECT_NE(Value("a"), Value("b"));
+  EXPECT_NE(Value("1"), Value(int64_t{1}));
+  EXPECT_EQ(Value("a").Hash(), Value("a").Hash());
+  EXPECT_EQ(Value(int64_t{5}).Hash(), Value(int64_t{5}).Hash());
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_EQ(ValueTypeToString(ValueType::kString), "string");
+  EXPECT_EQ(ValueTypeToString(ValueType::kInteger), "integer");
+  EXPECT_EQ(ValueTypeToString(ValueType::kBoolean), "boolean");
+  EXPECT_EQ(*ValueTypeFromString("Integer"), ValueType::kInteger);
+  EXPECT_FALSE(ValueTypeFromString("float").ok());
+}
+
+}  // namespace
+}  // namespace ldapbound

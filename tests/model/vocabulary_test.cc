@@ -1,0 +1,65 @@
+#include "model/vocabulary.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+TEST(VocabularyTest, PreInternedNames) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.AttributeName(vocab.objectclass_attr()), "objectClass");
+  EXPECT_EQ(vocab.AttributeType(vocab.objectclass_attr()),
+            ValueType::kString);
+  EXPECT_EQ(vocab.ClassName(vocab.top_class()), "top");
+}
+
+TEST(VocabularyTest, DefineAttributeIsIdempotent) {
+  Vocabulary vocab;
+  auto a = vocab.DefineAttribute("age", ValueType::kInteger);
+  ASSERT_TRUE(a.ok());
+  auto again = vocab.DefineAttribute("AGE", ValueType::kInteger);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*a, *again);
+}
+
+TEST(VocabularyTest, DefineAttributeTypeConflict) {
+  Vocabulary vocab;
+  ASSERT_TRUE(vocab.DefineAttribute("age", ValueType::kInteger).ok());
+  auto conflict = vocab.DefineAttribute("age", ValueType::kString);
+  ASSERT_FALSE(conflict.ok());
+  EXPECT_EQ(conflict.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST(VocabularyTest, CaseInsensitiveLookupPreservesSpelling) {
+  Vocabulary vocab;
+  AttributeId id = vocab.InternAttribute("telephoneNumber");
+  EXPECT_EQ(*vocab.FindAttribute("TELEPHONENUMBER"), id);
+  EXPECT_EQ(vocab.AttributeName(id), "telephoneNumber");
+}
+
+TEST(VocabularyTest, FindMissing) {
+  Vocabulary vocab;
+  EXPECT_EQ(vocab.FindAttribute("nope").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(vocab.FindClass("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(VocabularyTest, ClassInterning) {
+  Vocabulary vocab;
+  ClassId c = vocab.InternClass("Person");
+  EXPECT_EQ(vocab.InternClass("person"), c);
+  EXPECT_EQ(*vocab.FindClass("PERSON"), c);
+  EXPECT_EQ(vocab.ClassName(c), "Person");
+  EXPECT_EQ(vocab.num_classes(), 2u);  // top + Person
+}
+
+TEST(VocabularyTest, DenseIds) {
+  Vocabulary vocab;
+  AttributeId a1 = vocab.InternAttribute("a1");
+  AttributeId a2 = vocab.InternAttribute("a2");
+  EXPECT_EQ(a2, a1 + 1);
+  EXPECT_EQ(vocab.num_attributes(), 3u);  // objectClass + a1 + a2
+}
+
+}  // namespace
+}  // namespace ldapbound

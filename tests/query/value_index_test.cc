@@ -1,0 +1,135 @@
+#include "query/value_index.h"
+
+#include <gtest/gtest.h>
+
+#include "core/legality_checker.h"
+#include "query/evaluator.h"
+#include "tests/testing/helpers.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+class ValueIndexTest : public ::testing::Test {
+ protected:
+  ValueIndexTest() : d_(w_.vocab) {
+    att_ = AddBare(d_, kInvalidEntryId, "o=att", {w_.top, w_.org});
+    laks_ = d_.AddEntry(att_, "uid=laks", {w_.top, w_.person},
+                        {{w_.name, Value("laks")}})
+                .value();
+    suciu_ = d_.AddEntry(att_, "uid=suciu", {w_.top, w_.person},
+                         {{w_.name, Value("dan")}})
+                 .value();
+  }
+
+  SimpleWorld w_;
+  Directory d_;
+  EntryId att_, laks_, suciu_;
+};
+
+TEST_F(ValueIndexTest, ClassLookup) {
+  ValueIndex index(d_);
+  ASSERT_NE(index.LookupClass(w_.person), nullptr);
+  EXPECT_EQ(*index.LookupClass(w_.person),
+            (std::vector<EntryId>{laks_, suciu_}));
+  EXPECT_EQ(*index.LookupClass(w_.top),
+            (std::vector<EntryId>{att_, laks_, suciu_}));
+  EXPECT_EQ(index.LookupClass(w_.engineer), nullptr);
+}
+
+TEST_F(ValueIndexTest, ValueLookup) {
+  ValueIndex index(d_);
+  ASSERT_NE(index.LookupValue(w_.name, Value("laks")), nullptr);
+  EXPECT_EQ(*index.LookupValue(w_.name, Value("laks")),
+            (std::vector<EntryId>{laks_}));
+  EXPECT_EQ(index.LookupValue(w_.name, Value("nobody")), nullptr);
+}
+
+TEST_F(ValueIndexTest, StalenessAndRefresh) {
+  ValueIndex index(d_);
+  EXPECT_TRUE(index.IsFresh());
+  EntryId eve = AddBare(d_, att_, "uid=eve", {w_.top, w_.person});
+  EXPECT_FALSE(index.IsFresh());
+  // A stale index still answers from its snapshot...
+  EXPECT_EQ(index.LookupClass(w_.person)->size(), 2u);
+  // ...until refreshed.
+  index.Refresh();
+  EXPECT_TRUE(index.IsFresh());
+  EXPECT_EQ(index.LookupClass(w_.person)->size(), 3u);
+  EXPECT_EQ(index.LookupClass(w_.person)->back(), eve);
+}
+
+TEST_F(ValueIndexTest, EvaluatorUsesIndex) {
+  ValueIndex index(d_);
+  QueryEvaluator with(d_, nullptr, &index);
+  QueryEvaluator without(d_);
+  Query q = Query::Select(MatchClass(w_.person));
+  EXPECT_EQ(with.Evaluate(q).ToVector(), without.Evaluate(q).ToVector());
+  // The indexed run scanned only the 2 persons, not all entries.
+  EXPECT_EQ(with.stats().entries_scanned, 2u);
+  EXPECT_EQ(without.stats().entries_scanned, 3u);
+}
+
+TEST_F(ValueIndexTest, StaleIndexIgnoredByEvaluator) {
+  ValueIndex index(d_);
+  AddBare(d_, att_, "uid=new", {w_.top, w_.person});
+  QueryEvaluator evaluator(d_, nullptr, &index);
+  // Falls back to the scan: the new person appears.
+  EXPECT_EQ(evaluator.Evaluate(Query::Select(MatchClass(w_.person)))
+                .Count(),
+            3u);
+}
+
+TEST_F(ValueIndexTest, ScopedSelectsNeverUseIndex) {
+  ValueIndex index(d_);
+  EntrySet delta(d_.IdCapacity());
+  delta.Insert(laks_);
+  QueryEvaluator evaluator(d_, &delta, &index);
+  EXPECT_EQ(evaluator
+                .Evaluate(Query::Select(MatchClass(w_.person),
+                                        Scope::kDeltaOnly))
+                .ToVector(),
+            (std::vector<EntryId>{laks_}));
+  EXPECT_EQ(evaluator
+                .Evaluate(Query::Select(MatchClass(w_.person),
+                                        Scope::kExcludeDelta))
+                .ToVector(),
+            (std::vector<EntryId>{suciu_}));
+}
+
+TEST_F(ValueIndexTest, StructureCheckWithIndexAgrees) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  ASSERT_TRUE(schema.ok());
+  WhitePagesOptions options;
+  options.persons_per_unit = 3;
+  auto directory = MakeWhitePagesInstance(*schema, options);
+  ASSERT_TRUE(directory.ok());
+  ValueIndex index(*directory);
+  LegalityChecker checker(*schema);
+  std::vector<Violation> with, without;
+  bool a = checker.CheckStructure(*directory, &with, &index);
+  bool b = checker.CheckStructure(*directory, &without);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(with.size(), without.size());
+
+  // Break the instance; both modes must see it identically.
+  EntryId org = directory->roots()[0];
+  EntrySpec lonely;
+  lonely.rdn = "ou=lonely";
+  lonely.classes = {"orgUnit", "orgGroup", "top"};
+  lonely.values = {{"ou", "lonely"}};
+  ASSERT_TRUE(directory->AddEntryFromSpec(org, lonely).ok());
+  index.Refresh();
+  with.clear();
+  without.clear();
+  EXPECT_FALSE(checker.CheckStructure(*directory, &with, &index));
+  EXPECT_FALSE(checker.CheckStructure(*directory, &without));
+  EXPECT_EQ(with.size(), without.size());
+}
+
+}  // namespace
+}  // namespace ldapbound

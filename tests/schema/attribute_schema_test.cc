@@ -1,0 +1,58 @@
+#include "schema/attribute_schema.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+TEST(AttributeSchemaTest, RequiredImpliesAllowed) {
+  AttributeSchema schema;
+  schema.AddRequired(/*cls=*/1, /*attr=*/10);
+  EXPECT_TRUE(schema.IsRequired(1, 10));
+  EXPECT_TRUE(schema.IsAllowed(1, 10));
+  EXPECT_EQ(schema.Required(1), (std::vector<AttributeId>{10}));
+  EXPECT_EQ(schema.Allowed(1), (std::vector<AttributeId>{10}));
+}
+
+TEST(AttributeSchemaTest, AllowedOnlyIsNotRequired) {
+  AttributeSchema schema;
+  schema.AddAllowed(1, 11);
+  EXPECT_FALSE(schema.IsRequired(1, 11));
+  EXPECT_TRUE(schema.IsAllowed(1, 11));
+}
+
+TEST(AttributeSchemaTest, SortedUniqueSets) {
+  AttributeSchema schema;
+  schema.AddRequired(1, 30);
+  schema.AddRequired(1, 10);
+  schema.AddRequired(1, 20);
+  schema.AddRequired(1, 10);  // duplicate
+  EXPECT_EQ(schema.Required(1), (std::vector<AttributeId>{10, 20, 30}));
+}
+
+TEST(AttributeSchemaTest, UnmentionedClassHasEmptySets) {
+  AttributeSchema schema;
+  EXPECT_TRUE(schema.Required(99).empty());
+  EXPECT_TRUE(schema.Allowed(99).empty());
+  EXPECT_FALSE(schema.HasClass(99));
+  EXPECT_FALSE(schema.IsAllowed(99, 1));
+}
+
+TEST(AttributeSchemaTest, AddClassRegistersEmpty) {
+  AttributeSchema schema;
+  schema.AddClass(7);
+  EXPECT_TRUE(schema.HasClass(7));
+  EXPECT_TRUE(schema.Required(7).empty());
+}
+
+TEST(AttributeSchemaTest, ClassesAndAttributesEnumeration) {
+  AttributeSchema schema;
+  schema.AddRequired(2, 10);
+  schema.AddAllowed(1, 11);
+  schema.AddAllowed(2, 11);
+  EXPECT_EQ(schema.Classes(), (std::vector<ClassId>{1, 2}));
+  EXPECT_EQ(schema.Attributes(), (std::vector<AttributeId>{10, 11}));
+}
+
+}  // namespace
+}  // namespace ldapbound

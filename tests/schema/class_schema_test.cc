@@ -1,0 +1,112 @@
+#include "schema/class_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "model/vocabulary.h"
+
+namespace ldapbound {
+namespace {
+
+// Rebuilds the Figure 2 class schema and checks the §2.2 judgments.
+class Figure2Test : public ::testing::Test {
+ protected:
+  Figure2Test() : schema_(vocab_.top_class()) {
+    top_ = vocab_.top_class();
+    org_group_ = vocab_.InternClass("orgGroup");
+    organization_ = vocab_.InternClass("organization");
+    org_unit_ = vocab_.InternClass("orgUnit");
+    person_ = vocab_.InternClass("person");
+    staff_ = vocab_.InternClass("staffMember");
+    researcher_ = vocab_.InternClass("researcher");
+    online_ = vocab_.InternClass("online");
+    faculty_ = vocab_.InternClass("facultyMember");
+
+    EXPECT_TRUE(schema_.AddCoreClass(org_group_, top_).ok());
+    EXPECT_TRUE(schema_.AddCoreClass(organization_, org_group_).ok());
+    EXPECT_TRUE(schema_.AddCoreClass(org_unit_, org_group_).ok());
+    EXPECT_TRUE(schema_.AddCoreClass(person_, top_).ok());
+    EXPECT_TRUE(schema_.AddCoreClass(staff_, person_).ok());
+    EXPECT_TRUE(schema_.AddCoreClass(researcher_, person_).ok());
+    EXPECT_TRUE(schema_.AddAuxiliaryClass(online_).ok());
+    EXPECT_TRUE(schema_.AddAuxiliaryClass(faculty_).ok());
+    EXPECT_TRUE(schema_.AllowAuxiliary(org_group_, online_).ok());
+    EXPECT_TRUE(schema_.AllowAuxiliary(person_, online_).ok());
+    EXPECT_TRUE(schema_.AllowAuxiliary(researcher_, faculty_).ok());
+  }
+
+  Vocabulary vocab_;
+  ClassSchema schema_;
+  ClassId top_, org_group_, organization_, org_unit_, person_, staff_,
+      researcher_, online_, faculty_;
+};
+
+TEST_F(Figure2Test, SubclassJudgments) {
+  // "organization — orgGroup holds"
+  EXPECT_TRUE(schema_.IsSubclassOf(organization_, org_group_));
+  EXPECT_TRUE(schema_.IsSubclassOf(organization_, top_));
+  EXPECT_TRUE(schema_.IsSubclassOf(researcher_, person_));
+  EXPECT_TRUE(schema_.IsSubclassOf(person_, person_));  // reflexive
+  EXPECT_FALSE(schema_.IsSubclassOf(org_group_, organization_));
+  EXPECT_FALSE(schema_.IsSubclassOf(online_, person_));  // aux not in tree
+}
+
+TEST_F(Figure2Test, ExclusivityJudgments) {
+  // "we may conclude organization ∤ person"
+  EXPECT_TRUE(schema_.AreExclusive(organization_, person_));
+  EXPECT_TRUE(schema_.AreExclusive(staff_, researcher_));
+  EXPECT_TRUE(schema_.AreExclusive(organization_, org_unit_));
+  EXPECT_FALSE(schema_.AreExclusive(researcher_, person_));
+  EXPECT_FALSE(schema_.AreExclusive(person_, top_));
+  EXPECT_FALSE(schema_.AreExclusive(online_, person_));  // aux: no judgment
+}
+
+TEST_F(Figure2Test, DepthAndHeight) {
+  EXPECT_EQ(schema_.DepthOf(top_), 0u);
+  EXPECT_EQ(schema_.DepthOf(org_group_), 1u);
+  EXPECT_EQ(schema_.DepthOf(organization_), 2u);
+  EXPECT_EQ(schema_.Height(), 2u);
+}
+
+TEST_F(Figure2Test, AncestorsChain) {
+  EXPECT_EQ(schema_.AncestorsOf(organization_),
+            (std::vector<ClassId>{organization_, org_group_, top_}));
+  EXPECT_EQ(schema_.AncestorsOf(top_), (std::vector<ClassId>{top_}));
+}
+
+TEST_F(Figure2Test, AuxiliaryBookkeeping) {
+  EXPECT_TRUE(schema_.IsAuxiliary(online_));
+  EXPECT_FALSE(schema_.IsCore(online_));
+  EXPECT_TRUE(schema_.IsCore(person_));
+  EXPECT_EQ(schema_.AuxAllowed(person_), (std::vector<ClassId>{online_}));
+  EXPECT_EQ(schema_.AuxAllowed(researcher_),
+            (std::vector<ClassId>{faculty_}));
+  EXPECT_TRUE(schema_.AuxAllowed(top_).empty());
+  EXPECT_EQ(schema_.MaxAuxSize(), 1u);
+}
+
+TEST_F(Figure2Test, ChildrenOf) {
+  EXPECT_EQ(schema_.ChildrenOf(org_group_),
+            (std::vector<ClassId>{organization_, org_unit_}));
+  EXPECT_TRUE(schema_.ChildrenOf(organization_).empty());
+}
+
+TEST_F(Figure2Test, ErrorCases) {
+  // Duplicate registration.
+  EXPECT_EQ(schema_.AddCoreClass(person_, top_).code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_EQ(schema_.AddAuxiliaryClass(online_).code(),
+            StatusCode::kAlreadyExists);
+  // Unknown parent.
+  ClassId orphan = vocab_.InternClass("orphan");
+  ClassId nowhere = vocab_.InternClass("nowhere");
+  EXPECT_EQ(schema_.AddCoreClass(orphan, nowhere).code(),
+            StatusCode::kNotFound);
+  // Aux of non-core / non-aux.
+  EXPECT_EQ(schema_.AllowAuxiliary(online_, faculty_).code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(schema_.AllowAuxiliary(person_, staff_).code(),
+            StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,178 @@
+// §6.2: lightweight (legality-preserving) vs heavyweight schema evolution.
+#include "schema/evolution.h"
+
+#include <gtest/gtest.h>
+
+#include "core/legality_checker.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+TEST(EvolutionClassificationTest, PreservingKinds) {
+  using K = SchemaChange::Kind;
+  EXPECT_TRUE(IsLegalityPreserving(K::kAddAllowedAttribute));
+  EXPECT_TRUE(IsLegalityPreserving(K::kAddAuxiliaryAllowance));
+  EXPECT_TRUE(IsLegalityPreserving(K::kAddCoreClass));
+  EXPECT_TRUE(IsLegalityPreserving(K::kAddAuxiliaryClass));
+  EXPECT_TRUE(IsLegalityPreserving(K::kRemoveRequiredClass));
+  EXPECT_TRUE(IsLegalityPreserving(K::kRemoveRequiredEdge));
+  EXPECT_TRUE(IsLegalityPreserving(K::kRemoveForbiddenEdge));
+  EXPECT_TRUE(IsLegalityPreserving(K::kRemoveRequiredAttribute));
+  EXPECT_FALSE(IsLegalityPreserving(K::kAddRequiredAttribute));
+  EXPECT_FALSE(IsLegalityPreserving(K::kAddRequiredClass));
+  EXPECT_FALSE(IsLegalityPreserving(K::kAddRequiredEdge));
+  EXPECT_FALSE(IsLegalityPreserving(K::kAddForbiddenEdge));
+  EXPECT_FALSE(IsLegalityPreserving(K::kAddKeyAttribute));
+}
+
+class EvolutionTest : public ::testing::Test {
+ protected:
+  EvolutionTest()
+      : vocab_(std::make_shared<Vocabulary>()),
+        schema_(MakeWhitePagesSchema(vocab_).value()),
+        directory_(MakeFigure1Instance(schema_).value()) {}
+
+  bool Legal() { return LegalityChecker(schema_).CheckLegal(directory_); }
+
+  std::shared_ptr<Vocabulary> vocab_;
+  DirectorySchema schema_;
+  Directory directory_;
+};
+
+TEST_F(EvolutionTest, PreservingChangesKeepFigure1Legal) {
+  ASSERT_TRUE(Legal());
+
+  // The §6.2 examples: a new allowed attribute; a new auxiliary allowance.
+  SchemaChange allow;
+  allow.kind = SchemaChange::Kind::kAddAllowedAttribute;
+  allow.cls = *vocab_->FindClass("person");
+  allow.attr = vocab_->InternAttribute("cellularPhone");
+  ASSERT_TRUE(ApplySchemaChange(&schema_, allow).ok());
+  EXPECT_TRUE(Legal());
+
+  SchemaChange aux;
+  aux.kind = SchemaChange::Kind::kAddAuxiliaryAllowance;
+  aux.cls = *vocab_->FindClass("orgUnit");
+  aux.other_cls = *vocab_->FindClass("online");
+  ASSERT_TRUE(ApplySchemaChange(&schema_, aux).ok());
+  EXPECT_TRUE(Legal());
+
+  SchemaChange new_core;
+  new_core.kind = SchemaChange::Kind::kAddCoreClass;
+  new_core.cls = *vocab_->FindClass("person");
+  new_core.other_cls = vocab_->InternClass("intern");
+  ASSERT_TRUE(ApplySchemaChange(&schema_, new_core).ok());
+  EXPECT_TRUE(Legal());
+
+  SchemaChange drop_edge;
+  drop_edge.kind = SchemaChange::Kind::kRemoveRequiredEdge;
+  drop_edge.relationship = {*vocab_->FindClass("organization"), Axis::kChild,
+                            *vocab_->FindClass("orgUnit"), false};
+  ASSERT_TRUE(ApplySchemaChange(&schema_, drop_edge).ok());
+  EXPECT_TRUE(Legal());
+
+  SchemaChange relax;
+  relax.kind = SchemaChange::Kind::kRemoveRequiredAttribute;
+  relax.cls = *vocab_->FindClass("person");
+  relax.attr = *vocab_->FindAttribute("uid");
+  ASSERT_TRUE(ApplySchemaChange(&schema_, relax).ok());
+  EXPECT_TRUE(Legal());
+  // uid remains allowed after the demotion.
+  EXPECT_TRUE(schema_.attributes().IsAllowed(*vocab_->FindClass("person"),
+                                             *vocab_->FindAttribute("uid")));
+}
+
+TEST_F(EvolutionTest, TighteningChangesCanBreakInstances) {
+  ASSERT_TRUE(Legal());
+  // Requiring a phone number on persons: Figure 1 has none.
+  SchemaChange require;
+  require.kind = SchemaChange::Kind::kAddRequiredAttribute;
+  require.cls = *vocab_->FindClass("person");
+  require.attr = vocab_->InternAttribute("telephoneNumber");
+  ASSERT_TRUE(ApplySchemaChange(&schema_, require).ok());
+  EXPECT_FALSE(Legal());
+}
+
+TEST_F(EvolutionTest, AddingForbiddenEdgeCanBreakInstances) {
+  ASSERT_TRUE(Legal());
+  SchemaChange forbid;
+  forbid.kind = SchemaChange::Kind::kAddForbiddenEdge;
+  forbid.relationship = {*vocab_->FindClass("orgUnit"), Axis::kDescendant,
+                         *vocab_->FindClass("orgUnit"), true};
+  ASSERT_TRUE(ApplySchemaChange(&schema_, forbid).ok());
+  // attLabs has the databases orgUnit below it.
+  EXPECT_FALSE(Legal());
+}
+
+TEST_F(EvolutionTest, ErrorsAreReported) {
+  SchemaChange bogus;
+  bogus.kind = SchemaChange::Kind::kRemoveRequiredEdge;
+  bogus.relationship = {*vocab_->FindClass("person"), Axis::kChild,
+                        *vocab_->FindClass("person"), false};
+  EXPECT_EQ(ApplySchemaChange(&schema_, bogus).code(),
+            StatusCode::kNotFound);
+
+  SchemaChange unknown_class;
+  unknown_class.kind = SchemaChange::Kind::kAddRequiredClass;
+  unknown_class.cls = vocab_->InternClass("neverDeclared");
+  EXPECT_EQ(ApplySchemaChange(&schema_, unknown_class).code(),
+            StatusCode::kNotFound);
+
+  SchemaChange aux_as_required;
+  aux_as_required.kind = SchemaChange::Kind::kAddRequiredClass;
+  aux_as_required.cls = *vocab_->FindClass("online");
+  EXPECT_EQ(ApplySchemaChange(&schema_, aux_as_required).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(EvolutionTest, DescribeChanges) {
+  SchemaChange allow;
+  allow.kind = SchemaChange::Kind::kAddAllowedAttribute;
+  allow.cls = *vocab_->FindClass("person");
+  allow.attr = *vocab_->FindAttribute("mail");
+  EXPECT_EQ(allow.ToString(*vocab_), "allow attribute mail on person");
+
+  SchemaChange forbid;
+  forbid.kind = SchemaChange::Kind::kAddForbiddenEdge;
+  forbid.relationship = {*vocab_->FindClass("person"), Axis::kChild,
+                         vocab_->top_class(), true};
+  EXPECT_EQ(forbid.ToString(*vocab_), "forbid person -> top (forbidden)");
+}
+
+// Property-flavored check: a burst of random *preserving* changes never
+// invalidates the instance.
+TEST_F(EvolutionTest, PreservingBurstNeverBreaks) {
+  ASSERT_TRUE(Legal());
+  for (int i = 0; i < 20; ++i) {
+    SchemaChange change;
+    switch (i % 4) {
+      case 0:
+        change.kind = SchemaChange::Kind::kAddAllowedAttribute;
+        change.cls = *vocab_->FindClass("person");
+        change.attr = vocab_->InternAttribute("extra" + std::to_string(i));
+        break;
+      case 1:
+        change.kind = SchemaChange::Kind::kAddCoreClass;
+        change.cls = vocab_->top_class();
+        change.other_cls = vocab_->InternClass("gen" + std::to_string(i));
+        break;
+      case 2:
+        change.kind = SchemaChange::Kind::kAddAuxiliaryClass;
+        change.other_cls = vocab_->InternClass("aux" + std::to_string(i));
+        break;
+      default:
+        change.kind = SchemaChange::Kind::kAddAuxiliaryAllowance;
+        change.cls = *vocab_->FindClass("person");
+        change.other_cls = vocab_->InternClass("aux" + std::to_string(i - 1));
+        break;
+    }
+    ASSERT_TRUE(IsLegalityPreserving(change.kind));
+    ASSERT_TRUE(ApplySchemaChange(&schema_, change).ok())
+        << change.ToString(*vocab_);
+    EXPECT_TRUE(Legal()) << "change " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ldapbound

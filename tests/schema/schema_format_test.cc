@@ -1,0 +1,154 @@
+#include "schema/schema_format.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+constexpr char kSmall[] = R"(
+attribute name string
+attribute age integer
+
+class person : top {
+  require name
+  allow age
+  aux mailbox
+}
+class engineer : person {
+}
+auxclass mailbox {
+  allow mail
+}
+structure {
+  require-class person
+  require person ancestor top
+  forbid person child top
+}
+)";
+
+TEST(SchemaFormatTest, ParseSmall) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = ParseDirectorySchema(kSmall, vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+
+  ClassId person = *vocab->FindClass("person");
+  ClassId engineer = *vocab->FindClass("engineer");
+  ClassId mailbox = *vocab->FindClass("mailbox");
+  AttributeId name = *vocab->FindAttribute("name");
+  AttributeId age = *vocab->FindAttribute("age");
+  AttributeId mail = *vocab->FindAttribute("mail");
+
+  EXPECT_EQ(vocab->AttributeType(age), ValueType::kInteger);
+  EXPECT_EQ(vocab->AttributeType(mail), ValueType::kString);  // implicit
+
+  EXPECT_TRUE(schema->classes().IsCore(person));
+  EXPECT_TRUE(schema->classes().IsSubclassOf(engineer, person));
+  EXPECT_TRUE(schema->classes().IsAuxiliary(mailbox));
+  EXPECT_EQ(schema->classes().AuxAllowed(person),
+            (std::vector<ClassId>{mailbox}));
+
+  EXPECT_TRUE(schema->attributes().IsRequired(person, name));
+  EXPECT_TRUE(schema->attributes().IsAllowed(person, age));
+  EXPECT_FALSE(schema->attributes().IsAllowed(engineer, age));
+
+  EXPECT_EQ(schema->structure().required_classes(),
+            (std::vector<ClassId>{person}));
+  ASSERT_EQ(schema->structure().required().size(), 1u);
+  EXPECT_EQ(schema->structure().required()[0].axis, Axis::kAncestor);
+  ASSERT_EQ(schema->structure().forbidden().size(), 1u);
+  EXPECT_EQ(schema->structure().forbidden()[0].axis, Axis::kChild);
+}
+
+TEST(SchemaFormatTest, ArrowAliases) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const char* text =
+      "class a : top {\n}\n"
+      "class b : top {\n}\n"
+      "structure {\n"
+      "  require a -> b\n"
+      "  require a ->> b\n"
+      "  require a <- b\n"
+      "  require a <<- b\n"
+      "  forbid a ->> b\n"
+      "}\n";
+  auto schema = ParseDirectorySchema(text, vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  ASSERT_EQ(schema->structure().required().size(), 4u);
+  EXPECT_EQ(schema->structure().required()[0].axis, Axis::kChild);
+  EXPECT_EQ(schema->structure().required()[1].axis, Axis::kDescendant);
+  EXPECT_EQ(schema->structure().required()[2].axis, Axis::kParent);
+  EXPECT_EQ(schema->structure().required()[3].axis, Axis::kAncestor);
+  EXPECT_EQ(schema->structure().forbidden()[0].axis, Axis::kDescendant);
+}
+
+TEST(SchemaFormatTest, Errors) {
+  auto parse = [](const char* text) {
+    return ParseDirectorySchema(text, std::make_shared<Vocabulary>())
+        .status();
+  };
+  // Unknown parent.
+  EXPECT_EQ(parse("class a : nope {\n}\n").code(),
+            StatusCode::kInvalidArgument);
+  // Aux on auxclass block.
+  EXPECT_EQ(parse("auxclass m {\n  aux m\n}\n").code(),
+            StatusCode::kInvalidArgument);
+  // Forbid with an upward axis.
+  EXPECT_EQ(parse("class a : top {\n}\n"
+                  "structure {\n  forbid a parent a\n}\n")
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Unterminated block.
+  EXPECT_EQ(parse("class a : top {\n  require x\n").code(),
+            StatusCode::kInvalidArgument);
+  // Unknown structure class.
+  EXPECT_EQ(parse("structure {\n  require-class ghost\n}\n").code(),
+            StatusCode::kInvalidArgument);
+  // Bad attribute type.
+  EXPECT_EQ(parse("attribute x float\n").code(),
+            StatusCode::kInvalidArgument);
+  // Unknown aux name.
+  EXPECT_EQ(parse("class a : top {\n  aux ghost\n}\nstructure {\n}\n").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaFormatTest, WhitePagesRoundTrip) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  std::string text = FormatDirectorySchema(*schema);
+
+  auto vocab2 = std::make_shared<Vocabulary>();
+  auto schema2 = ParseDirectorySchema(text, vocab2);
+  ASSERT_TRUE(schema2.ok()) << schema2.status() << "\n" << text;
+
+  // The reparse of the format output must print identically (fixpoint).
+  EXPECT_EQ(FormatDirectorySchema(*schema2), text);
+  EXPECT_EQ(schema2->structure().required().size(),
+            schema->structure().required().size());
+  EXPECT_EQ(schema2->structure().forbidden().size(),
+            schema->structure().forbidden().size());
+  EXPECT_EQ(schema2->classes().CoreClasses().size(),
+            schema->classes().CoreClasses().size());
+}
+
+TEST(SchemaFormatTest, CommentsAndBlankLinesIgnored) {
+  auto vocab = std::make_shared<Vocabulary>();
+  const char* text =
+      "# leading comment\n"
+      "\n"
+      "attribute name string  # trailing comment\n"
+      "class a : top {\n"
+      "  # comment inside block\n"
+      "  require name\n"
+      "}\n";
+  auto schema = ParseDirectorySchema(text, vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status();
+  EXPECT_TRUE(
+      schema->attributes().IsRequired(*vocab->FindClass("a"),
+                                      *vocab->FindAttribute("name")));
+}
+
+}  // namespace
+}  // namespace ldapbound

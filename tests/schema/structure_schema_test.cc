@@ -1,0 +1,81 @@
+#include "schema/structure_schema.h"
+
+#include <gtest/gtest.h>
+
+#include "schema/directory_schema.h"
+
+namespace ldapbound {
+namespace {
+
+TEST(StructureSchemaTest, RequireClassSortedUnique) {
+  StructureSchema schema;
+  schema.RequireClass(5);
+  schema.RequireClass(2);
+  schema.RequireClass(5);
+  EXPECT_EQ(schema.required_classes(), (std::vector<ClassId>{2, 5}));
+}
+
+TEST(StructureSchemaTest, RequireAnyAxis) {
+  StructureSchema schema;
+  schema.Require(1, Axis::kChild, 2);
+  schema.Require(1, Axis::kParent, 2);
+  schema.Require(1, Axis::kDescendant, 2);
+  schema.Require(1, Axis::kAncestor, 2);
+  schema.Require(1, Axis::kChild, 2);  // duplicate
+  EXPECT_EQ(schema.required().size(), 4u);
+  EXPECT_EQ(schema.Size(), 4u);
+}
+
+TEST(StructureSchemaTest, ForbidOnlyDownwardAxes) {
+  StructureSchema schema;
+  EXPECT_TRUE(schema.Forbid(1, Axis::kChild, 2).ok());
+  EXPECT_TRUE(schema.Forbid(1, Axis::kDescendant, 2).ok());
+  EXPECT_EQ(schema.Forbid(1, Axis::kParent, 2).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.Forbid(1, Axis::kAncestor, 2).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(schema.forbidden().size(), 2u);
+}
+
+TEST(StructureSchemaTest, RelationshipToString) {
+  Vocabulary vocab;
+  ClassId a = vocab.InternClass("orgGroup");
+  ClassId b = vocab.InternClass("person");
+  StructuralRelationship required{a, Axis::kDescendant, b, false};
+  EXPECT_EQ(required.ToString(vocab), "orgGroup ->> person (required)");
+  StructuralRelationship forbidden{b, Axis::kChild, vocab.top_class(), true};
+  EXPECT_EQ(forbidden.ToString(vocab), "person -> top (forbidden)");
+}
+
+TEST(DirectorySchemaTest, ValidateAcceptsWellFormed) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DirectorySchema schema(vocab);
+  ClassId person = vocab->InternClass("person");
+  ASSERT_TRUE(
+      schema.mutable_classes().AddCoreClass(person, vocab->top_class()).ok());
+  schema.mutable_structure().RequireClass(person);
+  schema.mutable_structure().Require(person, Axis::kAncestor,
+                                     vocab->top_class());
+  EXPECT_TRUE(schema.Validate().ok());
+}
+
+TEST(DirectorySchemaTest, ValidateRejectsNonCoreStructureClass) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DirectorySchema schema(vocab);
+  ClassId aux = vocab->InternClass("online");
+  ASSERT_TRUE(schema.mutable_classes().AddAuxiliaryClass(aux).ok());
+  schema.mutable_structure().RequireClass(aux);
+  EXPECT_EQ(schema.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(DirectorySchemaTest, ValidateRejectsUnknownAttributeSchemaClass) {
+  auto vocab = std::make_shared<Vocabulary>();
+  DirectorySchema schema(vocab);
+  ClassId ghost = vocab->InternClass("ghost");
+  AttributeId name = vocab->InternAttribute("name");
+  schema.mutable_attributes().AddRequired(ghost, name);
+  EXPECT_EQ(schema.Validate().code(), StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ldapbound

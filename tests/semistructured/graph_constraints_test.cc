@@ -1,0 +1,144 @@
+// EXP-S6: Section 6 — bounding constraints over semi-structured data,
+// including the paper's country / corporation example.
+#include "semistructured/graph_constraints.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+TEST(DataGraphTest, BasicConstruction) {
+  DataGraph g;
+  GraphNodeId a = g.AddNode("person");
+  GraphNodeId b = g.AddNode("name");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_EQ(g.NumNodes(), 2u);
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.Label(a), "person");
+  EXPECT_EQ(g.Successors(a), (std::vector<GraphNodeId>{b}));
+  EXPECT_EQ(g.Predecessors(b), (std::vector<GraphNodeId>{a}));
+  EXPECT_EQ(g.NodesLabeled("PERSON"), (std::vector<GraphNodeId>{a}));
+  EXPECT_TRUE(g.NodesLabeled("ghost").empty());
+  // Parallel edges are de-duplicated; bad endpoints rejected.
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_EQ(g.AddEdge(a, 99).code(), StatusCode::kOutOfRange);
+}
+
+// §6: "each person node must have a (descendant) name node, without having
+// to fix the length of the path".
+TEST(GraphConstraintsTest, PersonNeedsNameDescendantAtAnyDepth) {
+  DataGraph g;
+  GraphNodeId person = g.AddNode("person");
+  GraphNodeId info = g.AddNode("info");
+  GraphNodeId name = g.AddNode("name");
+  ASSERT_TRUE(g.AddEdge(person, info).ok());
+  ASSERT_TRUE(g.AddEdge(info, name).ok());
+
+  GraphConstraint c{"person", Axis::kDescendant, "name", false};
+  EXPECT_TRUE(CheckGraphConstraints(g, {c}));
+
+  // A second person with no name below violates.
+  GraphNodeId loner = g.AddNode("person");
+  std::vector<GraphViolation> violations;
+  EXPECT_FALSE(CheckGraphConstraints(g, {c}, &violations));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].node, loner);
+}
+
+// §6's country/corporation modeling: country->corporation,
+// corporation->country and corporation->corporation children are all fine,
+// but no country may be a descendant of another country.
+TEST(GraphConstraintsTest, CountryCorporationExample) {
+  DataGraph g;
+  GraphNodeId usa = g.AddNode("country");
+  GraphNodeId acme = g.AddNode("corporation");       // national corp
+  GraphNodeId megacorp = g.AddNode("corporation");   // international corp
+  GraphNodeId france = g.AddNode("country");
+  GraphNodeId sub = g.AddNode("corporation");        // conglomerate member
+  ASSERT_TRUE(g.AddEdge(usa, acme).ok());            // country -> corp
+  ASSERT_TRUE(g.AddEdge(megacorp, france).ok());     // corp -> country
+  ASSERT_TRUE(g.AddEdge(megacorp, sub).ok());        // corp -> corp
+
+  GraphConstraint no_nested_country{"country", Axis::kDescendant, "country",
+                                    true};
+  EXPECT_TRUE(CheckGraphConstraints(g, {no_nested_country}));
+
+  // Linking france's corporation under usa's tree nests countries.
+  ASSERT_TRUE(g.AddEdge(acme, megacorp).ok());
+  std::vector<GraphViolation> violations;
+  EXPECT_FALSE(CheckGraphConstraints(g, {no_nested_country}, &violations));
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].node, usa);
+}
+
+TEST(GraphConstraintsTest, ChildAxisIsDirectOnly) {
+  DataGraph g;
+  GraphNodeId a = g.AddNode("a");
+  GraphNodeId mid = g.AddNode("mid");
+  GraphNodeId b = g.AddNode("b");
+  ASSERT_TRUE(g.AddEdge(a, mid).ok());
+  ASSERT_TRUE(g.AddEdge(mid, b).ok());
+  GraphConstraint direct{"a", Axis::kChild, "b", false};
+  EXPECT_FALSE(CheckGraphConstraints(g, {direct}));
+  GraphConstraint reach{"a", Axis::kDescendant, "b", false};
+  EXPECT_TRUE(CheckGraphConstraints(g, {reach}));
+}
+
+TEST(GraphConstraintsTest, ParentAndAncestorAxes) {
+  DataGraph g;
+  GraphNodeId root = g.AddNode("root");
+  GraphNodeId mid = g.AddNode("mid");
+  GraphNodeId leaf = g.AddNode("leaf");
+  ASSERT_TRUE(g.AddEdge(root, mid).ok());
+  ASSERT_TRUE(g.AddEdge(mid, leaf).ok());
+  EXPECT_TRUE(CheckGraphConstraints(
+      g, {GraphConstraint{"leaf", Axis::kParent, "mid", false}}));
+  EXPECT_FALSE(CheckGraphConstraints(
+      g, {GraphConstraint{"leaf", Axis::kParent, "root", false}}));
+  EXPECT_TRUE(CheckGraphConstraints(
+      g, {GraphConstraint{"leaf", Axis::kAncestor, "root", false}}));
+}
+
+// Cycles: reachability must terminate and a node can be its own proper
+// descendant through a cycle.
+TEST(GraphConstraintsTest, CyclesHandled) {
+  DataGraph g;
+  GraphNodeId a = g.AddNode("x");
+  GraphNodeId b = g.AddNode("x");
+  ASSERT_TRUE(g.AddEdge(a, b).ok());
+  ASSERT_TRUE(g.AddEdge(b, a).ok());
+  // Every x reaches an x (through the cycle).
+  EXPECT_TRUE(CheckGraphConstraints(
+      g, {GraphConstraint{"x", Axis::kDescendant, "x", false}}));
+  // And the forbidden version is violated by both.
+  std::vector<GraphViolation> violations;
+  EXPECT_FALSE(CheckGraphConstraints(
+      g, {GraphConstraint{"x", Axis::kDescendant, "x", true}}, &violations));
+  EXPECT_EQ(violations.size(), 2u);
+}
+
+TEST(GraphConstraintsTest, SelfLoopCountsAsDescendant) {
+  DataGraph g;
+  GraphNodeId a = g.AddNode("y");
+  ASSERT_TRUE(g.AddEdge(a, a).ok());
+  EXPECT_TRUE(CheckGraphConstraints(
+      g, {GraphConstraint{"y", Axis::kDescendant, "y", false}}));
+}
+
+TEST(GraphConstraintsTest, AbsentSourceLabelIsVacuouslyLegal) {
+  DataGraph g;
+  g.AddNode("a");
+  EXPECT_TRUE(CheckGraphConstraints(
+      g, {GraphConstraint{"ghost", Axis::kDescendant, "a", false}}));
+}
+
+TEST(GraphConstraintsTest, ConstraintToString) {
+  GraphConstraint c{"country", Axis::kDescendant, "country", true};
+  EXPECT_EQ(c.ToString(), "country ->> country (forbidden)");
+  GraphConstraint r{"person", Axis::kChild, "name", false};
+  EXPECT_EQ(r.ToString(), "person -> name (required)");
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,227 @@
+#include "server/directory_server.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+constexpr char kSchema[] = R"(
+attribute name string
+attribute uid string
+attribute mail string
+attribute ou string
+key uid
+
+class team : top {
+  require ou
+}
+class person : top {
+  require name, uid
+  aux online
+}
+auxclass online {
+  allow mail
+}
+structure {
+  require team descendant person
+  forbid person child top
+}
+)";
+
+DistinguishedName Dn(const std::string& s) {
+  return *DistinguishedName::Parse(s);
+}
+
+EntrySpec TeamSpec(const std::string& ou) {
+  EntrySpec spec;
+  spec.classes = {"team", "top"};
+  spec.values = {{"ou", ou}};
+  return spec;
+}
+
+EntrySpec PersonSpec(const std::string& uid) {
+  EntrySpec spec;
+  spec.classes = {"person", "top"};
+  spec.values = {{"uid", uid}, {"name", "p " + uid}};
+  return spec;
+}
+
+class DirectoryServerTest : public ::testing::Test {
+ protected:
+  DirectoryServerTest() : server_(DirectoryServer::Create(kSchema).value()) {
+    // A team must employ someone: build it in one transaction.
+    UpdateTransaction txn;
+    txn.Insert(Dn("ou=research"), TeamSpec("research"));
+    txn.Insert(Dn("uid=ada,ou=research"), PersonSpec("ada"));
+    EXPECT_TRUE(server_.Apply(txn).ok());
+  }
+
+  DirectoryServer server_;
+};
+
+TEST(DirectoryServerCreateTest, RejectsBadSchemaText) {
+  auto server = DirectoryServer::Create("class x : nowhere {\n}\n");
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DirectoryServerCreateTest, RejectsInconsistentSchema) {
+  auto server = DirectoryServer::Create(
+      "class a : top {\n}\nclass b : top {\n}\n"
+      "structure {\n"
+      "  require-class a\n"
+      "  require a descendant b\n"
+      "  forbid a descendant b\n"
+      "}\n");
+  ASSERT_FALSE(server.ok());
+  EXPECT_EQ(server.status().code(), StatusCode::kInconsistent);
+}
+
+TEST_F(DirectoryServerTest, AddAndSearch) {
+  ASSERT_TRUE(server_.Add(Dn("uid=bob,ou=research"), PersonSpec("bob")).ok());
+  auto hits = server_.Search("ou=research", "(objectClass=person)");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 2u);
+  EXPECT_TRUE(server_.IsLegal());
+  EXPECT_EQ(server_.stats().adds, 1u);
+  EXPECT_EQ(server_.stats().searches, 1u);
+}
+
+TEST_F(DirectoryServerTest, SchemaGuardsAdd) {
+  // A person with a child is forbidden.
+  Status status =
+      server_.Add(Dn("uid=x,uid=ada,ou=research"), PersonSpec("x"));
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  // Duplicate key value.
+  status = server_.Add(Dn("uid=ada2,ou=research"), PersonSpec("ada"));
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  EXPECT_EQ(server_.stats().rejected, 2u);
+  EXPECT_TRUE(server_.IsLegal());
+}
+
+TEST_F(DirectoryServerTest, DeleteGuarded) {
+  // Removing the only person violates team ->> person.
+  Status status = server_.Delete(Dn("uid=ada,ou=research"));
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  // With a second person, deletion is fine.
+  ASSERT_TRUE(server_.Add(Dn("uid=bob,ou=research"), PersonSpec("bob")).ok());
+  EXPECT_TRUE(server_.Delete(Dn("uid=ada,ou=research")).ok());
+  EXPECT_TRUE(server_.IsLegal());
+  EXPECT_EQ(server_.stats().deletes, 1u);
+}
+
+TEST_F(DirectoryServerTest, ModifyValues) {
+  AttributeId mail = *server_.vocab().FindAttribute("mail");
+  ClassId online = *server_.vocab().FindClass("online");
+
+  // Adding mail without the online class is a content violation...
+  DirectoryServer::Modification add_mail;
+  add_mail.kind = DirectoryServer::Modification::Kind::kAddValue;
+  add_mail.attr = mail;
+  add_mail.value = Value("ada@example.org");
+  Status status = server_.Modify(Dn("uid=ada,ou=research"), {add_mail});
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  EXPECT_TRUE(server_.IsLegal());  // rolled back
+
+  // ...but adding the class and the value together is fine.
+  DirectoryServer::Modification add_online;
+  add_online.kind = DirectoryServer::Modification::Kind::kAddClass;
+  add_online.cls = online;
+  ASSERT_TRUE(
+      server_.Modify(Dn("uid=ada,ou=research"), {add_online, add_mail}).ok());
+  auto hits = server_.Search("ou=research", "(mail=*)");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+  EXPECT_EQ(server_.stats().modifies, 1u);
+}
+
+TEST_F(DirectoryServerTest, ModifyClassesGuardedByStructure) {
+  // Dropping ada's person class would break team ->> person: rolled back.
+  ClassId person = *server_.vocab().FindClass("person");
+  DirectoryServer::Modification drop;
+  drop.kind = DirectoryServer::Modification::Kind::kRemoveClass;
+  drop.cls = person;
+  Status status = server_.Modify(Dn("uid=ada,ou=research"), {drop});
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  EXPECT_TRUE(server_.IsLegal());
+  auto hits = server_.Search("ou=research", "(objectClass=person)");
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_F(DirectoryServerTest, ModifyDnMovesSubtree) {
+  // Second team, staffed, then move bob over.
+  UpdateTransaction txn;
+  txn.Insert(Dn("ou=ops"), TeamSpec("ops"));
+  txn.Insert(Dn("uid=bob,ou=ops"), PersonSpec("bob"));
+  ASSERT_TRUE(server_.Apply(txn).ok());
+  ASSERT_TRUE(server_.Add(Dn("uid=eve,ou=ops"), PersonSpec("eve")).ok());
+
+  ASSERT_TRUE(server_.ModifyDn(Dn("uid=bob,ou=ops"), Dn("ou=research")).ok());
+  EXPECT_TRUE(ResolveDn(server_.directory(), Dn("uid=bob,ou=research")).ok());
+  EXPECT_FALSE(ResolveDn(server_.directory(), Dn("uid=bob,ou=ops")).ok());
+  EXPECT_TRUE(server_.IsLegal());
+}
+
+TEST_F(DirectoryServerTest, ModifyDnGuarded) {
+  // Moving ada out of research would leave the team personless.
+  UpdateTransaction txn;
+  txn.Insert(Dn("ou=ops"), TeamSpec("ops"));
+  txn.Insert(Dn("uid=bob,ou=ops"), PersonSpec("bob"));
+  ASSERT_TRUE(server_.Apply(txn).ok());
+  Status status = server_.ModifyDn(Dn("uid=ada,ou=research"), Dn("ou=ops"));
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  // Rolled back: ada is still where she was.
+  EXPECT_TRUE(ResolveDn(server_.directory(), Dn("uid=ada,ou=research")).ok());
+  EXPECT_TRUE(server_.IsLegal());
+}
+
+TEST_F(DirectoryServerTest, ModifyDnRename) {
+  ASSERT_TRUE(server_
+                  .ModifyDn(Dn("uid=ada,ou=research"), Dn("ou=research"),
+                            "uid=lovelace")
+                  .ok());
+  EXPECT_TRUE(
+      ResolveDn(server_.directory(), Dn("uid=lovelace,ou=research")).ok());
+  EXPECT_TRUE(server_.IsLegal());
+}
+
+TEST_F(DirectoryServerTest, ModifyUnknownEntry) {
+  EXPECT_EQ(server_.Modify(Dn("uid=ghost"), {}).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DirectoryServerTest, ImportExportRoundTrip) {
+  std::string ldif = server_.ExportLdif();
+  auto server2 = DirectoryServer::Create(kSchema);
+  ASSERT_TRUE(server2.ok());
+  auto n = server2->ImportLdif(ldif);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(server2->ExportLdif(), ldif);
+  EXPECT_TRUE(server2->IsLegal());
+}
+
+TEST_F(DirectoryServerTest, ImportRefusesIllegalData) {
+  auto server2 = DirectoryServer::Create(kSchema);
+  ASSERT_TRUE(server2.ok());
+  // A lonely team (no person below) is illegal; import must refuse and
+  // leave the directory empty.
+  const char* bad =
+      "dn: ou=empty\n"
+      "objectClass: team\n"
+      "objectClass: top\n"
+      "ou: empty\n";
+  auto n = server2->ImportLdif(bad);
+  ASSERT_FALSE(n.ok());
+  EXPECT_EQ(n.status().code(), StatusCode::kIllegal);
+  EXPECT_EQ(server2->directory().NumEntries(), 0u);
+}
+
+TEST_F(DirectoryServerTest, SearchStringErrors) {
+  EXPECT_FALSE(server_.Search("ou=research", "((broken").ok());
+  EXPECT_FALSE(server_.Search("ou=nowhere", "(uid=*)").ok());
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,78 @@
+#ifndef LDAPBOUND_TESTS_TESTING_HELPERS_H_
+#define LDAPBOUND_TESTS_TESTING_HELPERS_H_
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/directory.h"
+#include "schema/directory_schema.h"
+
+namespace ldapbound::testing {
+
+/// A small fixed world used across tests:
+///
+///   core tree:  top ── org
+///               top ── person ── engineer
+///   auxiliary:  mailbox (allowed for person)
+///   attributes: name (string, required by person)
+///               ou (string, required by org)
+///               age (integer, allowed for person)
+///               active (boolean, allowed for org)
+///               mail (string, allowed for mailbox)
+struct SimpleWorld {
+  std::shared_ptr<Vocabulary> vocab;
+  DirectorySchema schema;
+
+  ClassId top, org, person, engineer, mailbox;
+  AttributeId name, ou, age, active, mail;
+
+  explicit SimpleWorld()
+      : vocab(std::make_shared<Vocabulary>()), schema(vocab) {
+    top = vocab->top_class();
+    org = vocab->InternClass("org");
+    person = vocab->InternClass("person");
+    engineer = vocab->InternClass("engineer");
+    mailbox = vocab->InternClass("mailbox");
+
+    name = vocab->DefineAttribute("name", ValueType::kString).value();
+    ou = vocab->DefineAttribute("ou", ValueType::kString).value();
+    age = vocab->DefineAttribute("age", ValueType::kInteger).value();
+    active = vocab->DefineAttribute("active", ValueType::kBoolean).value();
+    mail = vocab->DefineAttribute("mail", ValueType::kString).value();
+
+    ClassSchema& classes = schema.mutable_classes();
+    classes.AddCoreClass(org, top);
+    classes.AddCoreClass(person, top);
+    classes.AddCoreClass(engineer, person);
+    classes.AddAuxiliaryClass(mailbox);
+    classes.AllowAuxiliary(person, mailbox);
+
+    AttributeSchema& attrs = schema.mutable_attributes();
+    attrs.AddRequired(person, name);
+    attrs.AddAllowed(person, age);
+    attrs.AddRequired(org, ou);
+    attrs.AddAllowed(org, active);
+    attrs.AddAllowed(mailbox, mail);
+  }
+};
+
+/// Adds an entry with the given classes (by id) and no values; CHECK-fails
+/// on error. Returns the new id.
+inline EntryId AddBare(Directory& directory, EntryId parent,
+                       const std::string& rdn, std::vector<ClassId> classes) {
+  auto result = directory.AddEntry(parent, rdn, std::move(classes), {});
+  if (!result.ok()) {
+    // GTest-friendly hard failure.
+    ADD_FAILURE() << "AddBare failed: " << result.status().ToString();
+    abort();
+  }
+  return *result;
+}
+
+}  // namespace ldapbound::testing
+
+#endif  // LDAPBOUND_TESTS_TESTING_HELPERS_H_

@@ -1,0 +1,202 @@
+// CheckAfterReclassify: incremental legality for class-membership changes
+// (the Modify path) — unit cases plus verdict equivalence against full
+// rechecks on random class flips.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "core/legality_checker.h"
+#include "tests/testing/helpers.h"
+#include "update/incremental.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+class ReclassifyTest : public ::testing::Test {
+ protected:
+  ReclassifyTest() : d_(w_.vocab) {
+    acme_ = AddBare(d_, kInvalidEntryId, "o=acme", {w_.top, w_.org});
+    EXPECT_TRUE(d_.AddValue(acme_, w_.ou, Value("acme")).ok());
+    hr_ = AddBare(d_, acme_, "ou=hr", {w_.top, w_.org});
+    EXPECT_TRUE(d_.AddValue(hr_, w_.ou, Value("hr")).ok());
+    bob_ = d_.AddEntry(hr_, "uid=bob", {w_.top, w_.person},
+                       {{w_.name, Value("Bob")}})
+               .value();
+  }
+
+  bool Check(EntryId id, std::vector<ClassId> added,
+             std::vector<ClassId> removed,
+             std::vector<Violation>* out = nullptr) {
+    IncrementalValidator validator(w_.schema);
+    return validator.CheckAfterReclassify(d_, id, added, removed, out);
+  }
+
+  SimpleWorld w_;
+  Directory d_;
+  EntryId acme_, hr_, bob_;
+};
+
+TEST_F(ReclassifyTest, AddedSourceClassImposesRequirement) {
+  // Requirement: every org has a person child. hr satisfies it via bob;
+  // acme does not (its only child is hr).
+  w_.schema.mutable_structure().Require(w_.org, Axis::kChild, w_.person);
+  // Turn bob's sibling-less parent chain around: reclassify a plain
+  // top-entry to org.
+  EntryId plain = AddBare(d_, acme_, "cn=plain", {w_.top});
+  ASSERT_TRUE(d_.AddClass(plain, w_.org).ok());
+  ASSERT_TRUE(d_.AddValue(plain, w_.ou, Value("p")).ok());
+  std::vector<Violation> out;
+  EXPECT_FALSE(Check(plain, {w_.org}, {}, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].entry, plain);
+}
+
+TEST_F(ReclassifyTest, RemovedTargetClassBreaksParentRequirement) {
+  w_.schema.mutable_structure().Require(w_.org, Axis::kChild, w_.person);
+  // Removing bob's person class leaves hr without a person child (and
+  // makes bob's 'name' a disallowed attribute — a content violation the
+  // validator also reports).
+  ASSERT_TRUE(d_.RemoveClass(bob_, w_.person).ok());
+  std::vector<Violation> out;
+  EXPECT_FALSE(Check(bob_, {}, {w_.person}, &out));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].kind, ViolationKind::kDisallowedAttribute);
+  EXPECT_EQ(out[0].entry, bob_);
+  EXPECT_EQ(out[1].kind, ViolationKind::kRequiredRelationship);
+  EXPECT_EQ(out[1].entry, hr_);
+  EXPECT_EQ(out[1].relationship.axis, Axis::kChild);
+}
+
+TEST_F(ReclassifyTest, RemovedTargetClassBreaksAncestorRequirement) {
+  w_.schema.mutable_structure().Require(w_.person, Axis::kAncestor, w_.org);
+  // Drop the org-only 'ou' values first so only structure is in play.
+  ASSERT_TRUE(d_.RemoveValue(hr_, w_.ou, Value("hr")).ok());
+  ASSERT_TRUE(d_.RemoveValue(acme_, w_.ou, Value("acme")).ok());
+  // Removing hr's org class alone is fine: acme is still an org above bob.
+  ASSERT_TRUE(d_.RemoveClass(hr_, w_.org).ok());
+  EXPECT_TRUE(Check(hr_, {}, {w_.org}));
+  // Removing acme's org class as well leaves bob without an org ancestor.
+  ASSERT_TRUE(d_.RemoveClass(acme_, w_.org).ok());
+  std::vector<Violation> out;
+  EXPECT_FALSE(Check(acme_, {}, {w_.org}, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].entry, bob_);
+}
+
+TEST_F(ReclassifyTest, AddedTargetClassCreatesForbiddenPair) {
+  ASSERT_TRUE(w_.schema.mutable_structure()
+                  .Forbid(w_.org, Axis::kDescendant, w_.engineer)
+                  .ok());
+  ASSERT_TRUE(d_.AddClass(bob_, w_.engineer).ok());
+  std::vector<Violation> out;
+  EXPECT_FALSE(Check(bob_, {w_.engineer}, {}, &out));
+  // Both acme and hr now have a forbidden engineer descendant.
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(ReclassifyTest, AddedSourceClassCreatesForbiddenPair) {
+  ASSERT_TRUE(w_.schema.mutable_structure()
+                  .Forbid(w_.engineer, Axis::kChild, w_.person)
+                  .ok());
+  // hr becomes an engineer (ignore content legality here) with person
+  // child bob.
+  ASSERT_TRUE(d_.AddClass(hr_, w_.engineer).ok());
+  std::vector<Violation> out;
+  Check(hr_, {w_.engineer}, {}, &out);
+  bool found_forbidden = false;
+  for (const Violation& v : out) {
+    if (v.kind == ViolationKind::kForbiddenRelationship) {
+      found_forbidden = true;
+      EXPECT_EQ(v.entry, hr_);
+    }
+  }
+  EXPECT_TRUE(found_forbidden);
+}
+
+TEST_F(ReclassifyTest, RemovedClassCanEmptyRequiredClass) {
+  w_.schema.mutable_structure().RequireClass(w_.person);
+  ASSERT_TRUE(d_.RemoveValue(bob_, w_.name, Value("Bob")).ok());
+  ASSERT_TRUE(d_.RemoveClass(bob_, w_.person).ok());
+  std::vector<Violation> out;
+  EXPECT_FALSE(Check(bob_, {}, {w_.person}, &out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].kind, ViolationKind::kMissingRequiredClass);
+}
+
+TEST_F(ReclassifyTest, NoOpReclassifyIsLegal) {
+  EXPECT_TRUE(Check(bob_, {}, {}));
+}
+
+// Property: on the white-pages instance, flipping one class on one entry
+// and asking the reclassification validator must agree with a full
+// legality re-check (given the pre-state was legal).
+class ReclassifyPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ReclassifyPropertyTest, VerdictEqualsFullRecheck) {
+  uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  ASSERT_TRUE(schema.ok());
+  WhitePagesOptions options;
+  options.seed = seed;
+  options.org_unit_fanout = 2;
+  options.org_unit_depth = 2;
+  options.persons_per_unit = 2;
+  auto directory = MakeWhitePagesInstance(*schema, options);
+  ASSERT_TRUE(directory.ok());
+  LegalityChecker full(*schema);
+  ASSERT_TRUE(full.CheckLegal(*directory));
+
+  std::vector<ClassId> palette = schema->classes().CoreClasses();
+  for (ClassId aux : schema->classes().AuxiliaryClasses()) {
+    palette.push_back(aux);
+  }
+
+  std::vector<EntryId> alive;
+  directory->ForEachAlive([&](const Entry& e) { alive.push_back(e.id()); });
+  std::uniform_int_distribution<size_t> pick_entry(0, alive.size() - 1);
+  std::uniform_int_distribution<size_t> pick_class(0, palette.size() - 1);
+
+  IncrementalValidator validator(*schema);
+  for (int round = 0; round < 60; ++round) {
+    EntryId id = alive[pick_entry(rng)];
+    ClassId cls = palette[pick_class(rng)];
+    bool had = directory->entry(id).HasClass(cls);
+    std::vector<ClassId> added, removed;
+    if (had) {
+      Status st = directory->RemoveClass(id, cls);
+      if (!st.ok()) continue;  // last class cannot be removed
+      removed.push_back(cls);
+    } else {
+      ASSERT_TRUE(directory->AddClass(id, cls).ok());
+      added.push_back(cls);
+    }
+
+    bool incremental =
+        validator.CheckAfterReclassify(*directory, id, added, removed);
+    bool expected = full.CheckLegal(*directory);
+    EXPECT_EQ(incremental, expected)
+        << "seed=" << seed << " round=" << round << " entry=" << id
+        << " class=" << vocab->ClassName(cls) << " had=" << had;
+
+    // Keep the instance legal for the next round: undo illegal flips.
+    if (!expected) {
+      if (had) {
+        ASSERT_TRUE(directory->AddClass(id, cls).ok());
+      } else {
+        ASSERT_TRUE(directory->RemoveClass(id, cls).ok());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReclassifyPropertyTest,
+                         ::testing::Range<uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,207 @@
+// Property test for Theorem 4.1: for structurally well-formed random
+// transactions, TransactionExecutor::Commit must accept exactly those
+// whose blind application yields a legal instance — independent of the
+// operation order — and must leave the directory untouched on rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <random>
+#include <set>
+
+#include "core/legality_checker.h"
+#include "ldap/ldif.h"
+#include "update/transaction.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+// Canonical multiset of entries: order-insensitive comparison of two
+// directories (sibling order may legitimately differ between the executor
+// path and the oracle path).
+std::multiset<std::string> Canonical(const Directory& d) {
+  std::multiset<std::string> out;
+  d.ForEachAlive([&](const Entry& e) {
+    std::string record = DnOf(d, e.id())->ToString();
+    for (ClassId c : e.classes()) {
+      record += "|c:" + d.vocab().ClassName(c);
+    }
+    for (const AttributeValue& av : e.values()) {
+      record += "|v:" + d.vocab().AttributeName(av.attribute) + "=" +
+                av.value.ToString();
+    }
+    out.insert(std::move(record));
+  });
+  return out;
+}
+
+class TransactionPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TransactionPropertyTest, CommitVerdictMatchesBlindApplyOracle) {
+  uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = MakeWhitePagesSchema(vocab);
+  ASSERT_TRUE(schema.ok());
+  WhitePagesOptions options;
+  options.seed = seed;
+  options.org_unit_fanout = 2;
+  options.org_unit_depth = 2;
+  options.persons_per_unit = 2;
+  auto live = MakeWhitePagesInstance(*schema, options);
+  ASSERT_TRUE(live.ok());
+  LegalityChecker checker(*schema);
+  ASSERT_TRUE(checker.CheckLegal(*live));
+
+  int counter = 0;
+  for (int round = 0; round < 15; ++round) {
+    // --- Generate a structurally well-formed random transaction. ---
+    UpdateTransaction txn;
+    std::vector<EntryId> alive;
+    live->ForEachAlive([&](const Entry& e) { alive.push_back(e.id()); });
+    std::uniform_int_distribution<size_t> pick(0, alive.size() - 1);
+    std::uniform_int_distribution<int> shape(0, 3);
+
+    // Choose the (optional) delete subtree first so insert parents can be
+    // drawn from the survivors — inserting below a deleted entry would be
+    // malformed.
+    std::uniform_int_distribution<int> want_delete(0, 1);
+    std::set<EntryId> doomed;
+    if (want_delete(rng) == 1) {
+      EntryId root = alive[pick(rng)];
+      for (EntryId id : live->SubtreeEntries(root)) doomed.insert(id);
+    }
+    std::vector<EntryId> survivors;
+    for (EntryId id : alive) {
+      if (doomed.count(id) == 0) survivors.push_back(id);
+    }
+    if (survivors.empty()) continue;  // degenerate round
+    std::uniform_int_distribution<size_t> pick_survivor(
+        0, survivors.size() - 1);
+
+    // 1-2 insert subtrees under random surviving entries.
+    std::uniform_int_distribution<int> num_inserts(1, 2);
+    std::vector<UpdateOp> raw_ops;
+    int inserts = num_inserts(rng);
+    for (int i = 0; i < inserts; ++i) {
+      EntryId parent = survivors[pick_survivor(rng)];
+      DistinguishedName parent_dn = *DnOf(*live, parent);
+      int tag = counter++;
+      switch (shape(rng)) {
+        case 0: {  // staffed unit (likely legal placement permitting)
+          EntrySpec unit;
+          unit.classes = {"orgUnit", "orgGroup", "top"};
+          unit.values = {{"ou", "t" + std::to_string(tag)}};
+          DistinguishedName unit_dn =
+              parent_dn.Child("ou=t" + std::to_string(tag));
+          txn.Insert(unit_dn, unit);
+          EntrySpec person;
+          person.classes = {"person", "top"};
+          person.values = {{"uid", "tp" + std::to_string(tag)},
+                           {"name", "tp"}};
+          txn.Insert(unit_dn.Child("uid=tp" + std::to_string(tag)), person);
+          break;
+        }
+        case 1: {  // lonely unit (often illegal)
+          EntrySpec unit;
+          unit.classes = {"orgUnit", "orgGroup", "top"};
+          unit.values = {{"ou", "t" + std::to_string(tag)}};
+          txn.Insert(parent_dn.Child("ou=t" + std::to_string(tag)), unit);
+          break;
+        }
+        case 2: {  // bare person (fails under persons; fine under units)
+          EntrySpec person;
+          person.classes = {"person", "top"};
+          person.values = {{"uid", "tp" + std::to_string(tag)},
+                           {"name", "tp"}};
+          txn.Insert(parent_dn.Child("uid=tp" + std::to_string(tag)),
+                     person);
+          break;
+        }
+        default: {  // content-illegal person (missing name)
+          EntrySpec person;
+          person.classes = {"person", "top"};
+          person.values = {{"uid", "tp" + std::to_string(tag)}};
+          txn.Insert(parent_dn.Child("uid=tp" + std::to_string(tag)),
+                     person);
+          break;
+        }
+      }
+    }
+
+    // The delete ops, closed under descendants (chosen above).
+    for (EntryId id : doomed) {
+      txn.Delete(*DnOf(*live, id));
+    }
+
+    // --- Oracle: blind-apply to a copy, then full check. ---
+    Directory copy(vocab);
+    ASSERT_TRUE(LoadLdif(WriteLdif(*live), &copy).ok());
+    bool oracle_applied = true;
+    {
+      // Inserts parents-first.
+      std::vector<const UpdateOp*> ins;
+      for (const UpdateOp& op : txn.ops()) {
+        if (op.kind == UpdateOp::Kind::kInsert) ins.push_back(&op);
+      }
+      std::stable_sort(ins.begin(), ins.end(),
+                       [](const UpdateOp* a, const UpdateOp* b) {
+                         return a->dn.Depth() < b->dn.Depth();
+                       });
+      for (const UpdateOp* op : ins) {
+        auto parent = op->dn.Parent().IsEmpty()
+                          ? Result<EntryId>(kInvalidEntryId)
+                          : ResolveDn(copy, op->dn.Parent());
+        if (!parent.ok()) {
+          oracle_applied = false;
+          break;
+        }
+        EntrySpec spec = op->spec;
+        spec.rdn = op->dn.Leaf();
+        if (!copy.AddEntryFromSpec(*parent, spec).ok()) {
+          oracle_applied = false;
+          break;
+        }
+      }
+      // Deletes leaves-first.
+      std::vector<const UpdateOp*> dels;
+      for (const UpdateOp& op : txn.ops()) {
+        if (op.kind == UpdateOp::Kind::kDelete) dels.push_back(&op);
+      }
+      std::stable_sort(dels.begin(), dels.end(),
+                       [](const UpdateOp* a, const UpdateOp* b) {
+                         return a->dn.Depth() > b->dn.Depth();
+                       });
+      for (const UpdateOp* op : dels) {
+        if (!oracle_applied) break;
+        auto id = ResolveDn(copy, op->dn);
+        if (!id.ok() || !copy.DeleteLeaf(*id).ok()) oracle_applied = false;
+      }
+    }
+    ASSERT_TRUE(oracle_applied) << "generator produced a malformed txn";
+    bool oracle_legal = checker.CheckLegal(copy);
+
+    // --- Executor on the live directory. ---
+    std::multiset<std::string> before = Canonical(*live);
+    TransactionExecutor executor(&*live, *schema);
+    Status status = executor.Commit(txn);
+
+    EXPECT_EQ(status.ok(), oracle_legal)
+        << "seed=" << seed << " round=" << round << " status=" << status;
+    if (status.ok()) {
+      EXPECT_EQ(Canonical(*live), Canonical(copy))
+          << "seed=" << seed << " round=" << round;
+    } else {
+      EXPECT_EQ(status.code(), StatusCode::kIllegal)
+          << "seed=" << seed << " round=" << round << " " << status;
+      EXPECT_EQ(Canonical(*live), before)
+          << "rollback incomplete, seed=" << seed << " round=" << round;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TransactionPropertyTest,
+                         ::testing::Range<uint64_t>(1, 17));
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,228 @@
+// EXP-T41 / EXP-U1: Theorem 4.1's subtree granularity and the §4.1
+// motivating example.
+#include "update/transaction.h"
+
+#include <gtest/gtest.h>
+
+#include "core/legality_checker.h"
+#include "ldap/ldif.h"
+#include "workload/white_pages.h"
+
+namespace ldapbound {
+namespace {
+
+EntrySpec UnitSpec(const std::string& name) {
+  EntrySpec spec;
+  spec.classes = {"orgUnit", "orgGroup", "top"};
+  spec.values = {{"ou", name}};
+  return spec;
+}
+
+EntrySpec PersonSpec(const std::string& uid) {
+  EntrySpec spec;
+  spec.classes = {"person", "top"};
+  spec.values = {{"uid", uid}, {"name", "n " + uid}};
+  return spec;
+}
+
+DistinguishedName Dn(const std::string& text) {
+  return *DistinguishedName::Parse(text);
+}
+
+class TransactionTest : public ::testing::Test {
+ protected:
+  TransactionTest()
+      : vocab_(std::make_shared<Vocabulary>()),
+        schema_(MakeWhitePagesSchema(vocab_).value()),
+        directory_(MakeFigure1Instance(schema_).value()),
+        checker_(schema_) {}
+
+  std::shared_ptr<Vocabulary> vocab_;
+  DirectorySchema schema_;
+  Directory directory_;
+  LegalityChecker checker_;
+};
+
+// The §4.1 example: adding a new orgUnit under attLabs together with its
+// person children is legal as one transaction, even though the orgUnit
+// alone would violate orgGroup ->> person.
+TEST_F(TransactionTest, Section41MotivatingExample) {
+  UpdateTransaction txn;
+  txn.Insert(Dn("ou=voice,ou=attLabs,o=att"), UnitSpec("voice"));
+  txn.Insert(Dn("uid=alice,ou=voice,ou=attLabs,o=att"), PersonSpec("alice"));
+  txn.Insert(Dn("uid=carol,ou=voice,ou=attLabs,o=att"), PersonSpec("carol"));
+
+  TransactionExecutor executor(&directory_, schema_);
+  CommitStats stats;
+  Status status = executor.Commit(txn, &stats);
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_EQ(stats.inserted_subtrees, 1u);  // one connected subtree
+  EXPECT_EQ(stats.inserted_entries, 3u);
+  EXPECT_TRUE(checker_.CheckLegal(directory_));
+}
+
+// ...but the orgUnit alone is rejected, and the directory is unchanged.
+TEST_F(TransactionTest, LonelyOrgUnitRejected) {
+  std::string before = WriteLdif(directory_);
+  UpdateTransaction txn;
+  txn.Insert(Dn("ou=voice,ou=attLabs,o=att"), UnitSpec("voice"));
+  TransactionExecutor executor(&directory_, schema_);
+  Status status = executor.Commit(txn);
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  EXPECT_NE(status.message().find("orgGroup"), std::string::npos);
+  EXPECT_EQ(WriteLdif(directory_), before);
+}
+
+// Theorem 4.1: op order within the transaction does not matter — children
+// may be listed before their parents.
+TEST_F(TransactionTest, OperationOrderIrrelevant) {
+  UpdateTransaction txn;
+  txn.Insert(Dn("uid=alice,ou=voice,ou=attLabs,o=att"), PersonSpec("alice"));
+  txn.Insert(Dn("ou=voice,ou=attLabs,o=att"), UnitSpec("voice"));
+  TransactionExecutor executor(&directory_, schema_);
+  ASSERT_TRUE(executor.Commit(txn).ok());
+  EXPECT_TRUE(checker_.CheckLegal(directory_));
+}
+
+// Inserts before deletes (Theorem 4.1's normalization): replacing the only
+// person under an orgUnit works in one transaction regardless of listing
+// order, because insertions are applied first.
+TEST_F(TransactionTest, ReplacePersonInOneTransaction) {
+  UpdateTransaction txn;
+  // databases currently holds laks and suciu; replace both with one newcomer.
+  txn.Delete(Dn("uid=laks,ou=databases,ou=attLabs,o=att"));
+  txn.Insert(Dn("uid=newhire,ou=databases,ou=attLabs,o=att"),
+             PersonSpec("newhire"));
+  txn.Delete(Dn("uid=suciu,ou=databases,ou=attLabs,o=att"));
+  TransactionExecutor executor(&directory_, schema_);
+  CommitStats stats;
+  ASSERT_TRUE(executor.Commit(txn, &stats).ok());
+  EXPECT_EQ(stats.inserted_entries, 1u);
+  EXPECT_EQ(stats.deleted_entries, 2u);
+  EXPECT_EQ(stats.deleted_subtrees, 2u);
+  EXPECT_TRUE(checker_.CheckLegal(directory_));
+}
+
+// Deleting every person below an orgUnit violates orgGroup ->> person and
+// rolls back, restoring the deleted entries.
+TEST_F(TransactionTest, IllegalDeleteRollsBack) {
+  size_t before = directory_.NumEntries();
+  UpdateTransaction txn;
+  txn.Delete(Dn("uid=laks,ou=databases,ou=attLabs,o=att"));
+  txn.Delete(Dn("uid=suciu,ou=databases,ou=attLabs,o=att"));
+  TransactionExecutor executor(&directory_, schema_);
+  Status status = executor.Commit(txn);
+  EXPECT_EQ(status.code(), StatusCode::kIllegal);
+  // Both researchers are back (sibling order may differ after rollback).
+  EXPECT_EQ(directory_.NumEntries(), before);
+  EXPECT_TRUE(
+      ResolveDn(directory_,
+                Dn("uid=laks,ou=databases,ou=attLabs,o=att"))
+          .ok());
+  EXPECT_TRUE(
+      ResolveDn(directory_,
+                Dn("uid=suciu,ou=databases,ou=attLabs,o=att"))
+          .ok());
+  EXPECT_TRUE(checker_.CheckLegal(directory_));
+}
+
+// A whole-subtree deletion must list every descendant (LDAP deletes
+// leaves); deleting databases without its people is rejected outright.
+TEST_F(TransactionTest, PartialSubtreeDeleteRejected) {
+  UpdateTransaction txn;
+  txn.Delete(Dn("ou=databases,ou=attLabs,o=att"));
+  TransactionExecutor executor(&directory_, schema_);
+  Status status = executor.Commit(txn);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(checker_.CheckLegal(directory_));
+}
+
+TEST_F(TransactionTest, FullSubtreeDeleteWorks) {
+  // First give attLabs another person-bearing unit so legality survives.
+  UpdateTransaction setup;
+  setup.Insert(Dn("ou=voice,ou=attLabs,o=att"), UnitSpec("voice"));
+  setup.Insert(Dn("uid=alice,ou=voice,ou=attLabs,o=att"),
+               PersonSpec("alice"));
+  TransactionExecutor executor(&directory_, schema_);
+  ASSERT_TRUE(executor.Commit(setup).ok());
+
+  UpdateTransaction txn;
+  txn.Delete(Dn("ou=databases,ou=attLabs,o=att"));
+  txn.Delete(Dn("uid=laks,ou=databases,ou=attLabs,o=att"));
+  txn.Delete(Dn("uid=suciu,ou=databases,ou=attLabs,o=att"));
+  CommitStats stats;
+  ASSERT_TRUE(executor.Commit(txn, &stats).ok());
+  EXPECT_EQ(stats.deleted_subtrees, 1u);
+  EXPECT_EQ(stats.deleted_entries, 3u);
+  EXPECT_TRUE(checker_.CheckLegal(directory_));
+}
+
+TEST_F(TransactionTest, DuplicateOpsRejected) {
+  UpdateTransaction txn;
+  txn.Insert(Dn("uid=x,o=att"), PersonSpec("x"));
+  txn.Insert(Dn("uid=x,o=att"), PersonSpec("x"));
+  TransactionExecutor executor(&directory_, schema_);
+  EXPECT_EQ(executor.Commit(txn).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TransactionTest, InsertAndDeleteSameDnRejected) {
+  UpdateTransaction txn;
+  txn.Insert(Dn("uid=x,o=att"), PersonSpec("x"));
+  txn.Delete(Dn("uid=x,o=att"));
+  TransactionExecutor executor(&directory_, schema_);
+  EXPECT_EQ(executor.Commit(txn).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(TransactionTest, MissingParentFailsCleanly) {
+  std::string before = WriteLdif(directory_);
+  UpdateTransaction txn;
+  txn.Insert(Dn("uid=x,ou=ghost,o=att"), PersonSpec("x"));
+  TransactionExecutor executor(&directory_, schema_);
+  EXPECT_EQ(executor.Commit(txn).code(), StatusCode::kNotFound);
+  EXPECT_EQ(WriteLdif(directory_), before);
+}
+
+TEST_F(TransactionTest, DeleteMissingEntryFailsCleanly) {
+  UpdateTransaction txn;
+  txn.Delete(Dn("uid=ghost,o=att"));
+  TransactionExecutor executor(&directory_, schema_);
+  EXPECT_EQ(executor.Commit(txn).code(), StatusCode::kNotFound);
+}
+
+TEST_F(TransactionTest, EmptyTransactionIsNoOp) {
+  UpdateTransaction txn;
+  TransactionExecutor executor(&directory_, schema_);
+  CommitStats stats;
+  ASSERT_TRUE(executor.Commit(txn, &stats).ok());
+  EXPECT_EQ(stats.inserted_entries, 0u);
+  EXPECT_EQ(stats.deleted_entries, 0u);
+}
+
+// Two disjoint inserted subtrees count separately and are each checked.
+TEST_F(TransactionTest, DisjointSubtreesCheckedIndependently) {
+  UpdateTransaction txn;
+  txn.Insert(Dn("ou=voice,ou=attLabs,o=att"), UnitSpec("voice"));
+  txn.Insert(Dn("uid=alice,ou=voice,ou=attLabs,o=att"), PersonSpec("alice"));
+  txn.Insert(Dn("ou=video,ou=attLabs,o=att"), UnitSpec("video"));
+  txn.Insert(Dn("uid=carol,ou=video,ou=attLabs,o=att"), PersonSpec("carol"));
+  TransactionExecutor executor(&directory_, schema_);
+  CommitStats stats;
+  ASSERT_TRUE(executor.Commit(txn, &stats).ok());
+  EXPECT_EQ(stats.inserted_subtrees, 2u);
+  EXPECT_TRUE(checker_.CheckLegal(directory_));
+}
+
+// Rollback across phases: a failing second subtree undoes the first.
+TEST_F(TransactionTest, FailingSecondSubtreeUndoesFirst) {
+  std::string before = WriteLdif(directory_);
+  UpdateTransaction txn;
+  txn.Insert(Dn("ou=voice,ou=attLabs,o=att"), UnitSpec("voice"));
+  txn.Insert(Dn("uid=alice,ou=voice,ou=attLabs,o=att"), PersonSpec("alice"));
+  txn.Insert(Dn("ou=lonely,ou=attLabs,o=att"), UnitSpec("lonely"));
+  TransactionExecutor executor(&directory_, schema_);
+  EXPECT_EQ(executor.Commit(txn).code(), StatusCode::kIllegal);
+  EXPECT_EQ(WriteLdif(directory_), before);
+}
+
+}  // namespace
+}  // namespace ldapbound

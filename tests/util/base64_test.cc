@@ -1,0 +1,61 @@
+#include "util/base64.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace ldapbound {
+namespace {
+
+TEST(Base64Test, Rfc4648Vectors) {
+  EXPECT_EQ(Base64Encode(""), "");
+  EXPECT_EQ(Base64Encode("f"), "Zg==");
+  EXPECT_EQ(Base64Encode("fo"), "Zm8=");
+  EXPECT_EQ(Base64Encode("foo"), "Zm9v");
+  EXPECT_EQ(Base64Encode("foob"), "Zm9vYg==");
+  EXPECT_EQ(Base64Encode("fooba"), "Zm9vYmE=");
+  EXPECT_EQ(Base64Encode("foobar"), "Zm9vYmFy");
+}
+
+TEST(Base64Test, DecodeVectors) {
+  EXPECT_EQ(*Base64Decode(""), "");
+  EXPECT_EQ(*Base64Decode("Zg=="), "f");
+  EXPECT_EQ(*Base64Decode("Zm8="), "fo");
+  EXPECT_EQ(*Base64Decode("Zm9vYmFy"), "foobar");
+}
+
+TEST(Base64Test, DecodeRejectsGarbage) {
+  EXPECT_FALSE(Base64Decode("Zg=").ok());     // bad length
+  EXPECT_FALSE(Base64Decode("Z!==").ok());    // bad character
+  EXPECT_FALSE(Base64Decode("Zg==Zg==").ok());// padding not at end
+  EXPECT_FALSE(Base64Decode("Z===").ok());    // invalid padding
+}
+
+TEST(Base64Test, RoundTripsBinary) {
+  std::mt19937_64 rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::string data;
+    std::uniform_int_distribution<int> len(0, 100);
+    std::uniform_int_distribution<int> byte(0, 255);
+    int n = len(rng);
+    for (int i = 0; i < n; ++i) data += static_cast<char>(byte(rng));
+    auto decoded = Base64Decode(Base64Encode(data));
+    ASSERT_TRUE(decoded.ok());
+    EXPECT_EQ(*decoded, data);
+  }
+}
+
+TEST(LdifSafeTest, Classification) {
+  EXPECT_TRUE(IsLdifSafe("hello world"));
+  EXPECT_TRUE(IsLdifSafe(""));
+  EXPECT_FALSE(IsLdifSafe(" leading space"));
+  EXPECT_FALSE(IsLdifSafe("trailing space "));
+  EXPECT_FALSE(IsLdifSafe(":colon first"));
+  EXPECT_FALSE(IsLdifSafe("<url-ish"));
+  EXPECT_FALSE(IsLdifSafe("line\nbreak"));
+  EXPECT_FALSE(IsLdifSafe("caf\xc3\xa9"));  // non-ASCII
+  EXPECT_TRUE(IsLdifSafe("mid: colon is fine"));
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,103 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/result.h"
+
+namespace ldapbound {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::FailedPrecondition("x").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Illegal("x").code(), StatusCode::kIllegal);
+  EXPECT_EQ(Status::Inconsistent("x").code(), StatusCode::kInconsistent);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Illegal("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::Illegal("entry 3").ToString(), "Illegal: entry 3");
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::NotFound("nope");
+  EXPECT_EQ(os.str(), "NotFound: nope");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+}
+
+Status Fails() { return Status::InvalidArgument("bad"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UseReturnIfError(bool fail) {
+  LDAPBOUND_RETURN_IF_ERROR(fail ? Fails() : Succeeds());
+  return Status::Internal("fell through");
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_EQ(UseReturnIfError(true).code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(UseReturnIfError(false).code(), StatusCode::kInternal);
+}
+
+Result<int> MakeResult(bool ok) {
+  if (ok) return 41;
+  return Status::NotFound("no int");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = MakeResult(true);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 41);
+  EXPECT_EQ(r.value(), 41);
+  EXPECT_EQ(r.value_or(7), 41);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = MakeResult(false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> UseAssignOrReturn(bool ok) {
+  LDAPBOUND_ASSIGN_OR_RETURN(int x, MakeResult(ok));
+  return x + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> good = UseAssignOrReturn(true);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 42);
+  Result<int> bad = UseAssignOrReturn(false);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,75 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+TEST(StripWhitespaceTest, Basic) {
+  EXPECT_EQ(StripWhitespace("  a b  "), "a b");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t\n "), "");
+  EXPECT_EQ(StripWhitespace("x"), "x");
+}
+
+TEST(SplitTest, Basic) {
+  auto pieces = Split("a,b,,c", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[0], "a");
+  EXPECT_EQ(pieces[1], "b");
+  EXPECT_EQ(pieces[2], "");
+  EXPECT_EQ(pieces[3], "c");
+}
+
+TEST(SplitTest, NoSeparator) {
+  auto pieces = Split("abc", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "abc");
+}
+
+TEST(SplitTest, EmptyString) {
+  auto pieces = Split("", ',');
+  ASSERT_EQ(pieces.size(), 1u);
+  EXPECT_EQ(pieces[0], "");
+}
+
+TEST(SplitEscapedTest, EscapedSeparatorDoesNotSplit) {
+  auto pieces = SplitEscaped("cn=a\\,b,o=c", ',');
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "cn=a\\,b");
+  EXPECT_EQ(pieces[1], "o=c");
+}
+
+TEST(SplitEscapedTest, EscapedBackslashThenSeparatorSplits) {
+  auto pieces = SplitEscaped("a\\\\,b", ',');
+  ASSERT_EQ(pieces.size(), 2u);
+  EXPECT_EQ(pieces[0], "a\\\\");
+  EXPECT_EQ(pieces[1], "b");
+}
+
+TEST(EqualsIgnoreCaseTest, Basic) {
+  EXPECT_TRUE(EqualsIgnoreCase("objectClass", "OBJECTCLASS"));
+  EXPECT_TRUE(EqualsIgnoreCase("", ""));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "abd"));
+  EXPECT_FALSE(EqualsIgnoreCase("abc", "ab"));
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLower("OrgUnit"), "orgunit");
+  EXPECT_EQ(ToLower("123-X"), "123-x");
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"only"}, ","), "only");
+}
+
+TEST(StartsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,225 @@
+// ldapbound command-line tool: validate, diagnose and query directories
+// from schema/LDIF files.
+//
+//   ldapbound check <schema> <ldif>            legality verdict + violations
+//   ldapbound consistency <schema>             Section 5 verdict (+ trace)
+//   ldapbound witness <schema>                 emit a legal instance as LDIF
+//   ldapbound format <schema>                  canonicalize a schema file
+//   ldapbound search <schema> <ldif> <base-dn> <filter>
+//   ldapbound query <schema> <ldif> <hier-query>   (the §3.2 s-expressions)
+//   ldapbound stats <schema> <ldif>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "consistency/inference.h"
+#include "consistency/witness.h"
+#include "core/legality_checker.h"
+#include "ldap/filter.h"
+#include "ldap/ldif.h"
+#include "ldap/query_parser.h"
+#include "ldap/search.h"
+#include "query/evaluator.h"
+#include "schema/schema_format.h"
+
+namespace {
+
+using namespace ldapbound;
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  ldapbound check <schema> <ldif>\n"
+               "  ldapbound consistency <schema>\n"
+               "  ldapbound witness <schema>\n"
+               "  ldapbound format <schema>\n"
+               "  ldapbound search <schema> <ldif> <base-dn> <filter>\n"
+               "  ldapbound query <schema> <ldif> <hier-query>\n"
+               "  ldapbound stats <schema> <ldif>\n");
+  return 2;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open '" + path + "'");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Result<DirectorySchema> LoadSchema(const std::string& path,
+                                   std::shared_ptr<Vocabulary> vocab) {
+  LDAPBOUND_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return ParseDirectorySchema(text, std::move(vocab));
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
+}
+
+int RunCheck(const std::string& schema_path, const std::string& ldif_path) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  auto ldif = ReadFile(ldif_path);
+  if (!ldif.ok()) return Fail(ldif.status());
+  Directory directory(vocab);
+  auto loaded = LoadLdif(*ldif, &directory);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  LegalityChecker checker(*schema);
+  std::vector<Violation> violations;
+  if (checker.CheckLegal(directory, &violations)) {
+    std::printf("LEGAL (%zu entries)\n", directory.NumEntries());
+    return 0;
+  }
+  std::printf("ILLEGAL (%zu entries, %zu violations)\n%s",
+              directory.NumEntries(), violations.size(),
+              DescribeViolations(violations, *vocab).c_str());
+  return 1;
+}
+
+int RunConsistency(const std::string& schema_path) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  ConsistencyChecker checker(*schema);
+  if (checker.IsConsistent()) {
+    std::printf("CONSISTENT\n");
+    for (ClassId c : checker.engine().ImpossibleClasses()) {
+      std::printf("note: class '%s' can never be populated\n",
+                  vocab->ClassName(c).c_str());
+    }
+    for (const SchemaElement& e : FindRedundantElements(*schema)) {
+      std::printf("lint: redundant element: %s\n",
+                  e.ToString(*vocab).c_str());
+    }
+    return 0;
+  }
+  std::printf("INCONSISTENT\n%s",
+              checker.engine().Explain(SchemaElement::Bottom()).c_str());
+  return 1;
+}
+
+int RunWitness(const std::string& schema_path) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  auto witness = WitnessBuilder(*schema).Build();
+  if (!witness.ok()) return Fail(witness.status());
+  std::printf("%s", WriteLdif(*witness).c_str());
+  return 0;
+}
+
+int RunFormat(const std::string& schema_path) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  std::printf("%s", FormatDirectorySchema(*schema).c_str());
+  return 0;
+}
+
+int RunSearch(const std::string& schema_path, const std::string& ldif_path,
+              const std::string& base, const std::string& filter_text) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  auto ldif = ReadFile(ldif_path);
+  if (!ldif.ok()) return Fail(ldif.status());
+  Directory directory(vocab);
+  auto loaded = LoadLdif(*ldif, &directory);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  SearchRequest request;
+  auto dn = DistinguishedName::Parse(base);
+  if (!dn.ok()) return Fail(dn.status());
+  request.base = *dn;
+  request.scope = SearchScope::kSubtree;
+  auto filter = ParseFilter(filter_text, *vocab);
+  if (!filter.ok()) return Fail(filter.status());
+  request.filter = *filter;
+
+  auto hits = Search(directory, request);
+  if (!hits.ok()) return Fail(hits.status());
+  for (EntryId id : *hits) {
+    std::printf("%s\n", DnOf(directory, id)->ToString().c_str());
+  }
+  std::fprintf(stderr, "%zu entries matched\n", hits->size());
+  return 0;
+}
+
+int RunQuery(const std::string& schema_path, const std::string& ldif_path,
+             const std::string& query_text) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  auto ldif = ReadFile(ldif_path);
+  if (!ldif.ok()) return Fail(ldif.status());
+  Directory directory(vocab);
+  auto loaded = LoadLdif(*ldif, &directory);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  auto query = ParseQuery(query_text, *vocab);
+  if (!query.ok()) return Fail(query.status());
+  QueryEvaluator evaluator(directory);
+  EntrySet result = evaluator.Evaluate(*query);
+  result.ForEach([&](EntryId id) {
+    std::printf("%s\n", DnOf(directory, id)->ToString().c_str());
+  });
+  std::fprintf(stderr, "%zu entries matched\n", result.Count());
+  return 0;
+}
+
+int RunStats(const std::string& schema_path, const std::string& ldif_path) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  auto ldif = ReadFile(ldif_path);
+  if (!ldif.ok()) return Fail(ldif.status());
+  Directory directory(vocab);
+  auto loaded = LoadLdif(*ldif, &directory);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  DirectoryStats stats = directory.ComputeStats();
+  std::printf("entries:        %zu\n", stats.num_entries);
+  std::printf("roots:          %zu\n", stats.num_roots);
+  std::printf("leaves:         %zu\n", stats.num_leaves);
+  std::printf("max depth:      %zu\n", stats.max_depth);
+  std::printf("avg depth:      %.2f\n", stats.avg_depth);
+  std::printf("max fanout:     %zu\n", stats.max_fanout);
+  std::printf("values:         %zu\n", stats.total_values);
+  std::printf("class memberships: %zu\n", stats.total_classes);
+  std::printf("depth histogram:\n");
+  for (size_t depth = 0; depth < stats.depth_histogram.size(); ++depth) {
+    std::printf("  depth %zu: %zu\n", depth, stats.depth_histogram[depth]);
+  }
+  std::printf("entries per class:\n");
+  for (ClassId c = 0; c < vocab->num_classes(); ++c) {
+    size_t count = directory.CountWithClass(c);
+    if (count > 0) {
+      std::printf("  %s: %zu\n", vocab->ClassName(c).c_str(), count);
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string command = argv[1];
+  if (command == "check" && argc == 4) return RunCheck(argv[2], argv[3]);
+  if (command == "consistency" && argc == 3) return RunConsistency(argv[2]);
+  if (command == "witness" && argc == 3) return RunWitness(argv[2]);
+  if (command == "format" && argc == 3) return RunFormat(argv[2]);
+  if (command == "search" && argc == 6) {
+    return RunSearch(argv[2], argv[3], argv[4], argv[5]);
+  }
+  if (command == "query" && argc == 5) {
+    return RunQuery(argv[2], argv[3], argv[4]);
+  }
+  if (command == "stats" && argc == 4) return RunStats(argv[2], argv[3]);
+  return Usage();
+}
