@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_content_legality.dir/bench_content_legality.cpp.o"
+  "CMakeFiles/bench_content_legality.dir/bench_content_legality.cpp.o.d"
+  "bench_content_legality"
+  "bench_content_legality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_content_legality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

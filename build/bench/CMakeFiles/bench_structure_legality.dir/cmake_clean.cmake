@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_structure_legality.dir/bench_structure_legality.cpp.o"
+  "CMakeFiles/bench_structure_legality.dir/bench_structure_legality.cpp.o.d"
+  "bench_structure_legality"
+  "bench_structure_legality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_structure_legality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_structure_legality.
+# This may be replaced when dependencies are built.

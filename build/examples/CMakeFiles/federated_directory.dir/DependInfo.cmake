@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/federated_directory.cpp" "examples/CMakeFiles/federated_directory.dir/federated_directory.cpp.o" "gcc" "examples/CMakeFiles/federated_directory.dir/federated_directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/ldapbound_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/update/CMakeFiles/ldapbound_update.dir/DependInfo.cmake"
+  "/root/repo/build/src/consistency/CMakeFiles/ldapbound_consistency.dir/DependInfo.cmake"
+  "/root/repo/build/src/ldap/CMakeFiles/ldapbound_ldap.dir/DependInfo.cmake"
+  "/root/repo/build/src/semistructured/CMakeFiles/ldapbound_semistructured.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/ldapbound_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/federation/CMakeFiles/ldapbound_federation.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/ldapbound_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/schema/CMakeFiles/ldapbound_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ldapbound_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ldapbound_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldapbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

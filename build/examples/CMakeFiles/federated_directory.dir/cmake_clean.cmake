@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_directory.dir/federated_directory.cpp.o"
+  "CMakeFiles/federated_directory.dir/federated_directory.cpp.o.d"
+  "federated_directory"
+  "federated_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_policies.dir/network_policies.cpp.o"
+  "CMakeFiles/network_policies.dir/network_policies.cpp.o.d"
+  "network_policies"
+  "network_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

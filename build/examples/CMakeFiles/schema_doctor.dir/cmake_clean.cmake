@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_doctor.dir/schema_doctor.cpp.o"
+  "CMakeFiles/schema_doctor.dir/schema_doctor.cpp.o.d"
+  "schema_doctor"
+  "schema_doctor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_doctor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

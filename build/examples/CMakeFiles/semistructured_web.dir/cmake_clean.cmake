@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semistructured_web.dir/semistructured_web.cpp.o"
+  "CMakeFiles/semistructured_web.dir/semistructured_web.cpp.o.d"
+  "semistructured_web"
+  "semistructured_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semistructured_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/white_pages.dir/white_pages.cpp.o"
+  "CMakeFiles/white_pages.dir/white_pages.cpp.o.d"
+  "white_pages"
+  "white_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/white_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("model")
+subdirs("ldap")
+subdirs("query")
+subdirs("schema")
+subdirs("core")
+subdirs("update")
+subdirs("consistency")
+subdirs("semistructured")
+subdirs("workload")
+subdirs("server")
+subdirs("federation")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_consistency.dir/element.cc.o"
+  "CMakeFiles/ldapbound_consistency.dir/element.cc.o.d"
+  "CMakeFiles/ldapbound_consistency.dir/inference.cc.o"
+  "CMakeFiles/ldapbound_consistency.dir/inference.cc.o.d"
+  "CMakeFiles/ldapbound_consistency.dir/witness.cc.o"
+  "CMakeFiles/ldapbound_consistency.dir/witness.cc.o.d"
+  "libldapbound_consistency.a"
+  "libldapbound_consistency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/legality_checker.cc" "src/core/CMakeFiles/ldapbound_core.dir/legality_checker.cc.o" "gcc" "src/core/CMakeFiles/ldapbound_core.dir/legality_checker.cc.o.d"
+  "/root/repo/src/core/naive_checker.cc" "src/core/CMakeFiles/ldapbound_core.dir/naive_checker.cc.o" "gcc" "src/core/CMakeFiles/ldapbound_core.dir/naive_checker.cc.o.d"
+  "/root/repo/src/core/translation.cc" "src/core/CMakeFiles/ldapbound_core.dir/translation.cc.o" "gcc" "src/core/CMakeFiles/ldapbound_core.dir/translation.cc.o.d"
+  "/root/repo/src/core/violation.cc" "src/core/CMakeFiles/ldapbound_core.dir/violation.cc.o" "gcc" "src/core/CMakeFiles/ldapbound_core.dir/violation.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/ldapbound_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ldapbound_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ldapbound_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldapbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

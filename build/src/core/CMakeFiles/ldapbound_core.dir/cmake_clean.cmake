@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_core.dir/legality_checker.cc.o"
+  "CMakeFiles/ldapbound_core.dir/legality_checker.cc.o.d"
+  "CMakeFiles/ldapbound_core.dir/naive_checker.cc.o"
+  "CMakeFiles/ldapbound_core.dir/naive_checker.cc.o.d"
+  "CMakeFiles/ldapbound_core.dir/translation.cc.o"
+  "CMakeFiles/ldapbound_core.dir/translation.cc.o.d"
+  "CMakeFiles/ldapbound_core.dir/violation.cc.o"
+  "CMakeFiles/ldapbound_core.dir/violation.cc.o.d"
+  "libldapbound_core.a"
+  "libldapbound_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

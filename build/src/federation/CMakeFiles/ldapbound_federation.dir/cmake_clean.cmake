@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_federation.dir/federation.cc.o"
+  "CMakeFiles/ldapbound_federation.dir/federation.cc.o.d"
+  "libldapbound_federation.a"
+  "libldapbound_federation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_federation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

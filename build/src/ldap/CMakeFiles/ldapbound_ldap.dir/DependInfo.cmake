@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ldap/dn.cc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/dn.cc.o" "gcc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/dn.cc.o.d"
+  "/root/repo/src/ldap/filter.cc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/filter.cc.o" "gcc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/filter.cc.o.d"
+  "/root/repo/src/ldap/ldif.cc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/ldif.cc.o" "gcc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/ldif.cc.o.d"
+  "/root/repo/src/ldap/query_parser.cc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/query_parser.cc.o" "gcc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/query_parser.cc.o.d"
+  "/root/repo/src/ldap/search.cc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/search.cc.o" "gcc" "src/ldap/CMakeFiles/ldapbound_ldap.dir/search.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ldapbound_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/ldapbound_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldapbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_ldap.dir/dn.cc.o"
+  "CMakeFiles/ldapbound_ldap.dir/dn.cc.o.d"
+  "CMakeFiles/ldapbound_ldap.dir/filter.cc.o"
+  "CMakeFiles/ldapbound_ldap.dir/filter.cc.o.d"
+  "CMakeFiles/ldapbound_ldap.dir/ldif.cc.o"
+  "CMakeFiles/ldapbound_ldap.dir/ldif.cc.o.d"
+  "CMakeFiles/ldapbound_ldap.dir/query_parser.cc.o"
+  "CMakeFiles/ldapbound_ldap.dir/query_parser.cc.o.d"
+  "CMakeFiles/ldapbound_ldap.dir/search.cc.o"
+  "CMakeFiles/ldapbound_ldap.dir/search.cc.o.d"
+  "libldapbound_ldap.a"
+  "libldapbound_ldap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_ldap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

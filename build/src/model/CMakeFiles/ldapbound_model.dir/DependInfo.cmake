@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/directory.cc" "src/model/CMakeFiles/ldapbound_model.dir/directory.cc.o" "gcc" "src/model/CMakeFiles/ldapbound_model.dir/directory.cc.o.d"
+  "/root/repo/src/model/value.cc" "src/model/CMakeFiles/ldapbound_model.dir/value.cc.o" "gcc" "src/model/CMakeFiles/ldapbound_model.dir/value.cc.o.d"
+  "/root/repo/src/model/vocabulary.cc" "src/model/CMakeFiles/ldapbound_model.dir/vocabulary.cc.o" "gcc" "src/model/CMakeFiles/ldapbound_model.dir/vocabulary.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldapbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_model.dir/directory.cc.o"
+  "CMakeFiles/ldapbound_model.dir/directory.cc.o.d"
+  "CMakeFiles/ldapbound_model.dir/value.cc.o"
+  "CMakeFiles/ldapbound_model.dir/value.cc.o.d"
+  "CMakeFiles/ldapbound_model.dir/vocabulary.cc.o"
+  "CMakeFiles/ldapbound_model.dir/vocabulary.cc.o.d"
+  "libldapbound_model.a"
+  "libldapbound_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

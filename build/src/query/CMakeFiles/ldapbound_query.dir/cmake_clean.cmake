@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_query.dir/evaluator.cc.o"
+  "CMakeFiles/ldapbound_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/ldapbound_query.dir/matcher.cc.o"
+  "CMakeFiles/ldapbound_query.dir/matcher.cc.o.d"
+  "CMakeFiles/ldapbound_query.dir/query.cc.o"
+  "CMakeFiles/ldapbound_query.dir/query.cc.o.d"
+  "CMakeFiles/ldapbound_query.dir/value_index.cc.o"
+  "CMakeFiles/ldapbound_query.dir/value_index.cc.o.d"
+  "libldapbound_query.a"
+  "libldapbound_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/attribute_schema.cc" "src/schema/CMakeFiles/ldapbound_schema.dir/attribute_schema.cc.o" "gcc" "src/schema/CMakeFiles/ldapbound_schema.dir/attribute_schema.cc.o.d"
+  "/root/repo/src/schema/class_schema.cc" "src/schema/CMakeFiles/ldapbound_schema.dir/class_schema.cc.o" "gcc" "src/schema/CMakeFiles/ldapbound_schema.dir/class_schema.cc.o.d"
+  "/root/repo/src/schema/directory_schema.cc" "src/schema/CMakeFiles/ldapbound_schema.dir/directory_schema.cc.o" "gcc" "src/schema/CMakeFiles/ldapbound_schema.dir/directory_schema.cc.o.d"
+  "/root/repo/src/schema/evolution.cc" "src/schema/CMakeFiles/ldapbound_schema.dir/evolution.cc.o" "gcc" "src/schema/CMakeFiles/ldapbound_schema.dir/evolution.cc.o.d"
+  "/root/repo/src/schema/schema_format.cc" "src/schema/CMakeFiles/ldapbound_schema.dir/schema_format.cc.o" "gcc" "src/schema/CMakeFiles/ldapbound_schema.dir/schema_format.cc.o.d"
+  "/root/repo/src/schema/structure_schema.cc" "src/schema/CMakeFiles/ldapbound_schema.dir/structure_schema.cc.o" "gcc" "src/schema/CMakeFiles/ldapbound_schema.dir/structure_schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/model/CMakeFiles/ldapbound_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldapbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_schema.dir/attribute_schema.cc.o"
+  "CMakeFiles/ldapbound_schema.dir/attribute_schema.cc.o.d"
+  "CMakeFiles/ldapbound_schema.dir/class_schema.cc.o"
+  "CMakeFiles/ldapbound_schema.dir/class_schema.cc.o.d"
+  "CMakeFiles/ldapbound_schema.dir/directory_schema.cc.o"
+  "CMakeFiles/ldapbound_schema.dir/directory_schema.cc.o.d"
+  "CMakeFiles/ldapbound_schema.dir/evolution.cc.o"
+  "CMakeFiles/ldapbound_schema.dir/evolution.cc.o.d"
+  "CMakeFiles/ldapbound_schema.dir/schema_format.cc.o"
+  "CMakeFiles/ldapbound_schema.dir/schema_format.cc.o.d"
+  "CMakeFiles/ldapbound_schema.dir/structure_schema.cc.o"
+  "CMakeFiles/ldapbound_schema.dir/structure_schema.cc.o.d"
+  "libldapbound_schema.a"
+  "libldapbound_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/semistructured/data_graph.cc" "src/semistructured/CMakeFiles/ldapbound_semistructured.dir/data_graph.cc.o" "gcc" "src/semistructured/CMakeFiles/ldapbound_semistructured.dir/data_graph.cc.o.d"
+  "/root/repo/src/semistructured/graph_constraints.cc" "src/semistructured/CMakeFiles/ldapbound_semistructured.dir/graph_constraints.cc.o" "gcc" "src/semistructured/CMakeFiles/ldapbound_semistructured.dir/graph_constraints.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/ldapbound_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ldapbound_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

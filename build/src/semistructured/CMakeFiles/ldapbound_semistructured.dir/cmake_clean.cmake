@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_semistructured.dir/data_graph.cc.o"
+  "CMakeFiles/ldapbound_semistructured.dir/data_graph.cc.o.d"
+  "CMakeFiles/ldapbound_semistructured.dir/graph_constraints.cc.o"
+  "CMakeFiles/ldapbound_semistructured.dir/graph_constraints.cc.o.d"
+  "libldapbound_semistructured.a"
+  "libldapbound_semistructured.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_semistructured.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

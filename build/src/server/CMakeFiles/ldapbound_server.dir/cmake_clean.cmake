@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_server.dir/changelog.cc.o"
+  "CMakeFiles/ldapbound_server.dir/changelog.cc.o.d"
+  "CMakeFiles/ldapbound_server.dir/directory_server.cc.o"
+  "CMakeFiles/ldapbound_server.dir/directory_server.cc.o.d"
+  "libldapbound_server.a"
+  "libldapbound_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_update.dir/incremental.cc.o"
+  "CMakeFiles/ldapbound_update.dir/incremental.cc.o.d"
+  "CMakeFiles/ldapbound_update.dir/subtree_snapshot.cc.o"
+  "CMakeFiles/ldapbound_update.dir/subtree_snapshot.cc.o.d"
+  "CMakeFiles/ldapbound_update.dir/transaction.cc.o"
+  "CMakeFiles/ldapbound_update.dir/transaction.cc.o.d"
+  "libldapbound_update.a"
+  "libldapbound_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

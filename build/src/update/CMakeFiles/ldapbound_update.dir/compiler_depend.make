@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ldapbound_update.
+# This may be replaced when dependencies are built.

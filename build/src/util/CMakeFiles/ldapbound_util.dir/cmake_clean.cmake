@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_util.dir/base64.cc.o"
+  "CMakeFiles/ldapbound_util.dir/base64.cc.o.d"
+  "CMakeFiles/ldapbound_util.dir/status.cc.o"
+  "CMakeFiles/ldapbound_util.dir/status.cc.o.d"
+  "CMakeFiles/ldapbound_util.dir/string_util.cc.o"
+  "CMakeFiles/ldapbound_util.dir/string_util.cc.o.d"
+  "libldapbound_util.a"
+  "libldapbound_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libldapbound_util.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/random_gen.cc" "src/workload/CMakeFiles/ldapbound_workload.dir/random_gen.cc.o" "gcc" "src/workload/CMakeFiles/ldapbound_workload.dir/random_gen.cc.o.d"
+  "/root/repo/src/workload/white_pages.cc" "src/workload/CMakeFiles/ldapbound_workload.dir/white_pages.cc.o" "gcc" "src/workload/CMakeFiles/ldapbound_workload.dir/white_pages.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/schema/CMakeFiles/ldapbound_schema.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/ldapbound_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/ldapbound_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

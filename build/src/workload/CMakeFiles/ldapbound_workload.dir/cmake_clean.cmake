@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound_workload.dir/random_gen.cc.o"
+  "CMakeFiles/ldapbound_workload.dir/random_gen.cc.o.d"
+  "CMakeFiles/ldapbound_workload.dir/white_pages.cc.o"
+  "CMakeFiles/ldapbound_workload.dir/white_pages.cc.o.d"
+  "libldapbound_workload.a"
+  "libldapbound_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

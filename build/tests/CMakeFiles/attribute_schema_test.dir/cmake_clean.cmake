@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attribute_schema_test.dir/schema/attribute_schema_test.cc.o"
+  "CMakeFiles/attribute_schema_test.dir/schema/attribute_schema_test.cc.o.d"
+  "attribute_schema_test"
+  "attribute_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attribute_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

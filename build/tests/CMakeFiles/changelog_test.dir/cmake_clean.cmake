@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/changelog_test.dir/server/changelog_test.cc.o"
+  "CMakeFiles/changelog_test.dir/server/changelog_test.cc.o.d"
+  "changelog_test"
+  "changelog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/changelog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

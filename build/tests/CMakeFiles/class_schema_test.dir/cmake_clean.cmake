@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/class_schema_test.dir/schema/class_schema_test.cc.o"
+  "CMakeFiles/class_schema_test.dir/schema/class_schema_test.cc.o.d"
+  "class_schema_test"
+  "class_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/class_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/directory_server_test.dir/server/directory_server_test.cc.o"
+  "CMakeFiles/directory_server_test.dir/server/directory_server_test.cc.o.d"
+  "directory_server_test"
+  "directory_server_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/directory_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dn_test.dir/ldap/dn_test.cc.o"
+  "CMakeFiles/dn_test.dir/ldap/dn_test.cc.o.d"
+  "dn_test"
+  "dn_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

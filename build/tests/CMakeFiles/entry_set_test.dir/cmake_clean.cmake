@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/entry_set_test.dir/model/entry_set_test.cc.o"
+  "CMakeFiles/entry_set_test.dir/model/entry_set_test.cc.o.d"
+  "entry_set_test"
+  "entry_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/entry_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forest_index_test.dir/model/forest_index_test.cc.o"
+  "CMakeFiles/forest_index_test.dir/model/forest_index_test.cc.o.d"
+  "forest_index_test"
+  "forest_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forest_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

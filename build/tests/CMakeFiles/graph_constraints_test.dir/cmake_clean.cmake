@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_constraints_test.dir/semistructured/graph_constraints_test.cc.o"
+  "CMakeFiles/graph_constraints_test.dir/semistructured/graph_constraints_test.cc.o.d"
+  "graph_constraints_test"
+  "graph_constraints_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

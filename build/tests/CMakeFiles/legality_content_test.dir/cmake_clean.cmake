@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legality_content_test.dir/core/legality_content_test.cc.o"
+  "CMakeFiles/legality_content_test.dir/core/legality_content_test.cc.o.d"
+  "legality_content_test"
+  "legality_content_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legality_content_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legality_structure_test.dir/core/legality_structure_test.cc.o"
+  "CMakeFiles/legality_structure_test.dir/core/legality_structure_test.cc.o.d"
+  "legality_structure_test"
+  "legality_structure_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legality_structure_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

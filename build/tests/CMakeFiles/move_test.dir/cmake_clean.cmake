@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/move_test.dir/update/move_test.cc.o"
+  "CMakeFiles/move_test.dir/update/move_test.cc.o.d"
+  "move_test"
+  "move_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/move_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclassify_test.dir/update/reclassify_test.cc.o"
+  "CMakeFiles/reclassify_test.dir/update/reclassify_test.cc.o.d"
+  "reclassify_test"
+  "reclassify_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclassify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

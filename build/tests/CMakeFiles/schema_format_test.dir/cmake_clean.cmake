@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_format_test.dir/schema/schema_format_test.cc.o"
+  "CMakeFiles/schema_format_test.dir/schema/schema_format_test.cc.o.d"
+  "schema_format_test"
+  "schema_format_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

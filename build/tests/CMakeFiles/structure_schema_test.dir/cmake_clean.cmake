@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/structure_schema_test.dir/schema/structure_schema_test.cc.o"
+  "CMakeFiles/structure_schema_test.dir/schema/structure_schema_test.cc.o.d"
+  "structure_schema_test"
+  "structure_schema_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/structure_schema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transaction_property_test.dir/update/transaction_property_test.cc.o"
+  "CMakeFiles/transaction_property_test.dir/update/transaction_property_test.cc.o.d"
+  "transaction_property_test"
+  "transaction_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transaction_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

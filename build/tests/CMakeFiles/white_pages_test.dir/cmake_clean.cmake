@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/white_pages_test.dir/core/white_pages_test.cc.o"
+  "CMakeFiles/white_pages_test.dir/core/white_pages_test.cc.o.d"
+  "white_pages_test"
+  "white_pages_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/white_pages_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ldapbound.dir/ldapbound_cli.cc.o"
+  "CMakeFiles/ldapbound.dir/ldapbound_cli.cc.o.d"
+  "ldapbound"
+  "ldapbound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ldapbound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
