@@ -27,6 +27,29 @@ void BM_ContentLegality(benchmark::State& state) {
 
 BENCHMARK(BM_ContentLegality)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000);
 
+// The sharded content pass across worker counts (entries × threads).
+// Per-shard violation buffers merge in shard order, so every thread count
+// reports the serial violation list; here the directory is legal and the
+// pass is pure checking throughput.
+void BM_ContentLegality_Threads(benchmark::State& state) {
+  const World& world = GetWorld(static_cast<size_t>(state.range(0)));
+  CheckOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(1));
+  LegalityChecker checker(*world.schema, options);
+  for (auto _ : state) {
+    bool legal = checker.CheckContent(*world.directory);
+    benchmark::DoNotOptimize(legal);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["ns_per_entry"] = benchmark::Counter(
+      static_cast<double>(world.directory->NumEntries()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_ContentLegality_Threads)
+    ->ArgsProduct({{64000}, {1, 2, 4, 8}});
+
 // Per-entry cost as the entry's payload grows: one entry carrying `k`
 // extra attribute values.
 void BM_ContentLegalityPerEntryPayload(benchmark::State& state) {

@@ -96,5 +96,50 @@ void BM_FullLegality(benchmark::State& state) {
 
 BENCHMARK(BM_FullLegality)->Arg(1000)->Arg(4000)->Arg(16000)->Arg(64000);
 
+// Structure legality across worker counts (entries × threads): the
+// per-constraint queries fan out over the pool, each on its own evaluator
+// above the shared class-selection cache.
+void BM_StructureLegality_Threads(benchmark::State& state) {
+  const World& world = GetWorld(static_cast<size_t>(state.range(0)));
+  CheckOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(1));
+  LegalityChecker checker(*world.schema, options);
+  for (auto _ : state) {
+    bool legal = checker.CheckStructure(*world.directory);
+    benchmark::DoNotOptimize(legal);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["ns_per_entry"] = benchmark::Counter(
+      static_cast<double>(world.directory->NumEntries()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_StructureLegality_Threads)
+    ->ArgsProduct({{64000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
+// Full legality across worker counts: content sharding, structure
+// fan-out, and key sharding combined.
+void BM_FullLegality_Threads(benchmark::State& state) {
+  const World& world = GetWorld(static_cast<size_t>(state.range(0)));
+  CheckOptions options;
+  options.num_threads = static_cast<unsigned>(state.range(1));
+  LegalityChecker checker(*world.schema, options);
+  for (auto _ : state) {
+    bool legal = checker.CheckLegal(*world.directory);
+    benchmark::DoNotOptimize(legal);
+  }
+  state.counters["threads"] = static_cast<double>(state.range(1));
+  state.counters["ns_per_entry"] = benchmark::Counter(
+      static_cast<double>(world.directory->NumEntries()) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+
+BENCHMARK(BM_FullLegality_Threads)
+    ->ArgsProduct({{64000}, {1, 2, 4, 8}})
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 }  // namespace ldapbound::bench

@@ -1,7 +1,13 @@
 #include "core/legality_checker.h"
 
 #include <algorithm>
+#include <atomic>
+#include <iterator>
+#include <map>
+#include <mutex>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
 
 #include "core/translation.h"
 #include "query/evaluator.h"
@@ -18,7 +24,50 @@ bool Report(std::vector<Violation>* out, Violation v, bool* ok) {
   return true;
 }
 
+// Calls `fn(value)` for every value of `attr` in `entry`, in sorted order,
+// without materializing a vector (Entry::GetValues allocates).
+template <typename Fn>
+void ForEachValueOf(const Entry& entry, AttributeId attr, Fn&& fn) {
+  const std::vector<AttributeValue>& vals = entry.values();
+  auto it = std::lower_bound(
+      vals.begin(), vals.end(), attr,
+      [](const AttributeValue& av, AttributeId x) { return av.attribute < x; });
+  for (; it != vals.end() && it->attribute == attr; ++it) fn(it->value);
+}
+
 }  // namespace
+
+/// Per-worker memo for full-directory content passes. Keyed by the entry's
+/// (sorted, unique) class list; the cached verdict and attribute sets are
+/// entry-independent, so each distinct class combination pays the
+/// class-schema analysis once per worker instead of once per entry.
+struct LegalityChecker::ContentCache {
+  struct ClassSetInfo {
+    bool clean = false;  ///< the class list passes the class schema
+    /// Union of the member classes' required attributes (sans objectClass),
+    /// sorted and unique.
+    std::vector<AttributeId> required;
+    /// Bitmap over attribute ids: allowed by at least one member class.
+    std::vector<uint64_t> allowed;
+
+    bool IsAllowed(AttributeId a) const {
+      return (a >> 6) < allowed.size() && (allowed[a >> 6] >> (a & 63)) & 1;
+    }
+  };
+
+  std::map<std::vector<ClassId>, ClassSetInfo> infos;
+  AttributeId objectclass = kInvalidAttributeId;
+};
+
+ThreadPool& LegalityChecker::Pool() const {
+  return options_.pool != nullptr ? *options_.pool : ThreadPool::Default();
+}
+
+unsigned LegalityChecker::EffectiveThreads(size_t work_items) const {
+  unsigned t = ResolveThreads(options_.num_threads);
+  if (work_items < t) t = static_cast<unsigned>(work_items);
+  return t == 0 ? 1 : t;
+}
 
 bool LegalityChecker::CheckEntryClassSchema(const Directory&,
                                             const Entry& entry,
@@ -52,8 +101,8 @@ bool LegalityChecker::CheckEntryClassSchema(const Directory&,
   // At least one core class.
   if (num_core == 0) {
     Violation v;
-      v.kind = ViolationKind::kNoCoreClass;
-      v.entry = entry.id();
+    v.kind = ViolationKind::kNoCoreClass;
+    v.entry = entry.id();
     if (!Report(out, v, &ok)) return false;
     return ok;  // inheritance/auxiliary checks need a core chain
   }
@@ -108,6 +157,51 @@ bool LegalityChecker::CheckEntryClassSchema(const Directory&,
   return ok;
 }
 
+bool LegalityChecker::ClassListClean(
+    const std::vector<ClassId>& classes) const {
+  const ClassSchema& cs = schema_.classes();
+  ClassId deepest = kInvalidClassId;
+  uint32_t deepest_depth = 0;
+  size_t num_core = 0;
+  for (ClassId c : classes) {
+    if (!cs.Contains(c)) return false;
+    if (cs.IsCore(c)) {
+      ++num_core;
+      uint32_t d = cs.DepthOf(c);
+      if (deepest == kInvalidClassId || d > deepest_depth) {
+        deepest = c;
+        deepest_depth = d;
+      }
+    }
+  }
+  if (num_core == 0) return false;
+  std::vector<ClassId> chain = cs.AncestorsOf(deepest);
+  std::sort(chain.begin(), chain.end());
+  for (ClassId c : classes) {
+    if (cs.IsCore(c) &&
+        !std::binary_search(chain.begin(), chain.end(), c)) {
+      return false;
+    }
+  }
+  for (ClassId c : chain) {
+    if (!std::binary_search(classes.begin(), classes.end(), c)) return false;
+  }
+  for (ClassId c : classes) {
+    if (!cs.IsAuxiliary(c)) continue;
+    bool allowed = false;
+    for (ClassId core : classes) {
+      if (!cs.IsCore(core)) continue;
+      const std::vector<ClassId>& aux = cs.AuxAllowed(core);
+      if (std::binary_search(aux.begin(), aux.end(), c)) {
+        allowed = true;
+        break;
+      }
+    }
+    if (!allowed) return false;
+  }
+  return true;
+}
+
 bool LegalityChecker::CheckEntryAttributeSchema(
     const Directory& directory, const Entry& entry,
     std::vector<Violation>* out) const {
@@ -123,8 +217,8 @@ bool LegalityChecker::CheckEntryAttributeSchema(
       if (a == oc) continue;
       if (!entry.HasAttribute(a)) {
         Violation v;
-      v.kind = ViolationKind::kMissingRequiredAttribute;
-      v.entry = entry.id();
+        v.kind = ViolationKind::kMissingRequiredAttribute;
+        v.entry = entry.id();
         v.cls = c;
         v.attr = a;
         if (!Report(out, v, &ok)) return false;
@@ -165,43 +259,272 @@ bool LegalityChecker::CheckEntryContent(const Directory& directory,
   return class_ok && attr_ok;
 }
 
+bool LegalityChecker::CheckEntryContentCached(
+    const Directory& directory, EntryId id, ContentCache& cache,
+    std::vector<Violation>* out) const {
+  const Entry& entry = directory.entry(id);
+  auto it = cache.infos.find(entry.classes());
+  if (it == cache.infos.end()) {
+    ContentCache::ClassSetInfo info;
+    info.clean = ClassListClean(entry.classes());
+    if (info.clean) {
+      const AttributeSchema& attrs = schema_.attributes();
+      AttributeId max_allowed = 0;
+      for (ClassId c : entry.classes()) {
+        for (AttributeId a : attrs.Required(c)) {
+          if (a != cache.objectclass) info.required.push_back(a);
+        }
+        for (AttributeId a : attrs.Allowed(c)) {
+          if (a > max_allowed) max_allowed = a;
+        }
+      }
+      std::sort(info.required.begin(), info.required.end());
+      info.required.erase(
+          std::unique(info.required.begin(), info.required.end()),
+          info.required.end());
+      info.allowed.assign((static_cast<size_t>(max_allowed) >> 6) + 1, 0);
+      for (ClassId c : entry.classes()) {
+        for (AttributeId a : attrs.Allowed(c)) {
+          info.allowed[a >> 6] |= uint64_t{1} << (a & 63);
+        }
+      }
+    }
+    it = cache.infos.emplace(entry.classes(), std::move(info)).first;
+  }
+  const ContentCache::ClassSetInfo& info = it->second;
+  if (info.clean) {
+    // Fast screen: required ⊆ present and present ⊆ allowed, via one merge
+    // sweep over the entry's sorted values against the sorted required
+    // list. Any miss drops to the exact serial check below.
+    bool screened = true;
+    size_t req = 0;
+    AttributeId last = kInvalidAttributeId;
+    for (const AttributeValue& av : entry.values()) {
+      if (av.attribute == last) continue;
+      last = av.attribute;
+      if (req < info.required.size() && info.required[req] < av.attribute) {
+        screened = false;  // a required attribute was skipped: missing
+        break;
+      }
+      if (req < info.required.size() && info.required[req] == av.attribute) {
+        ++req;
+      }
+      if (!info.IsAllowed(av.attribute)) {
+        screened = false;
+        break;
+      }
+    }
+    if (screened && req == info.required.size()) return true;
+  }
+  // Slow path: the exact serial per-entry check, so violation content and
+  // order are identical to the unmemoized checker.
+  return CheckEntryContent(directory, id, out);
+}
+
 bool LegalityChecker::CheckContent(const Directory& directory,
                                    std::vector<Violation>* out) const {
-  bool ok = true;
-  for (size_t id = 0; id < directory.IdCapacity(); ++id) {
-    EntryId eid = static_cast<EntryId>(id);
-    if (!directory.IsAlive(eid)) continue;
-    if (!CheckEntryContent(directory, eid, out)) {
-      ok = false;
-      if (out == nullptr) return false;
+  const size_t cap = directory.IdCapacity();
+  const size_t grain = options_.grain != 0 ? options_.grain : 1;
+  const size_t num_chunks = (cap + grain - 1) / grain;
+  const unsigned threads = EffectiveThreads(num_chunks);
+
+  if (threads <= 1) {
+    ContentCache cache;
+    cache.objectclass = directory.vocab().objectclass_attr();
+    bool ok = true;
+    for (size_t id = 0; id < cap; ++id) {
+      EntryId eid = static_cast<EntryId>(id);
+      if (!directory.IsAlive(eid)) continue;
+      if (!CheckEntryContentCached(directory, eid, cache, out)) {
+        ok = false;
+        if (out == nullptr) return false;
+      }
+    }
+    return ok;
+  }
+
+  // Sharded pass: chunk k covers ids [k*grain, (k+1)*grain); per-chunk
+  // buffers concatenated in chunk order reproduce the serial ascending-id
+  // violation order exactly. Each lane keeps its own class-set memo.
+  std::vector<std::vector<Violation>> buffers(out != nullptr ? num_chunks : 0);
+  std::vector<ContentCache> caches(threads);
+  for (ContentCache& c : caches) {
+    c.objectclass = directory.vocab().objectclass_attr();
+  }
+  std::atomic<bool> bad{false};
+  ParallelFor(Pool(), 0, cap, grain, threads,
+              [&](unsigned lane, size_t chunk, size_t lo, size_t hi) {
+                ContentCache& cache = caches[lane];
+                std::vector<Violation>* buf =
+                    out != nullptr ? &buffers[chunk] : nullptr;
+                for (size_t id = lo; id < hi; ++id) {
+                  if (out == nullptr &&
+                      bad.load(std::memory_order_relaxed)) {
+                    return;  // all-or-nothing mode: a violation was found
+                  }
+                  EntryId eid = static_cast<EntryId>(id);
+                  if (!directory.IsAlive(eid)) continue;
+                  if (!CheckEntryContentCached(directory, eid, cache, buf)) {
+                    bad.store(true, std::memory_order_relaxed);
+                    if (out == nullptr) return;
+                  }
+                }
+              });
+  if (out != nullptr) {
+    for (std::vector<Violation>& buf : buffers) {
+      out->insert(out->end(), std::make_move_iterator(buf.begin()),
+                  std::make_move_iterator(buf.end()));
     }
   }
-  return ok;
+  return !bad.load(std::memory_order_relaxed);
 }
 
 bool LegalityChecker::CheckStructure(const Directory& directory,
                                      std::vector<Violation>* out,
-                                     const ValueIndex* index) const {
+                                     const ValueIndex* index,
+                                     EvaluatorStats* stats_out) const {
   const StructureSchema& structure = schema_.structure();
-  QueryEvaluator evaluator(directory, /*delta=*/nullptr, index);
   bool ok = true;
+  EvaluatorStats stats;
+  auto flush_stats = [&]() {
+    if (stats_out != nullptr) *stats_out = stats;
+  };
 
   // Required classes Cr: the atomic witness query must be non-empty.
+  // Answered by the directory's class counters, so kept serial.
   for (ClassId cls : structure.required_classes()) {
     if (directory.CountWithClass(cls) > 0) continue;
     Violation v;
     v.kind = ViolationKind::kMissingRequiredClass;
     v.cls = cls;
-    if (!Report(out, v, &ok)) return false;
+    if (!Report(out, v, &ok)) {
+      flush_stats();
+      return false;
+    }
   }
 
-  // Er and Ef: the Figure 4 violation query must be empty; its members are
-  // the offending entries.
-  auto run = [&](const StructuralRelationship& rel) -> bool {
-    EntrySet offenders = evaluator.Evaluate(ViolationQuery(rel));
-    if (offenders.Empty()) return true;
-    if (out == nullptr) return false;
-    offenders.ForEach([&](EntryId id) {
+  // Er and Ef: the Figure 4 violation query of each relationship must be
+  // empty; its members are the offending entries. The queries are
+  // independent, so they fan out across the pool — one QueryEvaluator per
+  // task (the evaluator holds mutable stats) over a shared read-only cache
+  // of the per-class atomic selections.
+  std::vector<const StructuralRelationship*> rels;
+  rels.reserve(structure.required().size() + structure.forbidden().size());
+  for (const StructuralRelationship& rel : structure.required()) {
+    rels.push_back(&rel);
+  }
+  for (const StructuralRelationship& rel : structure.forbidden()) {
+    rels.push_back(&rel);
+  }
+  if (rels.empty()) {
+    flush_stats();
+    return ok;
+  }
+
+  std::vector<ClassId> classes;
+  classes.reserve(rels.size() * 2);
+  for (const StructuralRelationship* rel : rels) {
+    classes.push_back(rel->source);
+    classes.push_back(rel->target);
+  }
+  std::sort(classes.begin(), classes.end());
+  classes.erase(std::unique(classes.begin(), classes.end()), classes.end());
+
+  const unsigned threads = EffectiveThreads(rels.size());
+  std::mutex stats_mu;
+
+  // Phase 1: the (objectClass=c) selection of every distinct class.
+  std::unordered_map<ClassId, EntrySet> class_cache;
+  class_cache.reserve(classes.size());
+  if (index != nullptr) {
+    // A fresh index answers each selection in O(|result|): keep the
+    // per-class path (pre-populated map, so workers assign into distinct,
+    // already-allocated slots).
+    for (ClassId c : classes) class_cache.emplace(c, EntrySet());
+    ParallelFor(Pool(), 0, classes.size(), 1, threads,
+                [&](unsigned, size_t, size_t lo, size_t hi) {
+                  for (size_t i = lo; i < hi; ++i) {
+                    QueryEvaluator evaluator(directory, /*delta=*/nullptr,
+                                             index);
+                    class_cache.find(classes[i])->second = evaluator.Evaluate(
+                        RequiredClassWitnessQuery(classes[i]));
+                    std::lock_guard<std::mutex> lock(stats_mu);
+                    stats += evaluator.stats();
+                  }
+                });
+  } else {
+    // Unindexed: ONE pass over the entries fills every selection at once
+    // (each alive entry marks itself in the sets of its wanted classes),
+    // instead of |classes| full scans. Shards are aligned to whole bitmap
+    // words, so concurrent lanes never touch the same word of a set.
+    const size_t cap = directory.IdCapacity();
+    std::vector<EntrySet*> sets(classes.size());
+    for (size_t i = 0; i < classes.size(); ++i) {
+      sets[i] = &class_cache.emplace(classes[i], EntrySet(cap)).first->second;
+    }
+    const size_t grain =
+        (std::max<size_t>(options_.grain, 64) + 63) / 64 * 64;
+    ParallelFor(Pool(), 0, cap, grain, EffectiveThreads(cap),
+                [&](unsigned, size_t, size_t lo, size_t hi) {
+                  for (size_t eid = lo; eid < hi; ++eid) {
+                    const EntryId id = static_cast<EntryId>(eid);
+                    if (!directory.IsAlive(id)) continue;
+                    for (ClassId c : directory.entry(id).classes()) {
+                      auto it = std::lower_bound(classes.begin(),
+                                                 classes.end(), c);
+                      if (it != classes.end() && *it == c) {
+                        sets[it - classes.begin()]->Insert(id);
+                      }
+                    }
+                  }
+                });
+    // Account the pass as one scan answering |classes| selection nodes.
+    stats.nodes_evaluated += classes.size();
+    stats.entries_scanned += directory.NumEntries();
+  }
+
+  // Phase 2: the violation queries, one task per relationship. With a
+  // null `out` only emptiness matters: the evaluator's lazy IsEmpty stops
+  // at the first surviving id and remaining tasks are skipped once any
+  // relationship has failed.
+  std::vector<EntrySet> offenders(out != nullptr ? rels.size() : 0);
+  std::vector<uint8_t> rel_bad(rels.size(), 0);
+  std::atomic<bool> bad{false};
+  ParallelFor(
+      Pool(), 0, rels.size(), 1, threads,
+      [&](unsigned, size_t, size_t lo, size_t hi) {
+        for (size_t i = lo; i < hi; ++i) {
+          if (out == nullptr && bad.load(std::memory_order_relaxed)) return;
+          QueryEvaluator evaluator(directory, /*delta=*/nullptr, index);
+          evaluator.set_class_cache(&class_cache);
+          if (out == nullptr) {
+            if (!evaluator.IsEmpty(ViolationQuery(*rels[i]))) {
+              rel_bad[i] = 1;
+              bad.store(true, std::memory_order_relaxed);
+            }
+          } else {
+            EntrySet offs = evaluator.Evaluate(ViolationQuery(*rels[i]));
+            if (!offs.Empty()) {
+              rel_bad[i] = 1;
+              bad.store(true, std::memory_order_relaxed);
+              offenders[i] = std::move(offs);
+            }
+          }
+          std::lock_guard<std::mutex> lock(stats_mu);
+          stats += evaluator.stats();
+        }
+      });
+
+  // Deterministic emission: schema order (Er then Ef), offenders ascending.
+  for (size_t i = 0; i < rels.size(); ++i) {
+    if (!rel_bad[i]) continue;
+    ok = false;
+    if (out == nullptr) {
+      flush_stats();
+      return false;
+    }
+    const StructuralRelationship& rel = *rels[i];
+    offenders[i].ForEach([&](EntryId id) {
       Violation v;
       v.kind = rel.forbidden ? ViolationKind::kForbiddenRelationship
                              : ViolationKind::kRequiredRelationship;
@@ -209,20 +532,8 @@ bool LegalityChecker::CheckStructure(const Directory& directory,
       v.relationship = rel;
       out->push_back(v);
     });
-    return false;
-  };
-  for (const StructuralRelationship& rel : structure.required()) {
-    if (!run(rel)) {
-      ok = false;
-      if (out == nullptr) return false;
-    }
   }
-  for (const StructuralRelationship& rel : structure.forbidden()) {
-    if (!run(rel)) {
-      ok = false;
-      if (out == nullptr) return false;
-    }
-  }
+  flush_stats();
   return ok;
 }
 
@@ -230,24 +541,99 @@ bool LegalityChecker::CheckKeys(const Directory& directory,
                                 std::vector<Violation>* out) const {
   const std::vector<AttributeId>& keys = schema_.key_attributes();
   if (keys.empty()) return true;
+  const size_t cap = directory.IdCapacity();
+  const size_t grain = options_.grain != 0 ? options_.grain : 1;
+  const size_t num_chunks = (cap + grain - 1) / grain;
+  const unsigned threads = EffectiveThreads(num_chunks);
+
+  if (threads <= 1) {
+    bool ok = true;
+    std::unordered_set<Value, ValueHash> seen;
+    for (AttributeId attr : keys) {
+      seen.clear();
+      bool stop = false;
+      directory.ForEachAlive([&](const Entry& e) {
+        if (stop) return;
+        ForEachValueOf(e, attr, [&](const Value& v) {
+          if (stop) return;
+          if (!seen.insert(v).second) {
+            Violation violation;
+            violation.kind = ViolationKind::kDuplicateKeyValue;
+            violation.entry = e.id();
+            violation.attr = attr;
+            if (!Report(out, violation, &ok)) stop = true;
+          }
+        });
+      });
+      if (stop) return false;
+    }
+    return ok;
+  }
+
+  // Sharded pass, per key attribute: each shard hashes its id range into a
+  // local occurrence map (first occurrence + later ones, in scan order);
+  // the serial merge walks shards in ascending order, so the globally
+  // first occurrence of each value — the one a serial scan would not
+  // report — is identified deterministically. A violation only records
+  // (entry, attr), so sorting the offender ids reproduces the serial
+  // ascending-id emission exactly.
   bool ok = true;
-  std::unordered_set<Value, ValueHash> seen;
+  struct ShardOcc {
+    EntryId first = kInvalidEntryId;
+    std::vector<EntryId> rest;  // later occurrences in this shard, in order
+  };
+  using ShardMap = std::unordered_map<Value, ShardOcc, ValueHash>;
   for (AttributeId attr : keys) {
-    seen.clear();
-    bool stop = false;
-    directory.ForEachAlive([&](const Entry& e) {
-      if (stop) return;
-      for (const Value& v : e.GetValues(attr)) {
-        if (!seen.insert(v).second) {
-          Violation violation;
-          violation.kind = ViolationKind::kDuplicateKeyValue;
-          violation.entry = e.id();
-          violation.attr = attr;
-          if (!Report(out, violation, &ok)) stop = true;
+    std::vector<ShardMap> shards(num_chunks);
+    std::atomic<bool> bad{false};
+    ParallelFor(Pool(), 0, cap, grain, threads,
+                [&](unsigned, size_t chunk, size_t lo, size_t hi) {
+                  if (out == nullptr && bad.load(std::memory_order_relaxed)) {
+                    return;
+                  }
+                  ShardMap& local = shards[chunk];
+                  for (size_t id = lo; id < hi; ++id) {
+                    EntryId eid = static_cast<EntryId>(id);
+                    if (!directory.IsAlive(eid)) continue;
+                    const Entry& e = directory.entry(eid);
+                    ForEachValueOf(e, attr, [&](const Value& v) {
+                      auto [it, inserted] = local.try_emplace(v);
+                      if (inserted) {
+                        it->second.first = eid;
+                      } else {
+                        it->second.rest.push_back(eid);
+                        bad.store(true, std::memory_order_relaxed);
+                      }
+                    });
+                  }
+                });
+    if (out == nullptr && bad.load(std::memory_order_relaxed)) return false;
+
+    std::unordered_set<Value, ValueHash> seen;
+    std::vector<EntryId> offenders;
+    for (ShardMap& shard : shards) {
+      for (auto& [value, occ] : shard) {
+        if (seen.insert(value).second) {
+          // Globally first occurrence lives in this shard; only the later
+          // ones are duplicates.
+          offenders.insert(offenders.end(), occ.rest.begin(), occ.rest.end());
+        } else {
+          offenders.push_back(occ.first);
+          offenders.insert(offenders.end(), occ.rest.begin(), occ.rest.end());
         }
       }
-    });
-    if (stop) return false;
+    }
+    if (offenders.empty()) continue;
+    ok = false;
+    if (out == nullptr) return false;
+    std::sort(offenders.begin(), offenders.end());
+    for (EntryId id : offenders) {
+      Violation violation;
+      violation.kind = ViolationKind::kDuplicateKeyValue;
+      violation.entry = id;
+      violation.attr = attr;
+      out->push_back(violation);
+    }
   }
   return ok;
 }

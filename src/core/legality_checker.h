@@ -1,14 +1,34 @@
 #ifndef LDAPBOUND_CORE_LEGALITY_CHECKER_H_
 #define LDAPBOUND_CORE_LEGALITY_CHECKER_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "core/violation.h"
 #include "model/directory.h"
+#include "query/evaluator.h"
 #include "query/value_index.h"
 #include "schema/directory_schema.h"
+#include "util/thread_pool.h"
 
 namespace ldapbound {
+
+/// Worker configuration for the parallel legality engine. Per-constraint
+/// and per-entry checks are independent (§3), so the checker shards content
+/// and key passes over entry-id ranges and fans the structure-schema
+/// constraint queries out across a thread pool. Results are merged
+/// deterministically: every configuration produces byte-identical violation
+/// lists, in the same order as a serial run.
+struct CheckOptions {
+  /// Total worker lanes (including the calling thread). 0 resolves to the
+  /// hardware concurrency; 1 runs everything inline with no pool use.
+  unsigned num_threads = 0;
+  /// Entries per shard of the content and key passes. Small grains improve
+  /// load balance, large grains reduce scheduling overhead.
+  size_t grain = 1024;
+  /// Pool to borrow workers from; nullptr uses ThreadPool::Default().
+  ThreadPool* pool = nullptr;
+};
 
 /// Tests legality of directory instances against a bounding-schema
 /// (Definition 2.7, Section 3).
@@ -19,11 +39,30 @@ namespace ldapbound {
 /// schema into a hierarchical selection query (Figure 4) and tests
 /// emptiness / non-emptiness, for O(|S|·|D|) total — the Theorem 3.1 bound.
 ///
+/// Engine structure (beyond the paper's algorithmics):
+///  - full-directory content/key passes shard the id space (CheckOptions::
+///    grain) with per-shard violation buffers concatenated in shard order,
+///    so the output equals the serial ascending-id order;
+///  - per-shard content checks run through a memo keyed by the entry's
+///    class set: the class-schema verdict and the required/allowed
+///    attribute sets depend only on class(e), and directories hold few
+///    distinct class combinations, so the common clean entry costs one
+///    lookup plus two sorted-vector sweeps (no per-entry allocation). Any
+///    entry that fails the memoized screen re-runs the exact serial check
+///    to report violations in the identical order;
+///  - the structure pass evaluates each constraint query on its own
+///    QueryEvaluator (the evaluator holds mutable stats, so instances are
+///    not shared) over a shared read-only cache of the per-class atomic
+///    selections, and uses the evaluator's lazy IsEmpty when only a
+///    verdict is needed (out == nullptr).
+///
 /// The checker borrows the schema; the schema must outlive it and must
 /// share the directory's Vocabulary.
 class LegalityChecker {
  public:
-  explicit LegalityChecker(const DirectorySchema& schema) : schema_(schema) {}
+  explicit LegalityChecker(const DirectorySchema& schema,
+                           CheckOptions options = CheckOptions())
+      : schema_(schema), options_(options) {}
 
   /// Content check for a single entry. Appends violations to `out` if
   /// non-null; with a null `out`, stops at the first violation.
@@ -36,10 +75,13 @@ class LegalityChecker {
                     std::vector<Violation>* out = nullptr) const;
 
   /// Structure check via the Figure 4 query reduction. An optional fresh
-  /// ValueIndex accelerates the atomic (objectClass=c) selections.
+  /// ValueIndex accelerates the atomic (objectClass=c) selections. When
+  /// `stats` is non-null it receives the aggregated per-worker
+  /// EvaluatorStats of the constraint queries.
   bool CheckStructure(const Directory& directory,
                       std::vector<Violation>* out = nullptr,
-                      const ValueIndex* index = nullptr) const;
+                      const ValueIndex* index = nullptr,
+                      EvaluatorStats* stats = nullptr) const;
 
   /// Key uniqueness (§6.1 extension): every value of a key attribute is
   /// unique across all entries. O(|D|) with hashing.
@@ -55,15 +97,30 @@ class LegalityChecker {
   Status EnsureLegal(const Directory& directory) const;
 
   const DirectorySchema& schema() const { return schema_; }
+  const CheckOptions& options() const { return options_; }
 
  private:
+  struct ContentCache;
+
   bool CheckEntryClassSchema(const Directory& directory, const Entry& entry,
                              std::vector<Violation>* out) const;
   bool CheckEntryAttributeSchema(const Directory& directory,
                                  const Entry& entry,
                                  std::vector<Violation>* out) const;
+  /// Memoized per-entry content check: certifies clean entries via the
+  /// class-set cache, falls back to the exact serial check otherwise.
+  bool CheckEntryContentCached(const Directory& directory, EntryId id,
+                               ContentCache& cache,
+                               std::vector<Violation>* out) const;
+  /// True iff this class list passes every class-schema condition.
+  bool ClassListClean(const std::vector<ClassId>& classes) const;
+
+  ThreadPool& Pool() const;
+  /// Lanes to use for `work_items` independent pieces of work.
+  unsigned EffectiveThreads(size_t work_items) const;
 
   const DirectorySchema& schema_;
+  CheckOptions options_;
 };
 
 }  // namespace ldapbound

@@ -43,6 +43,8 @@ struct Violation {
   AttributeId attr = kInvalidAttributeId;///< attribute involved
   StructuralRelationship relationship;   ///< for structure violations
 
+  friend bool operator==(const Violation& a, const Violation& b) = default;
+
   /// Human-readable description, e.g.
   /// "entry 4 (uid=suciu): missing required attribute 'uid' of class person".
   std::string Describe(const Vocabulary& vocab) const;

@@ -1,6 +1,7 @@
 #ifndef LDAPBOUND_MODEL_ENTRY_SET_H_
 #define LDAPBOUND_MODEL_ENTRY_SET_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -25,8 +26,17 @@ class EntrySet {
 
   size_t capacity() const { return capacity_; }
 
-  void Insert(EntryId id) { words_[id >> 6] |= uint64_t{1} << (id & 63); }
-  void Erase(EntryId id) { words_[id >> 6] &= ~(uint64_t{1} << (id & 63)); }
+  /// Out-of-range ids are ignored: Contains could never report them, and
+  /// without the guard an id past the capacity scribbles over the heap
+  /// (Contains bounds-checks, Insert/Erase historically did not).
+  void Insert(EntryId id) {
+    if (id >= capacity_) return;
+    words_[id >> 6] |= uint64_t{1} << (id & 63);
+  }
+  void Erase(EntryId id) {
+    if (id >= capacity_) return;
+    words_[id >> 6] &= ~(uint64_t{1} << (id & 63));
+  }
   bool Contains(EntryId id) const {
     return id < capacity_ && (words_[id >> 6] >> (id & 63)) & 1;
   }
@@ -35,6 +45,18 @@ class EntrySet {
   size_t Count() const {
     size_t n = 0;
     for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  /// min(Count(), k): stops counting as soon as `k` members are seen, so
+  /// threshold tests ("is this set bigger than |D|/8?") cost O(k/64 + 1)
+  /// words on dense sets instead of a full popcount pass.
+  size_t CountUpTo(size_t k) const {
+    size_t n = 0;
+    for (uint64_t w : words_) {
+      n += static_cast<size_t>(__builtin_popcountll(w));
+      if (n >= k) return k;
+    }
     return n;
   }
 
@@ -64,6 +86,49 @@ class EntrySet {
     for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
   }
 
+  /// True iff the sets share at least one id; exits at the first
+  /// overlapping word, so disproving emptiness of an intersection needs no
+  /// materialized result bitmap.
+  bool Intersects(const EntrySet& other) const {
+    size_t n = std::min(words_.size(), other.words_.size());
+    for (size_t i = 0; i < n; ++i) {
+      if (words_[i] & other.words_[i]) return true;
+    }
+    return false;
+  }
+
+  /// True iff every id of this set is also in `other`; exits at the first
+  /// word with a surviving id. `A.IsSubsetOf(B)` is the lazy emptiness test
+  /// for the difference query `(? A B)`.
+  bool IsSubsetOf(const EntrySet& other) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      if (w == 0) continue;
+      uint64_t o = i < other.words_.size() ? other.words_[i] : 0;
+      if (w & ~o) return false;
+    }
+    return true;
+  }
+
+  /// True iff some member lies in [lo, hi). Masks the boundary words and
+  /// exits at the first non-zero word; preorder-interval emptiness tests
+  /// use this against subtree ranges.
+  bool AnyInRange(size_t lo, size_t hi) const {
+    if (hi > capacity_) hi = capacity_;
+    if (lo >= hi) return false;
+    const size_t first = lo >> 6;
+    const size_t last = (hi - 1) >> 6;
+    const uint64_t first_mask = ~uint64_t{0} << (lo & 63);
+    const uint64_t last_mask =
+        ~uint64_t{0} >> (63 - ((hi - 1) & 63));
+    if (first == last) return (words_[first] & first_mask & last_mask) != 0;
+    if (words_[first] & first_mask) return true;
+    for (size_t i = first + 1; i < last; ++i) {
+      if (words_[i] != 0) return true;
+    }
+    return (words_[last] & last_mask) != 0;
+  }
+
   /// Calls `fn(id)` for every id in the set in increasing order.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
@@ -75,6 +140,21 @@ class EntrySet {
         w &= w - 1;
       }
     }
+  }
+
+  /// ForEach that stops early: `fn(id)` returns false to stop iterating.
+  /// Returns true iff iteration ran to completion (fn never said stop).
+  template <typename Fn>
+  bool ForEachWhile(Fn&& fn) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      uint64_t w = words_[i];
+      while (w != 0) {
+        int bit = __builtin_ctzll(w);
+        if (!fn(static_cast<EntryId>(i * 64 + bit))) return false;
+        w &= w - 1;
+      }
+    }
+    return true;
   }
 
   /// All ids in the set, in increasing order.

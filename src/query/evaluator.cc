@@ -42,11 +42,60 @@ EntrySet QueryEvaluator::Evaluate(const Query& query) {
   return EntrySet(directory_.IdCapacity());
 }
 
+bool QueryEvaluator::IsEmpty(const Query& query) {
+  ++stats_.nodes_evaluated;
+  switch (query.kind()) {
+    case Query::Kind::kSelect:
+      return SelectIsEmpty(query);
+    case Query::Kind::kHier:
+      return HierIsEmpty(query);
+    case Query::Kind::kDiff: {
+      // (? A B) is empty iff A ⊆ B; the subset test exits at the first
+      // word holding a surviving id, and B is never evaluated when A is
+      // already empty.
+      EntrySet lhs = Evaluate(query.operands()[0]);
+      if (lhs.Empty()) return true;
+      EntrySet rhs = Evaluate(query.operands()[1]);
+      return lhs.IsSubsetOf(rhs);
+    }
+    case Query::Kind::kUnion: {
+      for (const Query& op : query.operands()) {
+        if (!IsEmpty(op)) return false;
+      }
+      return true;
+    }
+    case Query::Kind::kIntersect: {
+      const std::vector<Query>& ops = query.operands();
+      if (ops.empty()) return directory_.NumEntries() == 0;
+      if (ops.size() == 1) return IsEmpty(ops[0]);
+      EntrySet acc = Evaluate(ops[0]);
+      if (acc.Empty()) return true;
+      for (size_t i = 1; i + 1 < ops.size(); ++i) {
+        EntrySet part = Evaluate(ops[i]);
+        acc.IntersectWith(part);
+        if (acc.Empty()) return true;
+      }
+      EntrySet last = Evaluate(ops.back());
+      return !acc.Intersects(last);
+    }
+  }
+  return true;
+}
+
 EntrySet QueryEvaluator::EvaluateSelect(const Query& query) {
   EntrySet out(directory_.IdCapacity());
   const Scope scope = query.scope();
   if (scope == Scope::kEmpty) return out;
   const Matcher& matcher = *query.matcher();
+  if (scope == Scope::kAll && class_cache_ != nullptr) {
+    if (const auto* cm = dynamic_cast<const ClassMatcher*>(&matcher)) {
+      auto it = class_cache_->find(cm->cls());
+      if (it != class_cache_->end()) {
+        ++stats_.cache_hits;
+        return it->second;
+      }
+    }
+  }
   if (scope == Scope::kDeltaOnly) {
     // Δ-scoped selections touch only Δ — the ingredient that makes the
     // Figure 5 insertion checks cost O(|Δ|) rather than O(|D|).
@@ -82,6 +131,116 @@ EntrySet QueryEvaluator::EvaluateSelect(const Query& query) {
   return out;
 }
 
+bool QueryEvaluator::SelectIsEmpty(const Query& query) {
+  const Scope scope = query.scope();
+  if (scope == Scope::kEmpty) return true;
+  const Matcher& matcher = *query.matcher();
+  if (scope == Scope::kAll && class_cache_ != nullptr) {
+    if (const auto* cm = dynamic_cast<const ClassMatcher*>(&matcher)) {
+      auto it = class_cache_->find(cm->cls());
+      if (it != class_cache_->end()) {
+        ++stats_.cache_hits;
+        return it->second.Empty();
+      }
+    }
+  }
+  if (scope == Scope::kDeltaOnly) {
+    if (delta_ == nullptr) return true;
+    return delta_->ForEachWhile([&](EntryId id) {
+      if (!directory_.IsAlive(id)) return true;
+      ++stats_.entries_scanned;
+      return !matcher.Matches(directory_.entry(id));
+    });
+  }
+  if (scope == Scope::kAll && index_ != nullptr && index_->IsFresh() &&
+      &index_->directory() == &directory_) {
+    const std::vector<EntryId>* ids = nullptr;
+    if (matcher.ProbeIndex(*index_, &ids)) {
+      return ids == nullptr || ids->empty();
+    }
+  }
+  // Early-exit scan: stop at the first matching alive entry.
+  const size_t cap = directory_.IdCapacity();
+  for (size_t i = 0; i < cap; ++i) {
+    EntryId id = static_cast<EntryId>(i);
+    if (!directory_.IsAlive(id)) continue;
+    ++stats_.entries_scanned;
+    if (scope == Scope::kExcludeDelta && delta_ != nullptr &&
+        delta_->Contains(id)) {
+      continue;
+    }
+    if (matcher.Matches(directory_.entry(id))) return false;
+  }
+  return true;
+}
+
+bool QueryEvaluator::HierIsEmpty(const Query& query) {
+  EntrySet node_set = Evaluate(query.operands()[0]);
+  if (node_set.Empty()) return true;
+  EntrySet related = Evaluate(query.operands()[1]);
+  if (related.Empty()) return true;
+  const ForestIndex& index = directory_.GetIndex();
+  const std::vector<EntryId>& preorder = index.preorder();
+
+  switch (query.axis()) {
+    case Axis::kChild:
+      // Non-empty iff some related-member's parent is in the node set.
+      return related.ForEachWhile([&](EntryId id) {
+        ++stats_.entries_scanned;
+        EntryId p = directory_.entry(id).parent();
+        return p == kInvalidEntryId || !node_set.Contains(p);
+      });
+    case Axis::kParent:
+      return node_set.ForEachWhile([&](EntryId id) {
+        ++stats_.entries_scanned;
+        EntryId p = directory_.entry(id).parent();
+        return p == kInvalidEntryId || !related.Contains(p);
+      });
+    case Axis::kDescendant: {
+      // Mark the related members' preorder positions, then probe each
+      // node member's subtree interval — AnyInRange exits at the first
+      // occupied word, and the whole test stops at the first witness.
+      EntrySet positions(preorder.size());
+      related.ForEach([&](EntryId id) {
+        ++stats_.entries_scanned;
+        positions.Insert(static_cast<EntryId>(index.pre(id)));
+      });
+      return node_set.ForEachWhile([&](EntryId id) {
+        ++stats_.entries_scanned;
+        return !positions.AnyInRange(index.pre(id) + 1, index.sub_end(id));
+      });
+    }
+    case Axis::kAncestor: {
+      // Sparse path: few candidate nodes — walk their parent chains,
+      // stopping at the first member with a related ancestor.
+      const size_t threshold = preorder.size() / 8;
+      if (node_set.CountUpTo(threshold + 1) <= threshold) {
+        return node_set.ForEachWhile([&](EntryId id) {
+          for (EntryId p = directory_.entry(id).parent();
+               p != kInvalidEntryId; p = directory_.entry(p).parent()) {
+            ++stats_.entries_scanned;
+            if (related.Contains(p)) return false;
+          }
+          return true;
+        });
+      }
+      // Dense path: top-down pass (preorder visits parents first),
+      // stopping at the first witness.
+      std::vector<uint8_t> has_anc(directory_.IdCapacity(), 0);
+      for (EntryId id : preorder) {
+        ++stats_.entries_scanned;
+        EntryId p = directory_.entry(id).parent();
+        if (p != kInvalidEntryId) {
+          has_anc[id] = has_anc[p] || related.Contains(p);
+        }
+        if (has_anc[id] && node_set.Contains(id)) return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
 EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
   EntrySet node_set = Evaluate(query.operands()[0]);
   EntrySet related = Evaluate(query.operands()[1]);
@@ -114,8 +273,10 @@ EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
       // the situation the Figure 5 Δ-queries create — sort the related
       // members' preorder positions and binary-search each node's subtree
       // interval: O((|A|+|B|)·log|B|) instead of a full preorder pass.
-      size_t count_a = node_set.Count();
-      size_t count_b = related.Count();
+      // CountUpTo caps the size probes at the threshold they compare to.
+      const size_t threshold = preorder.size() / 8;
+      size_t count_a = node_set.CountUpTo(threshold + 1);
+      size_t count_b = related.CountUpTo(threshold + 1);
       if ((count_a + count_b) * 8 < preorder.size()) {
         std::vector<size_t> positions;
         positions.reserve(count_b);
@@ -149,7 +310,8 @@ EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
     }
     case Axis::kAncestor: {
       // Sparse path: few candidate nodes — walk their parent chains.
-      size_t count_a = node_set.Count();
+      const size_t threshold = preorder.size() / 8;
+      size_t count_a = node_set.CountUpTo(threshold + 1);
       if (count_a * 8 < preorder.size()) {
         node_set.ForEach([&](EntryId id) {
           for (EntryId p = directory_.entry(id).parent();

@@ -2,6 +2,7 @@
 #define LDAPBOUND_QUERY_EVALUATOR_H_
 
 #include <cstdint>
+#include <unordered_map>
 
 #include "model/directory.h"
 #include "model/entry_set.h"
@@ -14,6 +15,15 @@ namespace ldapbound {
 struct EvaluatorStats {
   uint64_t nodes_evaluated = 0;   ///< query AST nodes processed
   uint64_t entries_scanned = 0;   ///< per-entry work units performed
+  uint64_t cache_hits = 0;        ///< atomic selections answered from the
+                                  ///< shared class-selection cache
+
+  EvaluatorStats& operator+=(const EvaluatorStats& other) {
+    nodes_evaluated += other.nodes_evaluated;
+    entries_scanned += other.entries_scanned;
+    cache_hits += other.cache_hits;
+    return *this;
+  }
 };
 
 /// Evaluates hierarchical selection queries over a Directory.
@@ -30,6 +40,11 @@ struct EvaluatorStats {
 ///
 /// An optional Δ-set enables the scoped predicates of Figure 5: atomic
 /// selections can be restricted to Δ, to its complement, or suppressed.
+///
+/// The evaluator holds mutable counters (stats_), so one instance must not
+/// be shared across threads; the parallel legality engine creates one
+/// evaluator per worker and merges the stats afterwards. A read-only
+/// class-selection cache MAY be shared across evaluators (set_class_cache).
 class QueryEvaluator {
  public:
   /// `delta`, if given, must remain valid while the evaluator is used and
@@ -41,22 +56,38 @@ class QueryEvaluator {
                           const ValueIndex* index = nullptr)
       : directory_(directory), delta_(delta), index_(index) {}
 
+  /// Optional read-only cache of unscoped `(objectClass=c)` selection
+  /// results, keyed by class id. Consulted (before the value index) for
+  /// kAll-scoped ClassMatcher selections only; missing classes fall back
+  /// to the normal path. The cache must stay valid and unmodified while
+  /// this evaluator runs; it may be shared by concurrent evaluators.
+  void set_class_cache(const std::unordered_map<ClassId, EntrySet>* cache) {
+    class_cache_ = cache;
+  }
+
   /// Evaluates `query`; the result holds alive entry ids.
   EntrySet Evaluate(const Query& query);
 
-  /// True iff the query result is empty. (Legality tests only need
-  /// emptiness; this still evaluates fully but avoids materializing ids.)
-  bool IsEmpty(const Query& query) { return Evaluate(query).Empty(); }
+  /// True iff the query result is empty. Lazy: the top-level node stops at
+  /// the first surviving id instead of materializing its result bitmap —
+  /// a union short-circuits at the first non-empty operand, a difference
+  /// becomes a word-wise subset test, a hierarchical selection stops at
+  /// the first member with a qualifying related entry. Operand subtrees
+  /// below the top-level node still evaluate fully.
+  bool IsEmpty(const Query& query);
 
   const EvaluatorStats& stats() const { return stats_; }
 
  private:
   EntrySet EvaluateSelect(const Query& query);
   EntrySet EvaluateHier(const Query& query);
+  bool SelectIsEmpty(const Query& query);
+  bool HierIsEmpty(const Query& query);
 
   const Directory& directory_;
   const EntrySet* delta_;
   const ValueIndex* index_;
+  const std::unordered_map<ClassId, EntrySet>* class_cache_ = nullptr;
   EvaluatorStats stats_;
 };
 

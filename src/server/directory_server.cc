@@ -49,7 +49,9 @@ Status DirectoryServer::Delete(const DistinguishedName& dn) {
 
 Status DirectoryServer::Apply(const UpdateTransaction& txn,
                               CommitStats* stats) {
-  TransactionExecutor executor(directory_.get(), *schema_);
+  IncrementalValidator::Options validator_options;
+  validator_options.check = check_options_;
+  TransactionExecutor executor(directory_.get(), *schema_, validator_options);
   Status status = executor.Commit(txn, stats);
   if (!status.ok()) {
     ++stats_.rejected;
@@ -163,13 +165,15 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
   // uniqueness; class changes run the reclassification validator, which
   // covers the entry's content and exactly the entries whose structural
   // requirements can be affected.
-  LegalityChecker checker(*schema_);
+  LegalityChecker checker(*schema_, check_options_);
   std::vector<Violation> violations;
   bool ok;
   if (added_classes.empty() && removed_classes.empty()) {
     ok = checker.CheckEntryContent(*directory_, id, &violations);
   } else {
-    IncrementalValidator validator(*schema_);
+    IncrementalValidator::Options validator_options;
+    validator_options.check = check_options_;
+    IncrementalValidator validator(*schema_, validator_options);
     ok = validator.CheckAfterReclassify(*directory_, id, added_classes,
                                         removed_classes, &violations);
   }
@@ -277,7 +281,7 @@ Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
     LDAPBOUND_RETURN_IF_ERROR(LoadLdif(current, &scratch).status());
   }
   LDAPBOUND_ASSIGN_OR_RETURN(size_t created, LoadLdif(text, &scratch));
-  LegalityChecker checker(*schema_);
+  LegalityChecker checker(*schema_, check_options_);
   LDAPBOUND_RETURN_IF_ERROR(checker.EnsureLegal(scratch));
   LDAPBOUND_RETURN_IF_ERROR(LoadLdif(text, directory_.get()).status());
   return created;
@@ -288,7 +292,7 @@ std::string DirectoryServer::ExportLdif() const {
 }
 
 bool DirectoryServer::IsLegal() const {
-  LegalityChecker checker(*schema_);
+  LegalityChecker checker(*schema_, check_options_);
   return checker.CheckLegal(*directory_);
 }
 

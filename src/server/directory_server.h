@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/legality_checker.h"
 #include "ldap/search.h"
 #include "schema/directory_schema.h"
 #include "server/changelog.h"
@@ -106,6 +107,16 @@ class DirectoryServer {
   /// The change log, or nullptr when not enabled.
   const Changelog* changelog() const { return changelog_.get(); }
 
+  /// Worker configuration for the legality passes this server runs
+  /// (ImportLdif validation, IsLegal, Modify's key recheck, and the
+  /// transaction validators). Defaults to hardware concurrency; set
+  /// num_threads = 1 to force serial checking. Violation output is
+  /// identical for every configuration.
+  void set_check_options(const CheckOptions& options) {
+    check_options_ = options;
+  }
+  const CheckOptions& check_options() const { return check_options_; }
+
   /// Operation counters.
   struct Stats {
     size_t adds = 0;
@@ -127,6 +138,7 @@ class DirectoryServer {
   std::unique_ptr<DirectorySchema> schema_;
   std::unique_ptr<Directory> directory_;
   std::unique_ptr<Changelog> changelog_;
+  CheckOptions check_options_;
   mutable Stats stats_;  // search counting happens in const reads
 };
 

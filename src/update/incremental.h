@@ -50,12 +50,17 @@ class IncrementalValidator {
     /// query-scoping formalism; equivalence is property-tested and the
     /// effect measured by bench_incremental.
     bool delta_driven_insert = false;
+    /// Worker configuration forwarded to the embedded LegalityChecker for
+    /// the full-directory passes (entry content sweeps, key rechecks).
+    /// The Δ-scoped incremental queries themselves stay single-threaded —
+    /// they are O(|Δ|) and below any useful parallel grain.
+    CheckOptions check;
   };
 
   explicit IncrementalValidator(const DirectorySchema& schema)
       : IncrementalValidator(schema, Options()) {}
   IncrementalValidator(const DirectorySchema& schema, Options options)
-      : schema_(schema), checker_(schema), options_(options) {}
+      : schema_(schema), checker_(schema, options.check), options_(options) {}
 
   /// Whether D+Δ stays legal; `directory` must already hold D+Δ.
   bool CheckAfterInsert(const Directory& directory, const EntrySet& delta,

@@ -1,0 +1,137 @@
+#ifndef LDAPBOUND_UTIL_THREAD_POOL_H_
+#define LDAPBOUND_UTIL_THREAD_POOL_H_
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace ldapbound {
+
+/// A fixed-size pool of worker threads with a shared FIFO queue. Tasks are
+/// submitted as callables and joined through the returned futures; the pool
+/// itself never blocks a submitter.
+///
+/// The legality engine fans its per-shard and per-constraint work out
+/// through a pool (see core/legality_checker.h); the process-wide instance
+/// returned by Default() is shared so that concurrent checks do not
+/// oversubscribe the machine.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(unsigned num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned size() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Enqueues `fn` for execution on some worker and returns a future for
+  /// its result (or exception).
+  template <typename Fn>
+  auto Submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return future;
+  }
+
+  /// The process-wide pool, lazily created with hardware_concurrency()
+  /// workers. Never destroyed (workers may outlive static destructors).
+  static ThreadPool& Default();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Resolves a requested worker count: 0 means "hardware concurrency"
+/// (itself clamped to >= 1 when the runtime cannot tell).
+unsigned ResolveThreads(unsigned requested);
+
+/// Splits [begin, end) into fixed chunks of at most `grain` items and runs
+/// `body(lane, chunk, lo, hi)` over every chunk, using the calling thread
+/// plus up to `num_threads - 1` workers borrowed from `pool`.
+///
+/// Chunk boundaries are deterministic — chunk k always covers
+/// [begin + k*grain, min(end, begin + (k+1)*grain)) — so callers can write
+/// per-chunk result slots and obtain an order identical to a serial run.
+/// Chunks are *claimed* dynamically (work stealing via a shared counter),
+/// so slow chunks do not stall fast lanes. `lane` < number of participating
+/// workers identifies the executing lane for per-worker scratch state.
+///
+/// With num_threads <= 1 (or a single chunk) everything runs inline on the
+/// calling thread: no pool, no atomics — byte-identical to a plain loop.
+/// Blocks until every lane has finished (even on error: workers reference
+/// the caller's frame, so unwinding early would dangle); if any `body`
+/// threw, remaining chunks are abandoned and the first exception rethrows
+/// on the caller.
+template <typename Body>
+void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
+                 unsigned num_threads, Body&& body) {
+  if (end <= begin) return;
+  if (grain == 0) grain = 1;
+  const size_t range = end - begin;
+  const size_t num_chunks = (range + grain - 1) / grain;
+  unsigned workers = static_cast<unsigned>(
+      std::min<size_t>(std::max(1u, num_threads), num_chunks));
+  if (workers <= 1) {
+    for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
+      const size_t lo = begin + chunk * grain;
+      const size_t hi = std::min(end, lo + grain);
+      body(0u, chunk, lo, hi);
+    }
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+  auto run_lane = [&](unsigned lane) {
+    try {
+      for (size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
+           chunk < num_chunks;
+           chunk = next.fetch_add(1, std::memory_order_relaxed)) {
+        const size_t lo = begin + chunk * grain;
+        const size_t hi = std::min(end, lo + grain);
+        body(lane, chunk, lo, hi);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+      next.store(num_chunks, std::memory_order_relaxed);  // stop other lanes
+    }
+  };
+  std::vector<std::future<void>> futures;
+  futures.reserve(workers - 1);
+  for (unsigned lane = 1; lane < workers; ++lane) {
+    futures.push_back(pool.Submit([&run_lane, lane]() { run_lane(lane); }));
+  }
+  run_lane(0);
+  for (std::future<void>& f : futures) f.get();
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+}
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_THREAD_POOL_H_

@@ -74,5 +74,121 @@ TEST(EntrySetTest, CapacityZero) {
   EXPECT_FALSE(set.Contains(0));
 }
 
+// Regression: Insert/Erase used to index words_ without a capacity guard,
+// so an out-of-range id scribbled past the bitmap (capacity 100 rounds up
+// to two words = bits [0, 128); id 130 indexed a third, nonexistent word).
+TEST(EntrySetTest, InsertEraseOutOfRangeIgnored) {
+  EntrySet set(100);
+  set.Insert(100);  // first id past capacity
+  set.Insert(127);  // in-bounds of the last word, out of capacity
+  set.Insert(130);  // past the last word entirely
+  set.Insert(kInvalidEntryId);
+  EXPECT_TRUE(set.Empty());
+  EXPECT_EQ(set.Count(), 0u);
+  set.Insert(99);
+  set.Erase(100);
+  set.Erase(130);
+  set.Erase(kInvalidEntryId);
+  EXPECT_EQ(set.Count(), 1u);
+  EXPECT_TRUE(set.Contains(99));
+
+  EntrySet empty;
+  empty.Insert(0);  // zero-word bitmap: must not touch words_[0]
+  EXPECT_TRUE(empty.Empty());
+}
+
+TEST(EntrySetTest, CountUpTo) {
+  EntrySet set(256);
+  for (EntryId id : {0u, 63u, 64u, 127u, 128u, 200u}) set.Insert(id);
+  EXPECT_EQ(set.CountUpTo(0), 0u);
+  EXPECT_EQ(set.CountUpTo(1), 1u);
+  EXPECT_EQ(set.CountUpTo(3), 3u);
+  EXPECT_EQ(set.CountUpTo(6), 6u);
+  EXPECT_EQ(set.CountUpTo(7), 6u);     // fewer members than the cap
+  EXPECT_EQ(set.CountUpTo(1000), 6u);  // equals Count() when k >= Count()
+  EntrySet none(256);
+  EXPECT_EQ(none.CountUpTo(5), 0u);
+}
+
+TEST(EntrySetTest, Intersects) {
+  EntrySet a(256), b(256);
+  EXPECT_FALSE(a.Intersects(b));
+  a.Insert(63);
+  b.Insert(64);  // adjacent ids in different words
+  EXPECT_FALSE(a.Intersects(b));
+  EXPECT_FALSE(b.Intersects(a));
+  b.Insert(63);
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_TRUE(b.Intersects(a));
+  b.Erase(63);
+  a.Insert(127);
+  b.Insert(127);  // overlap only in the last bit of word 1
+  EXPECT_TRUE(a.Intersects(b));
+}
+
+TEST(EntrySetTest, IsSubsetOf) {
+  EntrySet a(256), b(256);
+  EXPECT_TRUE(a.IsSubsetOf(b));  // empty ⊆ empty
+  b.Insert(5);
+  b.Insert(64);
+  b.Insert(127);
+  EXPECT_TRUE(a.IsSubsetOf(b));  // empty ⊆ b
+  EXPECT_FALSE(b.IsSubsetOf(a));
+  a.Insert(64);
+  a.Insert(127);
+  EXPECT_TRUE(a.IsSubsetOf(b));
+  a.Insert(128);  // word 2, absent from b
+  EXPECT_FALSE(a.IsSubsetOf(b));
+  EXPECT_TRUE(a.IsSubsetOf(a));
+}
+
+TEST(EntrySetTest, AnyInRangeWordBoundaries) {
+  EntrySet set(256);
+  set.Insert(63);
+  set.Insert(64);
+  set.Insert(127);
+  // Single-word ranges around each boundary bit.
+  EXPECT_TRUE(set.AnyInRange(63, 64));
+  EXPECT_FALSE(set.AnyInRange(62, 63));
+  EXPECT_TRUE(set.AnyInRange(64, 65));
+  EXPECT_FALSE(set.AnyInRange(65, 127));
+  EXPECT_TRUE(set.AnyInRange(65, 128));
+  // Ranges spanning the 63/64 word boundary.
+  EXPECT_TRUE(set.AnyInRange(0, 256));
+  EXPECT_TRUE(set.AnyInRange(63, 65));
+  EXPECT_FALSE(set.AnyInRange(128, 256));
+  // Degenerate and clamped ranges.
+  EXPECT_FALSE(set.AnyInRange(64, 64));
+  EXPECT_FALSE(set.AnyInRange(200, 100));
+  EXPECT_TRUE(set.AnyInRange(127, 10000));  // hi clamps to capacity
+  EXPECT_FALSE(set.AnyInRange(300, 400));   // entirely past capacity
+  // A member strictly inside an interior word of a wide range.
+  EntrySet mid(256);
+  mid.Insert(100);
+  EXPECT_TRUE(mid.AnyInRange(0, 256));
+  EXPECT_TRUE(mid.AnyInRange(64, 128));
+  EXPECT_FALSE(mid.AnyInRange(0, 100));
+  EXPECT_TRUE(mid.AnyInRange(100, 101));
+}
+
+TEST(EntrySetTest, ForEachWhile) {
+  EntrySet set(200);
+  for (EntryId id : {3u, 63u, 64u, 150u}) set.Insert(id);
+  // Runs to completion when fn never stops.
+  std::vector<EntryId> seen;
+  EXPECT_TRUE(set.ForEachWhile([&](EntryId id) {
+    seen.push_back(id);
+    return true;
+  }));
+  EXPECT_EQ(seen, (std::vector<EntryId>{3, 63, 64, 150}));
+  // Stops at the first id >= 64 and reports early exit.
+  seen.clear();
+  EXPECT_FALSE(set.ForEachWhile([&](EntryId id) {
+    seen.push_back(id);
+    return id < 64;
+  }));
+  EXPECT_EQ(seen, (std::vector<EntryId>{3, 63, 64}));
+}
+
 }  // namespace
 }  // namespace ldapbound

@@ -1,0 +1,153 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace ldapbound {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsResults) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.size(), 2u);
+  auto a = pool.Submit([] { return 21 * 2; });
+  auto b = pool.Submit([] { return std::string("ok"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "ok");
+}
+
+TEST(ThreadPoolTest, SubmitPropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.Submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ManyTasksAllRun) {
+  ThreadPool pool(4);
+  std::atomic<int> sum{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 1; i <= 100; ++i) {
+    futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(sum.load(), 5050);
+}
+
+TEST(ThreadPoolTest, SizeClampedToAtLeastOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), 1u);
+  auto f = pool.Submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+}
+
+TEST(ThreadPoolTest, ResolveThreads) {
+  EXPECT_GE(ResolveThreads(0), 1u);
+  EXPECT_EQ(ResolveThreads(1), 1u);
+  EXPECT_EQ(ResolveThreads(5), 5u);
+}
+
+TEST(ThreadPoolTest, DefaultPoolIsSharedAndUsable) {
+  ThreadPool& pool = ThreadPool::Default();
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(&pool, &ThreadPool::Default());
+  auto f = pool.Submit([] { return 3; });
+  EXPECT_EQ(f.get(), 3);
+}
+
+// Every ParallelFor configuration must cover [begin, end) exactly once and
+// present deterministic chunk boundaries regardless of which lane claims a
+// chunk.
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  ThreadPool pool(3);
+  for (unsigned threads : {1u, 2u, 4u}) {
+    for (size_t grain : {1u, 3u, 7u, 100u}) {
+      std::vector<std::atomic<int>> hits(53);
+      ParallelFor(pool, 0, hits.size(), grain, threads,
+                  [&](unsigned, size_t, size_t lo, size_t hi) {
+                    for (size_t i = lo; i < hi; ++i) hits[i]++;
+                  });
+      for (size_t i = 0; i < hits.size(); ++i) {
+        EXPECT_EQ(hits[i].load(), 1)
+            << "i=" << i << " threads=" << threads << " grain=" << grain;
+      }
+    }
+  }
+}
+
+TEST(ParallelForTest, DeterministicChunkBoundaries) {
+  ThreadPool pool(4);
+  constexpr size_t kBegin = 10, kEnd = 65, kGrain = 8;
+  const size_t num_chunks = (kEnd - kBegin + kGrain - 1) / kGrain;
+  std::mutex mu;
+  std::vector<std::pair<size_t, size_t>> bounds(num_chunks, {0, 0});
+  ParallelFor(pool, kBegin, kEnd, kGrain, 4,
+              [&](unsigned, size_t chunk, size_t lo, size_t hi) {
+                std::lock_guard<std::mutex> lock(mu);
+                bounds[chunk] = {lo, hi};
+              });
+  for (size_t k = 0; k < num_chunks; ++k) {
+    EXPECT_EQ(bounds[k].first, kBegin + k * kGrain);
+    EXPECT_EQ(bounds[k].second, std::min(kEnd, kBegin + (k + 1) * kGrain));
+  }
+}
+
+TEST(ParallelForTest, LanesAreWithinBounds) {
+  ThreadPool pool(4);
+  constexpr unsigned kThreads = 3;
+  std::atomic<unsigned> max_lane{0};
+  ParallelFor(pool, 0, 1000, 10, kThreads,
+              [&](unsigned lane, size_t, size_t, size_t) {
+                unsigned seen = max_lane.load();
+                while (lane > seen && !max_lane.compare_exchange_weak(seen, lane)) {
+                }
+              });
+  EXPECT_LT(max_lane.load(), kThreads);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::set<std::thread::id> ids;
+  ParallelFor(pool, 0, 100, 10, 1,
+              [&](unsigned lane, size_t, size_t, size_t) {
+                EXPECT_EQ(lane, 0u);
+                ids.insert(std::this_thread::get_id());
+              });
+  EXPECT_EQ(ids, std::set<std::thread::id>{caller});
+}
+
+TEST(ParallelForTest, EmptyAndDegenerateRanges) {
+  ThreadPool pool(2);
+  int calls = 0;
+  ParallelFor(pool, 5, 5, 10, 4,
+              [&](unsigned, size_t, size_t, size_t) { ++calls; });
+  ParallelFor(pool, 7, 3, 10, 4,
+              [&](unsigned, size_t, size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  // grain == 0 is treated as 1.
+  std::vector<int> hits(4, 0);
+  ParallelFor(pool, 0, hits.size(), 0, 1,
+              [&](unsigned, size_t, size_t lo, size_t hi) {
+                EXPECT_EQ(hi, lo + 1);
+                hits[lo]++;
+              });
+  EXPECT_EQ(std::accumulate(hits.begin(), hits.end(), 0), 4);
+}
+
+TEST(ParallelForTest, BodyExceptionPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      ParallelFor(pool, 0, 100, 1, 4,
+                  [&](unsigned, size_t chunk, size_t, size_t) {
+                    if (chunk == 50) throw std::runtime_error("bad chunk");
+                  }),
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ldapbound
