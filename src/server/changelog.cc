@@ -24,12 +24,14 @@ void EmitValueLine(std::string& out, const std::string& attr,
 
 }  // namespace
 
-std::string Changelog::ToLdif(const Vocabulary& vocab,
-                              uint64_t after_sequence) const {
+std::string ChangeRecordsToLdif(const std::vector<ChangeRecord>& records,
+                                const Vocabulary& vocab) {
   std::string out;
-  for (const ChangeRecord& record : records_) {
-    if (record.sequence <= after_sequence) continue;
+  for (const ChangeRecord& record : records) {
     out += "# txn: " + std::to_string(record.txn) + "\n";
+    if (record.sequence != 0) {
+      out += "# seq: " + std::to_string(record.sequence) + "\n";
+    }
     EmitValueLine(out, "dn", record.dn);
     switch (record.kind) {
       case ChangeRecord::Kind::kAdd: {
@@ -89,12 +91,23 @@ std::string Changelog::ToLdif(const Vocabulary& vocab,
   return out;
 }
 
+std::string Changelog::ToLdif(const Vocabulary& vocab,
+                              uint64_t after_sequence) const {
+  std::vector<ChangeRecord> selected;
+  for (const ChangeRecord& record : records_) {
+    if (record.sequence > after_sequence) selected.push_back(record);
+  }
+  return ChangeRecordsToLdif(selected, vocab);
+}
+
 namespace {
 
-// A tokenized change record: its txn id and its raw "attr[:]: value"
-// lines in order.
+// A tokenized change record: its txn id, optional sequence number, and its
+// raw "attr[:]: value" lines in order.
 struct RawChange {
   uint64_t txn = 0;
+  uint64_t seq = 0;      // from a "# seq:" comment; 0 when absent
+  size_t ordinal = 0;    // 1-based position in the change stream
   size_t line = 0;
   std::vector<std::pair<std::string, std::string>> lines;  // attr, value
 };
@@ -109,11 +122,24 @@ Result<std::vector<RawChange>> TokenizeChanges(std::string_view text) {
   RawChange current;
   bool in_record = false;
   uint64_t pending_txn = 0;
+  uint64_t pending_seq = 0;
 
   auto flush = [&]() {
-    if (in_record) changes.push_back(std::move(current));
+    if (in_record) {
+      current.ordinal = changes.size() + 1;
+      changes.push_back(std::move(current));
+    }
     current = RawChange{};
     in_record = false;
+  };
+
+  auto parse_counter = [](std::string_view digits) {
+    uint64_t value = 0;
+    for (char c : StripWhitespace(digits)) {
+      if (c < '0' || c > '9') break;
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+    }
+    return value;
   };
 
   size_t number = 0;
@@ -123,11 +149,9 @@ Result<std::vector<RawChange>> TokenizeChanges(std::string_view text) {
     if (!raw.empty() && raw[0] == '#') {
       std::string_view comment = StripWhitespace(raw.substr(1));
       if (StartsWith(comment, "txn:")) {
-        pending_txn = 0;
-        for (char c : StripWhitespace(comment.substr(4))) {
-          if (c < '0' || c > '9') break;
-          pending_txn = pending_txn * 10 + (c - '0');
-        }
+        pending_txn = parse_counter(comment.substr(4));
+      } else if (StartsWith(comment, "seq:")) {
+        pending_seq = parse_counter(comment.substr(4));
       }
       continue;
     }
@@ -159,12 +183,38 @@ Result<std::vector<RawChange>> TokenizeChanges(std::string_view text) {
     if (!in_record) {
       in_record = true;
       current.txn = pending_txn;
+      current.seq = pending_seq;
       current.line = number;
+      pending_seq = 0;
     }
     current.lines.emplace_back(std::move(attr), std::move(value));
   }
   flush();
   return changes;
+}
+
+}  // namespace
+
+namespace {
+
+// Decorates a replay failure with everything an operator needs to resume:
+// the failing record's ordinal, its shipped sequence number (when the
+// stream carries "# seq:" comments), its DN and source line, and how many
+// records were already applied. The status code of `cause` is preserved.
+Status AnnotateReplayFailure(const RawChange& change, const std::string& dn,
+                             size_t applied, const Status& cause) {
+  std::string msg = "replay failed at change record #" +
+                    std::to_string(change.ordinal);
+  if (change.seq != 0) msg += " (seq " + std::to_string(change.seq) + ")";
+  msg += " dn '" + dn + "' (line " + std::to_string(change.line) +
+         "): " + cause.message();
+  msg += "; " + std::to_string(applied) +
+         " records applied before the failure";
+  if (change.seq != 0) {
+    msg += " — fix the record and resume from seq " +
+           std::to_string(change.seq);
+  }
+  return Status(cause.code(), msg);
 }
 
 }  // namespace
@@ -177,17 +227,27 @@ Result<size_t> ApplyChangeLdif(std::string_view text,
   size_t applied = 0;
 
   // Pending transaction built from consecutive add/delete records sharing
-  // a txn id.
+  // a txn id. `pending_first` / `pending_dn` identify the group's first
+  // record for failure reporting (the whole group commits or fails as one).
   UpdateTransaction pending;
   uint64_t pending_txn = 0;
   size_t pending_count = 0;
+  const RawChange* pending_first = nullptr;
+  std::string pending_dn;
   auto commit_pending = [&]() -> Status {
     if (pending.empty()) return Status::OK();
     Status status = server->Apply(pending);
-    if (status.ok()) applied += pending_count;
+    if (status.ok()) {
+      applied += pending_count;
+    } else if (pending_first != nullptr) {
+      status = AnnotateReplayFailure(*pending_first, pending_dn, applied,
+                                     status);
+    }
     pending = UpdateTransaction();
     pending_txn = 0;
     pending_count = 0;
+    pending_first = nullptr;
+    pending_dn.clear();
     return status;
   };
 
@@ -209,7 +269,11 @@ Result<size_t> ApplyChangeLdif(std::string_view text,
       if (!pending.empty() && change.txn != pending_txn) {
         LDAPBOUND_RETURN_IF_ERROR(commit_pending());
       }
-      if (pending.empty()) pending_txn = change.txn;
+      if (pending.empty()) {
+        pending_txn = change.txn;
+        pending_first = &change;
+        pending_dn = change.lines[0].second;
+      }
       if (EqualsIgnoreCase(type, "add")) {
         EntrySpec spec;
         for (size_t i = 2; i < change.lines.size(); ++i) {
@@ -272,7 +336,10 @@ Result<size_t> ApplyChangeLdif(std::string_view text,
         }
         if (i < change.lines.size() && change.lines[i].first == "-") ++i;
       }
-      LDAPBOUND_RETURN_IF_ERROR(server->Modify(*dn, mods));
+      Status status = server->Modify(*dn, mods);
+      if (!status.ok()) {
+        return AnnotateReplayFailure(change, dn->ToString(), applied, status);
+      }
       ++applied;
       continue;
     }
@@ -297,7 +364,10 @@ Result<size_t> ApplyChangeLdif(std::string_view text,
         }
         parent = *parsed;
       }
-      LDAPBOUND_RETURN_IF_ERROR(server->ModifyDn(*dn, parent, new_rdn));
+      Status status = server->ModifyDn(*dn, parent, new_rdn);
+      if (!status.ok()) {
+        return AnnotateReplayFailure(change, dn->ToString(), applied, status);
+      }
       ++applied;
       continue;
     }

@@ -56,11 +56,23 @@ class Changelog {
   uint64_t next_txn_ = 1;
 };
 
+/// Serializes `records` as RFC 2849 LDIF change records, each preceded by
+/// its `# txn:` comment (and a `# seq:` comment when the record carries a
+/// nonzero sequence number — replay failures quote it so operators can
+/// resume with ToLdif(after_sequence)). This is the payload format of both
+/// Changelog::ToLdif and the write-ahead log frames.
+std::string ChangeRecordsToLdif(const std::vector<ChangeRecord>& records,
+                                const Vocabulary& vocab);
+
 /// Parses LDIF change records and applies them to `server` through its
 /// guarded operations (records sharing a `# txn:` id commit as one
 /// transaction). Stops at the first failure, returning it; previously
-/// applied changes remain (replication is sequential). Returns the number
-/// of change records applied.
+/// applied changes remain (replication is sequential). The failure Status
+/// identifies the failing record — its ordinal in the stream, its `# seq:`
+/// number when present, its DN and source line — plus how many records had
+/// already been applied, so an operator can fix the record and resume
+/// replay from that sequence number. Returns the number of change records
+/// applied.
 Result<size_t> ApplyChangeLdif(std::string_view text,
                                DirectoryServer* server);
 

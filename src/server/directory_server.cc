@@ -1,11 +1,16 @@
 #include "server/directory_server.h"
 
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
 #include "consistency/inference.h"
 #include "core/legality_checker.h"
 #include "ldap/filter.h"
 #include "ldap/ldif.h"
 #include "schema/schema_format.h"
 #include "update/incremental.h"
+#include "util/failpoint.h"
 
 namespace ldapbound {
 
@@ -13,7 +18,8 @@ DirectoryServer::DirectoryServer(std::shared_ptr<Vocabulary> vocab,
                                  DirectorySchema schema)
     : vocab_(std::move(vocab)),
       schema_(std::make_unique<DirectorySchema>(std::move(schema))),
-      directory_(std::make_unique<Directory>(vocab_)) {}
+      directory_(std::make_unique<Directory>(vocab_)),
+      stats_(std::make_unique<StatCounters>()) {}
 
 Result<DirectoryServer> DirectoryServer::Create(
     std::string_view schema_text) {
@@ -35,7 +41,7 @@ Status DirectoryServer::Add(const DistinguishedName& dn, EntrySpec spec) {
   UpdateTransaction txn;
   txn.Insert(dn, std::move(spec));
   Status status = Apply(txn);
-  if (status.ok()) ++stats_.adds;
+  if (status.ok()) ++stats_->adds;
   return status;
 }
 
@@ -43,22 +49,55 @@ Status DirectoryServer::Delete(const DistinguishedName& dn) {
   UpdateTransaction txn;
   txn.Delete(dn);
   Status status = Apply(txn);
-  if (status.ok()) ++stats_.deletes;
+  if (status.ok()) ++stats_->deletes;
+  return status;
+}
+
+Status DirectoryServer::CheckWritable() const {
+  if (wal_failed_) {
+    return Status::FailedPrecondition(
+        "a write-ahead log append failed; the server is read-only — "
+        "restart via DirectoryServer::Recover to resume from the durable "
+        "state");
+  }
+  return Status::OK();
+}
+
+Status DirectoryServer::WalPersist(const std::vector<ChangeRecord>& records) {
+  if (wal_ == nullptr) return Status::OK();
+  Status status = [&]() -> Status {
+    // Mid-commit crash point: the in-memory commit is applied but nothing
+    // has reached the log — after recovery the commit must be absent
+    // (it was never acknowledged).
+    LDAPBOUND_FAILPOINT("server.commit");
+    return wal_->Append(ChangeRecordsToLdif(records, *vocab_));
+  }();
+  if (!status.ok()) {
+    // The in-memory state is now ahead of the durable state and cannot be
+    // trusted as a replication source; fail every further mutation.
+    wal_failed_ = true;
+    return Status(status.code(),
+                  "write-ahead log append failed (server is now read-only; "
+                  "recover from '" + wal_->dir() + "'): " + status.message());
+  }
   return status;
 }
 
 Status DirectoryServer::Apply(const UpdateTransaction& txn,
                               CommitStats* stats) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   IncrementalValidator::Options validator_options;
   validator_options.check = check_options_;
   TransactionExecutor executor(directory_.get(), *schema_, validator_options);
   Status status = executor.Commit(txn, stats);
   if (!status.ok()) {
-    ++stats_.rejected;
+    ++stats_->rejected;
     return status;
   }
-  if (changelog_ != nullptr && !txn.empty()) {
-    uint64_t txn_id = changelog_->NextTxnId();
+  if ((changelog_ != nullptr || wal_ != nullptr) && !txn.empty()) {
+    uint64_t txn_id = NextRecordTxnId();
+    std::vector<ChangeRecord> records;
+    records.reserve(txn.ops().size());
     for (const UpdateOp& op : txn.ops()) {
       ChangeRecord record;
       record.txn = txn_id;
@@ -69,7 +108,15 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
       } else {
         record.kind = ChangeRecord::Kind::kDelete;
       }
-      changelog_->Append(std::move(record));
+      records.push_back(std::move(record));
+    }
+    // Durability before acknowledgement: the commit only returns OK once
+    // the log frame is on disk.
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist(records));
+    if (changelog_ != nullptr) {
+      for (ChangeRecord& record : records) {
+        changelog_->Append(std::move(record));
+      }
     }
   }
   return status;
@@ -125,9 +172,10 @@ Status DirectoryServer::ApplyOneModification(EntryId id,
 
 Status DirectoryServer::Modify(const DistinguishedName& dn,
                                const std::vector<Modification>& mods) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   auto resolved = ResolveDn(*directory_, dn);
   if (!resolved.ok()) {
-    ++stats_.rejected;
+    ++stats_->rejected;
     return resolved.status();
   }
   EntryId id = *resolved;
@@ -144,7 +192,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
     Status status = ApplyOneModification(id, mod, &undo);
     if (!status.ok()) {
       rollback();
-      ++stats_.rejected;
+      ++stats_->rejected;
       return status;
     }
   }
@@ -180,36 +228,38 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
   ok = checker.CheckKeys(*directory_, &violations) && ok;
   if (!ok) {
     rollback();
-    ++stats_.rejected;
+    ++stats_->rejected;
     return Status::Illegal("modify of '" + dn.ToString() +
                            "' violates the schema:\n" +
                            DescribeViolations(violations, *vocab_));
   }
-  if (changelog_ != nullptr) {
+  if (changelog_ != nullptr || wal_ != nullptr) {
     ChangeRecord record;
     record.kind = ChangeRecord::Kind::kModify;
-    record.txn = changelog_->NextTxnId();
+    record.txn = NextRecordTxnId();
     record.dn = dn.ToString();
     record.mods = mods;
-    changelog_->Append(std::move(record));
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist({record}));
+    if (changelog_ != nullptr) changelog_->Append(std::move(record));
   }
-  ++stats_.modifies;
+  ++stats_->modifies;
   return Status::OK();
 }
 
 Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
                                  const DistinguishedName& new_parent_dn,
                                  std::string new_rdn) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   auto entry = ResolveDn(*directory_, dn);
   if (!entry.ok()) {
-    ++stats_.rejected;
+    ++stats_->rejected;
     return entry.status();
   }
   EntryId new_parent = kInvalidEntryId;
   if (!new_parent_dn.IsEmpty()) {
     auto resolved = ResolveDn(*directory_, new_parent_dn);
     if (!resolved.ok()) {
-      ++stats_.rejected;
+      ++stats_->rejected;
       return resolved.status();
     }
     new_parent = *resolved;
@@ -220,14 +270,14 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
 
   Status status = directory_->MoveSubtree(*entry, new_parent);
   if (!status.ok()) {
-    ++stats_.rejected;
+    ++stats_->rejected;
     return status;
   }
   if (!new_rdn.empty()) {
     status = directory_->Rename(*entry, new_rdn);
     if (!status.ok()) {
       (void)directory_->MoveSubtree(*entry, old_parent);
-      ++stats_.rejected;
+      ++stats_->rejected;
       return status;
     }
   }
@@ -238,27 +288,28 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
                                 &violations)) {
     (void)directory_->Rename(*entry, old_rdn);
     (void)directory_->MoveSubtree(*entry, old_parent);
-    ++stats_.rejected;
+    ++stats_->rejected;
     return Status::Illegal("moving '" + dn.ToString() +
                            "' violates the schema:\n" +
                            DescribeViolations(violations, *vocab_));
   }
-  if (changelog_ != nullptr) {
+  if (changelog_ != nullptr || wal_ != nullptr) {
     ChangeRecord record;
     record.kind = ChangeRecord::Kind::kModifyDn;
-    record.txn = changelog_->NextTxnId();
+    record.txn = NextRecordTxnId();
     record.dn = dn.ToString();
     record.new_parent_dn = new_parent_dn.ToString();
     record.new_rdn = directory_->entry(*entry).rdn();
-    changelog_->Append(std::move(record));
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist({record}));
+    if (changelog_ != nullptr) changelog_->Append(std::move(record));
   }
-  ++stats_.modifies;
+  ++stats_->modifies;
   return Status::OK();
 }
 
 Result<std::vector<EntryId>> DirectoryServer::Search(
     const SearchRequest& request) const {
-  ++stats_.searches;
+  stats_->searches.fetch_add(1, std::memory_order_relaxed);
   return ldapbound::Search(*directory_, request);
 }
 
@@ -273,6 +324,7 @@ Result<std::vector<EntryId>> DirectoryServer::Search(
 }
 
 Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
+  LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   // Load into a scratch directory first so failures cannot disturb the
   // live one; on success, load again into the live directory.
   Directory scratch(vocab_);
@@ -284,6 +336,15 @@ Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
   LegalityChecker checker(*schema_, check_options_);
   LDAPBOUND_RETURN_IF_ERROR(checker.EnsureLegal(scratch));
   LDAPBOUND_RETURN_IF_ERROR(LoadLdif(text, directory_.get()).status());
+  // Bulk imports bypass the changelog, so they must reach the WAL as a
+  // snapshot or the durable state would silently diverge.
+  if (wal_ != nullptr) {
+    Status status = Compact();
+    if (!status.ok()) {
+      wal_failed_ = true;
+      return status;
+    }
+  }
   return created;
 }
 
@@ -294,6 +355,131 @@ std::string DirectoryServer::ExportLdif() const {
 bool DirectoryServer::IsLegal() const {
   LegalityChecker checker(*schema_, check_options_);
   return checker.CheckLegal(*directory_);
+}
+
+Status DirectoryServer::EnableWal(const std::string& dir,
+                                  const WalOptions& options) {
+  if (wal_ != nullptr) {
+    return Status::FailedPrecondition("WAL already enabled");
+  }
+  LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
+  LDAPBOUND_ASSIGN_OR_RETURN(WalDirListing listing, ListWalDir(dir));
+  if (!listing.segments.empty() || listing.snapshot.has_value()) {
+    return Status::FailedPrecondition(
+        "WAL directory '" + dir +
+        "' already contains a log; restart it via DirectoryServer::Recover");
+  }
+  // The schema is part of the durable state: Recover() must be able to
+  // rebuild the server from the directory alone. It goes down before the
+  // first segment so no crash window leaves a log without its schema.
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("create WAL directory '" + dir +
+                            "': " + ec.message());
+  }
+  LDAPBOUND_RETURN_IF_ERROR(
+      AtomicWriteFile(dir + "/" + WriteAheadLog::kSchemaFileName,
+                      FormatDirectorySchema(*schema_)));
+  LDAPBOUND_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
+                             WriteAheadLog::Open(dir, options, /*next_seq=*/1));
+  wal_ = std::move(wal);
+  // Pre-existing entries (e.g. a bulk-loaded seed) predate the log; write
+  // them down as the initial snapshot.
+  if (directory_->NumEntries() > 0) {
+    Status status = Compact();
+    if (!status.ok()) {
+      wal_ = nullptr;
+      return status;
+    }
+  }
+  return Status::OK();
+}
+
+Status DirectoryServer::Compact() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("WAL not enabled");
+  }
+  LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
+  return wal_->Compact(ExportLdif());
+}
+
+Result<DirectoryServer> DirectoryServer::Recover(const std::string& dir,
+                                                 const WalOptions& options,
+                                                 WalRecoveryReport* report) {
+  LDAPBOUND_ASSIGN_OR_RETURN(WalDirListing listing, ListWalDir(dir));
+  if (listing.schema_text.empty()) {
+    return Status::NotFound("WAL directory '" + dir + "' has no " +
+                            WriteAheadLog::kSchemaFileName +
+                            " — nothing to recover");
+  }
+  LDAPBOUND_ASSIGN_OR_RETURN(DirectoryServer server,
+                             Create(listing.schema_text));
+
+  WalRecoveryReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = WalRecoveryReport{};
+
+  uint64_t after_seq = 0;
+  if (listing.snapshot.has_value()) {
+    std::ifstream in(listing.snapshot->first, std::ios::binary);
+    if (!in) {
+      return Status::NotFound("cannot open snapshot '" +
+                              listing.snapshot->first + "'");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    auto loaded = server.ImportLdif(buffer.str());
+    if (!loaded.ok()) {
+      return Status(loaded.status().code(),
+                    "snapshot '" + listing.snapshot->first +
+                        "' does not load: " + loaded.status().message());
+    }
+    after_seq = listing.snapshot->second;
+    report->snapshot_seq = after_seq;
+    report->snapshot_entries = *loaded;
+  }
+
+  Status replayed = ReplayWal(
+      listing, after_seq,
+      [&server](uint64_t seq, std::string_view payload) -> Status {
+        auto applied = ApplyChangeLdif(payload, &server);
+        if (!applied.ok()) {
+          return Status(applied.status().code(),
+                        "WAL frame seq " + std::to_string(seq) +
+                            " does not replay: " + applied.status().message());
+        }
+        return Status::OK();
+      },
+      report);
+  LDAPBOUND_RETURN_IF_ERROR(replayed);
+
+  // The log only ever recorded committed-and-checked mutations, so the
+  // replayed instance must be legal; anything else means the directory
+  // was tampered with (or a bug) — refuse it.
+  if (!server.IsLegal()) {
+    return Status::Illegal(
+        "recovered directory is not a legal instance of its schema "
+        "(replayed " + std::to_string(report->frames_replayed) +
+        " frames up to seq " + std::to_string(report->last_seq) + ")");
+  }
+
+  LDAPBOUND_ASSIGN_OR_RETURN(
+      server.wal_,
+      WriteAheadLog::Open(dir, options, report->last_seq + 1));
+  // Recovery work is not traffic; start the counters clean.
+  server.stats_ = std::make_unique<StatCounters>();
+  return server;
+}
+
+DirectoryServer::Stats DirectoryServer::stats() const {
+  Stats snapshot;
+  snapshot.adds = stats_->adds.load(std::memory_order_relaxed);
+  snapshot.deletes = stats_->deletes.load(std::memory_order_relaxed);
+  snapshot.modifies = stats_->modifies.load(std::memory_order_relaxed);
+  snapshot.searches = stats_->searches.load(std::memory_order_relaxed);
+  snapshot.rejected = stats_->rejected.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 }  // namespace ldapbound

@@ -1,6 +1,7 @@
 #ifndef LDAPBOUND_SERVER_DIRECTORY_SERVER_H_
 #define LDAPBOUND_SERVER_DIRECTORY_SERVER_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -11,6 +12,7 @@
 #include "schema/directory_schema.h"
 #include "server/changelog.h"
 #include "server/modification.h"
+#include "server/wal.h"
 #include "update/transaction.h"
 
 namespace ldapbound {
@@ -27,7 +29,23 @@ namespace ldapbound {
 ///    rollback on violation);
 ///  - Modify applies value/class mutations to one entry, re-checks
 ///    incrementally, and undoes them on violation;
-///  - ImportLdif bulk-loads and validates, refusing illegal data sets.
+///  - ImportLdif bulk-loads and validates, refusing illegal data sets;
+///  - with EnableWal, committed mutations are fsync'd to a write-ahead
+///    changelog before being acknowledged, and Recover() rebuilds the
+///    exact acknowledged state after a crash (see server/wal.h).
+///
+/// Concurrency contract (single writer, many readers): at most one thread
+/// may call the mutating operations (Add, Delete, Apply, Modify, ModifyDn,
+/// ImportLdif, Compact, EnableChangelog, EnableWal, set_check_options) at
+/// a time, and none of them may overlap each other. The const reads —
+/// Search, ExportLdif, IsLegal, stats() — are safe to call concurrently
+/// with each other and with stats-counter updates (the counters are
+/// atomic), but NOT concurrently with a mutation of the directory itself:
+/// callers who interleave writes and reads across threads must serialize
+/// them externally (e.g. a shared_mutex held shared around reads). Within
+/// that contract, EnableChangelog and EnableWal may be called while
+/// concurrent Searches are in flight — they touch state no read path
+/// examines.
 class DirectoryServer {
  public:
   /// Parses `schema_text`, checks consistency, starts with an empty
@@ -107,6 +125,38 @@ class DirectoryServer {
   /// The change log, or nullptr when not enabled.
   const Changelog* changelog() const { return changelog_.get(); }
 
+  /// Makes commits durable: every subsequent committed mutation is
+  /// serialized into the write-ahead changelog under `dir` and fsync'd
+  /// before the mutating call returns OK. `dir` must be fresh (no
+  /// segments or snapshots) — restarting over an existing log goes
+  /// through Recover() instead. Writes the canonical schema text to
+  /// `dir/schema.lbs` and, when the directory is already populated, an
+  /// initial snapshot, so the WAL directory alone reconstructs the state.
+  Status EnableWal(const std::string& dir, const WalOptions& options = {});
+
+  /// Rebuilds a server from a WAL directory: parses `schema.lbs`, loads
+  /// the newest snapshot, replays the log (truncating a torn tail,
+  /// rejecting mid-log corruption — see server/wal.h), re-verifies that
+  /// the recovered instance is legal, and re-attaches the log for further
+  /// commits. `report`, when non-null, receives what recovery found.
+  static Result<DirectoryServer> Recover(const std::string& dir,
+                                         const WalOptions& options = {},
+                                         WalRecoveryReport* report = nullptr);
+
+  /// Log-truncation compaction: snapshots the current state into the WAL
+  /// directory and deletes the log segments the snapshot supersedes.
+  /// Requires EnableWal.
+  Status Compact();
+
+  /// The write-ahead log, or nullptr when not enabled.
+  const WriteAheadLog* wal() const { return wal_.get(); }
+
+  /// True after a WAL append failed: the in-memory state may be ahead of
+  /// the durable state, so the server refuses further mutations
+  /// (kFailedPrecondition) — reads stay available; restart via Recover()
+  /// to resume writing from the durable prefix.
+  bool wal_failed() const { return wal_failed_; }
+
   /// Worker configuration for the legality passes this server runs
   /// (ImportLdif validation, IsLegal, Modify's key recheck, and the
   /// transaction validators). Defaults to hardware concurrency; set
@@ -117,7 +167,9 @@ class DirectoryServer {
   }
   const CheckOptions& check_options() const { return check_options_; }
 
-  /// Operation counters.
+  /// Operation counters (a point-in-time snapshot; the live counters are
+  /// atomic, so stats() is safe concurrently with Searches and with the
+  /// single writer).
   struct Stats {
     size_t adds = 0;
     size_t deletes = 0;
@@ -125,7 +177,7 @@ class DirectoryServer {
     size_t searches = 0;
     size_t rejected = 0;  ///< mutations refused by the schema
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   DirectoryServer(std::shared_ptr<Vocabulary> vocab, DirectorySchema schema);
@@ -134,12 +186,37 @@ class DirectoryServer {
                               std::vector<Modification>* undo);
   static Modification Inverse(const Modification& mod);
 
+  /// Refuses mutations after a WAL failure (see wal_failed()).
+  Status CheckWritable() const;
+
+  /// Fsyncs `records` into the WAL (when enabled) — the acknowledgement
+  /// gate of every commit. On failure the server becomes read-only.
+  Status WalPersist(const std::vector<ChangeRecord>& records);
+
+  /// Txn-id source for change records when no Changelog is attached.
+  uint64_t NextRecordTxnId() {
+    return changelog_ != nullptr ? changelog_->NextTxnId() : next_txn_++;
+  }
+
+  /// Live atomic counters behind Stats; search counting happens in const
+  /// reads, so they sit behind a pointer to keep the server movable.
+  struct StatCounters {
+    std::atomic<size_t> adds{0};
+    std::atomic<size_t> deletes{0};
+    std::atomic<size_t> modifies{0};
+    std::atomic<size_t> searches{0};
+    std::atomic<size_t> rejected{0};
+  };
+
   std::shared_ptr<Vocabulary> vocab_;
   std::unique_ptr<DirectorySchema> schema_;
   std::unique_ptr<Directory> directory_;
   std::unique_ptr<Changelog> changelog_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  bool wal_failed_ = false;
+  uint64_t next_txn_ = 1;
   CheckOptions check_options_;
-  mutable Stats stats_;  // search counting happens in const reads
+  std::unique_ptr<StatCounters> stats_;
 };
 
 }  // namespace ldapbound

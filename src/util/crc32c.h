@@ -1,0 +1,27 @@
+#ifndef LDAPBOUND_UTIL_CRC32C_H_
+#define LDAPBOUND_UTIL_CRC32C_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace ldapbound {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected): the checksum
+/// used to frame write-ahead-log records, chosen for its error-detection
+/// properties on short messages (the same choice RocksDB and LevelDB make
+/// for their log formats). Software slice-by-one implementation; fast
+/// enough for commit-sized payloads.
+uint32_t Crc32c(std::string_view data);
+
+/// Incremental form: extends `crc` (a previous Crc32c result) with `data`.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// A CRC stored next to the data it protects should be masked so that
+/// computing the CRC of a blob that embeds its own checksum does not
+/// produce degenerate values (LevelDB's masking trick).
+uint32_t Crc32cMask(uint32_t crc);
+uint32_t Crc32cUnmask(uint32_t masked);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_CRC32C_H_

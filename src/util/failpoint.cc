@@ -1,0 +1,151 @@
+#include "util/failpoint.h"
+
+#include <unistd.h>
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+namespace {
+
+struct FailpointState {
+  bool armed = false;
+  Failpoints::Action action = Failpoints::Action::kError;
+  uint64_t trigger_on_hit = 1;
+  uint64_t hits = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, FailpointState, std::less<>> points;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: usable at exit
+  return *registry;
+}
+
+}  // namespace
+
+bool Failpoints::enabled() {
+#ifdef LDAPBOUND_FAILPOINTS_ENABLED
+  return true;
+#else
+  return false;
+#endif
+}
+
+void Failpoints::Arm(std::string_view name, Action action,
+                     uint64_t trigger_on_hit) {
+  if (trigger_on_hit == 0) trigger_on_hit = 1;
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  FailpointState& state = registry.points[std::string(name)];
+  state.armed = true;
+  state.action = action;
+  state.trigger_on_hit = trigger_on_hit;
+  state.hits = 0;
+}
+
+void Failpoints::Disarm(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  if (it != registry.points.end()) it->second.armed = false;
+}
+
+void Failpoints::Reset() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.points.clear();
+}
+
+uint64_t Failpoints::HitCount(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(name);
+  return it == registry.points.end() ? 0 : it->second.hits;
+}
+
+Status Failpoints::Hit(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.points.find(site);
+  if (it == registry.points.end()) {
+    // Count hits even for unarmed sites so tests can assert coverage.
+    registry.points[std::string(site)].hits = 1;
+    return Status::OK();
+  }
+  FailpointState& state = it->second;
+  ++state.hits;
+  if (!state.armed || state.hits != state.trigger_on_hit) return Status::OK();
+  if (state.action == Action::kCrash) {
+    // Simulated power loss: no destructors, no stream flushing.
+    _exit(kCrashExitCode);
+  }
+  state.armed = false;  // kError is single-shot
+  return Status::Internal("injected failure at failpoint '" +
+                          std::string(site) + "' (hit " +
+                          std::to_string(state.hits) + ")");
+}
+
+Status Failpoints::ArmFromSpec(std::string_view spec) {
+  for (std::string_view term : Split(spec, ',')) {
+    term = StripWhitespace(term);
+    if (term.empty()) continue;
+    size_t eq = term.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument("failpoint spec '" + std::string(term) +
+                                     "': expected name=action[@n]");
+    }
+    std::string_view name = StripWhitespace(term.substr(0, eq));
+    std::string_view rest = StripWhitespace(term.substr(eq + 1));
+    uint64_t n = 1;
+    size_t at = rest.find('@');
+    if (at != std::string_view::npos) {
+      std::string_view digits = rest.substr(at + 1);
+      if (digits.empty()) {
+        return Status::InvalidArgument("failpoint spec '" + std::string(term) +
+                                       "': empty trigger count");
+      }
+      n = 0;
+      for (char c : digits) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("failpoint spec '" +
+                                         std::string(term) +
+                                         "': bad trigger count");
+        }
+        n = n * 10 + static_cast<uint64_t>(c - '0');
+      }
+      rest = StripWhitespace(rest.substr(0, at));
+    }
+    Action action;
+    if (EqualsIgnoreCase(rest, "error")) {
+      action = Action::kError;
+    } else if (EqualsIgnoreCase(rest, "crash")) {
+      action = Action::kCrash;
+    } else {
+      return Status::InvalidArgument("failpoint spec '" + std::string(term) +
+                                     "': unknown action '" +
+                                     std::string(rest) + "'");
+    }
+    if (name.empty()) {
+      return Status::InvalidArgument("failpoint spec '" + std::string(term) +
+                                     "': empty name");
+    }
+    Arm(name, action, n);
+  }
+  return Status::OK();
+}
+
+Status Failpoints::ArmFromEnv() {
+  const char* env = std::getenv("LDAPBOUND_FAILPOINTS");
+  if (env == nullptr || *env == '\0') return Status::OK();
+  return ArmFromSpec(env);
+}
+
+}  // namespace ldapbound

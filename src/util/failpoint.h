@@ -1,0 +1,91 @@
+#ifndef LDAPBOUND_UTIL_FAILPOINT_H_
+#define LDAPBOUND_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ldapbound {
+
+/// Deterministic fault injection for crash-recovery testing.
+///
+/// A *failpoint* is a named site in production code (e.g. "wal.fsync")
+/// that tests can arm with an action and a 1-based trigger count: the Nth
+/// time execution reaches the site, the action fires. Actions:
+///
+///  - kError: the site returns an injected Status::Internal and the
+///    failpoint disarms (single-shot, so a retry path can make progress);
+///  - kCrash: the process terminates immediately via _exit(kCrashExitCode)
+///    — no destructors, no buffer flushing — simulating power loss for the
+///    crash-recovery harness.
+///
+/// Sites are declared with LDAPBOUND_FAILPOINT(name), which compiles to
+/// nothing when the build disables failpoints (-DLDAPBOUND_FAILPOINTS=OFF),
+/// so release binaries pay no cost. The registry is mutex-guarded; hit
+/// counting is exact under concurrency.
+class Failpoints {
+ public:
+  enum class Action : uint8_t { kError, kCrash };
+
+  /// The exit code kCrash terminates with; harnesses assert on it to tell
+  /// an injected crash from an ordinary failure.
+  static constexpr int kCrashExitCode = 42;
+
+  /// True when the build compiles failpoint sites in. Tests that depend on
+  /// injection should GTEST_SKIP() when this is false.
+  static bool enabled();
+
+  /// Arms `name`: the `trigger_on_hit`-th subsequent Hit (1-based) fires
+  /// `action`. Re-arming replaces the previous configuration and resets the
+  /// hit count.
+  static void Arm(std::string_view name, Action action,
+                  uint64_t trigger_on_hit = 1);
+
+  static void Disarm(std::string_view name);
+
+  /// Disarms everything and clears all hit counts.
+  static void Reset();
+
+  /// Times Hit() has been reached for `name` since it was (re)armed or
+  /// first hit.
+  static uint64_t HitCount(std::string_view name);
+
+  /// Arms failpoints from a spec string — the format of the
+  /// LDAPBOUND_FAILPOINTS environment variable used by child processes of
+  /// the crash harness: comma-separated `name=action@n` terms, e.g.
+  ///   "wal.fsync=crash@3,wal.write=error@1"
+  /// (`@n` optional, default 1). Returns InvalidArgument on malformed
+  /// specs.
+  static Status ArmFromSpec(std::string_view spec);
+
+  /// Reads the LDAPBOUND_FAILPOINTS environment variable (if set) and arms
+  /// from it. Called explicitly by harness child processes, never
+  /// automatically.
+  static Status ArmFromEnv();
+
+  /// Production-code entry point — use the LDAPBOUND_FAILPOINT macro
+  /// instead of calling this directly. Returns OK unless `site` is armed
+  /// and this hit triggers.
+  static Status Hit(std::string_view site);
+};
+
+#ifdef LDAPBOUND_FAILPOINTS_ENABLED
+/// Declares a failpoint site. Must appear in a function returning Status
+/// (or Result<T>): an injected error propagates as the function's result.
+#define LDAPBOUND_FAILPOINT(site)                             \
+  do {                                                        \
+    ::ldapbound::Status _fp = ::ldapbound::Failpoints::Hit(site); \
+    if (!_fp.ok()) return _fp;                                \
+  } while (false)
+#else
+#define LDAPBOUND_FAILPOINT(site) \
+  do {                            \
+  } while (false)
+#endif
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_FAILPOINT_H_

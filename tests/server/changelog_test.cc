@@ -183,6 +183,113 @@ TEST_F(ChangelogTest, ReplayRespectsSchema) {
   EXPECT_EQ(replica.directory().NumEntries(), 0u);
 }
 
+TEST_F(ChangelogTest, ReplayFailureIdentifiesTheRecord) {
+  // Partial-failure reporting: two good records, then one the schema
+  // refuses. The error must carry the record ordinal, its # seq:, the DN,
+  // and how many records were applied before the failure — enough to fix
+  // the file and resume.
+  DirectoryServer replica = Replica();
+  const char* feed =
+      "# txn: 1\n"
+      "# seq: 1\n"
+      "dn: ou=research\n"
+      "changetype: add\n"
+      "objectClass: team\n"
+      "objectClass: top\n"
+      "ou: research\n"
+      "\n"
+      "# txn: 1\n"
+      "# seq: 2\n"
+      "dn: uid=ada,ou=research\n"
+      "changetype: add\n"
+      "objectClass: person\n"
+      "objectClass: top\n"
+      "uid: ada\n"
+      "name: ada\n"
+      "\n"
+      "# seq: 3\n"
+      "dn: uid=ghost,ou=research\n"
+      "changetype: modify\n"
+      "delete: name\n"
+      "name: ghost\n"
+      "-\n";
+  auto n = ApplyChangeLdif(feed, &replica);
+  ASSERT_FALSE(n.ok());
+  const std::string& msg = n.status().message();
+  EXPECT_NE(msg.find("record #3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("seq 3"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("uid=ghost,ou=research"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("2 records applied"), std::string::npos) << msg;
+  // The good prefix landed: failures report, they don't roll back history.
+  EXPECT_EQ(replica.directory().NumEntries(), 2u);
+}
+
+TEST_F(ChangelogTest, ReplayFailureInsideATransactionGroup) {
+  // The failing record of a grouped add (illegal as a whole) is reported
+  // by the transaction's first record, with its seq and DN.
+  DirectoryServer replica = Replica();
+  const char* feed =
+      "# txn: 7\n"
+      "# seq: 4\n"
+      "dn: ou=lonely\n"
+      "changetype: add\n"
+      "objectClass: team\n"
+      "objectClass: top\n"
+      "ou: lonely\n";
+  auto n = ApplyChangeLdif(feed, &replica);
+  ASSERT_FALSE(n.ok());
+  const std::string& msg = n.status().message();
+  EXPECT_NE(msg.find("seq 4"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("ou=lonely"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("0 records applied"), std::string::npos) << msg;
+}
+
+TEST_F(ChangelogTest, BinaryValuesRoundTripViaBase64) {
+  // A mail value with control bytes and non-ASCII is not LDIF-safe; the
+  // changelog must emit it base64 (`::`) and the replica must decode it
+  // back to the identical bytes.
+  std::string binary("caf\xc3\xa9\x01\x02\xff bytes", 14);
+  AttributeId mail = *primary_.vocab().FindAttribute("mail");
+  ClassId online = *primary_.vocab().FindClass("online");
+  DirectoryServer::Modification add_class;
+  add_class.kind = Modification::Kind::kAddClass;
+  add_class.cls = online;
+  DirectoryServer::Modification add_mail;
+  add_mail.kind = Modification::Kind::kAddValue;
+  add_mail.attr = mail;
+  add_mail.value = Value(binary);
+  ASSERT_TRUE(
+      primary_.Modify(Dn("uid=ada,ou=research"), {add_class, add_mail}).ok());
+
+  std::string ldif = primary_.changelog()->ToLdif(primary_.vocab());
+  EXPECT_NE(ldif.find("mail:: "), std::string::npos) << ldif;
+
+  DirectoryServer replica = Replica();
+  auto n = ApplyChangeLdif(ldif, &replica);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(replica.ExportLdif(), primary_.ExportLdif());
+}
+
+TEST_F(ChangelogTest, EscapedCommaDnsRoundTrip) {
+  // An RDN value containing a comma ("Doe, Jane") is escaped in the DN;
+  // the change feed must preserve the escape through serialize + replay.
+  ASSERT_TRUE(primary_
+                  .Add(Dn("uid=doe\\, jane,ou=research"),
+                       PersonSpec("doe, jane"))
+                  .ok());
+  std::string ldif = primary_.changelog()->ToLdif(primary_.vocab());
+  EXPECT_NE(ldif.find("doe\\, jane"), std::string::npos) << ldif;
+
+  DirectoryServer replica = Replica();
+  auto n = ApplyChangeLdif(ldif, &replica);
+  ASSERT_TRUE(n.ok()) << n.status();
+  EXPECT_EQ(replica.ExportLdif(), primary_.ExportLdif());
+  // And the entry is addressable by its escaped DN on the replica.
+  EXPECT_TRUE(
+      replica.Search("uid=doe\\, jane,ou=research", "(objectClass=person)")
+          .ok());
+}
+
 TEST_F(ChangelogTest, ParserErrors) {
   DirectoryServer replica = Replica();
   EXPECT_FALSE(ApplyChangeLdif("changetype: add\n", &replica).ok());

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <thread>
+#include <vector>
+
 namespace ldapbound {
 namespace {
 
@@ -221,6 +224,41 @@ TEST_F(DirectoryServerTest, ImportRefusesIllegalData) {
 TEST_F(DirectoryServerTest, SearchStringErrors) {
   EXPECT_FALSE(server_.Search("ou=research", "((broken").ok());
   EXPECT_FALSE(server_.Search("ou=nowhere", "(uid=*)").ok());
+}
+
+TEST_F(DirectoryServerTest, StatsAreASnapshot) {
+  DirectoryServer::Stats before = server_.stats();
+  ASSERT_TRUE(server_.Search("", "(uid=ada)").ok());
+  ASSERT_TRUE(
+      server_.Add(Dn("uid=bob,ou=research"), PersonSpec("bob")).ok());
+  // The earlier snapshot is unchanged; a fresh one sees the traffic.
+  EXPECT_EQ(before.searches, 0u);
+  DirectoryServer::Stats after = server_.stats();
+  EXPECT_EQ(after.searches, 1u);
+  EXPECT_EQ(after.adds, 1u);
+}
+
+TEST_F(DirectoryServerTest, ConcurrentSearchesWhileStatsMutate) {
+  // The documented concurrency contract: const Searches may run
+  // concurrently with each other and with the stats they bump. Hammer
+  // Search from several threads; under TSan this is the regression test
+  // for the atomic counters, and the final count proves no lost updates.
+  constexpr int kThreads = 8;
+  constexpr int kSearchesPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([this] {
+      for (int i = 0; i < kSearchesPerThread; ++i) {
+        auto hits = server_.Search("", "(objectClass=person)");
+        ASSERT_TRUE(hits.ok());
+        ASSERT_EQ(hits->size(), 1u);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(server_.stats().searches,
+            static_cast<size_t>(kThreads) * kSearchesPerThread);
 }
 
 }  // namespace

@@ -1,0 +1,100 @@
+// Crash-harness child process: runs the deterministic WAL workload with
+// failpoints armed from the LDAPBOUND_FAILPOINTS environment variable and
+// gets killed mid-operation by an armed kCrash failpoint (simulated power
+// loss — _exit, no flushing). The parent (wal_recovery_test.cc) then
+// recovers the WAL directory and asserts the result is a legal directory
+// equal to a prefix of the acknowledged commits.
+//
+// Usage: wal_crash_child <wal-dir> <ack-file> <n-commits> [compact-every]
+//
+// After each commit is acknowledged (i.e. the server returned OK, which
+// implies the WAL frame is fsync'd), the commit number is appended to
+// <ack-file> and fsync'd — so every number in the ack file MUST survive
+// recovery. Exit codes: 0 = ran to completion (failpoint never fired),
+// 42 = injected crash (Failpoints::kCrashExitCode), 1 = unexpected error.
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "server/directory_server.h"
+#include "tests/server/wal_workload.h"
+#include "util/failpoint.h"
+
+int main(int argc, char** argv) {
+  using namespace ldapbound;
+  if (argc < 4) {
+    std::fprintf(stderr,
+                 "usage: wal_crash_child <wal-dir> <ack-file> <n-commits> "
+                 "[compact-every]\n");
+    return 1;
+  }
+  const std::string wal_dir = argv[1];
+  const std::string ack_path = argv[2];
+  const uint64_t n_commits = std::strtoull(argv[3], nullptr, 10);
+  const uint64_t compact_every =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+
+  Status armed = Failpoints::ArmFromEnv();
+  if (!armed.ok()) {
+    std::fprintf(stderr, "bad failpoint spec: %s\n",
+                 armed.ToString().c_str());
+    return 1;
+  }
+
+  auto server = DirectoryServer::Create(testing::kWalSchema);
+  if (!server.ok()) {
+    std::fprintf(stderr, "create: %s\n", server.status().ToString().c_str());
+    return 1;
+  }
+  WalOptions options;
+  options.segment_bytes = 512;  // tiny segments so rotation actually runs
+  Status enabled = server->EnableWal(wal_dir, options);
+  if (!enabled.ok()) {
+    std::fprintf(stderr, "enable WAL: %s\n", enabled.ToString().c_str());
+    return 1;
+  }
+
+  int ack_fd = ::open(ack_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (ack_fd < 0) {
+    std::perror("open ack file");
+    return 1;
+  }
+
+  for (uint64_t i = 1; i <= n_commits; ++i) {
+    Status status = testing::ApplyWalCommit(*server, i);
+    if (!status.ok()) {
+      // An injected kError (or the resulting read-only mode) ends the run;
+      // the parent distinguishes this from a crash by the exit code.
+      std::fprintf(stderr, "commit %llu refused: %s\n",
+                   static_cast<unsigned long long>(i),
+                   status.ToString().c_str());
+      ::close(ack_fd);
+      return 1;
+    }
+    // The commit is acknowledged: record it durably. Everything in the
+    // ack file must be recoverable, crash or no crash.
+    std::string line = std::to_string(i) + "\n";
+    if (::write(ack_fd, line.data(), line.size()) !=
+            static_cast<ssize_t>(line.size()) ||
+        ::fsync(ack_fd) != 0) {
+      std::perror("ack write");
+      ::close(ack_fd);
+      return 1;
+    }
+    if (compact_every != 0 && i % compact_every == 0) {
+      Status compacted = server->Compact();
+      if (!compacted.ok()) {
+        std::fprintf(stderr, "compact after %llu: %s\n",
+                     static_cast<unsigned long long>(i),
+                     compacted.ToString().c_str());
+        ::close(ack_fd);
+        return 1;
+      }
+    }
+  }
+  ::close(ack_fd);
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Crash-recovery harness: spawns wal_crash_child with a kCrash failpoint
+// armed via the environment, lets the child die mid-operation at the
+// injected point, then recovers the WAL directory and asserts:
+//   1. the recovered directory passes IsLegal();
+//   2. every commit the child acknowledged (durably recorded in the ack
+//      file) survived — acknowledged means fsync'd means recoverable;
+//   3. the recovered state is byte-identical to ExportLdif() of an
+//      in-memory replay of the same commit prefix (no extra, reordered,
+//      or half-applied records).
+// Every wired failpoint is exercised: wal.write, wal.fsync, wal.rotate,
+// wal.rename (compaction) and server.commit (mid-commit, after the
+// in-memory apply but before the log append).
+#include <sys/wait.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "server/directory_server.h"
+#include "tests/server/wal_workload.h"
+#include "util/failpoint.h"
+
+#ifndef WAL_CRASH_CHILD_PATH
+#error "WAL_CRASH_CHILD_PATH must be defined by the build"
+#endif
+
+namespace ldapbound {
+namespace {
+
+namespace fs = std::filesystem;
+using testing::ExpectedLdifAfter;
+
+std::string FreshDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "ldapbound_wal_crash/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+// Runs the child to attempt `n_commits`, crashing at hit `trigger` of
+// `site`. Returns the child's exit code (-1 if it died on a signal).
+int RunChild(const std::string& site, int trigger, const std::string& wal_dir,
+             const std::string& ack_path, int n_commits, int compact_every) {
+  std::string cmd = "LDAPBOUND_FAILPOINTS='" + site + "=crash@" +
+                    std::to_string(trigger) + "' '" WAL_CRASH_CHILD_PATH
+                    "' '" + wal_dir + "' '" + ack_path + "' " +
+                    std::to_string(n_commits);
+  if (compact_every > 0) cmd += " " + std::to_string(compact_every);
+  int rc = std::system(cmd.c_str());
+  if (rc == -1 || !WIFEXITED(rc)) return -1;
+  return WEXITSTATUS(rc);
+}
+
+uint64_t MaxAcknowledged(const std::string& ack_path) {
+  std::ifstream in(ack_path);
+  uint64_t max_ack = 0, n = 0;
+  while (in >> n) max_ack = n;  // the child appends in order
+  return max_ack;
+}
+
+struct CrashCase {
+  const char* site;
+  int trigger;        // crash on the Nth hit of the site
+  int compact_every;  // 0 = never compact
+};
+
+class WalCrashRecoveryTest : public ::testing::TestWithParam<CrashCase> {
+ protected:
+  void SetUp() override {
+    if (!Failpoints::enabled()) {
+      GTEST_SKIP() << "failpoints compiled out (LDAPBOUND_FAILPOINTS=OFF)";
+    }
+  }
+};
+
+TEST_P(WalCrashRecoveryTest, RecoversToAnAcknowledgedPrefix) {
+  const CrashCase& c = GetParam();
+  const std::string name = std::string(c.site) + "-" +
+                           std::to_string(c.trigger) + "-" +
+                           std::to_string(c.compact_every);
+  std::string dir = FreshDir(name);
+  std::string wal_dir = dir + "/wal";
+  std::string ack_path = dir + "/acks";
+
+  constexpr int kCommits = 40;
+  int exit_code = RunChild(c.site, c.trigger, wal_dir, ack_path, kCommits,
+                           c.compact_every);
+  ASSERT_EQ(exit_code, Failpoints::kCrashExitCode)
+      << c.site << "@" << c.trigger
+      << " did not crash the child (is the site wired?)";
+
+  uint64_t max_ack = MaxAcknowledged(ack_path);
+  ASSERT_LT(max_ack, static_cast<uint64_t>(kCommits))
+      << "child crashed yet acknowledged everything?";
+
+  WalRecoveryReport report;
+  auto recovered = DirectoryServer::Recover(wal_dir, WalOptions{}, &report);
+  ASSERT_TRUE(recovered.ok())
+      << c.site << "@" << c.trigger << ": " << recovered.status();
+
+  // (1) The recovered directory is a legal instance of the schema.
+  EXPECT_TRUE(recovered->IsLegal()) << c.site;
+
+  // (2) No acknowledged commit was lost.
+  uint64_t durable = report.last_seq;
+  EXPECT_GE(durable, max_ack)
+      << c.site << "@" << c.trigger << ": acknowledged commit " << max_ack
+      << " did not survive the crash";
+
+  // (3) The durable state IS the commit prefix, byte for byte. The crash
+  // may have landed after the frame reached the disk but before the ack,
+  // so `durable` can exceed `max_ack` — but it must still be a prefix of
+  // the deterministic workload.
+  auto expected = ExpectedLdifAfter(durable);
+  ASSERT_TRUE(expected.ok()) << expected.status();
+  EXPECT_EQ(recovered->ExportLdif(), *expected)
+      << c.site << "@" << c.trigger << ": recovered state diverges from "
+      << "the first " << durable << " commits";
+
+  // The recovered server is fully writable again.
+  EXPECT_TRUE(testing::ApplyWalCommit(*recovered, durable + 1).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllWiredFailpoints, WalCrashRecoveryTest,
+    ::testing::Values(
+        // Mid-commit: in-memory state updated, frame never written.
+        CrashCase{"server.commit", 1, 0}, CrashCase{"server.commit", 9, 0},
+        CrashCase{"server.commit", 26, 5},
+        // During the frame write: a torn tail at an arbitrary commit.
+        CrashCase{"wal.write", 1, 0}, CrashCase{"wal.write", 13, 0},
+        CrashCase{"wal.write", 30, 7},
+        // After the write, before fsync: frame may or may not be durable.
+        CrashCase{"wal.fsync", 2, 0}, CrashCase{"wal.fsync", 21, 0},
+        CrashCase{"wal.fsync", 35, 6},
+        // During segment rotation (512-byte segments force many).
+        CrashCase{"wal.rotate", 1, 0}, CrashCase{"wal.rotate", 4, 0},
+        CrashCase{"wal.rotate", 5, 5},
+        // During compaction, before the snapshot rename.
+        CrashCase{"wal.rename", 1, 5}, CrashCase{"wal.rename", 3, 4}),
+    [](const ::testing::TestParamInfo<CrashCase>& info) {
+      std::string name = info.param.site;
+      for (char& ch : name) {
+        if (ch == '.') ch = '_';
+      }
+      return name + "_hit" + std::to_string(info.param.trigger) +
+             (info.param.compact_every
+                  ? "_compact" + std::to_string(info.param.compact_every)
+                  : "");
+    });
+
+// A child that runs to completion (failpoint armed past the workload)
+// recovers everything — the harness's own baseline.
+TEST(WalCrashHarnessTest, CleanRunRecoversEverything) {
+  if (!Failpoints::enabled()) {
+    GTEST_SKIP() << "failpoints compiled out (LDAPBOUND_FAILPOINTS=OFF)";
+  }
+  std::string dir = FreshDir("clean");
+  std::string wal_dir = dir + "/wal";
+  std::string ack_path = dir + "/acks";
+  int exit_code =
+      RunChild("server.commit", 1000, wal_dir, ack_path, 20, 6);
+  ASSERT_EQ(exit_code, 0);
+  EXPECT_EQ(MaxAcknowledged(ack_path), 20u);
+
+  WalRecoveryReport report;
+  auto recovered = DirectoryServer::Recover(wal_dir, WalOptions{}, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(report.last_seq, 20u);
+  EXPECT_GT(report.snapshot_seq, 0u);  // compact_every=6 ran
+  EXPECT_EQ(recovered->ExportLdif(), *ExpectedLdifAfter(20));
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,109 @@
+#ifndef LDAPBOUND_TESTS_SERVER_WAL_WORKLOAD_H_
+#define LDAPBOUND_TESTS_SERVER_WAL_WORKLOAD_H_
+
+#include <string>
+
+#include "server/directory_server.h"
+
+namespace ldapbound::testing {
+
+/// The schema and deterministic commit stream shared by the crash-harness
+/// child (wal_crash_child.cc) and the recovery assertions
+/// (wal_recovery_test.cc). Both sides must agree byte-for-byte: the
+/// recovered directory is compared against ExportLdif() of a fresh server
+/// that replayed the same commit prefix in-memory.
+constexpr char kWalSchema[] = R"(
+attribute name string
+attribute uid string
+attribute mail string
+attribute ou string
+
+class team : top {
+  require ou
+}
+class person : top {
+  require name, uid
+  aux online
+}
+auxclass online {
+  allow mail
+}
+structure {
+  require team descendant person
+  forbid person child top
+}
+)";
+
+inline DistinguishedName WalDn(const std::string& s) {
+  return *DistinguishedName::Parse(s);
+}
+
+/// Commit number `i` (1-based) of the deterministic workload. Covers every
+/// operation kind the changelog records:
+///   i % 7 == 1 : transaction inserting a new team plus its first person
+///                (only legal as a group — exercises txn framing);
+///   i % 7 == 4 : Modify — attach the `online` aux class and a mail value
+///                to the current team's anchor person;
+///   i % 7 == 6 : Delete of the person added by commit i-1;
+///   otherwise  : Add of one person under the current team.
+/// Every commit is legal when applied in order, so any prefix of the
+/// stream is a legal directory.
+inline Status ApplyWalCommit(DirectoryServer& server, uint64_t i) {
+  const uint64_t team = ((i - 1) / 7) * 7 + 1;  // commit that made the team
+  const std::string team_dn = "ou=t" + std::to_string(team);
+
+  auto person_spec = [](uint64_t n) {
+    EntrySpec spec;
+    spec.classes = {"person", "top"};
+    spec.values = {{"uid", "u" + std::to_string(n)},
+                   {"name", "person " + std::to_string(n)}};
+    return spec;
+  };
+
+  if (i % 7 == 1) {
+    EntrySpec team_spec;
+    team_spec.classes = {"team", "top"};
+    team_spec.values = {{"ou", "t" + std::to_string(i)}};
+    UpdateTransaction txn;
+    txn.Insert(WalDn(team_dn), team_spec);
+    txn.Insert(WalDn("uid=u" + std::to_string(i) + "," + team_dn),
+               person_spec(i));
+    return server.Apply(txn);
+  }
+  if (i % 7 == 4) {
+    AttributeId mail = *server.vocab().FindAttribute("mail");
+    ClassId online = *server.vocab().FindClass("online");
+    Modification add_class;
+    add_class.kind = Modification::Kind::kAddClass;
+    add_class.cls = online;
+    Modification add_mail;
+    add_mail.kind = Modification::Kind::kAddValue;
+    add_mail.attr = mail;
+    add_mail.value = Value("m" + std::to_string(i) + "@example.org");
+    return server.Modify(
+        WalDn("uid=u" + std::to_string(team) + "," + team_dn),
+        {add_class, add_mail});
+  }
+  if (i % 7 == 6) {
+    return server.Delete(
+        WalDn("uid=u" + std::to_string(i - 1) + "," + team_dn));
+  }
+  return server.Add(WalDn("uid=u" + std::to_string(i) + "," + team_dn),
+                    person_spec(i));
+}
+
+/// The expected LDIF after the first `n` commits: a fresh in-memory server
+/// replaying the workload. Returns an error if any commit is refused
+/// (which would be a workload bug, not a WAL bug).
+inline Result<std::string> ExpectedLdifAfter(uint64_t n) {
+  LDAPBOUND_ASSIGN_OR_RETURN(DirectoryServer server,
+                             DirectoryServer::Create(kWalSchema));
+  for (uint64_t i = 1; i <= n; ++i) {
+    LDAPBOUND_RETURN_IF_ERROR(ApplyWalCommit(server, i));
+  }
+  return server.ExportLdif();
+}
+
+}  // namespace ldapbound::testing
+
+#endif  // LDAPBOUND_TESTS_SERVER_WAL_WORKLOAD_H_

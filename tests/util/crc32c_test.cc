@@ -1,0 +1,48 @@
+#include "util/crc32c.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ldapbound {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // The canonical CRC-32C check value (RFC 3720 appendix / every
+  // implementation's smoke test).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+  EXPECT_EQ(Crc32c(""), 0u);
+  // 32 zero bytes, RFC 3720 test vector.
+  EXPECT_EQ(Crc32c(std::string(32, '\0')), 0x8A9136AAu);
+  // 32 0xFF bytes.
+  EXPECT_EQ(Crc32c(std::string(32, '\xff')), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendMatchesOneShot) {
+  const std::string data = "write-ahead logs deserve checksums";
+  for (size_t split = 0; split <= data.size(); ++split) {
+    uint32_t crc = Crc32c(std::string_view(data).substr(0, split));
+    crc = Crc32cExtend(crc, std::string_view(data).substr(split));
+    EXPECT_EQ(crc, Crc32c(data)) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, SensitiveToEveryByte) {
+  std::string data = "payload";
+  uint32_t base = Crc32c(data);
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::string flipped = data;
+    flipped[i] ^= 0x01;
+    EXPECT_NE(Crc32c(flipped), base) << "flip at " << i;
+  }
+}
+
+TEST(Crc32cTest, MaskRoundTrips) {
+  for (uint32_t crc : {0u, 1u, 0xE3069283u, 0xFFFFFFFFu, 0xDEADBEEFu}) {
+    EXPECT_EQ(Crc32cUnmask(Crc32cMask(crc)), crc);
+    EXPECT_NE(Crc32cMask(crc), crc);  // the point of masking
+  }
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,83 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+// A function with a failpoint site, standing in for production code.
+Status GuardedOperation() {
+  LDAPBOUND_FAILPOINT("test.site");
+  return Status::OK();
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!Failpoints::enabled()) {
+      GTEST_SKIP() << "failpoints compiled out (LDAPBOUND_FAILPOINTS=OFF)";
+    }
+    Failpoints::Reset();
+  }
+  void TearDown() override { Failpoints::Reset(); }
+};
+
+TEST_F(FailpointTest, UnarmedSiteIsTransparent) {
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(Failpoints::HitCount("test.site"), 2u);
+}
+
+TEST_F(FailpointTest, TriggersOnNthHitExactly) {
+  Failpoints::Arm("test.site", Failpoints::Action::kError, 3);
+  EXPECT_TRUE(GuardedOperation().ok());   // hit 1
+  EXPECT_TRUE(GuardedOperation().ok());   // hit 2
+  Status status = GuardedOperation();     // hit 3 → fires
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("test.site"), std::string::npos);
+  // kError is single-shot: the site is transparent again.
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, RearmResetsTheCount) {
+  Failpoints::Arm("test.site", Failpoints::Action::kError, 2);
+  EXPECT_TRUE(GuardedOperation().ok());
+  Failpoints::Arm("test.site", Failpoints::Action::kError, 2);
+  EXPECT_TRUE(GuardedOperation().ok());   // count restarted at 0
+  EXPECT_FALSE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, DisarmPreventsTrigger) {
+  Failpoints::Arm("test.site", Failpoints::Action::kError, 1);
+  Failpoints::Disarm("test.site");
+  EXPECT_TRUE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, SpecParsing) {
+  EXPECT_TRUE(Failpoints::ArmFromSpec("test.site=error@2").ok());
+  EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+
+  Failpoints::Reset();
+  // Defaults to trigger on hit 1; whitespace and empty terms tolerated.
+  EXPECT_TRUE(Failpoints::ArmFromSpec(" test.site = error , ").ok());
+  EXPECT_FALSE(GuardedOperation().ok());
+}
+
+TEST_F(FailpointTest, SpecErrors) {
+  EXPECT_FALSE(Failpoints::ArmFromSpec("no-equals-sign").ok());
+  EXPECT_FALSE(Failpoints::ArmFromSpec("x=explode").ok());
+  EXPECT_FALSE(Failpoints::ArmFromSpec("x=error@").ok());
+  EXPECT_FALSE(Failpoints::ArmFromSpec("x=error@12x").ok());
+  EXPECT_FALSE(Failpoints::ArmFromSpec("=error").ok());
+}
+
+TEST_F(FailpointTest, HitCountsAccumulate) {
+  Failpoints::Arm("test.site", Failpoints::Action::kError, 100);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(GuardedOperation().ok());
+  EXPECT_EQ(Failpoints::HitCount("test.site"), 5u);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -8,6 +8,8 @@
 //   ldapbound search <schema> <ldif> <base-dn> <filter>
 //   ldapbound query <schema> <ldif> <hier-query>   (the §3.2 s-expressions)
 //   ldapbound stats <schema> <ldif>
+//   ldapbound recover <wal-dir>                replay WAL, print the directory
+//   ldapbound compact <wal-dir>                recover + snapshot + truncate
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -22,6 +24,7 @@
 #include "ldap/search.h"
 #include "query/evaluator.h"
 #include "schema/schema_format.h"
+#include "server/directory_server.h"
 
 namespace {
 
@@ -36,7 +39,9 @@ int Usage() {
                "  ldapbound format <schema>\n"
                "  ldapbound search <schema> <ldif> <base-dn> <filter>\n"
                "  ldapbound query <schema> <ldif> <hier-query>\n"
-               "  ldapbound stats <schema> <ldif>\n");
+               "  ldapbound stats <schema> <ldif>\n"
+               "  ldapbound recover <wal-dir>\n"
+               "  ldapbound compact <wal-dir>\n");
   return 2;
 }
 
@@ -205,6 +210,41 @@ int RunStats(const std::string& schema_path, const std::string& ldif_path) {
   return 0;
 }
 
+// Replays a write-ahead changelog directory and reports what was
+// recovered; with `compact_after` also snapshots the recovered state and
+// truncates the log (the offline equivalent of DirectoryServer::Compact).
+int RunRecover(const std::string& wal_dir, bool compact_after) {
+  WalRecoveryReport report;
+  auto server = DirectoryServer::Recover(wal_dir, WalOptions{}, &report);
+  if (!server.ok()) return Fail(server.status());
+  if (report.snapshot_seq > 0) {
+    std::fprintf(stderr, "snapshot:    seq %llu (%zu entries)\n",
+                 static_cast<unsigned long long>(report.snapshot_seq),
+                 report.snapshot_entries);
+  }
+  std::fprintf(stderr, "segments:    %zu scanned\n", report.segments_scanned);
+  std::fprintf(stderr, "frames:      %zu replayed\n", report.frames_replayed);
+  std::fprintf(stderr, "last commit: seq %llu\n",
+               static_cast<unsigned long long>(report.last_seq));
+  if (report.torn_tail_truncated) {
+    std::fprintf(stderr,
+                 "torn tail:   '%s' truncated to %zu bytes (interrupted "
+                 "append discarded)\n",
+                 report.torn_tail_segment.c_str(), report.torn_tail_offset);
+  }
+  std::fprintf(stderr, "entries:     %zu, legal\n",
+               server->directory().NumEntries());
+  if (compact_after) {
+    Status compacted = server->Compact();
+    if (!compacted.ok()) return Fail(compacted);
+    std::fprintf(stderr, "compacted:   snapshot through seq %llu\n",
+                 static_cast<unsigned long long>(report.last_seq));
+    return 0;
+  }
+  std::printf("%s", server->ExportLdif().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -221,5 +261,11 @@ int main(int argc, char** argv) {
     return RunQuery(argv[2], argv[3], argv[4]);
   }
   if (command == "stats" && argc == 4) return RunStats(argv[2], argv[3]);
+  if (command == "recover" && argc == 3) {
+    return RunRecover(argv[2], /*compact_after=*/false);
+  }
+  if (command == "compact" && argc == 3) {
+    return RunRecover(argv[2], /*compact_after=*/true);
+  }
   return Usage();
 }
