@@ -5,6 +5,7 @@
 #include <memory>
 
 #include "schema/directory_schema.h"
+#include "util/trace.h"
 #include "workload/white_pages.h"
 
 namespace ldapbound::bench {
@@ -21,6 +22,9 @@ struct World {
 /// `target_entries` entries: 2 levels of 8 org units each and as many
 /// persons per unit as needed.
 inline const World& GetWorld(size_t target_entries) {
+  // google-benchmark owns main(): traces are requested via the
+  // LDAPBOUND_TRACE_OUT environment variable instead of a flag.
+  Tracer::InstallExportFromEnv();
   static auto* cache = new std::map<size_t, World>();
   auto it = cache->find(target_entries);
   if (it != cache->end()) return it->second;

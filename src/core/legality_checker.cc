@@ -11,10 +11,79 @@
 
 #include "core/translation.h"
 #include "query/evaluator.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace ldapbound {
 
 namespace {
+
+// Process-wide checker observability (ldapbound_checker_* families).
+// Per-entry work never touches these directly: shards accumulate in plain
+// locals (ContentCounters) and flush once per shard, constraints observe
+// once per query. See util/metrics.h for the cost model.
+struct CheckerMetrics {
+  Histogram& content_pass_ns;
+  Histogram& structure_pass_ns;
+  Histogram& keys_pass_ns;
+  Histogram& constraint_ns;    ///< one violation query, phase 2
+  Counter& content_legal;
+  Counter& content_illegal;
+  Counter& structure_legal;
+  Counter& structure_illegal;
+  Counter& keys_legal;
+  Counter& keys_illegal;
+  Counter& entries_checked;    ///< entries through a content pass
+  Counter& memo_screened;      ///< entries certified by the class-set memo
+  Counter& memo_fallback;      ///< entries re-run through the exact check
+  Histogram& shard_imbalance_pct;  ///< 100*(max-min)/max chunks per lane
+};
+
+CheckerMetrics& GetCheckerMetrics() {
+  // One registration, then lock-free updates; leaked with the registry.
+  MetricRegistry& r = MetricRegistry::Default();
+  static CheckerMetrics* metrics = new CheckerMetrics{
+      r.GetHistogram("ldapbound_checker_pass_ns",
+                     "Wall nanoseconds of one checker pass",
+                     "pass=\"content\""),
+      r.GetHistogram("ldapbound_checker_pass_ns",
+                     "Wall nanoseconds of one checker pass",
+                     "pass=\"structure\""),
+      r.GetHistogram("ldapbound_checker_pass_ns",
+                     "Wall nanoseconds of one checker pass",
+                     "pass=\"keys\""),
+      r.GetHistogram("ldapbound_checker_constraint_ns",
+                     "Wall nanoseconds of one structural-constraint "
+                     "violation query"),
+      r.GetCounter("ldapbound_checker_checks_total",
+                   "Checker pass runs by verdict",
+                   "pass=\"content\",verdict=\"legal\""),
+      r.GetCounter("ldapbound_checker_checks_total",
+                   "Checker pass runs by verdict",
+                   "pass=\"content\",verdict=\"illegal\""),
+      r.GetCounter("ldapbound_checker_checks_total",
+                   "Checker pass runs by verdict",
+                   "pass=\"structure\",verdict=\"legal\""),
+      r.GetCounter("ldapbound_checker_checks_total",
+                   "Checker pass runs by verdict",
+                   "pass=\"structure\",verdict=\"illegal\""),
+      r.GetCounter("ldapbound_checker_checks_total",
+                   "Checker pass runs by verdict",
+                   "pass=\"keys\",verdict=\"legal\""),
+      r.GetCounter("ldapbound_checker_checks_total",
+                   "Checker pass runs by verdict",
+                   "pass=\"keys\",verdict=\"illegal\""),
+      r.GetCounter("ldapbound_checker_entries_checked_total",
+                   "Alive entries examined by content passes"),
+      r.GetCounter("ldapbound_checker_memo_screened_total",
+                   "Entries certified clean by the class-set memo screen"),
+      r.GetCounter("ldapbound_checker_memo_fallback_total",
+                   "Entries that fell back to the exact per-entry check"),
+      r.GetHistogram("ldapbound_checker_shard_imbalance_pct",
+                     "Per-pass lane imbalance, 100*(max-min)/max chunks"),
+  };
+  return *metrics;
+}
 
 // Records `v` if collecting; returns false ("stop now") when not collecting.
 bool Report(std::vector<Violation>* out, Violation v, bool* ok) {
@@ -58,6 +127,37 @@ struct LegalityChecker::ContentCache {
   std::map<std::vector<ClassId>, ClassSetInfo> infos;
   AttributeId objectclass = kInvalidAttributeId;
 };
+
+struct LegalityChecker::ContentCounters {
+  uint64_t entries = 0;   ///< alive entries examined
+  uint64_t screened = 0;  ///< certified by the memo screen
+  uint64_t fallback = 0;  ///< re-ran the exact serial check
+
+  void Flush() const {
+    CheckerMetrics& metrics = GetCheckerMetrics();
+    metrics.entries_checked.Increment(entries);
+    metrics.memo_screened.Increment(screened);
+    metrics.memo_fallback.Increment(fallback);
+  }
+};
+
+namespace {
+
+// Observes lane imbalance for one sharded pass: 0% when every lane ran the
+// same number of chunks, approaching 100% when one lane did (nearly) all
+// the work while another sat idle.
+void ObserveShardImbalance(const std::vector<uint64_t>& lane_chunks) {
+  if (lane_chunks.size() < 2) return;
+  uint64_t lo = lane_chunks[0], hi = lane_chunks[0];
+  for (uint64_t c : lane_chunks) {
+    lo = std::min(lo, c);
+    hi = std::max(hi, c);
+  }
+  if (hi == 0) return;
+  GetCheckerMetrics().shard_imbalance_pct.Observe((hi - lo) * 100 / hi);
+}
+
+}  // namespace
 
 ThreadPool& LegalityChecker::Pool() const {
   return options_.pool != nullptr ? *options_.pool : ThreadPool::Default();
@@ -261,7 +361,8 @@ bool LegalityChecker::CheckEntryContent(const Directory& directory,
 
 bool LegalityChecker::CheckEntryContentCached(
     const Directory& directory, EntryId id, ContentCache& cache,
-    std::vector<Violation>* out) const {
+    ContentCounters& counters, std::vector<Violation>* out) const {
+  ++counters.entries;
   const Entry& entry = directory.entry(id);
   auto it = cache.infos.find(entry.classes());
   if (it == cache.infos.end()) {
@@ -314,15 +415,22 @@ bool LegalityChecker::CheckEntryContentCached(
         break;
       }
     }
-    if (screened && req == info.required.size()) return true;
+    if (screened && req == info.required.size()) {
+      ++counters.screened;
+      return true;
+    }
   }
   // Slow path: the exact serial per-entry check, so violation content and
   // order are identical to the unmemoized checker.
+  ++counters.fallback;
   return CheckEntryContent(directory, id, out);
 }
 
 bool LegalityChecker::CheckContent(const Directory& directory,
                                    std::vector<Violation>* out) const {
+  CheckerMetrics& metrics = GetCheckerMetrics();
+  LDAPBOUND_TRACE_SPAN("checker.content");
+  LatencyTimer pass_timer(metrics.content_pass_ns);
   const size_t cap = directory.IdCapacity();
   const size_t grain = options_.grain != 0 ? options_.grain : 1;
   const size_t num_chunks = (cap + grain - 1) / grain;
@@ -331,30 +439,37 @@ bool LegalityChecker::CheckContent(const Directory& directory,
   if (threads <= 1) {
     ContentCache cache;
     cache.objectclass = directory.vocab().objectclass_attr();
+    ContentCounters counters;
     bool ok = true;
     for (size_t id = 0; id < cap; ++id) {
       EntryId eid = static_cast<EntryId>(id);
       if (!directory.IsAlive(eid)) continue;
-      if (!CheckEntryContentCached(directory, eid, cache, out)) {
+      if (!CheckEntryContentCached(directory, eid, cache, counters, out)) {
         ok = false;
-        if (out == nullptr) return false;
+        if (out == nullptr) break;
       }
     }
+    counters.Flush();
+    (ok ? metrics.content_legal : metrics.content_illegal).Increment();
     return ok;
   }
 
   // Sharded pass: chunk k covers ids [k*grain, (k+1)*grain); per-chunk
   // buffers concatenated in chunk order reproduce the serial ascending-id
-  // violation order exactly. Each lane keeps its own class-set memo.
+  // violation order exactly. Each lane keeps its own class-set memo and
+  // tallies (flushed to the global metrics once, after the join).
   std::vector<std::vector<Violation>> buffers(out != nullptr ? num_chunks : 0);
   std::vector<ContentCache> caches(threads);
   for (ContentCache& c : caches) {
     c.objectclass = directory.vocab().objectclass_attr();
   }
+  std::vector<ContentCounters> counters(threads);
+  std::vector<uint64_t> lane_chunks(threads, 0);
   std::atomic<bool> bad{false};
   ParallelFor(Pool(), 0, cap, grain, threads,
               [&](unsigned lane, size_t chunk, size_t lo, size_t hi) {
                 ContentCache& cache = caches[lane];
+                ++lane_chunks[lane];
                 std::vector<Violation>* buf =
                     out != nullptr ? &buffers[chunk] : nullptr;
                 for (size_t id = lo; id < hi; ++id) {
@@ -364,19 +479,24 @@ bool LegalityChecker::CheckContent(const Directory& directory,
                   }
                   EntryId eid = static_cast<EntryId>(id);
                   if (!directory.IsAlive(eid)) continue;
-                  if (!CheckEntryContentCached(directory, eid, cache, buf)) {
+                  if (!CheckEntryContentCached(directory, eid, cache,
+                                               counters[lane], buf)) {
                     bad.store(true, std::memory_order_relaxed);
                     if (out == nullptr) return;
                   }
                 }
               });
+  for (const ContentCounters& c : counters) c.Flush();
+  ObserveShardImbalance(lane_chunks);
   if (out != nullptr) {
     for (std::vector<Violation>& buf : buffers) {
       out->insert(out->end(), std::make_move_iterator(buf.begin()),
                   std::make_move_iterator(buf.end()));
     }
   }
-  return !bad.load(std::memory_order_relaxed);
+  const bool ok = !bad.load(std::memory_order_relaxed);
+  (ok ? metrics.content_legal : metrics.content_illegal).Increment();
+  return ok;
 }
 
 bool LegalityChecker::CheckStructure(const Directory& directory,
@@ -384,10 +504,18 @@ bool LegalityChecker::CheckStructure(const Directory& directory,
                                      const ValueIndex* index,
                                      EvaluatorStats* stats_out) const {
   const StructureSchema& structure = schema_.structure();
+  CheckerMetrics& metrics = GetCheckerMetrics();
+  LDAPBOUND_TRACE_SPAN("checker.structure");
+  LatencyTimer pass_timer(metrics.structure_pass_ns);
   bool ok = true;
   EvaluatorStats stats;
+  // Called exactly once, on every return path: hands the aggregate to the
+  // caller, publishes it to the process-wide query metrics, and records
+  // the pass verdict.
   auto flush_stats = [&]() {
     if (stats_out != nullptr) *stats_out = stats;
+    AddEvaluatorStatsToMetrics(stats);
+    (ok ? metrics.structure_legal : metrics.structure_illegal).Increment();
   };
 
   // Required classes Cr: the atomic witness query must be non-empty.
@@ -436,6 +564,8 @@ bool LegalityChecker::CheckStructure(const Directory& directory,
   // Phase 1: the (objectClass=c) selection of every distinct class.
   std::unordered_map<ClassId, EntrySet> class_cache;
   class_cache.reserve(classes.size());
+  {
+  LDAPBOUND_TRACE_SPAN("checker.class_cache");
   if (index != nullptr) {
     // A fresh index answers each selection in O(|result|): keep the
     // per-class path (pre-populated map, so workers assign into distinct,
@@ -482,6 +612,7 @@ bool LegalityChecker::CheckStructure(const Directory& directory,
     stats.nodes_evaluated += classes.size();
     stats.entries_scanned += directory.NumEntries();
   }
+  }  // checker.class_cache span
 
   // Phase 2: the violation queries, one task per relationship. With a
   // null `out` only emptiness matters: the evaluator's lazy IsEmpty stops
@@ -497,17 +628,21 @@ bool LegalityChecker::CheckStructure(const Directory& directory,
           if (out == nullptr && bad.load(std::memory_order_relaxed)) return;
           QueryEvaluator evaluator(directory, /*delta=*/nullptr, index);
           evaluator.set_class_cache(&class_cache);
-          if (out == nullptr) {
-            if (!evaluator.IsEmpty(ViolationQuery(*rels[i]))) {
-              rel_bad[i] = 1;
-              bad.store(true, std::memory_order_relaxed);
-            }
-          } else {
-            EntrySet offs = evaluator.Evaluate(ViolationQuery(*rels[i]));
-            if (!offs.Empty()) {
-              rel_bad[i] = 1;
-              bad.store(true, std::memory_order_relaxed);
-              offenders[i] = std::move(offs);
+          {
+            LDAPBOUND_TRACE_SPAN("checker.constraint");
+            LatencyTimer constraint_timer(metrics.constraint_ns);
+            if (out == nullptr) {
+              if (!evaluator.IsEmpty(ViolationQuery(*rels[i]))) {
+                rel_bad[i] = 1;
+                bad.store(true, std::memory_order_relaxed);
+              }
+            } else {
+              EntrySet offs = evaluator.Evaluate(ViolationQuery(*rels[i]));
+              if (!offs.Empty()) {
+                rel_bad[i] = 1;
+                bad.store(true, std::memory_order_relaxed);
+                offenders[i] = std::move(offs);
+              }
             }
           }
           std::lock_guard<std::mutex> lock(stats_mu);
@@ -541,6 +676,14 @@ bool LegalityChecker::CheckKeys(const Directory& directory,
                                 std::vector<Violation>* out) const {
   const std::vector<AttributeId>& keys = schema_.key_attributes();
   if (keys.empty()) return true;
+  CheckerMetrics& metrics = GetCheckerMetrics();
+  LDAPBOUND_TRACE_SPAN("checker.keys");
+  LatencyTimer pass_timer(metrics.keys_pass_ns);
+  // Every return goes through here so the verdict counter stays exact.
+  auto record = [&metrics](bool verdict) {
+    (verdict ? metrics.keys_legal : metrics.keys_illegal).Increment();
+    return verdict;
+  };
   const size_t cap = directory.IdCapacity();
   const size_t grain = options_.grain != 0 ? options_.grain : 1;
   const size_t num_chunks = (cap + grain - 1) / grain;
@@ -565,9 +708,9 @@ bool LegalityChecker::CheckKeys(const Directory& directory,
           }
         });
       });
-      if (stop) return false;
+      if (stop) return record(false);
     }
-    return ok;
+    return record(ok);
   }
 
   // Sharded pass, per key attribute: each shard hashes its id range into a
@@ -607,7 +750,9 @@ bool LegalityChecker::CheckKeys(const Directory& directory,
                     });
                   }
                 });
-    if (out == nullptr && bad.load(std::memory_order_relaxed)) return false;
+    if (out == nullptr && bad.load(std::memory_order_relaxed)) {
+      return record(false);
+    }
 
     std::unordered_set<Value, ValueHash> seen;
     std::vector<EntryId> offenders;
@@ -625,7 +770,7 @@ bool LegalityChecker::CheckKeys(const Directory& directory,
     }
     if (offenders.empty()) continue;
     ok = false;
-    if (out == nullptr) return false;
+    if (out == nullptr) return record(false);
     std::sort(offenders.begin(), offenders.end());
     for (EntryId id : offenders) {
       Violation violation;
@@ -635,7 +780,7 @@ bool LegalityChecker::CheckKeys(const Directory& directory,
       out->push_back(violation);
     }
   }
-  return ok;
+  return record(ok);
 }
 
 bool LegalityChecker::CheckLegal(const Directory& directory,

@@ -101,6 +101,10 @@ class LegalityChecker {
 
  private:
   struct ContentCache;
+  /// Per-shard tallies (entries seen, memo screens vs exact fallbacks),
+  /// accumulated in plain locals and flushed to the process-wide metrics
+  /// once per shard — never per entry.
+  struct ContentCounters;
 
   bool CheckEntryClassSchema(const Directory& directory, const Entry& entry,
                              std::vector<Violation>* out) const;
@@ -111,6 +115,7 @@ class LegalityChecker {
   /// class-set cache, falls back to the exact serial check otherwise.
   bool CheckEntryContentCached(const Directory& directory, EntryId id,
                                ContentCache& cache,
+                               ContentCounters& counters,
                                std::vector<Violation>* out) const;
   /// True iff this class list passes every class-schema condition.
   bool ClassListClean(const std::vector<ClassId>& classes) const;

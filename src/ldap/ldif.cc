@@ -1,5 +1,6 @@
 #include "ldap/ldif.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "ldap/dn.h"
@@ -66,15 +67,25 @@ Result<std::vector<Record>> Tokenize(std::string_view text) {
   };
 
   size_t number = 0;
+  // Whether the previous line was a comment (or a comment's continuation):
+  // RFC 2849 folds a leading-space line into the *previous* line, so a
+  // continuation after a comment extends the comment — it must be skipped,
+  // not glued onto a pending value.
+  bool in_comment = false;
   for (std::string_view raw : Split(text, '\n')) {
     ++number;
     if (!raw.empty() && raw.back() == '\r') raw.remove_suffix(1);
-    if (!raw.empty() && raw[0] == '#') continue;
+    if (!raw.empty() && raw[0] == '#') {
+      in_comment = true;
+      continue;
+    }
     if (StripWhitespace(raw).empty()) {
+      in_comment = false;
       LDAPBOUND_RETURN_IF_ERROR(flush_record());
       continue;
     }
     if (raw[0] == ' ') {
+      if (in_comment) continue;  // folded comment line
       // Continuation of the previous value.
       if (pending_attr.empty()) {
         return LdifError(number, "continuation line with nothing to continue");
@@ -82,6 +93,7 @@ Result<std::vector<Record>> Tokenize(std::string_view text) {
       pending_value += raw.substr(1);
       continue;
     }
+    in_comment = false;
     LDAPBOUND_RETURN_IF_ERROR(flush_pending());
     size_t colon = raw.find(':');
     if (colon == std::string_view::npos) {
@@ -97,7 +109,17 @@ Result<std::vector<Record>> Tokenize(std::string_view text) {
       return LdifError(number, "URL-valued attributes (attr:< ...) are not "
                                "supported");
     }
-    pending_value = std::string(StripWhitespace(rest));
+    if (pending_base64) {
+      // Base64 payloads carry no significant whitespace; stay lenient.
+      pending_value = std::string(StripWhitespace(rest));
+    } else {
+      // RFC 2849 value-spec: consume the single FILL space after the
+      // colon and nothing else — leading/trailing whitespace beyond it is
+      // part of the value (WriteLdif base64-escapes such values, but
+      // foreign LDIF may spell them out).
+      if (!rest.empty() && rest[0] == ' ') rest.remove_prefix(1);
+      pending_value = std::string(rest);
+    }
     pending_line = number;
     if (pending_attr.empty()) return LdifError(number, "empty attribute name");
     in_record = true;
@@ -111,28 +133,61 @@ Result<std::vector<Record>> Tokenize(std::string_view text) {
 
 Result<size_t> LoadLdif(std::string_view text, Directory* directory) {
   LDAPBOUND_ASSIGN_OR_RETURN(std::vector<Record> records, Tokenize(text));
+
+  // Records may appear in any order (RFC 2849 does not require
+  // parent-before-child). First pass: file order — a well-ordered file
+  // creates its entries exactly as before (same EntryId assignment);
+  // records whose parent is not resolvable yet are deferred. Second pass:
+  // the deferred records sorted by DN depth (stable, so siblings keep
+  // file order) — each parent has strictly smaller depth, so one sweep
+  // reaches the fixed point; anything still unresolved reports its
+  // original line.
+  struct ParsedRecord {
+    Record* record;
+    DistinguishedName dn;
+  };
+  std::vector<ParsedRecord> deferred;
   size_t created = 0;
-  for (Record& record : records) {
-    auto dn = DistinguishedName::Parse(record.dn);
-    if (!dn.ok()) return LdifError(record.line, dn.status().message());
-    EntryId parent = kInvalidEntryId;
-    DistinguishedName parent_dn = dn->Parent();
-    if (!parent_dn.IsEmpty()) {
-      auto resolved = ResolveDn(*directory, parent_dn);
-      if (!resolved.ok()) {
-        return LdifError(record.line,
-                         "parent entry '" + parent_dn.ToString() +
-                             "' does not exist (records must be "
-                             "parent-before-child)");
-      }
-      parent = *resolved;
-    }
+  auto add_entry = [&](Record& record, const DistinguishedName& dn,
+                       EntryId parent) -> Status {
     EntrySpec spec;
-    spec.rdn = dn->Leaf();
+    spec.rdn = dn.Leaf();
     spec.values = std::move(record.values);
     auto id = directory->AddEntryFromSpec(parent, spec);
     if (!id.ok()) return LdifError(record.line, id.status().message());
     ++created;
+    return Status::OK();
+  };
+
+  for (Record& record : records) {
+    auto dn = DistinguishedName::Parse(record.dn);
+    if (!dn.ok()) return LdifError(record.line, dn.status().message());
+    DistinguishedName parent_dn = dn->Parent();
+    EntryId parent = kInvalidEntryId;
+    if (!parent_dn.IsEmpty()) {
+      auto resolved = ResolveDn(*directory, parent_dn);
+      if (!resolved.ok()) {
+        deferred.push_back({&record, std::move(*dn)});
+        continue;
+      }
+      parent = *resolved;
+    }
+    LDAPBOUND_RETURN_IF_ERROR(add_entry(record, *dn, parent));
+  }
+
+  std::stable_sort(deferred.begin(), deferred.end(),
+                   [](const ParsedRecord& a, const ParsedRecord& b) {
+                     return a.dn.Depth() < b.dn.Depth();
+                   });
+  for (ParsedRecord& parsed : deferred) {
+    DistinguishedName parent_dn = parsed.dn.Parent();
+    auto resolved = ResolveDn(*directory, parent_dn);
+    if (!resolved.ok()) {
+      return LdifError(parsed.record->line,
+                       "parent entry '" + parent_dn.ToString() +
+                           "' does not exist");
+    }
+    LDAPBOUND_RETURN_IF_ERROR(add_entry(*parsed.record, parsed.dn, *resolved));
   }
   return created;
 }

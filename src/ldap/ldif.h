@@ -14,15 +14,21 @@ namespace ldapbound {
 ///
 /// Supported LDIF subset:
 ///  - records separated by blank lines, each starting with a `dn:` line;
-///  - `attr: value` lines; repeated attributes give multiple values;
-///  - continuation lines (leading space) extend the previous value;
-///  - `#` comment lines;
+///  - `attr: value` lines; repeated attributes give multiple values. Only
+///    the single RFC 2849 FILL space after the colon is consumed — any
+///    further leading or trailing whitespace is part of the value;
+///  - continuation lines (leading space) extend the previous value — or
+///    the previous comment, when that is what precedes them;
+///  - `#` comment lines (foldable like any other line);
 ///  - `objectClass:` values become class memberships.
 ///
-/// Records must appear parent-before-child (the conventional LDIF order);
-/// a record whose parent DN has no entry yet is an error. Values are parsed
-/// according to each attribute's declared type in the directory's
-/// vocabulary; unknown attributes are interned as string-typed.
+/// Records may appear in any order: a record whose parent is not loaded
+/// yet is deferred and resolved once the parent exists (parents of
+/// missing intermediate DNs are an error, reported with the record's
+/// line number). Parent-before-child files create entries in exactly the
+/// file order. Values are parsed according to each attribute's declared
+/// type in the directory's vocabulary; unknown attributes are interned as
+/// string-typed.
 Result<size_t> LoadLdif(std::string_view text, Directory* directory);
 
 /// Renders the directory as LDIF, entries in preorder (parents first), so

@@ -5,6 +5,41 @@
 
 namespace ldapbound {
 
+QueryMetrics& GetQueryMetrics() {
+  static QueryMetrics* metrics = new QueryMetrics{
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_query_nodes_evaluated_total",
+          "Query AST nodes processed by evaluators"),
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_query_entries_scanned_total",
+          "Per-entry work units performed by evaluators"),
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_query_cache_hits_total",
+          "Atomic selections answered from the shared class-selection "
+          "cache"),
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_query_short_circuits_total",
+          "Lazy-emptiness early exits (IsEmpty concluded at a witness)"),
+      MetricRegistry::Default().GetHistogram(
+          "ldapbound_query_nodes_per_query",
+          "AST nodes evaluated per published query batch"),
+      MetricRegistry::Default().GetHistogram(
+          "ldapbound_query_scan_length",
+          "Entries scanned per published query batch"),
+  };
+  return *metrics;
+}
+
+void AddEvaluatorStatsToMetrics(const EvaluatorStats& stats) {
+  QueryMetrics& metrics = GetQueryMetrics();
+  metrics.nodes_evaluated.Increment(stats.nodes_evaluated);
+  metrics.entries_scanned.Increment(stats.entries_scanned);
+  metrics.cache_hits.Increment(stats.cache_hits);
+  metrics.short_circuits.Increment(stats.short_circuits);
+  metrics.nodes_per_query.Observe(stats.nodes_evaluated);
+  metrics.scan_length.Observe(stats.entries_scanned);
+}
+
 EntrySet QueryEvaluator::Evaluate(const Query& query) {
   ++stats_.nodes_evaluated;
   switch (query.kind()) {
@@ -54,13 +89,21 @@ bool QueryEvaluator::IsEmpty(const Query& query) {
       // word holding a surviving id, and B is never evaluated when A is
       // already empty.
       EntrySet lhs = Evaluate(query.operands()[0]);
-      if (lhs.Empty()) return true;
+      if (lhs.Empty()) {
+        ++stats_.short_circuits;  // B skipped entirely
+        return true;
+      }
       EntrySet rhs = Evaluate(query.operands()[1]);
-      return lhs.IsSubsetOf(rhs);
+      bool empty = lhs.IsSubsetOf(rhs);
+      if (!empty) ++stats_.short_circuits;  // exited at a surviving word
+      return empty;
     }
     case Query::Kind::kUnion: {
       for (const Query& op : query.operands()) {
-        if (!IsEmpty(op)) return false;
+        if (!IsEmpty(op)) {
+          ++stats_.short_circuits;  // remaining operands skipped
+          return false;
+        }
       }
       return true;
     }
@@ -69,14 +112,22 @@ bool QueryEvaluator::IsEmpty(const Query& query) {
       if (ops.empty()) return directory_.NumEntries() == 0;
       if (ops.size() == 1) return IsEmpty(ops[0]);
       EntrySet acc = Evaluate(ops[0]);
-      if (acc.Empty()) return true;
+      if (acc.Empty()) {
+        ++stats_.short_circuits;  // remaining operands skipped
+        return true;
+      }
       for (size_t i = 1; i + 1 < ops.size(); ++i) {
         EntrySet part = Evaluate(ops[i]);
         acc.IntersectWith(part);
-        if (acc.Empty()) return true;
+        if (acc.Empty()) {
+          ++stats_.short_circuits;
+          return true;
+        }
       }
       EntrySet last = Evaluate(ops.back());
-      return !acc.Intersects(last);
+      bool empty = !acc.Intersects(last);
+      if (!empty) ++stats_.short_circuits;  // exited at a common word
+      return empty;
     }
   }
   return true;
@@ -146,11 +197,13 @@ bool QueryEvaluator::SelectIsEmpty(const Query& query) {
   }
   if (scope == Scope::kDeltaOnly) {
     if (delta_ == nullptr) return true;
-    return delta_->ForEachWhile([&](EntryId id) {
+    bool empty = delta_->ForEachWhile([&](EntryId id) {
       if (!directory_.IsAlive(id)) return true;
       ++stats_.entries_scanned;
       return !matcher.Matches(directory_.entry(id));
     });
+    if (!empty) ++stats_.short_circuits;  // stopped at the witness
+    return empty;
   }
   if (scope == Scope::kAll && index_ != nullptr && index_->IsFresh() &&
       &index_->directory() == &directory_) {
@@ -169,7 +222,10 @@ bool QueryEvaluator::SelectIsEmpty(const Query& query) {
         delta_->Contains(id)) {
       continue;
     }
-    if (matcher.Matches(directory_.entry(id))) return false;
+    if (matcher.Matches(directory_.entry(id))) {
+      ++stats_.short_circuits;  // stopped at the witness
+      return false;
+    }
   }
   return true;
 }
@@ -182,20 +238,25 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
   const ForestIndex& index = directory_.GetIndex();
   const std::vector<EntryId>& preorder = index.preorder();
 
+  // Each axis stops at the first witness; a false verdict is by
+  // construction a short-circuit.
+  bool empty = true;
   switch (query.axis()) {
     case Axis::kChild:
       // Non-empty iff some related-member's parent is in the node set.
-      return related.ForEachWhile([&](EntryId id) {
+      empty = related.ForEachWhile([&](EntryId id) {
         ++stats_.entries_scanned;
         EntryId p = directory_.entry(id).parent();
         return p == kInvalidEntryId || !node_set.Contains(p);
       });
+      break;
     case Axis::kParent:
-      return node_set.ForEachWhile([&](EntryId id) {
+      empty = node_set.ForEachWhile([&](EntryId id) {
         ++stats_.entries_scanned;
         EntryId p = directory_.entry(id).parent();
         return p == kInvalidEntryId || !related.Contains(p);
       });
+      break;
     case Axis::kDescendant: {
       // Mark the related members' preorder positions, then probe each
       // node member's subtree interval — AnyInRange exits at the first
@@ -205,17 +266,18 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
         ++stats_.entries_scanned;
         positions.Insert(static_cast<EntryId>(index.pre(id)));
       });
-      return node_set.ForEachWhile([&](EntryId id) {
+      empty = node_set.ForEachWhile([&](EntryId id) {
         ++stats_.entries_scanned;
         return !positions.AnyInRange(index.pre(id) + 1, index.sub_end(id));
       });
+      break;
     }
     case Axis::kAncestor: {
       // Sparse path: few candidate nodes — walk their parent chains,
       // stopping at the first member with a related ancestor.
       const size_t threshold = preorder.size() / 8;
       if (node_set.CountUpTo(threshold + 1) <= threshold) {
-        return node_set.ForEachWhile([&](EntryId id) {
+        empty = node_set.ForEachWhile([&](EntryId id) {
           for (EntryId p = directory_.entry(id).parent();
                p != kInvalidEntryId; p = directory_.entry(p).parent()) {
             ++stats_.entries_scanned;
@@ -223,6 +285,7 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
           }
           return true;
         });
+        break;
       }
       // Dense path: top-down pass (preorder visits parents first),
       // stopping at the first witness.
@@ -233,12 +296,16 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
         if (p != kInvalidEntryId) {
           has_anc[id] = has_anc[p] || related.Contains(p);
         }
-        if (has_anc[id] && node_set.Contains(id)) return false;
+        if (has_anc[id] && node_set.Contains(id)) {
+          empty = false;
+          break;
+        }
       }
-      return true;
+      break;
     }
   }
-  return true;
+  if (!empty) ++stats_.short_circuits;
+  return empty;
 }
 
 EntrySet QueryEvaluator::EvaluateHier(const Query& query) {

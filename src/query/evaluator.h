@@ -8,6 +8,7 @@
 #include "model/entry_set.h"
 #include "query/query.h"
 #include "query/value_index.h"
+#include "util/metrics.h"
 
 namespace ldapbound {
 
@@ -17,14 +18,37 @@ struct EvaluatorStats {
   uint64_t entries_scanned = 0;   ///< per-entry work units performed
   uint64_t cache_hits = 0;        ///< atomic selections answered from the
                                   ///< shared class-selection cache
+  uint64_t short_circuits = 0;    ///< lazy-emptiness early exits: an
+                                  ///< IsEmpty node that concluded at a
+                                  ///< witness (or an empty operand)
+                                  ///< without materializing its result
 
   EvaluatorStats& operator+=(const EvaluatorStats& other) {
     nodes_evaluated += other.nodes_evaluated;
     entries_scanned += other.entries_scanned;
     cache_hits += other.cache_hits;
+    short_circuits += other.short_circuits;
     return *this;
   }
 };
+
+/// Process-wide mirrors of the evaluator counters (ldapbound_query_*
+/// families, util/metrics.h). The evaluator itself stays metrics-free —
+/// its counters are plain locals on purpose (one instance per worker, no
+/// atomics in the scan loops); owners that finish a query batch call
+/// AddEvaluatorStatsToMetrics once to publish the aggregate.
+struct QueryMetrics {
+  Counter& nodes_evaluated;
+  Counter& entries_scanned;
+  Counter& cache_hits;
+  Counter& short_circuits;
+  Histogram& nodes_per_query;  ///< |Q| of each published batch
+  Histogram& scan_length;      ///< entries scanned by each published batch
+};
+QueryMetrics& GetQueryMetrics();
+
+/// Publishes `stats` (adds to the counters, observes the histograms).
+void AddEvaluatorStatsToMetrics(const EvaluatorStats& stats);
 
 /// Evaluates hierarchical selection queries over a Directory.
 ///

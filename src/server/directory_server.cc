@@ -11,8 +11,61 @@
 #include "schema/schema_format.h"
 #include "update/incremental.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace ldapbound {
+
+namespace {
+
+// Process-wide per-operation mirrors of the per-server StatCounters
+// (ldapbound_server_* families). `ok`/`rejected` are incremented at
+// exactly the sites that bump the local counters, so the global series
+// stay consistent with the sum of every live server's stats().
+struct OpMetrics {
+  Counter& ok;
+  Counter& rejected;
+  Histogram& latency_ns;
+};
+
+OpMetrics MakeOpMetrics(std::string_view op) {
+  MetricRegistry& r = MetricRegistry::Default();
+  std::string prefix = "op=\"" + std::string(op) + "\"";
+  return OpMetrics{
+      r.GetCounter("ldapbound_server_ops_total",
+                   "DirectoryServer operations by outcome",
+                   prefix + ",outcome=\"ok\""),
+      r.GetCounter("ldapbound_server_ops_total",
+                   "DirectoryServer operations by outcome",
+                   prefix + ",outcome=\"rejected\""),
+      r.GetHistogram("ldapbound_server_op_ns",
+                     "Wall nanoseconds of one DirectoryServer operation",
+                     prefix),
+  };
+}
+
+struct ServerMetrics {
+  OpMetrics add;
+  OpMetrics del;
+  OpMetrics apply;
+  OpMetrics modify;
+  OpMetrics modify_dn;
+  OpMetrics search;
+  OpMetrics import;
+};
+
+ServerMetrics& GetServerMetrics() {
+  // Registered once, leaked with the registry (see util/metrics.h).
+  static ServerMetrics* metrics = new ServerMetrics{
+      MakeOpMetrics("add"),       MakeOpMetrics("delete"),
+      MakeOpMetrics("apply"),     MakeOpMetrics("modify"),
+      MakeOpMetrics("modify_dn"), MakeOpMetrics("search"),
+      MakeOpMetrics("import"),
+  };
+  return *metrics;
+}
+
+}  // namespace
 
 DirectoryServer::DirectoryServer(std::shared_ptr<Vocabulary> vocab,
                                  DirectorySchema schema)
@@ -37,19 +90,27 @@ Result<DirectoryServer> DirectoryServer::Create(
   return DirectoryServer(std::move(vocab), std::move(schema));
 }
 
+// Add and Delete delegate to Apply, so their latency histograms nest the
+// apply one; their outcome counters are independent of the apply family.
 Status DirectoryServer::Add(const DistinguishedName& dn, EntrySpec spec) {
+  OpMetrics& op = GetServerMetrics().add;
+  LatencyTimer timer(op.latency_ns);
   UpdateTransaction txn;
   txn.Insert(dn, std::move(spec));
   Status status = Apply(txn);
   if (status.ok()) ++stats_->adds;
+  (status.ok() ? op.ok : op.rejected).Increment();
   return status;
 }
 
 Status DirectoryServer::Delete(const DistinguishedName& dn) {
+  OpMetrics& op = GetServerMetrics().del;
+  LatencyTimer timer(op.latency_ns);
   UpdateTransaction txn;
   txn.Delete(dn);
   Status status = Apply(txn);
   if (status.ok()) ++stats_->deletes;
+  (status.ok() ? op.ok : op.rejected).Increment();
   return status;
 }
 
@@ -85,6 +146,9 @@ Status DirectoryServer::WalPersist(const std::vector<ChangeRecord>& records) {
 
 Status DirectoryServer::Apply(const UpdateTransaction& txn,
                               CommitStats* stats) {
+  OpMetrics& op = GetServerMetrics().apply;
+  LDAPBOUND_TRACE_SPAN("server.apply");
+  LatencyTimer timer(op.latency_ns);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   IncrementalValidator::Options validator_options;
   validator_options.check = check_options_;
@@ -92,6 +156,7 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
   Status status = executor.Commit(txn, stats);
   if (!status.ok()) {
     ++stats_->rejected;
+    op.rejected.Increment();
     return status;
   }
   if ((changelog_ != nullptr || wal_ != nullptr) && !txn.empty()) {
@@ -119,6 +184,7 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
       }
     }
   }
+  op.ok.Increment();
   return status;
 }
 
@@ -172,10 +238,14 @@ Status DirectoryServer::ApplyOneModification(EntryId id,
 
 Status DirectoryServer::Modify(const DistinguishedName& dn,
                                const std::vector<Modification>& mods) {
+  OpMetrics& op = GetServerMetrics().modify;
+  LDAPBOUND_TRACE_SPAN("server.modify");
+  LatencyTimer timer(op.latency_ns);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   auto resolved = ResolveDn(*directory_, dn);
   if (!resolved.ok()) {
     ++stats_->rejected;
+    op.rejected.Increment();
     return resolved.status();
   }
   EntryId id = *resolved;
@@ -193,6 +263,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
     if (!status.ok()) {
       rollback();
       ++stats_->rejected;
+      op.rejected.Increment();
       return status;
     }
   }
@@ -229,6 +300,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
   if (!ok) {
     rollback();
     ++stats_->rejected;
+    op.rejected.Increment();
     return Status::Illegal("modify of '" + dn.ToString() +
                            "' violates the schema:\n" +
                            DescribeViolations(violations, *vocab_));
@@ -243,16 +315,21 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
     if (changelog_ != nullptr) changelog_->Append(std::move(record));
   }
   ++stats_->modifies;
+  op.ok.Increment();
   return Status::OK();
 }
 
 Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
                                  const DistinguishedName& new_parent_dn,
                                  std::string new_rdn) {
+  OpMetrics& op = GetServerMetrics().modify_dn;
+  LDAPBOUND_TRACE_SPAN("server.modify_dn");
+  LatencyTimer timer(op.latency_ns);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   auto entry = ResolveDn(*directory_, dn);
   if (!entry.ok()) {
     ++stats_->rejected;
+    op.rejected.Increment();
     return entry.status();
   }
   EntryId new_parent = kInvalidEntryId;
@@ -260,6 +337,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     auto resolved = ResolveDn(*directory_, new_parent_dn);
     if (!resolved.ok()) {
       ++stats_->rejected;
+      op.rejected.Increment();
       return resolved.status();
     }
     new_parent = *resolved;
@@ -271,6 +349,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
   Status status = directory_->MoveSubtree(*entry, new_parent);
   if (!status.ok()) {
     ++stats_->rejected;
+    op.rejected.Increment();
     return status;
   }
   if (!new_rdn.empty()) {
@@ -278,6 +357,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     if (!status.ok()) {
       (void)directory_->MoveSubtree(*entry, old_parent);
       ++stats_->rejected;
+      op.rejected.Increment();
       return status;
     }
   }
@@ -289,6 +369,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     (void)directory_->Rename(*entry, old_rdn);
     (void)directory_->MoveSubtree(*entry, old_parent);
     ++stats_->rejected;
+    op.rejected.Increment();
     return Status::Illegal("moving '" + dn.ToString() +
                            "' violates the schema:\n" +
                            DescribeViolations(violations, *vocab_));
@@ -304,12 +385,17 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     if (changelog_ != nullptr) changelog_->Append(std::move(record));
   }
   ++stats_->modifies;
+  op.ok.Increment();
   return Status::OK();
 }
 
 Result<std::vector<EntryId>> DirectoryServer::Search(
     const SearchRequest& request) const {
+  OpMetrics& op = GetServerMetrics().search;
+  LDAPBOUND_TRACE_SPAN("server.search");
+  LatencyTimer timer(op.latency_ns);
   stats_->searches.fetch_add(1, std::memory_order_relaxed);
+  op.ok.Increment();
   return ldapbound::Search(*directory_, request);
 }
 
@@ -324,28 +410,41 @@ Result<std::vector<EntryId>> DirectoryServer::Search(
 }
 
 Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
-  LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
-  // Load into a scratch directory first so failures cannot disturb the
-  // live one; on success, load again into the live directory.
-  Directory scratch(vocab_);
-  {
-    std::string current = WriteLdif(*directory_);
-    LDAPBOUND_RETURN_IF_ERROR(LoadLdif(current, &scratch).status());
-  }
-  LDAPBOUND_ASSIGN_OR_RETURN(size_t created, LoadLdif(text, &scratch));
-  LegalityChecker checker(*schema_, check_options_);
-  LDAPBOUND_RETURN_IF_ERROR(checker.EnsureLegal(scratch));
-  LDAPBOUND_RETURN_IF_ERROR(LoadLdif(text, directory_.get()).status());
-  // Bulk imports bypass the changelog, so they must reach the WAL as a
-  // snapshot or the durable state would silently diverge.
-  if (wal_ != nullptr) {
-    Status status = Compact();
-    if (!status.ok()) {
-      wal_failed_ = true;
-      return status;
+  OpMetrics& op = GetServerMetrics().import;
+  LDAPBOUND_TRACE_SPAN("server.import");
+  LatencyTimer timer(op.latency_ns);
+  auto imported = [&]() -> Result<size_t> {
+    LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
+    // Load into a scratch directory first so failures cannot disturb the
+    // live one; on success, load again into the live directory.
+    Directory scratch(vocab_);
+    {
+      std::string current = WriteLdif(*directory_);
+      LDAPBOUND_RETURN_IF_ERROR(LoadLdif(current, &scratch).status());
     }
+    LDAPBOUND_ASSIGN_OR_RETURN(size_t created, LoadLdif(text, &scratch));
+    LegalityChecker checker(*schema_, check_options_);
+    LDAPBOUND_RETURN_IF_ERROR(checker.EnsureLegal(scratch));
+    LDAPBOUND_RETURN_IF_ERROR(LoadLdif(text, directory_.get()).status());
+    // Bulk imports bypass the changelog, so they must reach the WAL as a
+    // snapshot or the durable state would silently diverge.
+    if (wal_ != nullptr) {
+      Status status = Compact();
+      if (!status.ok()) {
+        wal_failed_ = true;
+        return status;
+      }
+    }
+    return created;
+  }();
+  if (imported.ok()) {
+    ++stats_->imports;
+    op.ok.Increment();
+  } else {
+    ++stats_->rejected;
+    op.rejected.Increment();
   }
-  return created;
+  return imported;
 }
 
 std::string DirectoryServer::ExportLdif() const {

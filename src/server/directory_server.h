@@ -169,12 +169,16 @@ class DirectoryServer {
 
   /// Operation counters (a point-in-time snapshot; the live counters are
   /// atomic, so stats() is safe concurrently with Searches and with the
-  /// single writer).
+  /// single writer). These are per-server and reset by Recover();
+  /// process-wide, monotonic mirrors (per-op latency histograms and
+  /// outcome counters, ldapbound_server_* families) live in the metric
+  /// registry (util/metrics.h) for `ldapbound stats --metrics`.
   struct Stats {
     size_t adds = 0;
     size_t deletes = 0;
     size_t modifies = 0;
     size_t searches = 0;
+    size_t imports = 0;   ///< successful ImportLdif bulk loads
     size_t rejected = 0;  ///< mutations refused by the schema
   };
   Stats stats() const;
@@ -205,6 +209,7 @@ class DirectoryServer {
     std::atomic<size_t> deletes{0};
     std::atomic<size_t> modifies{0};
     std::atomic<size_t> searches{0};
+    std::atomic<size_t> imports{0};
     std::atomic<size_t> rejected{0};
   };
 

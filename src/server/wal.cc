@@ -14,13 +14,56 @@
 
 #include "util/crc32c.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 #include "util/string_util.h"
+#include "util/trace.h"
 
 namespace ldapbound {
 
 namespace {
 
 namespace fs = std::filesystem;
+
+// Process-wide WAL observability (ldapbound_wal_* families). Updated once
+// per append/fsync/compaction — the dominant cost at every site is the
+// disk I/O being metered.
+struct WalMetrics {
+  Histogram& append_ns;   ///< one Append: frame build + write (+ fsync)
+  Histogram& fsync_ns;    ///< one segment fsync
+  Histogram& compact_ns;  ///< one Compact: snapshot + rotate + GC
+  Counter& frames_appended;
+  Counter& appended_bytes;  ///< frame bytes (header + payload)
+  Counter& rotations;       ///< size-triggered segment rotations
+  Counter& segments_created;
+  Counter& compactions;
+  Counter& snapshot_bytes;  ///< LDIF bytes written by compactions
+};
+
+WalMetrics& GetWalMetrics() {
+  MetricRegistry& r = MetricRegistry::Default();
+  static WalMetrics* metrics = new WalMetrics{
+      r.GetHistogram("ldapbound_wal_append_ns",
+                     "Wall nanoseconds of one WAL append "
+                     "(including fsync when sync mode is on)"),
+      r.GetHistogram("ldapbound_wal_fsync_ns",
+                     "Wall nanoseconds of one WAL segment fsync"),
+      r.GetHistogram("ldapbound_wal_compact_ns",
+                     "Wall nanoseconds of one WAL compaction"),
+      r.GetCounter("ldapbound_wal_frames_appended_total",
+                   "Frames durably appended to the WAL"),
+      r.GetCounter("ldapbound_wal_appended_bytes_total",
+                   "Frame bytes (headers + payloads) appended to the WAL"),
+      r.GetCounter("ldapbound_wal_rotations_total",
+                   "Segment rotations triggered by the size threshold"),
+      r.GetCounter("ldapbound_wal_segments_created_total",
+                   "WAL segment files created"),
+      r.GetCounter("ldapbound_wal_compactions_total",
+                   "Snapshot compactions completed"),
+      r.GetCounter("ldapbound_wal_snapshot_bytes_total",
+                   "Snapshot LDIF bytes written by compactions"),
+  };
+  return *metrics;
+}
 
 constexpr char kSegmentMagic[8] = {'L', 'D', 'B', 'W', 'A', 'L', '1', '\n'};
 constexpr size_t kSegmentHeaderSize = 16;  // magic + u64 first sequence
@@ -341,6 +384,7 @@ Status WriteAheadLog::OpenSegment(uint64_t first_seq, bool create) {
   if (fd_ < 0) return Errno("open WAL segment '" + segment_path_ + "'");
   segment_first_seq_ = first_seq;
   if (create) {
+    GetWalMetrics().segments_created.Increment();
     std::string header(kSegmentMagic, sizeof(kSegmentMagic));
     PutU64(header, first_seq);
     Status status = WriteFully(fd_, header);
@@ -359,6 +403,8 @@ Status WriteAheadLog::OpenSegment(uint64_t first_seq, bool create) {
 
 Status WriteAheadLog::SyncSegment() {
   if (fd_ < 0) return Status::Internal("WAL segment not open");
+  LDAPBOUND_TRACE_SPAN("wal.fsync");
+  LatencyTimer timer(GetWalMetrics().fsync_ns);
   if (::fsync(fd_) != 0) return Errno("fsync '" + segment_path_ + "'");
   return Status::OK();
 }
@@ -374,10 +420,13 @@ Status WriteAheadLog::RotateIfNeeded() {
   LDAPBOUND_RETURN_IF_ERROR(SyncSegment());
   LDAPBOUND_FAILPOINT("wal.rotate");
   LDAPBOUND_RETURN_IF_ERROR(OpenSegment(next_seq_, /*create=*/true));
+  GetWalMetrics().rotations.Increment();
   return SyncDirectory(dir_);
 }
 
 Status WriteAheadLog::Append(std::string_view payload) {
+  LDAPBOUND_TRACE_SPAN("wal.append");
+  LatencyTimer timer(GetWalMetrics().append_ns);
   LDAPBOUND_RETURN_IF_ERROR(RotateIfNeeded());
   std::string frame;
   frame.reserve(kFrameHeaderSize + payload.size());
@@ -395,10 +444,15 @@ Status WriteAheadLog::Append(std::string_view payload) {
     LDAPBOUND_RETURN_IF_ERROR(SyncSegment());
   }
   ++next_seq_;
+  WalMetrics& metrics = GetWalMetrics();
+  metrics.frames_appended.Increment();
+  metrics.appended_bytes.Increment(frame.size());
   return Status::OK();
 }
 
 Status WriteAheadLog::Compact(std::string_view snapshot_ldif) {
+  LDAPBOUND_TRACE_SPAN("wal.compact");
+  LatencyTimer timer(GetWalMetrics().compact_ns);
   const uint64_t through = next_seq_ - 1;
   LDAPBOUND_RETURN_IF_ERROR(SyncSegment());
   const std::string final_path = dir_ + "/" + SnapshotFileName(through);
@@ -415,6 +469,9 @@ Status WriteAheadLog::Compact(std::string_view snapshot_ldif) {
     LDAPBOUND_RETURN_IF_ERROR(OpenSegment(next_seq_, /*create=*/true));
   }
   LDAPBOUND_RETURN_IF_ERROR(DeleteObsolete(through));
+  WalMetrics& metrics = GetWalMetrics();
+  metrics.compactions.Increment();
+  metrics.snapshot_bytes.Increment(snapshot_ldif.size());
   return SyncDirectory(dir_);
 }
 

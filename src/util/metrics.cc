@@ -1,0 +1,166 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace ldapbound {
+
+namespace {
+
+void Append(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::min(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+/// `name{labels}` or bare `name`; `extra` (e.g. an `le` pair) is appended
+/// after the caller's labels.
+std::string SeriesName(const std::string& name, const std::string& labels,
+                       const std::string& extra = "") {
+  if (labels.empty() && extra.empty()) return name;
+  std::string out = name;
+  out += '{';
+  out += labels;
+  if (!labels.empty() && !extra.empty()) out += ',';
+  out += extra;
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) total += BucketCount(i);
+  return total;
+}
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  size_t width = static_cast<size_t>(std::bit_width(value));
+  return width < kNumBuckets ? width : kNumBuckets - 1;
+}
+
+MetricRegistry& MetricRegistry::Default() {
+  // Leaked: metric references handed to call sites (and pool workers that
+  // outlive static destructors) must stay valid forever.
+  static MetricRegistry* registry = new MetricRegistry();
+  return *registry;
+}
+
+MetricRegistry::Family& MetricRegistry::FamilyFor(std::string_view name,
+                                                  std::string_view help,
+                                                  Kind kind) {
+  auto it = families_.find(name);
+  if (it == families_.end()) {
+    it = families_.emplace(std::string(name), Family{}).first;
+    it->second.kind = kind;
+    it->second.help = std::string(help);
+  } else if (it->second.kind != kind) {
+    std::fprintf(stderr,
+                 "metric family '%.*s' registered with conflicting kinds\n",
+                 static_cast<int>(name.size()), name.data());
+    std::abort();
+  }
+  return it->second;
+}
+
+Counter& MetricRegistry::GetCounter(std::string_view name,
+                                    std::string_view help,
+                                    std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = FamilyFor(name, help, Kind::kCounter)
+                  .series[std::string(labels)];
+  if (s.counter == nullptr) s.counter = std::make_unique<Counter>();
+  return *s.counter;
+}
+
+Gauge& MetricRegistry::GetGauge(std::string_view name, std::string_view help,
+                                std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = FamilyFor(name, help, Kind::kGauge).series[std::string(labels)];
+  if (s.gauge == nullptr) s.gauge = std::make_unique<Gauge>();
+  return *s.gauge;
+}
+
+Histogram& MetricRegistry::GetHistogram(std::string_view name,
+                                        std::string_view help,
+                                        std::string_view labels) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Series& s = FamilyFor(name, help, Kind::kHistogram)
+                  .series[std::string(labels)];
+  if (s.histogram == nullptr) s.histogram = std::make_unique<Histogram>();
+  return *s.histogram;
+}
+
+std::string MetricRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case Kind::kCounter:
+        out += "counter\n";
+        break;
+      case Kind::kGauge:
+        out += "gauge\n";
+        break;
+      case Kind::kHistogram:
+        out += "histogram\n";
+        break;
+    }
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          Append(out, "%s %" PRIu64 "\n",
+                 SeriesName(name, labels).c_str(), series.counter->Value());
+          break;
+        case Kind::kGauge:
+          Append(out, "%s %" PRId64 "\n",
+                 SeriesName(name, labels).c_str(), series.gauge->Value());
+          break;
+        case Kind::kHistogram: {
+          const Histogram& h = *series.histogram;
+          // Cumulative `le` buckets; empty high bins beyond the last
+          // occupied one are folded into +Inf to keep the exposition
+          // compact.
+          size_t last = 0;
+          for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+            if (h.BucketCount(i) > 0) last = i;
+          }
+          uint64_t cumulative = 0;
+          for (size_t i = 0; i <= last; ++i) {
+            cumulative += h.BucketCount(i);
+            char le[32];
+            std::snprintf(le, sizeof(le), "le=\"%" PRIu64 "\"",
+                          Histogram::BucketUpperBound(i));
+            Append(out, "%s %" PRIu64 "\n",
+                   SeriesName(name + "_bucket", labels, le).c_str(),
+                   cumulative);
+          }
+          Append(out, "%s %" PRIu64 "\n",
+                 SeriesName(name + "_bucket", labels, "le=\"+Inf\"").c_str(),
+                 h.Count());
+          Append(out, "%s %" PRIu64 "\n",
+                 SeriesName(name + "_sum", labels).c_str(), h.Sum());
+          Append(out, "%s %" PRIu64 "\n",
+                 SeriesName(name + "_count", labels).c_str(), h.Count());
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace ldapbound

@@ -1,6 +1,37 @@
 #include "util/thread_pool.h"
 
+#include <chrono>
+
 namespace ldapbound {
+
+PoolMetrics& GetPoolMetrics() {
+  // One registration, then lock-free updates forever (leaked with the
+  // registry; workers may touch it during static destruction).
+  static PoolMetrics* metrics = new PoolMetrics{
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_pool_tasks_submitted_total",
+          "Tasks enqueued on a ThreadPool"),
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_pool_tasks_executed_total",
+          "Tasks completed by pool workers"),
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_pool_busy_ns_total",
+          "Wall nanoseconds pool workers spent executing tasks"),
+      MetricRegistry::Default().GetGauge(
+          "ldapbound_pool_queue_depth",
+          "Tasks enqueued but not yet claimed by a worker"),
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_pool_parallel_for_total", "ParallelFor invocations"),
+      MetricRegistry::Default().GetCounter(
+          "ldapbound_pool_chunks_claimed_total",
+          "Work chunks claimed by ParallelFor lanes"),
+      MetricRegistry::Default().GetHistogram(
+          "ldapbound_pool_chunks_per_lane",
+          "Chunks one lane claimed during one ParallelFor "
+          "(spread = shard imbalance)"),
+  };
+  return *metrics;
+}
 
 ThreadPool::ThreadPool(unsigned num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -32,7 +63,15 @@ void ThreadPool::WorkerLoop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
+    PoolMetrics& metrics = GetPoolMetrics();
+    metrics.queue_depth.Add(-1);
+    auto start = std::chrono::steady_clock::now();
     task();
+    metrics.busy_ns.Increment(static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count()));
+    metrics.tasks_executed.Increment();
   }
 }
 

@@ -15,7 +15,26 @@
 #include <utility>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace ldapbound {
+
+/// Process-wide pool observability (ldapbound_pool_* families). Counters
+/// are updated per task / per ParallelFor lane — never per item — so the
+/// cost is invisible next to the work they meter. chunks_per_lane is the
+/// shard-balance signal: with perfect stealing every lane of a call
+/// observes ~num_chunks/lanes; a heavy-tailed histogram means chunk
+/// grains are too coarse for the workload.
+struct PoolMetrics {
+  Counter& tasks_submitted;
+  Counter& tasks_executed;
+  Counter& busy_ns;        ///< summed wall time workers spent inside tasks
+  Gauge& queue_depth;      ///< tasks enqueued but not yet claimed
+  Counter& parallel_for_calls;
+  Counter& chunks_claimed;
+  Histogram& chunks_per_lane;
+};
+PoolMetrics& GetPoolMetrics();
 
 /// A fixed-size pool of worker threads with a shared FIFO queue. Tasks are
 /// submitted as callables and joined through the returned futures; the pool
@@ -48,6 +67,9 @@ class ThreadPool {
       std::lock_guard<std::mutex> lock(mu_);
       queue_.emplace_back([task]() { (*task)(); });
     }
+    PoolMetrics& metrics = GetPoolMetrics();
+    metrics.tasks_submitted.Increment();
+    metrics.queue_depth.Add(1);
     cv_.notify_one();
     return future;
   }
@@ -96,24 +118,30 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
   const size_t num_chunks = (range + grain - 1) / grain;
   unsigned workers = static_cast<unsigned>(
       std::min<size_t>(std::max(1u, num_threads), num_chunks));
+  PoolMetrics& metrics = GetPoolMetrics();
+  metrics.parallel_for_calls.Increment();
   if (workers <= 1) {
     for (size_t chunk = 0; chunk < num_chunks; ++chunk) {
       const size_t lo = begin + chunk * grain;
       const size_t hi = std::min(end, lo + grain);
       body(0u, chunk, lo, hi);
     }
+    metrics.chunks_claimed.Increment(num_chunks);
+    metrics.chunks_per_lane.Observe(num_chunks);
     return;
   }
   std::atomic<size_t> next{0};
   std::mutex error_mu;
   std::exception_ptr first_error;
   auto run_lane = [&](unsigned lane) {
+    size_t claimed = 0;
     try {
       for (size_t chunk = next.fetch_add(1, std::memory_order_relaxed);
            chunk < num_chunks;
            chunk = next.fetch_add(1, std::memory_order_relaxed)) {
         const size_t lo = begin + chunk * grain;
         const size_t hi = std::min(end, lo + grain);
+        ++claimed;
         body(lane, chunk, lo, hi);
       }
     } catch (...) {
@@ -121,6 +149,8 @@ void ParallelFor(ThreadPool& pool, size_t begin, size_t end, size_t grain,
       if (first_error == nullptr) first_error = std::current_exception();
       next.store(num_chunks, std::memory_order_relaxed);  // stop other lanes
     }
+    metrics.chunks_claimed.Increment(claimed);
+    metrics.chunks_per_lane.Observe(claimed);
   };
   std::vector<std::future<void>> futures;
   futures.reserve(workers - 1);

@@ -14,6 +14,7 @@
 #include "query/matcher.h"
 #include "query/query.h"
 #include "tests/testing/helpers.h"
+#include "util/metrics.h"
 #include "util/thread_pool.h"
 
 namespace ldapbound {
@@ -237,6 +238,82 @@ TEST_F(ParallelLegalityTest, StructureStatsAggregateAcrossWorkers) {
   // The shared class-selection cache actually fields lookups: org appears
   // in a relationship and person in two, so repeats must hit.
   EXPECT_GT(serial.cache_hits, 0u);
+}
+
+// The process-wide observability counters must be distribution-invariant
+// too: the same directory checked with any thread/grain configuration
+// publishes exactly the deltas a serial run publishes. (Materializing
+// runs only — the Evaluate path is deterministic; short-circuit runs may
+// legitimately do less work per shard.)
+TEST_F(ParallelLegalityTest, GlobalMetricDeltasMatchSerial) {
+  MetricRegistry& reg = MetricRegistry::Default();
+  struct Watched {
+    Counter& counter;
+    const char* name;
+  };
+  // Help text is already registered by the instrumented code paths.
+  const std::vector<Watched> watched = {
+      {reg.GetCounter("ldapbound_checker_entries_checked_total", ""),
+       "entries_checked"},
+      {reg.GetCounter("ldapbound_checker_memo_screened_total", ""),
+       "memo_screened"},
+      {reg.GetCounter("ldapbound_checker_memo_fallback_total", ""),
+       "memo_fallback"},
+      {reg.GetCounter("ldapbound_query_nodes_evaluated_total", ""),
+       "query_nodes"},
+      {reg.GetCounter("ldapbound_query_entries_scanned_total", ""),
+       "query_scanned"},
+      {reg.GetCounter("ldapbound_query_cache_hits_total", ""),
+       "query_cache_hits"},
+  };
+  auto run_and_delta = [&](const CheckOptions& options) {
+    std::vector<uint64_t> before;
+    for (const Watched& w : watched) before.push_back(w.counter.Value());
+    LegalityChecker checker(w_.schema, options);
+    std::vector<Violation> content, structure;
+    checker.CheckContent(d_, &content);
+    checker.CheckStructure(d_, &structure);
+    std::vector<uint64_t> delta;
+    for (size_t i = 0; i < watched.size(); ++i) {
+      delta.push_back(watched[i].counter.Value() - before[i]);
+    }
+    return delta;
+  };
+
+  std::vector<uint64_t> serial = run_and_delta({.num_threads = 1});
+  // Sanity: a serial materializing run touched every family.
+  for (size_t i = 0; i < watched.size(); ++i) {
+    EXPECT_GT(serial[i], 0u) << watched[i].name;
+  }
+  ThreadPool own_pool(4);
+  for (const CheckOptions& options : Configurations(&own_pool)) {
+    std::vector<uint64_t> parallel = run_and_delta(options);
+    for (size_t i = 0; i < watched.size(); ++i) {
+      EXPECT_EQ(parallel[i], serial[i])
+          << watched[i].name << " (threads=" << options.num_threads
+          << " grain=" << options.grain << ")";
+    }
+  }
+}
+
+// Verdict counters: one increment per pass run, on the right side.
+TEST_F(ParallelLegalityTest, VerdictCountersTrackPassOutcomes) {
+  MetricRegistry& reg = MetricRegistry::Default();
+  Counter& content_legal = reg.GetCounter(
+      "ldapbound_checker_checks_total", "", "pass=\"content\",verdict=\"legal\"");
+  Counter& content_illegal = reg.GetCounter(
+      "ldapbound_checker_checks_total", "",
+      "pass=\"content\",verdict=\"illegal\"");
+  uint64_t legal_before = content_legal.Value();
+  uint64_t illegal_before = content_illegal.Value();
+
+  LegalityChecker checker(w_.schema, {.num_threads = 2, .grain = 3});
+  EXPECT_FALSE(checker.CheckContent(d_));
+  EXPECT_TRUE(checker.CheckContent(legal_));
+  EXPECT_FALSE(checker.CheckContent(d_));
+
+  EXPECT_EQ(content_legal.Value(), legal_before + 1);
+  EXPECT_EQ(content_illegal.Value(), illegal_before + 2);
 }
 
 // The lazy emptiness test must agree with full evaluation on every query

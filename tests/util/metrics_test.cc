@@ -1,0 +1,164 @@
+#include "util/metrics.h"
+
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+TEST(CounterTest, IncrementAccumulates) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 7);
+  g.Set(-5);
+  EXPECT_EQ(g.Value(), -5);
+}
+
+TEST(HistogramTest, BucketForBoundaries) {
+  // Bucket 0 holds v == 0; bucket i holds 2^(i-1) <= v < 2^i.
+  EXPECT_EQ(Histogram::BucketFor(0), 0u);
+  EXPECT_EQ(Histogram::BucketFor(1), 1u);
+  EXPECT_EQ(Histogram::BucketFor(2), 2u);
+  EXPECT_EQ(Histogram::BucketFor(3), 2u);
+  EXPECT_EQ(Histogram::BucketFor(4), 3u);
+  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
+  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  EXPECT_EQ(Histogram::BucketFor(~uint64_t{0}), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketUpperBoundMatchesBucketFor) {
+  // Every value in bucket i is <= BucketUpperBound(i) and greater than
+  // the previous bucket's bound.
+  for (size_t i = 0; i + 1 < Histogram::kNumBuckets; ++i) {
+    uint64_t hi = Histogram::BucketUpperBound(i);
+    EXPECT_EQ(Histogram::BucketFor(hi), i) << "bucket " << i;
+    EXPECT_EQ(Histogram::BucketFor(hi + 1), i + 1) << "bucket " << i;
+  }
+}
+
+TEST(HistogramTest, ObserveCountsAndSums) {
+  Histogram h;
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(5);
+  h.Observe(5);
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 11u);
+  EXPECT_EQ(h.BucketCount(0), 1u);  // the 0
+  EXPECT_EQ(h.BucketCount(1), 1u);  // the 1
+  EXPECT_EQ(h.BucketCount(3), 2u);  // the two 5s (4 <= 5 < 8)
+}
+
+TEST(LatencyTimerTest, ObservesOnDestruction) {
+  Histogram h;
+  { LatencyTimer t(h); }
+  EXPECT_EQ(h.Count(), 1u);
+}
+
+TEST(MetricRegistryTest, GetOrCreateReturnsSameSeries) {
+  MetricRegistry reg;
+  Counter& a = reg.GetCounter("test_total", "help text");
+  Counter& b = reg.GetCounter("test_total", "ignored on second sight");
+  EXPECT_EQ(&a, &b);
+  // Different labels are distinct series in the same family.
+  Counter& x = reg.GetCounter("labeled_total", "h", "op=\"add\"");
+  Counter& y = reg.GetCounter("labeled_total", "h", "op=\"del\"");
+  EXPECT_NE(&x, &y);
+  EXPECT_EQ(&x, &reg.GetCounter("labeled_total", "h", "op=\"add\""));
+}
+
+TEST(MetricRegistryTest, RenderPrometheusFormat) {
+  MetricRegistry reg;
+  reg.GetCounter("zz_events_total", "Total events.").Increment(3);
+  reg.GetGauge("aa_depth", "Queue depth.").Set(7);
+  Histogram& h = reg.GetHistogram("mm_latency_ns", "Latency.");
+  h.Observe(0);
+  h.Observe(3);
+
+  std::string text = reg.RenderPrometheus();
+  // Families render in lexicographic order: aa_, mm_, zz_.
+  size_t aa = text.find("# HELP aa_depth Queue depth.");
+  size_t mm = text.find("# HELP mm_latency_ns Latency.");
+  size_t zz = text.find("# HELP zz_events_total Total events.");
+  ASSERT_NE(aa, std::string::npos) << text;
+  ASSERT_NE(mm, std::string::npos) << text;
+  ASSERT_NE(zz, std::string::npos) << text;
+  EXPECT_LT(aa, mm);
+  EXPECT_LT(mm, zz);
+
+  EXPECT_NE(text.find("# TYPE zz_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("zz_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE aa_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("aa_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE mm_latency_ns histogram"), std::string::npos);
+  // Cumulative buckets: le="0" sees the zero, le="3" sees both, +Inf too.
+  EXPECT_NE(text.find("mm_latency_ns_bucket{le=\"0\"} 1"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mm_latency_ns_bucket{le=\"3\"} 2"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mm_latency_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("mm_latency_ns_sum 3"), std::string::npos);
+  EXPECT_NE(text.find("mm_latency_ns_count 2"), std::string::npos);
+
+  // Deterministic: rendering twice gives identical bytes.
+  EXPECT_EQ(reg.RenderPrometheus(), text);
+}
+
+TEST(MetricRegistryTest, LabeledSeriesRenderWithLabels) {
+  MetricRegistry reg;
+  reg.GetCounter("ops_total", "Ops.", "op=\"add\",outcome=\"ok\"")
+      .Increment(2);
+  reg.GetCounter("ops_total", "Ops.", "op=\"add\",outcome=\"rejected\"")
+      .Increment();
+  std::string text = reg.RenderPrometheus();
+  EXPECT_NE(text.find("ops_total{op=\"add\",outcome=\"ok\"} 2"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ops_total{op=\"add\",outcome=\"rejected\"} 1"),
+            std::string::npos)
+      << text;
+  // Exactly one HELP/TYPE block for the family.
+  EXPECT_EQ(text.find("# HELP ops_total"), text.rfind("# HELP ops_total"));
+}
+
+TEST(MetricRegistryTest, DefaultIsProcessWideSingleton) {
+  EXPECT_EQ(&MetricRegistry::Default(), &MetricRegistry::Default());
+}
+
+TEST(MetricRegistryTest, ConcurrentGetAndUpdate) {
+  MetricRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg] {
+      Counter& c = reg.GetCounter("concurrent_total", "h");
+      Histogram& h = reg.GetHistogram("concurrent_ns", "h");
+      for (int i = 0; i < kIters; ++i) {
+        c.Increment();
+        h.Observe(static_cast<uint64_t>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.GetCounter("concurrent_total", "h").Value(),
+            static_cast<uint64_t>(kThreads) * kIters);
+  EXPECT_EQ(reg.GetHistogram("concurrent_ns", "h").Count(),
+            static_cast<uint64_t>(kThreads) * kIters);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,105 @@
+// Hammers the metrics registry and the tracer from ThreadPool workers
+// while exposition runs concurrently. The point is not the assertions —
+// it is that TSan (tools/run_sanitizers.sh) sees all the lock-free update
+// paths racing with RenderPrometheus()/ExportChromeTraceJson() and stays
+// quiet.
+#include <atomic>
+#include <future>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/metrics.h"
+#include "util/thread_pool.h"
+#include "util/trace.h"
+
+namespace ldapbound {
+namespace {
+
+TEST(ObservabilityConcurrencyTest, RegistryAndTracerUnderPoolLoad) {
+  Tracer::Default().Enable();
+  Tracer::Default().Discard();
+
+  MetricRegistry& reg = MetricRegistry::Default();
+  // Register one series up front so the scraper below never sees a
+  // completely empty registry (this binary may run the test standalone).
+  reg.GetCounter("obs_test_sentinel_total", "Present from the start.")
+      .Increment();
+  ThreadPool pool(4);
+  constexpr int kTasks = 16;
+  constexpr int kIters = 1000;
+  std::atomic<bool> stop{false};
+
+  // Exposition thread: scrapes and exports continuously while workers
+  // update. Runs on the calling thread's own std::async to keep the pool
+  // fully devoted to update traffic.
+  auto scraper = std::async(std::launch::async, [&reg, &stop] {
+    size_t scrapes = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string text = reg.RenderPrometheus();
+      EXPECT_FALSE(text.empty());
+      std::string json = Tracer::Default().ExportChromeTraceJson();
+      EXPECT_NE(json.find("traceEvents"), std::string::npos);
+      ++scrapes;
+    }
+    return scrapes;
+  });
+
+  std::vector<std::future<void>> tasks;
+  for (int t = 0; t < kTasks; ++t) {
+    tasks.push_back(pool.Submit([&reg, t] {
+      // Mix of cached references (the steady-state pattern) and repeated
+      // registry lookups (the slow path), plus spans per iteration.
+      Counter& hits =
+          reg.GetCounter("obs_test_hits_total", "Test hits.",
+                         t % 2 == 0 ? "lane=\"even\"" : "lane=\"odd\"");
+      Histogram& lat = reg.GetHistogram("obs_test_ns", "Test latency.");
+      Gauge& depth = reg.GetGauge("obs_test_depth", "Test depth.");
+      for (int i = 0; i < kIters; ++i) {
+        LDAPBOUND_TRACE_SPAN("obs.test.iter");
+        LatencyTimer timer(lat);
+        hits.Increment();
+        depth.Add(1);
+        reg.GetCounter("obs_test_lookups_total", "Lookup path.").Increment();
+        depth.Add(-1);
+      }
+    }));
+  }
+  for (auto& f : tasks) f.get();
+  stop.store(true, std::memory_order_relaxed);
+  size_t scrapes = scraper.get();
+  EXPECT_GT(scrapes, 0u);
+
+  constexpr uint64_t kTotal = static_cast<uint64_t>(kTasks) * kIters;
+  uint64_t even = reg.GetCounter("obs_test_hits_total", "", "lane=\"even\"")
+                      .Value();
+  uint64_t odd = reg.GetCounter("obs_test_hits_total", "", "lane=\"odd\"")
+                     .Value();
+  EXPECT_EQ(even + odd, kTotal);
+  EXPECT_EQ(reg.GetCounter("obs_test_lookups_total", "").Value(), kTotal);
+  EXPECT_EQ(reg.GetHistogram("obs_test_ns", "").Count(), kTotal);
+  EXPECT_EQ(reg.GetGauge("obs_test_depth", "").Value(), 0);
+
+  Tracer::Default().Disable();
+  Tracer::Default().Discard();
+}
+
+TEST(ObservabilityConcurrencyTest, ParallelForPublishesPoolMetrics) {
+  ThreadPool pool(4);
+  uint64_t calls_before = GetPoolMetrics().parallel_for_calls.Value();
+  uint64_t chunks_before = GetPoolMetrics().chunks_claimed.Value();
+
+  std::atomic<uint64_t> sum{0};
+  ParallelFor(pool, 0, 1000, 10, 4,
+              [&sum](unsigned, size_t, size_t lo, size_t hi) {
+                sum.fetch_add(hi - lo, std::memory_order_relaxed);
+              });
+  EXPECT_EQ(sum.load(), 1000u);
+  EXPECT_EQ(GetPoolMetrics().parallel_for_calls.Value(), calls_before + 1);
+  // 100 chunks of 10, claimed exactly once each.
+  EXPECT_EQ(GetPoolMetrics().chunks_claimed.Value(), chunks_before + 100);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -7,13 +7,24 @@
 //   ldapbound format <schema>                  canonicalize a schema file
 //   ldapbound search <schema> <ldif> <base-dn> <filter>
 //   ldapbound query <schema> <ldif> <hier-query>   (the §3.2 s-expressions)
-//   ldapbound stats <schema> <ldif>
+//   ldapbound stats <schema> <ldif>            human-readable shape stats
+//   ldapbound stats <schema> <ldif> --metrics  Prometheus text exposition
 //   ldapbound recover <wal-dir>                replay WAL, print the directory
 //   ldapbound compact <wal-dir>                recover + snapshot + truncate
+//
+// Global flags:
+//   --metrics            (stats) run the legality pipeline and emit the
+//                        process metrics in Prometheus text format
+//   --trace-out <file>   record spans and write Chrome trace JSON
+//                        (chrome://tracing / Perfetto) on exit
+#include <unistd.h>
+
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "consistency/inference.h"
 #include "consistency/witness.h"
@@ -25,6 +36,8 @@
 #include "query/evaluator.h"
 #include "schema/schema_format.h"
 #include "server/directory_server.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -39,9 +52,14 @@ int Usage() {
                "  ldapbound format <schema>\n"
                "  ldapbound search <schema> <ldif> <base-dn> <filter>\n"
                "  ldapbound query <schema> <ldif> <hier-query>\n"
-               "  ldapbound stats <schema> <ldif>\n"
+               "  ldapbound stats <schema> <ldif> [--metrics]\n"
                "  ldapbound recover <wal-dir>\n"
-               "  ldapbound compact <wal-dir>\n");
+               "  ldapbound compact <wal-dir>\n"
+               "flags:\n"
+               "  --metrics            stats: exercise the legality pipeline "
+               "and print\n"
+               "                       Prometheus text exposition\n"
+               "  --trace-out <file>   write Chrome trace JSON of the run\n");
   return 2;
 }
 
@@ -177,6 +195,46 @@ int RunQuery(const std::string& schema_path, const std::string& ldif_path,
   return 0;
 }
 
+// Drives the full pipeline over the given schema + LDIF so every metric
+// family has live data, then prints the registry in Prometheus text
+// format. The server/WAL exercise runs in a throwaway WAL directory.
+int RunMetrics(const std::string& schema_path, const std::string& ldif_path) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  auto schema_text = ReadFile(schema_path);
+  if (!schema_text.ok()) return Fail(schema_text.status());
+  auto ldif = ReadFile(ldif_path);
+  if (!ldif.ok()) return Fail(ldif.status());
+  Directory directory(vocab);
+  auto loaded = LoadLdif(*ldif, &directory);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  // Checker + query + pool families: one full legality run.
+  LegalityChecker checker(*schema);
+  std::vector<Violation> violations;
+  checker.CheckLegal(directory, &violations);
+
+  // Server + WAL families: import the same data into a WAL-backed server
+  // (consistency or legality failures still count — as rejections).
+  std::error_code ec;
+  std::filesystem::path wal_dir =
+      std::filesystem::temp_directory_path(ec) /
+      ("ldapbound-metrics-" + std::to_string(::getpid()));
+  std::filesystem::remove_all(wal_dir, ec);
+  auto server = DirectoryServer::Create(*schema_text);
+  if (server.ok()) {
+    WalOptions wal_options;
+    Status wal_enabled = server->EnableWal(wal_dir.string(), wal_options);
+    (void)server->ImportLdif(*ldif);
+    if (wal_enabled.ok()) (void)server->Compact();
+  }
+  std::filesystem::remove_all(wal_dir, ec);
+
+  std::fputs(MetricRegistry::Default().RenderPrometheus().c_str(), stdout);
+  return 0;
+}
+
 int RunStats(const std::string& schema_path, const std::string& ldif_path) {
   auto vocab = std::make_shared<Vocabulary>();
   auto schema = LoadSchema(schema_path, vocab);
@@ -247,25 +305,68 @@ int RunRecover(const std::string& wal_dir, bool compact_after) {
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 2) return Usage();
-  std::string command = argv[1];
-  if (command == "check" && argc == 4) return RunCheck(argv[2], argv[3]);
-  if (command == "consistency" && argc == 3) return RunConsistency(argv[2]);
-  if (command == "witness" && argc == 3) return RunWitness(argv[2]);
-  if (command == "format" && argc == 3) return RunFormat(argv[2]);
-  if (command == "search" && argc == 6) {
-    return RunSearch(argv[2], argv[3], argv[4], argv[5]);
+namespace {
+
+int Dispatch(const std::vector<std::string>& args, bool metrics) {
+  const size_t n = args.size();
+  if (n < 1) return Usage();
+  const std::string& command = args[0];
+  if (command == "check" && n == 3) return RunCheck(args[1], args[2]);
+  if (command == "consistency" && n == 2) return RunConsistency(args[1]);
+  if (command == "witness" && n == 2) return RunWitness(args[1]);
+  if (command == "format" && n == 2) return RunFormat(args[1]);
+  if (command == "search" && n == 5) {
+    return RunSearch(args[1], args[2], args[3], args[4]);
   }
-  if (command == "query" && argc == 5) {
-    return RunQuery(argv[2], argv[3], argv[4]);
+  if (command == "query" && n == 4) {
+    return RunQuery(args[1], args[2], args[3]);
   }
-  if (command == "stats" && argc == 4) return RunStats(argv[2], argv[3]);
-  if (command == "recover" && argc == 3) {
-    return RunRecover(argv[2], /*compact_after=*/false);
+  if (command == "stats" && n == 3) {
+    return metrics ? RunMetrics(args[1], args[2]) : RunStats(args[1], args[2]);
   }
-  if (command == "compact" && argc == 3) {
-    return RunRecover(argv[2], /*compact_after=*/true);
+  if (command == "recover" && n == 2) {
+    return RunRecover(args[1], /*compact_after=*/false);
+  }
+  if (command == "compact" && n == 2) {
+    return RunRecover(args[1], /*compact_after=*/true);
   }
   return Usage();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Global flags may appear anywhere; everything else is positional.
+  bool metrics = false;
+  std::string trace_out;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--metrics") {
+      metrics = true;
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) return Usage();
+      trace_out = argv[++i];
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      trace_out = arg.substr(sizeof("--trace-out=") - 1);
+    } else {
+      args.push_back(std::move(arg));
+    }
+  }
+  if (!trace_out.empty()) Tracer::Default().Enable();
+
+  int rc = Dispatch(args, metrics);
+
+  if (!trace_out.empty()) {
+    std::string json = Tracer::Default().ExportChromeTraceJson();
+    std::ofstream out(trace_out, std::ios::binary | std::ios::trunc);
+    if (!out || !(out << json)) {
+      std::fprintf(stderr, "error: cannot write trace to '%s'\n",
+                   trace_out.c_str());
+      if (rc == 0) rc = 2;
+    } else {
+      std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+    }
+  }
+  return rc;
 }

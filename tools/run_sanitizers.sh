@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under the sanitizer presets
+# (-DLDAPBOUND_ASAN / -DLDAPBOUND_TSAN, see the top-level CMakeLists).
+#
+#   tools/run_sanitizers.sh           # ASan+UBSan full suite, then TSan
+#                                     # on the concurrency-labeled tests
+#   tools/run_sanitizers.sh asan      # just the ASan+UBSan pass
+#   tools/run_sanitizers.sh tsan      # just the TSan pass
+#
+# Each preset uses its own build tree (build-asan/, build-tsan/) next to
+# the default build/, so incremental non-sanitized builds stay untouched.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+mode="${1:-all}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_asan() {
+  echo "=== ASan+UBSan: full test suite ==="
+  cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLDAPBOUND_ASAN=ON >/dev/null
+  cmake --build build-asan -j "${jobs}"
+  # halt_on_error keeps failures loud; detect_leaks needs ptrace which
+  # some containers deny — leave it to the environment's default.
+  ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-asan --output-on-failure -j "${jobs}"
+}
+
+run_tsan() {
+  echo "=== TSan: concurrency-labeled tests ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLDAPBOUND_TSAN=ON >/dev/null
+  cmake --build build-tsan -j "${jobs}"
+  TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+    ctest --test-dir build-tsan --output-on-failure -L concurrency
+}
+
+case "${mode}" in
+  asan) run_asan ;;
+  tsan) run_tsan ;;
+  all)
+    run_asan
+    run_tsan
+    ;;
+  *)
+    echo "usage: $0 [asan|tsan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "sanitizer runs clean"
