@@ -1,0 +1,94 @@
+// EXP-E1: EXPLAIN must be pay-for-what-you-use. The profiler hooks sit on
+// the per-AST-node dispatch path (QueryEvaluator checks one pointer per
+// node), never on the per-entry path, so evaluation WITHOUT a profile
+// attached must run at the plain evaluator's speed — the A/B here bounds
+// the no-profile overhead at noise level on the 64k workload. The profiled
+// variants quantify what an operator pays when they do ask for a plan.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/legality_checker.h"
+#include "query/evaluator.h"
+#include "query/explain.h"
+
+namespace ldapbound::bench {
+namespace {
+
+Query ClassQuery(const World& world, const char* name) {
+  return Query::Select(MatchClass(*world.vocab->FindClass(name)));
+}
+
+// The Figure 4 required-relationship pattern: orgGroup entries with no
+// person descendant (empty on the legal instance, so evaluation walks
+// everything — the worst case for instrumentation overhead).
+Query Fig4Query(const World& world) {
+  return Query::Diff(
+      ClassQuery(world, "orgGroup"),
+      Query::Descendant(ClassQuery(world, "orgGroup"),
+                        ClassQuery(world, "person")));
+}
+
+void BM_Explain_EvaluatePlain(benchmark::State& state) {
+  const World& world = GetWorld(static_cast<size_t>(state.range(0)));
+  Query q = Fig4Query(world);
+  for (auto _ : state) {
+    QueryEvaluator evaluator(*world.directory);
+    EntrySet result = evaluator.Evaluate(q);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["entries"] =
+      static_cast<double>(world.directory->NumEntries());
+}
+
+void BM_Explain_EvaluateProfiled(benchmark::State& state) {
+  const World& world = GetWorld(static_cast<size_t>(state.range(0)));
+  Query q = Fig4Query(world);
+  for (auto _ : state) {
+    QueryEvaluator evaluator(*world.directory);
+    QueryProfile profile;
+    evaluator.set_profile(&profile);
+    EntrySet result = evaluator.Evaluate(q);
+    benchmark::DoNotOptimize(result);
+    benchmark::DoNotOptimize(profile.total_nodes);
+  }
+  state.counters["entries"] =
+      static_cast<double>(world.directory->NumEntries());
+}
+
+BENCHMARK(BM_Explain_EvaluatePlain)->Arg(16000)->Arg(64000);
+BENCHMARK(BM_Explain_EvaluateProfiled)->Arg(16000)->Arg(64000);
+
+// Constraint level: the full structure pass (verdict only, parallel, lazy
+// emptiness) against ExplainStructure (serial, materializing, per-node
+// plans for every constraint). The gap is the cost of asking "why".
+void BM_Explain_CheckStructure(benchmark::State& state) {
+  const World& world = GetWorld(static_cast<size_t>(state.range(0)));
+  LegalityChecker checker(*world.schema);
+  for (auto _ : state) {
+    bool legal = checker.CheckStructure(*world.directory);
+    benchmark::DoNotOptimize(legal);
+  }
+  state.counters["entries"] =
+      static_cast<double>(world.directory->NumEntries());
+}
+
+void BM_Explain_ExplainStructure(benchmark::State& state) {
+  const World& world = GetWorld(static_cast<size_t>(state.range(0)));
+  LegalityChecker checker(*world.schema);
+  size_t constraints = 0;
+  for (auto _ : state) {
+    std::vector<ConstraintExplain> plans =
+        checker.ExplainStructure(*world.directory);
+    constraints = plans.size();
+    benchmark::DoNotOptimize(plans);
+  }
+  state.counters["entries"] =
+      static_cast<double>(world.directory->NumEntries());
+  state.counters["constraints"] = static_cast<double>(constraints);
+}
+
+BENCHMARK(BM_Explain_CheckStructure)->Arg(16000)->Arg(64000);
+BENCHMARK(BM_Explain_ExplainStructure)->Arg(16000)->Arg(64000);
+
+}  // namespace
+}  // namespace ldapbound::bench

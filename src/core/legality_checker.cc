@@ -11,6 +11,7 @@
 
 #include "core/translation.h"
 #include "query/evaluator.h"
+#include "util/json.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -670,6 +671,79 @@ bool LegalityChecker::CheckStructure(const Directory& directory,
   }
   flush_stats();
   return ok;
+}
+
+std::string ConstraintExplain::RenderText() const {
+  std::string out = constraint;
+  out += " — ";
+  out += satisfied ? "SATISFIED" : "VIOLATED";
+  out += " (";
+  out += require_nonempty ? "witnesses=" : "offenders=";
+  out += std::to_string(cardinality);
+  out += ", ";
+  out += FormatDurationNs(profile.total_ns);
+  out += ")\n  query: ";
+  out += query;
+  out += '\n';
+  out += profile.root.RenderText(1);
+  return out;
+}
+
+std::string ConstraintExplain::RenderJson() const {
+  std::string out = "{\"constraint\":" + JsonQuote(constraint);
+  out += ",\"query\":" + JsonQuote(query);
+  out += ",\"require_nonempty\":";
+  out += require_nonempty ? "true" : "false";
+  out += ",\"satisfied\":";
+  out += satisfied ? "true" : "false";
+  out += ",\"cardinality\":" + std::to_string(cardinality);
+  out += ",\"profile\":" + profile.RenderJson();
+  out += '}';
+  return out;
+}
+
+std::vector<ConstraintExplain> LegalityChecker::ExplainStructure(
+    const Directory& directory, const ValueIndex* index) const {
+  const StructureSchema& structure = schema_.structure();
+  const Vocabulary& vocab = directory.vocab();
+  std::vector<ConstraintExplain> out;
+  out.reserve(structure.Size());
+
+  for (ClassId cls : structure.required_classes()) {
+    ConstraintExplain ce;
+    ce.constraint = "require-class " + vocab.ClassName(cls);
+    Query query = RequiredClassWitnessQuery(cls);
+    ce.query = query.ToString(vocab);
+    ce.require_nonempty = true;
+    QueryEvaluator evaluator(directory, /*delta=*/nullptr, index);
+    evaluator.set_profile(&ce.profile);
+    EntrySet witnesses = evaluator.Evaluate(query);
+    ce.cardinality = witnesses.Count();
+    ce.satisfied = ce.cardinality > 0;
+    AddEvaluatorStatsToMetrics(evaluator.stats());
+    out.push_back(std::move(ce));
+  }
+
+  auto explain_rel = [&](const StructuralRelationship& rel) {
+    ConstraintExplain ce;
+    ce.constraint = rel.ToString(vocab);
+    Query query = ViolationQuery(rel);
+    ce.query = query.ToString(vocab);
+    QueryEvaluator evaluator(directory, /*delta=*/nullptr, index);
+    evaluator.set_profile(&ce.profile);
+    EntrySet offenders = evaluator.Evaluate(query);
+    ce.cardinality = offenders.Count();
+    ce.satisfied = ce.cardinality == 0;
+    AddEvaluatorStatsToMetrics(evaluator.stats());
+    out.push_back(std::move(ce));
+  };
+  for (const StructuralRelationship& rel : structure.required()) {
+    explain_rel(rel);
+  }
+  for (const StructuralRelationship& rel : structure.forbidden()) {
+    explain_rel(rel);
+  }
+  return out;
 }
 
 bool LegalityChecker::CheckKeys(const Directory& directory,

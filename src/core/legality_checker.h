@@ -13,6 +13,30 @@
 
 namespace ldapbound {
 
+/// EXPLAIN record for one structure-schema constraint: the constraint, the
+/// Figure 4 query it translates to, the verdict, and the profiled plan tree
+/// (per-node cardinalities, strategies, latency). Produced by
+/// LegalityChecker::ExplainStructure; rendered by `ldapbound explain` and
+/// retained (summarized) by the server's slow-op diagnostics.
+struct ConstraintExplain {
+  std::string constraint;  ///< e.g. "require-class orgUnit",
+                           ///< "orgGroup ->> person (required)"
+  std::string query;       ///< the translated query, paper rendering
+  bool require_nonempty = false;  ///< required class: the witness query must
+                                  ///< be NON-empty (all others must be empty)
+  bool satisfied = false;
+  uint64_t cardinality = 0;  ///< |Q[D]|: witnesses for a required class,
+                             ///< offending entries for a relationship
+  QueryProfile profile;
+
+  /// Header line (constraint, verdict, cardinality, total latency), the
+  /// query, then the indented plan tree.
+  std::string RenderText() const;
+
+  /// The record as a JSON object (plan included).
+  std::string RenderJson() const;
+};
+
 /// Worker configuration for the parallel legality engine. Per-constraint
 /// and per-entry checks are independent (§3), so the checker shards content
 /// and key passes over entry-id ranges and fans the structure-schema
@@ -82,6 +106,17 @@ class LegalityChecker {
                       std::vector<Violation>* out = nullptr,
                       const ValueIndex* index = nullptr,
                       EvaluatorStats* stats = nullptr) const;
+
+  /// Profiled structure check: evaluates every structure-schema
+  /// constraint's Figure 4 query with an attached QueryProfile and returns
+  /// one ConstraintExplain per constraint, in schema order (Cr, then Er,
+  /// then Ef — the order CheckStructure reports in). Runs serially on the
+  /// calling thread so plan attribution is deterministic; required classes
+  /// are profiled through their witness query rather than the class-count
+  /// shortcut, because showing the query's plan is the point. An optional
+  /// fresh ValueIndex is used exactly as in CheckStructure.
+  std::vector<ConstraintExplain> ExplainStructure(
+      const Directory& directory, const ValueIndex* index = nullptr) const;
 
   /// Key uniqueness (§6.1 extension): every value of a key attribute is
   /// unique across all entries. O(|D|) with hashing.

@@ -1,5 +1,7 @@
 #include "core/violation.h"
 
+#include "core/translation.h"
+
 namespace ldapbound {
 
 std::string_view ViolationKindToString(ViolationKind kind) {
@@ -69,6 +71,31 @@ std::string Violation::Describe(const Vocabulary& vocab) const {
              vocab.AttributeName(attr) + "'";
   }
   return "unknown violation";
+}
+
+std::string Violation::DetectedBy(const Vocabulary& vocab) const {
+  switch (kind) {
+    case ViolationKind::kMissingRequiredAttribute:
+    case ViolationKind::kDisallowedAttribute:
+      return "content pass: attribute schema";
+    case ViolationKind::kUnknownClass:
+    case ViolationKind::kNoCoreClass:
+    case ViolationKind::kMissingSuperclass:
+    case ViolationKind::kExclusiveClasses:
+    case ViolationKind::kDisallowedAuxiliary:
+      return "content pass: class schema";
+    case ViolationKind::kMissingRequiredClass:
+      return "structure pass: require-class " + vocab.ClassName(cls) +
+             ", witness query " +
+             RequiredClassWitnessQuery(cls).ToString(vocab) + " is empty";
+    case ViolationKind::kRequiredRelationship:
+    case ViolationKind::kForbiddenRelationship:
+      return "structure pass: " + relationship.ToString(vocab) +
+             ", violation query " + ViolationQuery(relationship).ToString(vocab);
+    case ViolationKind::kDuplicateKeyValue:
+      return "key pass: key attribute '" + vocab.AttributeName(attr) + "'";
+  }
+  return "unknown";
 }
 
 std::string DescribeViolations(const std::vector<Violation>& violations,

@@ -48,6 +48,12 @@ struct Violation {
   /// Human-readable description, e.g.
   /// "entry 4 (uid=suciu): missing required attribute 'uid' of class person".
   std::string Describe(const Vocabulary& vocab) const;
+
+  /// Names the checker pass and schema constraint whose check detected this
+  /// violation — for structure violations, including the translated
+  /// Figure 4 query whose (non-)emptiness test fired. Used by the EXPLAIN
+  /// surface ("detected by" annotations); Describe stays unchanged.
+  std::string DetectedBy(const Vocabulary& vocab) const;
 };
 
 /// Renders all violations, one per line.

@@ -1,9 +1,43 @@
 #include "query/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 namespace ldapbound {
+
+namespace {
+
+uint64_t CountPlanNodes(const ExplainNode& node) {
+  uint64_t n = 1;
+  for (const ExplainNode& child : node.children) n += CountPlanNodes(child);
+  return n;
+}
+
+/// Strategy reported when a node's body never picked one explicitly
+/// (the set-operation nodes, whose work is bitmap algebra).
+const char* DefaultStrategy(const Query& query) {
+  switch (query.kind()) {
+    case Query::Kind::kSelect:
+      return "scan";
+    case Query::Kind::kHier:
+      return "?";
+    case Query::Kind::kDiff:
+    case Query::Kind::kUnion:
+    case Query::Kind::kIntersect:
+      return "bitmap";
+  }
+  return "?";
+}
+
+uint64_t ElapsedNs(std::chrono::steady_clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start)
+          .count());
+}
+
+}  // namespace
 
 QueryMetrics& GetQueryMetrics() {
   static QueryMetrics* metrics = new QueryMetrics{
@@ -41,6 +75,144 @@ void AddEvaluatorStatsToMetrics(const EvaluatorStats& stats) {
 }
 
 EntrySet QueryEvaluator::Evaluate(const Query& query) {
+  if (profile_ != nullptr) return EvaluateProfiled(query);
+  return EvaluateImpl(query);
+}
+
+bool QueryEvaluator::IsEmpty(const Query& query) {
+  if (profile_ != nullptr) return IsEmptyProfiled(query);
+  return IsEmptyImpl(query);
+}
+
+ExplainNode QueryEvaluator::MakeNodeHeader(const Query& query,
+                                           bool lazy) const {
+  ExplainNode node;
+  node.lazy = lazy;
+  switch (query.kind()) {
+    case Query::Kind::kSelect:
+      node.op = "select";
+      node.detail = query.ToString(directory_.vocab());
+      switch (query.scope()) {
+        case Scope::kAll:
+          node.scope = "all";
+          break;
+        case Scope::kDeltaOnly:
+          node.scope = "delta";
+          break;
+        case Scope::kExcludeDelta:
+          node.scope = "exclude-delta";
+          break;
+        case Scope::kEmpty:
+          node.scope = "empty";
+          break;
+      }
+      break;
+    case Query::Kind::kHier:
+      node.op = std::string(AxisToWord(query.axis()));
+      break;
+    case Query::Kind::kDiff:
+      node.op = "diff";
+      break;
+    case Query::Kind::kUnion:
+      node.op = "union";
+      break;
+    case Query::Kind::kIntersect:
+      node.op = "intersect";
+      break;
+  }
+  return node;
+}
+
+// Both profiled wrappers share the same frame discipline: push this node as
+// the current parent, zero the child accumulators, run the plain body (whose
+// recursive Evaluate/IsEmpty calls re-enter the dispatcher and so build the
+// child subtrees), then compute this node's OWN per-entry work as the
+// inclusive counter delta minus what the children accumulated.
+EntrySet QueryEvaluator::EvaluateProfiled(const Query& query) {
+  ExplainNode node = MakeNodeHeader(query, /*lazy=*/false);
+  ExplainNode* saved_parent = profile_parent_;
+  const uint64_t saved_children_scanned = profile_children_scanned_;
+  const uint64_t saved_children_sc = profile_children_short_circuits_;
+  profile_parent_ = &node;
+  profile_children_scanned_ = 0;
+  profile_children_short_circuits_ = 0;
+  node_strategy_ = nullptr;
+  const uint64_t scanned_before = stats_.entries_scanned;
+  const uint64_t sc_before = stats_.short_circuits;
+  const auto start = std::chrono::steady_clock::now();
+
+  EntrySet result = EvaluateImpl(query);
+
+  node.latency_ns = ElapsedNs(start);
+  const uint64_t inclusive_scanned = stats_.entries_scanned - scanned_before;
+  const uint64_t inclusive_sc = stats_.short_circuits - sc_before;
+  node.entries_scanned = inclusive_scanned - profile_children_scanned_;
+  node.short_circuit = inclusive_sc > profile_children_short_circuits_;
+  node.out_cardinality = result.Count();
+  node.strategy = node_strategy_ != nullptr ? node_strategy_
+                                            : DefaultStrategy(query);
+  node_strategy_ = nullptr;  // consumed; the parent sets its own later
+  node.input_cardinalities.reserve(node.children.size());
+  for (const ExplainNode& child : node.children) {
+    node.input_cardinalities.push_back(child.out_cardinality);
+  }
+  profile_parent_ = saved_parent;
+  profile_children_scanned_ = saved_children_scanned + inclusive_scanned;
+  profile_children_short_circuits_ = saved_children_sc + inclusive_sc;
+  if (saved_parent != nullptr) {
+    saved_parent->children.push_back(std::move(node));
+  } else {
+    profile_->total_ns = node.latency_ns;
+    profile_->total_scanned = inclusive_scanned;
+    profile_->total_nodes = CountPlanNodes(node);
+    profile_->root = std::move(node);
+  }
+  return result;
+}
+
+bool QueryEvaluator::IsEmptyProfiled(const Query& query) {
+  ExplainNode node = MakeNodeHeader(query, /*lazy=*/true);
+  ExplainNode* saved_parent = profile_parent_;
+  const uint64_t saved_children_scanned = profile_children_scanned_;
+  const uint64_t saved_children_sc = profile_children_short_circuits_;
+  profile_parent_ = &node;
+  profile_children_scanned_ = 0;
+  profile_children_short_circuits_ = 0;
+  node_strategy_ = nullptr;
+  const uint64_t scanned_before = stats_.entries_scanned;
+  const uint64_t sc_before = stats_.short_circuits;
+  const auto start = std::chrono::steady_clock::now();
+
+  const bool empty = IsEmptyImpl(query);
+
+  node.latency_ns = ElapsedNs(start);
+  const uint64_t inclusive_scanned = stats_.entries_scanned - scanned_before;
+  const uint64_t inclusive_sc = stats_.short_circuits - sc_before;
+  node.entries_scanned = inclusive_scanned - profile_children_scanned_;
+  node.short_circuit = inclusive_sc > profile_children_short_circuits_;
+  node.out_cardinality = 0;  // lazy nodes never materialize their result
+  node.strategy = node_strategy_ != nullptr ? node_strategy_
+                                            : DefaultStrategy(query);
+  node_strategy_ = nullptr;
+  node.input_cardinalities.reserve(node.children.size());
+  for (const ExplainNode& child : node.children) {
+    node.input_cardinalities.push_back(child.out_cardinality);
+  }
+  profile_parent_ = saved_parent;
+  profile_children_scanned_ = saved_children_scanned + inclusive_scanned;
+  profile_children_short_circuits_ = saved_children_sc + inclusive_sc;
+  if (saved_parent != nullptr) {
+    saved_parent->children.push_back(std::move(node));
+  } else {
+    profile_->total_ns = node.latency_ns;
+    profile_->total_scanned = inclusive_scanned;
+    profile_->total_nodes = CountPlanNodes(node);
+    profile_->root = std::move(node);
+  }
+  return empty;
+}
+
+EntrySet QueryEvaluator::EvaluateImpl(const Query& query) {
   ++stats_.nodes_evaluated;
   switch (query.kind()) {
     case Query::Kind::kSelect:
@@ -77,7 +249,7 @@ EntrySet QueryEvaluator::Evaluate(const Query& query) {
   return EntrySet(directory_.IdCapacity());
 }
 
-bool QueryEvaluator::IsEmpty(const Query& query) {
+bool QueryEvaluator::IsEmptyImpl(const Query& query) {
   ++stats_.nodes_evaluated;
   switch (query.kind()) {
     case Query::Kind::kSelect:
@@ -91,29 +263,38 @@ bool QueryEvaluator::IsEmpty(const Query& query) {
       EntrySet lhs = Evaluate(query.operands()[0]);
       if (lhs.Empty()) {
         ++stats_.short_circuits;  // B skipped entirely
+        RecordStrategy("subset-test");
         return true;
       }
       EntrySet rhs = Evaluate(query.operands()[1]);
       bool empty = lhs.IsSubsetOf(rhs);
       if (!empty) ++stats_.short_circuits;  // exited at a surviving word
+      RecordStrategy("subset-test");
       return empty;
     }
     case Query::Kind::kUnion: {
       for (const Query& op : query.operands()) {
         if (!IsEmpty(op)) {
           ++stats_.short_circuits;  // remaining operands skipped
+          RecordStrategy("operand-sweep");
           return false;
         }
       }
+      RecordStrategy("operand-sweep");
       return true;
     }
     case Query::Kind::kIntersect: {
       const std::vector<Query>& ops = query.operands();
       if (ops.empty()) return directory_.NumEntries() == 0;
-      if (ops.size() == 1) return IsEmpty(ops[0]);
+      if (ops.size() == 1) {
+        bool empty = IsEmpty(ops[0]);
+        RecordStrategy("single-operand");
+        return empty;
+      }
       EntrySet acc = Evaluate(ops[0]);
       if (acc.Empty()) {
         ++stats_.short_circuits;  // remaining operands skipped
+        RecordStrategy("incremental-intersect");
         return true;
       }
       for (size_t i = 1; i + 1 < ops.size(); ++i) {
@@ -121,12 +302,14 @@ bool QueryEvaluator::IsEmpty(const Query& query) {
         acc.IntersectWith(part);
         if (acc.Empty()) {
           ++stats_.short_circuits;
+          RecordStrategy("incremental-intersect");
           return true;
         }
       }
       EntrySet last = Evaluate(ops.back());
       bool empty = !acc.Intersects(last);
       if (!empty) ++stats_.short_circuits;  // exited at a common word
+      RecordStrategy("incremental-intersect");
       return empty;
     }
   }
@@ -136,13 +319,17 @@ bool QueryEvaluator::IsEmpty(const Query& query) {
 EntrySet QueryEvaluator::EvaluateSelect(const Query& query) {
   EntrySet out(directory_.IdCapacity());
   const Scope scope = query.scope();
-  if (scope == Scope::kEmpty) return out;
+  if (scope == Scope::kEmpty) {
+    RecordStrategy("empty-scope");
+    return out;
+  }
   const Matcher& matcher = *query.matcher();
   if (scope == Scope::kAll && class_cache_ != nullptr) {
     if (const auto* cm = dynamic_cast<const ClassMatcher*>(&matcher)) {
       auto it = class_cache_->find(cm->cls());
       if (it != class_cache_->end()) {
         ++stats_.cache_hits;
+        RecordStrategy("class-cache");
         return it->second;
       }
     }
@@ -150,6 +337,7 @@ EntrySet QueryEvaluator::EvaluateSelect(const Query& query) {
   if (scope == Scope::kDeltaOnly) {
     // Δ-scoped selections touch only Δ — the ingredient that makes the
     // Figure 5 insertion checks cost O(|Δ|) rather than O(|D|).
+    RecordStrategy("delta-scan");
     if (delta_ == nullptr) return out;
     delta_->ForEach([&](EntryId id) {
       if (!directory_.IsAlive(id)) return;
@@ -162,6 +350,7 @@ EntrySet QueryEvaluator::EvaluateSelect(const Query& query) {
       &index_->directory() == &directory_) {
     const std::vector<EntryId>* ids = nullptr;
     if (matcher.ProbeIndex(*index_, &ids)) {
+      RecordStrategy("index");
       if (ids != nullptr) {
         for (EntryId id : *ids) {
           ++stats_.entries_scanned;
@@ -171,6 +360,7 @@ EntrySet QueryEvaluator::EvaluateSelect(const Query& query) {
       return out;
     }
   }
+  RecordStrategy("scan");
   directory_.ForEachAlive([&](const Entry& e) {
     ++stats_.entries_scanned;
     if (scope == Scope::kExcludeDelta && delta_ != nullptr &&
@@ -184,18 +374,23 @@ EntrySet QueryEvaluator::EvaluateSelect(const Query& query) {
 
 bool QueryEvaluator::SelectIsEmpty(const Query& query) {
   const Scope scope = query.scope();
-  if (scope == Scope::kEmpty) return true;
+  if (scope == Scope::kEmpty) {
+    RecordStrategy("empty-scope");
+    return true;
+  }
   const Matcher& matcher = *query.matcher();
   if (scope == Scope::kAll && class_cache_ != nullptr) {
     if (const auto* cm = dynamic_cast<const ClassMatcher*>(&matcher)) {
       auto it = class_cache_->find(cm->cls());
       if (it != class_cache_->end()) {
         ++stats_.cache_hits;
+        RecordStrategy("class-cache");
         return it->second.Empty();
       }
     }
   }
   if (scope == Scope::kDeltaOnly) {
+    RecordStrategy("delta-scan");
     if (delta_ == nullptr) return true;
     bool empty = delta_->ForEachWhile([&](EntryId id) {
       if (!directory_.IsAlive(id)) return true;
@@ -209,9 +404,11 @@ bool QueryEvaluator::SelectIsEmpty(const Query& query) {
       &index_->directory() == &directory_) {
     const std::vector<EntryId>* ids = nullptr;
     if (matcher.ProbeIndex(*index_, &ids)) {
+      RecordStrategy("index");
       return ids == nullptr || ids->empty();
     }
   }
+  RecordStrategy("scan");
   // Early-exit scan: stop at the first matching alive entry.
   const size_t cap = directory_.IdCapacity();
   for (size_t i = 0; i < cap; ++i) {
@@ -232,9 +429,15 @@ bool QueryEvaluator::SelectIsEmpty(const Query& query) {
 
 bool QueryEvaluator::HierIsEmpty(const Query& query) {
   EntrySet node_set = Evaluate(query.operands()[0]);
-  if (node_set.Empty()) return true;
+  if (node_set.Empty()) {
+    RecordStrategy("empty-operand");
+    return true;
+  }
   EntrySet related = Evaluate(query.operands()[1]);
-  if (related.Empty()) return true;
+  if (related.Empty()) {
+    RecordStrategy("empty-operand");
+    return true;
+  }
   const ForestIndex& index = directory_.GetIndex();
   const std::vector<EntryId>& preorder = index.preorder();
 
@@ -243,6 +446,7 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
   bool empty = true;
   switch (query.axis()) {
     case Axis::kChild:
+      RecordStrategy("parent-map");
       // Non-empty iff some related-member's parent is in the node set.
       empty = related.ForEachWhile([&](EntryId id) {
         ++stats_.entries_scanned;
@@ -251,6 +455,7 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
       });
       break;
     case Axis::kParent:
+      RecordStrategy("parent-probe");
       empty = node_set.ForEachWhile([&](EntryId id) {
         ++stats_.entries_scanned;
         EntryId p = directory_.entry(id).parent();
@@ -258,6 +463,7 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
       });
       break;
     case Axis::kDescendant: {
+      RecordStrategy("interval-probe");
       // Mark the related members' preorder positions, then probe each
       // node member's subtree interval — AnyInRange exits at the first
       // occupied word, and the whole test stops at the first witness.
@@ -277,6 +483,7 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
       // stopping at the first member with a related ancestor.
       const size_t threshold = preorder.size() / 8;
       if (node_set.CountUpTo(threshold + 1) <= threshold) {
+        RecordStrategy("chain-walk");
         empty = node_set.ForEachWhile([&](EntryId id) {
           for (EntryId p = directory_.entry(id).parent();
                p != kInvalidEntryId; p = directory_.entry(p).parent()) {
@@ -289,6 +496,7 @@ bool QueryEvaluator::HierIsEmpty(const Query& query) {
       }
       // Dense path: top-down pass (preorder visits parents first),
       // stopping at the first witness.
+      RecordStrategy("preorder-pass");
       std::vector<uint8_t> has_anc(directory_.IdCapacity(), 0);
       for (EntryId id : preorder) {
         ++stats_.entries_scanned;
@@ -317,6 +525,7 @@ EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
 
   switch (query.axis()) {
     case Axis::kChild: {
+      RecordStrategy("parent-map");
       // Parents of related-members, intersected with the node set.
       EntrySet parents(directory_.IdCapacity());
       related.ForEach([&](EntryId id) {
@@ -328,6 +537,7 @@ EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
       return parents;
     }
     case Axis::kParent: {
+      RecordStrategy("parent-probe");
       node_set.ForEach([&](EntryId id) {
         ++stats_.entries_scanned;
         EntryId p = directory_.entry(id).parent();
@@ -345,6 +555,7 @@ EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
       size_t count_a = node_set.CountUpTo(threshold + 1);
       size_t count_b = related.CountUpTo(threshold + 1);
       if ((count_a + count_b) * 8 < preorder.size()) {
+        RecordStrategy("interval-search");
         std::vector<size_t> positions;
         positions.reserve(count_b);
         related.ForEach([&](EntryId id) {
@@ -362,6 +573,7 @@ EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
         return out;
       }
       // Dense path: prefix[i] = number of related-members in preorder[0..i).
+      RecordStrategy("prefix-sum");
       std::vector<uint32_t> prefix(preorder.size() + 1, 0);
       for (size_t i = 0; i < preorder.size(); ++i) {
         ++stats_.entries_scanned;
@@ -380,6 +592,7 @@ EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
       const size_t threshold = preorder.size() / 8;
       size_t count_a = node_set.CountUpTo(threshold + 1);
       if (count_a * 8 < preorder.size()) {
+        RecordStrategy("chain-walk");
         node_set.ForEach([&](EntryId id) {
           for (EntryId p = directory_.entry(id).parent();
                p != kInvalidEntryId; p = directory_.entry(p).parent()) {
@@ -393,6 +606,7 @@ EntrySet QueryEvaluator::EvaluateHier(const Query& query) {
         return out;
       }
       // Dense path: top-down pass (preorder visits parents first).
+      RecordStrategy("preorder-pass");
       std::vector<uint8_t> has_anc(directory_.IdCapacity(), 0);
       for (EntryId id : preorder) {
         ++stats_.entries_scanned;

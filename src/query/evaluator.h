@@ -6,6 +6,7 @@
 
 #include "model/directory.h"
 #include "model/entry_set.h"
+#include "query/explain.h"
 #include "query/query.h"
 #include "query/value_index.h"
 #include "util/metrics.h"
@@ -89,6 +90,15 @@ class QueryEvaluator {
     class_cache_ = cache;
   }
 
+  /// Attaches an EXPLAIN profile: each subsequent top-level Evaluate or
+  /// IsEmpty call rebuilds `*profile` with the per-node plan tree (input /
+  /// output cardinalities, strategy chosen, short-circuit points, per-node
+  /// latency). Pass nullptr to detach. The profile object must outlive the
+  /// attached evaluations. Profiling changes no results and, when detached
+  /// (the default), costs a handful of never-taken branches per AST node —
+  /// never per-entry work.
+  void set_profile(QueryProfile* profile) { profile_ = profile; }
+
   /// Evaluates `query`; the result holds alive entry ids.
   EntrySet Evaluate(const Query& query);
 
@@ -103,16 +113,37 @@ class QueryEvaluator {
   const EvaluatorStats& stats() const { return stats_; }
 
  private:
+  EntrySet EvaluateImpl(const Query& query);
+  bool IsEmptyImpl(const Query& query);
+  EntrySet EvaluateProfiled(const Query& query);
+  bool IsEmptyProfiled(const Query& query);
   EntrySet EvaluateSelect(const Query& query);
   EntrySet EvaluateHier(const Query& query);
   bool SelectIsEmpty(const Query& query);
   bool HierIsEmpty(const Query& query);
+
+  ExplainNode MakeNodeHeader(const Query& query, bool lazy) const;
+
+  /// Records the strategy the CURRENT plan node chose. Bodies call this at
+  /// decision points that run after their operand subtrees finished (each
+  /// child frame consumes-and-clears the slot), so the value the frame
+  /// reads on finish is its own. No-op when no profile is attached.
+  void RecordStrategy(const char* strategy) {
+    if (profile_ != nullptr) node_strategy_ = strategy;
+  }
 
   const Directory& directory_;
   const EntrySet* delta_;
   const ValueIndex* index_;
   const std::unordered_map<ClassId, EntrySet>* class_cache_ = nullptr;
   EvaluatorStats stats_;
+
+  // EXPLAIN state (untouched unless a profile is attached).
+  QueryProfile* profile_ = nullptr;
+  ExplainNode* profile_parent_ = nullptr;
+  const char* node_strategy_ = nullptr;
+  uint64_t profile_children_scanned_ = 0;
+  uint64_t profile_children_short_circuits_ = 0;
 };
 
 }  // namespace ldapbound

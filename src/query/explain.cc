@@ -1,0 +1,117 @@
+#include "query/explain.h"
+
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace ldapbound {
+
+std::string FormatDurationNs(uint64_t ns) {
+  char buf[32];
+  if (ns < 1000) {
+    std::snprintf(buf, sizeof(buf), "%lluns", static_cast<unsigned long long>(ns));
+  } else if (ns < 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.1fus", static_cast<double>(ns) / 1e3);
+  } else if (ns < 1000ull * 1000 * 1000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", static_cast<double>(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.2fs", static_cast<double>(ns) / 1e9);
+  }
+  return buf;
+}
+
+double ExplainNode::Selectivity() const {
+  uint64_t in = 0;
+  for (uint64_t c : input_cardinalities) in += c;
+  if (in == 0) return 1.0;
+  return static_cast<double>(out_cardinality) / static_cast<double>(in);
+}
+
+std::string ExplainNode::RenderText(int indent) const {
+  std::string out(static_cast<size_t>(indent) * 2, ' ');
+  out += op;
+  if (!detail.empty()) {
+    out += ' ';
+    out += detail;
+  }
+  if (!scope.empty() && scope != "all") {
+    out += " scope=";
+    out += scope;
+  }
+  out += "  out=";
+  out += std::to_string(out_cardinality);
+  if (!input_cardinalities.empty()) {
+    out += " in=[";
+    for (size_t i = 0; i < input_cardinalities.size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(input_cardinalities[i]);
+    }
+    out += ']';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), " sel=%.1f%%", Selectivity() * 100.0);
+    out += buf;
+  }
+  out += " scanned=";
+  out += std::to_string(entries_scanned);
+  out += ' ';
+  out += FormatDurationNs(latency_ns);
+  out += " [";
+  out += strategy.empty() ? "?" : strategy;
+  if (lazy) out += ", lazy";
+  if (short_circuit) out += ", short-circuit";
+  out += "]\n";
+  for (const ExplainNode& child : children) out += child.RenderText(indent + 1);
+  return out;
+}
+
+std::string ExplainNode::RenderJson() const {
+  std::string out = "{\"op\":" + JsonQuote(op);
+  if (!detail.empty()) out += ",\"detail\":" + JsonQuote(detail);
+  if (!scope.empty()) out += ",\"scope\":" + JsonQuote(scope);
+  out += ",\"strategy\":" + JsonQuote(strategy);
+  out += ",\"lazy\":";
+  out += lazy ? "true" : "false";
+  out += ",\"short_circuit\":";
+  out += short_circuit ? "true" : "false";
+  out += ",\"out\":" + std::to_string(out_cardinality);
+  out += ",\"scanned\":" + std::to_string(entries_scanned);
+  out += ",\"latency_ns\":" + std::to_string(latency_ns);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), ",\"selectivity\":%.6g", Selectivity());
+  out += buf;
+  out += ",\"inputs\":[";
+  for (size_t i = 0; i < input_cardinalities.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(input_cardinalities[i]);
+  }
+  out += "],\"children\":[";
+  for (size_t i = 0; i < children.size(); ++i) {
+    if (i > 0) out += ',';
+    out += children[i].RenderJson();
+  }
+  out += "]}";
+  return out;
+}
+
+std::string QueryProfile::RenderText() const {
+  std::string out = root.RenderText();
+  out += "total: ";
+  out += std::to_string(total_nodes);
+  out += " nodes, ";
+  out += std::to_string(total_scanned);
+  out += " entries scanned, ";
+  out += FormatDurationNs(total_ns);
+  out += '\n';
+  return out;
+}
+
+std::string QueryProfile::RenderJson() const {
+  std::string out = "{\"total_ns\":" + std::to_string(total_ns);
+  out += ",\"total_nodes\":" + std::to_string(total_nodes);
+  out += ",\"total_scanned\":" + std::to_string(total_scanned);
+  out += ",\"plan\":" + root.RenderJson();
+  out += '}';
+  return out;
+}
+
+}  // namespace ldapbound

@@ -1,7 +1,9 @@
 #include "server/directory_server.h"
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "consistency/inference.h"
@@ -11,6 +13,7 @@
 #include "schema/schema_format.h"
 #include "update/incremental.h"
 #include "util/failpoint.h"
+#include "util/log.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -65,6 +68,112 @@ ServerMetrics& GetServerMetrics() {
   return *metrics;
 }
 
+constexpr size_t kMaxDetailChars = 512;
+
+uint64_t WallClockMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Per-operation diagnostics scope: assigns the operation id, tags
+/// same-thread trace spans with it (TraceOpScope), captures those spans
+/// for the slow-op log (SpanCollector), and on destruction emits one
+/// structured log event and offers the record to the SlowOpLog.
+///
+/// Fully passive — no id drawn, nothing captured — when neither the slow
+/// log nor the JSON log is on, and when an outer operation is already
+/// being tracked on this thread (Add/Delete delegate to Apply; the outer
+/// call is the operation).
+class OpTracker {
+ public:
+  OpTracker(SlowOpLog* log, std::atomic<uint64_t>& next_op_id, const char* op,
+            std::string target) {
+    bool want_json = JsonLog::Default().enabled();
+    if ((log == nullptr && !want_json) || TraceOpScope::current() != 0) return;
+    log_ = log;
+    op_ = op;
+    target_ = std::move(target);
+    op_id_ = next_op_id.fetch_add(1, std::memory_order_relaxed);
+    start_unix_ms_ = WallClockMs();
+    start_ns_ = Tracer::NowNs();
+    scope_.emplace(op_id_);
+    if (log_ != nullptr) collector_.emplace();
+    active_ = true;
+  }
+  OpTracker(const OpTracker&) = delete;
+  OpTracker& operator=(const OpTracker&) = delete;
+
+  void Ok() { outcome_ = "ok"; }
+  void Rejected(std::string_view detail, std::string explain = "") {
+    outcome_ = "rejected";
+    detail_ = detail.substr(0, kMaxDetailChars);
+    explain_ = std::move(explain);
+  }
+
+  ~OpTracker() {
+    if (!active_) return;
+    uint64_t duration_ns = Tracer::NowNs() - start_ns_;
+    std::vector<Tracer::Event> spans;
+    if (collector_.has_value()) {
+      spans = collector_->TakeEvents();
+      collector_.reset();
+    }
+    scope_.reset();
+    JsonLog& json = JsonLog::Default();
+    if (json.enabled()) {
+      LogEvent event("op");
+      event.Num("op_id", op_id_)
+          .Str("op", op_)
+          .Str("target", target_)
+          .Str("outcome", outcome_)
+          .Num("duration_ns", duration_ns);
+      if (!detail_.empty()) event.Str("detail", detail_);
+      json.Write(event);
+    }
+    if (log_ != nullptr) {
+      SlowOp record;
+      record.op_id = op_id_;
+      record.op = op_;
+      record.target = std::move(target_);
+      record.outcome = outcome_;
+      record.detail = std::move(detail_);
+      record.explain = std::move(explain_);
+      record.start_unix_ms = start_unix_ms_;
+      record.duration_ns = duration_ns;
+      record.spans = std::move(spans);
+      log_->Record(std::move(record));
+    }
+  }
+
+ private:
+  SlowOpLog* log_ = nullptr;
+  const char* op_ = "";
+  std::string target_;
+  std::string outcome_ = "error";  // early exits that never mark an outcome
+  std::string detail_;
+  std::string explain_;
+  uint64_t op_id_ = 0;
+  uint64_t start_unix_ms_ = 0;
+  uint64_t start_ns_ = 0;
+  std::optional<TraceOpScope> scope_;
+  std::optional<SpanCollector> collector_;
+  bool active_ = false;
+};
+
+/// One "detected by" line per violation — the constraint-level summary the
+/// slow-op record keeps alongside the human-readable detail.
+std::string ExplainViolations(const std::vector<Violation>& violations,
+                              const Vocabulary& vocab) {
+  std::string out;
+  for (const Violation& v : violations) {
+    if (!out.empty()) out += '\n';
+    out += v.DetectedBy(vocab);
+  }
+  return out;
+}
+
 }  // namespace
 
 DirectoryServer::DirectoryServer(std::shared_ptr<Vocabulary> vocab,
@@ -94,22 +203,35 @@ Result<DirectoryServer> DirectoryServer::Create(
 // apply one; their outcome counters are independent of the apply family.
 Status DirectoryServer::Add(const DistinguishedName& dn, EntrySpec spec) {
   OpMetrics& op = GetServerMetrics().add;
+  OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "add", dn.ToString());
   LatencyTimer timer(op.latency_ns);
   UpdateTransaction txn;
   txn.Insert(dn, std::move(spec));
   Status status = Apply(txn);
-  if (status.ok()) ++stats_->adds;
+  if (status.ok()) {
+    ++stats_->adds;
+    tracker.Ok();
+  } else {
+    tracker.Rejected(status.message());
+  }
   (status.ok() ? op.ok : op.rejected).Increment();
   return status;
 }
 
 Status DirectoryServer::Delete(const DistinguishedName& dn) {
   OpMetrics& op = GetServerMetrics().del;
+  OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "delete",
+                    dn.ToString());
   LatencyTimer timer(op.latency_ns);
   UpdateTransaction txn;
   txn.Delete(dn);
   Status status = Apply(txn);
-  if (status.ok()) ++stats_->deletes;
+  if (status.ok()) {
+    ++stats_->deletes;
+    tracker.Ok();
+  } else {
+    tracker.Rejected(status.message());
+  }
   (status.ok() ? op.ok : op.rejected).Increment();
   return status;
 }
@@ -147,6 +269,8 @@ Status DirectoryServer::WalPersist(const std::vector<ChangeRecord>& records) {
 Status DirectoryServer::Apply(const UpdateTransaction& txn,
                               CommitStats* stats) {
   OpMetrics& op = GetServerMetrics().apply;
+  OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "apply",
+                    "txn(" + std::to_string(txn.ops().size()) + " ops)");
   LDAPBOUND_TRACE_SPAN("server.apply");
   LatencyTimer timer(op.latency_ns);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
@@ -157,6 +281,7 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
   if (!status.ok()) {
     ++stats_->rejected;
     op.rejected.Increment();
+    tracker.Rejected(status.message());
     return status;
   }
   if ((changelog_ != nullptr || wal_ != nullptr) && !txn.empty()) {
@@ -185,6 +310,7 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
     }
   }
   op.ok.Increment();
+  tracker.Ok();
   return status;
 }
 
@@ -239,6 +365,8 @@ Status DirectoryServer::ApplyOneModification(EntryId id,
 Status DirectoryServer::Modify(const DistinguishedName& dn,
                                const std::vector<Modification>& mods) {
   OpMetrics& op = GetServerMetrics().modify;
+  OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "modify",
+                    dn.ToString());
   LDAPBOUND_TRACE_SPAN("server.modify");
   LatencyTimer timer(op.latency_ns);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
@@ -246,6 +374,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
   if (!resolved.ok()) {
     ++stats_->rejected;
     op.rejected.Increment();
+    tracker.Rejected(resolved.status().message());
     return resolved.status();
   }
   EntryId id = *resolved;
@@ -264,6 +393,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
       rollback();
       ++stats_->rejected;
       op.rejected.Increment();
+      tracker.Rejected(status.message());
       return status;
     }
   }
@@ -301,9 +431,11 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
     rollback();
     ++stats_->rejected;
     op.rejected.Increment();
-    return Status::Illegal("modify of '" + dn.ToString() +
-                           "' violates the schema:\n" +
-                           DescribeViolations(violations, *vocab_));
+    Status status = Status::Illegal("modify of '" + dn.ToString() +
+                                    "' violates the schema:\n" +
+                                    DescribeViolations(violations, *vocab_));
+    tracker.Rejected(status.message(), ExplainViolations(violations, *vocab_));
+    return status;
   }
   if (changelog_ != nullptr || wal_ != nullptr) {
     ChangeRecord record;
@@ -316,6 +448,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
   }
   ++stats_->modifies;
   op.ok.Increment();
+  tracker.Ok();
   return Status::OK();
 }
 
@@ -323,6 +456,8 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
                                  const DistinguishedName& new_parent_dn,
                                  std::string new_rdn) {
   OpMetrics& op = GetServerMetrics().modify_dn;
+  OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "modify_dn",
+                    dn.ToString());
   LDAPBOUND_TRACE_SPAN("server.modify_dn");
   LatencyTimer timer(op.latency_ns);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
@@ -330,6 +465,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
   if (!entry.ok()) {
     ++stats_->rejected;
     op.rejected.Increment();
+    tracker.Rejected(entry.status().message());
     return entry.status();
   }
   EntryId new_parent = kInvalidEntryId;
@@ -338,6 +474,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     if (!resolved.ok()) {
       ++stats_->rejected;
       op.rejected.Increment();
+      tracker.Rejected(resolved.status().message());
       return resolved.status();
     }
     new_parent = *resolved;
@@ -350,6 +487,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
   if (!status.ok()) {
     ++stats_->rejected;
     op.rejected.Increment();
+    tracker.Rejected(status.message());
     return status;
   }
   if (!new_rdn.empty()) {
@@ -358,6 +496,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
       (void)directory_->MoveSubtree(*entry, old_parent);
       ++stats_->rejected;
       op.rejected.Increment();
+      tracker.Rejected(status.message());
       return status;
     }
   }
@@ -370,9 +509,11 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     (void)directory_->MoveSubtree(*entry, old_parent);
     ++stats_->rejected;
     op.rejected.Increment();
-    return Status::Illegal("moving '" + dn.ToString() +
-                           "' violates the schema:\n" +
-                           DescribeViolations(violations, *vocab_));
+    Status illegal = Status::Illegal("moving '" + dn.ToString() +
+                                     "' violates the schema:\n" +
+                                     DescribeViolations(violations, *vocab_));
+    tracker.Rejected(illegal.message(), ExplainViolations(violations, *vocab_));
+    return illegal;
   }
   if (changelog_ != nullptr || wal_ != nullptr) {
     ChangeRecord record;
@@ -386,12 +527,16 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
   }
   ++stats_->modifies;
   op.ok.Increment();
+  tracker.Ok();
   return Status::OK();
 }
 
 Result<std::vector<EntryId>> DirectoryServer::Search(
     const SearchRequest& request) const {
   OpMetrics& op = GetServerMetrics().search;
+  OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "search",
+                    request.base.ToString());
+  tracker.Ok();
   LDAPBOUND_TRACE_SPAN("server.search");
   LatencyTimer timer(op.latency_ns);
   stats_->searches.fetch_add(1, std::memory_order_relaxed);
@@ -411,6 +556,8 @@ Result<std::vector<EntryId>> DirectoryServer::Search(
 
 Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
   OpMetrics& op = GetServerMetrics().import;
+  OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "import",
+                    "ldif(" + std::to_string(text.size()) + " bytes)");
   LDAPBOUND_TRACE_SPAN("server.import");
   LatencyTimer timer(op.latency_ns);
   auto imported = [&]() -> Result<size_t> {
@@ -440,9 +587,11 @@ Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
   if (imported.ok()) {
     ++stats_->imports;
     op.ok.Increment();
+    tracker.Ok();
   } else {
     ++stats_->rejected;
     op.rejected.Increment();
+    tracker.Rejected(imported.status().message());
   }
   return imported;
 }
@@ -577,6 +726,7 @@ DirectoryServer::Stats DirectoryServer::stats() const {
   snapshot.deletes = stats_->deletes.load(std::memory_order_relaxed);
   snapshot.modifies = stats_->modifies.load(std::memory_order_relaxed);
   snapshot.searches = stats_->searches.load(std::memory_order_relaxed);
+  snapshot.imports = stats_->imports.load(std::memory_order_relaxed);
   snapshot.rejected = stats_->rejected.load(std::memory_order_relaxed);
   return snapshot;
 }

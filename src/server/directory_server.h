@@ -12,6 +12,7 @@
 #include "schema/directory_schema.h"
 #include "server/changelog.h"
 #include "server/modification.h"
+#include "server/slow_ops.h"
 #include "server/wal.h"
 #include "update/transaction.h"
 
@@ -157,6 +158,23 @@ class DirectoryServer {
   /// to resume writing from the durable prefix.
   bool wal_failed() const { return wal_failed_; }
 
+  /// Starts slow-op diagnostics: every top-level operation (nested
+  /// delegations like Add -> Apply count once) is timed and offered to a
+  /// bounded keep-the-slowest log; retained records carry the trace spans
+  /// the operation's thread recorded (checker passes, constraint queries,
+  /// WAL fsyncs) and, for rejections, the per-violation "detected by"
+  /// summary. Served by the monitor endpoint's /slowz. Call before
+  /// traffic, from the writer thread.
+  void EnableSlowOps(size_t capacity = 32, uint64_t min_duration_ns = 0) {
+    if (slow_ops_ == nullptr) {
+      slow_ops_ = std::make_unique<SlowOpLog>(capacity, min_duration_ns);
+    }
+  }
+
+  /// The slow-op log, or nullptr when not enabled. The log is internally
+  /// synchronized: reading it is safe concurrently with any operation.
+  const SlowOpLog* slow_ops() const { return slow_ops_.get(); }
+
   /// Worker configuration for the legality passes this server runs
   /// (ImportLdif validation, IsLegal, Modify's key recheck, and the
   /// transaction validators). Defaults to hardware concurrency; set
@@ -211,6 +229,8 @@ class DirectoryServer {
     std::atomic<size_t> searches{0};
     std::atomic<size_t> imports{0};
     std::atomic<size_t> rejected{0};
+    /// Operation-id source for slow-op records and log/trace correlation.
+    std::atomic<uint64_t> next_op_id{1};
   };
 
   std::shared_ptr<Vocabulary> vocab_;
@@ -218,6 +238,7 @@ class DirectoryServer {
   std::unique_ptr<Directory> directory_;
   std::unique_ptr<Changelog> changelog_;
   std::unique_ptr<WriteAheadLog> wal_;
+  std::unique_ptr<SlowOpLog> slow_ops_;
   bool wal_failed_ = false;
   uint64_t next_txn_ = 1;
   CheckOptions check_options_;

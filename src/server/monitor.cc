@@ -1,0 +1,241 @@
+#include "server/monitor.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "server/directory_server.h"
+#include "util/json.h"
+#include "util/metrics.h"
+
+namespace ldapbound {
+
+namespace {
+
+void AppendU64Field(std::string& out, const char* key, uint64_t value,
+                    bool first = false) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, first ? "" : ",", key,
+                value);
+  out += buf;
+}
+
+void AppendBoolField(std::string& out, const char* key, bool value,
+                     bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += value ? "\":true" : "\":false";
+}
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  char head[160];
+  std::snprintf(head, sizeof(head),
+                "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
+                "Content-Length: %zu\r\nConnection: close\r\n\r\n",
+                code, reason, content_type, body.size());
+  return head + body;
+}
+
+void WriteAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // peer went away; a scrape retry is the recovery path
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+/// Extracts the request path from "GET /path HTTP/1.1..."; empty on
+/// anything that is not a GET.
+std::string ParseRequestPath(const std::string& request) {
+  if (request.rfind("GET ", 0) != 0) return "";
+  size_t start = 4;
+  size_t end = request.find(' ', start);
+  if (end == std::string::npos) return "";
+  std::string path = request.substr(start, end - start);
+  size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+  return path;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<MonitorServer>> MonitorServer::Start(
+    const DirectoryServer* server, const MonitorOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("monitor: socket: ") +
+                            std::strerror(errno));
+  }
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("monitor: bad bind address '" +
+                                   options.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Status::Internal(
+        "monitor: bind " + options.bind_address + ":" +
+        std::to_string(options.port) + ": " + std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 16) != 0) {
+    Status status = Status::Internal(std::string("monitor: listen: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status status = Status::Internal(std::string("monitor: getsockname: ") +
+                                     std::strerror(errno));
+    ::close(fd);
+    return status;
+  }
+  return std::unique_ptr<MonitorServer>(
+      new MonitorServer(server, fd, ntohs(bound.sin_port)));
+}
+
+MonitorServer::MonitorServer(const DirectoryServer* server, int listen_fd,
+                             uint16_t port)
+    : server_(server), listen_fd_(listen_fd), port_(port) {
+  thread_ = std::thread([this]() { AcceptLoop(); });
+}
+
+MonitorServer::~MonitorServer() { Stop(); }
+
+void MonitorServer::Stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  // shutdown() wakes the blocked accept(); the loop then sees the failure
+  // and exits. close() after join so no connection outlives the fd.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+}
+
+void MonitorServer::AcceptLoop() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // shut down (or the listen socket died)
+    }
+    HandleConnection(fd);
+    ::close(fd);
+  }
+}
+
+void MonitorServer::HandleConnection(int fd) {
+  // Scrape requests fit one read almost always; keep reading until the
+  // header terminator anyway, bounded so a bad client cannot park here.
+  std::string request;
+  char buf[2048];
+  while (request.size() < 16 * 1024 &&
+         request.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    request.append(buf, static_cast<size_t>(n));
+  }
+  std::string path = ParseRequestPath(request);
+  if (path == "/metrics") {
+    WriteAll(fd, HttpResponse(200, "OK", "text/plain; version=0.0.4",
+                              MetricRegistry::Default().RenderPrometheus()));
+  } else if (path == "/healthz") {
+    if (server_->wal_failed()) {
+      WriteAll(fd, HttpResponse(503, "Service Unavailable", "text/plain",
+                                "wal failed: server is read-only\n"));
+    } else {
+      WriteAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
+    }
+  } else if (path == "/statusz") {
+    WriteAll(fd,
+             HttpResponse(200, "OK", "application/json", RenderStatusz()));
+  } else if (path == "/slowz") {
+    WriteAll(fd, HttpResponse(200, "OK", "application/json", RenderSlowz()));
+  } else if (path.empty()) {
+    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
+                              "only GET is served here\n"));
+  } else {
+    WriteAll(fd, HttpResponse(
+                     404, "Not Found", "text/plain",
+                     "endpoints: /metrics /healthz /statusz /slowz\n"));
+  }
+}
+
+std::string MonitorServer::RenderStatusz() const {
+  const DirectoryServer& s = *server_;
+  const StructureSchema& structure = s.schema().structure();
+  DirectoryServer::Stats stats = s.stats();
+
+  std::string out = "{\"schema\":{";
+  AppendU64Field(out, "classes", s.vocab().num_classes(), /*first=*/true);
+  AppendU64Field(out, "attributes", s.vocab().num_attributes());
+  AppendU64Field(out, "required_classes", structure.required_classes().size());
+  AppendU64Field(out, "required_relationships", structure.required().size());
+  AppendU64Field(out, "forbidden_relationships", structure.forbidden().size());
+  AppendU64Field(out, "key_attributes",
+                 s.schema().key_attributes().size());
+  out += "}";
+  AppendU64Field(out, "entries", s.directory().NumEntries());
+
+  out += ",\"wal\":{";
+  AppendBoolField(out, "enabled", s.wal() != nullptr, /*first=*/true);
+  AppendBoolField(out, "failed", s.wal_failed());
+  if (s.wal() != nullptr) {
+    out += ",\"dir\":";
+    out += JsonQuote(s.wal()->dir());
+    AppendU64Field(out, "next_seq", s.wal()->next_seq());
+  }
+  out += "}";
+
+  out += ",\"stats\":{";
+  AppendU64Field(out, "adds", stats.adds, /*first=*/true);
+  AppendU64Field(out, "deletes", stats.deletes);
+  AppendU64Field(out, "modifies", stats.modifies);
+  AppendU64Field(out, "searches", stats.searches);
+  AppendU64Field(out, "imports", stats.imports);
+  AppendU64Field(out, "rejected", stats.rejected);
+  out += "}";
+
+  out += ",\"slow_ops\":{";
+  AppendBoolField(out, "enabled", s.slow_ops() != nullptr, /*first=*/true);
+  if (s.slow_ops() != nullptr) {
+    AppendU64Field(out, "capacity", s.slow_ops()->capacity());
+    AppendU64Field(out, "min_duration_ns", s.slow_ops()->min_duration_ns());
+    AppendU64Field(out, "recorded", s.slow_ops()->recorded());
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MonitorServer::RenderSlowz() const {
+  if (server_->slow_ops() == nullptr) {
+    return "{\"enabled\":false,\"ops\":[]}";
+  }
+  return server_->slow_ops()->RenderJson();
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,74 @@
+#ifndef LDAPBOUND_SERVER_MONITOR_H_
+#define LDAPBOUND_SERVER_MONITOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "util/result.h"
+
+namespace ldapbound {
+
+class DirectoryServer;
+
+/// Where the monitor listens. The default binds the loopback interface on
+/// an ephemeral port (port 0); read the bound port back via port().
+struct MonitorOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;
+};
+
+/// Embedded HTTP monitor endpoint — the operational surface of a
+/// DirectoryServer, on plain POSIX sockets (no dependencies):
+///
+///   GET /metrics  Prometheus text exposition of the process-wide metric
+///                 registry (legality pipeline, server ops, WAL, tracer)
+///   GET /healthz  "ok" — or 503 "wal failed" once a WAL append failed
+///                 and the server went read-only
+///   GET /statusz  JSON summary: schema shape, entry count, WAL state,
+///                 operation counters, slow-op log configuration
+///   GET /slowz    the slow-op diagnostics ring as JSON (slowest first)
+///
+/// One accept thread serves one request per connection (scrapes are rare
+/// and tiny; no keep-alive). /metrics, /healthz and /slowz read only
+/// internally synchronized state and are safe at any time. /statusz reads
+/// directory and WAL state, so it obeys the DirectoryServer read contract:
+/// its numbers may be mid-commit approximations, which scrapes tolerate.
+class MonitorServer {
+ public:
+  /// Binds and starts the accept thread. `server` must outlive the
+  /// returned monitor.
+  static Result<std::unique_ptr<MonitorServer>> Start(
+      const DirectoryServer* server, const MonitorOptions& options = {});
+
+  /// Stops accepting, closes the socket, joins the thread. Idempotent.
+  void Stop();
+  ~MonitorServer();
+
+  MonitorServer(const MonitorServer&) = delete;
+  MonitorServer& operator=(const MonitorServer&) = delete;
+
+  /// The bound port (the actual one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// The response body one endpoint would serve right now (no socket
+  /// involved; tests and the CLI's `status` command use this).
+  std::string RenderStatusz() const;
+  std::string RenderSlowz() const;
+
+ private:
+  MonitorServer(const DirectoryServer* server, int listen_fd, uint16_t port);
+  void AcceptLoop();
+  void HandleConnection(int fd);
+
+  const DirectoryServer* server_;
+  int listen_fd_;
+  uint16_t port_;
+  std::thread thread_;
+  bool stopped_ = false;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SERVER_MONITOR_H_

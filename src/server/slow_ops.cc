@@ -1,0 +1,111 @@
+#include "server/slow_ops.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+#include "util/json.h"
+
+namespace ldapbound {
+
+namespace {
+
+void AppendU64Field(std::string& out, const char* key, uint64_t value,
+                    bool first = false) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s\"%s\":%" PRIu64, first ? "" : ",", key,
+                value);
+  out += buf;
+}
+
+void AppendStrField(std::string& out, const char* key,
+                    const std::string& value) {
+  out += ",\"";
+  out += key;
+  out += "\":";
+  out += JsonQuote(value);
+}
+
+}  // namespace
+
+std::string SlowOp::RenderJson() const {
+  std::string out = "{";
+  AppendU64Field(out, "op_id", op_id, /*first=*/true);
+  AppendStrField(out, "op", op);
+  AppendStrField(out, "target", target);
+  AppendStrField(out, "outcome", outcome);
+  if (!detail.empty()) AppendStrField(out, "detail", detail);
+  if (!explain.empty()) AppendStrField(out, "explain", explain);
+  AppendU64Field(out, "start_unix_ms", start_unix_ms);
+  AppendU64Field(out, "duration_ns", duration_ns);
+  out += ",\"spans\":[";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Tracer::Event& e = spans[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":";
+    out += JsonQuote(e.name);
+    AppendU64Field(out, "start_ns", e.start_ns);
+    AppendU64Field(out, "dur_ns", e.dur_ns);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+SlowOpLog::SlowOpLog(size_t capacity, uint64_t min_duration_ns)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      min_duration_ns_(min_duration_ns) {}
+
+void SlowOpLog::Record(SlowOp op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (op.duration_ns < min_duration_ns_) return;
+  if (ops_.size() < capacity_) {
+    ops_.push_back(std::move(op));
+    return;
+  }
+  // Evict the fastest retained op if the newcomer is slower. Capacity is
+  // small (tens), so a linear scan beats heap bookkeeping.
+  size_t fastest = 0;
+  for (size_t i = 1; i < ops_.size(); ++i) {
+    if (ops_[i].duration_ns < ops_[fastest].duration_ns) fastest = i;
+  }
+  if (op.duration_ns > ops_[fastest].duration_ns) {
+    ops_[fastest] = std::move(op);
+  }
+}
+
+std::vector<SlowOp> SlowOpLog::Snapshot() const {
+  std::vector<SlowOp> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = ops_;
+  }
+  std::sort(out.begin(), out.end(), [](const SlowOp& a, const SlowOp& b) {
+    if (a.duration_ns != b.duration_ns) return a.duration_ns > b.duration_ns;
+    return a.op_id < b.op_id;
+  });
+  return out;
+}
+
+uint64_t SlowOpLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::string SlowOpLog::RenderJson() const {
+  std::vector<SlowOp> ops = Snapshot();
+  std::string out = "{";
+  AppendU64Field(out, "capacity", capacity_, /*first=*/true);
+  AppendU64Field(out, "min_duration_ns", min_duration_ns_);
+  AppendU64Field(out, "recorded", recorded());
+  out += ",\"ops\":[";
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (i > 0) out += ',';
+    out += ops[i].RenderJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ldapbound

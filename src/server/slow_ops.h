@@ -1,0 +1,69 @@
+#ifndef LDAPBOUND_SERVER_SLOW_OPS_H_
+#define LDAPBOUND_SERVER_SLOW_OPS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/trace.h"
+
+namespace ldapbound {
+
+/// One retained operation record of the slow-op diagnostics: what the
+/// operation was, how it ended, how long it took, the trace spans its
+/// thread recorded while it ran (checker passes, constraint queries, WAL
+/// appends/fsyncs — see util/trace.h TraceOpScope/SpanCollector), and, for
+/// rejections, the constraint-level "detected by" summary.
+struct SlowOp {
+  uint64_t op_id = 0;          ///< server-wide operation id
+  std::string op;              ///< "add", "apply", "search", "import", ...
+  std::string target;          ///< DN / request summary
+  std::string outcome;         ///< "ok", "rejected", "error"
+  std::string detail;          ///< rejection message (truncated)
+  std::string explain;         ///< per-violation "detected by" lines
+  uint64_t start_unix_ms = 0;  ///< wall-clock start
+  uint64_t duration_ns = 0;
+  std::vector<Tracer::Event> spans;  ///< calling-thread spans, in record order
+
+  /// The record as a JSON object (spans included, names escaped).
+  std::string RenderJson() const;
+};
+
+/// Bounded keep-the-slowest log: retains the `capacity` slowest operations
+/// seen so far (by duration), evicting the fastest retained one when a
+/// slower operation arrives. Thread-safe; Record takes a mutex, so it is
+/// called once per operation — never on per-entry paths. Served as JSON by
+/// the monitor endpoint's /slowz.
+class SlowOpLog {
+ public:
+  explicit SlowOpLog(size_t capacity = 32, uint64_t min_duration_ns = 0);
+
+  /// Offers one finished operation. Operations faster than
+  /// `min_duration_ns` are counted but never retained.
+  void Record(SlowOp op);
+
+  /// The retained operations, slowest first.
+  std::vector<SlowOp> Snapshot() const;
+
+  /// {"capacity":...,"min_duration_ns":...,"recorded":...,"ops":[...]} —
+  /// ops slowest first.
+  std::string RenderJson() const;
+
+  size_t capacity() const { return capacity_; }
+  uint64_t min_duration_ns() const { return min_duration_ns_; }
+
+  /// Operations offered to Record since construction (retained or not).
+  uint64_t recorded() const;
+
+ private:
+  const size_t capacity_;
+  const uint64_t min_duration_ns_;
+  mutable std::mutex mu_;
+  uint64_t recorded_ = 0;
+  std::vector<SlowOp> ops_;  // unordered; Snapshot sorts
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SERVER_SLOW_OPS_H_

@@ -1,0 +1,52 @@
+#include "util/json.h"
+
+#include <cstdio>
+
+namespace ldapbound {
+
+void AppendJsonEscaped(std::string& out, std::string_view value) {
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string JsonQuote(std::string_view value) {
+  std::string out;
+  out.reserve(value.size() + 2);
+  out += '"';
+  AppendJsonEscaped(out, value);
+  out += '"';
+  return out;
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,23 @@
+#ifndef LDAPBOUND_UTIL_JSON_H_
+#define LDAPBOUND_UTIL_JSON_H_
+
+#include <string>
+#include <string_view>
+
+namespace ldapbound {
+
+/// Minimal JSON emission helpers shared by every hand-rolled JSON renderer
+/// in the tree (EXPLAIN plans, the structured log, the monitor endpoint,
+/// slow-op dumps). Emission only — parsing JSON is out of scope.
+
+/// Appends `value` to `out` with JSON string escaping applied (quote,
+/// backslash, and control characters; the latter as \uXXXX or the short
+/// forms \n \r \t \b \f).
+void AppendJsonEscaped(std::string& out, std::string_view value);
+
+/// `value` as a quoted, escaped JSON string literal.
+std::string JsonQuote(std::string_view value);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_JSON_H_

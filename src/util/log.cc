@@ -1,0 +1,80 @@
+#include "util/log.h"
+
+#include <chrono>
+
+#include "util/json.h"
+
+namespace ldapbound {
+
+LogEvent::LogEvent(std::string_view event) {
+  buf_ = "{\"event\":";
+  buf_ += JsonQuote(event);
+}
+
+LogEvent& LogEvent::Str(std::string_view key, std::string_view value) {
+  buf_ += ',';
+  buf_ += JsonQuote(key);
+  buf_ += ':';
+  buf_ += JsonQuote(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Num(std::string_view key, uint64_t value) {
+  buf_ += ',';
+  buf_ += JsonQuote(key);
+  buf_ += ':';
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::SignedNum(std::string_view key, int64_t value) {
+  buf_ += ',';
+  buf_ += JsonQuote(key);
+  buf_ += ':';
+  buf_ += std::to_string(value);
+  return *this;
+}
+
+LogEvent& LogEvent::Bool(std::string_view key, bool value) {
+  buf_ += ',';
+  buf_ += JsonQuote(key);
+  buf_ += ':';
+  buf_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string LogEvent::json() const { return buf_ + '}'; }
+
+JsonLog& JsonLog::Default() {
+  static JsonLog* log = new JsonLog();  // leaked: outlives static dtors
+  return *log;
+}
+
+void JsonLog::SetSink(std::FILE* sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_.store(sink, std::memory_order_release);
+}
+
+bool JsonLog::enabled() const {
+  return sink_.load(std::memory_order_acquire) != nullptr;
+}
+
+void JsonLog::Write(const LogEvent& event) {
+  const uint64_t ts_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+  std::lock_guard<std::mutex> lock(mu_);
+  std::FILE* sink = sink_.load(std::memory_order_relaxed);
+  if (sink == nullptr) return;
+  std::string line = event.json();
+  // Splice ts_ms right after '{' so it leads every event without the
+  // builder having to know about it.
+  std::string stamped = "{\"ts_ms\":" + std::to_string(ts_ms) + ',';
+  stamped.append(line, 1, std::string::npos);
+  stamped += '\n';
+  std::fwrite(stamped.data(), 1, stamped.size(), sink);
+  std::fflush(sink);
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,64 @@
+#ifndef LDAPBOUND_UTIL_LOG_H_
+#define LDAPBOUND_UTIL_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace ldapbound {
+
+/// One structured log event, built field-by-field and emitted as a single
+/// JSON object on one line. Keys are written in insertion order; values are
+/// escaped (util/json.h). The event name always comes first:
+///
+///   LogEvent("op").Str("op", "add").Num("dur_ns", 1234).Bool("ok", true)
+///   -> {"event":"op","op":"add","dur_ns":1234,"ok":true}
+class LogEvent {
+ public:
+  explicit LogEvent(std::string_view event);
+
+  LogEvent& Str(std::string_view key, std::string_view value);
+  LogEvent& Num(std::string_view key, uint64_t value);
+  LogEvent& SignedNum(std::string_view key, int64_t value);
+  LogEvent& Bool(std::string_view key, bool value);
+
+  /// The finished JSON object (no trailing newline).
+  std::string json() const;
+
+ private:
+  std::string buf_;
+};
+
+/// Process-wide structured JSON log sink: JSON-lines, one event per line,
+/// flushed per write. Disabled by default (enabled() is false and Write is
+/// a no-op) so instrumented code can log unconditionally; `ldapbound serve
+/// --log-json` points it at a file or stderr. Writes are serialized by a
+/// mutex — callers are expected to log at operation granularity, never
+/// per entry.
+class JsonLog {
+ public:
+  /// The process-wide sink used by the server's op diagnostics.
+  static JsonLog& Default();
+
+  JsonLog() = default;
+
+  /// Directs events to `sink` (not owned; nullptr disables). A "ts_ms"
+  /// wall-clock field is prepended to every event written.
+  void SetSink(std::FILE* sink);
+
+  bool enabled() const;
+
+  /// Emits `event` as one line; no-op when disabled.
+  void Write(const LogEvent& event);
+
+ private:
+  mutable std::mutex mu_;                    // serializes writes
+  std::atomic<std::FILE*> sink_{nullptr};    // lock-free enabled() probe
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_LOG_H_

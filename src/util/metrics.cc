@@ -100,6 +100,35 @@ Histogram& MetricRegistry::GetHistogram(std::string_view name,
   return *s.histogram;
 }
 
+std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string MakeLabel(std::string_view name, std::string_view value) {
+  std::string out(name);
+  out += "=\"";
+  out += EscapeLabelValue(value);
+  out += '"';
+  return out;
+}
+
 std::string MetricRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;

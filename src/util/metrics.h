@@ -91,6 +91,16 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+/// Escapes a label VALUE per the Prometheus text exposition format:
+/// backslash, double-quote and newline become \\ , \" and \n. Label names
+/// and metric names need no escaping (they are identifier-restricted).
+std::string EscapeLabelValue(std::string_view value);
+
+/// Renders one `name="value"` label pair with the value escaped. Join
+/// multiple pairs with "," to build the `labels` argument of the registry
+/// getters when values are not compile-time literals.
+std::string MakeLabel(std::string_view name, std::string_view value);
+
 /// Observes the lifetime of a scope, in nanoseconds, into a histogram.
 class LatencyTimer {
  public:

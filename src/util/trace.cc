@@ -9,9 +9,23 @@
 #include <mutex>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace ldapbound {
 
 namespace {
+
+thread_local uint64_t g_current_op_id = 0;
+thread_local SpanCollector* g_span_collector = nullptr;
+
+/// Process-wide mirror of the ring's eviction count, so silent span loss
+/// is visible on /metrics even when nobody reads Tracer::dropped().
+Counter& DroppedSpansCounter() {
+  static Counter* counter = &MetricRegistry::Default().GetCounter(
+      "ldapbound_trace_dropped_spans_total",
+      "Trace spans evicted from the ring before export (ring overflow)");
+  return *counter;
+}
 
 /// Ring capacity (events) and the per-thread buffer size that triggers a
 /// drain. Small buffers keep exports complete without making the owner
@@ -53,13 +67,20 @@ void PushToRing(std::vector<Tracer::Event>&& events,
                 std::atomic<uint64_t>& dropped) {
   if (events.empty()) return;
   Ring& ring = GlobalRing();
-  std::lock_guard<std::mutex> lock(ring.mu);
-  for (Tracer::Event& e : events) {
-    if (ring.events.size() >= kRingCapacity) {
-      ring.events.pop_front();
-      dropped.fetch_add(1, std::memory_order_relaxed);
+  uint64_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(ring.mu);
+    for (Tracer::Event& e : events) {
+      if (ring.events.size() >= kRingCapacity) {
+        ring.events.pop_front();
+        ++evicted;
+      }
+      ring.events.push_back(e);
     }
-    ring.events.push_back(e);
+  }
+  if (evicted > 0) {
+    dropped.fetch_add(evicted, std::memory_order_relaxed);
+    DroppedSpansCounter().Increment(evicted);
   }
   events.clear();
 }
@@ -96,13 +117,23 @@ ThreadBuffer& LocalBuffer() {
 }
 
 void AppendJsonEvent(std::string& out, const Tracer::Event& e, bool first) {
-  char buf[192];
-  std::snprintf(buf, sizeof(buf),
-                "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
-                "\"ts\":%.3f,\"dur\":%.3f}",
-                first ? "" : ",\n", e.name, e.tid,
-                static_cast<double>(e.start_ns) / 1000.0,
-                static_cast<double>(e.dur_ns) / 1000.0);
+  char buf[256];
+  if (e.op_id != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"op_id\":%llu}}",
+                  first ? "" : ",\n", e.name, e.tid,
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0,
+                  static_cast<unsigned long long>(e.op_id));
+  } else {
+    std::snprintf(buf, sizeof(buf),
+                  "%s{\"name\":\"%s\",\"ph\":\"X\",\"pid\":1,\"tid\":%u,"
+                  "\"ts\":%.3f,\"dur\":%.3f}",
+                  first ? "" : ",\n", e.name, e.tid,
+                  static_cast<double>(e.start_ns) / 1000.0,
+                  static_cast<double>(e.dur_ns) / 1000.0);
+  }
   out += buf;
 }
 
@@ -121,18 +152,37 @@ Tracer& Tracer::Default() {
 }
 
 void Tracer::Record(const char* name, uint64_t start_ns, uint64_t dur_ns) {
+  Event e{name, 0, start_ns, dur_ns, g_current_op_id};
+  if (g_span_collector != nullptr) g_span_collector->Add(e);
   if (!enabled()) return;
   ThreadBuffer& buffer = LocalBuffer();
   std::vector<Event> overflow;
   {
     std::lock_guard<std::mutex> lock(buffer.mu);
-    buffer.events.push_back(Event{name, buffer.tid, start_ns, dur_ns});
+    e.tid = buffer.tid;
+    buffer.events.push_back(e);
     if (buffer.events.size() >= kFlushThreshold) {
       overflow.swap(buffer.events);
     }
   }
   PushToRing(std::move(overflow), dropped_);
 }
+
+TraceOpScope::TraceOpScope(uint64_t op_id) : saved_(g_current_op_id) {
+  g_current_op_id = op_id;
+}
+
+TraceOpScope::~TraceOpScope() { g_current_op_id = saved_; }
+
+uint64_t TraceOpScope::current() { return g_current_op_id; }
+
+SpanCollector::SpanCollector() : prev_(g_span_collector) {
+  g_span_collector = this;
+}
+
+SpanCollector::~SpanCollector() { g_span_collector = prev_; }
+
+SpanCollector* SpanCollector::current() { return g_span_collector; }
 
 void Tracer::DrainAllLocked() {
   BufferRegistry& registry = GlobalRegistry();

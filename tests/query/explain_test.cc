@@ -1,0 +1,213 @@
+#include "query/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "core/legality_checker.h"
+#include "query/evaluator.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+// Same forest as evaluator_test:
+//   att(org) ── labs(org) ── laks(person), suciu(person)
+//            └─ sales(org) ── eve(person,engineer)
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() : d_(w_.vocab) {
+    att_ = AddBare(d_, kInvalidEntryId, "o=att", {w_.top, w_.org});
+    labs_ = AddBare(d_, att_, "ou=labs", {w_.top, w_.org});
+    laks_ = AddBare(d_, labs_, "uid=laks", {w_.top, w_.person});
+    suciu_ = AddBare(d_, labs_, "uid=suciu", {w_.top, w_.person});
+    sales_ = AddBare(d_, att_, "ou=sales", {w_.top, w_.org});
+    eve_ = AddBare(d_, sales_, "uid=eve",
+                   {w_.top, w_.person, w_.engineer});
+  }
+
+  Query Cls(ClassId c, Scope scope = Scope::kAll) {
+    return Query::Select(MatchClass(c), scope);
+  }
+
+  SimpleWorld w_;
+  Directory d_;
+  EntryId att_, labs_, laks_, suciu_, sales_, eve_;
+};
+
+TEST_F(ExplainTest, ProfiledEvaluationMatchesPlain) {
+  Query q = Query::Hier(Axis::kChild, Cls(w_.org), Cls(w_.person));
+  QueryEvaluator plain(d_);
+  std::vector<EntryId> expected = plain.Evaluate(q).ToVector();
+
+  QueryProfile profile;
+  QueryEvaluator profiled(d_);
+  profiled.set_profile(&profile);
+  EXPECT_EQ(profiled.Evaluate(q).ToVector(), expected);
+  // Detaching restores the unprofiled path.
+  profiled.set_profile(nullptr);
+  EXPECT_EQ(profiled.Evaluate(q).ToVector(), expected);
+}
+
+TEST_F(ExplainTest, PlanTreeShapeAndCardinalities) {
+  // diff(org, child(org, person)): orgs without a person child.
+  Query q = Query::Diff(Cls(w_.org),
+                        Query::Hier(Axis::kChild, Cls(w_.org),
+                                    Cls(w_.person)));
+  QueryProfile profile;
+  QueryEvaluator evaluator(d_);
+  evaluator.set_profile(&profile);
+  EntrySet result = evaluator.Evaluate(q);
+
+  const ExplainNode& root = profile.root;
+  EXPECT_EQ(root.op, "diff");
+  EXPECT_EQ(root.out_cardinality, result.Count());
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].op, "select");
+  EXPECT_EQ(root.children[0].out_cardinality, 3u);  // att, labs, sales
+  EXPECT_EQ(root.children[1].op, "child");
+  EXPECT_EQ(root.children[1].out_cardinality, 2u);  // labs, sales
+  ASSERT_EQ(root.children[1].children.size(), 2u);
+
+  // Input cardinalities are the children's outputs, in order.
+  ASSERT_EQ(root.input_cardinalities.size(), 2u);
+  EXPECT_EQ(root.input_cardinalities[0], 3u);
+  EXPECT_EQ(root.input_cardinalities[1], 2u);
+
+  // Every node names a strategy and no node is marked lazy.
+  ASSERT_EQ(profile.total_nodes, 5u);
+  for (const ExplainNode* n :
+       {&root, &root.children[0], &root.children[1]}) {
+    EXPECT_FALSE(n->strategy.empty()) << n->op;
+    EXPECT_FALSE(n->lazy) << n->op;
+  }
+
+  // Inclusive latency: a parent takes at least as long as each child.
+  EXPECT_GE(root.latency_ns, root.children[0].latency_ns);
+  EXPECT_GE(root.latency_ns, root.children[1].latency_ns);
+  EXPECT_EQ(profile.total_ns, root.latency_ns);
+}
+
+TEST_F(ExplainTest, LazyEmptinessPlanMarksLazyNodes) {
+  // Non-empty: org entries exist, so IsEmpty short-circuits at a witness.
+  Query q = Cls(w_.org);
+  QueryProfile profile;
+  QueryEvaluator evaluator(d_);
+  evaluator.set_profile(&profile);
+  EXPECT_FALSE(evaluator.IsEmpty(q));
+  EXPECT_TRUE(profile.root.lazy);
+  EXPECT_EQ(profile.root.out_cardinality, 0u);  // nothing materialized
+  EXPECT_FALSE(profile.root.strategy.empty());
+}
+
+TEST_F(ExplainTest, ScanCountsAttributeToOwnNode) {
+  // select scans all entries; the hier node's own scanned count excludes
+  // what its operand selects scanned.
+  Query q = Query::Hier(Axis::kChild, Cls(w_.org), Cls(w_.person));
+  QueryProfile profile;
+  QueryEvaluator evaluator(d_);
+  evaluator.set_profile(&profile);
+  evaluator.Evaluate(q);
+  uint64_t children_scanned = 0;
+  for (const ExplainNode& c : profile.root.children) {
+    children_scanned += c.entries_scanned;
+  }
+  EXPECT_EQ(profile.total_scanned,
+            profile.root.entries_scanned + children_scanned);
+  EXPECT_EQ(evaluator.stats().entries_scanned, profile.total_scanned);
+}
+
+TEST_F(ExplainTest, RenderTextAndJson) {
+  Query q = Query::Diff(Cls(w_.org),
+                        Query::Hier(Axis::kChild, Cls(w_.org),
+                                    Cls(w_.person)));
+  QueryProfile profile;
+  QueryEvaluator evaluator(d_);
+  evaluator.set_profile(&profile);
+  evaluator.Evaluate(q);
+
+  std::string text = profile.RenderText();
+  EXPECT_NE(text.find("diff"), std::string::npos);
+  EXPECT_NE(text.find("child"), std::string::npos);
+  EXPECT_NE(text.find("out="), std::string::npos);
+  EXPECT_NE(text.find("scanned="), std::string::npos);
+
+  std::string json = profile.RenderJson();
+  EXPECT_NE(json.find("\"total_ns\":"), std::string::npos);
+  EXPECT_NE(json.find("\"plan\":"), std::string::npos);
+  EXPECT_NE(json.find("\"op\":\"diff\""), std::string::npos);
+  // Balanced braces/brackets — the renderers emit JSON by hand.
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ExplainTest, SelectivityIsOutputOverInputs) {
+  ExplainNode node;
+  node.out_cardinality = 2;
+  node.input_cardinalities = {3, 1};
+  EXPECT_DOUBLE_EQ(node.Selectivity(), 0.5);
+  ExplainNode leaf;
+  leaf.out_cardinality = 7;
+  EXPECT_DOUBLE_EQ(leaf.Selectivity(), 1.0);
+}
+
+TEST_F(ExplainTest, FormatDurationTiers) {
+  EXPECT_EQ(FormatDurationNs(843), "843ns");
+  EXPECT_NE(FormatDurationNs(12'300).find("us"), std::string::npos);
+  EXPECT_NE(FormatDurationNs(4'560'000).find("ms"), std::string::npos);
+  EXPECT_NE(FormatDurationNs(1'200'000'000).find("s"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainStructureCoversEveryConstraint) {
+  StructureSchema& structure = w_.schema.mutable_structure();
+  structure.RequireClass(w_.org);
+  structure.RequireClass(w_.person);
+  structure.Require(w_.org, Axis::kDescendant, w_.person);
+  ASSERT_TRUE(structure.Forbid(w_.person, Axis::kChild, w_.top).ok());
+
+  LegalityChecker checker(w_.schema);
+  std::vector<ConstraintExplain> plans = checker.ExplainStructure(d_);
+  ASSERT_EQ(plans.size(), structure.Size());
+
+  // Required classes first (witness query, must be non-empty)...
+  EXPECT_TRUE(plans[0].require_nonempty);
+  EXPECT_TRUE(plans[0].satisfied);
+  EXPECT_GT(plans[0].cardinality, 0u);
+  EXPECT_NE(plans[0].constraint.find("require-class"), std::string::npos);
+  // ...then Er and Ef (violation query, must be empty).
+  EXPECT_FALSE(plans[2].require_nonempty);
+  EXPECT_TRUE(plans[2].satisfied);
+  EXPECT_EQ(plans[2].cardinality, 0u);
+
+  for (const ConstraintExplain& plan : plans) {
+    EXPECT_FALSE(plan.query.empty());
+    EXPECT_FALSE(plan.profile.root.op.empty()) << plan.constraint;
+    std::string text = plan.RenderText();
+    EXPECT_NE(text.find(plan.constraint), std::string::npos);
+    EXPECT_NE(text.find("query:"), std::string::npos);
+  }
+}
+
+TEST_F(ExplainTest, ExplainStructureReportsViolations) {
+  StructureSchema& structure = w_.schema.mutable_structure();
+  structure.RequireClass(w_.mailbox);  // nobody has a mailbox
+  ASSERT_TRUE(structure.Forbid(w_.org, Axis::kChild, w_.person).ok());
+
+  LegalityChecker checker(w_.schema);
+  std::vector<ConstraintExplain> plans = checker.ExplainStructure(d_);
+  ASSERT_EQ(plans.size(), 2u);
+  EXPECT_FALSE(plans[0].satisfied);  // no mailbox witness
+  EXPECT_EQ(plans[0].cardinality, 0u);
+  EXPECT_FALSE(plans[1].satisfied);  // labs/sales have person children
+  EXPECT_GT(plans[1].cardinality, 0u);
+  EXPECT_NE(plans[1].RenderText().find("VIOLATED"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,126 @@
+// Monitor endpoint under concurrent load: scraper threads hammer /metrics,
+// /statusz and /slowz over real sockets while worker threads run searches,
+// bump metric counters and feed the slow-op ring. The monitor holds only
+// const references into internally-synchronized state, so this must be
+// data-race free (the `concurrency` label runs it under TSan).
+#include "server/monitor.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/directory_server.h"
+#include "util/metrics.h"
+
+namespace ldapbound {
+namespace {
+
+constexpr char kSchema[] = R"(
+attribute name string
+
+class person : top {
+  require name
+}
+)";
+
+DistinguishedName Dn(const std::string& s) {
+  return *DistinguishedName::Parse(s);
+}
+
+std::string HttpGet(uint16_t port, const std::string& path) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string request = "GET " + path + " HTTP/1.1\r\n\r\n";
+  (void)!::write(fd, request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(MonitorConcurrencyTest, ScrapesRaceSearchesAndSlowOps) {
+  auto server = DirectoryServer::Create(kSchema);
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server->EnableSlowOps(/*capacity=*/8);
+
+  EntrySpec spec;
+  spec.classes = {"person", "top"};
+  spec.values = {{"name", "alice"}};
+  ASSERT_TRUE(server->Add(Dn("name=alice"), spec).ok());
+
+  auto monitor = MonitorServer::Start(&*server);
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+  uint16_t port = (*monitor)->port();
+
+  // Searches are const reads, safe to run concurrently with each other
+  // and with scrapes; each one feeds the stats counters and the slow-op
+  // ring, so the monitor renders state that is mutating under it.
+  constexpr int kWorkers = 4;
+  constexpr int kScrapers = 4;
+  constexpr int kIterations = 200;
+  std::atomic<int> scrape_failures{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWorkers; ++w) {
+    threads.emplace_back([&server, w] {
+      Counter& churn = MetricRegistry::Default().GetCounter(
+          "test_monitor_churn_total", "Concurrency-test counter churn");
+      SearchRequest request;
+      request.base = Dn("name=alice");
+      request.scope = SearchScope::kBase;
+      for (int i = 0; i < kIterations; ++i) {
+        churn.Increment();
+        auto result = server->Search(request);
+        if (!result.ok() || result->size() != 1) std::abort();
+        (void)w;
+      }
+    });
+  }
+  for (int s = 0; s < kScrapers; ++s) {
+    threads.emplace_back([port, &scrape_failures] {
+      const char* kPaths[] = {"/metrics", "/statusz", "/slowz", "/healthz"};
+      for (int i = 0; i < kIterations; ++i) {
+        std::string response = HttpGet(port, kPaths[i % 4]);
+        if (response.find("HTTP/1.1 200 OK") == std::string::npos) {
+          scrape_failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(scrape_failures.load(), 0);
+  // Every search was tracked; the ring retained at most its capacity.
+  EXPECT_EQ(server->stats().searches,
+            static_cast<uint64_t>(kWorkers) * kIterations + 0u);
+  EXPECT_LE(server->slow_ops()->Snapshot().size(), 8u);
+  EXPECT_GE(server->slow_ops()->recorded(),
+            static_cast<uint64_t>(kWorkers) * kIterations);
+
+  // A final scrape still renders the full, consistent state.
+  std::string metrics = HttpGet(port, "/metrics");
+  EXPECT_NE(metrics.find("test_monitor_churn_total"), std::string::npos);
+  (*monitor)->Stop();
+}
+
+}  // namespace
+}  // namespace ldapbound

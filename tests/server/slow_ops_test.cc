@@ -1,0 +1,181 @@
+#include "server/slow_ops.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/directory_server.h"
+#include "update/transaction.h"
+
+namespace ldapbound {
+namespace {
+
+SlowOp MakeOp(uint64_t id, uint64_t duration_ns) {
+  SlowOp op;
+  op.op_id = id;
+  op.op = "add";
+  op.target = "uid=u" + std::to_string(id);
+  op.outcome = "ok";
+  op.duration_ns = duration_ns;
+  return op;
+}
+
+TEST(SlowOpLogTest, KeepsTheSlowestAtCapacity) {
+  SlowOpLog log(/*capacity=*/3);
+  for (uint64_t i = 1; i <= 6; ++i) {
+    log.Record(MakeOp(i, /*duration_ns=*/i * 100));
+  }
+  std::vector<SlowOp> ops = log.Snapshot();
+  ASSERT_EQ(ops.size(), 3u);
+  // Slowest first: ops 6, 5, 4.
+  EXPECT_EQ(ops[0].op_id, 6u);
+  EXPECT_EQ(ops[1].op_id, 5u);
+  EXPECT_EQ(ops[2].op_id, 4u);
+  EXPECT_EQ(log.recorded(), 6u);
+}
+
+TEST(SlowOpLogTest, FasterNewcomerDoesNotEvict) {
+  SlowOpLog log(/*capacity=*/2);
+  log.Record(MakeOp(1, 500));
+  log.Record(MakeOp(2, 400));
+  log.Record(MakeOp(3, 100));  // faster than everything retained
+  std::vector<SlowOp> ops = log.Snapshot();
+  ASSERT_EQ(ops.size(), 2u);
+  EXPECT_EQ(ops[0].op_id, 1u);
+  EXPECT_EQ(ops[1].op_id, 2u);
+}
+
+TEST(SlowOpLogTest, MinDurationFilters) {
+  SlowOpLog log(/*capacity=*/8, /*min_duration_ns=*/1000);
+  log.Record(MakeOp(1, 999));
+  log.Record(MakeOp(2, 1000));
+  EXPECT_EQ(log.Snapshot().size(), 1u);
+  EXPECT_EQ(log.recorded(), 2u);  // offered ops count even when filtered
+}
+
+TEST(SlowOpLogTest, RenderJsonEscapesAndNests) {
+  SlowOpLog log(/*capacity=*/2);
+  SlowOp op = MakeOp(1, 5000);
+  op.target = "uid=\"quoted\"";
+  op.detail = "line1\nline2";
+  op.spans.push_back(Tracer::Event{"server.apply", 0, 10, 20, 1});
+  log.Record(std::move(op));
+  std::string json = log.RenderJson();
+  EXPECT_NE(json.find("\"capacity\":2"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"recorded\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"target\":\"uid=\\\"quoted\\\"\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"detail\":\"line1\\nline2\""), std::string::npos);
+  EXPECT_NE(json.find("\"spans\":[{\"name\":\"server.apply\","
+                      "\"start_ns\":10,\"dur_ns\":20}]"),
+            std::string::npos)
+      << json;
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+constexpr char kSchema[] = R"(
+attribute name string
+
+class person : top {
+  require name
+}
+)";
+
+Result<DirectoryServer> MakeServer() {
+  return DirectoryServer::Create(kSchema);
+}
+
+DistinguishedName Dn(const std::string& s) {
+  return *DistinguishedName::Parse(s);
+}
+
+EntrySpec PersonSpec(const std::string& name) {
+  EntrySpec spec;
+  spec.classes = {"person", "top"};
+  spec.values = {{"name", name}};
+  return spec;
+}
+
+TEST(ServerSlowOpsTest, OperationsAreRecordedWithSpansAndOutcomes) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  server->EnableSlowOps(/*capacity=*/16);
+  ASSERT_NE(server->slow_ops(), nullptr);
+
+  ASSERT_TRUE(server->Add(Dn("name=alice"), PersonSpec("alice")).ok());
+
+  // A rejected add: person entries require a name.
+  EntrySpec bad;
+  bad.classes = {"person", "top"};
+  ASSERT_FALSE(server->Add(Dn("name=ghost"), bad).ok());
+
+  std::vector<SlowOp> ops = server->slow_ops()->Snapshot();
+  ASSERT_EQ(ops.size(), 2u);  // Add delegates to Apply: tracked ONCE each
+
+  bool saw_ok = false, saw_rejected = false;
+  for (const SlowOp& op : ops) {
+    EXPECT_EQ(op.op, "add");
+    EXPECT_GT(op.op_id, 0u);
+    EXPECT_GT(op.duration_ns, 0u);
+    // The calling thread's spans were captured (at least server.apply).
+    bool has_apply_span = false;
+    for (const Tracer::Event& e : op.spans) {
+      if (std::string(e.name) == "server.apply") has_apply_span = true;
+      EXPECT_EQ(e.op_id, op.op_id);
+    }
+    EXPECT_TRUE(has_apply_span) << op.op << " " << op.target;
+    if (op.outcome == "ok") saw_ok = true;
+    if (op.outcome == "rejected") {
+      saw_rejected = true;
+      EXPECT_FALSE(op.detail.empty());
+    }
+  }
+  EXPECT_TRUE(saw_ok);
+  EXPECT_TRUE(saw_rejected);
+
+  // Op ids are distinct and the global tracer stayed untouched.
+  EXPECT_NE(ops[0].op_id, ops[1].op_id);
+  EXPECT_FALSE(Tracer::Default().enabled());
+}
+
+TEST(ServerSlowOpsTest, RejectedModifyCarriesConstraintExplain) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server.ok());
+  server->EnableSlowOps();
+  ASSERT_TRUE(server->Add(Dn("name=bob"), PersonSpec("bob")).ok());
+
+  // Removing the required name violates the content schema.
+  DirectoryServer::Modification drop;
+  drop.kind = DirectoryServer::Modification::Kind::kRemoveValue;
+  drop.attr = *server->vocab().FindAttribute("name");
+  drop.value = Value("bob");
+  ASSERT_FALSE(server->Modify(Dn("name=bob"), {drop}).ok());
+
+  bool found = false;
+  for (const SlowOp& op : server->slow_ops()->Snapshot()) {
+    if (op.op == "modify" && op.outcome == "rejected") {
+      found = true;
+      EXPECT_NE(op.explain.find("content pass"), std::string::npos)
+          << op.explain;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ServerSlowOpsTest, StatsSnapshotIncludesImports) {
+  auto server = MakeServer();
+  ASSERT_TRUE(server.ok());
+  auto imported = server->ImportLdif(
+      "dn: name=carol\nobjectClass: person\nobjectClass: top\nname: carol\n");
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(server->stats().imports, 1u);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,69 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
+#include "util/json.h"
+
+namespace ldapbound {
+namespace {
+
+TEST(LogEventTest, BuildsOneJsonObject) {
+  LogEvent event("op");
+  event.Str("op", "add")
+      .Num("dur_ns", 1234)
+      .SignedNum("delta", -5)
+      .Bool("ok", true);
+  EXPECT_EQ(event.json(),
+            "{\"event\":\"op\",\"op\":\"add\",\"dur_ns\":1234,"
+            "\"delta\":-5,\"ok\":true}");
+}
+
+TEST(LogEventTest, EscapesValues) {
+  LogEvent event("e");
+  event.Str("msg", "a \"b\"\nc\\d");
+  EXPECT_EQ(event.json(),
+            "{\"event\":\"e\",\"msg\":\"a \\\"b\\\"\\nc\\\\d\"}");
+}
+
+TEST(JsonEscapeTest, ControlCharacters) {
+  EXPECT_EQ(JsonQuote("tab\there"), "\"tab\\there\"");
+  EXPECT_EQ(JsonQuote(std::string(1, '\x01')), "\"\\u0001\"");
+}
+
+TEST(JsonLogTest, DisabledByDefaultAndWritesWhenEnabled) {
+  JsonLog log;
+  EXPECT_FALSE(log.enabled());
+  log.Write(LogEvent("dropped"));  // no sink: must be a no-op
+
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  log.SetSink(f);
+  EXPECT_TRUE(log.enabled());
+  log.Write(LogEvent("first").Num("n", 1));
+  log.Write(LogEvent("second").Num("n", 2));
+  log.SetSink(nullptr);
+  EXPECT_FALSE(log.enabled());
+  log.Write(LogEvent("after-disable"));
+
+  std::rewind(f);
+  std::string contents;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) contents += buf;
+  std::fclose(f);
+
+  // Two JSON lines, each with a prepended wall-clock timestamp.
+  EXPECT_EQ(std::count(contents.begin(), contents.end(), '\n'), 2);
+  EXPECT_NE(contents.find("{\"ts_ms\":"), std::string::npos);
+  EXPECT_NE(contents.find("\"event\":\"first\",\"n\":1}"),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"event\":\"second\",\"n\":2}"),
+            std::string::npos);
+  EXPECT_EQ(contents.find("after-disable"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,121 @@
+// Golden-file lockdown of the Prometheus text exposition format plus the
+// structural properties scrapers depend on: cumulative monotone _bucket
+// series ending in +Inf, _count/_sum present, and label values escaped per
+// the exposition spec.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace ldapbound {
+namespace {
+
+// A local registry with one family of each kind and deterministic values;
+// RenderPrometheus orders families and series lexicographically, so the
+// output is byte-stable.
+std::string RenderFixture() {
+  MetricRegistry registry;
+  registry
+      .GetCounter("test_requests_total", "Requests by path",
+                  MakeLabel("path", "/a\"b\\c\nd"))
+      .Increment(3);
+  registry.GetCounter("test_requests_total", "Requests by path",
+                      MakeLabel("path", "/plain"));
+  registry.GetGauge("test_queue_depth", "Live queue depth").Set(-2);
+  Histogram& h =
+      registry.GetHistogram("test_latency_ns", "Op latency", "op=\"x\"");
+  h.Observe(0);
+  h.Observe(1);
+  h.Observe(3);
+  h.Observe(1000);
+  return registry.RenderPrometheus();
+}
+
+TEST(PrometheusFormatTest, MatchesGoldenFile) {
+  std::string actual = RenderFixture();
+  const char* path = LDAPBOUND_PROMETHEUS_GOLDEN_PATH;
+  if (std::getenv("LDAPBOUND_REGENERATE_GOLDEN") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    ASSERT_TRUE(out.good()) << path;
+    out << actual;
+    GTEST_SKIP() << "golden file regenerated at " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path
+                         << " (run with LDAPBOUND_REGENERATE_GOLDEN=1)";
+  std::ostringstream expected;
+  expected << in.rdbuf();
+  EXPECT_EQ(actual, expected.str());
+}
+
+TEST(PrometheusFormatTest, LabelValuesAreEscaped) {
+  std::string out = RenderFixture();
+  // Backslash, quote and newline escaped exactly as the spec requires;
+  // the raw newline must never appear inside a series name.
+  EXPECT_NE(out.find("path=\"/a\\\"b\\\\c\\nd\""), std::string::npos) << out;
+  EXPECT_EQ(out.find("b\\c\n"), std::string::npos);
+  EXPECT_EQ(EscapeLabelValue("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+  EXPECT_EQ(MakeLabel("op", "x\"y"), "op=\"x\\\"y\"");
+}
+
+TEST(PrometheusFormatTest, HistogramBucketsAreCumulativeWithInf) {
+  std::string out = RenderFixture();
+  std::istringstream lines(out);
+  std::string line;
+  std::vector<uint64_t> buckets;
+  bool saw_inf = false, saw_count = false, saw_sum = false;
+  uint64_t inf_value = 0, count_value = 0, sum_value = 0;
+  while (std::getline(lines, line)) {
+    if (line.rfind("test_latency_ns_bucket", 0) == 0) {
+      uint64_t v = std::strtoull(
+          line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+      if (line.find("le=\"+Inf\"") != std::string::npos) {
+        saw_inf = true;
+        inf_value = v;
+      } else {
+        EXPECT_FALSE(saw_inf) << "+Inf must be the final bucket";
+        buckets.push_back(v);
+      }
+    } else if (line.rfind("test_latency_ns_count", 0) == 0) {
+      saw_count = true;
+      count_value = std::strtoull(
+          line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+    } else if (line.rfind("test_latency_ns_sum", 0) == 0) {
+      saw_sum = true;
+      sum_value = std::strtoull(
+          line.substr(line.rfind(' ') + 1).c_str(), nullptr, 10);
+    }
+  }
+  ASSERT_FALSE(buckets.empty());
+  ASSERT_TRUE(saw_inf);
+  ASSERT_TRUE(saw_count);
+  ASSERT_TRUE(saw_sum);
+  // Cumulative: monotone nondecreasing, and +Inf equals the total count.
+  for (size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i], buckets[i - 1]) << "bucket " << i;
+  }
+  EXPECT_GE(inf_value, buckets.back());
+  EXPECT_EQ(inf_value, count_value);
+  EXPECT_EQ(count_value, 4u);
+  EXPECT_EQ(sum_value, 1004u);
+}
+
+TEST(PrometheusFormatTest, FamiliesCarryHelpAndType) {
+  std::string out = RenderFixture();
+  EXPECT_NE(out.find("# HELP test_requests_total Requests by path"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE test_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(out.find("# TYPE test_queue_depth gauge"), std::string::npos);
+  EXPECT_NE(out.find("# TYPE test_latency_ns histogram"), std::string::npos);
+  EXPECT_NE(out.find("test_queue_depth -2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ldapbound

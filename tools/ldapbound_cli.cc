@@ -9,19 +9,29 @@
 //   ldapbound query <schema> <ldif> <hier-query>   (the §3.2 s-expressions)
 //   ldapbound stats <schema> <ldif>            human-readable shape stats
 //   ldapbound stats <schema> <ldif> --metrics  Prometheus text exposition
+//   ldapbound explain <schema> <ldif>          EXPLAIN every structure-schema
+//                                              constraint's query plan
+//   ldapbound serve <schema> <ldif> --monitor-port <p>
+//                                              serve + monitor endpoint
 //   ldapbound recover <wal-dir>                replay WAL, print the directory
 //   ldapbound compact <wal-dir>                recover + snapshot + truncate
 //
 // Global flags:
 //   --metrics            (stats) run the legality pipeline and emit the
 //                        process metrics in Prometheus text format
+//   --json               (explain) emit the plans as JSON instead of text
+//   --monitor-port <p>   (serve) monitor endpoint port (0 = ephemeral)
+//   --slow-ops <n>       (serve) slow-op log capacity (default 32)
+//   --log-json <file|->  (serve) structured JSON op log ("-" = stderr)
 //   --trace-out <file>   record spans and write Chrome trace JSON
 //                        (chrome://tracing / Perfetto) on exit
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -36,6 +46,9 @@
 #include "query/evaluator.h"
 #include "schema/schema_format.h"
 #include "server/directory_server.h"
+#include "server/monitor.h"
+#include "util/json.h"
+#include "util/log.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -53,12 +66,19 @@ int Usage() {
                "  ldapbound search <schema> <ldif> <base-dn> <filter>\n"
                "  ldapbound query <schema> <ldif> <hier-query>\n"
                "  ldapbound stats <schema> <ldif> [--metrics]\n"
+               "  ldapbound explain <schema> <ldif> [--json]\n"
+               "  ldapbound serve <schema> <ldif> --monitor-port <port>\n"
+               "      [--slow-ops <n>] [--log-json <file|->]\n"
                "  ldapbound recover <wal-dir>\n"
                "  ldapbound compact <wal-dir>\n"
                "flags:\n"
                "  --metrics            stats: exercise the legality pipeline "
                "and print\n"
                "                       Prometheus text exposition\n"
+               "  --json               explain: emit plans as JSON\n"
+               "  --monitor-port <p>   serve: monitor port (0 = ephemeral)\n"
+               "  --slow-ops <n>       serve: slow-op log capacity\n"
+               "  --log-json <file|->  serve: JSON op log sink\n"
                "  --trace-out <file>   write Chrome trace JSON of the run\n");
   return 2;
 }
@@ -268,6 +288,153 @@ int RunStats(const std::string& schema_path, const std::string& ldif_path) {
   return 0;
 }
 
+// EXPLAIN for the legality pipeline: profiles the translated query of
+// every structure-schema constraint (required classes via their witness
+// query, required/forbidden relationships via their violation query) and
+// prints each plan tree with per-node cardinalities, strategies and
+// latencies; then reports the verdict, annotating every violation with
+// the constraint/query that detected it.
+int RunExplain(const std::string& schema_path, const std::string& ldif_path,
+               bool as_json) {
+  auto vocab = std::make_shared<Vocabulary>();
+  auto schema = LoadSchema(schema_path, vocab);
+  if (!schema.ok()) return Fail(schema.status());
+  auto ldif = ReadFile(ldif_path);
+  if (!ldif.ok()) return Fail(ldif.status());
+  Directory directory(vocab);
+  auto loaded = LoadLdif(*ldif, &directory);
+  if (!loaded.ok()) return Fail(loaded.status());
+
+  LegalityChecker checker(*schema);
+  std::vector<ConstraintExplain> plans = checker.ExplainStructure(directory);
+  std::vector<Violation> violations;
+  bool legal = checker.CheckLegal(directory, &violations);
+
+  if (as_json) {
+    std::string out = "{\"constraints\":[";
+    for (size_t i = 0; i < plans.size(); ++i) {
+      if (i > 0) out += ',';
+      out += plans[i].RenderJson();
+    }
+    out += "],\"legal\":";
+    out += legal ? "true" : "false";
+    out += ",\"violations\":[";
+    for (size_t i = 0; i < violations.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"description\":";
+      out += JsonQuote(violations[i].Describe(*vocab));
+      out += ",\"detected_by\":";
+      out += JsonQuote(violations[i].DetectedBy(*vocab));
+      out += '}';
+    }
+    out += "]}";
+    std::printf("%s\n", out.c_str());
+    return legal ? 0 : 1;
+  }
+
+  if (plans.empty()) {
+    std::printf("schema has no structure constraints\n");
+  }
+  for (const ConstraintExplain& plan : plans) {
+    std::printf("%s\n", plan.RenderText().c_str());
+  }
+  if (legal) {
+    std::printf("LEGAL (%zu entries)\n", directory.NumEntries());
+    return 0;
+  }
+  std::printf("ILLEGAL (%zu entries, %zu violations)\n",
+              directory.NumEntries(), violations.size());
+  for (const Violation& v : violations) {
+    std::printf("  %s\n    detected by: %s\n", v.Describe(*vocab).c_str(),
+                v.DetectedBy(*vocab).c_str());
+  }
+  return 1;
+}
+
+struct ServeOptions {
+  int monitor_port = -1;        // required; 0 = ephemeral
+  size_t slow_ops = 32;         // slow-op log capacity
+  std::string log_json;         // JSON op log sink ("" = off, "-" = stderr)
+};
+
+// Loads the data into a schema-guarded server, starts the monitor
+// endpoint, and serves a line-oriented command loop on stdin until
+// `quit`/EOF. The bound monitor port is the first stdout line, so a
+// wrapper can scrape /metrics, /statusz, /slowz and /healthz while
+// issuing commands.
+int RunServe(const std::string& schema_path, const std::string& ldif_path,
+             const ServeOptions& options) {
+  auto schema_text = ReadFile(schema_path);
+  if (!schema_text.ok()) return Fail(schema_text.status());
+  auto ldif = ReadFile(ldif_path);
+  if (!ldif.ok()) return Fail(ldif.status());
+  auto server = DirectoryServer::Create(*schema_text);
+  if (!server.ok()) return Fail(server.status());
+  server->EnableSlowOps(options.slow_ops);
+
+  std::FILE* log_file = nullptr;
+  if (!options.log_json.empty()) {
+    if (options.log_json == "-") {
+      JsonLog::Default().SetSink(stderr);
+    } else {
+      log_file = std::fopen(options.log_json.c_str(), "w");
+      if (log_file == nullptr) {
+        return Fail(Status::NotFound("cannot open log file '" +
+                                     options.log_json + "'"));
+      }
+      JsonLog::Default().SetSink(log_file);
+    }
+  }
+
+  auto imported = server->ImportLdif(*ldif);
+  if (!imported.ok()) return Fail(imported.status());
+
+  MonitorOptions monitor_options;
+  monitor_options.port = static_cast<uint16_t>(options.monitor_port);
+  auto monitor = MonitorServer::Start(&*server, monitor_options);
+  if (!monitor.ok()) return Fail(monitor.status());
+
+  std::printf("monitor listening on 127.0.0.1:%u\n", (*monitor)->port());
+  std::fflush(stdout);
+  std::fprintf(stderr, "commands: search <base-dn> <filter> | status | quit\n");
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream words(line);
+    std::string command;
+    words >> command;
+    if (command.empty()) continue;
+    if (command == "quit") break;
+    if (command == "status") {
+      std::printf("%s\n", (*monitor)->RenderStatusz().c_str());
+    } else if (command == "search") {
+      std::string base, filter;
+      words >> base;
+      std::getline(words, filter);
+      while (!filter.empty() && filter.front() == ' ') filter.erase(0, 1);
+      auto hits = server->Search(base, filter);
+      if (!hits.ok()) {
+        std::printf("error: %s\n", hits.status().ToString().c_str());
+      } else {
+        for (EntryId id : *hits) {
+          std::printf("%s\n", DnOf(server->directory(), id)->ToString().c_str());
+        }
+        std::printf("matched %zu\n", hits->size());
+      }
+    } else {
+      std::printf("error: unknown command '%s'\n", command.c_str());
+    }
+    std::fflush(stdout);
+  }
+
+  (*monitor)->Stop();
+  if (log_file != nullptr) {
+    JsonLog::Default().SetSink(nullptr);
+    std::fclose(log_file);
+  }
+  return 0;
+}
+
 // Replays a write-ahead changelog directory and reports what was
 // recovered; with `compact_after` also snapshots the recovered state and
 // truncates the log (the offline equivalent of DirectoryServer::Compact).
@@ -307,7 +474,14 @@ int RunRecover(const std::string& wal_dir, bool compact_after) {
 
 namespace {
 
-int Dispatch(const std::vector<std::string>& args, bool metrics) {
+struct GlobalFlags {
+  bool metrics = false;
+  bool json = false;
+  ServeOptions serve;
+};
+
+int Dispatch(const std::vector<std::string>& args, const GlobalFlags& flags) {
+  const bool metrics = flags.metrics;
   const size_t n = args.size();
   if (n < 1) return Usage();
   const std::string& command = args[0];
@@ -324,6 +498,16 @@ int Dispatch(const std::vector<std::string>& args, bool metrics) {
   if (command == "stats" && n == 3) {
     return metrics ? RunMetrics(args[1], args[2]) : RunStats(args[1], args[2]);
   }
+  if (command == "explain" && n == 3) {
+    return RunExplain(args[1], args[2], flags.json);
+  }
+  if (command == "serve" && n == 3) {
+    if (flags.serve.monitor_port < 0) {
+      std::fprintf(stderr, "error: serve requires --monitor-port\n");
+      return Usage();
+    }
+    return RunServe(args[1], args[2], flags.serve);
+  }
   if (command == "recover" && n == 2) {
     return RunRecover(args[1], /*compact_after=*/false);
   }
@@ -337,16 +521,34 @@ int Dispatch(const std::vector<std::string>& args, bool metrics) {
 
 int main(int argc, char** argv) {
   // Global flags may appear anywhere; everything else is positional.
-  bool metrics = false;
+  GlobalFlags flags;
   std::string trace_out;
   std::vector<std::string> args;
+  auto next_value = [&](int& i) -> const char* {
+    return i + 1 < argc ? argv[++i] : nullptr;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--metrics") {
-      metrics = true;
+      flags.metrics = true;
+    } else if (arg == "--json") {
+      flags.json = true;
+    } else if (arg == "--monitor-port") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.monitor_port = std::atoi(v);
+    } else if (arg == "--slow-ops") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.slow_ops = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--log-json") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.log_json = v;
     } else if (arg == "--trace-out") {
-      if (i + 1 >= argc) return Usage();
-      trace_out = argv[++i];
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      trace_out = v;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       trace_out = arg.substr(sizeof("--trace-out=") - 1);
     } else {
@@ -355,7 +557,7 @@ int main(int argc, char** argv) {
   }
   if (!trace_out.empty()) Tracer::Default().Enable();
 
-  int rc = Dispatch(args, metrics);
+  int rc = Dispatch(args, flags);
 
   if (!trace_out.empty()) {
     std::string json = Tracer::Default().ExportChromeTraceJson();
@@ -366,6 +568,19 @@ int main(int argc, char** argv) {
       if (rc == 0) rc = 2;
     } else {
       std::fprintf(stderr, "trace written to %s\n", trace_out.c_str());
+    }
+    // The dropped counter is the process-wide monotonic mirror, so it still
+    // counts spans the ring evicted during the export's final drain.
+    uint64_t dropped = MetricRegistry::Default()
+                           .GetCounter("ldapbound_trace_dropped_spans_total",
+                                       "Trace spans evicted from the ring "
+                                       "before export (ring overflow)")
+                           .Value();
+    if (dropped > 0) {
+      std::fprintf(stderr,
+                   "warning: %llu trace spans were dropped (ring overflow); "
+                   "the trace is incomplete\n",
+                   static_cast<unsigned long long>(dropped));
     }
   }
   return rc;
