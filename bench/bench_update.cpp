@@ -1,0 +1,223 @@
+// EXP-UPDATE / the fast update path, both halves of ISSUE 5:
+//
+//  1. Commit throughput (txn/s) under WAL group commit: W concurrent
+//     writers against one durable server, group batch size B. At B = 1
+//     every transaction pays its own fsync (the EXPERIMENTS.md "~10x"
+//     overhead); at B >= 8 concurrently-arriving transactions share one
+//     fsync, so multi-writer throughput should recover most of the
+//     fsync-free rate. The acceptance bar: txn/s at some (W, B >= 8) is
+//     >= 5x the single-writer inline (B = 1) rate; enough writers must
+//     run to keep one group filling while the previous one fsyncs.
+//
+//  2. Index maintenance cost: ns per Add+DeleteLeaf pair on a directory
+//     of |D| entries. The gap-labelled ForestIndex relabels O(|Delta|)
+//     entries per mutation, so the per-txn time must stay flat as |D|
+//     grows — the seed implementation's O(|D|) rebuild would scale
+//     linearly here.
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "model/directory.h"
+#include "server/directory_server.h"
+
+namespace ldapbound::bench {
+namespace {
+
+constexpr char kBenchSchema[] = R"(
+attribute name string
+attribute uid string
+attribute ou string
+
+class team : top {
+  require ou
+}
+class person : top {
+  require name, uid
+}
+structure {
+  require team descendant person
+}
+)";
+
+constexpr int kMaxWriters = 32;
+
+/// A durable server with one team per potential writer (so concurrent
+/// writers never contend on sibling RDNs), on a fresh WAL directory.
+DirectoryServer MakeGroupServer(size_t group_batch, std::string* wal_root) {
+  DirectoryServer server = DirectoryServer::Create(kBenchSchema).value();
+  for (int w = 0; w < kMaxWriters; ++w) {
+    const std::string team_dn = "ou=w" + std::to_string(w);
+    EntrySpec team;
+    team.classes = {"team", "top"};
+    team.values = {{"ou", "w" + std::to_string(w)}};
+    EntrySpec anchor;
+    anchor.classes = {"person", "top"};
+    anchor.values = {{"uid", "a" + std::to_string(w)}, {"name", "anchor"}};
+    UpdateTransaction txn;
+    txn.Insert(*DistinguishedName::Parse(team_dn), team);
+    txn.Insert(*DistinguishedName::Parse("uid=a" + std::to_string(w) + "," +
+                                         team_dn),
+               anchor);
+    if (!server.Apply(txn).ok()) std::abort();
+  }
+  char tmpl[] = "/tmp/ldapbound-bench-update-XXXXXX";
+  if (::mkdtemp(tmpl) == nullptr) std::abort();
+  *wal_root = tmpl;
+  WalOptions options;
+  options.group_commit_max_batch = group_batch;
+  options.group_commit_hold_us = 200;
+  if (!server.EnableWal(*wal_root + "/wal", options).ok()) std::abort();
+  return server;
+}
+
+/// W writers x `pairs` Add/Delete pairs each (2 commits per pair, the
+/// directory size stays constant). Returns only when every commit is
+/// acknowledged (durable).
+void RunWriters(DirectoryServer& server, int writers, int pairs,
+                uint64_t epoch) {
+  std::vector<std::thread> threads;
+  for (int w = 0; w < writers; ++w) {
+    threads.emplace_back([&server, w, pairs, epoch] {
+      const std::string team_dn = ",ou=w" + std::to_string(w);
+      EntrySpec spec;
+      spec.classes = {"person", "top"};
+      for (int i = 0; i < pairs; ++i) {
+        std::string uid = "u" + std::to_string(w) + "-" +
+                          std::to_string(epoch) + "-" + std::to_string(i);
+        spec.values = {{"uid", uid}, {"name", "bench"}};
+        DistinguishedName dn =
+            *DistinguishedName::Parse("uid=" + uid + team_dn);
+        if (!server.Add(dn, spec).ok()) std::abort();
+        if (!server.Delete(dn).ok()) std::abort();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+/// args: (writers, group batch). batch <= 1 = inline fsync-per-commit.
+void BM_GroupCommitTxnThroughput(benchmark::State& state) {
+  const int writers = static_cast<int>(state.range(0));
+  const size_t batch = static_cast<size_t>(state.range(1));
+  std::string wal_root;
+  DirectoryServer server = MakeGroupServer(batch, &wal_root);
+  constexpr int kPairsPerWriter = 25;
+  uint64_t epoch = 0;
+  for (auto _ : state) {
+    RunWriters(server, writers, kPairsPerWriter, epoch++);
+  }
+  // txn/s is items_per_second: every pair is two acknowledged commits.
+  state.SetItemsProcessed(state.iterations() * writers * kPairsPerWriter *
+                          2);
+  if (server.group_commit() != nullptr) {
+    state.counters["groups"] = static_cast<double>(
+        server.group_commit()->groups_flushed());
+    state.counters["commits"] = static_cast<double>(
+        server.group_commit()->commits_flushed());
+  }
+  std::filesystem::remove_all(wal_root);
+}
+BENCHMARK(BM_GroupCommitTxnThroughput)
+    ->ArgNames({"writers", "batch"})
+    ->Args({1, 1})
+    ->Args({1, 8})
+    ->Args({4, 1})
+    ->Args({4, 8})
+    ->Args({16, 1})
+    ->Args({16, 8})
+    ->Args({16, 64})
+    ->Args({32, 16})
+    ->Args({32, 32})
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// ns per Add+DeleteLeaf at |D| = range(0): pure Directory mutation (no
+/// server, no durability) so the index maintenance dominates. Flat across
+/// sizes <=> O(|Delta|) maintenance.
+void BM_IndexMaintenancePerTxn(benchmark::State& state) {
+  const size_t target = static_cast<size_t>(state.range(0));
+  auto vocab = std::make_shared<Vocabulary>();
+  const ClassId top = vocab->top_class();
+  Directory d(vocab);
+  // 64 units under one root, persons spread evenly: a realistic shallow
+  // fanout, built once outside the timed region.
+  EntryId root = *d.AddEntry(kInvalidEntryId, "root", {top}, {});
+  std::vector<EntryId> units;
+  for (int u = 0; u < 64; ++u) {
+    units.push_back(*d.AddEntry(root, "u" + std::to_string(u), {top}, {}));
+  }
+  for (size_t i = 0; d.NumEntries() < target; ++i) {
+    if (!d.AddEntry(units[i % units.size()], "p" + std::to_string(i), {top},
+                    {})
+             .ok()) {
+      std::abort();
+    }
+  }
+  uint64_t tag = 0;
+  for (auto _ : state) {
+    EntryId id = *d.AddEntry(units[tag % units.size()],
+                             "bench" + std::to_string(tag), {top}, {});
+    if (!d.DeleteLeaf(id).ok()) std::abort();
+    ++tag;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+  state.counters["entries"] = static_cast<double>(d.NumEntries());
+  state.counters["relabels"] =
+      static_cast<double>(d.GetIndex().relabels());
+  state.counters["rebuilds"] =
+      static_cast<double>(d.GetIndex().full_rebuilds());
+}
+BENCHMARK(BM_IndexMaintenancePerTxn)
+    ->Arg(1 << 10)
+    ->Arg(1 << 13)
+    ->Arg(1 << 16);
+
+/// The same flatness claim at the server level: a durable-free server
+/// commit (validation + changelog machinery, no WAL) per |D|. This is the
+/// end-to-end "update cost is O(|Delta|)" number the paper's Section 4
+/// promises.
+void BM_ServerCommitPerTxn(benchmark::State& state) {
+  const size_t target = static_cast<size_t>(state.range(0));
+  DirectoryServer server = DirectoryServer::Create(kBenchSchema).value();
+  EntrySpec team;
+  team.classes = {"team", "top"};
+  team.values = {{"ou", "big"}};
+  EntrySpec anchor;
+  anchor.classes = {"person", "top"};
+  anchor.values = {{"uid", "a"}, {"name", "anchor"}};
+  UpdateTransaction seed_txn;
+  seed_txn.Insert(*DistinguishedName::Parse("ou=big"), team);
+  seed_txn.Insert(*DistinguishedName::Parse("uid=a,ou=big"), anchor);
+  if (!server.Apply(seed_txn).ok()) std::abort();
+  EntrySpec spec;
+  spec.classes = {"person", "top"};
+  for (size_t i = 0; server.directory().NumEntries() < target; ++i) {
+    std::string uid = "fill" + std::to_string(i);
+    spec.values = {{"uid", uid}, {"name", "fill"}};
+    if (!server.Add(*DistinguishedName::Parse("uid=" + uid + ",ou=big"),
+                    spec)
+             .ok()) {
+      std::abort();
+    }
+  }
+  uint64_t tag = 0;
+  for (auto _ : state) {
+    std::string uid = "bench" + std::to_string(tag++);
+    spec.values = {{"uid", uid}, {"name", "bench"}};
+    DistinguishedName dn =
+        *DistinguishedName::Parse("uid=" + uid + ",ou=big");
+    if (!server.Add(dn, spec).ok()) std::abort();
+    if (!server.Delete(dn).ok()) std::abort();
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_ServerCommitPerTxn)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+
+}  // namespace
+}  // namespace ldapbound::bench

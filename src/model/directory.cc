@@ -101,6 +101,7 @@ Result<EntryId> Directory::AddEntry(EntryId parent, std::string rdn,
   }
   rdn_index_.emplace(RdnKey(parent, e.rdn_), id);
   for (ClassId c : e.classes_) BumpClassCount(c, +1);
+  index_.OnInsert(*this, id);
   ++version_;
   return id;
 }
@@ -240,6 +241,7 @@ Status Directory::MoveSubtree(EntryId id, EntryId new_parent) {
   } else {
     entries_[new_parent].children_.push_back(id);
   }
+  index_.OnMove(*this, id);
   ++version_;
   return Status::OK();
 }
@@ -281,6 +283,7 @@ Status Directory::DeleteLeaf(EntryId id) {
     siblings.erase(std::find(siblings.begin(), siblings.end(), id));
   }
   rdn_index_.erase(RdnKey(e.parent_, e.rdn_));
+  index_.OnErase(id);
   ++version_;
   return Status::OK();
 }
@@ -293,52 +296,6 @@ Status Directory::DeleteSubtree(EntryId id) {
     LDAPBOUND_RETURN_IF_ERROR(DeleteLeaf(*it));
   }
   return Status::OK();
-}
-
-const ForestIndex& Directory::GetIndex() const {
-  if (index_version_ != version_) {
-    RebuildIndex();
-    index_version_ = version_;
-  }
-  return index_;
-}
-
-void Directory::RebuildIndex() const {
-  ForestIndex& idx = index_;
-  idx.pre_.assign(entries_.size(), ForestIndex::kNotIndexed);
-  idx.sub_end_.assign(entries_.size(), ForestIndex::kNotIndexed);
-  idx.depth_.assign(entries_.size(), 0);
-  idx.preorder_.clear();
-  idx.preorder_.reserve(num_alive_);
-
-  // Iterative DFS: frame = (entry, whether this is the exit visit).
-  struct Frame {
-    EntryId id;
-    bool exit;
-  };
-  std::vector<Frame> stack;
-  for (auto root = roots_.rbegin(); root != roots_.rend(); ++root) {
-    stack.push_back({*root, false});
-  }
-  while (!stack.empty()) {
-    Frame f = stack.back();
-    stack.pop_back();
-    if (f.exit) {
-      idx.sub_end_[f.id] = idx.preorder_.size();
-      continue;
-    }
-    const Entry& e = entries_[f.id];
-    idx.pre_[f.id] = idx.preorder_.size();
-    idx.depth_[f.id] = (e.parent_ == kInvalidEntryId)
-                           ? 0
-                           : idx.depth_[e.parent_] + 1;
-    idx.preorder_.push_back(f.id);
-    stack.push_back({f.id, true});
-    for (auto child = e.children_.rbegin(); child != e.children_.rend();
-         ++child) {
-      stack.push_back({*child, false});
-    }
-  }
 }
 
 EntrySet Directory::AliveSet() const {

@@ -55,7 +55,9 @@ struct DirectoryStats {
 /// Entry ids are stable: deletion tombstones the slot and never reuses it,
 /// so EntrySets and incremental-update bookkeeping stay valid across a
 /// transaction. `version()` increments on every mutation; the preorder
-/// index is rebuilt lazily on access.
+/// index is kept *live* across mutations (gap-label maintenance in
+/// ForestIndex, O(|Δ|) amortized per structural change), so GetIndex()
+/// is O(1) and never rebuilds the whole directory.
 class Directory {
  public:
   explicit Directory(std::shared_ptr<Vocabulary> vocab);
@@ -135,9 +137,9 @@ class Directory {
   /// Monotonically increasing mutation counter.
   uint64_t version() const { return version_; }
 
-  /// The preorder/interval index, rebuilt if stale. O(|D|) when stale,
-  /// O(1) otherwise.
-  const ForestIndex& GetIndex() const;
+  /// The preorder/interval index, maintained incrementally by the
+  /// mutators. Always fresh; O(1).
+  const ForestIndex& GetIndex() const { return index_; }
 
   /// Calls `fn(const Entry&)` for each alive entry in id order.
   template <typename Fn>
@@ -164,7 +166,6 @@ class Directory {
  private:
   Status CheckAlive(EntryId id) const;
   void BumpClassCount(ClassId c, int delta);
-  void RebuildIndex() const;
   // Key of the sibling-RDN uniqueness index: "<parent>/<lowercased rdn>".
   static std::string RdnKey(EntryId parent, std::string_view rdn);
 
@@ -177,8 +178,7 @@ class Directory {
   size_t num_alive_ = 0;
   uint64_t version_ = 0;
 
-  mutable ForestIndex index_;
-  mutable uint64_t index_version_ = ~uint64_t{0};
+  ForestIndex index_;  // live: maintained by the mutators
 };
 
 }  // namespace ldapbound

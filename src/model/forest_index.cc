@@ -1,0 +1,374 @@
+#include "model/forest_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "model/directory.h"
+#include "model/entry.h"
+#include "util/metrics.h"
+
+namespace ldapbound {
+
+namespace {
+
+struct IndexMetrics {
+  Counter& relabels;
+  Counter& full_rebuilds;
+  static IndexMetrics& Get() {
+    static IndexMetrics m{
+        MetricRegistry::Default().GetCounter(
+            "ldapbound_index_relabels_total",
+            "Local label redistributions performed by incremental "
+            "ForestIndex maintenance"),
+        MetricRegistry::Default().GetCounter(
+            "ldapbound_index_full_rebuilds_total",
+            "Whole-label-space ForestIndex rebuilds (the fallback when no "
+            "ancestor can absorb a local relabel)")};
+    return m;
+  }
+};
+
+using SizeMap = std::unordered_map<EntryId, uint64_t>;
+
+/// Fills `sizes` with the subtree size (alive entries, root included) of
+/// every entry in the subtree at `root`; returns sizes[root].
+uint64_t ComputeSizes(const Directory& d, EntryId root, SizeMap& sizes) {
+  struct Frame {
+    EntryId id;
+    bool exit;
+  };
+  std::vector<Frame> stack{{root, false}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Entry& e = d.entry(f.id);
+    if (f.exit) {
+      uint64_t s = 1;
+      for (EntryId c : e.children()) s += sizes[c];
+      sizes[f.id] = s;
+      continue;
+    }
+    stack.push_back({f.id, true});
+    for (EntryId c : e.children()) stack.push_back({c, false});
+  }
+  return sizes[root];
+}
+
+/// share * num / den without overflow (share can be near 2^62).
+uint64_t ProportionalShare(uint64_t share, uint64_t num, uint64_t den) {
+  return static_cast<uint64_t>(static_cast<unsigned __int128>(share) * num /
+                               den);
+}
+
+/// Slice of a parent's free tail that a fresh subtree of `bare` entries
+/// claims: aim for kLeafStride of growth room per entry, at least 1/64 of
+/// the tail (wide fanouts keep proportional room, so a region absorbs a
+/// number of inserts proportional to its span before exhausting), at most
+/// 1/4 of it (later siblings do not starve), and always at least the
+/// `bare` labels the entries themselves need. Caller guarantees
+/// bare <= avail.
+uint64_t AllocWidth(uint64_t avail, uint64_t bare) {
+  uint64_t want = bare < (uint64_t{1} << 40)
+                      ? bare * ForestIndex::kLeafStride
+                      : avail;
+  uint64_t w = std::max(want, avail / 64);
+  w = std::min(w, avail / 4);
+  w = std::max(w, bare);
+  return std::min(w, avail);
+}
+
+}  // namespace
+
+ForestIndex::ForestIndex(ForestIndex&& other) noexcept
+    : labels_(std::move(other.labels_)),
+      end_labels_(std::move(other.end_labels_)),
+      depth_(std::move(other.depth_)),
+      num_alive_(other.num_alive_),
+      relabels_(other.relabels_),
+      full_rebuilds_(other.full_rebuilds_),
+      pre_(std::move(other.pre_)),
+      sub_end_(std::move(other.sub_end_)),
+      preorder_(std::move(other.preorder_)) {
+  dense_valid_.store(other.dense_valid_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+}
+
+ForestIndex& ForestIndex::operator=(ForestIndex&& other) noexcept {
+  if (this == &other) return *this;
+  labels_ = std::move(other.labels_);
+  end_labels_ = std::move(other.end_labels_);
+  depth_ = std::move(other.depth_);
+  num_alive_ = other.num_alive_;
+  relabels_ = other.relabels_;
+  full_rebuilds_ = other.full_rebuilds_;
+  pre_ = std::move(other.pre_);
+  sub_end_ = std::move(other.sub_end_);
+  preorder_ = std::move(other.preorder_);
+  dense_valid_.store(other.dense_valid_.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  return *this;
+}
+
+void ForestIndex::EnsureCapacity(size_t id_capacity) {
+  if (labels_.size() < id_capacity) {
+    labels_.resize(id_capacity, kNoLabel);
+    end_labels_.resize(id_capacity, kNoLabel);
+    depth_.resize(id_capacity, 0);
+  }
+}
+
+void ForestIndex::OnInsert(const Directory& d, EntryId id) {
+  EnsureCapacity(d.IdCapacity());
+  ++num_alive_;
+  PlaceSubtree(d, id);
+  InvalidateDense();
+}
+
+void ForestIndex::OnErase(EntryId id) {
+  if (id >= labels_.size() || labels_[id] == kNoLabel) return;
+  labels_[id] = kNoLabel;
+  end_labels_[id] = kNoLabel;
+  depth_[id] = 0;
+  --num_alive_;
+  InvalidateDense();
+}
+
+void ForestIndex::OnMove(const Directory& d, EntryId id) {
+  EnsureCapacity(d.IdCapacity());
+  PlaceSubtree(d, id);
+  InvalidateDense();
+}
+
+void ForestIndex::PlaceSubtree(const Directory& d, EntryId id) {
+  const Entry& e = d.entry(id);
+  EntryId parent = e.parent();
+  const std::vector<EntryId>& siblings =
+      (parent == kInvalidEntryId) ? d.roots() : d.entry(parent).children();
+
+  // Work out the free window [next, hi) at the parent's tail, verifying
+  // the local invariants as we go; any violation means the incremental
+  // state cannot be trusted, and the guarded fallback is a full rebuild.
+  uint64_t next = 0;
+  uint64_t hi = kLabelSpace;
+  bool sane = !siblings.empty() && siblings.back() == id;
+  if (sane && parent != kInvalidEntryId) {
+    sane = labels_[parent] != kNoLabel;
+    if (sane) {
+      next = labels_[parent] + 1;
+      hi = end_labels_[parent];
+    }
+  }
+  if (sane && siblings.size() >= 2) {
+    EntryId prev = siblings[siblings.size() - 2];
+    sane = prev < labels_.size() && labels_[prev] != kNoLabel &&
+           end_labels_[prev] >= next && end_labels_[prev] <= hi;
+    if (sane) next = end_labels_[prev];
+  }
+  if (!sane) {
+    RebuildFromScratch(d);
+    return;
+  }
+
+  SizeMap sizes;
+  uint64_t bare = ComputeSizes(d, id, sizes);
+  uint64_t avail = hi - next;
+  if (avail < bare) {
+    Relabel(d, parent);
+    return;
+  }
+  AssignInterval(d, id, next, AllocWidth(avail, bare));
+}
+
+void ForestIndex::Relabel(const Directory& d, EntryId parent) {
+  // One SizeMap shared across the ancestor walk: stepping up a level
+  // reuses the child subtree's size and only counts the newly-exposed
+  // sibling subtrees, so the whole walk costs O(size of the region
+  // finally relabeled), not O(depth * size).
+  SizeMap sizes;
+  EntryId prev = kInvalidEntryId;
+  for (EntryId a = parent; a != kInvalidEntryId; a = d.entry(a).parent()) {
+    if (a >= labels_.size() || labels_[a] == kNoLabel) break;  // not sane
+    uint64_t size = 1;
+    for (EntryId c : d.entry(a).children()) {
+      size += (c == prev) ? sizes.at(c) : ComputeSizes(d, c, sizes);
+    }
+    sizes[a] = size;
+    prev = a;
+    uint64_t span = end_labels_[a] - labels_[a];
+    if (span / kMinSpread >= size) {
+      ++relabels_;
+      IndexMetrics::Get().relabels.Increment();
+      AssignInterval(d, a, labels_[a], span);
+      return;
+    }
+  }
+  RebuildFromScratch(d);
+}
+
+void ForestIndex::RebuildFromScratch(const Directory& d) {
+  ++full_rebuilds_;
+  IndexMetrics::Get().full_rebuilds.Increment();
+  EnsureCapacity(d.IdCapacity());
+  std::fill(labels_.begin(), labels_.end(), kNoLabel);
+  std::fill(end_labels_.begin(), end_labels_.end(), kNoLabel);
+  std::fill(depth_.begin(), depth_.end(), 0u);
+  num_alive_ = d.NumEntries();
+  InvalidateDense();
+
+  SizeMap sizes;
+  uint64_t total = 0;
+  for (EntryId r : d.roots()) total += ComputeSizes(d, r, sizes);
+  if (total == 0) return;
+
+  // Redistribute the whole space over the roots: proportional shares of
+  // the first half, the second half left as the forest's growth tail.
+  uint64_t cur = 0;
+  uint64_t remaining_bare = total;
+  for (EntryId r : d.roots()) {
+    uint64_t s = sizes[r];
+    remaining_bare -= s;
+    uint64_t w = std::max(ProportionalShare(kLabelSpace / 2, s, total), s);
+    uint64_t cap = (kLabelSpace - cur) - remaining_bare;
+    w = std::min(w, cap);
+    AssignInterval(d, r, cur, w);
+    cur += w;
+  }
+}
+
+void ForestIndex::AssignInterval(const Directory& d, EntryId root,
+                                 uint64_t lo, uint64_t width) {
+  SizeMap sizes;
+  ComputeSizes(d, root, sizes);
+  struct Frame {
+    EntryId id;
+    uint64_t lo;
+    uint64_t width;
+  };
+  std::vector<Frame> stack{{root, lo, width}};
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    const Entry& e = d.entry(f.id);
+    labels_[f.id] = f.lo;
+    end_labels_[f.id] = f.lo + f.width;
+    EntryId parent = e.parent();
+    depth_[f.id] = (parent == kInvalidEntryId) ? 0 : depth_[parent] + 1;
+    if (e.children().empty()) continue;
+
+    // Children get proportional shares of the usable interior minus this
+    // entry's growth tail, clamped so every later sibling still fits its
+    // bare size. The tail is kLeafStride of room per existing descendant,
+    // never more than half the interior — a *bounded* reservation, so a
+    // deep chain consumes label space additively per level; a flat half
+    // would shrink spans exponentially with depth and exhaust the 62-bit
+    // space after ~60 levels.
+    uint64_t usable = f.width - 1;
+    uint64_t st = sizes.at(f.id) - 1;
+    uint64_t want_tail =
+        st < (uint64_t{1} << 40) ? st * kLeafStride : usable;
+    uint64_t budget = usable - std::min(usable / 2, want_tail);
+    uint64_t cur = f.lo + 1;
+    uint64_t end = f.lo + f.width;
+    uint64_t remaining_bare = st;
+    for (EntryId c : e.children()) {
+      uint64_t s = sizes.at(c);
+      remaining_bare -= s;
+      uint64_t w = std::max(ProportionalShare(budget, s, st), s);
+      uint64_t cap = (end - cur) - remaining_bare;
+      w = std::min(w, cap);
+      stack.push_back({c, cur, w});
+      cur += w;
+    }
+  }
+}
+
+void ForestIndex::MaterializeDense() const {
+  std::lock_guard<std::mutex> lock(dense_mu_);
+  if (dense_valid_.load(std::memory_order_relaxed)) return;
+  preorder_.clear();
+  preorder_.reserve(num_alive_);
+  for (size_t id = 0; id < labels_.size(); ++id) {
+    if (labels_[id] != kNoLabel) {
+      preorder_.push_back(static_cast<EntryId>(id));
+    }
+  }
+  std::sort(preorder_.begin(), preorder_.end(), [this](EntryId a, EntryId b) {
+    return labels_[a] < labels_[b];
+  });
+  pre_.assign(labels_.size(), kNotIndexed);
+  sub_end_.assign(labels_.size(), kNotIndexed);
+  // One pass with a stack of open intervals: an entry's subtree ends at
+  // the first position whose label leaves its interval.
+  std::vector<EntryId> open;
+  for (size_t pos = 0; pos < preorder_.size(); ++pos) {
+    EntryId id = preorder_[pos];
+    while (!open.empty() && end_labels_[open.back()] <= labels_[id]) {
+      sub_end_[open.back()] = pos;
+      open.pop_back();
+    }
+    pre_[id] = pos;
+    open.push_back(id);
+  }
+  while (!open.empty()) {
+    sub_end_[open.back()] = preorder_.size();
+    open.pop_back();
+  }
+  dense_valid_.store(true, std::memory_order_release);
+}
+
+bool ForestIndex::EquivalentToFresh(const Directory& d) const {
+  // A fresh DFS straight off the tree structure: the reference preorder,
+  // intervals and depths the incremental state must reproduce.
+  std::vector<EntryId> expected;
+  expected.reserve(d.NumEntries());
+  std::vector<size_t> expected_pre(d.IdCapacity(), kNotIndexed);
+  std::vector<size_t> expected_end(d.IdCapacity(), kNotIndexed);
+  std::vector<uint32_t> expected_depth(d.IdCapacity(), 0);
+  struct Frame {
+    EntryId id;
+    bool exit;
+  };
+  std::vector<Frame> stack;
+  const std::vector<EntryId>& roots = d.roots();
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, false});
+  }
+  while (!stack.empty()) {
+    Frame f = stack.back();
+    stack.pop_back();
+    if (f.exit) {
+      expected_end[f.id] = expected.size();
+      continue;
+    }
+    const Entry& e = d.entry(f.id);
+    expected_pre[f.id] = expected.size();
+    expected_depth[f.id] = (e.parent() == kInvalidEntryId)
+                               ? 0
+                               : expected_depth[e.parent()] + 1;
+    expected.push_back(f.id);
+    stack.push_back({f.id, true});
+    const std::vector<EntryId>& children = e.children();
+    for (auto it = children.rbegin(); it != children.rend(); ++it) {
+      stack.push_back({*it, false});
+    }
+  }
+
+  if (num_alive_ != expected.size()) return false;
+  if (preorder() != expected) return false;
+  for (EntryId id : expected) {
+    if (pre(id) != expected_pre[id]) return false;
+    if (sub_end(id) != expected_end[id]) return false;
+    if (depth(id) != expected_depth[id]) return false;
+    if (labels_[id] >= end_labels_[id]) return false;
+    EntryId parent = d.entry(id).parent();
+    if (parent != kInvalidEntryId &&
+        !(labels_[parent] < labels_[id] &&
+          end_labels_[id] <= end_labels_[parent])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace ldapbound

@@ -1,61 +1,191 @@
 #ifndef LDAPBOUND_MODEL_FOREST_INDEX_H_
 #define LDAPBOUND_MODEL_FOREST_INDEX_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "model/entry_set.h"
 
 namespace ldapbound {
 
-/// Positional index of a directory forest: the preorder ("sorted") sequence
-/// of alive entries plus, per entry, its preorder position, the end of its
-/// subtree interval and its depth.
+class Directory;
+
+/// Positional index of a directory forest, maintained *incrementally*
+/// across mutations.
 ///
-/// This is the "directory entries are sorted" prerequisite of the
-/// hierarchical query evaluation of Jagadish et al. (SIGMOD'99) that the
-/// paper's Section 3.2 relies on: with the interval encoding, every
-/// structural operator is evaluable in one linear pass over the preorder.
+/// The paper's Section 3.2 evaluates structural operators over the
+/// interval encoding of Jagadish et al. (SIGMOD'99): every entry owns a
+/// preorder interval that strictly contains the intervals of its
+/// descendants. The seed implementation stored dense preorder positions
+/// and rebuilt them in O(|D|) after every mutation — exactly the
+/// full-directory cost that Section 4 makes avoidable for updates. This
+/// index instead keeps *gap-based (order-maintenance) labels*:
 ///
-/// An index is a snapshot: it is (re)built by Directory after mutations.
+///  - every alive entry owns a half-open label interval
+///    [label(id), end_label(id)) nested strictly inside its parent's
+///    interval, siblings in insertion order; the forest as a whole lives
+///    in [0, kLabelSpace);
+///  - inserting a leaf claims a slice of its parent's free tail in O(1);
+///    deleting a leaf clears its labels in O(1) (the tail slice is reused
+///    when the freed entry was the youngest sibling); moving a subtree
+///    relabels only the k moved entries;
+///  - when a parent's interval is exhausted, the nearest ancestor whose
+///    span still affords kMinSpread labels per entry is relabeled locally
+///    (amortized: a redistributed region must absorb a number of inserts
+///    proportional to its size before it can exhaust again);
+///  - if no ancestor qualifies, or an invariant check on the local state
+///    fails, the index falls back to a full rebuild (a redistribution over
+///    the whole label space), counted separately.
+///
+/// Ancestry tests read labels directly and are always fresh. The dense
+/// views the query evaluator consumes — preorder(), pre(), sub_end() —
+/// are a *derived snapshot* materialized lazily from the labels (sort the
+/// alive entries by label) and invalidated by structural mutations;
+/// concurrent readers may materialize it safely (double-checked under an
+/// internal mutex). Mutation remains single-writer, per the Directory
+/// contract.
 class ForestIndex {
  public:
   static constexpr size_t kNotIndexed = ~size_t{0};
+  /// Label of a dead (or never-inserted) entry.
+  static constexpr uint64_t kNoLabel = ~uint64_t{0};
+  /// The forest owns labels in [0, kLabelSpace).
+  static constexpr uint64_t kLabelSpace = uint64_t{1} << 62;
+  /// Growth room a fresh leaf aims to reserve for its future subtree.
+  static constexpr uint64_t kLeafStride = uint64_t{1} << 16;
+  /// Minimum per-entry span an ancestor must afford to absorb a local
+  /// relabel (>= 4x kLeafStride so a redistributed region absorbs O(size)
+  /// further inserts before exhausting again).
+  static constexpr uint64_t kMinSpread = uint64_t{1} << 18;
 
   ForestIndex() = default;
+  ForestIndex(const ForestIndex&) = delete;
+  ForestIndex& operator=(const ForestIndex&) = delete;
+  ForestIndex(ForestIndex&& other) noexcept;
+  ForestIndex& operator=(ForestIndex&& other) noexcept;
 
-  /// Preorder positions of entry `id`; kNotIndexed for dead ids.
-  size_t pre(EntryId id) const { return pre_[id]; }
+  /// Preorder position of entry `id`; kNotIndexed for dead or out-of-range
+  /// ids. Materializes the dense snapshot if stale.
+  size_t pre(EntryId id) const {
+    EnsureDense();
+    return id < pre_.size() ? pre_[id] : kNotIndexed;
+  }
 
   /// One past the last preorder position of `id`'s subtree. The subtree of
   /// `id` occupies preorder positions [pre(id), sub_end(id)).
-  size_t sub_end(EntryId id) const { return sub_end_[id]; }
-
-  /// Root depth 0.
-  uint32_t depth(EntryId id) const { return depth_[id]; }
-
-  /// Alive entries in preorder (roots in insertion order, children in
-  /// sibling order).
-  const std::vector<EntryId>& preorder() const { return preorder_; }
-
-  /// True if `anc` is a proper ancestor of `desc`.
-  bool IsAncestor(EntryId anc, EntryId desc) const {
-    size_t pa = pre_[anc];
-    size_t pd = pre_[desc];
-    if (pa == kNotIndexed || pd == kNotIndexed) return false;
-    return pa < pd && pd < sub_end_[anc];
+  size_t sub_end(EntryId id) const {
+    EnsureDense();
+    return id < sub_end_.size() ? sub_end_[id] : kNotIndexed;
   }
 
-  size_t num_entries() const { return preorder_.size(); }
+  /// Root depth 0. Maintained incrementally (never stale).
+  uint32_t depth(EntryId id) const {
+    return id < depth_.size() ? depth_[id] : 0;
+  }
+
+  /// Alive entries in preorder (roots in insertion order, children in
+  /// sibling order). Materializes the dense snapshot if stale.
+  const std::vector<EntryId>& preorder() const {
+    EnsureDense();
+    return preorder_;
+  }
+
+  /// True if `anc` is a proper ancestor of `desc`. O(1) on the labels, no
+  /// dense snapshot needed; out-of-range and dead ids are never ancestors
+  /// (ids beyond the labeled range are ignored, like EntrySet does).
+  bool IsAncestor(EntryId anc, EntryId desc) const {
+    if (anc >= labels_.size() || desc >= labels_.size()) return false;
+    uint64_t la = labels_[anc];
+    uint64_t ld = labels_[desc];
+    if (la == kNoLabel || ld == kNoLabel) return false;
+    return la < ld && ld < end_labels_[anc];
+  }
+
+  /// The order-maintenance label interval of `id`; kNoLabel when dead or
+  /// out of range. Exposed for tests and diagnostics.
+  uint64_t label(EntryId id) const {
+    return id < labels_.size() ? labels_[id] : kNoLabel;
+  }
+  uint64_t end_label(EntryId id) const {
+    return id < end_labels_.size() ? end_labels_[id] : kNoLabel;
+  }
+
+  /// Number of alive entries.
+  size_t num_entries() const { return num_alive_; }
+
+  /// Local relabels (redistributions below the forest root) performed so
+  /// far by this instance, and full rebuilds (whole-space
+  /// redistributions).
+  uint64_t relabels() const { return relabels_; }
+  uint64_t full_rebuilds() const { return full_rebuilds_; }
+
+  /// Equivalence check against a fresh build: the label order must induce
+  /// exactly the DFS preorder of `d`, with matching subtree intervals and
+  /// depths. O(|D| log |D|). The property tests run this after every
+  /// mutation; the maintenance code uses the same invariants to decide
+  /// when to fall back to a full rebuild.
+  bool EquivalentToFresh(const Directory& d) const;
 
  private:
   friend class Directory;
 
-  std::vector<size_t> pre_;      // by entry id
-  std::vector<size_t> sub_end_;  // by entry id
-  std::vector<uint32_t> depth_;  // by entry id
-  std::vector<EntryId> preorder_;
+  // -- Incremental maintenance (called by Directory; single-writer) --
+
+  /// `id` was just linked as the youngest child of its parent (or youngest
+  /// root). Claims a label slice, relabeling locally when exhausted.
+  void OnInsert(const Directory& d, EntryId id);
+  /// `id` was just unlinked (leaf deletion). O(1).
+  void OnErase(EntryId id);
+  /// The subtree rooted at `id` was just re-linked under a new parent
+  /// (youngest child). Relabels the k moved entries.
+  void OnMove(const Directory& d, EntryId id);
+
+  /// Shared insert/move placement: claims a slice of the parent's free
+  /// tail for the (already linked, youngest-sibling) subtree at `id`,
+  /// relabeling locally on exhaustion.
+  void PlaceSubtree(const Directory& d, EntryId id);
+
+  /// Full fallback: redistribute every alive entry over [0, kLabelSpace).
+  void RebuildFromScratch(const Directory& d);
+
+  /// Finds the nearest ancestor of `parent` (inclusive; kInvalidEntryId =
+  /// the whole forest) whose span affords kMinSpread per entry, and
+  /// redistributes its region. Labels any linked-but-unlabeled entries in
+  /// the region as a side effect.
+  void Relabel(const Directory& d, EntryId parent);
+
+  /// Redistributes the interval [lo, lo+width) over the subtree rooted at
+  /// `id` (labels, end labels, depths), children packed into the first
+  /// half of the usable space so every entry keeps a growth tail.
+  void AssignInterval(const Directory& d, EntryId id, uint64_t lo,
+                      uint64_t width);
+
+  void EnsureCapacity(size_t id_capacity);
+  void InvalidateDense() {
+    dense_valid_.store(false, std::memory_order_relaxed);
+  }
+  void EnsureDense() const {
+    if (!dense_valid_.load(std::memory_order_acquire)) MaterializeDense();
+  }
+  void MaterializeDense() const;
+
+  // Label state: always fresh, maintained incrementally. By entry id.
+  std::vector<uint64_t> labels_;
+  std::vector<uint64_t> end_labels_;
+  std::vector<uint32_t> depth_;
+  size_t num_alive_ = 0;
+  uint64_t relabels_ = 0;
+  uint64_t full_rebuilds_ = 0;
+
+  // Dense snapshot, derived lazily from the labels (see class comment).
+  mutable std::mutex dense_mu_;
+  mutable std::atomic<bool> dense_valid_{true};  // empty index is valid
+  mutable std::vector<size_t> pre_;      // by entry id
+  mutable std::vector<size_t> sub_end_;  // by entry id
+  mutable std::vector<EntryId> preorder_;
 };
 
 }  // namespace ldapbound

@@ -181,6 +181,7 @@ DirectoryServer::DirectoryServer(std::shared_ptr<Vocabulary> vocab,
     : vocab_(std::move(vocab)),
       schema_(std::make_unique<DirectorySchema>(std::move(schema))),
       directory_(std::make_unique<Directory>(vocab_)),
+      write_mu_(std::make_unique<std::mutex>()),
       stats_(std::make_unique<StatCounters>()) {}
 
 Result<DirectoryServer> DirectoryServer::Create(
@@ -237,7 +238,7 @@ Status DirectoryServer::Delete(const DistinguishedName& dn) {
 }
 
 Status DirectoryServer::CheckWritable() const {
-  if (wal_failed_) {
+  if (wal_failed()) {
     return Status::FailedPrecondition(
         "a write-ahead log append failed; the server is read-only — "
         "restart via DirectoryServer::Recover to resume from the durable "
@@ -246,19 +247,36 @@ Status DirectoryServer::CheckWritable() const {
   return Status::OK();
 }
 
-Status DirectoryServer::WalPersist(const std::vector<ChangeRecord>& records) {
-  if (wal_ == nullptr) return Status::OK();
-  Status status = [&]() -> Status {
-    // Mid-commit crash point: the in-memory commit is applied but nothing
-    // has reached the log — after recovery the commit must be absent
-    // (it was never acknowledged).
-    LDAPBOUND_FAILPOINT("server.commit");
-    return wal_->Append(ChangeRecordsToLdif(records, *vocab_));
-  }();
+Status DirectoryServer::WalPersist(std::string payload,
+                                   std::unique_lock<std::mutex>& lock) {
+  if (wal_ == nullptr) {
+    lock.unlock();
+    return Status::OK();
+  }
+  Status status;
+  if (group_commit_ != nullptr) {
+    GroupCommitQueue::Ticket* ticket = nullptr;
+    status = [&]() -> Status {
+      // Mid-commit crash point: the in-memory commit is applied but
+      // nothing has reached the log — after recovery the commit must be
+      // absent (it was never acknowledged).
+      LDAPBOUND_FAILPOINT("server.commit");
+      ticket = group_commit_->Enqueue(std::move(payload));
+      return Status::OK();
+    }();
+    lock.unlock();
+    if (status.ok()) status = group_commit_->Wait(ticket);
+  } else {
+    status = [&]() -> Status {
+      LDAPBOUND_FAILPOINT("server.commit");
+      return wal_->Append(payload);
+    }();
+    lock.unlock();
+  }
   if (!status.ok()) {
     // The in-memory state is now ahead of the durable state and cannot be
     // trusted as a replication source; fail every further mutation.
-    wal_failed_ = true;
+    stats_->wal_failed.store(true, std::memory_order_release);
     return Status(status.code(),
                   "write-ahead log append failed (server is now read-only; "
                   "recover from '" + wal_->dir() + "'): " + status.message());
@@ -273,9 +291,16 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
                     "txn(" + std::to_string(txn.ops().size()) + " ops)");
   LDAPBOUND_TRACE_SPAN("server.apply");
   LatencyTimer timer(op.latency_ns);
+  std::unique_lock<std::mutex> lock(*write_mu_);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   IncrementalValidator::Options validator_options;
   validator_options.check = check_options_;
+  // The serving path wants commit cost O(|Δ|), not O(|D|): walk the delta
+  // directly for insert checks and test only the doomed subtrees' surviving
+  // ancestors for delete checks (both property-tested equivalent to the
+  // paper-faithful Δ-queries).
+  validator_options.delta_driven_insert = true;
+  validator_options.ancestor_path_optimization = true;
   TransactionExecutor executor(directory_.get(), *schema_, validator_options);
   Status status = executor.Commit(txn, stats);
   if (!status.ok()) {
@@ -300,14 +325,22 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
       }
       records.push_back(std::move(record));
     }
-    // Durability before acknowledgement: the commit only returns OK once
-    // the log frame is on disk.
-    LDAPBOUND_RETURN_IF_ERROR(WalPersist(records));
+    std::string payload;
+    if (wal_ != nullptr) payload = ChangeRecordsToLdif(records, *vocab_);
+    // The changelog mirrors the in-memory commit order, so it is appended
+    // under the write mutex, before the durability wait — concurrent
+    // writers cannot interleave its records out of commit order. (Should
+    // the WAL append then fail, the server goes read-only and the extra
+    // record still describes the in-memory state.)
     if (changelog_ != nullptr) {
       for (ChangeRecord& record : records) {
         changelog_->Append(std::move(record));
       }
     }
+    // Durability before acknowledgement: the commit only returns OK once
+    // its log frame — or the frame's group — is on disk. Releases the
+    // write mutex.
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), lock));
   }
   op.ok.Increment();
   tracker.Ok();
@@ -369,6 +402,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
                     dn.ToString());
   LDAPBOUND_TRACE_SPAN("server.modify");
   LatencyTimer timer(op.latency_ns);
+  std::unique_lock<std::mutex> lock(*write_mu_);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   auto resolved = ResolveDn(*directory_, dn);
   if (!resolved.ok()) {
@@ -443,8 +477,10 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
     record.txn = NextRecordTxnId();
     record.dn = dn.ToString();
     record.mods = mods;
-    LDAPBOUND_RETURN_IF_ERROR(WalPersist({record}));
+    std::string payload;
+    if (wal_ != nullptr) payload = ChangeRecordsToLdif({record}, *vocab_);
     if (changelog_ != nullptr) changelog_->Append(std::move(record));
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), lock));
   }
   ++stats_->modifies;
   op.ok.Increment();
@@ -460,6 +496,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
                     dn.ToString());
   LDAPBOUND_TRACE_SPAN("server.modify_dn");
   LatencyTimer timer(op.latency_ns);
+  std::unique_lock<std::mutex> lock(*write_mu_);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
   auto entry = ResolveDn(*directory_, dn);
   if (!entry.ok()) {
@@ -522,8 +559,10 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     record.dn = dn.ToString();
     record.new_parent_dn = new_parent_dn.ToString();
     record.new_rdn = directory_->entry(*entry).rdn();
-    LDAPBOUND_RETURN_IF_ERROR(WalPersist({record}));
+    std::string payload;
+    if (wal_ != nullptr) payload = ChangeRecordsToLdif({record}, *vocab_);
     if (changelog_ != nullptr) changelog_->Append(std::move(record));
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), lock));
   }
   ++stats_->modifies;
   op.ok.Increment();
@@ -560,6 +599,7 @@ Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
                     "ldif(" + std::to_string(text.size()) + " bytes)");
   LDAPBOUND_TRACE_SPAN("server.import");
   LatencyTimer timer(op.latency_ns);
+  std::lock_guard<std::mutex> lock(*write_mu_);
   auto imported = [&]() -> Result<size_t> {
     LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
     // Load into a scratch directory first so failures cannot disturb the
@@ -576,9 +616,9 @@ Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
     // Bulk imports bypass the changelog, so they must reach the WAL as a
     // snapshot or the durable state would silently diverge.
     if (wal_ != nullptr) {
-      Status status = Compact();
+      Status status = CompactLocked();
       if (!status.ok()) {
-        wal_failed_ = true;
+        stats_->wal_failed.store(true, std::memory_order_release);
         return status;
       }
     }
@@ -607,6 +647,7 @@ bool DirectoryServer::IsLegal() const {
 
 Status DirectoryServer::EnableWal(const std::string& dir,
                                   const WalOptions& options) {
+  std::lock_guard<std::mutex> lock(*write_mu_);
   if (wal_ != nullptr) {
     return Status::FailedPrecondition("WAL already enabled");
   }
@@ -632,11 +673,17 @@ Status DirectoryServer::EnableWal(const std::string& dir,
   LDAPBOUND_ASSIGN_OR_RETURN(std::unique_ptr<WriteAheadLog> wal,
                              WriteAheadLog::Open(dir, options, /*next_seq=*/1));
   wal_ = std::move(wal);
+  if (options.group_commit_max_batch > 1) {
+    group_commit_ = std::make_unique<GroupCommitQueue>(
+        wal_.get(), options.group_commit_max_batch,
+        options.group_commit_hold_us);
+  }
   // Pre-existing entries (e.g. a bulk-loaded seed) predate the log; write
   // them down as the initial snapshot.
   if (directory_->NumEntries() > 0) {
-    Status status = Compact();
+    Status status = CompactLocked();
     if (!status.ok()) {
+      group_commit_ = nullptr;
       wal_ = nullptr;
       return status;
     }
@@ -645,10 +692,20 @@ Status DirectoryServer::EnableWal(const std::string& dir,
 }
 
 Status DirectoryServer::Compact() {
+  std::lock_guard<std::mutex> lock(*write_mu_);
+  return CompactLocked();
+}
+
+Status DirectoryServer::CompactLocked() {
   if (wal_ == nullptr) {
     return Status::FailedPrecondition("WAL not enabled");
   }
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
+  // The snapshot must cover every queued commit and no frame may land
+  // after it with a sequence the snapshot already contains — otherwise
+  // recovery would apply that commit twice. The write mutex is held, so
+  // nothing new can enqueue behind the drain.
+  if (group_commit_ != nullptr) group_commit_->Drain();
   return wal_->Compact(ExportLdif());
 }
 
@@ -715,6 +772,11 @@ Result<DirectoryServer> DirectoryServer::Recover(const std::string& dir,
   LDAPBOUND_ASSIGN_OR_RETURN(
       server.wal_,
       WriteAheadLog::Open(dir, options, report->last_seq + 1));
+  if (options.group_commit_max_batch > 1) {
+    server.group_commit_ = std::make_unique<GroupCommitQueue>(
+        server.wal_.get(), options.group_commit_max_batch,
+        options.group_commit_hold_us);
+  }
   // Recovery work is not traffic; start the counters clean.
   server.stats_ = std::make_unique<StatCounters>();
   return server;

@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "ldap/search.h"
 #include "schema/directory_schema.h"
 #include "server/changelog.h"
+#include "server/group_commit.h"
 #include "server/modification.h"
 #include "server/slow_ops.h"
 #include "server/wal.h"
@@ -35,18 +37,22 @@ namespace ldapbound {
 ///    changelog before being acknowledged, and Recover() rebuilds the
 ///    exact acknowledged state after a crash (see server/wal.h).
 ///
-/// Concurrency contract (single writer, many readers): at most one thread
-/// may call the mutating operations (Add, Delete, Apply, Modify, ModifyDn,
-/// ImportLdif, Compact, EnableChangelog, EnableWal, set_check_options) at
-/// a time, and none of them may overlap each other. The const reads —
-/// Search, ExportLdif, IsLegal, stats() — are safe to call concurrently
-/// with each other and with stats-counter updates (the counters are
-/// atomic), but NOT concurrently with a mutation of the directory itself:
-/// callers who interleave writes and reads across threads must serialize
-/// them externally (e.g. a shared_mutex held shared around reads). Within
-/// that contract, EnableChangelog and EnableWal may be called while
-/// concurrent Searches are in flight — they touch state no read path
-/// examines.
+/// Concurrency contract (serialized writers, many readers): the mutating
+/// operations (Add, Delete, Apply, Modify, ModifyDn, ImportLdif, Compact)
+/// are serialized internally on a write mutex, so any number of threads
+/// may issue them concurrently — they commit one at a time, in mutex
+/// order. Under WAL group commit (WalOptions::group_commit_max_batch > 1)
+/// a committer releases the write mutex before blocking on its group's
+/// fsync, so the next writer's in-memory commit pipelines behind the
+/// previous one's durability wait — that is where the group-commit
+/// throughput win comes from. The setup calls (EnableChangelog,
+/// EnableWal, EnableSlowOps, set_check_options) must happen before
+/// traffic, from one thread. The const reads — Search, ExportLdif,
+/// IsLegal, stats() — are safe to call concurrently with each other and
+/// with stats-counter updates (the counters are atomic), but NOT
+/// concurrently with a mutation of the directory itself: callers who
+/// interleave writes and reads across threads must serialize them
+/// externally (e.g. a shared_mutex held shared around reads).
 class DirectoryServer {
  public:
   /// Parses `schema_text`, checks consistency, starts with an empty
@@ -152,11 +158,17 @@ class DirectoryServer {
   /// The write-ahead log, or nullptr when not enabled.
   const WriteAheadLog* wal() const { return wal_.get(); }
 
+  /// The group-commit queue, or nullptr when WAL group commit is not
+  /// enabled (no WAL, or group_commit_max_batch <= 1).
+  const GroupCommitQueue* group_commit() const { return group_commit_.get(); }
+
   /// True after a WAL append failed: the in-memory state may be ahead of
   /// the durable state, so the server refuses further mutations
   /// (kFailedPrecondition) — reads stay available; restart via Recover()
   /// to resume writing from the durable prefix.
-  bool wal_failed() const { return wal_failed_; }
+  bool wal_failed() const {
+    return stats_->wal_failed.load(std::memory_order_acquire);
+  }
 
   /// Starts slow-op diagnostics: every top-level operation (nested
   /// delegations like Add -> Apply count once) is timed and offered to a
@@ -211,9 +223,20 @@ class DirectoryServer {
   /// Refuses mutations after a WAL failure (see wal_failed()).
   Status CheckWritable() const;
 
-  /// Fsyncs `records` into the WAL (when enabled) — the acknowledgement
-  /// gate of every commit. On failure the server becomes read-only.
-  Status WalPersist(const std::vector<ChangeRecord>& records);
+  /// Compact() body; `write_mu_` must be held (EnableWal and ImportLdif
+  /// call it with the mutex already taken).
+  Status CompactLocked();
+
+  /// The acknowledgement gate of every commit: makes `payload` (the
+  /// serialized change records; ignored when the WAL is off) durable.
+  /// `lock` is the held write mutex; WalPersist always returns with it
+  /// released. Inline mode appends + fsyncs under the lock (WAL order =
+  /// commit order trivially) and then unlocks; group mode enqueues under
+  /// the lock (queue order = commit order), unlocks, and blocks on the
+  /// group's single fsync — so the next writer's in-memory commit
+  /// overlaps this one's durability wait. On failure the server becomes
+  /// read-only.
+  Status WalPersist(std::string payload, std::unique_lock<std::mutex>& lock);
 
   /// Txn-id source for change records when no Changelog is attached.
   uint64_t NextRecordTxnId() {
@@ -231,6 +254,9 @@ class DirectoryServer {
     std::atomic<size_t> rejected{0};
     /// Operation-id source for slow-op records and log/trace correlation.
     std::atomic<uint64_t> next_op_id{1};
+    /// Set on WAL append failure; read by CheckWritable and the monitor
+    /// thread (atomic, and heap-held, to keep the server movable).
+    std::atomic<bool> wal_failed{false};
   };
 
   std::shared_ptr<Vocabulary> vocab_;
@@ -238,8 +264,12 @@ class DirectoryServer {
   std::unique_ptr<Directory> directory_;
   std::unique_ptr<Changelog> changelog_;
   std::unique_ptr<WriteAheadLog> wal_;
+  /// Declared after wal_ so it is destroyed first (it holds a raw pointer
+  /// to the log).
+  std::unique_ptr<GroupCommitQueue> group_commit_;
   std::unique_ptr<SlowOpLog> slow_ops_;
-  bool wal_failed_ = false;
+  /// Serializes the mutating operations (heap-held for movability).
+  std::unique_ptr<std::mutex> write_mu_;
   uint64_t next_txn_ = 1;
   CheckOptions check_options_;
   std::unique_ptr<StatCounters> stats_;

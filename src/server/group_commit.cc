@@ -1,0 +1,140 @@
+#include "server/group_commit.h"
+
+#include <chrono>
+#include <vector>
+
+#include "server/wal.h"
+#include "util/metrics.h"
+
+namespace ldapbound {
+namespace {
+
+struct GroupCommitMetrics {
+  Histogram& batch_size;
+  Counter& groups;
+  Gauge& queue_depth;
+
+  static GroupCommitMetrics& Get() {
+    static GroupCommitMetrics m{
+        MetricRegistry::Default().GetHistogram(
+            "ldapbound_wal_group_commit_batch_size",
+            "Commits per flushed WAL group (1 = no batching win)"),
+        MetricRegistry::Default().GetCounter(
+            "ldapbound_wal_group_commits_total",
+            "WAL frame groups flushed (one fsync each)"),
+        MetricRegistry::Default().GetGauge(
+            "ldapbound_wal_group_commit_queue_depth",
+            "Commits waiting in the group-commit queue"),
+    };
+    return m;
+  }
+};
+
+}  // namespace
+
+struct GroupCommitQueue::Ticket {
+  enum class State { kQueued, kLeader, kDone };
+
+  std::string payload;
+  Status status = Status::OK();
+  State state = State::kQueued;
+  // Per-ticket wakeup: waiters sleep on their own condvar so finishing a
+  // group wakes exactly its members, not every committer in the queue (a
+  // notify_all herd serializes badly on few cores). Notified only under
+  // mu_, so a waiter can never destroy the ticket mid-notify.
+  std::condition_variable cv;
+};
+
+GroupCommitQueue::GroupCommitQueue(WriteAheadLog* wal, size_t max_batch,
+                                   uint32_t hold_us)
+    : wal_(wal), max_batch_(max_batch < 1 ? 1 : max_batch),
+      hold_us_(hold_us) {}
+
+GroupCommitQueue::~GroupCommitQueue() = default;
+
+GroupCommitQueue::Ticket* GroupCommitQueue::Enqueue(std::string payload) {
+  auto* ticket = new Ticket{std::move(payload)};
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(ticket);
+  if (!flush_active_) {
+    // No group is being flushed and nobody is leading: this commit opens
+    // the next group and will flush it from its own Wait.
+    flush_active_ = true;
+    ticket->state = Ticket::State::kLeader;
+  }
+  GroupCommitMetrics::Get().queue_depth.Set(queue_.size());
+  // Wake a leader holding its batch open for followers (only leaders and
+  // Drain ever sleep on the queue-level condvar).
+  cv_.notify_all();
+  return ticket;
+}
+
+Status GroupCommitQueue::Wait(Ticket* ticket) {
+  std::unique_lock<std::mutex> lock(mu_);
+  ticket->cv.wait(lock,
+                  [&] { return ticket->state != Ticket::State::kQueued; });
+  if (ticket->state == Ticket::State::kLeader) {
+    LeadFlush(lock);  // flushes a group containing `ticket`
+  }
+  Status status = ticket->status;
+  lock.unlock();
+  delete ticket;
+  return status;
+}
+
+void GroupCommitQueue::LeadFlush(std::unique_lock<std::mutex>& lock) {
+  // Hold the group open so concurrent committers can join. A full batch
+  // closes the window early; so does a slice of the window passing with
+  // no new arrivals — once committers stop showing up, waiting out the
+  // rest of the hold would add latency without adding batching.
+  if (hold_us_ > 0 && queue_.size() < max_batch_) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::microseconds(hold_us_);
+    const auto slice = std::chrono::microseconds(hold_us_ / 4 + 1);
+    size_t seen = queue_.size();
+    while (!cv_.wait_for(lock, slice,
+                         [&] { return queue_.size() >= max_batch_; })) {
+      if (queue_.size() == seen ||
+          std::chrono::steady_clock::now() >= deadline) {
+        break;
+      }
+      seen = queue_.size();
+    }
+  }
+  size_t n = queue_.size() < max_batch_ ? queue_.size() : max_batch_;
+  std::vector<Ticket*> batch(queue_.begin(), queue_.begin() + n);
+  queue_.erase(queue_.begin(), queue_.begin() + n);
+  GroupCommitMetrics::Get().queue_depth.Set(queue_.size());
+
+  lock.unlock();
+  std::vector<std::string_view> payloads;
+  payloads.reserve(batch.size());
+  for (const Ticket* t : batch) payloads.push_back(t->payload);
+  Status status = wal_->AppendGroup(payloads);
+  GroupCommitMetrics::Get().batch_size.Observe(static_cast<double>(n));
+  GroupCommitMetrics::Get().groups.Increment();
+  groups_flushed_.fetch_add(1, std::memory_order_relaxed);
+  commits_flushed_.fetch_add(n, std::memory_order_relaxed);
+  lock.lock();
+
+  for (Ticket* t : batch) {
+    t->status = status;
+    t->state = Ticket::State::kDone;
+    t->cv.notify_one();
+  }
+  if (!queue_.empty()) {
+    queue_.front()->state = Ticket::State::kLeader;
+    queue_.front()->cv.notify_one();
+  } else {
+    flush_active_ = false;
+  }
+  // Usually nobody is here: only Drain sleeps on the queue condvar.
+  cv_.notify_all();
+}
+
+void GroupCommitQueue::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return queue_.empty() && !flush_active_; });
+}
+
+}  // namespace ldapbound

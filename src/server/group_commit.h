@@ -1,0 +1,96 @@
+#ifndef LDAPBOUND_SERVER_GROUP_COMMIT_H_
+#define LDAPBOUND_SERVER_GROUP_COMMIT_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+
+#include "util/result.h"
+
+namespace ldapbound {
+
+class WriteAheadLog;
+
+/// The commit queue behind WAL group commit: batches concurrently
+/// submitted transactions into one frame group made durable by a single
+/// fsync (WriteAheadLog::AppendGroup), using leader/follower handoff —
+/// the first committer whose group is open becomes the leader, holds the
+/// batch open for up to `group_commit_hold_us` (or until
+/// `group_commit_max_batch` commits are pending), flushes the whole group
+/// with one fsync, wakes its followers, and hands leadership to the next
+/// queued committer.
+///
+/// Durability contract: a transaction is acknowledged (its Wait returns
+/// OK) only after the fsync of *its* group — exactly the
+/// fsync-before-ack rule of §7, with the cost amortized over the batch.
+/// Frames are appended in queue order, which the server makes equal to
+/// in-memory commit order by enqueueing under its write mutex, so the
+/// recovered prefix is always a prefix of the acknowledged history.
+///
+/// Threading: Enqueue must be called with the server's write mutex held
+/// (it never blocks); Wait must be called after that mutex is released
+/// (it blocks on the group fsync, letting other writers pipeline their
+/// in-memory commits behind it). Drain is called with the write mutex
+/// held, so no new commits can arrive while it waits.
+class GroupCommitQueue {
+ public:
+  /// One queued commit. Opaque to callers; owned by the queue between
+  /// Enqueue and Wait.
+  struct Ticket;
+
+  /// `wal` must outlive the queue. `max_batch` >= 1; `hold_us` may be 0
+  /// (flush immediately, batching only what is already queued).
+  GroupCommitQueue(WriteAheadLog* wal, size_t max_batch, uint32_t hold_us);
+  ~GroupCommitQueue();
+
+  GroupCommitQueue(const GroupCommitQueue&) = delete;
+  GroupCommitQueue& operator=(const GroupCommitQueue&) = delete;
+
+  /// Claims the next commit slot (queue order = acknowledgement order).
+  /// Called with the server's write mutex held; never blocks.
+  Ticket* Enqueue(std::string payload);
+
+  /// Blocks until the ticket's group is durable and returns the group's
+  /// append status; consumes the ticket. Called after the write mutex is
+  /// released.
+  Status Wait(Ticket* ticket);
+
+  /// Waits until every enqueued commit has been flushed. Called with the
+  /// write mutex held (compaction and bulk import must not snapshot while
+  /// frames are still queued, or recovery would apply them twice).
+  void Drain();
+
+  size_t max_batch() const { return max_batch_; }
+  uint32_t hold_us() const { return hold_us_; }
+
+  /// Flushed groups / commits so far (for /statusz).
+  uint64_t groups_flushed() const {
+    return groups_flushed_.load(std::memory_order_relaxed);
+  }
+  uint64_t commits_flushed() const {
+    return commits_flushed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  /// Runs one leader flush; called by Wait with `lock` held, returns with
+  /// it held and the leader's own ticket done.
+  void LeadFlush(std::unique_lock<std::mutex>& lock);
+
+  WriteAheadLog* wal_;
+  const size_t max_batch_;
+  const uint32_t hold_us_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Ticket*> queue_;
+  bool flush_active_ = false;
+  std::atomic<uint64_t> groups_flushed_{0};
+  std::atomic<uint64_t> commits_flushed_{0};
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SERVER_GROUP_COMMIT_H_

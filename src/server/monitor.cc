@@ -209,7 +209,17 @@ std::string MonitorServer::RenderStatusz() const {
     out += JsonQuote(s.wal()->dir());
     AppendU64Field(out, "next_seq", s.wal()->next_seq());
   }
-  out += "}";
+  out += ",\"group_commit\":{";
+  AppendBoolField(out, "enabled", s.group_commit() != nullptr,
+                  /*first=*/true);
+  if (s.group_commit() != nullptr) {
+    const GroupCommitQueue& q = *s.group_commit();
+    AppendU64Field(out, "max_batch", q.max_batch());
+    AppendU64Field(out, "hold_us", q.hold_us());
+    AppendU64Field(out, "groups_flushed", q.groups_flushed());
+    AppendU64Field(out, "commits_flushed", q.commits_flushed());
+  }
+  out += "}}";
 
   out += ",\"stats\":{";
   AppendU64Field(out, "adds", stats.adds, /*first=*/true);

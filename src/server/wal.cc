@@ -425,28 +425,44 @@ Status WriteAheadLog::RotateIfNeeded() {
 }
 
 Status WriteAheadLog::Append(std::string_view payload) {
+  return AppendGroup({payload});
+}
+
+Status WriteAheadLog::AppendGroup(
+    const std::vector<std::string_view>& payloads) {
+  if (payloads.empty()) return Status::OK();
   LDAPBOUND_TRACE_SPAN("wal.append");
   LatencyTimer timer(GetWalMetrics().append_ns);
   LDAPBOUND_RETURN_IF_ERROR(RotateIfNeeded());
-  std::string frame;
-  frame.reserve(kFrameHeaderSize + payload.size());
-  PutU32(frame, static_cast<uint32_t>(payload.size()));
-  PutU64(frame, next_seq_);
-  uint32_t crc = Crc32c(frame);  // the 12 length+sequence bytes
-  crc = Crc32cExtend(crc, payload);
-  PutU32(frame, Crc32cMask(crc));
-  frame.append(payload);
+  std::string frames;
+  size_t total = 0;
+  for (std::string_view payload : payloads) {
+    total += kFrameHeaderSize + payload.size();
+  }
+  frames.reserve(total);
+  uint64_t seq = next_seq_;
+  for (std::string_view payload : payloads) {
+    const size_t base = frames.size();
+    PutU32(frames, static_cast<uint32_t>(payload.size()));
+    PutU64(frames, seq);
+    // The CRC covers the 12 length+sequence bytes plus the payload.
+    uint32_t crc = Crc32c(std::string_view(frames.data() + base, 12));
+    crc = Crc32cExtend(crc, payload);
+    PutU32(frames, Crc32cMask(crc));
+    frames.append(payload);
+    ++seq;
+  }
   LDAPBOUND_FAILPOINT("wal.write");
-  LDAPBOUND_RETURN_IF_ERROR(WriteFully(fd_, frame));
-  segment_bytes_ += frame.size();
+  LDAPBOUND_RETURN_IF_ERROR(WriteFully(fd_, frames));
+  segment_bytes_ += frames.size();
   if (options_.sync) {
     LDAPBOUND_FAILPOINT("wal.fsync");
     LDAPBOUND_RETURN_IF_ERROR(SyncSegment());
   }
-  ++next_seq_;
+  next_seq_ = seq;
   WalMetrics& metrics = GetWalMetrics();
-  metrics.frames_appended.Increment();
-  metrics.appended_bytes.Increment(frame.size());
+  metrics.frames_appended.Increment(payloads.size());
+  metrics.appended_bytes.Increment(frames.size());
   return Status::OK();
 }
 

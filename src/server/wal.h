@@ -60,6 +60,20 @@ struct WalOptions {
   /// this off trades the durability guarantee for commit latency (the
   /// bench_wal axis); recovery still works up to whatever the OS flushed.
   bool sync = true;
+
+  /// Group commit: batch up to this many concurrently submitted commits
+  /// into one frame group made durable by a single fsync (leader/follower
+  /// handoff in DirectoryServer's commit queue). Every commit is still
+  /// acknowledged only after *its* group's fsync, so the durability
+  /// contract is unchanged — the fsync cost is amortized over the batch.
+  /// Values <= 1 disable batching (every commit appends and syncs alone).
+  size_t group_commit_max_batch = 1;
+
+  /// How long a group-commit leader holds the batch open waiting for
+  /// followers to arrive, in microseconds, once at least one commit is
+  /// pending. 0 flushes immediately (batching still happens when commits
+  /// are already queued).
+  uint32_t group_commit_hold_us = 200;
 };
 
 /// What recovery found; filled by DirectoryServer::Recover.
@@ -130,6 +144,15 @@ class WriteAheadLog {
   /// it durable. On OK the commit may be acknowledged. Rotates segments as
   /// needed.
   Status Append(std::string_view payload);
+
+  /// Appends `payloads` as consecutive frames (one commit sequence each)
+  /// with a single write and a single fsync — the group-commit primitive.
+  /// On OK every commit in the group may be acknowledged; on error none
+  /// may (the durable prefix ends somewhere inside the group, and none of
+  /// its frames were acknowledged). Rotation is checked once, before the
+  /// group, so a group may overshoot segment_bytes (the threshold is
+  /// soft).
+  Status AppendGroup(const std::vector<std::string_view>& payloads);
 
   /// Sequence the next Append will carry.
   uint64_t next_seq() const { return next_seq_; }

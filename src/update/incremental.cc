@@ -492,6 +492,12 @@ bool IncrementalValidator::CheckBeforeDelete(const Directory& directory,
                                              EntryId delta_root,
                                              const EntrySet& delta,
                                              std::vector<Violation>* out) const {
+  return CheckBeforeDeleteBatch(directory, {delta_root}, delta, out);
+}
+
+bool IncrementalValidator::CheckBeforeDeleteBatch(
+    const Directory& directory, const std::vector<EntryId>& delta_roots,
+    const EntrySet& delta, std::vector<Violation>* out) const {
   bool ok = true;
 
   // Required classes Cr: testable via the maintained class counts — the
@@ -515,7 +521,7 @@ bool IncrementalValidator::CheckBeforeDelete(const Directory& directory,
     }
   }
 
-  if (!CheckStructureBeforeDelete(directory, delta_root, delta, out)) {
+  if (!CheckStructureBeforeDelete(directory, delta_roots, delta, out)) {
     ok = false;
     if (out == nullptr) return false;
   }
@@ -523,8 +529,8 @@ bool IncrementalValidator::CheckBeforeDelete(const Directory& directory,
 }
 
 bool IncrementalValidator::CheckStructureBeforeDelete(
-    const Directory& directory, EntryId delta_root, const EntrySet& delta,
-    std::vector<Violation>* out) const {
+    const Directory& directory, const std::vector<EntryId>& delta_roots,
+    const EntrySet& delta, std::vector<Violation>* out) const {
   const StructureSchema& structure = schema_.structure();
   bool ok = true;
 
@@ -549,23 +555,43 @@ bool IncrementalValidator::CheckStructureBeforeDelete(
     return ok;
   }
 
-  // Extension: since D is legal, the only entries that lose a child are the
-  // parent of Δ's root, and the only entries that lose descendants are Δ's
-  // surviving proper ancestors. Test just those.
-  EntryId parent = directory.entry(delta_root).parent();
+  // Extension: since D is legal, the only entries that lose a child are
+  // the doomed roots' parents, and the only entries that lose descendants
+  // are the roots' surviving proper ancestors. Test just those — collected
+  // once across the whole batch, so subtrees sharing ancestors (common
+  // under a hot parent) are not re-tested per subtree.
+  std::vector<EntryId> parents;
+  std::vector<EntryId> ancestors;
+  {
+    std::unordered_set<EntryId> parent_seen;
+    std::unordered_set<EntryId> anc_seen;
+    for (EntryId root : delta_roots) {
+      EntryId p = directory.entry(root).parent();
+      if (p == kInvalidEntryId) continue;
+      if (parent_seen.insert(p).second) parents.push_back(p);
+      for (EntryId a = p; a != kInvalidEntryId;
+           a = directory.entry(a).parent()) {
+        // A chain already walked from here up stops the climb.
+        if (!anc_seen.insert(a).second) break;
+        ancestors.push_back(a);
+      }
+    }
+  }
 
-  // Surviving target-descendant search with early exit, skipping Δ.
+  // Surviving target-descendant search with early exit, skipping Δ. The
+  // class test happens as each child is first seen — not after queueing a
+  // whole child list — so a hit under a high-fanout parent returns before
+  // scanning the remaining siblings.
   auto has_surviving_descendant = [&](EntryId from, ClassId target) {
     std::vector<EntryId> stack;
-    for (EntryId c : directory.entry(from).children()) {
-      if (!delta.Contains(c)) stack.push_back(c);
-    }
+    stack.push_back(from);
     while (!stack.empty()) {
       EntryId cur = stack.back();
       stack.pop_back();
-      if (directory.entry(cur).HasClass(target)) return true;
       for (EntryId c : directory.entry(cur).children()) {
-        if (!delta.Contains(c)) stack.push_back(c);
+        if (delta.Contains(c)) continue;
+        if (directory.entry(c).HasClass(target)) return true;
+        stack.push_back(c);
       }
     }
     return false;
@@ -573,24 +599,24 @@ bool IncrementalValidator::CheckStructureBeforeDelete(
 
   for (const StructuralRelationship& rel : structure.required()) {
     if (rel.axis == Axis::kChild) {
-      if (parent == kInvalidEntryId) continue;
-      if (!directory.entry(parent).HasClass(rel.source)) continue;
-      bool satisfied = false;
-      for (EntryId c : directory.entry(parent).children()) {
-        if (delta.Contains(c)) continue;
-        if (directory.entry(c).HasClass(rel.target)) {
-          satisfied = true;
-          break;
+      for (EntryId parent : parents) {
+        if (!directory.entry(parent).HasClass(rel.source)) continue;
+        bool satisfied = false;
+        for (EntryId c : directory.entry(parent).children()) {
+          if (delta.Contains(c)) continue;
+          if (directory.entry(c).HasClass(rel.target)) {
+            satisfied = true;
+            break;
+          }
         }
-      }
-      if (!satisfied) {
-        if (!ReportRelationship(out, &ok, rel, parent)) return false;
+        if (!satisfied) {
+          if (!ReportRelationship(out, &ok, rel, parent)) return false;
+        }
       }
       continue;
     }
     if (rel.axis == Axis::kDescendant) {
-      for (EntryId anc = parent; anc != kInvalidEntryId;
-           anc = directory.entry(anc).parent()) {
+      for (EntryId anc : ancestors) {
         if (!directory.entry(anc).HasClass(rel.source)) continue;
         if (!has_surviving_descendant(anc, rel.target)) {
           if (!ReportRelationship(out, &ok, rel, anc)) return false;

@@ -73,6 +73,22 @@ class IncrementalValidator {
                          const EntrySet& delta,
                          std::vector<Violation>* out = nullptr) const;
 
+  /// Batch form of CheckBeforeDelete: Δ is the union of several maximal
+  /// doomed subtrees (rooted at `delta_roots`; no root's ancestor may be
+  /// in Δ). Merges the Figure 5 Δ-scoped work across the batch — one Cr
+  /// class-count pass, one D−Δ query evaluation (or, with the
+  /// ancestor-path optimization, one deduplicated sweep over the roots'
+  /// surviving parents and ancestors) — instead of one pass per subtree.
+  /// Equivalent to checking the subtrees one at a time, interleaved with
+  /// their deletions: the checked survivors (the roots' ancestors) outlive
+  /// the whole batch, and deletion only shrinks their child/descendant
+  /// sets, so a violation of any intermediate state is still a violation
+  /// of D−Δ and vice versa.
+  bool CheckBeforeDeleteBatch(const Directory& directory,
+                              const std::vector<EntryId>& delta_roots,
+                              const EntrySet& delta,
+                              std::vector<Violation>* out = nullptr) const;
+
   /// Incremental check for a *reclassification*: entry `id` gained classes
   /// `added` and lost classes `removed` (e.g. an LDAP Modify touching
   /// objectClass). `directory` already holds the post-change state, which
@@ -130,7 +146,8 @@ class IncrementalValidator {
   bool CheckKeysAfterInsert(const Directory& directory, const EntrySet& delta,
                             std::vector<Violation>* out) const;
   bool CheckStructureBeforeDelete(const Directory& directory,
-                                  EntryId delta_root, const EntrySet& delta,
+                                  const std::vector<EntryId>& delta_roots,
+                                  const EntrySet& delta,
                                   std::vector<Violation>* out) const;
 
   const DirectorySchema& schema_;

@@ -118,8 +118,13 @@ Status TransactionExecutor::Commit(const UpdateTransaction& txn,
     }
   };
 
-  // Phase 1: apply inserted subtrees, checking after each (Theorem 4.1
-  // prescribes insertions before deletions).
+  // Phase 1: apply every inserted subtree, then check the whole inserted
+  // delta at once (Theorem 4.1 prescribes insertions before deletions; the
+  // per-subtree checks merge into one union-Δ check because maximal insert
+  // groups attach to pre-transaction parents — no group can be an ancestor
+  // of another — so the union check decomposes into exactly the per-group
+  // conjunct it replaces).
+  std::vector<EntryId> all_created;
   for (const InsertGroup& group : insert_groups) {
     std::vector<EntryId> created;
     created.reserve(group.ops.size());
@@ -151,33 +156,34 @@ Status TransactionExecutor::Commit(const UpdateTransaction& txn,
       }
       created.push_back(*id);
     }
-    EntrySet delta(directory_->IdCapacity());
-    for (EntryId id : created) delta.Insert(id);
-    std::vector<Violation> violations;
-    if (!validator_.CheckAfterInsert(*directory_, delta, &violations)) {
-      rollback();
-      for (auto it = created.rbegin(); it != created.rend(); ++it) {
-        directory_->DeleteLeaf(*it);
-      }
-      return Status::Illegal(
-          "inserting subtree at '" + group.ops.front()->dn.ToString() +
-          "' violates the schema:\n" +
-          DescribeViolations(violations, schema_.vocab()));
-    }
     inserted_roots.push_back(created.front());
+    all_created.insert(all_created.end(), created.begin(), created.end());
     local_stats.inserted_subtrees += 1;
     local_stats.inserted_entries += created.size();
   }
-
-  // Phase 2: deleted subtrees, checking before each.
-  for (const DistinguishedName& root_dn : delete_roots) {
-    auto root = ResolveDn(*directory_, root_dn);
-    if (!root.ok()) {
+  if (!insert_groups.empty()) {
+    EntrySet delta(directory_->IdCapacity());
+    for (EntryId id : all_created) delta.Insert(id);
+    std::vector<Violation> violations;
+    if (!validator_.CheckAfterInsert(*directory_, delta, &violations)) {
+      Status illegal = Status::Illegal(
+          "inserting subtree at '" + insert_groups.front().ops.front()->dn
+              .ToString() +
+          (insert_groups.size() > 1
+               ? "' (and " + std::to_string(insert_groups.size() - 1) +
+                     " more) violates the schema:\n"
+               : "' violates the schema:\n") +
+          DescribeViolations(violations, schema_.vocab()));
       rollback();
-      return Status::NotFound("delete '" + root_dn.ToString() +
-                              "': no such entry");
+      return illegal;
     }
-    // Every entry of the subtree must have been listed for deletion —
+  }
+
+  // Phase 2: deleted subtrees — one union-Δ check before any deletion (see
+  // CheckBeforeDeleteBatch for why this equals the interleaved per-subtree
+  // checks), then snapshot + delete each.
+  if (!delete_roots.empty()) {
+    // Every entry of a deleted subtree must have been listed for deletion —
     // transactions delete entries, not implicit subtrees.
     std::unordered_set<std::string> deleted_keys;
     for (const UpdateOp& op : txn.ops()) {
@@ -185,34 +191,53 @@ Status TransactionExecutor::Commit(const UpdateTransaction& txn,
         deleted_keys.insert(DnKey(op.dn));
       }
     }
-    std::vector<EntryId> doomed = directory_->SubtreeEntries(*root);
-    for (EntryId id : doomed) {
-      auto dn = DnOf(*directory_, id);
-      if (!dn.ok() || deleted_keys.count(DnKey(*dn)) == 0) {
-        rollback();
-        return Status::InvalidArgument(
-            "transaction deletes '" + root_dn.ToString() +
-            "' but not all of its descendants (LDAP deletes leaves only)");
-      }
-    }
+    std::vector<EntryId> roots;
+    roots.reserve(delete_roots.size());
     EntrySet delta(directory_->IdCapacity());
-    for (EntryId id : doomed) delta.Insert(id);
-    std::vector<Violation> violations;
-    if (!validator_.CheckBeforeDelete(*directory_, *root, delta,
-                                      &violations)) {
-      rollback();
-      return Status::Illegal(
-          "deleting subtree at '" + root_dn.ToString() +
-          "' violates the schema:\n" +
-          DescribeViolations(violations, schema_.vocab()));
+    size_t doomed_total = 0;
+    for (const DistinguishedName& root_dn : delete_roots) {
+      auto root = ResolveDn(*directory_, root_dn);
+      if (!root.ok()) {
+        rollback();
+        return Status::NotFound("delete '" + root_dn.ToString() +
+                                "': no such entry");
+      }
+      std::vector<EntryId> doomed = directory_->SubtreeEntries(*root);
+      for (EntryId id : doomed) {
+        auto dn = DnOf(*directory_, id);
+        if (!dn.ok() || deleted_keys.count(DnKey(*dn)) == 0) {
+          rollback();
+          return Status::InvalidArgument(
+              "transaction deletes '" + root_dn.ToString() +
+              "' but not all of its descendants (LDAP deletes leaves only)");
+        }
+        delta.Insert(id);
+      }
+      roots.push_back(*root);
+      doomed_total += doomed.size();
     }
-    EntryId parent = directory_->entry(*root).parent();
-    LDAPBOUND_ASSIGN_OR_RETURN(SubtreeSnapshot snapshot,
-                               SubtreeSnapshot::Capture(*directory_, *root));
-    LDAPBOUND_RETURN_IF_ERROR(directory_->DeleteSubtree(*root));
-    applied_deletes.push_back(AppliedDelete{parent, std::move(snapshot)});
-    local_stats.deleted_subtrees += 1;
-    local_stats.deleted_entries += doomed.size();
+    std::vector<Violation> violations;
+    if (!validator_.CheckBeforeDeleteBatch(*directory_, roots, delta,
+                                           &violations)) {
+      Status illegal = Status::Illegal(
+          "deleting subtree at '" + delete_roots.front().ToString() +
+          (delete_roots.size() > 1
+               ? "' (and " + std::to_string(delete_roots.size() - 1) +
+                     " more) violates the schema:\n"
+               : "' violates the schema:\n") +
+          DescribeViolations(violations, schema_.vocab()));
+      rollback();
+      return illegal;
+    }
+    for (EntryId root : roots) {
+      EntryId parent = directory_->entry(root).parent();
+      LDAPBOUND_ASSIGN_OR_RETURN(SubtreeSnapshot snapshot,
+                                 SubtreeSnapshot::Capture(*directory_, root));
+      LDAPBOUND_RETURN_IF_ERROR(directory_->DeleteSubtree(root));
+      applied_deletes.push_back(AppliedDelete{parent, std::move(snapshot)});
+    }
+    local_stats.deleted_subtrees += delete_roots.size();
+    local_stats.deleted_entries += doomed_total;
   }
 
   if (stats != nullptr) *stats = local_stats;

@@ -1,0 +1,104 @@
+// Concurrent-reader safety of the ForestIndex dense snapshot: structural
+// queries run on many threads (see query/parallel.cc), and the first
+// reader after a mutation materializes the dense preorder views lazily.
+// That materialization is double-checked under an internal mutex — racing
+// readers must all observe one consistent snapshot. This test hammers
+// that path (mutate single-threaded, then read from many threads) and is
+// meant to run under TSan via the `concurrency` ctest label.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "model/directory.h"
+#include "model/forest_index.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+std::vector<EntryId> AliveIds(const Directory& d) {
+  std::vector<EntryId> ids;
+  d.ForEachAlive([&](const Entry& e) { ids.push_back(e.id()); });
+  return ids;
+}
+
+// A small mutation burst: adds under random parents plus some leaf
+// deletions, leaving the dense snapshot invalidated.
+void MutateBurst(Directory& d, const SimpleWorld& w, std::mt19937_64& rng) {
+  static uint64_t serial = 0;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<EntryId> alive = AliveIds(d);
+    EntryId parent = kInvalidEntryId;
+    if (!alive.empty() &&
+        std::uniform_int_distribution<int>(0, 4)(rng) != 0) {
+      parent = alive[std::uniform_int_distribution<size_t>(
+          0, alive.size() - 1)(rng)];
+    }
+    AddBare(d, parent, "e" + std::to_string(serial++), {w.top});
+  }
+  std::vector<EntryId> alive = AliveIds(d);
+  for (EntryId id : alive) {
+    if (d.entry(id).children().empty() &&
+        std::uniform_int_distribution<int>(0, 3)(rng) == 0) {
+      ASSERT_TRUE(d.DeleteLeaf(id).ok());
+    }
+  }
+}
+
+TEST(ForestIndexConcurrencyTest, ConcurrentReadersMaterializeOneSnapshot) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  std::mt19937_64 rng(2024);
+
+  constexpr int kRounds = 30;
+  constexpr int kReaders = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    MutateBurst(d, w, rng);
+    const ForestIndex& index = d.GetIndex();
+    const std::vector<EntryId> alive = AliveIds(d);
+    ASSERT_FALSE(alive.empty());
+
+    // All readers start on a stale snapshot; whoever gets there first
+    // materializes it while the others race through the same accessors.
+    std::atomic<uint64_t> checksum{0};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&, t] {
+        uint64_t acc = 0;
+        const std::vector<EntryId>& order = index.preorder();
+        if (order.size() != alive.size()) {
+          failures.fetch_add(1);
+          return;
+        }
+        for (EntryId id : alive) {
+          size_t pre = index.pre(id);
+          size_t end = index.sub_end(id);
+          if (pre == ForestIndex::kNotIndexed || end <= pre ||
+              end > order.size() || order[pre] != id) {
+            failures.fetch_add(1);
+            return;
+          }
+          acc += pre + end + index.depth(id);
+          EntryId other = alive[(id + t) % alive.size()];
+          acc += index.IsAncestor(id, other) ? 1 : 0;
+        }
+        checksum.fetch_add(acc);
+      });
+    }
+    for (std::thread& r : readers) r.join();
+    ASSERT_EQ(failures.load(), 0) << "round " << round;
+    EXPECT_NE(checksum.load(), 0u);
+  }
+  EXPECT_TRUE(d.GetIndex().EquivalentToFresh(d));
+}
+
+}  // namespace
+}  // namespace ldapbound

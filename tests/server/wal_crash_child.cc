@@ -6,22 +6,94 @@
 // equal to a prefix of the acknowledged commits.
 //
 // Usage: wal_crash_child <wal-dir> <ack-file> <n-commits> [compact-every]
+//                        [group-batch]
 //
 // After each commit is acknowledged (i.e. the server returned OK, which
 // implies the WAL frame is fsync'd), the commit number is appended to
 // <ack-file> and fsync'd — so every number in the ack file MUST survive
 // recovery. Exit codes: 0 = ran to completion (failpoint never fired),
 // 42 = injected crash (Failpoints::kCrashExitCode), 1 = unexpected error.
+//
+// With group-batch > 1 the child instead runs the CONCURRENT workload: WAL
+// group commit is enabled and four writer threads each build a private
+// team subtree ("ou=gteam<t>"), acking "<t> <i>" lines. The parent then
+// asserts every acked line's entry survived recovery — the
+// fsync-before-ack contract under batched fsyncs.
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "server/directory_server.h"
 #include "tests/server/wal_workload.h"
 #include "util/failpoint.h"
+
+namespace {
+
+// The group-commit concurrent workload (see file comment). Returns the
+// process exit code.
+int RunGroupWorkload(ldapbound::DirectoryServer& server, int ack_fd,
+                     uint64_t n_commits) {
+  using namespace ldapbound;
+  std::mutex ack_mu;
+  auto ack = [&](int t, uint64_t i) -> bool {
+    std::string line = std::to_string(t) + " " + std::to_string(i) + "\n";
+    std::lock_guard<std::mutex> lock(ack_mu);
+    return ::write(ack_fd, line.data(), line.size()) ==
+               static_cast<ssize_t>(line.size()) &&
+           ::fsync(ack_fd) == 0;
+  };
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&server, &ack, &failed, n_commits, t] {
+      const std::string team_dn = "ou=gteam" + std::to_string(t);
+      auto person_spec = [&](uint64_t i) {
+        EntrySpec spec;
+        spec.classes = {"person", "top"};
+        spec.values = {{"uid", "gt" + std::to_string(t) + "-" +
+                                   std::to_string(i)},
+                       {"name", "writer " + std::to_string(t)}};
+        return spec;
+      };
+      EntrySpec team_spec;
+      team_spec.classes = {"team", "top"};
+      team_spec.values = {{"ou", "gteam" + std::to_string(t)}};
+      UpdateTransaction txn;
+      txn.Insert(testing::WalDn(team_dn), team_spec);
+      txn.Insert(testing::WalDn("uid=gt" + std::to_string(t) + "-0," +
+                                team_dn),
+                 person_spec(0));
+      if (!server.Apply(txn).ok() || !ack(t, 0)) {
+        failed.store(true);
+        return;
+      }
+      for (uint64_t i = 1; i <= n_commits; ++i) {
+        if (!server
+                 .Add(testing::WalDn("uid=gt" + std::to_string(t) + "-" +
+                                     std::to_string(i) + "," + team_dn),
+                      person_spec(i))
+                 .ok() ||
+            !ack(t, i)) {
+          failed.store(true);
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  return failed.load() ? 1 : 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace ldapbound;
@@ -36,6 +108,8 @@ int main(int argc, char** argv) {
   const uint64_t n_commits = std::strtoull(argv[3], nullptr, 10);
   const uint64_t compact_every =
       argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 0;
+  const uint64_t group_batch =
+      argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 0;
 
   Status armed = Failpoints::ArmFromEnv();
   if (!armed.ok()) {
@@ -51,6 +125,10 @@ int main(int argc, char** argv) {
   }
   WalOptions options;
   options.segment_bytes = 512;  // tiny segments so rotation actually runs
+  if (group_batch > 1) {
+    options.group_commit_max_batch = group_batch;
+    options.group_commit_hold_us = 2000;  // give followers time to pile in
+  }
   Status enabled = server->EnableWal(wal_dir, options);
   if (!enabled.ok()) {
     std::fprintf(stderr, "enable WAL: %s\n", enabled.ToString().c_str());
@@ -61,6 +139,12 @@ int main(int argc, char** argv) {
   if (ack_fd < 0) {
     std::perror("open ack file");
     return 1;
+  }
+
+  if (group_batch > 1) {
+    int rc = RunGroupWorkload(*server, ack_fd, n_commits);
+    ::close(ack_fd);
+    return rc;
   }
 
   for (uint64_t i = 1; i <= n_commits; ++i) {

@@ -23,6 +23,9 @@
 //   --monitor-port <p>   (serve) monitor endpoint port (0 = ephemeral)
 //   --slow-ops <n>       (serve) slow-op log capacity (default 32)
 //   --log-json <file|->  (serve) structured JSON op log ("-" = stderr)
+//   --wal-dir <d>        (serve) durable commits via a write-ahead log
+//   --group-commit-batch <n>, --group-commit-hold-us <us>
+//                        (serve) WAL group commit tuning (see server/wal.h)
 //   --trace-out <file>   record spans and write Chrome trace JSON
 //                        (chrome://tracing / Perfetto) on exit
 #include <unistd.h>
@@ -68,7 +71,8 @@ int Usage() {
                "  ldapbound stats <schema> <ldif> [--metrics]\n"
                "  ldapbound explain <schema> <ldif> [--json]\n"
                "  ldapbound serve <schema> <ldif> --monitor-port <port>\n"
-               "      [--slow-ops <n>] [--log-json <file|->]\n"
+               "      [--slow-ops <n>] [--log-json <file|->] [--wal-dir <d>]\n"
+               "      [--group-commit-batch <n>] [--group-commit-hold-us <us>]\n"
                "  ldapbound recover <wal-dir>\n"
                "  ldapbound compact <wal-dir>\n"
                "flags:\n"
@@ -79,6 +83,14 @@ int Usage() {
                "  --monitor-port <p>   serve: monitor port (0 = ephemeral)\n"
                "  --slow-ops <n>       serve: slow-op log capacity\n"
                "  --log-json <file|->  serve: JSON op log sink\n"
+               "  --wal-dir <d>        serve: fsync commits to a write-ahead "
+               "log in <d>\n"
+               "  --group-commit-batch <n>\n"
+               "                       serve: batch up to n commits per WAL "
+               "fsync (default 1)\n"
+               "  --group-commit-hold-us <us>\n"
+               "                       serve: leader hold window for group "
+               "commit (default 200)\n"
                "  --trace-out <file>   write Chrome trace JSON of the run\n");
   return 2;
 }
@@ -355,6 +367,9 @@ struct ServeOptions {
   int monitor_port = -1;        // required; 0 = ephemeral
   size_t slow_ops = 32;         // slow-op log capacity
   std::string log_json;         // JSON op log sink ("" = off, "-" = stderr)
+  std::string wal_dir;          // durable commits ("" = no WAL)
+  size_t group_commit_batch = 1;     // WAL group commit: max commits/fsync
+  uint32_t group_commit_hold_us = 200;  // leader hold window
 };
 
 // Loads the data into a schema-guarded server, starts the monitor
@@ -388,6 +403,21 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
 
   auto imported = server->ImportLdif(*ldif);
   if (!imported.ok()) return Fail(imported.status());
+
+  // WAL after the import: EnableWal snapshots the populated directory, so
+  // the WAL dir alone reconstructs the serving state.
+  if (!options.wal_dir.empty()) {
+    WalOptions wal_options;
+    wal_options.group_commit_max_batch = options.group_commit_batch;
+    wal_options.group_commit_hold_us = options.group_commit_hold_us;
+    Status wal = server->EnableWal(options.wal_dir, wal_options);
+    if (!wal.ok()) return Fail(wal);
+  } else if (options.group_commit_batch > 1) {
+    std::fprintf(stderr,
+                 "error: --group-commit-batch needs --wal-dir (group commit "
+                 "batches WAL fsyncs)\n");
+    return Usage();
+  }
 
   MonitorOptions monitor_options;
   monitor_options.port = static_cast<uint16_t>(options.monitor_port);
@@ -545,6 +575,19 @@ int main(int argc, char** argv) {
       const char* v = next_value(i);
       if (v == nullptr) return Usage();
       flags.serve.log_json = v;
+    } else if (arg == "--wal-dir") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.wal_dir = v;
+    } else if (arg == "--group-commit-batch") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.group_commit_batch = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--group-commit-hold-us") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.group_commit_hold_us =
+          static_cast<uint32_t>(std::atoi(v));
     } else if (arg == "--trace-out") {
       const char* v = next_value(i);
       if (v == nullptr) return Usage();
