@@ -14,8 +14,16 @@
 //     entries per mutation, so the per-txn time must stay flat as |D|
 //     grows — the seed implementation's O(|D|) rebuild would scale
 //     linearly here.
+//
+//  3. The MVCC read path (ISSUE 6): the `readers` axis runs R snapshot
+//     readers (pin, Figure 4 structural query, value-index probe)
+//     concurrently with the group-commit writers — the write txn/s with
+//     readers attached is the number the regression gate watches — and
+//     BM_SnapshotReadThroughput measures pure read scaling with
+//     google-benchmark's thread fan-out.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdlib>
 #include <filesystem>
 #include <memory>
@@ -24,6 +32,9 @@
 #include <vector>
 
 #include "model/directory.h"
+#include "model/directory_snapshot.h"
+#include "query/query.h"
+#include "query/snapshot_evaluator.h"
 #include "server/directory_server.h"
 
 namespace ldapbound::bench {
@@ -73,7 +84,35 @@ DirectoryServer MakeGroupServer(size_t group_batch, std::string* wal_root) {
   options.group_commit_max_batch = group_batch;
   options.group_commit_hold_us = 200;
   if (!server.EnableWal(*wal_root + "/wal", options).ok()) std::abort();
+  server.EnableMvcc();
   return server;
+}
+
+/// One snapshot read: pin, check the Figure 4 required-relationship
+/// query (teams with no person descendant — empty on every legal
+/// version), and probe the value index for a seeded uid. Returns the
+/// snapshot version so callers can assert progress.
+uint64_t SnapshotRead(const DirectoryServer& server, ClassId team,
+                      ClassId person, AttributeId uid,
+                      const Query& orphans) {
+  PinnedSnapshot snap = server.PinSnapshot();
+  if (!snap) std::abort();
+  SnapshotEvaluator eval(*snap);
+  Result<bool> empty = eval.IsEmpty(orphans);
+  if (!empty.ok() || !empty.value()) std::abort();
+  const std::vector<EntryId>* posting =
+      snap->ValuePosting(uid, Value("a0"));
+  if (posting == nullptr || posting->empty()) std::abort();
+  benchmark::DoNotOptimize(snap->CountWithClass(team));
+  benchmark::DoNotOptimize(snap->CountWithClass(person));
+  return snap->version;
+}
+
+Query OrphanTeamsQuery(ClassId team, ClassId person) {
+  return Query::Diff(
+      Query::Select(MatchClass(team)),
+      Query::Descendant(Query::Select(MatchClass(team)),
+                        Query::Select(MatchClass(person))));
 }
 
 /// W writers x `pairs` Add/Delete pairs each (2 commits per pair, the
@@ -101,20 +140,50 @@ void RunWriters(DirectoryServer& server, int writers, int pairs,
   for (std::thread& t : threads) t.join();
 }
 
-/// args: (writers, group batch). batch <= 1 = inline fsync-per-commit.
+/// args: (writers, group batch, readers). batch <= 1 = inline
+/// fsync-per-commit; readers > 0 attaches that many MVCC snapshot
+/// readers (pin + Figure 4 check + value probe in a tight loop) for the
+/// whole benchmark. items_per_second stays the WRITE txn/s — the claim
+/// under test is that lock-free readers leave write throughput alone —
+/// and the read side is reported as the reads/s counter.
 void BM_GroupCommitTxnThroughput(benchmark::State& state) {
   const int writers = static_cast<int>(state.range(0));
   const size_t batch = static_cast<size_t>(state.range(1));
+  const int readers = static_cast<int>(state.range(2));
   std::string wal_root;
   DirectoryServer server = MakeGroupServer(batch, &wal_root);
+  const ClassId team = *server.vocab().FindClass("team");
+  const ClassId person = *server.vocab().FindClass("person");
+  const AttributeId uid = *server.vocab().FindAttribute("uid");
+  const Query orphans = OrphanTeamsQuery(team, person);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> reads{0};
+  std::vector<std::thread> reader_threads;
+  for (int r = 0; r < readers; ++r) {
+    reader_threads.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        SnapshotRead(server, team, person, uid, orphans);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
   constexpr int kPairsPerWriter = 25;
   uint64_t epoch = 0;
   for (auto _ : state) {
     RunWriters(server, writers, kPairsPerWriter, epoch++);
   }
+  stop.store(true, std::memory_order_release);
+  for (std::thread& t : reader_threads) t.join();
+
   // txn/s is items_per_second: every pair is two acknowledged commits.
   state.SetItemsProcessed(state.iterations() * writers * kPairsPerWriter *
                           2);
+  if (readers > 0) {
+    state.counters["reads_per_s"] = benchmark::Counter(
+        static_cast<double>(reads.load()), benchmark::Counter::kIsRate);
+  }
   if (server.group_commit() != nullptr) {
     state.counters["groups"] = static_cast<double>(
         server.group_commit()->groups_flushed());
@@ -124,17 +193,76 @@ void BM_GroupCommitTxnThroughput(benchmark::State& state) {
   std::filesystem::remove_all(wal_root);
 }
 BENCHMARK(BM_GroupCommitTxnThroughput)
-    ->ArgNames({"writers", "batch"})
-    ->Args({1, 1})
-    ->Args({1, 8})
-    ->Args({4, 1})
-    ->Args({4, 8})
-    ->Args({16, 1})
-    ->Args({16, 8})
-    ->Args({16, 64})
-    ->Args({32, 16})
-    ->Args({32, 32})
+    ->ArgNames({"writers", "batch", "readers"})
+    // The ISSUE 5 write-side coverage (readers = 0)...
+    ->Args({1, 1, 0})
+    ->Args({1, 8, 0})
+    ->Args({4, 1, 0})
+    ->Args({4, 8, 0})
+    ->Args({16, 1, 0})
+    ->Args({16, 8, 0})
+    ->Args({16, 64, 0})
+    ->Args({32, 16, 0})
+    ->Args({32, 32, 0})
+    // ...and the ISSUE 6 readers matrix at the group-commit sweet spot:
+    // writers in {1, 8, 32} x readers in {1, 4, 16, 64}, batch 16.
+    ->Args({1, 16, 1})
+    ->Args({1, 16, 4})
+    ->Args({1, 16, 16})
+    ->Args({1, 16, 64})
+    ->Args({8, 16, 1})
+    ->Args({8, 16, 4})
+    ->Args({8, 16, 16})
+    ->Args({8, 16, 64})
+    ->Args({32, 16, 1})
+    ->Args({32, 16, 4})
+    ->Args({32, 16, 16})
+    ->Args({32, 16, 64})
     ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+/// Pure read scaling: google-benchmark fans the function out over
+/// `threads` OS threads, each pinning and reading in its own loop
+/// against a static (already populated) server. items_per_second is
+/// aggregate reads/s; on a multi-core host it should scale near
+/// linearly to the core count because the read path takes no lock.
+void BM_SnapshotReadThroughput(benchmark::State& state) {
+  static DirectoryServer* server = [] {
+    auto* s = new DirectoryServer(
+        DirectoryServer::Create(kBenchSchema).value());
+    for (int w = 0; w < kMaxWriters; ++w) {
+      const std::string team_dn = "ou=w" + std::to_string(w);
+      EntrySpec team;
+      team.classes = {"team", "top"};
+      team.values = {{"ou", "w" + std::to_string(w)}};
+      EntrySpec anchor;
+      anchor.classes = {"person", "top"};
+      anchor.values = {{"uid", "a" + std::to_string(w)}, {"name", "anchor"}};
+      UpdateTransaction txn;
+      txn.Insert(*DistinguishedName::Parse(team_dn), team);
+      txn.Insert(*DistinguishedName::Parse("uid=a" + std::to_string(w) +
+                                           "," + team_dn),
+                 anchor);
+      if (!s->Apply(txn).ok()) std::abort();
+    }
+    s->EnableMvcc();
+    return s;
+  }();
+  const ClassId team = *server->vocab().FindClass("team");
+  const ClassId person = *server->vocab().FindClass("person");
+  const AttributeId uid = *server->vocab().FindAttribute("uid");
+  const Query orphans = OrphanTeamsQuery(team, person);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SnapshotRead(*server, team, person, uid, orphans));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SnapshotReadThroughput)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->Threads(64)
     ->UseRealTime();
 
 /// ns per Add+DeleteLeaf at |D| = range(0): pure Directory mutation (no
@@ -181,9 +309,11 @@ BENCHMARK(BM_IndexMaintenancePerTxn)
 /// The same flatness claim at the server level: a durable-free server
 /// commit (validation + changelog machinery, no WAL) per |D|. This is the
 /// end-to-end "update cost is O(|Delta|)" number the paper's Section 4
-/// promises.
+/// promises. The mvcc axis isolates what snapshot mirror maintenance +
+/// per-commit publication add on top.
 void BM_ServerCommitPerTxn(benchmark::State& state) {
   const size_t target = static_cast<size_t>(state.range(0));
+  const bool mvcc = state.range(1) != 0;
   DirectoryServer server = DirectoryServer::Create(kBenchSchema).value();
   EntrySpec team;
   team.classes = {"team", "top"};
@@ -195,6 +325,7 @@ void BM_ServerCommitPerTxn(benchmark::State& state) {
   seed_txn.Insert(*DistinguishedName::Parse("ou=big"), team);
   seed_txn.Insert(*DistinguishedName::Parse("uid=a,ou=big"), anchor);
   if (!server.Apply(seed_txn).ok()) std::abort();
+  if (mvcc) server.EnableMvcc();
   EntrySpec spec;
   spec.classes = {"person", "top"};
   for (size_t i = 0; server.directory().NumEntries() < target; ++i) {
@@ -217,7 +348,14 @@ void BM_ServerCommitPerTxn(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2);
 }
-BENCHMARK(BM_ServerCommitPerTxn)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 16);
+BENCHMARK(BM_ServerCommitPerTxn)
+    ->ArgNames({"entries", "mvcc"})
+    ->Args({1 << 10, 0})
+    ->Args({1 << 13, 0})
+    ->Args({1 << 16, 0})
+    ->Args({1 << 10, 1})
+    ->Args({1 << 13, 1})
+    ->Args({1 << 16, 1});
 
 }  // namespace
 }  // namespace ldapbound::bench

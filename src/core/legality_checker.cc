@@ -11,6 +11,7 @@
 
 #include "core/translation.h"
 #include "query/evaluator.h"
+#include "query/snapshot_evaluator.h"
 #include "util/json.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -562,6 +563,11 @@ bool LegalityChecker::CheckStructure(const Directory& directory,
   const unsigned threads = EffectiveThreads(rels.size());
   std::mutex stats_mu;
 
+  // The worker-thread evaluators read the dense preorder views, whose
+  // materialization is single-writer: make the cache fresh before the
+  // fan-out so every worker sees pure reads.
+  directory.GetIndex().MaterializeDenseNow();
+
   // Phase 1: the (objectClass=c) selection of every distinct class.
   std::unordered_map<ClassId, EntrySet> class_cache;
   class_cache.reserve(classes.size());
@@ -661,6 +667,84 @@ bool LegalityChecker::CheckStructure(const Directory& directory,
     }
     const StructuralRelationship& rel = *rels[i];
     offenders[i].ForEach([&](EntryId id) {
+      Violation v;
+      v.kind = rel.forbidden ? ViolationKind::kForbiddenRelationship
+                             : ViolationKind::kRequiredRelationship;
+      v.entry = id;
+      v.relationship = rel;
+      out->push_back(v);
+    });
+  }
+  flush_stats();
+  return ok;
+}
+
+Result<bool> LegalityChecker::CheckStructureSnapshot(
+    const DirectorySnapshot& snapshot, std::vector<Violation>* out,
+    EvaluatorStats* stats_out) const {
+  const StructureSchema& structure = schema_.structure();
+  CheckerMetrics& metrics = GetCheckerMetrics();
+  LDAPBOUND_TRACE_SPAN("checker.structure_snapshot");
+  LatencyTimer pass_timer(metrics.structure_pass_ns);
+  bool ok = true;
+  EvaluatorStats stats;
+  auto flush_stats = [&]() {
+    if (stats_out != nullptr) *stats_out = stats;
+    AddEvaluatorStatsToMetrics(stats);
+    (ok ? metrics.structure_legal : metrics.structure_illegal).Increment();
+  };
+
+  // Cr: answered by the snapshot's class postings.
+  for (ClassId cls : structure.required_classes()) {
+    if (snapshot.CountWithClass(cls) > 0) continue;
+    Violation v;
+    v.kind = ViolationKind::kMissingRequiredClass;
+    v.cls = cls;
+    if (!Report(out, v, &ok)) {
+      flush_stats();
+      return false;
+    }
+  }
+
+  // Er then Ef, serial: each violation query runs on one SnapshotEvaluator
+  // over the pinned state. No class cache — the snapshot's postings ARE
+  // the per-class selections, shared structurally rather than recomputed.
+  std::vector<const StructuralRelationship*> rels;
+  rels.reserve(structure.required().size() + structure.forbidden().size());
+  for (const StructuralRelationship& rel : structure.required()) {
+    rels.push_back(&rel);
+  }
+  for (const StructuralRelationship& rel : structure.forbidden()) {
+    rels.push_back(&rel);
+  }
+  for (const StructuralRelationship* relp : rels) {
+    SnapshotEvaluator evaluator(snapshot);
+    LDAPBOUND_TRACE_SPAN("checker.constraint");
+    LatencyTimer constraint_timer(metrics.constraint_ns);
+    if (out == nullptr) {
+      Result<bool> empty = evaluator.IsEmpty(ViolationQuery(*relp));
+      stats += evaluator.stats();
+      if (!empty.ok()) {
+        flush_stats();
+        return empty.status();
+      }
+      if (!empty.value()) {
+        ok = false;
+        flush_stats();
+        return false;
+      }
+      continue;
+    }
+    Result<EntrySet> offs = evaluator.Evaluate(ViolationQuery(*relp));
+    stats += evaluator.stats();
+    if (!offs.ok()) {
+      flush_stats();
+      return offs.status();
+    }
+    if (offs.value().Empty()) continue;
+    ok = false;
+    const StructuralRelationship& rel = *relp;
+    offs.value().ForEach([&](EntryId id) {
       Violation v;
       v.kind = rel.forbidden ? ViolationKind::kForbiddenRelationship
                              : ViolationKind::kRequiredRelationship;

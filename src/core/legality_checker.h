@@ -6,9 +6,11 @@
 
 #include "core/violation.h"
 #include "model/directory.h"
+#include "model/directory_snapshot.h"
 #include "query/evaluator.h"
 #include "query/value_index.h"
 #include "schema/directory_schema.h"
+#include "util/result.h"
 #include "util/thread_pool.h"
 
 namespace ldapbound {
@@ -106,6 +108,18 @@ class LegalityChecker {
                       std::vector<Violation>* out = nullptr,
                       const ValueIndex* index = nullptr,
                       EvaluatorStats* stats = nullptr) const;
+
+  /// Structure check against a pinned MVCC snapshot (DESIGN.md §10): the
+  /// same Figure 4 reduction, answered entirely from snapshot state via
+  /// SnapshotEvaluator, so it runs lock-free alongside the writer. Serial
+  /// (snapshot reads are already contention-free) and emits violations in
+  /// the exact order CheckStructure would: Cr in schema order, then Er,
+  /// then Ef, offenders ascending. Returns an error only if a constraint
+  /// query needs surface the snapshot cannot answer (never the case for
+  /// schema-generated queries).
+  Result<bool> CheckStructureSnapshot(const DirectorySnapshot& snapshot,
+                                      std::vector<Violation>* out = nullptr,
+                                      EvaluatorStats* stats = nullptr) const;
 
   /// Profiled structure check: evaluates every structure-schema
   /// constraint's Figure 4 query with an attached QueryProfile and returns

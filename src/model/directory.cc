@@ -7,7 +7,9 @@
 namespace ldapbound {
 
 Directory::Directory(std::shared_ptr<Vocabulary> vocab)
-    : vocab_(std::move(vocab)) {}
+    : vocab_(std::move(vocab)),
+      class_counts_(
+          std::make_unique<ConcurrentCountTable>(EpochManager::Default())) {}
 
 Status Directory::CheckAlive(EntryId id) const {
   if (!IsAlive(id)) {
@@ -17,15 +19,11 @@ Status Directory::CheckAlive(EntryId id) const {
 }
 
 std::string Directory::RdnKey(EntryId parent, std::string_view rdn) {
-  std::string key = std::to_string(parent);
-  key += '/';
-  key += ToLower(rdn);
-  return key;
+  return SnapshotRdnKey(parent, rdn);
 }
 
 void Directory::BumpClassCount(ClassId c, int delta) {
-  if (c >= class_counts_.size()) class_counts_.resize(c + 1, 0);
-  class_counts_[c] += delta;
+  class_counts_->Update(c, delta);
 }
 
 Result<EntryId> Directory::AddEntry(EntryId parent, std::string rdn,
@@ -99,9 +97,14 @@ Result<EntryId> Directory::AddEntry(EntryId parent, std::string rdn,
   } else {
     entries_[parent].children_.push_back(id);
   }
-  rdn_index_.emplace(RdnKey(parent, e.rdn_), id);
+  rdn_index_.Set(RdnKey(parent, e.rdn_), id);
   for (ClassId c : e.classes_) BumpClassCount(c, +1);
   index_.OnInsert(*this, id);
+  TrackAlive(id, true);
+  for (ClassId c : e.classes_) TrackClass(id, c, true);
+  for (const AttributeValue& av : e.values_) {
+    TrackValue(id, av.attribute, av.value, true);
+  }
   ++version_;
   return id;
 }
@@ -149,7 +152,8 @@ Status Directory::AddValue(EntryId id, AttributeId attr, Value value) {
                                       vocab_->AttributeName(attr) +
                                       " is single-valued");
   }
-  e.values_.insert(it, std::move(av));
+  it = e.values_.insert(it, std::move(av));
+  TrackValue(id, attr, it->value, true);
   ++version_;
   return Status::OK();
 }
@@ -171,6 +175,7 @@ Status Directory::RemoveValue(EntryId id, AttributeId attr,
     return Status::NotFound("no such (attribute, value) pair");
   }
   e.values_.erase(it);
+  TrackValue(id, attr, value, false);
   ++version_;
   return Status::OK();
 }
@@ -185,6 +190,7 @@ Status Directory::AddClass(EntryId id, ClassId cls) {
   if (it != e.classes_.end() && *it == cls) return Status::OK();
   e.classes_.insert(it, cls);
   BumpClassCount(cls, +1);
+  TrackClass(id, cls, true);
   ++version_;
   return Status::OK();
 }
@@ -202,6 +208,7 @@ Status Directory::RemoveClass(EntryId id, ClassId cls) {
   }
   e.classes_.erase(it);
   BumpClassCount(cls, -1);
+  TrackClass(id, cls, false);
   ++version_;
   return Status::OK();
 }
@@ -232,8 +239,8 @@ Status Directory::MoveSubtree(EntryId id, EntryId new_parent) {
     auto& siblings = entries_[e.parent_].children_;
     siblings.erase(std::find(siblings.begin(), siblings.end(), id));
   }
-  rdn_index_.erase(RdnKey(e.parent_, e.rdn_));
-  rdn_index_.emplace(RdnKey(new_parent, e.rdn_), id);
+  rdn_index_.Erase(RdnKey(e.parent_, e.rdn_));
+  rdn_index_.Set(RdnKey(new_parent, e.rdn_), id);
   // Attach.
   e.parent_ = new_parent;
   if (new_parent == kInvalidEntryId) {
@@ -258,8 +265,8 @@ Status Directory::Rename(EntryId id, std::string new_rdn) {
     return Status::AlreadyExists("sibling with RDN '" + new_rdn +
                                  "' already exists");
   }
-  rdn_index_.erase(RdnKey(e.parent_, e.rdn_));
-  rdn_index_.emplace(RdnKey(e.parent_, new_rdn), id);
+  rdn_index_.Erase(RdnKey(e.parent_, e.rdn_));
+  rdn_index_.Set(RdnKey(e.parent_, new_rdn), id);
   e.rdn_ = std::move(new_rdn);
   ++version_;
   return Status::OK();
@@ -276,13 +283,18 @@ Status Directory::DeleteLeaf(EntryId id) {
   alive_[id] = false;
   --num_alive_;
   for (ClassId c : e.classes_) BumpClassCount(c, -1);
+  TrackAlive(id, false);
+  for (ClassId c : e.classes_) TrackClass(id, c, false);
+  for (const AttributeValue& av : e.values_) {
+    TrackValue(id, av.attribute, av.value, false);
+  }
   if (e.parent_ == kInvalidEntryId) {
     roots_.erase(std::find(roots_.begin(), roots_.end(), id));
   } else {
     auto& siblings = entries_[e.parent_].children_;
     siblings.erase(std::find(siblings.begin(), siblings.end(), id));
   }
-  rdn_index_.erase(RdnKey(e.parent_, e.rdn_));
+  rdn_index_.Erase(RdnKey(e.parent_, e.rdn_));
   index_.OnErase(id);
   ++version_;
   return Status::OK();
@@ -308,8 +320,8 @@ EntrySet Directory::AliveSet() const {
 
 EntryId Directory::FindChildByRdn(EntryId parent,
                                   std::string_view rdn) const {
-  auto it = rdn_index_.find(RdnKey(parent, rdn));
-  return it == rdn_index_.end() ? kInvalidEntryId : it->second;
+  const EntryId* found = rdn_index_.Find(RdnKey(parent, rdn));
+  return found == nullptr ? kInvalidEntryId : *found;
 }
 
 std::vector<EntryId> Directory::SubtreeEntries(EntryId id) const {
@@ -326,6 +338,114 @@ std::vector<EntryId> Directory::SubtreeEntries(EntryId id) const {
     }
   }
   return out;
+}
+
+size_t Directory::PostingCapacity() const {
+  size_t cap = 64;
+  while (cap < entries_.size()) cap <<= 1;
+  return cap;
+}
+
+EntrySet* Directory::MutableAlive() {
+  const size_t want = PostingCapacity();
+  if (!alive_private_) {
+    // A published snapshot holds the current set: clone before writing.
+    auto clone = std::make_shared<EntrySet>(*alive_shared_);
+    alive_shared_ = std::move(clone);
+    alive_private_ = true;
+  }
+  if (alive_shared_->capacity() < want) alive_shared_->Resize(want);
+  return alive_shared_.get();
+}
+
+void Directory::TrackAlive(EntryId id, bool on) {
+  if (!snapshots_enabled_) return;
+  EntrySet* alive = MutableAlive();
+  if (on) {
+    alive->Insert(id);
+  } else {
+    alive->Erase(id);
+  }
+}
+
+void Directory::TrackClass(EntryId id, ClassId cls, bool add) {
+  if (!snapshots_enabled_) return;
+  std::shared_ptr<EntrySet>* pending = by_class_.FindMutableInPending(cls);
+  std::shared_ptr<EntrySet> set;
+  if (pending != nullptr) {
+    set = *pending;  // cloned earlier in this delta: private to the writer
+  } else {
+    const std::shared_ptr<EntrySet>* frozen = by_class_.Find(cls);
+    set = frozen != nullptr ? std::make_shared<EntrySet>(**frozen)
+                            : std::make_shared<EntrySet>(PostingCapacity());
+    by_class_.Set(cls, set);
+  }
+  if (set->capacity() <= id) set->Resize(PostingCapacity());
+  if (add) {
+    set->Insert(id);
+  } else {
+    set->Erase(id);
+  }
+}
+
+void Directory::TrackValue(EntryId id, AttributeId attr, const Value& value,
+                           bool add) {
+  if (!snapshots_enabled_) return;
+  SnapshotValueKey key{attr, value};
+  std::shared_ptr<std::vector<EntryId>>* pending =
+      by_value_.FindMutableInPending(key);
+  std::shared_ptr<std::vector<EntryId>> posting;
+  if (pending != nullptr) {
+    posting = *pending;  // private to the writer (cloned this delta)
+  } else {
+    const std::shared_ptr<std::vector<EntryId>>* frozen = by_value_.Find(key);
+    posting = frozen != nullptr
+                  ? std::make_shared<std::vector<EntryId>>(**frozen)
+                  : std::make_shared<std::vector<EntryId>>();
+    by_value_.Set(key, posting);
+  }
+  auto it = std::lower_bound(posting->begin(), posting->end(), id);
+  if (add) {
+    if (it == posting->end() || *it != id) posting->insert(it, id);
+  } else if (it != posting->end() && *it == id) {
+    posting->erase(it);
+    // Drop drained postings from the mirror entirely. Transient values
+    // (unique uids, renamed RDN values, ...) would otherwise pin a dead
+    // key in the map forever, growing the fold base — and fold cost —
+    // without bound under add/delete churn.
+    if (posting->empty()) by_value_.Erase(key);
+  }
+}
+
+void Directory::EnableSnapshots() {
+  if (snapshots_enabled_) return;
+  snapshots_enabled_ = true;
+  store_ = std::make_unique<SnapshotStore>(EpochManager::Default());
+  alive_shared_ = std::make_shared<EntrySet>(PostingCapacity());
+  alive_private_ = true;
+  ForEachAlive([&](const Entry& e) {
+    alive_shared_->Insert(e.id());
+    for (ClassId c : e.classes()) TrackClass(e.id(), c, true);
+    for (const AttributeValue& av : e.values()) {
+      TrackValue(e.id(), av.attribute, av.value, true);
+    }
+  });
+  PublishSnapshot();
+}
+
+void Directory::PublishSnapshot() {
+  if (!snapshots_enabled_) return;
+  auto* snap = new DirectorySnapshot();
+  snap->version = version_;
+  snap->id_capacity = entries_.size();
+  snap->num_alive = num_alive_;
+  snap->index = index_.FreezeViews();
+  snap->alive = alive_shared_;
+  alive_private_ = false;  // the snapshot holds it: next write clones
+  snap->by_class = by_class_.Freeze();
+  snap->by_value = by_value_.Freeze();
+  snap->rdn = rdn_index_.Freeze();
+  store_->Publish(snap);
 }
 
 DirectoryStats Directory::ComputeStats() const {

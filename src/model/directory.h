@@ -4,15 +4,17 @@
 #include <memory>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
+#include "model/directory_snapshot.h"
 #include "model/entry.h"
 #include "model/entry_set.h"
 #include "model/forest_index.h"
 #include "model/value.h"
 #include "model/vocabulary.h"
+#include "util/concurrent_table.h"
+#include "util/cow.h"
 #include "util/result.h"
 
 namespace ldapbound {
@@ -129,9 +131,12 @@ class Directory {
 
   /// Number of alive entries that belong to class `c` (maintained
   /// incrementally; this is the count index that, per §4, makes required
-  /// classes incrementally testable under deletion).
+  /// classes incrementally testable under deletion). Lock-free: backed
+  /// by a concurrent count table, safe to call from any thread even
+  /// while the (single) writer mutates.
   size_t CountWithClass(ClassId c) const {
-    return c < class_counts_.size() ? class_counts_[c] : 0;
+    int64_t n = class_counts_->Get(c);
+    return n < 0 ? 0 : static_cast<size_t>(n);
   }
 
   /// Monotonically increasing mutation counter.
@@ -163,22 +168,67 @@ class Directory {
   /// Shape summary of the instance; O(|D|).
   DirectoryStats ComputeStats() const;
 
+  // -- MVCC snapshots (DESIGN.md §10) --
+
+  /// Turns on snapshot maintenance: builds the posting maps (O(|D|),
+  /// once) and publishes the first snapshot. Before this, mutators skip
+  /// posting upkeep entirely. Idempotent; single-writer.
+  void EnableSnapshots();
+  bool snapshots_enabled() const { return snapshots_enabled_; }
+
+  /// Publishes an immutable snapshot of the current version (O(Δ) since
+  /// the previous publish). No-op when snapshots are disabled.
+  /// Single-writer: call under the same exclusion as the mutators.
+  void PublishSnapshot();
+
+  /// Pins the latest published snapshot; empty when disabled. Lock-free,
+  /// callable from any thread concurrently with the writer.
+  PinnedSnapshot PinSnapshot() const {
+    return store_ == nullptr ? PinnedSnapshot() : store_->Pin();
+  }
+
+  /// The publication point, for metrics; nullptr when disabled.
+  const SnapshotStore* snapshot_store() const { return store_.get(); }
+
  private:
   Status CheckAlive(EntryId id) const;
   void BumpClassCount(ClassId c, int delta);
   // Key of the sibling-RDN uniqueness index: "<parent>/<lowercased rdn>".
   static std::string RdnKey(EntryId parent, std::string_view rdn);
 
+  // Snapshot-posting upkeep (no-ops until EnableSnapshots):
+  /// Capacity snapshot EntrySets are built at: IdCapacity rounded up to
+  /// a power of two, so growth reallocates postings O(log n) times.
+  size_t PostingCapacity() const;
+  EntrySet* MutableAlive();
+  void TrackAlive(EntryId id, bool on);
+  void TrackClass(EntryId id, ClassId cls, bool add);
+  void TrackValue(EntryId id, AttributeId attr, const Value& value, bool add);
+
   std::shared_ptr<Vocabulary> vocab_;
   std::vector<Entry> entries_;
   std::vector<bool> alive_;
   std::vector<EntryId> roots_;
-  std::vector<size_t> class_counts_;
-  std::unordered_map<std::string, EntryId> rdn_index_;
+  /// Class populations; a lock-free concurrent table so readers (e.g.
+  /// required-class checks, monitor) never exclude the writer.
+  std::unique_ptr<ConcurrentCountTable> class_counts_;
+  /// Sibling-RDN uniqueness index; COW so each snapshot publish shares
+  /// the map with prior versions.
+  CowMap<std::string, EntryId> rdn_index_;
   size_t num_alive_ = 0;
   uint64_t version_ = 0;
 
   ForestIndex index_;  // live: maintained by the mutators
+
+  // MVCC snapshot state (inert until EnableSnapshots).
+  bool snapshots_enabled_ = false;
+  std::shared_ptr<EntrySet> alive_shared_;
+  /// True while alive_shared_ has not been captured by a publish (the
+  /// writer may mutate it in place; else it clones first).
+  bool alive_private_ = false;
+  DirectorySnapshot::ClassPostingMap by_class_;
+  DirectorySnapshot::ValuePostingMap by_value_;
+  std::unique_ptr<SnapshotStore> store_;
 };
 
 }  // namespace ldapbound

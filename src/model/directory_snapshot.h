@@ -1,0 +1,185 @@
+#ifndef LDAPBOUND_MODEL_DIRECTORY_SNAPSHOT_H_
+#define LDAPBOUND_MODEL_DIRECTORY_SNAPSHOT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/entry_set.h"
+#include "model/forest_index.h"
+#include "model/value.h"
+#include "model/vocabulary.h"
+#include "util/cow.h"
+#include "util/epoch.h"
+
+namespace ldapbound {
+
+/// (attribute, value) key of the snapshot value-posting map — the same
+/// shape as the query layer's ValueIndex pairs, defined here because the
+/// model layer cannot depend on src/query.
+struct SnapshotValueKey {
+  AttributeId attribute = 0;
+  Value value;
+
+  friend bool operator==(const SnapshotValueKey& a, const SnapshotValueKey& b) {
+    return a.attribute == b.attribute && a.value == b.value;
+  }
+};
+
+struct SnapshotValueKeyHash {
+  size_t operator()(const SnapshotValueKey& k) const {
+    return k.value.Hash() * 1000003 + k.attribute;
+  }
+};
+
+/// Key of the sibling-RDN uniqueness index: "<parent>/<lowercased rdn>".
+/// Shared between Directory (writer side) and DirectorySnapshot lookups.
+std::string SnapshotRdnKey(EntryId parent, std::string_view rdn);
+
+/// An immutable, point-in-time view of one committed directory version —
+/// the unit the MVCC read path publishes and readers pin.
+///
+/// Everything a structural legality check or a value lookup needs is
+/// reachable from here without touching the live Directory: the
+/// order-maintenance label views (hierarchy axes), the alive bitmap,
+/// per-class and per-(attribute,value) postings, and the sibling-RDN
+/// index. All members are either plain values or shared COW state;
+/// copying costs a handful of refcounts, and holding a snapshot keeps
+/// exactly the chunks/overlays of its version alive — untouched parts
+/// are shared with neighboring versions.
+///
+/// NOTE deliberately absent: Entry payloads. Live Entry objects mutate
+/// in place, so snapshot readers must never dereference into
+/// Directory::entry(); every snapshot query is answered from the data
+/// here.
+struct DirectorySnapshot {
+  // Payload pointers are non-const shared_ptrs so the single writer can
+  // mutate a payload it cloned within the current (unfrozen) delta;
+  // once a payload reaches a frozen View it is never written again
+  // (clone-once-per-delta discipline, see CowMap::FindMutableInPending).
+  using ClassPostingMap = CowMap<ClassId, std::shared_ptr<EntrySet>>;
+  using ValuePostingMap =
+      CowMap<SnapshotValueKey, std::shared_ptr<std::vector<EntryId>>,
+             SnapshotValueKeyHash>;
+  using RdnMap = CowMap<std::string, EntryId>;
+
+  uint64_t version = 0;
+  size_t id_capacity = 0;
+  size_t num_alive = 0;
+
+  /// Labels / end labels / depth / parents by entry id.
+  ForestIndex::LabelViews index;
+
+  /// Alive entries at this version.
+  std::shared_ptr<const EntrySet> alive;
+
+  ClassPostingMap::View by_class;
+  ValuePostingMap::View by_value;
+  RdnMap::View rdn;
+
+  /// Members of class `cls`, or nullptr when no alive entry has it. The
+  /// returned set may have capacity != id_capacity (postings grow in
+  /// doubling steps); ids past id_capacity are never set.
+  const EntrySet* ClassSet(ClassId cls) const {
+    const std::shared_ptr<EntrySet>* p = by_class.Find(cls);
+    return p == nullptr ? nullptr : p->get();
+  }
+
+  /// Alive entries carrying (attr, value), ascending; nullptr when none.
+  const std::vector<EntryId>* ValuePosting(AttributeId attr,
+                                           const Value& value) const {
+    const std::shared_ptr<std::vector<EntryId>>* p =
+        by_value.Find(SnapshotValueKey{attr, value});
+    return p == nullptr ? nullptr : p->get();
+  }
+
+  /// Population of class `cls` at this version. O(id_capacity/64).
+  size_t CountWithClass(ClassId cls) const {
+    const EntrySet* s = ClassSet(cls);
+    return s == nullptr ? 0 : s->Count();
+  }
+
+  /// The child of `parent` with (case-insensitive) RDN `rdn`, or
+  /// kInvalidEntryId. Mirrors Directory::FindChildByRdn.
+  EntryId FindChildByRdn(EntryId parent, std::string_view rdn) const;
+
+  bool IsAlive(EntryId id) const { return alive != nullptr && alive->Contains(id); }
+  EntryId parent(EntryId id) const {
+    return index.parents.Get(id, kInvalidEntryId);
+  }
+};
+
+/// A snapshot pointer held open by an epoch pin: the snapshot (and every
+/// older structure it shares) cannot be reclaimed while this object
+/// lives. Short-lived by design — hold for one query/check, not across
+/// blocking waits; an empty PinnedSnapshot (get() == nullptr) means
+/// snapshots were not enabled. Must not outlive the SnapshotStore.
+class PinnedSnapshot {
+ public:
+  PinnedSnapshot() = default;
+  PinnedSnapshot(EpochManager::Pin pin, const DirectorySnapshot* snap)
+      : pin_(std::move(pin)), snap_(snap) {}
+  PinnedSnapshot(PinnedSnapshot&&) = default;
+  PinnedSnapshot& operator=(PinnedSnapshot&&) = default;
+
+  const DirectorySnapshot* get() const { return snap_; }
+  const DirectorySnapshot& operator*() const { return *snap_; }
+  const DirectorySnapshot* operator->() const { return snap_; }
+  explicit operator bool() const { return snap_ != nullptr; }
+
+  /// Drop the pin early (idempotent).
+  void Release() {
+    snap_ = nullptr;
+    pin_.Release();
+  }
+
+ private:
+  EpochManager::Pin pin_;
+  const DirectorySnapshot* snap_ = nullptr;
+};
+
+/// Publication point of the MVCC read path: one atomic head pointer.
+/// The single writer (under the server commit lock) calls Publish; any
+/// thread calls Pin to get a consistent snapshot with no lock and no
+/// copy. Old heads are retired through the EpochManager and freed once
+/// the last reader pinned at or before their version drains.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(EpochManager& epochs) : epochs_(&epochs) {}
+  ~SnapshotStore() {
+    // Retired heads were handed to the EpochManager; the current head
+    // is ours. The owner guarantees no pins remain.
+    delete head_.load(std::memory_order_seq_cst);
+  }
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  /// Takes ownership of `snap` and makes it the head. Single writer.
+  void Publish(const DirectorySnapshot* snap);
+
+  /// The current head, held open by an epoch pin. Lock-free.
+  PinnedSnapshot Pin() const {
+    EpochManager::Pin pin = epochs_->Enter();
+    const DirectorySnapshot* snap = head_.load(std::memory_order_seq_cst);
+    return PinnedSnapshot(std::move(pin), snap);
+  }
+
+  uint64_t publishes() const {
+    return publishes_.load(std::memory_order_relaxed);
+  }
+  /// Snapshots retired but not yet reclaimed (grace period pending).
+  size_t reclaim_lag() const { return epochs_->retired_pending(); }
+  EpochManager& epochs() const { return *epochs_; }
+
+ private:
+  EpochManager* epochs_;
+  std::atomic<const DirectorySnapshot*> head_{nullptr};
+  std::atomic<uint64_t> publishes_{0};
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_MODEL_DIRECTORY_SNAPSHOT_H_

@@ -71,6 +71,22 @@ class EntrySet {
     for (uint64_t& w : words_) w = 0;
   }
 
+  /// Changes the capacity, keeping members below the new bound. Growth
+  /// zero-fills; shrinking drops out-of-range members and clears any
+  /// stray bits in the (now) last word so word-wise algebra against
+  /// other sets of the new capacity stays exact. Needed when combining
+  /// sets built at different id capacities (e.g. an MVCC snapshot's
+  /// postings vs a freshly sized scratch set).
+  void Resize(size_t capacity) {
+    words_.resize((capacity + 63) / 64, 0);
+    capacity_ = capacity;
+    if (capacity & 63) {
+      if (!words_.empty()) {
+        words_.back() &= ~uint64_t{0} >> (64 - (capacity & 63));
+      }
+    }
+  }
+
   /// In-place union with `other` (capacities must match).
   void UnionWith(const EntrySet& other) {
     for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];

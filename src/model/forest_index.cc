@@ -84,6 +84,7 @@ ForestIndex::ForestIndex(ForestIndex&& other) noexcept
     : labels_(std::move(other.labels_)),
       end_labels_(std::move(other.end_labels_)),
       depth_(std::move(other.depth_)),
+      parents_(std::move(other.parents_)),
       num_alive_(other.num_alive_),
       relabels_(other.relabels_),
       full_rebuilds_(other.full_rebuilds_),
@@ -99,6 +100,7 @@ ForestIndex& ForestIndex::operator=(ForestIndex&& other) noexcept {
   labels_ = std::move(other.labels_);
   end_labels_ = std::move(other.end_labels_);
   depth_ = std::move(other.depth_);
+  parents_ = std::move(other.parents_);
   num_alive_ = other.num_alive_;
   relabels_ = other.relabels_;
   full_rebuilds_ = other.full_rebuilds_;
@@ -112,9 +114,10 @@ ForestIndex& ForestIndex::operator=(ForestIndex&& other) noexcept {
 
 void ForestIndex::EnsureCapacity(size_t id_capacity) {
   if (labels_.size() < id_capacity) {
-    labels_.resize(id_capacity, kNoLabel);
-    end_labels_.resize(id_capacity, kNoLabel);
-    depth_.resize(id_capacity, 0);
+    labels_.Resize(id_capacity, kNoLabel);
+    end_labels_.Resize(id_capacity, kNoLabel);
+    depth_.Resize(id_capacity, 0);
+    parents_.Resize(id_capacity, kInvalidEntryId);
   }
 }
 
@@ -127,9 +130,9 @@ void ForestIndex::OnInsert(const Directory& d, EntryId id) {
 
 void ForestIndex::OnErase(EntryId id) {
   if (id >= labels_.size() || labels_[id] == kNoLabel) return;
-  labels_[id] = kNoLabel;
-  end_labels_[id] = kNoLabel;
-  depth_[id] = 0;
+  labels_.Set(id, kNoLabel);
+  end_labels_.Set(id, kNoLabel);
+  depth_.Set(id, 0);
   --num_alive_;
   InvalidateDense();
 }
@@ -210,9 +213,11 @@ void ForestIndex::RebuildFromScratch(const Directory& d) {
   ++full_rebuilds_;
   IndexMetrics::Get().full_rebuilds.Increment();
   EnsureCapacity(d.IdCapacity());
-  std::fill(labels_.begin(), labels_.end(), kNoLabel);
-  std::fill(end_labels_.begin(), end_labels_.end(), kNoLabel);
-  std::fill(depth_.begin(), depth_.end(), 0u);
+  for (size_t i = 0; i < labels_.size(); ++i) {
+    labels_.Set(i, kNoLabel);
+    end_labels_.Set(i, kNoLabel);
+    depth_.Set(i, 0);
+  }
   num_alive_ = d.NumEntries();
   InvalidateDense();
 
@@ -250,10 +255,11 @@ void ForestIndex::AssignInterval(const Directory& d, EntryId root,
     Frame f = stack.back();
     stack.pop_back();
     const Entry& e = d.entry(f.id);
-    labels_[f.id] = f.lo;
-    end_labels_[f.id] = f.lo + f.width;
+    labels_.Set(f.id, f.lo);
+    end_labels_.Set(f.id, f.lo + f.width);
     EntryId parent = e.parent();
-    depth_[f.id] = (parent == kInvalidEntryId) ? 0 : depth_[parent] + 1;
+    depth_.Set(f.id, (parent == kInvalidEntryId) ? 0 : depth_[parent] + 1);
+    parents_.Set(f.id, parent);
     if (e.children().empty()) continue;
 
     // Children get proportional shares of the usable interior minus this
@@ -284,8 +290,8 @@ void ForestIndex::AssignInterval(const Directory& d, EntryId root,
 }
 
 void ForestIndex::MaterializeDense() const {
-  std::lock_guard<std::mutex> lock(dense_mu_);
-  if (dense_valid_.load(std::memory_order_relaxed)) return;
+  // Single-writer by contract (see the class comment): callers that fan
+  // reads out to worker threads must call MaterializeDenseNow() first.
   preorder_.clear();
   preorder_.reserve(num_alive_);
   for (size_t id = 0; id < labels_.size(); ++id) {

@@ -4,10 +4,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
 #include "model/entry_set.h"
+#include "util/cow.h"
 
 namespace ldapbound {
 
@@ -40,13 +40,24 @@ class Directory;
 ///    fails, the index falls back to a full rebuild (a redistribution over
 ///    the whole label space), counted separately.
 ///
-/// Ancestry tests read labels directly and are always fresh. The dense
-/// views the query evaluator consumes — preorder(), pre(), sub_end() —
-/// are a *derived snapshot* materialized lazily from the labels (sort the
-/// alive entries by label) and invalidated by structural mutations;
-/// concurrent readers may materialize it safely (double-checked under an
-/// internal mutex). Mutation remains single-writer, per the Directory
-/// contract.
+/// The label/depth/parent arrays are chunked copy-on-write vectors
+/// (CowVec): FreezeViews() hands an immutable point-in-time view to the
+/// MVCC snapshot publisher in O(Δ·chunk), and SnapshotEvaluator answers
+/// all four hierarchy axes straight off those views (no dense arrays in
+/// snapshots — see query/snapshot_evaluator.h).
+///
+/// Concurrency contract: mutation AND dense materialization are
+/// single-writer. The dense views the legacy query evaluator consumes —
+/// preorder(), pre(), sub_end() — are a derived cache materialized
+/// lazily from the labels and invalidated by structural mutations; an
+/// accessor that finds the cache stale rebuilds it, so concurrent *const*
+/// readers must either (a) know the cache is fresh (materialized before
+/// fan-out, as core/legality_checker.cc does) or (b) stay off the dense
+/// accessors entirely (as ldap/search.cc and ldap/ldif.cc do). The old
+/// double-checked internal mutex is gone: it protected the
+/// materialization race but still let a reader observe a preorder torn
+/// against labels updated after the snapshot bump — the MVCC snapshot
+/// path is the supported way to read concurrently with writers.
 class ForestIndex {
  public:
   static constexpr size_t kNotIndexed = ~size_t{0};
@@ -61,6 +72,17 @@ class ForestIndex {
   /// further inserts before exhausting again).
   static constexpr uint64_t kMinSpread = uint64_t{1} << 18;
 
+  /// Immutable point-in-time view of the label state, shared with
+  /// published DirectorySnapshots. parents[id] is only meaningful for
+  /// ids whose label != kNoLabel (dead entries keep a stale parent).
+  struct LabelViews {
+    CowVec<uint64_t>::View labels;
+    CowVec<uint64_t>::View end_labels;
+    CowVec<uint32_t>::View depth;
+    CowVec<EntryId>::View parents;
+    size_t num_alive = 0;
+  };
+
   ForestIndex() = default;
   ForestIndex(const ForestIndex&) = delete;
   ForestIndex& operator=(const ForestIndex&) = delete;
@@ -68,7 +90,8 @@ class ForestIndex {
   ForestIndex& operator=(ForestIndex&& other) noexcept;
 
   /// Preorder position of entry `id`; kNotIndexed for dead or out-of-range
-  /// ids. Materializes the dense snapshot if stale.
+  /// ids. Materializes the dense cache if stale (single-writer only; see
+  /// class comment).
   size_t pre(EntryId id) const {
     EnsureDense();
     return id < pre_.size() ? pre_[id] : kNotIndexed;
@@ -87,14 +110,15 @@ class ForestIndex {
   }
 
   /// Alive entries in preorder (roots in insertion order, children in
-  /// sibling order). Materializes the dense snapshot if stale.
+  /// sibling order). Materializes the dense cache if stale (single-writer
+  /// only; see class comment).
   const std::vector<EntryId>& preorder() const {
     EnsureDense();
     return preorder_;
   }
 
   /// True if `anc` is a proper ancestor of `desc`. O(1) on the labels, no
-  /// dense snapshot needed; out-of-range and dead ids are never ancestors
+  /// dense cache needed; out-of-range and dead ids are never ancestors
   /// (ids beyond the labeled range are ignored, like EntrySet does).
   bool IsAncestor(EntryId anc, EntryId desc) const {
     if (anc >= labels_.size() || desc >= labels_.size()) return false;
@@ -115,6 +139,18 @@ class ForestIndex {
 
   /// Number of alive entries.
   size_t num_entries() const { return num_alive_; }
+
+  /// O(Δ·chunk) immutable view of the current labels for snapshot
+  /// publication. Single-writer (called under the commit lock).
+  LabelViews FreezeViews() const {
+    return LabelViews{labels_.Freeze(), end_labels_.Freeze(), depth_.Freeze(),
+                      parents_.Freeze(), num_alive_};
+  }
+
+  /// Makes the dense cache fresh now, so subsequent pre()/sub_end()/
+  /// preorder() calls are pure reads safe from concurrent threads.
+  /// Single-writer, like any accessor that could materialize.
+  void MaterializeDenseNow() const { EnsureDense(); }
 
   /// Local relabels (redistributions below the forest root) performed so
   /// far by this instance, and full rebuilds (whole-space
@@ -158,8 +194,8 @@ class ForestIndex {
   void Relabel(const Directory& d, EntryId parent);
 
   /// Redistributes the interval [lo, lo+width) over the subtree rooted at
-  /// `id` (labels, end labels, depths), children packed into the first
-  /// half of the usable space so every entry keeps a growth tail.
+  /// `id` (labels, end labels, depths, parents), children packed into the
+  /// first half of the usable space so every entry keeps a growth tail.
   void AssignInterval(const Directory& d, EntryId id, uint64_t lo,
                       uint64_t width);
 
@@ -173,15 +209,19 @@ class ForestIndex {
   void MaterializeDense() const;
 
   // Label state: always fresh, maintained incrementally. By entry id.
-  std::vector<uint64_t> labels_;
-  std::vector<uint64_t> end_labels_;
-  std::vector<uint32_t> depth_;
+  // CowVec so FreezeViews() shares untouched chunks with prior
+  // snapshots instead of copying O(directory) per publish.
+  CowVec<uint64_t> labels_;
+  CowVec<uint64_t> end_labels_;
+  CowVec<uint32_t> depth_;
+  CowVec<EntryId> parents_;  // parent at last placement; stale when dead
   size_t num_alive_ = 0;
   uint64_t relabels_ = 0;
   uint64_t full_rebuilds_ = 0;
 
-  // Dense snapshot, derived lazily from the labels (see class comment).
-  mutable std::mutex dense_mu_;
+  // Dense cache, derived lazily from the labels. Writer-local: stale
+  // materialization is NOT thread-safe (see class comment); the atomic
+  // flag only makes fresh/stale observable without tearing.
   mutable std::atomic<bool> dense_valid_{true};  // empty index is valid
   mutable std::vector<size_t> pre_;      // by entry id
   mutable std::vector<size_t> sub_end_;  // by entry id

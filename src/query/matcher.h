@@ -73,6 +73,9 @@ class AttrEqualsMatcher : public Matcher {
   bool ProbeIndex(const ValueIndex& index,
                   const std::vector<EntryId>** out) const override;
 
+  AttributeId attr() const { return attr_; }
+  const Value& value() const { return value_; }
+
  private:
   AttributeId attr_;
   Value value_;

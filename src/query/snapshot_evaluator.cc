@@ -1,0 +1,183 @@
+#include "query/snapshot_evaluator.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "query/matcher.h"
+
+namespace ldapbound {
+
+EntrySet SnapshotEvaluator::Normalized(const EntrySet& set) const {
+  EntrySet out = set;
+  if (out.capacity() != snap_.id_capacity) out.Resize(snap_.id_capacity);
+  return out;
+}
+
+Result<bool> SnapshotEvaluator::IsEmpty(const Query& query) {
+  LDAPBOUND_ASSIGN_OR_RETURN(EntrySet members, Evaluate(query));
+  return members.Empty();
+}
+
+Result<EntrySet> SnapshotEvaluator::Evaluate(const Query& query) {
+  ++stats_.nodes_evaluated;
+  switch (query.kind()) {
+    case Query::Kind::kSelect:
+      return EvaluateSelect(query);
+    case Query::Kind::kHier:
+      return EvaluateHier(query);
+    case Query::Kind::kDiff: {
+      LDAPBOUND_ASSIGN_OR_RETURN(EntrySet left,
+                                 Evaluate(query.operands()[0]));
+      LDAPBOUND_ASSIGN_OR_RETURN(EntrySet right,
+                                 Evaluate(query.operands()[1]));
+      left.SubtractFrom(right);
+      return left;
+    }
+    case Query::Kind::kUnion: {
+      EntrySet out(snap_.id_capacity);
+      for (const Query& op : query.operands()) {
+        LDAPBOUND_ASSIGN_OR_RETURN(EntrySet members, Evaluate(op));
+        out.UnionWith(members);
+      }
+      return out;
+    }
+    case Query::Kind::kIntersect: {
+      EntrySet out;
+      bool first = true;
+      for (const Query& op : query.operands()) {
+        LDAPBOUND_ASSIGN_OR_RETURN(EntrySet members, Evaluate(op));
+        if (first) {
+          out = std::move(members);
+          first = false;
+        } else {
+          out.IntersectWith(members);
+        }
+      }
+      if (first) out = EntrySet(snap_.id_capacity);
+      return out;
+    }
+  }
+  return Status::Internal("snapshot evaluator: unknown query kind");
+}
+
+Result<EntrySet> SnapshotEvaluator::EvaluateSelect(const Query& query) {
+  if (query.scope() == Scope::kEmpty) return EntrySet(snap_.id_capacity);
+  if (query.scope() != Scope::kAll) {
+    return Status::Internal(
+        "snapshot evaluator: delta-relative scopes need the live "
+        "directory");
+  }
+  const Matcher* matcher = query.matcher().get();
+  if (const auto* cls = dynamic_cast<const ClassMatcher*>(matcher)) {
+    const EntrySet* posting = snap_.ClassSet(cls->cls());
+    stats_.entries_scanned += posting == nullptr ? 0 : posting->Count();
+    return posting == nullptr ? EntrySet(snap_.id_capacity)
+                              : Normalized(*posting);
+  }
+  if (const auto* eq = dynamic_cast<const AttrEqualsMatcher*>(matcher)) {
+    EntrySet out(snap_.id_capacity);
+    const std::vector<EntryId>* posting =
+        snap_.ValuePosting(eq->attr(), eq->value());
+    if (posting != nullptr) {
+      stats_.entries_scanned += posting->size();
+      for (EntryId id : *posting) out.Insert(id);
+    }
+    return out;
+  }
+  if (dynamic_cast<const TrueMatcher*>(matcher) != nullptr) {
+    return snap_.alive == nullptr ? EntrySet(snap_.id_capacity)
+                                  : Normalized(*snap_.alive);
+  }
+  return Status::Internal(
+      "snapshot evaluator: matcher needs entry payloads (only class, "
+      "attribute-equality and match-all selections are snapshot-backed)");
+}
+
+Result<EntrySet> SnapshotEvaluator::EvaluateHier(const Query& query) {
+  LDAPBOUND_ASSIGN_OR_RETURN(EntrySet node_set,
+                             Evaluate(query.operands()[0]));
+  LDAPBOUND_ASSIGN_OR_RETURN(EntrySet related,
+                             Evaluate(query.operands()[1]));
+  const size_t cap = snap_.id_capacity;
+  EntrySet out(cap);
+
+  switch (query.axis()) {
+    case Axis::kChild: {
+      // Parents of related-members, intersected with the node set.
+      EntrySet parents(cap);
+      related.ForEach([&](EntryId id) {
+        ++stats_.entries_scanned;
+        EntryId p = snap_.parent(id);
+        if (p != kInvalidEntryId) parents.Insert(p);
+      });
+      parents.IntersectWith(node_set);
+      return parents;
+    }
+    case Axis::kParent: {
+      node_set.ForEach([&](EntryId id) {
+        ++stats_.entries_scanned;
+        EntryId p = snap_.parent(id);
+        if (p != kInvalidEntryId && related.Contains(p)) out.Insert(id);
+      });
+      return out;
+    }
+    case Axis::kDescendant: {
+      // Sorted related labels + one binary search per node member: a
+      // proper descendant of `a` is exactly an entry whose label lies in
+      // (label(a), end_label(a)) — no dense preorder needed.
+      std::vector<uint64_t> labels;
+      labels.reserve(related.Count());
+      related.ForEach([&](EntryId id) {
+        ++stats_.entries_scanned;
+        uint64_t l = snap_.index.labels.Get(id, ForestIndex::kNoLabel);
+        if (l != ForestIndex::kNoLabel) labels.push_back(l);
+      });
+      std::sort(labels.begin(), labels.end());
+      node_set.ForEach([&](EntryId id) {
+        ++stats_.entries_scanned;
+        uint64_t lo = snap_.index.labels.Get(id, ForestIndex::kNoLabel);
+        uint64_t hi = snap_.index.end_labels.Get(id, ForestIndex::kNoLabel);
+        if (lo == ForestIndex::kNoLabel) return;
+        auto it = std::upper_bound(labels.begin(), labels.end(), lo);
+        if (it != labels.end() && *it < hi) out.Insert(id);
+      });
+      return out;
+    }
+    case Axis::kAncestor: {
+      // Memoized parent-chain walk: m(x) = x in related OR m(parent(x)),
+      // shared across all node members so the total work is O(cap).
+      std::vector<uint8_t> memo(cap, 0);  // 0 unknown / 1 yes / 2 no
+      std::vector<EntryId> path;
+      auto anc_or_self_in_related = [&](EntryId start) {
+        path.clear();
+        uint8_t verdict = 2;
+        for (EntryId x = start; x != kInvalidEntryId; x = snap_.parent(x)) {
+          if (x >= cap) break;
+          ++stats_.entries_scanned;
+          if (memo[x] != 0) {
+            verdict = memo[x];
+            break;
+          }
+          if (related.Contains(x)) {
+            memo[x] = 1;
+            verdict = 1;
+            break;
+          }
+          path.push_back(x);
+        }
+        for (EntryId x : path) memo[x] = verdict;
+        return verdict == 1;
+      };
+      node_set.ForEach([&](EntryId id) {
+        EntryId p = snap_.parent(id);
+        if (p != kInvalidEntryId && anc_or_self_in_related(p)) {
+          out.Insert(id);
+        }
+      });
+      return out;
+    }
+  }
+  return Status::Internal("snapshot evaluator: unknown axis");
+}
+
+}  // namespace ldapbound

@@ -309,6 +309,9 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
     tracker.Rejected(status.message());
     return status;
   }
+  // Snapshot readers must see this transaction once Apply returns OK:
+  // publish under the mutex, before the durability wait.
+  PublishSnapshotLocked();
   if ((changelog_ != nullptr || wal_ != nullptr) && !txn.empty()) {
     uint64_t txn_id = NextRecordTxnId();
     std::vector<ChangeRecord> records;
@@ -471,6 +474,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
     tracker.Rejected(status.message(), ExplainViolations(violations, *vocab_));
     return status;
   }
+  PublishSnapshotLocked();
   if (changelog_ != nullptr || wal_ != nullptr) {
     ChangeRecord record;
     record.kind = ChangeRecord::Kind::kModify;
@@ -552,6 +556,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     tracker.Rejected(illegal.message(), ExplainViolations(violations, *vocab_));
     return illegal;
   }
+  PublishSnapshotLocked();
   if (changelog_ != nullptr || wal_ != nullptr) {
     ChangeRecord record;
     record.kind = ChangeRecord::Kind::kModifyDn;
@@ -613,6 +618,7 @@ Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
     LegalityChecker checker(*schema_, check_options_);
     LDAPBOUND_RETURN_IF_ERROR(checker.EnsureLegal(scratch));
     LDAPBOUND_RETURN_IF_ERROR(LoadLdif(text, directory_.get()).status());
+    PublishSnapshotLocked();
     // Bulk imports bypass the changelog, so they must reach the WAL as a
     // snapshot or the durable state would silently diverge.
     if (wal_ != nullptr) {

@@ -46,13 +46,23 @@ namespace ldapbound {
 /// fsync, so the next writer's in-memory commit pipelines behind the
 /// previous one's durability wait — that is where the group-commit
 /// throughput win comes from. The setup calls (EnableChangelog,
-/// EnableWal, EnableSlowOps, set_check_options) must happen before
-/// traffic, from one thread. The const reads — Search, ExportLdif,
-/// IsLegal, stats() — are safe to call concurrently with each other and
-/// with stats-counter updates (the counters are atomic), but NOT
-/// concurrently with a mutation of the directory itself: callers who
-/// interleave writes and reads across threads must serialize them
-/// externally (e.g. a shared_mutex held shared around reads).
+/// EnableWal, EnableMvcc, EnableSlowOps, set_check_options) must happen
+/// before traffic, from one thread.
+///
+/// Reads come in two flavors:
+///  - the live const reads — Search, ExportLdif, IsLegal, stats() — are
+///    safe to call concurrently with each other and with stats-counter
+///    updates (the counters are atomic), but NOT concurrently with a
+///    mutation of the directory itself: callers who interleave writes and
+///    live reads across threads must serialize them externally (e.g. a
+///    shared_mutex held shared around reads);
+///  - with EnableMvcc, PinSnapshot() hands out an immutable epoch-pinned
+///    snapshot of the last committed state (DESIGN.md §10). Pinning and
+///    reading a snapshot is lock-free and safe from any thread, fully
+///    concurrent with the writers — no external serialization needed.
+///    Every successful commit publishes the next snapshot before it
+///    blocks on durability, so a pin taken after a mutation returned OK
+///    sees that mutation.
 class DirectoryServer {
  public:
   /// Parses `schema_text`, checks consistency, starts with an empty
@@ -122,6 +132,20 @@ class DirectoryServer {
   /// True if the current instance is legal (an empty directory is legal
   /// iff the schema requires no classes).
   bool IsLegal() const;
+
+  /// Turns on the MVCC read path (DESIGN.md §10): builds the snapshot
+  /// posting maps over the current state and publishes the first
+  /// snapshot; every subsequent successful commit republishes in O(Δ).
+  /// Idempotent. Call before traffic, from one thread.
+  void EnableMvcc() {
+    std::lock_guard<std::mutex> lock(*write_mu_);
+    directory_->EnableSnapshots();
+  }
+  bool mvcc_enabled() const { return directory_->snapshots_enabled(); }
+
+  /// Pins the latest published snapshot (empty when EnableMvcc was not
+  /// called). Lock-free; safe from any thread concurrently with writers.
+  PinnedSnapshot PinSnapshot() const { return directory_->PinSnapshot(); }
 
   /// Starts recording committed mutations as ChangeRecords (for
   /// replication and audit; see server/changelog.h). Idempotent.
@@ -222,6 +246,13 @@ class DirectoryServer {
 
   /// Refuses mutations after a WAL failure (see wal_failed()).
   Status CheckWritable() const;
+
+  /// Publishes the next MVCC snapshot after a successful in-memory
+  /// commit; no-op when EnableMvcc was not called. The publish folds
+  /// writer-side delta state, so the caller must hold write_mu_.
+  void PublishSnapshotLocked() {
+    if (directory_->snapshots_enabled()) directory_->PublishSnapshot();
+  }
 
   /// Compact() body; `write_mu_` must be held (EnableWal and ImportLdif
   /// call it with the mutex already taken).

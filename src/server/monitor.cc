@@ -230,6 +230,19 @@ std::string MonitorServer::RenderStatusz() const {
   AppendU64Field(out, "rejected", stats.rejected);
   out += "}";
 
+  out += ",\"mvcc\":{";
+  AppendBoolField(out, "enabled", s.mvcc_enabled(), /*first=*/true);
+  if (const SnapshotStore* store = s.directory().snapshot_store()) {
+    AppendU64Field(out, "publishes", store->publishes());
+    AppendU64Field(out, "reclaim_lag", store->reclaim_lag());
+    AppendU64Field(out, "live_readers", store->epochs().live_readers());
+    if (PinnedSnapshot snap = s.PinSnapshot()) {
+      AppendU64Field(out, "version", snap->version);
+      AppendU64Field(out, "num_alive", snap->num_alive);
+    }
+  }
+  out += "}";
+
   out += ",\"slow_ops\":{";
   AppendBoolField(out, "enabled", s.slow_ops() != nullptr, /*first=*/true);
   if (s.slow_ops() != nullptr) {

@@ -1,0 +1,154 @@
+#ifndef LDAPBOUND_UTIL_CONCURRENT_TABLE_H_
+#define LDAPBOUND_UTIL_CONCURRENT_TABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/epoch.h"
+
+namespace ldapbound {
+
+/// Single-writer / many-reader open-addressed count table, in the style
+/// of concurrent growing hash tables (growt): fixed-size cell arrays of
+/// atomic (key, value) pairs, lock-free reads, and growth by migrating
+/// into a double-size table published with one atomic pointer swap. The
+/// retired table is reclaimed through the EpochManager once every reader
+/// that could still be probing it has drained.
+///
+/// This backs `Directory::CountWithClass`: the commit path (single
+/// writer, serialized on the server write mutex) bumps class populations
+/// with `Update`, while legality checks and monitor endpoints read them
+/// from any thread with `Get` — no lock, no reader/writer exclusion.
+///
+/// Cell protocol: a cell starts with key == kEmptyKey. The writer claims
+/// it by storing the value first, then the key with release; readers
+/// probe keys with acquire, so a visible key implies a visible value.
+/// Values are updated with fetch_add (relaxed — counts are independent
+/// of other memory). Keys are never removed; a count may reach zero but
+/// the cell stays.
+class ConcurrentCountTable {
+ public:
+  static constexpr uint64_t kEmptyKey = ~uint64_t{0};
+
+  explicit ConcurrentCountTable(EpochManager& epochs,
+                                size_t initial_capacity = 64)
+      : epochs_(&epochs) {
+    size_t cap = 16;
+    while (cap < initial_capacity) cap <<= 1;
+    head_.store(new Table(cap), std::memory_order_seq_cst);
+  }
+
+  ~ConcurrentCountTable() {
+    // The owner must guarantee no readers remain (the Directory is
+    // being destroyed); retired tables were already handed to the
+    // EpochManager, only the head is ours.
+    delete head_.load(std::memory_order_seq_cst);
+  }
+
+  ConcurrentCountTable(const ConcurrentCountTable&) = delete;
+  ConcurrentCountTable& operator=(const ConcurrentCountTable&) = delete;
+
+  /// Adds `delta` to the count for `key`. Single writer only.
+  void Update(uint64_t key, int64_t delta) {
+    Table* t = head_.load(std::memory_order_seq_cst);
+    if ((used_ + 1) * 4 >= t->capacity * 3) t = Grow(t);
+    Cell& cell = t->FindOrClaim(key, &used_);
+    cell.value.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  /// Current count for `key` (0 if absent). Lock-free; callable from
+  /// any thread concurrently with Update/growth.
+  int64_t Get(uint64_t key) const {
+    EpochManager::Pin pin = epochs_->Enter();
+    const Table* t = head_.load(std::memory_order_seq_cst);
+    return t->Find(key);
+  }
+
+  /// Writer-side read (no epoch entry). Only valid on the writer
+  /// thread or with writers externally excluded.
+  int64_t GetUnsynchronized(uint64_t key) const {
+    return head_.load(std::memory_order_seq_cst)->Find(key);
+  }
+
+  size_t capacity() const {
+    return head_.load(std::memory_order_seq_cst)->capacity;
+  }
+  uint64_t growths() const { return growths_; }
+
+ private:
+  struct Cell {
+    std::atomic<uint64_t> key{kEmptyKey};
+    std::atomic<int64_t> value{0};
+  };
+
+  struct Table {
+    explicit Table(size_t cap) : capacity(cap), cells(cap) {}
+
+    int64_t Find(uint64_t key) const {
+      size_t mask = capacity - 1;
+      for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+        uint64_t k = cells[i].key.load(std::memory_order_acquire);
+        if (k == key) {
+          return cells[i].value.load(std::memory_order_relaxed);
+        }
+        if (k == kEmptyKey) return 0;
+      }
+    }
+
+    /// Writer-only: finds the cell for `key`, claiming an empty one
+    /// if absent (value first, then key with release).
+    Cell& FindOrClaim(uint64_t key, size_t* used) {
+      size_t mask = capacity - 1;
+      for (size_t i = Hash(key) & mask;; i = (i + 1) & mask) {
+        uint64_t k = cells[i].key.load(std::memory_order_acquire);
+        if (k == key) return cells[i];
+        if (k == kEmptyKey) {
+          cells[i].value.store(0, std::memory_order_relaxed);
+          cells[i].key.store(key, std::memory_order_release);
+          ++*used;
+          return cells[i];
+        }
+      }
+    }
+
+    static uint64_t Hash(uint64_t key) {
+      // Fibonacci / splitmix-style mix: claimed keys are small dense
+      // ids, so identity hashing would cluster.
+      uint64_t x = key + 0x9e3779b97f4a7c15ull;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+      return x ^ (x >> 31);
+    }
+
+    const size_t capacity;
+    std::vector<Cell> cells;  // vector<atomic>: sized once, never resized
+  };
+
+  Table* Grow(Table* old) {
+    Table* bigger = new Table(old->capacity * 2);
+    size_t migrated = 0;
+    for (const Cell& cell : old->cells) {
+      uint64_t k = cell.key.load(std::memory_order_acquire);
+      if (k == kEmptyKey) continue;
+      Cell& fresh = bigger->FindOrClaim(k, &migrated);
+      fresh.value.store(cell.value.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    }
+    used_ = migrated;
+    ++growths_;
+    head_.store(bigger, std::memory_order_seq_cst);
+    epochs_->Retire([old] { delete old; });
+    return bigger;
+  }
+
+  EpochManager* epochs_;
+  std::atomic<Table*> head_{nullptr};
+  size_t used_ = 0;        // writer-only
+  uint64_t growths_ = 0;   // writer-only
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_CONCURRENT_TABLE_H_

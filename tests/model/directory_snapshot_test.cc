@@ -1,0 +1,218 @@
+// DirectorySnapshot publication (model/directory_snapshot.h + the
+// Directory hooks): every published version must be a faithful,
+// immutable image of the directory at publish time — alive set, class
+// and value postings, RDN index, labels — and stay that way while the
+// live directory moves on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "model/directory.h"
+#include "model/directory_snapshot.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+// Checks that `snap` matches the live `d` right now, member by member.
+void ExpectMatchesLive(const DirectorySnapshot& snap, const Directory& d,
+                       const SimpleWorld& w) {
+  EXPECT_EQ(snap.version, d.version());
+  EXPECT_EQ(snap.num_alive, d.NumEntries());
+  EXPECT_EQ(snap.id_capacity, d.IdCapacity());
+
+  size_t alive_count = 0;
+  d.ForEachAlive([&](const Entry& e) {
+    ++alive_count;
+    EntryId id = e.id();
+    EXPECT_TRUE(snap.IsAlive(id));
+    EXPECT_EQ(snap.parent(id), e.parent());
+    EXPECT_EQ(snap.index.labels.Get(id, ForestIndex::kNoLabel),
+              d.GetIndex().label(id));
+    EXPECT_EQ(snap.index.depth.Get(id, 0), d.GetIndex().depth(id));
+    // Class postings contain exactly the members.
+    for (ClassId c : e.classes()) {
+      const EntrySet* posting = snap.ClassSet(c);
+      ASSERT_NE(posting, nullptr);
+      EXPECT_TRUE(posting->Contains(id));
+    }
+  });
+  EXPECT_EQ(alive_count, snap.num_alive);
+
+  // Per-class counts agree with the live count index.
+  for (ClassId c : {w.top, w.org, w.person, w.engineer, w.mailbox}) {
+    EXPECT_EQ(snap.CountWithClass(c), d.CountWithClass(c)) << "class " << c;
+  }
+}
+
+TEST(DirectorySnapshotTest, EnableOnPopulatedDirectoryPublishesCurrentState) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top, w.org});
+  ASSERT_TRUE(d.AddValue(root, w.ou, Value("acme")).ok());
+  EntryId alice = AddBare(d, root, "cn=alice", {w.top, w.person});
+  ASSERT_TRUE(d.AddValue(alice, w.name, Value("Alice")).ok());
+  AddBare(d, root, "cn=bob", {w.top, w.person});
+
+  EXPECT_FALSE(d.PinSnapshot());  // not enabled yet
+  d.EnableSnapshots();
+  PinnedSnapshot snap = d.PinSnapshot();
+  ASSERT_TRUE(snap);
+  ExpectMatchesLive(*snap, d, w);
+
+  // Value postings were built for the pre-existing values.
+  const std::vector<EntryId>* posting =
+      snap->ValuePosting(w.name, Value("Alice"));
+  ASSERT_NE(posting, nullptr);
+  EXPECT_EQ(*posting, std::vector<EntryId>{alice});
+  EXPECT_EQ(snap->ValuePosting(w.name, Value("nobody")), nullptr);
+
+  // RDN lookups mirror the live index, case-insensitively.
+  EXPECT_EQ(snap->FindChildByRdn(root, "cn=alice"), alice);
+  EXPECT_EQ(snap->FindChildByRdn(root, "CN=ALICE"), alice);
+  EXPECT_EQ(snap->FindChildByRdn(root, "cn=nobody"), kInvalidEntryId);
+  EXPECT_EQ(snap->FindChildByRdn(kInvalidEntryId, "o=acme"), root);
+}
+
+TEST(DirectorySnapshotTest, PinnedVersionSurvivesLaterMutations) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  d.EnableSnapshots();
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top, w.org});
+  EntryId alice = AddBare(d, root, "cn=alice", {w.top, w.person});
+  ASSERT_TRUE(d.AddValue(alice, w.name, Value("Alice")).ok());
+  d.PublishSnapshot();
+  PinnedSnapshot old_snap = d.PinSnapshot();
+  ASSERT_TRUE(old_snap);
+  const uint64_t old_version = old_snap->version;
+  const size_t old_alive = old_snap->num_alive;
+
+  // Mutate heavily: delete, re-add, rename, move, value churn.
+  EntryId bob = AddBare(d, root, "cn=bob", {w.top, w.person});
+  ASSERT_TRUE(d.RemoveValue(alice, w.name, Value("Alice")).ok());
+  ASSERT_TRUE(d.AddValue(alice, w.name, Value("Alicia")).ok());
+  ASSERT_TRUE(d.Rename(bob, "cn=bobby").ok());
+  ASSERT_TRUE(d.DeleteLeaf(alice).ok());
+  d.PublishSnapshot();
+
+  // The old pin still answers at its version.
+  EXPECT_EQ(old_snap->version, old_version);
+  EXPECT_EQ(old_snap->num_alive, old_alive);
+  EXPECT_TRUE(old_snap->IsAlive(alice));
+  const std::vector<EntryId>* posting =
+      old_snap->ValuePosting(w.name, Value("Alice"));
+  ASSERT_NE(posting, nullptr);
+  EXPECT_EQ(*posting, std::vector<EntryId>{alice});
+  EXPECT_EQ(old_snap->ValuePosting(w.name, Value("Alicia")), nullptr);
+  EXPECT_EQ(old_snap->FindChildByRdn(root, "cn=bob"), kInvalidEntryId);
+  const EntrySet* persons = old_snap->ClassSet(w.person);
+  ASSERT_NE(persons, nullptr);
+  EXPECT_TRUE(persons->Contains(alice));
+  EXPECT_FALSE(persons->Contains(bob));
+
+  // A fresh pin sees the new world.
+  PinnedSnapshot fresh = d.PinSnapshot();
+  ASSERT_TRUE(fresh);
+  ExpectMatchesLive(*fresh, d, w);
+  EXPECT_FALSE(fresh->IsAlive(alice));
+  EXPECT_EQ(fresh->FindChildByRdn(root, "cn=bobby"), bob);
+  // Alice's deletion drained the posting (the key may linger, empty).
+  const std::vector<EntryId>* alicia =
+      fresh->ValuePosting(w.name, Value("Alicia"));
+  EXPECT_TRUE(alicia == nullptr || alicia->empty());
+  old_snap.Release();
+}
+
+TEST(DirectorySnapshotTest, ValuePostingsStaySortedThroughChurn) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  d.EnableSnapshots();
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top, w.org});
+  std::vector<EntryId> carriers;
+  for (int i = 0; i < 20; ++i) {
+    EntryId id =
+        AddBare(d, root, "cn=p" + std::to_string(i), {w.top, w.person});
+    ASSERT_TRUE(d.AddValue(id, w.name, Value("shared")).ok());
+    carriers.push_back(id);
+  }
+  // Remove every third carrier's value, delete every fifth entirely.
+  for (size_t i = 0; i < carriers.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(
+          d.RemoveValue(carriers[i], w.name, Value("shared")).ok());
+    } else if (i % 5 == 0) {
+      ASSERT_TRUE(d.DeleteLeaf(carriers[i]).ok());
+    }
+  }
+  d.PublishSnapshot();
+  PinnedSnapshot snap = d.PinSnapshot();
+  ASSERT_TRUE(snap);
+
+  const std::vector<EntryId>* posting =
+      snap->ValuePosting(w.name, Value("shared"));
+  ASSERT_NE(posting, nullptr);
+  EXPECT_TRUE(std::is_sorted(posting->begin(), posting->end()));
+  std::vector<EntryId> expected;
+  for (size_t i = 0; i < carriers.size(); ++i) {
+    if (i % 3 != 0 && !(i % 5 == 0)) expected.push_back(carriers[i]);
+  }
+  EXPECT_EQ(*posting, expected);
+}
+
+TEST(DirectorySnapshotTest, PublishIsCheapOnNoChange) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  d.EnableSnapshots();
+  AddBare(d, kInvalidEntryId, "o=acme", {w.top, w.org});
+  d.PublishSnapshot();
+  ASSERT_NE(d.snapshot_store(), nullptr);
+  uint64_t before = d.snapshot_store()->publishes();
+  // Publishing with an empty delta must still advance the head (version
+  // stamping) without touching the postings.
+  d.PublishSnapshot();
+  EXPECT_EQ(d.snapshot_store()->publishes(), before + 1);
+  PinnedSnapshot snap = d.PinSnapshot();
+  ASSERT_TRUE(snap);
+  ExpectMatchesLive(*snap, d, w);
+}
+
+TEST(DirectorySnapshotTest, MoveSubtreeReflectedInLabelsAndRdnIndex) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  d.EnableSnapshots();
+  EntryId a = AddBare(d, kInvalidEntryId, "o=a", {w.top, w.org});
+  EntryId b = AddBare(d, kInvalidEntryId, "o=b", {w.top, w.org});
+  EntryId child = AddBare(d, a, "cn=c", {w.top, w.person});
+  EntryId leaf = AddBare(d, child, "cn=l", {w.top, w.person});
+  ASSERT_TRUE(d.MoveSubtree(child, b).ok());
+  d.PublishSnapshot();
+
+  PinnedSnapshot snap = d.PinSnapshot();
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->parent(child), b);
+  EXPECT_EQ(snap->parent(leaf), child);
+  EXPECT_EQ(snap->FindChildByRdn(b, "cn=c"), child);
+  EXPECT_EQ(snap->FindChildByRdn(a, "cn=c"), kInvalidEntryId);
+  // Interval nesting after the move: b's interval contains child's,
+  // child's contains leaf's, and a's does not contain child's.
+  auto label = [&](EntryId id) {
+    return snap->index.labels.Get(id, ForestIndex::kNoLabel);
+  };
+  auto end_label = [&](EntryId id) {
+    return snap->index.end_labels.Get(id, ForestIndex::kNoLabel);
+  };
+  EXPECT_LT(label(b), label(child));
+  EXPECT_LT(end_label(child), end_label(b) + 1);
+  EXPECT_LT(label(child), label(leaf));
+  EXPECT_LT(end_label(leaf), end_label(child) + 1);
+  EXPECT_FALSE(label(a) < label(child) && label(child) < end_label(a));
+}
+
+}  // namespace
+}  // namespace ldapbound

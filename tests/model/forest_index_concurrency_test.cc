@@ -1,10 +1,17 @@
-// Concurrent-reader safety of the ForestIndex dense snapshot: structural
-// queries run on many threads (see query/parallel.cc), and the first
-// reader after a mutation materializes the dense preorder views lazily.
-// That materialization is double-checked under an internal mutex — racing
-// readers must all observe one consistent snapshot. This test hammers
-// that path (mutate single-threaded, then read from many threads) and is
-// meant to run under TSan via the `concurrency` ctest label.
+// Concurrent-reader safety of the ForestIndex under the MVCC contract
+// (DESIGN.md §10). Two regimes are exercised, both meant to run under
+// TSan via the `concurrency` ctest label:
+//
+//  1. dense-cache readers: materialization is single-writer now (the old
+//     double-checked mutex is gone), so the writer freshens the cache
+//     before fanning out readers — exactly what core/legality_checker.cc
+//     does — and every concurrent access is a pure read;
+//
+//  2. frozen label views: a published snapshot's views must stay
+//     byte-identical while the writer keeps mutating the live index.
+//     This is the regression test for the torn-preorder window the MVCC
+//     path closes: the CowVec clone-on-write discipline must isolate
+//     every chunk a reader can still reach.
 
 #include <gtest/gtest.h>
 
@@ -52,7 +59,7 @@ void MutateBurst(Directory& d, const SimpleWorld& w, std::mt19937_64& rng) {
   }
 }
 
-TEST(ForestIndexConcurrencyTest, ConcurrentReadersMaterializeOneSnapshot) {
+TEST(ForestIndexConcurrencyTest, ConcurrentReadersOnFreshDenseCache) {
   SimpleWorld w;
   Directory d(w.vocab);
   std::mt19937_64 rng(2024);
@@ -62,11 +69,12 @@ TEST(ForestIndexConcurrencyTest, ConcurrentReadersMaterializeOneSnapshot) {
   for (int round = 0; round < kRounds; ++round) {
     MutateBurst(d, w, rng);
     const ForestIndex& index = d.GetIndex();
+    // Single-writer contract: the mutating thread freshens the dense
+    // cache before the fan-out, so the readers below are pure reads.
+    index.MaterializeDenseNow();
     const std::vector<EntryId> alive = AliveIds(d);
     ASSERT_FALSE(alive.empty());
 
-    // All readers start on a stale snapshot; whoever gets there first
-    // materializes it while the others race through the same accessors.
     std::atomic<uint64_t> checksum{0};
     std::atomic<int> failures{0};
     std::vector<std::thread> readers;
@@ -96,6 +104,75 @@ TEST(ForestIndexConcurrencyTest, ConcurrentReadersMaterializeOneSnapshot) {
     for (std::thread& r : readers) r.join();
     ASSERT_EQ(failures.load(), 0) << "round " << round;
     EXPECT_NE(checksum.load(), 0u);
+  }
+  EXPECT_TRUE(d.GetIndex().EquivalentToFresh(d));
+}
+
+// What one entry looked like at publish time.
+struct LabelExpectation {
+  EntryId id;
+  uint64_t label;
+  uint64_t end_label;
+  uint32_t depth;
+  EntryId parent;
+};
+
+TEST(ForestIndexConcurrencyTest, PinnedLabelViewsImmutableUnderMutation) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  std::mt19937_64 rng(4711);
+  d.EnableSnapshots();
+
+  constexpr int kRounds = 20;
+  constexpr int kReaders = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    MutateBurst(d, w, rng);
+    d.PublishSnapshot();
+    PinnedSnapshot pin = d.PinSnapshot();
+    ASSERT_TRUE(pin);
+    const ForestIndex::LabelViews& views = pin->index;
+
+    // Capture what the views say now, before the writer moves on; the
+    // whole point is that this stays true while the live index churns.
+    std::vector<LabelExpectation> expected;
+    for (EntryId id : AliveIds(d)) {
+      expected.push_back(LabelExpectation{
+          id, views.labels.Get(id, ForestIndex::kNoLabel),
+          views.end_labels.Get(id, ForestIndex::kNoLabel),
+          views.depth.Get(id, 0), views.parents.Get(id, kInvalidEntryId)});
+      ASSERT_NE(expected.back().label, ForestIndex::kNoLabel);
+    }
+
+    std::atomic<int> failures{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kReaders; ++t) {
+      readers.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          for (const LabelExpectation& e : expected) {
+            if (views.labels.Get(e.id, ForestIndex::kNoLabel) != e.label ||
+                views.end_labels.Get(e.id, ForestIndex::kNoLabel) !=
+                    e.end_label ||
+                views.depth.Get(e.id, 0) != e.depth ||
+                views.parents.Get(e.id, kInvalidEntryId) != e.parent) {
+              failures.fetch_add(1);
+              return;
+            }
+          }
+        }
+      });
+    }
+
+    // The writer mutates (and republishes) while the readers verify the
+    // pinned version: every CowVec chunk the views reference must be
+    // cloned, not written through.
+    MutateBurst(d, w, rng);
+    d.PublishSnapshot();
+
+    stop.store(true, std::memory_order_release);
+    for (std::thread& r : readers) r.join();
+    ASSERT_EQ(failures.load(), 0) << "round " << round;
+    pin.Release();
   }
   EXPECT_TRUE(d.GetIndex().EquivalentToFresh(d));
 }

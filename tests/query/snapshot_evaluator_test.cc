@@ -1,0 +1,175 @@
+// SnapshotEvaluator vs QueryEvaluator oracle: on a pinned snapshot of an
+// unchanging directory, every supported query must produce exactly the
+// member set the live evaluator produces — the four hierarchy axes off
+// the label views, class/value selections off the postings, and the set
+// algebra on top. Plus the partiality contract: payload matchers and
+// Δ-relative scopes error out instead of answering wrong.
+
+#include <gtest/gtest.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "model/directory.h"
+#include "model/directory_snapshot.h"
+#include "query/evaluator.h"
+#include "query/query.h"
+#include "query/snapshot_evaluator.h"
+#include "tests/testing/helpers.h"
+
+namespace ldapbound {
+namespace {
+
+using testing::AddBare;
+using testing::SimpleWorld;
+
+std::vector<EntryId> Members(const EntrySet& set) {
+  std::vector<EntryId> ids;
+  set.ForEach([&](EntryId id) { ids.push_back(id); });
+  return ids;
+}
+
+// A forest with interleaved classes, a few value carriers, and deletions,
+// so the axes have real work to do.
+void BuildWorld(Directory& d, const SimpleWorld& w, std::mt19937_64& rng) {
+  std::vector<EntryId> alive;
+  for (int i = 0; i < 120; ++i) {
+    EntryId parent = kInvalidEntryId;
+    if (!alive.empty() &&
+        std::uniform_int_distribution<int>(0, 5)(rng) != 0) {
+      parent = alive[std::uniform_int_distribution<size_t>(
+          0, alive.size() - 1)(rng)];
+    }
+    std::vector<ClassId> classes{w.top};
+    switch (std::uniform_int_distribution<int>(0, 3)(rng)) {
+      case 0:
+        classes.push_back(w.org);
+        break;
+      case 1:
+        classes.push_back(w.person);
+        break;
+      case 2:
+        classes.push_back(w.person);
+        classes.push_back(w.engineer);
+        break;
+      default:
+        break;
+    }
+    EntryId id = AddBare(d, parent, "e" + std::to_string(i), classes);
+    if (i % 7 == 0) {
+      ASSERT_TRUE(
+          d.AddValue(id, w.mail, Value("x" + std::to_string(i % 3))).ok());
+    }
+    alive.push_back(id);
+  }
+  for (EntryId id : std::vector<EntryId>(alive.begin(), alive.end())) {
+    if (d.IsAlive(id) && d.entry(id).children().empty() &&
+        std::uniform_int_distribution<int>(0, 4)(rng) == 0) {
+      ASSERT_TRUE(d.DeleteLeaf(id).ok());
+    }
+  }
+}
+
+class SnapshotEvaluatorOracleTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    d_ = std::make_unique<Directory>(w_.vocab);
+    std::mt19937_64 rng(99);
+    BuildWorld(*d_, w_, rng);
+    d_->EnableSnapshots();
+    pin_ = d_->PinSnapshot();
+    ASSERT_TRUE(pin_);
+  }
+
+  // Both evaluators must agree on the member list.
+  void ExpectAgrees(const Query& q) {
+    QueryEvaluator live(*d_);
+    EntrySet expect = live.Evaluate(q);
+    SnapshotEvaluator snap(*pin_);
+    Result<EntrySet> got = snap.Evaluate(q);
+    ASSERT_TRUE(got.ok()) << got.status().ToString() << "\n  query: "
+                          << q.ToString(*w_.vocab);
+    EXPECT_EQ(Members(got.value()), Members(expect))
+        << "query: " << q.ToString(*w_.vocab);
+  }
+
+  SimpleWorld w_;
+  std::unique_ptr<Directory> d_;
+  PinnedSnapshot pin_;
+};
+
+TEST_F(SnapshotEvaluatorOracleTest, ClassSelections) {
+  for (ClassId c : {w_.top, w_.org, w_.person, w_.engineer, w_.mailbox}) {
+    ExpectAgrees(Query::Select(MatchClass(c)));
+  }
+}
+
+TEST_F(SnapshotEvaluatorOracleTest, MatchAllAndValueSelections) {
+  ExpectAgrees(Query::Select(MatchAll()));
+  for (int v = 0; v < 4; ++v) {
+    ExpectAgrees(Query::Select(
+        MatchAttrEquals(w_.mail, Value("x" + std::to_string(v)))));
+  }
+}
+
+TEST_F(SnapshotEvaluatorOracleTest, AllFourAxes) {
+  std::vector<std::pair<ClassId, ClassId>> pairs = {
+      {w_.org, w_.person},    {w_.person, w_.org},
+      {w_.top, w_.engineer},  {w_.engineer, w_.top},
+      {w_.person, w_.person}, {w_.org, w_.org},
+  };
+  for (const auto& [a, b] : pairs) {
+    Query qa = Query::Select(MatchClass(a));
+    Query qb = Query::Select(MatchClass(b));
+    ExpectAgrees(Query::Child(qa, qb));
+    ExpectAgrees(Query::Parent(qa, qb));
+    ExpectAgrees(Query::Descendant(qa, qb));
+    ExpectAgrees(Query::Ancestor(qa, qb));
+  }
+}
+
+TEST_F(SnapshotEvaluatorOracleTest, SetAlgebraAndFigure4Shapes) {
+  Query org = Query::Select(MatchClass(w_.org));
+  Query person = Query::Select(MatchClass(w_.person));
+  Query engineer = Query::Select(MatchClass(w_.engineer));
+
+  ExpectAgrees(Query::Diff(person, engineer));
+  ExpectAgrees(Query::Union({org, engineer}));
+  ExpectAgrees(Query::Intersect({person, engineer}));
+  // The Figure 4 required-relationship violation shape: sources with no
+  // axis-related target.
+  ExpectAgrees(Query::Diff(org, Query::Descendant(org, person)));
+  ExpectAgrees(Query::Diff(person, Query::Child(person, engineer)));
+  // Nested hierarchy: grandparent-ish composition.
+  ExpectAgrees(Query::Ancestor(Query::Descendant(org, person), engineer));
+}
+
+TEST_F(SnapshotEvaluatorOracleTest, UnsupportedSurfacesError) {
+  SnapshotEvaluator snap(*pin_);
+  // Payload matchers would need live Entry objects.
+  EXPECT_FALSE(
+      snap.Evaluate(Query::Select(MatchAttrPresent(w_.mail))).ok());
+  EXPECT_FALSE(snap.Evaluate(Query::Select(MatchNot(MatchAll()))).ok());
+  // Δ-relative scopes only mean something to the live evaluator.
+  EXPECT_FALSE(
+      snap.Evaluate(Query::Select(MatchAll(), Scope::kDeltaOnly)).ok());
+  // Scope::kEmpty is fine (statically empty).
+  Result<EntrySet> empty =
+      snap.Evaluate(Query::Select(MatchAll(), Scope::kEmpty));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty.value().Empty());
+}
+
+TEST_F(SnapshotEvaluatorOracleTest, IsEmptyMatchesEvaluate) {
+  Query none = Query::Intersect({Query::Select(MatchClass(w_.org)),
+                                 Query::Select(MatchClass(w_.engineer))});
+  SnapshotEvaluator snap(*pin_);
+  Result<bool> empty = snap.IsEmpty(none);
+  ASSERT_TRUE(empty.ok());
+  QueryEvaluator live(*d_);
+  EXPECT_EQ(empty.value(), live.Evaluate(none).Empty());
+}
+
+}  // namespace
+}  // namespace ldapbound

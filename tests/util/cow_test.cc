@@ -1,0 +1,179 @@
+// Copy-on-write containers (util/cow.h): the O(Δ)-publication building
+// blocks of the MVCC snapshot path. The load-bearing property everywhere
+// is *freeze isolation* — a frozen View must keep answering with the
+// values it was frozen at, no matter what the writer does afterwards.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/cow.h"
+
+namespace ldapbound {
+namespace {
+
+TEST(CowVecTest, SetGetResize) {
+  CowVec<uint64_t> v;
+  EXPECT_EQ(v.size(), 0u);
+  v.Resize(10, 7);
+  ASSERT_EQ(v.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) EXPECT_EQ(v[i], 7u);
+  v.Set(3, 42);
+  EXPECT_EQ(v[3], 42u);
+  // Growth keeps old values and fills new space.
+  v.Resize(2000, 9);
+  ASSERT_EQ(v.size(), 2000u);
+  EXPECT_EQ(v[3], 42u);
+  EXPECT_EQ(v[9], 7u);
+  EXPECT_EQ(v[10], 9u);
+  EXPECT_EQ(v[1999], 9u);
+  // Resize never shrinks.
+  v.Resize(5, 0);
+  EXPECT_EQ(v.size(), 2000u);
+}
+
+TEST(CowVecTest, ViewGetFallback) {
+  CowVec<uint64_t> v;
+  v.Resize(4, 1);
+  CowVec<uint64_t>::View view = v.Freeze();
+  EXPECT_EQ(view.size(), 4u);
+  EXPECT_EQ(view.Get(2, 99), 1u);
+  EXPECT_EQ(view.Get(4, 99), 99u);   // out of range -> fallback
+  EXPECT_EQ(view.Get(1000, 99), 99u);
+  CowVec<uint64_t>::View empty;
+  EXPECT_EQ(empty.Get(0, 99), 99u);
+}
+
+TEST(CowVecTest, FrozenViewIsolatedFromLaterWrites) {
+  CowVec<uint64_t> v;
+  const size_t n = 3 * CowVec<uint64_t>::kChunkSize;  // span several chunks
+  v.Resize(n, 0);
+  for (size_t i = 0; i < n; i += 97) v.Set(i, i);
+
+  CowVec<uint64_t>::View v1 = v.Freeze();
+  // Overwrite everything the view knows, including whole-chunk churn.
+  for (size_t i = 0; i < n; ++i) v.Set(i, 1u << 20);
+  v.Resize(n + CowVec<uint64_t>::kChunkSize, 5);
+  CowVec<uint64_t>::View v2 = v.Freeze();
+
+  ASSERT_EQ(v1.size(), n);
+  for (size_t i = 0; i < n; i += 97) EXPECT_EQ(v1[i], i);
+  for (size_t i = 1; i < n; i += 97) {
+    if (i % 97 != 0) EXPECT_EQ(v1.Get(i, 0), 0u);
+  }
+  EXPECT_EQ(v2[0], 1u << 20);
+  EXPECT_EQ(v2.Get(n + 1, 0), 5u);
+}
+
+TEST(CowVecTest, SequentialFreezesShareAndDiverge) {
+  CowVec<int> v;
+  v.Resize(8, 0);
+  std::vector<CowVec<int>::View> versions;
+  for (int round = 0; round < 6; ++round) {
+    v.Set(round, round + 1);
+    versions.push_back(v.Freeze());
+  }
+  // Version r sees exactly the first r+1 writes.
+  for (int r = 0; r < 6; ++r) {
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(versions[r][i], i <= r ? i + 1 : 0) << "version " << r;
+    }
+  }
+}
+
+TEST(CowMapTest, SetFindErase) {
+  CowMap<std::string, int> m;
+  EXPECT_EQ(m.Find("a"), nullptr);
+  m.Set("a", 1);
+  m.Set("b", 2);
+  ASSERT_NE(m.Find("a"), nullptr);
+  EXPECT_EQ(*m.Find("a"), 1);
+  m.Erase("a");
+  EXPECT_EQ(m.Find("a"), nullptr);
+  EXPECT_EQ(*m.Find("b"), 2);
+  EXPECT_EQ(m.SizeSlow(), 1u);
+}
+
+TEST(CowMapTest, TombstoneShadowsFrozenState) {
+  CowMap<int, int> m;
+  m.Set(1, 10);
+  CowMap<int, int>::View v1 = m.Freeze();
+  m.Erase(1);
+  CowMap<int, int>::View v2 = m.Freeze();
+  m.Set(1, 30);
+  CowMap<int, int>::View v3 = m.Freeze();
+
+  ASSERT_NE(v1.Find(1), nullptr);
+  EXPECT_EQ(*v1.Find(1), 10);
+  EXPECT_EQ(v2.Find(1), nullptr);
+  ASSERT_NE(v3.Find(1), nullptr);
+  EXPECT_EQ(*v3.Find(1), 30);
+}
+
+TEST(CowMapTest, FindMutableInPendingOnlySeesTheOpenDelta) {
+  CowMap<int, int> m;
+  m.Set(1, 10);
+  // Before any freeze the key sits in the open delta: mutable.
+  ASSERT_NE(m.FindMutableInPending(1), nullptr);
+  *m.FindMutableInPending(1) = 11;
+  EXPECT_EQ(*m.Find(1), 11);
+
+  m.Freeze();
+  // After the freeze the key is sealed — a frozen View may reference the
+  // value, so the writer must NOT get a mutable pointer.
+  EXPECT_EQ(m.FindMutableInPending(1), nullptr);
+  EXPECT_NE(m.Find(1), nullptr);
+
+  // Re-setting re-admits it to the new delta.
+  m.Set(1, 12);
+  ASSERT_NE(m.FindMutableInPending(1), nullptr);
+  // Tombstones are not mutable values.
+  m.Erase(1);
+  EXPECT_EQ(m.FindMutableInPending(1), nullptr);
+}
+
+// Fold/compaction correctness: push enough sealed overlays (and churn)
+// that the chain both merges pairwise and folds into a fresh base, and
+// check every version — old views must survive both untouched.
+TEST(CowMapTest, FoldPreservesAllVersions) {
+  CowMap<int, int> m;
+  std::vector<CowMap<int, int>::View> versions;
+  std::vector<std::map<int, int>> oracles;
+  std::map<int, int> oracle;
+
+  constexpr int kRounds = 20;  // enough freezes to merge and fold repeatedly
+  for (int round = 0; round < kRounds; ++round) {
+    for (int k = 0; k < 10; ++k) {
+      int key = (round * 7 + k * 13) % 40;
+      if ((round + k) % 5 == 0) {
+        m.Erase(key);
+        oracle.erase(key);
+      } else {
+        m.Set(key, round * 100 + k);
+        oracle[key] = round * 100 + k;
+      }
+    }
+    versions.push_back(m.Freeze());
+    oracles.push_back(oracle);
+  }
+
+  for (int r = 0; r < kRounds; ++r) {
+    // Every oracle entry is found with the right value...
+    for (const auto& [key, value] : oracles[r]) {
+      const int* found = versions[r].Find(key);
+      ASSERT_NE(found, nullptr) << "version " << r << " key " << key;
+      EXPECT_EQ(*found, value) << "version " << r << " key " << key;
+    }
+    // ...and ForEach enumerates exactly the oracle.
+    std::map<int, int> seen;
+    versions[r].ForEach([&](const int& k, const int& v) {
+      EXPECT_TRUE(seen.emplace(k, v).second) << "duplicate key " << k;
+    });
+    EXPECT_EQ(seen, oracles[r]) << "version " << r;
+  }
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Gate write throughput against the committed benchmark baseline.
+
+Compares a fresh google-benchmark JSON run against the checked-in
+baseline (BENCH_update.json) and fails when any watched benchmark's
+items_per_second dropped by more than the tolerance. Used by CI's
+bench-smoke step to catch MVCC read-path changes that tax the write
+path:
+
+    tools/check_bench_regression.py \
+        --baseline BENCH_update.json \
+        --candidate BENCH_update.smoke.json \
+        --filter 'BM_GroupCommitTxnThroughput' \
+        --tolerance 0.15
+
+Only benchmarks present in BOTH files are compared (the smoke run
+usually executes a filtered subset), so renaming or adding benchmarks
+never breaks the gate by itself — but if the filter matches nothing in
+common, that is an error: an empty comparison must not pass silently.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_throughputs(path):
+    """name -> items_per_second for every aggregate-free benchmark."""
+    with open(path) as f:
+        doc = json.load(f)
+    out = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        ips = bench.get("items_per_second")
+        if ips is not None:
+            out[bench["name"]] = float(ips)
+    return out
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed benchmark JSON (the reference)")
+    parser.add_argument("--candidate", required=True,
+                        help="fresh benchmark JSON to check")
+    parser.add_argument("--filter", default=".*",
+                        help="regex of benchmark names to compare")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop (0.15 = 15%%)")
+    args = parser.parse_args()
+
+    baseline = load_throughputs(args.baseline)
+    candidate = load_throughputs(args.candidate)
+    pattern = re.compile(args.filter)
+
+    common = sorted(name for name in baseline
+                    if name in candidate and pattern.search(name))
+    if not common:
+        print(f"error: no common benchmarks match {args.filter!r} "
+              f"between {args.baseline} and {args.candidate}",
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    for name in common:
+        base = baseline[name]
+        cand = candidate[name]
+        drop = 0.0 if base <= 0 else (base - cand) / base
+        verdict = "FAIL" if drop > args.tolerance else "ok"
+        if drop > args.tolerance:
+            failures += 1
+        print(f"{verdict:4} {name}: baseline {base:,.0f}/s -> "
+              f"candidate {cand:,.0f}/s ({-drop:+.1%})")
+
+    if failures:
+        print(f"error: {failures}/{len(common)} benchmarks regressed "
+              f"beyond {args.tolerance:.0%}", file=sys.stderr)
+        return 1
+    print(f"all {len(common)} benchmarks within {args.tolerance:.0%} "
+          "of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -419,6 +419,10 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
     return Usage();
   }
 
+  // Lock-free reads for the serving loop: searches and monitor scrapes
+  // pin MVCC snapshots instead of racing the writer (DESIGN.md §10).
+  server->EnableMvcc();
+
   MonitorOptions monitor_options;
   monitor_options.port = static_cast<uint16_t>(options.monitor_port);
   auto monitor = MonitorServer::Start(&*server, monitor_options);
