@@ -85,6 +85,13 @@ DirectoryServer MakeGroupServer(size_t group_batch, std::string* wal_root) {
   options.group_commit_hold_us = 200;
   if (!server.EnableWal(*wal_root + "/wal", options).ok()) std::abort();
   server.EnableMvcc();
+  // Admission control on, as in production `serve`: the bound is far
+  // above any depth these writer counts can reach, so nothing is shed —
+  // what the numbers carry is the admission checkpoint + queue-depth
+  // accounting on every commit (issue 7's ≤15% regression-gate budget).
+  DirectoryServer::ResilienceOptions resilience;
+  resilience.admission.max_queue_depth = 4096;
+  server.EnableResilience(resilience);
   return server;
 }
 

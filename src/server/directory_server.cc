@@ -70,6 +70,18 @@ ServerMetrics& GetServerMetrics() {
 
 constexpr size_t kMaxDetailChars = 512;
 
+/// Deadline check at the last cancellation-safe point: the write mutex is
+/// held but no side effect has happened yet. Past this point the commit
+/// always runs to durability (util/deadline.h).
+Status CheckQueuedDeadline(AdmissionController* admission,
+                           const Deadline& deadline) {
+  if (!deadline.expired()) return Status::OK();
+  if (admission != nullptr) admission->RecordQueuedDeadlineShed();
+  return Status::DeadlineExceeded(
+      "commit cancelled while queued for the write mutex: op deadline "
+      "expired before any work (safe to retry with a fresh budget)");
+}
+
 uint64_t WallClockMs() {
   return static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::milliseconds>(
@@ -182,7 +194,8 @@ DirectoryServer::DirectoryServer(std::shared_ptr<Vocabulary> vocab,
       schema_(std::make_unique<DirectorySchema>(std::move(schema))),
       directory_(std::make_unique<Directory>(vocab_)),
       write_mu_(std::make_unique<std::mutex>()),
-      stats_(std::make_unique<StatCounters>()) {}
+      stats_(std::make_unique<StatCounters>()),
+      health_(std::make_unique<HealthManager>()) {}
 
 Result<DirectoryServer> DirectoryServer::Create(
     std::string_view schema_text) {
@@ -202,13 +215,14 @@ Result<DirectoryServer> DirectoryServer::Create(
 
 // Add and Delete delegate to Apply, so their latency histograms nest the
 // apply one; their outcome counters are independent of the apply family.
-Status DirectoryServer::Add(const DistinguishedName& dn, EntrySpec spec) {
+Status DirectoryServer::Add(const DistinguishedName& dn, EntrySpec spec,
+                            Deadline deadline) {
   OpMetrics& op = GetServerMetrics().add;
   OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "add", dn.ToString());
   LatencyTimer timer(op.latency_ns);
   UpdateTransaction txn;
   txn.Insert(dn, std::move(spec));
-  Status status = Apply(txn);
+  Status status = Apply(txn, nullptr, deadline);
   if (status.ok()) {
     ++stats_->adds;
     tracker.Ok();
@@ -219,14 +233,15 @@ Status DirectoryServer::Add(const DistinguishedName& dn, EntrySpec spec) {
   return status;
 }
 
-Status DirectoryServer::Delete(const DistinguishedName& dn) {
+Status DirectoryServer::Delete(const DistinguishedName& dn,
+                               Deadline deadline) {
   OpMetrics& op = GetServerMetrics().del;
   OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "delete",
                     dn.ToString());
   LatencyTimer timer(op.latency_ns);
   UpdateTransaction txn;
   txn.Delete(dn);
-  Status status = Apply(txn);
+  Status status = Apply(txn, nullptr, deadline);
   if (status.ok()) {
     ++stats_->deletes;
     tracker.Ok();
@@ -238,16 +253,35 @@ Status DirectoryServer::Delete(const DistinguishedName& dn) {
 }
 
 Status DirectoryServer::CheckWritable() const {
-  if (wal_failed()) {
-    return Status::FailedPrecondition(
-        "a write-ahead log append failed; the server is read-only — "
-        "restart via DirectoryServer::Recover to resume from the durable "
-        "state");
+  HealthState state = health_->state();
+  if (state == HealthState::kHealthy) return Status::OK();
+  std::string reason = health_->reason();
+  return Status::Unavailable(
+      "server is read-only (" + std::string(HealthStateName(state)) +
+      (reason.empty() ? "" : ": " + reason) +
+      ") — reads stay available; retry writes once the server recovers");
+}
+
+Status DirectoryServer::AdmitWrite(Deadline* deadline) {
+  if (admission_ == nullptr) {
+    // No admission control configured; explicit deadlines still hold.
+    if (deadline->expired()) {
+      return Status::DeadlineExceeded(
+          "op deadline expired before admission (no work was done; safe to "
+          "retry with a fresh budget)");
+    }
+    return Status::OK();
   }
-  return Status::OK();
+  if (deadline->infinite()) *deadline = admission_->DefaultDeadline();
+  Status status = admission_->AdmitWrite(*deadline);
+  if (!status.ok() && admission_->TakeDegradeSignal()) {
+    health_->ReportOverload(admission_->shed_streak());
+  }
+  return status;
 }
 
 Status DirectoryServer::WalPersist(std::string payload,
+                                   const Deadline& deadline,
                                    std::unique_lock<std::mutex>& lock) {
   if (wal_ == nullptr) {
     lock.unlock();
@@ -261,7 +295,9 @@ Status DirectoryServer::WalPersist(std::string payload,
       // nothing has reached the log — after recovery the commit must be
       // absent (it was never acknowledged).
       LDAPBOUND_FAILPOINT("server.commit");
-      ticket = group_commit_->Enqueue(std::move(payload));
+      // The deadline only clamps the leader's hold window; it cannot
+      // cancel this commit any more (it is snapshot-visible).
+      ticket = group_commit_->Enqueue(std::move(payload), deadline);
       return Status::OK();
     }();
     lock.unlock();
@@ -271,12 +307,24 @@ Status DirectoryServer::WalPersist(std::string payload,
       LDAPBOUND_FAILPOINT("server.commit");
       return wal_->Append(payload);
     }();
+    if (!status.ok()) {
+      // Degrade before releasing the mutex: in inline mode no queue
+      // poisoning protects the log, so the next writer must already see
+      // the unhealthy state when it acquires the mutex.
+      stats_->wal_resync_needed.store(true, std::memory_order_release);
+      health_->ReportWalFailure(status);
+    }
     lock.unlock();
   }
   if (!status.ok()) {
     // The in-memory state is now ahead of the durable state and cannot be
-    // trusted as a replication source; fail every further mutation.
-    stats_->wal_failed.store(true, std::memory_order_release);
+    // trusted as a replication source; degrade to read-only. Under group
+    // commit a racing writer may already be past CheckWritable — the
+    // poisoned queue fails its flush without touching the log. The
+    // recovery probe (EnableResilience) repairs this automatically via a
+    // snapshot resync; without it, restart via Recover().
+    stats_->wal_resync_needed.store(true, std::memory_order_release);
+    health_->ReportWalFailure(status);
     return Status(status.code(),
                   "write-ahead log append failed (server is now read-only; "
                   "recover from '" + wal_->dir() + "'): " + status.message());
@@ -285,14 +333,20 @@ Status DirectoryServer::WalPersist(std::string payload,
 }
 
 Status DirectoryServer::Apply(const UpdateTransaction& txn,
-                              CommitStats* stats) {
+                              CommitStats* stats, Deadline deadline) {
   OpMetrics& op = GetServerMetrics().apply;
   OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "apply",
                     "txn(" + std::to_string(txn.ops().size()) + " ops)");
   LDAPBOUND_TRACE_SPAN("server.apply");
   LatencyTimer timer(op.latency_ns);
+  Status admitted = AdmitWrite(&deadline);
+  if (!admitted.ok()) {
+    tracker.Rejected(admitted.message());
+    return admitted;
+  }
   std::unique_lock<std::mutex> lock(*write_mu_);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
+  LDAPBOUND_RETURN_IF_ERROR(CheckQueuedDeadline(admission_.get(), deadline));
   IncrementalValidator::Options validator_options;
   validator_options.check = check_options_;
   // The serving path wants commit cost O(|Δ|), not O(|D|): walk the delta
@@ -343,7 +397,7 @@ Status DirectoryServer::Apply(const UpdateTransaction& txn,
     // Durability before acknowledgement: the commit only returns OK once
     // its log frame — or the frame's group — is on disk. Releases the
     // write mutex.
-    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), lock));
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), deadline, lock));
   }
   op.ok.Increment();
   tracker.Ok();
@@ -399,14 +453,21 @@ Status DirectoryServer::ApplyOneModification(EntryId id,
 }
 
 Status DirectoryServer::Modify(const DistinguishedName& dn,
-                               const std::vector<Modification>& mods) {
+                               const std::vector<Modification>& mods,
+                               Deadline deadline) {
   OpMetrics& op = GetServerMetrics().modify;
   OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "modify",
                     dn.ToString());
   LDAPBOUND_TRACE_SPAN("server.modify");
   LatencyTimer timer(op.latency_ns);
+  Status admitted = AdmitWrite(&deadline);
+  if (!admitted.ok()) {
+    tracker.Rejected(admitted.message());
+    return admitted;
+  }
   std::unique_lock<std::mutex> lock(*write_mu_);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
+  LDAPBOUND_RETURN_IF_ERROR(CheckQueuedDeadline(admission_.get(), deadline));
   auto resolved = ResolveDn(*directory_, dn);
   if (!resolved.ok()) {
     ++stats_->rejected;
@@ -484,7 +545,7 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
     std::string payload;
     if (wal_ != nullptr) payload = ChangeRecordsToLdif({record}, *vocab_);
     if (changelog_ != nullptr) changelog_->Append(std::move(record));
-    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), lock));
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), deadline, lock));
   }
   ++stats_->modifies;
   op.ok.Increment();
@@ -494,14 +555,20 @@ Status DirectoryServer::Modify(const DistinguishedName& dn,
 
 Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
                                  const DistinguishedName& new_parent_dn,
-                                 std::string new_rdn) {
+                                 std::string new_rdn, Deadline deadline) {
   OpMetrics& op = GetServerMetrics().modify_dn;
   OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "modify_dn",
                     dn.ToString());
   LDAPBOUND_TRACE_SPAN("server.modify_dn");
   LatencyTimer timer(op.latency_ns);
+  Status admitted = AdmitWrite(&deadline);
+  if (!admitted.ok()) {
+    tracker.Rejected(admitted.message());
+    return admitted;
+  }
   std::unique_lock<std::mutex> lock(*write_mu_);
   LDAPBOUND_RETURN_IF_ERROR(CheckWritable());
+  LDAPBOUND_RETURN_IF_ERROR(CheckQueuedDeadline(admission_.get(), deadline));
   auto entry = ResolveDn(*directory_, dn);
   if (!entry.ok()) {
     ++stats_->rejected;
@@ -567,7 +634,7 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
     std::string payload;
     if (wal_ != nullptr) payload = ChangeRecordsToLdif({record}, *vocab_);
     if (changelog_ != nullptr) changelog_->Append(std::move(record));
-    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), lock));
+    LDAPBOUND_RETURN_IF_ERROR(WalPersist(std::move(payload), deadline, lock));
   }
   ++stats_->modifies;
   op.ok.Increment();
@@ -576,13 +643,20 @@ Status DirectoryServer::ModifyDn(const DistinguishedName& dn,
 }
 
 Result<std::vector<EntryId>> DirectoryServer::Search(
-    const SearchRequest& request) const {
+    const SearchRequest& request, Deadline deadline) const {
   OpMetrics& op = GetServerMetrics().search;
   OpTracker tracker(slow_ops_.get(), stats_->next_op_id, "search",
                     request.base.ToString());
-  tracker.Ok();
   LDAPBOUND_TRACE_SPAN("server.search");
   LatencyTimer timer(op.latency_ns);
+  if (deadline.expired()) {
+    op.rejected.Increment();
+    Status expired = Status::DeadlineExceeded(
+        "search cancelled: deadline expired before the scan started");
+    tracker.Rejected(expired.message());
+    return expired;
+  }
+  tracker.Ok();
   stats_->searches.fetch_add(1, std::memory_order_relaxed);
   op.ok.Increment();
   return ldapbound::Search(*directory_, request);
@@ -624,7 +698,8 @@ Result<size_t> DirectoryServer::ImportLdif(std::string_view text) {
     if (wal_ != nullptr) {
       Status status = CompactLocked();
       if (!status.ok()) {
-        stats_->wal_failed.store(true, std::memory_order_release);
+        stats_->wal_resync_needed.store(true, std::memory_order_release);
+        health_->ReportWalFailure(status);
         return status;
       }
     }
@@ -786,6 +861,40 @@ Result<DirectoryServer> DirectoryServer::Recover(const std::string& dir,
   // Recovery work is not traffic; start the counters clean.
   server.stats_ = std::make_unique<StatCounters>();
   return server;
+}
+
+void DirectoryServer::EnableResilience(const ResilienceOptions& options) {
+  std::lock_guard<std::mutex> lock(*write_mu_);
+  admission_ = std::make_unique<AdmissionController>(options.admission,
+                                                     group_commit_.get());
+  if (options.auto_recover) {
+    health_->StartProbe([this] { return DrainAndResync(); },
+                        options.recovery_backoff);
+  }
+}
+
+Status DirectoryServer::DrainAndResync() {
+  std::lock_guard<std::mutex> lock(*write_mu_);
+  // With the write mutex held no new commit can enter; draining lets
+  // every already-queued commit fail out through the poisoned queue, so
+  // nothing is in flight when the log is re-based.
+  if (group_commit_ != nullptr) group_commit_->Drain();
+  health_->EnterRecovering();
+  if (wal_ != nullptr &&
+      stats_->wal_resync_needed.load(std::memory_order_acquire)) {
+    // Re-base the log on the in-memory state: it is the acknowledged
+    // history plus possibly a suffix of unacknowledged-but-applied
+    // commits, which is exactly what the server must continue from (MVCC
+    // readers have seen them).
+    LDAPBOUND_RETURN_IF_ERROR(wal_->ResyncFromSnapshot(ExportLdif()));
+    if (group_commit_ != nullptr) group_commit_->ResetAfterResync();
+    stats_->wal_resync_needed.store(false, std::memory_order_release);
+  }
+  return Status::OK();
+}
+
+Status DirectoryServer::TryRecoverNow() {
+  return health_->AttemptRecovery([this] { return DrainAndResync(); });
 }
 
 DirectoryServer::Stats DirectoryServer::stats() const {

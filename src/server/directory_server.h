@@ -11,12 +11,15 @@
 #include "core/legality_checker.h"
 #include "ldap/search.h"
 #include "schema/directory_schema.h"
+#include "server/admission.h"
 #include "server/changelog.h"
 #include "server/group_commit.h"
+#include "server/health.h"
 #include "server/modification.h"
 #include "server/slow_ops.h"
 #include "server/wal.h"
 #include "update/transaction.h"
+#include "util/deadline.h"
 
 namespace ldapbound {
 
@@ -87,13 +90,22 @@ class DirectoryServer {
   using Modification = ldapbound::Modification;
 
   /// Adds one entry (a single-insert transaction).
-  Status Add(const DistinguishedName& dn, EntrySpec spec);
+  ///
+  /// Every mutating op takes an optional deadline — a cancellation budget,
+  /// not an execution bound (util/deadline.h): it is checked at admission
+  /// and once more after the write mutex is acquired, before any side
+  /// effect; past those points the op always runs to durability. A
+  /// default-constructed (infinite) deadline is replaced by the admission
+  /// controller's configured default, when EnableResilience set one.
+  Status Add(const DistinguishedName& dn, EntrySpec spec,
+             Deadline deadline = Deadline());
 
   /// Deletes one leaf entry (a single-delete transaction).
-  Status Delete(const DistinguishedName& dn);
+  Status Delete(const DistinguishedName& dn, Deadline deadline = Deadline());
 
   /// Applies a multi-operation transaction atomically.
-  Status Apply(const UpdateTransaction& txn, CommitStats* stats = nullptr);
+  Status Apply(const UpdateTransaction& txn, CommitStats* stats = nullptr,
+               Deadline deadline = Deadline());
 
   /// Applies `mods` to the entry named `dn`, re-checks legality, and rolls
   /// the entry back if the result would be illegal. Value-only mods re-check
@@ -101,7 +113,8 @@ class DirectoryServer {
   /// re-check the structure schema (class membership participates in
   /// structural relationships).
   Status Modify(const DistinguishedName& dn,
-                const std::vector<Modification>& mods);
+                const std::vector<Modification>& mods,
+                Deadline deadline = Deadline());
 
   /// The LDAP ModDN operation: moves the subtree named `dn` under
   /// `new_parent_dn` (empty DN = make it a root), optionally renaming its
@@ -109,10 +122,13 @@ class DirectoryServer {
   /// CheckAfterMove); moved back on violation.
   Status ModifyDn(const DistinguishedName& dn,
                   const DistinguishedName& new_parent_dn,
-                  std::string new_rdn = "");
+                  std::string new_rdn = "", Deadline deadline = Deadline());
 
-  /// Filtered, scoped search (read-only; no legality interaction).
-  Result<std::vector<EntryId>> Search(const SearchRequest& request) const;
+  /// Filtered, scoped search (read-only; no legality interaction). The
+  /// deadline is checked before the scan starts — an expired budget gets
+  /// kDeadlineExceeded without touching the index.
+  Result<std::vector<EntryId>> Search(const SearchRequest& request,
+                                      Deadline deadline = Deadline()) const;
 
   /// Parses an RFC-1960 filter string and searches under `base_dn` with
   /// subtree scope.
@@ -186,13 +202,47 @@ class DirectoryServer {
   /// enabled (no WAL, or group_commit_max_batch <= 1).
   const GroupCommitQueue* group_commit() const { return group_commit_.get(); }
 
-  /// True after a WAL append failed: the in-memory state may be ahead of
-  /// the durable state, so the server refuses further mutations
-  /// (kFailedPrecondition) — reads stay available; restart via Recover()
-  /// to resume writing from the durable prefix.
-  bool wal_failed() const {
-    return stats_->wal_failed.load(std::memory_order_acquire);
-  }
+  /// Overload & fault resilience (DESIGN.md §11): admission control,
+  /// default deadlines, degraded-mode escalation and — when auto_recover
+  /// is set — the supervised recovery probe that returns a degraded
+  /// server to healthy without an operator.
+  struct ResilienceOptions {
+    AdmissionOptions admission;
+
+    /// Start the recovery probe: after a WAL failure the server degrades
+    /// to read-only as always, and the probe then drains the commit path,
+    /// resyncs the WAL from a snapshot of the in-memory state, and
+    /// restores writability, retrying with exponential backoff while the
+    /// fault persists. Off by default: without it a degraded server stays
+    /// read-only until restarted via Recover() (the pre-§11 behavior).
+    bool auto_recover = false;
+    ExponentialBackoff::Options recovery_backoff;
+  };
+
+  /// Turns the resilience layer on. Call after EnableWal, before traffic,
+  /// from one thread. With auto_recover the probe thread captures `this`,
+  /// so — like a served MonitorServer — the server must not be moved
+  /// afterwards.
+  void EnableResilience(const ResilienceOptions& options);
+
+  /// Health state machine (never null). healthy → degraded(read-only) →
+  /// draining → recovering; see server/health.h.
+  const HealthManager* health() const { return health_.get(); }
+  HealthState health_state() const { return health_->state(); }
+
+  /// The admission controller, or nullptr before EnableResilience.
+  const AdmissionController* admission() const { return admission_.get(); }
+
+  /// Runs one recovery attempt right now (drain + WAL resync), regardless
+  /// of whether the probe is armed. Returns kFailedPrecondition when the
+  /// server is not degraded. What an operator endpoint or a test calls
+  /// instead of waiting out the probe's backoff.
+  Status TryRecoverNow();
+
+  /// True when the server is refusing writes (any non-healthy state).
+  /// Kept under its historical name: before the §11 state machine this
+  /// was a bool flipped by a WAL append failure.
+  bool wal_failed() const { return !health_->healthy(); }
 
   /// Starts slow-op diagnostics: every top-level operation (nested
   /// delegations like Add -> Apply count once) is timed and offered to a
@@ -244,8 +294,20 @@ class DirectoryServer {
                               std::vector<Modification>* undo);
   static Modification Inverse(const Modification& mod);
 
-  /// Refuses mutations after a WAL failure (see wal_failed()).
+  /// Refuses mutations while the server is not healthy (degraded /
+  /// draining / recovering) with a retryable kUnavailable.
   Status CheckWritable() const;
+
+  /// Admission + default-deadline resolution for one write op. On OK,
+  /// `*deadline` holds the effective deadline to thread through the
+  /// commit path.
+  Status AdmitWrite(Deadline* deadline);
+
+  /// The recovery probe's body: takes the write mutex, drains the commit
+  /// queue (every queued commit fails out through the poisoned queue),
+  /// resyncs the WAL from a snapshot of the in-memory state, and re-arms
+  /// the queue.
+  Status DrainAndResync();
 
   /// Publishes the next MVCC snapshot after a successful in-memory
   /// commit; no-op when EnableMvcc was not called. The publish folds
@@ -267,7 +329,8 @@ class DirectoryServer {
   /// group's single fsync — so the next writer's in-memory commit
   /// overlaps this one's durability wait. On failure the server becomes
   /// read-only.
-  Status WalPersist(std::string payload, std::unique_lock<std::mutex>& lock);
+  Status WalPersist(std::string payload, const Deadline& deadline,
+                    std::unique_lock<std::mutex>& lock);
 
   /// Txn-id source for change records when no Changelog is attached.
   uint64_t NextRecordTxnId() {
@@ -285,9 +348,10 @@ class DirectoryServer {
     std::atomic<size_t> rejected{0};
     /// Operation-id source for slow-op records and log/trace correlation.
     std::atomic<uint64_t> next_op_id{1};
-    /// Set on WAL append failure; read by CheckWritable and the monitor
-    /// thread (atomic, and heap-held, to keep the server movable).
-    std::atomic<bool> wal_failed{false};
+    /// Set on WAL append failure, cleared by a successful resync: tells
+    /// the recovery probe whether the log actually needs re-basing (an
+    /// overload-triggered degrade has nothing to repair).
+    std::atomic<bool> wal_resync_needed{false};
   };
 
   std::shared_ptr<Vocabulary> vocab_;
@@ -304,6 +368,11 @@ class DirectoryServer {
   uint64_t next_txn_ = 1;
   CheckOptions check_options_;
   std::unique_ptr<StatCounters> stats_;
+  std::unique_ptr<AdmissionController> admission_;
+  /// Declared last so it is destroyed first: its probe thread (when
+  /// armed) touches wal_, group_commit_ and write_mu_ and must be joined
+  /// before they die.
+  std::unique_ptr<HealthManager> health_;
 };
 
 }  // namespace ldapbound

@@ -36,6 +36,7 @@ struct GroupCommitQueue::Ticket {
   enum class State { kQueued, kLeader, kDone };
 
   std::string payload;
+  Deadline deadline;
   Status status = Status::OK();
   State state = State::kQueued;
   // Per-ticket wakeup: waiters sleep on their own condvar so finishing a
@@ -52,10 +53,12 @@ GroupCommitQueue::GroupCommitQueue(WriteAheadLog* wal, size_t max_batch,
 
 GroupCommitQueue::~GroupCommitQueue() = default;
 
-GroupCommitQueue::Ticket* GroupCommitQueue::Enqueue(std::string payload) {
-  auto* ticket = new Ticket{std::move(payload)};
+GroupCommitQueue::Ticket* GroupCommitQueue::Enqueue(std::string payload,
+                                                    Deadline deadline) {
+  auto* ticket = new Ticket{std::move(payload), deadline};
   std::lock_guard<std::mutex> lock(mu_);
   queue_.push_back(ticket);
+  depth_.store(queue_.size(), std::memory_order_relaxed);
   if (!flush_active_) {
     // No group is being flushed and nobody is leading: this commit opens
     // the next group and will flush it from its own Wait.
@@ -87,15 +90,24 @@ void GroupCommitQueue::LeadFlush(std::unique_lock<std::mutex>& lock) {
   // closes the window early; so does a slice of the window passing with
   // no new arrivals — once committers stop showing up, waiting out the
   // rest of the hold would add latency without adding batching.
-  if (hold_us_ > 0 && queue_.size() < max_batch_) {
-    const auto deadline = std::chrono::steady_clock::now() +
-                          std::chrono::microseconds(hold_us_);
+  if (hold_us_ > 0 && queue_.size() < max_batch_ && !poisoned()) {
+    auto hold_until = std::chrono::steady_clock::now() +
+                      std::chrono::microseconds(hold_us_);
+    // The hold window spends the queued commits' latency budgets to buy
+    // batching; never spend past the tightest budget in the group.
+    // (Deadlines of followers arriving mid-hold don't re-clamp — they
+    // joined knowing the window was open.)
+    for (const Ticket* t : queue_) {
+      if (!t->deadline.infinite() && t->deadline.time() < hold_until) {
+        hold_until = t->deadline.time();
+      }
+    }
     const auto slice = std::chrono::microseconds(hold_us_ / 4 + 1);
     size_t seen = queue_.size();
     while (!cv_.wait_for(lock, slice,
                          [&] { return queue_.size() >= max_batch_; })) {
       if (queue_.size() == seen ||
-          std::chrono::steady_clock::now() >= deadline) {
+          std::chrono::steady_clock::now() >= hold_until) {
         break;
       }
       seen = queue_.size();
@@ -104,18 +116,36 @@ void GroupCommitQueue::LeadFlush(std::unique_lock<std::mutex>& lock) {
   size_t n = queue_.size() < max_batch_ ? queue_.size() : max_batch_;
   std::vector<Ticket*> batch(queue_.begin(), queue_.begin() + n);
   queue_.erase(queue_.begin(), queue_.begin() + n);
+  depth_.store(queue_.size(), std::memory_order_relaxed);
   GroupCommitMetrics::Get().queue_depth.Set(queue_.size());
 
-  lock.unlock();
-  std::vector<std::string_view> payloads;
-  payloads.reserve(batch.size());
-  for (const Ticket* t : batch) payloads.push_back(t->payload);
-  Status status = wal_->AppendGroup(payloads);
-  GroupCommitMetrics::Get().batch_size.Observe(static_cast<double>(n));
-  GroupCommitMetrics::Get().groups.Increment();
-  groups_flushed_.fetch_add(1, std::memory_order_relaxed);
-  commits_flushed_.fetch_add(n, std::memory_order_relaxed);
-  lock.lock();
+  Status status;
+  if (poisoned()) {
+    // An earlier group's flush failed: the durable log may end mid-way
+    // through that group. Appending this one would yield a log that skips
+    // the failed commits yet keeps later ones that may depend on them, so
+    // fail fast with the WAL untouched until a resync re-bases the log on
+    // current in-memory state.
+    status = poison_status_;
+  } else {
+    lock.unlock();
+    std::vector<std::string_view> payloads;
+    payloads.reserve(batch.size());
+    for (const Ticket* t : batch) payloads.push_back(t->payload);
+    status = wal_->AppendGroup(payloads);
+    GroupCommitMetrics::Get().batch_size.Observe(static_cast<double>(n));
+    GroupCommitMetrics::Get().groups.Increment();
+    groups_flushed_.fetch_add(1, std::memory_order_relaxed);
+    commits_flushed_.fetch_add(n, std::memory_order_relaxed);
+    lock.lock();
+    if (!status.ok() && !poisoned()) {
+      poison_status_ = Status(
+          status.code(),
+          "group-commit queue poisoned by failed WAL flush: " +
+              std::string(status.message()));
+      poisoned_.store(true, std::memory_order_release);
+    }
+  }
 
   for (Ticket* t : batch) {
     t->status = status;
@@ -135,6 +165,15 @@ void GroupCommitQueue::LeadFlush(std::unique_lock<std::mutex>& lock) {
 void GroupCommitQueue::Drain() {
   std::unique_lock<std::mutex> lock(mu_);
   cv_.wait(lock, [&] { return queue_.empty() && !flush_active_; });
+}
+
+void GroupCommitQueue::ResetAfterResync() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Caller holds the write mutex and drained the queue, so nothing can be
+  // queued or flushing here; the resynced WAL supersedes every frame the
+  // poisoned log may or may not have kept.
+  poison_status_ = Status::OK();
+  poisoned_.store(false, std::memory_order_release);
 }
 
 }  // namespace ldapbound

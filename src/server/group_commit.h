@@ -8,6 +8,7 @@
 #include <mutex>
 #include <string>
 
+#include "util/deadline.h"
 #include "util/result.h"
 
 namespace ldapbound {
@@ -50,8 +51,12 @@ class GroupCommitQueue {
   GroupCommitQueue& operator=(const GroupCommitQueue&) = delete;
 
   /// Claims the next commit slot (queue order = acknowledgement order).
-  /// Called with the server's write mutex held; never blocks.
-  Ticket* Enqueue(std::string payload);
+  /// Called with the server's write mutex held; never blocks. The deadline
+  /// does NOT cancel the commit once enqueued (it is already applied in
+  /// memory — see util/deadline.h); it only clamps how long a leader may
+  /// hold the group open waiting for followers, so a commit near its
+  /// budget is not taxed the full batching window.
+  Ticket* Enqueue(std::string payload, Deadline deadline = Deadline());
 
   /// Blocks until the ticket's group is durable and returns the group's
   /// append status; consumes the ticket. Called after the write mutex is
@@ -65,6 +70,24 @@ class GroupCommitQueue {
 
   size_t max_batch() const { return max_batch_; }
   uint32_t hold_us() const { return hold_us_; }
+
+  /// Commits currently waiting (enqueued, group not yet flushed). Lock-
+  /// free: read by the admission controller on every write, before the
+  /// write mutex is taken, so a bounded queue rejects instead of queueing.
+  size_t depth() const { return depth_.load(std::memory_order_relaxed); }
+
+  /// True once a group flush has failed. A failed flush may have left a
+  /// torn prefix of its frames in the log; appending *later* groups would
+  /// make the durable log skip the failed commits while containing ones
+  /// that depend on them, so every subsequent flush fails fast (with the
+  /// poisoning status) without touching the WAL. Cleared only by
+  /// ResetAfterResync.
+  bool poisoned() const { return poisoned_.load(std::memory_order_acquire); }
+
+  /// Re-arms the queue after the WAL has been resynced from a snapshot
+  /// (WriteAheadLog::ResyncFromSnapshot). Called with the server's write
+  /// mutex held and the queue drained — no commit may be in flight.
+  void ResetAfterResync();
 
   /// Flushed groups / commits so far (for /statusz).
   uint64_t groups_flushed() const {
@@ -87,6 +110,11 @@ class GroupCommitQueue {
   std::condition_variable cv_;
   std::deque<Ticket*> queue_;
   bool flush_active_ = false;
+  /// Set under mu_ by the first failed flush; poison_status_ is written
+  /// once (also under mu_) and read by later leaders under mu_.
+  std::atomic<bool> poisoned_{false};
+  Status poison_status_ = Status::OK();
+  std::atomic<size_t> depth_{0};
   std::atomic<uint64_t> groups_flushed_{0};
   std::atomic<uint64_t> commits_flushed_{0};
 };

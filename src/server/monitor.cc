@@ -111,13 +111,16 @@ Result<std::unique_ptr<MonitorServer>> MonitorServer::Start(
     ::close(fd);
     return status;
   }
-  return std::unique_ptr<MonitorServer>(
-      new MonitorServer(server, fd, ntohs(bound.sin_port)));
+  return std::unique_ptr<MonitorServer>(new MonitorServer(
+      server, fd, ntohs(bound.sin_port), options.io_timeout_ms));
 }
 
 MonitorServer::MonitorServer(const DirectoryServer* server, int listen_fd,
-                             uint16_t port)
-    : server_(server), listen_fd_(listen_fd), port_(port) {
+                             uint16_t port, uint32_t io_timeout_ms)
+    : server_(server),
+      listen_fd_(listen_fd),
+      port_(port),
+      io_timeout_ms_(io_timeout_ms) {
   thread_ = std::thread([this]() { AcceptLoop(); });
 }
 
@@ -146,6 +149,16 @@ void MonitorServer::AcceptLoop() {
 }
 
 void MonitorServer::HandleConnection(int fd) {
+  // The single accept thread serves everyone: bound both directions of
+  // this connection so a silent or stalled client times out instead of
+  // starving every later scrape.
+  if (io_timeout_ms_ > 0) {
+    timeval tv{};
+    tv.tv_sec = io_timeout_ms_ / 1000;
+    tv.tv_usec = static_cast<suseconds_t>((io_timeout_ms_ % 1000) * 1000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  }
   // Scrape requests fit one read almost always; keep reading until the
   // header terminator anyway, bounded so a bad client cannot park here.
   std::string request;
@@ -155,7 +168,7 @@ void MonitorServer::HandleConnection(int fd) {
     ssize_t n = ::read(fd, buf, sizeof(buf));
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      break;
+      break;  // EOF, error, or the receive timeout fired (EAGAIN)
     }
     request.append(buf, static_cast<size_t>(n));
   }
@@ -164,12 +177,10 @@ void MonitorServer::HandleConnection(int fd) {
     WriteAll(fd, HttpResponse(200, "OK", "text/plain; version=0.0.4",
                               MetricRegistry::Default().RenderPrometheus()));
   } else if (path == "/healthz") {
-    if (server_->wal_failed()) {
-      WriteAll(fd, HttpResponse(503, "Service Unavailable", "text/plain",
-                                "wal failed: server is read-only\n"));
-    } else {
-      WriteAll(fd, HttpResponse(200, "OK", "text/plain", "ok\n"));
-    }
+    int code = 200;
+    std::string body = RenderHealthz(&code);
+    WriteAll(fd, HttpResponse(code, code == 200 ? "OK" : "Service Unavailable",
+                              "text/plain", body));
   } else if (path == "/statusz") {
     WriteAll(fd,
              HttpResponse(200, "OK", "application/json", RenderStatusz()));
@@ -183,6 +194,22 @@ void MonitorServer::HandleConnection(int fd) {
                      404, "Not Found", "text/plain",
                      "endpoints: /metrics /healthz /statusz /slowz\n"));
   }
+}
+
+std::string MonitorServer::RenderHealthz(int* http_code) const {
+  const HealthManager& health = *server_->health();
+  HealthState state = health.state();
+  if (state == HealthState::kHealthy) {
+    if (http_code != nullptr) *http_code = 200;
+    return "ok\n";
+  }
+  if (http_code != nullptr) *http_code = 503;
+  std::string body = std::string(HealthStateName(state)) +
+                     ": server is read-only";
+  std::string reason = health.reason();
+  if (!reason.empty()) body += " (" + reason + ")";
+  body += "\n";
+  return body;
 }
 
 std::string MonitorServer::RenderStatusz() const {
@@ -200,6 +227,42 @@ std::string MonitorServer::RenderStatusz() const {
                  s.schema().key_attributes().size());
   out += "}";
   AppendU64Field(out, "entries", s.directory().NumEntries());
+
+  out += ",\"health\":{\"state\":";
+  out += JsonQuote(std::string(HealthStateName(s.health_state())));
+  {
+    const HealthManager& health = *s.health();
+    std::string reason = health.reason();
+    if (!reason.empty()) {
+      out += ",\"reason\":";
+      out += JsonQuote(reason);
+    }
+    AppendU64Field(out, "transitions", health.transitions());
+    AppendU64Field(out, "recovery_attempts", health.recovery_attempts());
+    AppendU64Field(out, "recoveries", health.recoveries());
+    AppendBoolField(out, "auto_recover", health.probe_running());
+    if (health.probe_running()) {
+      AppendU64Field(out, "next_probe_delay_ms", health.next_probe_delay_ms());
+    }
+  }
+  out += "}";
+
+  out += ",\"admission\":{";
+  AppendBoolField(out, "enabled", s.admission() != nullptr, /*first=*/true);
+  if (const AdmissionController* adm = s.admission()) {
+    AppendU64Field(out, "max_queue_depth", adm->options().max_queue_depth);
+    AppendU64Field(out, "default_deadline_ms",
+                   adm->options().default_deadline_ms);
+    AppendU64Field(out, "admitted", adm->admitted());
+    AppendU64Field(out, "rejected_overload", adm->rejected_overload());
+    AppendU64Field(out, "rejected_deadline", adm->rejected_deadline());
+    AppendU64Field(out, "shed_streak", adm->shed_streak());
+  }
+  if (s.group_commit() != nullptr) {
+    AppendU64Field(out, "queue_depth", s.group_commit()->depth());
+    AppendBoolField(out, "queue_poisoned", s.group_commit()->poisoned());
+  }
+  out += "}";
 
   out += ",\"wal\":{";
   AppendBoolField(out, "enabled", s.wal() != nullptr, /*first=*/true);

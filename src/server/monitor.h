@@ -17,6 +17,12 @@ class DirectoryServer;
 struct MonitorOptions {
   std::string bind_address = "127.0.0.1";
   uint16_t port = 0;
+
+  /// Per-connection socket I/O timeouts (SO_RCVTIMEO / SO_SNDTIMEO on the
+  /// accepted fd): the monitor serves from a single accept thread, so a
+  /// silent client — connects, sends nothing — or a stalled reader must
+  /// not park it forever and starve every later scrape. 0 disables.
+  uint32_t io_timeout_ms = 5000;
 };
 
 /// Embedded HTTP monitor endpoint — the operational surface of a
@@ -24,8 +30,9 @@ struct MonitorOptions {
 ///
 ///   GET /metrics  Prometheus text exposition of the process-wide metric
 ///                 registry (legality pipeline, server ops, WAL, tracer)
-///   GET /healthz  "ok" — or 503 "wal failed" once a WAL append failed
-///                 and the server went read-only
+///   GET /healthz  "ok" while the health state machine reports healthy;
+///                 503 with the state name and degradation reason in any
+///                 other state (degraded / draining / recovering)
 ///   GET /statusz  JSON summary: schema shape, entry count, WAL state,
 ///                 operation counters, slow-op log configuration
 ///   GET /slowz    the slow-op diagnostics ring as JSON (slowest first)
@@ -56,15 +63,19 @@ class MonitorServer {
   /// involved; tests and the CLI's `status` command use this).
   std::string RenderStatusz() const;
   std::string RenderSlowz() const;
+  /// The /healthz body; `*http_code` (when non-null) gets 200 or 503.
+  std::string RenderHealthz(int* http_code = nullptr) const;
 
  private:
-  MonitorServer(const DirectoryServer* server, int listen_fd, uint16_t port);
+  MonitorServer(const DirectoryServer* server, int listen_fd, uint16_t port,
+                uint32_t io_timeout_ms);
   void AcceptLoop();
   void HandleConnection(int fd);
 
   const DirectoryServer* server_;
   int listen_fd_;
   uint16_t port_;
+  uint32_t io_timeout_ms_;
   std::thread thread_;
   bool stopped_ = false;
 };

@@ -37,6 +37,8 @@ struct WalMetrics {
   Counter& segments_created;
   Counter& compactions;
   Counter& snapshot_bytes;  ///< LDIF bytes written by compactions
+  Counter& disk_full;       ///< appends/fsyncs/snapshots failed with ENOSPC
+  Counter& resyncs;         ///< post-failure snapshot resyncs completed
 };
 
 WalMetrics& GetWalMetrics() {
@@ -61,6 +63,10 @@ WalMetrics& GetWalMetrics() {
                    "Snapshot compactions completed"),
       r.GetCounter("ldapbound_wal_snapshot_bytes_total",
                    "Snapshot LDIF bytes written by compactions"),
+      r.GetCounter("ldapbound_wal_disk_full_total",
+                   "WAL writes that failed with ENOSPC (disk full)"),
+      r.GetCounter("ldapbound_wal_resyncs_total",
+                   "Post-failure snapshot resyncs (ResyncFromSnapshot)"),
   };
   return *metrics;
 }
@@ -89,8 +95,30 @@ uint64_t GetU64(const char* p) {
   return v;
 }
 
+/// Disk exhaustion is an operator-actionable condition distinct from an
+/// I/O fault (free space vs replace-the-disk), so it gets its own status
+/// code, message and counter; the health manager degrades with a
+/// disk-full reason the monitor endpoint surfaces.
+Status DiskFull(const std::string& what) {
+  GetWalMetrics().disk_full.Increment();
+  return Status::DiskFull(what + ": disk full (ENOSPC)");
+}
+
 Status Errno(const std::string& what) {
+  if (errno == ENOSPC) return DiskFull(what);
   return Status::Internal(what + ": " + std::strerror(errno));
+}
+
+/// Failpoint probe usable in non-returning position (AppendGroup must
+/// retire the group's sequences before propagating an injected error);
+/// compiles to nothing when failpoints are off, like the macro.
+Status HitFailpoint(const char* site) {
+#ifdef LDAPBOUND_FAILPOINTS_ENABLED
+  return Failpoints::Hit(site);
+#else
+  (void)site;
+  return Status::OK();
+#endif
 }
 
 Status WriteFully(int fd, std::string_view data) {
@@ -452,12 +480,31 @@ Status WriteAheadLog::AppendGroup(
     frames.append(payload);
     ++seq;
   }
-  LDAPBOUND_FAILPOINT("wal.write");
-  LDAPBOUND_RETURN_IF_ERROR(WriteFully(fd_, frames));
+  // From here on the group's sequence numbers are consumed even on
+  // failure (see the retire lambda): a failed write or fsync may have
+  // left any prefix of the frames durable, so those sequences can never
+  // be reused — a later resync stamps its snapshot past them, and any
+  // torn frame they labeled is skipped by recovery as ≤ the snapshot.
+  auto retire = [&](Status status) {
+    next_seq_ = seq;
+    return status;
+  };
+  Status injected = HitFailpoint("wal.write");
+  if (!injected.ok()) return retire(injected);
+  injected = HitFailpoint("wal.write.enospc");
+  if (!injected.ok()) return retire(DiskFull("wal write '" + segment_path_ + "'"));
+  Status written = WriteFully(fd_, frames);
+  if (!written.ok()) return retire(written);
   segment_bytes_ += frames.size();
   if (options_.sync) {
-    LDAPBOUND_FAILPOINT("wal.fsync");
-    LDAPBOUND_RETURN_IF_ERROR(SyncSegment());
+    injected = HitFailpoint("wal.fsync");
+    if (!injected.ok()) return retire(injected);
+    injected = HitFailpoint("wal.fsync.enospc");
+    if (!injected.ok()) {
+      return retire(DiskFull("fsync '" + segment_path_ + "'"));
+    }
+    Status synced = SyncSegment();
+    if (!synced.ok()) return retire(synced);
   }
   next_seq_ = seq;
   WalMetrics& metrics = GetWalMetrics();
@@ -487,6 +534,36 @@ Status WriteAheadLog::Compact(std::string_view snapshot_ldif) {
   LDAPBOUND_RETURN_IF_ERROR(DeleteObsolete(through));
   WalMetrics& metrics = GetWalMetrics();
   metrics.compactions.Increment();
+  metrics.snapshot_bytes.Increment(snapshot_ldif.size());
+  return SyncDirectory(dir_);
+}
+
+Status WriteAheadLog::ResyncFromSnapshot(std::string_view snapshot_ldif) {
+  LDAPBOUND_TRACE_SPAN("wal.resync");
+  // Drop the old segment fd without fsync: its durable content up to the
+  // last acknowledged group is already on disk (fsync-before-ack), and
+  // everything after — including torn frames of the failed group — is
+  // superseded by the snapshot below, whose sequence covers the retired
+  // group (AppendGroup consumed those sequences on failure).
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  const uint64_t through = next_seq_ - 1;
+  const std::string final_path = dir_ + "/" + SnapshotFileName(through);
+  const std::string tmp_path = final_path + ".tmp";
+  LDAPBOUND_FAILPOINT("wal.resync.snapshot");
+  LDAPBOUND_FAILPOINT_AS("wal.resync.enospc",
+                         DiskFull("resync snapshot '" + tmp_path + "'"));
+  LDAPBOUND_RETURN_IF_ERROR(WriteFileAndSync(tmp_path, snapshot_ldif));
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Errno("rename snapshot '" + tmp_path + "'");
+  }
+  LDAPBOUND_RETURN_IF_ERROR(SyncDirectory(dir_));
+  LDAPBOUND_RETURN_IF_ERROR(OpenSegment(next_seq_, /*create=*/true));
+  LDAPBOUND_RETURN_IF_ERROR(DeleteObsolete(through));
+  WalMetrics& metrics = GetWalMetrics();
+  metrics.resyncs.Increment();
   metrics.snapshot_bytes.Increment(snapshot_ldif.size());
   return SyncDirectory(dir_);
 }

@@ -121,10 +121,16 @@ Status ReplayWal(const WalDirListing& listing, uint64_t after_seq,
 /// (the server's single-writer contract extends to its WAL).
 ///
 /// Failpoints wired through this class (util/failpoint.h):
-///   "wal.write"   before appending a frame's bytes
-///   "wal.fsync"   before the durability fsync of a frame
-///   "wal.rotate"  before a segment rotation creates the next file
-///   "wal.rename"  before a snapshot's tmp-file is renamed into place
+///   "wal.write"            before appending a frame's bytes
+///   "wal.write.enospc"     same site, but injects the ENOSPC (disk-full)
+///                          status the real out-of-space write would produce
+///   "wal.fsync"            before the durability fsync of a frame
+///   "wal.fsync.enospc"     disk-full variant of the fsync site
+///   "wal.rotate"           before a segment rotation creates the next file
+///   "wal.rename"           before a snapshot's tmp-file is renamed into place
+///   "wal.resync.snapshot"  before a post-failure resync writes its snapshot
+///   "wal.resync.enospc"    disk-full variant of the resync site (the probe
+///                          retries while the disk stays full)
 class WriteAheadLog {
  public:
   static constexpr char kSchemaFileName[] = "schema.lbs";
@@ -169,6 +175,19 @@ class WriteAheadLog {
   /// segments left by a crash after the rename are skipped (their frames
   /// are ≤ the snapshot sequence).
   Status Compact(std::string_view snapshot_ldif);
+
+  /// Post-failure resync (the recovery probe of DESIGN.md §11): after a
+  /// failed Append/AppendGroup the in-memory directory is ahead of the
+  /// durable log, and the current segment fd may be poisoned (a failed
+  /// fsync makes the kernel's page-cache state untrustworthy). This writes
+  /// `snapshot_ldif` — the *current in-memory state*, which supersedes
+  /// everything the log holds including any torn frames of the failed
+  /// group — as a durable snapshot, opens a fresh segment on a fresh fd,
+  /// and garbage-collects the old segments. Unlike Compact it never
+  /// fsyncs the old segment. On OK the log is writable again and durable
+  /// state == in-memory state; on error (e.g. the disk is still full) the
+  /// log stays failed and the probe retries with backoff.
+  Status ResyncFromSnapshot(std::string_view snapshot_ldif);
 
   static std::string SegmentFileName(uint64_t first_seq);
   static std::string SnapshotFileName(uint64_t through_seq);

@@ -1,0 +1,59 @@
+#ifndef LDAPBOUND_UTIL_BACKOFF_H_
+#define LDAPBOUND_UTIL_BACKOFF_H_
+
+#include <cstdint>
+
+namespace ldapbound {
+
+/// Capped exponential backoff schedule: initial, initial*m, initial*m²,
+/// ... up to a ceiling. Deterministic (no jitter) so recovery-time tests
+/// can assert an exact budget; the single-process recovery probe has no
+/// thundering-herd peer to de-correlate from.
+///
+/// Not thread-safe: owned and advanced by one supervisor (the
+/// HealthManager probe thread); observers read current_ms() through the
+/// owner's synchronization.
+class ExponentialBackoff {
+ public:
+  struct Options {
+    uint64_t initial_ms = 100;
+    uint64_t max_ms = 5000;
+    double multiplier = 2.0;
+  };
+
+  ExponentialBackoff() : ExponentialBackoff(Options{}) {}
+  explicit ExponentialBackoff(const Options& options) : options_(options) {
+    if (options_.initial_ms == 0) options_.initial_ms = 1;
+    if (options_.max_ms < options_.initial_ms) {
+      options_.max_ms = options_.initial_ms;
+    }
+    if (options_.multiplier < 1.0) options_.multiplier = 1.0;
+    Reset();
+  }
+
+  /// The delay to wait now; advances the schedule for the next failure.
+  uint64_t NextDelayMs() {
+    uint64_t delay = current_ms_;
+    double next = static_cast<double>(current_ms_) * options_.multiplier;
+    current_ms_ = next >= static_cast<double>(options_.max_ms)
+                      ? options_.max_ms
+                      : static_cast<uint64_t>(next);
+    return delay;
+  }
+
+  /// Back to the initial delay (call after a success).
+  void Reset() { current_ms_ = options_.initial_ms; }
+
+  /// The delay the next NextDelayMs() will return.
+  uint64_t current_ms() const { return current_ms_; }
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+  uint64_t current_ms_ = 0;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_BACKOFF_H_

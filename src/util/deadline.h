@@ -1,0 +1,76 @@
+#ifndef LDAPBOUND_UTIL_DEADLINE_H_
+#define LDAPBOUND_UTIL_DEADLINE_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace ldapbound {
+
+/// An absolute point in steady time by which an operation must have
+/// started its irreversible work, or be cancelled with a retryable
+/// kDeadlineExceeded instead (DESIGN.md §11).
+///
+/// Semantics: a deadline is a *cancellation budget*, not an execution
+/// bound. It is checked at points where the operation has had no side
+/// effects yet (admission, after queueing for the write mutex); once an
+/// op's in-memory commit is applied — and snapshot readers may observe
+/// it — it is always carried through to durability, because a half-
+/// cancelled commit would tear the WAL away from the visible state.
+///
+/// The default-constructed deadline is infinite (never expires), so every
+/// pre-deadline call site keeps its behavior.
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Never expires.
+  constexpr Deadline() = default;
+
+  static Deadline Infinite() { return Deadline(); }
+
+  /// Expires `ms` milliseconds from now. AfterMs(0) is already expired —
+  /// useful for "fail unless immediately serviceable" probes.
+  static Deadline AfterMs(uint64_t ms) {
+    Deadline d;
+    d.infinite_ = false;
+    d.time_ = Clock::now() + std::chrono::milliseconds(ms);
+    return d;
+  }
+
+  static Deadline At(Clock::time_point t) {
+    Deadline d;
+    d.infinite_ = false;
+    d.time_ = t;
+    return d;
+  }
+
+  bool infinite() const { return infinite_; }
+  bool expired() const { return !infinite_ && Clock::now() >= time_; }
+
+  /// The absolute expiry (meaningless when infinite()).
+  Clock::time_point time() const { return time_; }
+
+  /// Milliseconds left; 0 when expired, and for an infinite deadline a
+  /// large sentinel callers should treat as "unbounded".
+  uint64_t remaining_ms() const {
+    if (infinite_) return UINT64_MAX;
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        time_ - Clock::now());
+    return left.count() <= 0 ? 0 : static_cast<uint64_t>(left.count());
+  }
+
+  /// The earlier of the two (infinite is later than everything).
+  static Deadline Earlier(const Deadline& a, const Deadline& b) {
+    if (a.infinite_) return b;
+    if (b.infinite_) return a;
+    return a.time_ <= b.time_ ? a : b;
+  }
+
+ private:
+  bool infinite_ = true;
+  Clock::time_point time_{};
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_UTIL_DEADLINE_H_

@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <thread>
 
 #include "util/string_util.h"
 
@@ -16,6 +18,7 @@ struct FailpointState {
   bool armed = false;
   Failpoints::Action action = Failpoints::Action::kError;
   uint64_t trigger_on_hit = 1;
+  uint64_t sleep_ms = 0;
   uint64_t hits = 0;
 };
 
@@ -40,7 +43,7 @@ bool Failpoints::enabled() {
 }
 
 void Failpoints::Arm(std::string_view name, Action action,
-                     uint64_t trigger_on_hit) {
+                     uint64_t trigger_on_hit, uint64_t sleep_ms) {
   if (trigger_on_hit == 0) trigger_on_hit = 1;
   Registry& registry = GetRegistry();
   std::lock_guard<std::mutex> lock(registry.mu);
@@ -48,6 +51,7 @@ void Failpoints::Arm(std::string_view name, Action action,
   state.armed = true;
   state.action = action;
   state.trigger_on_hit = trigger_on_hit;
+  state.sleep_ms = sleep_ms;
   state.hits = 0;
 }
 
@@ -72,25 +76,39 @@ uint64_t Failpoints::HitCount(std::string_view name) {
 }
 
 Status Failpoints::Hit(std::string_view site) {
-  Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mu);
-  auto it = registry.points.find(site);
-  if (it == registry.points.end()) {
-    // Count hits even for unarmed sites so tests can assert coverage.
-    registry.points[std::string(site)].hits = 1;
-    return Status::OK();
+  uint64_t sleep_ms = 0;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    auto it = registry.points.find(site);
+    if (it == registry.points.end()) {
+      // Count hits even for unarmed sites so tests can assert coverage.
+      registry.points[std::string(site)].hits = 1;
+      return Status::OK();
+    }
+    FailpointState& state = it->second;
+    ++state.hits;
+    if (!state.armed) return Status::OK();
+    if (state.action == Action::kSleep) {
+      // A stalling disk stalls every I/O: fire on every hit from the
+      // trigger onward, staying armed; sleep outside the lock below so
+      // concurrent sites do not serialize behind the stall.
+      if (state.hits >= state.trigger_on_hit) sleep_ms = state.sleep_ms;
+    } else if (state.hits == state.trigger_on_hit) {
+      if (state.action == Action::kCrash) {
+        // Simulated power loss: no destructors, no stream flushing.
+        _exit(kCrashExitCode);
+      }
+      state.armed = false;  // kError is single-shot
+      return Status::Internal("injected failure at failpoint '" +
+                              std::string(site) + "' (hit " +
+                              std::to_string(state.hits) + ")");
+    }
   }
-  FailpointState& state = it->second;
-  ++state.hits;
-  if (!state.armed || state.hits != state.trigger_on_hit) return Status::OK();
-  if (state.action == Action::kCrash) {
-    // Simulated power loss: no destructors, no stream flushing.
-    _exit(kCrashExitCode);
+  if (sleep_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
   }
-  state.armed = false;  // kError is single-shot
-  return Status::Internal("injected failure at failpoint '" +
-                          std::string(site) + "' (hit " +
-                          std::to_string(state.hits) + ")");
+  return Status::OK();
 }
 
 Status Failpoints::ArmFromSpec(std::string_view spec) {
@@ -123,11 +141,34 @@ Status Failpoints::ArmFromSpec(std::string_view spec) {
       }
       rest = StripWhitespace(rest.substr(0, at));
     }
+    // kSleep takes its stall duration after a colon: "sleep:50".
+    uint64_t sleep_ms = 10;
+    size_t colon = rest.find(':');
+    std::string_view action_word = rest;
+    if (colon != std::string_view::npos) {
+      std::string_view digits = StripWhitespace(rest.substr(colon + 1));
+      if (digits.empty()) {
+        return Status::InvalidArgument("failpoint spec '" + std::string(term) +
+                                       "': empty sleep duration");
+      }
+      sleep_ms = 0;
+      for (char c : digits) {
+        if (c < '0' || c > '9') {
+          return Status::InvalidArgument("failpoint spec '" +
+                                         std::string(term) +
+                                         "': bad sleep duration");
+        }
+        sleep_ms = sleep_ms * 10 + static_cast<uint64_t>(c - '0');
+      }
+      action_word = StripWhitespace(rest.substr(0, colon));
+    }
     Action action;
-    if (EqualsIgnoreCase(rest, "error")) {
+    if (EqualsIgnoreCase(action_word, "error")) {
       action = Action::kError;
-    } else if (EqualsIgnoreCase(rest, "crash")) {
+    } else if (EqualsIgnoreCase(action_word, "crash")) {
       action = Action::kCrash;
+    } else if (EqualsIgnoreCase(action_word, "sleep")) {
+      action = Action::kSleep;
     } else {
       return Status::InvalidArgument("failpoint spec '" + std::string(term) +
                                      "': unknown action '" +
@@ -137,7 +178,7 @@ Status Failpoints::ArmFromSpec(std::string_view spec) {
       return Status::InvalidArgument("failpoint spec '" + std::string(term) +
                                      "': empty name");
     }
-    Arm(name, action, n);
+    Arm(name, action, n, sleep_ms);
   }
   return Status::OK();
 }

@@ -20,7 +20,13 @@ namespace ldapbound {
 ///    failpoint disarms (single-shot, so a retry path can make progress);
 ///  - kCrash: the process terminates immediately via _exit(kCrashExitCode)
 ///    — no destructors, no buffer flushing — simulating power loss for the
-///    crash-recovery harness.
+///    crash-recovery harness;
+///  - kSleep: the site stalls for the armed delay — simulating a slow disk
+///    or a scheduling hiccup for the overload/chaos harness. Unlike
+///    kError it stays armed and fires on *every* hit from the trigger
+///    onward (a stalling disk stalls every I/O), until Disarm/Reset. The
+///    sleep happens outside the registry lock, so concurrent failpoint
+///    sites do not serialize behind a stall.
 ///
 /// Sites are declared with LDAPBOUND_FAILPOINT(name), which compiles to
 /// nothing when the build disables failpoints (-DLDAPBOUND_FAILPOINTS=OFF),
@@ -28,7 +34,7 @@ namespace ldapbound {
 /// counting is exact under concurrency.
 class Failpoints {
  public:
-  enum class Action : uint8_t { kError, kCrash };
+  enum class Action : uint8_t { kError, kCrash, kSleep };
 
   /// The exit code kCrash terminates with; harnesses assert on it to tell
   /// an injected crash from an ordinary failure.
@@ -40,9 +46,10 @@ class Failpoints {
 
   /// Arms `name`: the `trigger_on_hit`-th subsequent Hit (1-based) fires
   /// `action`. Re-arming replaces the previous configuration and resets the
-  /// hit count.
+  /// hit count. `sleep_ms` is the stall duration for kSleep (ignored by the
+  /// other actions).
   static void Arm(std::string_view name, Action action,
-                  uint64_t trigger_on_hit = 1);
+                  uint64_t trigger_on_hit = 1, uint64_t sleep_ms = 0);
 
   static void Disarm(std::string_view name);
 
@@ -56,8 +63,9 @@ class Failpoints {
   /// Arms failpoints from a spec string — the format of the
   /// LDAPBOUND_FAILPOINTS environment variable used by child processes of
   /// the crash harness: comma-separated `name=action@n` terms, e.g.
-  ///   "wal.fsync=crash@3,wal.write=error@1"
-  /// (`@n` optional, default 1). Returns InvalidArgument on malformed
+  ///   "wal.fsync=crash@3,wal.write=error@1,wal.fsync=sleep:50@2"
+  /// (`@n` optional, default 1; kSleep takes its stall in milliseconds
+  /// after a colon, default 10). Returns InvalidArgument on malformed
   /// specs.
   static Status ArmFromSpec(std::string_view spec);
 
@@ -80,9 +88,23 @@ class Failpoints {
     ::ldapbound::Status _fp = ::ldapbound::Failpoints::Hit(site); \
     if (!_fp.ok()) return _fp;                                \
   } while (false)
+
+/// Like LDAPBOUND_FAILPOINT, but an injected kError returns `status_expr`
+/// instead of the generic injected status — lets a site simulate a
+/// *specific* failure (e.g. "wal.fsync.enospc" returning the disk-full
+/// status the real ENOSPC path would produce), so the error-classification
+/// logic downstream is exercised by the same injection machinery.
+#define LDAPBOUND_FAILPOINT_AS(site, status_expr)             \
+  do {                                                        \
+    ::ldapbound::Status _fp = ::ldapbound::Failpoints::Hit(site); \
+    if (!_fp.ok()) return (status_expr);                      \
+  } while (false)
 #else
 #define LDAPBOUND_FAILPOINT(site) \
   do {                            \
+  } while (false)
+#define LDAPBOUND_FAILPOINT_AS(site, status_expr) \
+  do {                                            \
   } while (false)
 #endif
 

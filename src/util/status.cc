@@ -22,6 +22,14 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "Inconsistent";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kDiskFull:
+      return "DiskFull";
   }
   return "Unknown";
 }

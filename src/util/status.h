@@ -21,6 +21,16 @@ enum class StatusCode {
   kIllegal,           ///< directory instance violates the bounding-schema
   kInconsistent,      ///< bounding-schema admits no legal instance
   kInternal,          ///< invariant breakage inside the library (a bug)
+  // Serving-path resilience codes (DESIGN.md §11). The first three are
+  // *retryable*: the request was refused without side effects and a later
+  // retry (with backoff) may succeed.
+  kUnavailable,       ///< server is degraded (e.g. read-only after a WAL
+                      ///< fault); retry after it reports healthy again
+  kOverloaded,        ///< admission control shed the request (queue full);
+                      ///< retry with backoff
+  kDeadlineExceeded,  ///< the per-op deadline expired before the op ran;
+                      ///< the op was cancelled without side effects
+  kDiskFull,          ///< durable storage is out of space (ENOSPC)
 };
 
 /// Returns a stable human-readable name, e.g. "InvalidArgument".
@@ -63,6 +73,28 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status DiskFull(std::string msg) {
+    return Status(StatusCode::kDiskFull, std::move(msg));
+  }
+
+  /// True for the codes a client may retry (with backoff) without risking
+  /// a duplicate side effect: the request was refused or cancelled before
+  /// any state changed.
+  static bool IsRetryable(StatusCode code) {
+    return code == StatusCode::kUnavailable ||
+           code == StatusCode::kOverloaded ||
+           code == StatusCode::kDeadlineExceeded;
+  }
+  bool retryable() const { return IsRetryable(code_); }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }

@@ -169,7 +169,7 @@ TEST(GroupCommitTest, FlushFailureFailsWaiterAndTurnsServerReadOnly) {
 
   Failpoints::Reset();
   Status next = ApplyWalCommit(*server, 2);
-  EXPECT_EQ(next.code(), StatusCode::kFailedPrecondition)
+  EXPECT_EQ(next.code(), StatusCode::kUnavailable)
       << "server accepted a write after a failed group flush";
 }
 

@@ -7,13 +7,17 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <thread>
 
 #include "server/directory_server.h"
+#include "server/health.h"
+#include "util/failpoint.h"
 
 namespace ldapbound {
 namespace {
@@ -159,6 +163,83 @@ TEST_F(MonitorTest, StopIsIdempotentAndReleasesThePort) {
   monitor_->Stop();
   monitor_->Stop();
   EXPECT_EQ(HttpGet(port, "/healthz"), "");
+}
+
+TEST_F(MonitorTest, StatuszReportsHealthAndAdmission) {
+  std::string body = Body(HttpGet(monitor_->port(), "/statusz"));
+  ExpectBalancedJson(body);
+  EXPECT_NE(body.find("\"health\":{\"state\":\"healthy\""),
+            std::string::npos) << body;
+  // No EnableResilience on this server: admission reports itself off.
+  EXPECT_NE(body.find("\"admission\":{\"enabled\":false"),
+            std::string::npos) << body;
+}
+
+// A silent client — connects, sends nothing — must not park the single
+// accept thread forever: the per-connection SO_RCVTIMEO kicks it out and
+// the next scrape is served. Without the timeout this test hangs.
+TEST(MonitorTimeoutTest, SilentClientDoesNotStarveTheMonitor) {
+  DirectoryServer server = DirectoryServer::Create(kSchema).value();
+  MonitorOptions options;
+  options.io_timeout_ms = 200;
+  auto monitor = MonitorServer::Start(&server, options);
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+
+  int silent = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(silent, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons((*monitor)->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(
+      ::connect(silent, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+      0);
+  // Say nothing. The accept thread is now blocked reading this fd until
+  // the receive timeout expires.
+
+  const auto start = std::chrono::steady_clock::now();
+  std::string response = HttpGet((*monitor)->port(), "/healthz");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  ::close(silent);
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  // Served after roughly one timeout, not after forever (generous bound:
+  // the box may be loaded).
+  EXPECT_LT(elapsed, std::chrono::seconds(30));
+}
+
+// /healthz flips to 503 with the state and reason while the health-state
+// machine reports the server degraded, and back to 200 after recovery.
+TEST(MonitorHealthTest, HealthzReflectsDegradedStateAndRecovery) {
+  if (!Failpoints::enabled()) {
+    GTEST_SKIP() << "failpoints compiled out (LDAPBOUND_FAILPOINTS=OFF)";
+  }
+  Failpoints::Reset();
+  std::string dir = ::testing::TempDir() + "ldapbound_monitor/healthz";
+  std::filesystem::remove_all(dir);
+  DirectoryServer server = DirectoryServer::Create(kSchema).value();
+  ASSERT_TRUE(server.EnableWal(dir).ok());
+  auto monitor = MonitorServer::Start(&server);
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+
+  Failpoints::Arm("wal.fsync", Failpoints::Action::kError, 1);
+  ASSERT_FALSE(server.Add(Dn("name=alice"), PersonSpec("alice")).ok());
+  Failpoints::Reset();
+
+  std::string degraded = HttpGet((*monitor)->port(), "/healthz");
+  EXPECT_NE(degraded.find("HTTP/1.1 503"), std::string::npos) << degraded;
+  EXPECT_NE(Body(degraded).find("degraded"), std::string::npos) << degraded;
+  std::string statusz = Body(HttpGet((*monitor)->port(), "/statusz"));
+  EXPECT_NE(statusz.find("\"health\":{\"state\":\"degraded\""),
+            std::string::npos) << statusz;
+
+  ASSERT_TRUE(server.TryRecoverNow().ok());
+  std::string healthy = HttpGet((*monitor)->port(), "/healthz");
+  EXPECT_NE(healthy.find("HTTP/1.1 200 OK"), std::string::npos) << healthy;
+  // alice was applied in memory before the append failed and rode the
+  // resync snapshot into the recovered log — a fresh DN proves
+  // writability came back.
+  EXPECT_TRUE(server.Add(Dn("name=bob"), PersonSpec("bob")).ok());
 }
 
 // End-to-end through the CLI: `ldapbound serve` on the paper's example

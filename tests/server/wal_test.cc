@@ -336,7 +336,7 @@ TEST(WalTest, InjectedWalFailureMakesTheServerReadOnly) {
   // Mutations are refused; reads still serve.
   Status refused = ApplyWalCommit(server, 3);
   ASSERT_FALSE(refused.ok());
-  EXPECT_EQ(refused.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(refused.code(), StatusCode::kUnavailable);
   EXPECT_TRUE(server.Search("", "(objectClass=person)").ok());
 
   // The durable state is a prefix of the commit stream. Commit 2's frame

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Tiny regression test for tools/check_bench_regression.py.
+
+Exercises the gate's verdicts (pass, regression, disjoint sets) and the
+graceful-error paths (missing file, bad JSON, wrong shape, --list).
+Run as: check_bench_regression_test.py <path-to-tool>
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+TOOL = sys.argv[1] if len(sys.argv) > 1 else os.path.join(
+    os.path.dirname(__file__), "..", "..", "tools",
+    "check_bench_regression.py")
+
+FAILURES = []
+
+
+def run(*args):
+    return subprocess.run([sys.executable, TOOL, *args],
+                          capture_output=True, text=True)
+
+
+def check(name, condition, result):
+    if condition:
+        print(f"ok   {name}")
+    else:
+        FAILURES.append(name)
+        print(f"FAIL {name}\n  stdout: {result.stdout!r}\n"
+              f"  stderr: {result.stderr!r}\n  exit: {result.returncode}")
+
+
+def bench_json(path, throughputs):
+    doc = {"benchmarks": [
+        {"name": name, "run_type": "iteration", "items_per_second": ips}
+        for name, ips in throughputs.items()]}
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "base.json")
+        good = os.path.join(tmp, "good.json")
+        slow = os.path.join(tmp, "slow.json")
+        other = os.path.join(tmp, "other.json")
+        garbage = os.path.join(tmp, "garbage.json")
+        shapeless = os.path.join(tmp, "shapeless.json")
+        bench_json(base, {"BM_Write/1": 1000.0, "BM_Write/2": 2000.0})
+        bench_json(good, {"BM_Write/1": 950.0, "BM_Write/2": 2100.0})
+        bench_json(slow, {"BM_Write/1": 400.0, "BM_Write/2": 2000.0})
+        bench_json(other, {"BM_Other/1": 10.0})
+        with open(garbage, "w") as f:
+            f.write("{not json")
+        with open(shapeless, "w") as f:
+            json.dump({"context": {}}, f)
+
+        r = run("--baseline", base, "--candidate", good)
+        check("within tolerance passes", r.returncode == 0, r)
+
+        r = run("--baseline", base, "--candidate", slow)
+        check("regression fails with exit 1",
+              r.returncode == 1 and "regressed" in r.stderr, r)
+
+        r = run("--baseline", base, "--candidate", slow,
+                "--tolerance", "0.7")
+        check("loose tolerance passes", r.returncode == 0, r)
+
+        r = run("--baseline", base, "--candidate", other)
+        check("disjoint sets are an error",
+              r.returncode == 2 and "no common" in r.stderr, r)
+
+        r = run("--baseline", os.path.join(tmp, "missing.json"),
+                "--candidate", good)
+        check("missing baseline is graceful",
+              r.returncode == 2 and r.stderr.startswith("error:")
+              and "Traceback" not in r.stderr, r)
+
+        r = run("--baseline", garbage, "--candidate", good)
+        check("bad JSON is graceful",
+              r.returncode == 2 and r.stderr.startswith("error:")
+              and "Traceback" not in r.stderr, r)
+
+        r = run("--baseline", shapeless, "--candidate", good)
+        check("wrong shape is graceful",
+              r.returncode == 2 and "benchmarks" in r.stderr
+              and "Traceback" not in r.stderr, r)
+
+        r = run("--baseline", base, "--candidate", good,
+                "--filter", "(unclosed")
+        check("bad regex is graceful",
+              r.returncode == 2 and "regex" in r.stderr, r)
+
+        r = run("--baseline", base, "--list")
+        check("--list prints names without a candidate",
+              r.returncode == 0 and "BM_Write/1" in r.stdout
+              and "BM_Write/2" in r.stdout, r)
+
+        r = run("--baseline", base)
+        check("no candidate without --list is an error",
+              r.returncode == 2 and "--candidate" in r.stderr, r)
+
+    if FAILURES:
+        print(f"{len(FAILURES)} check(s) failed: {FAILURES}",
+              file=sys.stderr)
+        return 1
+    print("all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+// ExponentialBackoff: the deterministic delay schedule driving the health
+// manager's recovery probe (DESIGN.md §11).
+#include "util/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace ldapbound {
+namespace {
+
+TEST(BackoffTest, DoublesUntilCapped) {
+  ExponentialBackoff::Options options;
+  options.initial_ms = 100;
+  options.max_ms = 1000;
+  options.multiplier = 2.0;
+  ExponentialBackoff backoff(options);
+
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);
+  EXPECT_EQ(backoff.NextDelayMs(), 200u);
+  EXPECT_EQ(backoff.NextDelayMs(), 400u);
+  EXPECT_EQ(backoff.NextDelayMs(), 800u);
+  EXPECT_EQ(backoff.NextDelayMs(), 1000u);  // capped
+  EXPECT_EQ(backoff.NextDelayMs(), 1000u);  // stays capped
+}
+
+TEST(BackoffTest, ResetRestartsSchedule) {
+  ExponentialBackoff::Options options;
+  options.initial_ms = 50;
+  options.max_ms = 5000;
+  ExponentialBackoff backoff(options);
+
+  EXPECT_EQ(backoff.NextDelayMs(), 50u);
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);
+  backoff.Reset();
+  EXPECT_EQ(backoff.current_ms(), 50u);
+  EXPECT_EQ(backoff.NextDelayMs(), 50u);
+}
+
+TEST(BackoffTest, CurrentPeeksWithoutAdvancing) {
+  ExponentialBackoff backoff{ExponentialBackoff::Options{}};
+  EXPECT_EQ(backoff.current_ms(), 100u);
+  EXPECT_EQ(backoff.current_ms(), 100u);
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);
+  EXPECT_EQ(backoff.current_ms(), 200u);
+}
+
+TEST(BackoffTest, SanitizesDegenerateOptions) {
+  ExponentialBackoff::Options options;
+  options.initial_ms = 0;     // would never wait
+  options.max_ms = 0;         // cap below initial
+  options.multiplier = 0.5;   // would shrink
+  ExponentialBackoff backoff(options);
+
+  const uint64_t first = backoff.NextDelayMs();
+  EXPECT_GE(first, 1u);
+  EXPECT_GE(backoff.NextDelayMs(), first);  // never decays
+}
+
+}  // namespace
+}  // namespace ldapbound

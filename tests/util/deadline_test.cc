@@ -1,0 +1,59 @@
+// Deadline: the per-op cancellation budget (DESIGN.md §11). Ops without a
+// budget carry the infinite default; expiry is checked at admission and at
+// the post-queue checkpoints, never mid-apply.
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ldapbound {
+namespace {
+
+TEST(DeadlineTest, DefaultIsInfinite) {
+  Deadline deadline;
+  EXPECT_TRUE(deadline.infinite());
+  EXPECT_FALSE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ms(), UINT64_MAX);
+}
+
+TEST(DeadlineTest, InfiniteFactoryMatchesDefault) {
+  EXPECT_TRUE(Deadline::Infinite().infinite());
+}
+
+TEST(DeadlineTest, AfterMsExpires) {
+  Deadline deadline = Deadline::AfterMs(1);
+  EXPECT_FALSE(deadline.infinite());
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(deadline.expired());
+  EXPECT_EQ(deadline.remaining_ms(), 0u);
+}
+
+TEST(DeadlineTest, GenerousBudgetNotExpired) {
+  Deadline deadline = Deadline::AfterMs(60'000);
+  EXPECT_FALSE(deadline.expired());
+  const uint64_t remaining = deadline.remaining_ms();
+  EXPECT_GT(remaining, 0u);
+  EXPECT_LE(remaining, 60'000u);
+}
+
+TEST(DeadlineTest, AlreadyPassedTimeIsExpired) {
+  Deadline deadline = Deadline::At(Deadline::Clock::now() -
+                                   std::chrono::milliseconds(10));
+  EXPECT_TRUE(deadline.expired());
+}
+
+TEST(DeadlineTest, EarlierPicksTighterBudget) {
+  Deadline loose = Deadline::AfterMs(60'000);
+  Deadline tight = Deadline::AfterMs(1'000);
+  Deadline infinite;
+
+  EXPECT_EQ(Deadline::Earlier(loose, tight).time(), tight.time());
+  EXPECT_EQ(Deadline::Earlier(tight, loose).time(), tight.time());
+  // Infinite never wins against a finite budget.
+  EXPECT_EQ(Deadline::Earlier(infinite, tight).time(), tight.time());
+  EXPECT_TRUE(Deadline::Earlier(infinite, Deadline()).infinite());
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <utility>
+
 namespace ldapbound {
 namespace {
 
@@ -77,6 +80,56 @@ TEST_F(FailpointTest, HitCountsAccumulate) {
   Failpoints::Arm("test.site", Failpoints::Action::kError, 100);
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(GuardedOperation().ok());
   EXPECT_EQ(Failpoints::HitCount("test.site"), 5u);
+}
+
+// The chaos harness's slow-disk stall: kSleep stays armed and delays
+// every hit from the trigger onward without failing the operation.
+TEST_F(FailpointTest, SleepDelaysButSucceeds) {
+  Failpoints::Arm("test.site", Failpoints::Action::kSleep, 2,
+                  /*sleep_ms=*/20);
+  auto timed = [] {
+    auto start = std::chrono::steady_clock::now();
+    Status status = GuardedOperation();
+    return std::make_pair(status,
+                          std::chrono::steady_clock::now() - start);
+  };
+  auto [first, first_elapsed] = timed();
+  EXPECT_TRUE(first.ok());  // hit 1: before the trigger, no delay
+
+  auto [second, second_elapsed] = timed();
+  EXPECT_TRUE(second.ok());  // hit 2: stalled, not failed
+  EXPECT_GE(second_elapsed, std::chrono::milliseconds(20));
+
+  auto [third, third_elapsed] = timed();
+  EXPECT_TRUE(third.ok());  // hit 3: kSleep is persistent
+  EXPECT_GE(third_elapsed, std::chrono::milliseconds(20));
+}
+
+TEST_F(FailpointTest, SleepSpecParsing) {
+  EXPECT_TRUE(Failpoints::ArmFromSpec("test.site=sleep:15@2").ok());
+  auto start = std::chrono::steady_clock::now();
+  EXPECT_TRUE(GuardedOperation().ok());  // hit 1: no delay
+  EXPECT_TRUE(GuardedOperation().ok());  // hit 2: 15ms stall
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(15));
+  EXPECT_FALSE(Failpoints::ArmFromSpec("x=sleep:abc").ok());
+}
+
+// LDAPBOUND_FAILPOINT_AS lets a site inject a *specific* status (the
+// wal.*.enospc sites use it to simulate disk-full).
+Status GuardedDiskWrite() {
+  LDAPBOUND_FAILPOINT_AS("test.enospc",
+                         Status::DiskFull("no space left on device"));
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, InjectsSpecificStatus) {
+  EXPECT_TRUE(GuardedDiskWrite().ok());
+  Failpoints::Arm("test.enospc", Failpoints::Action::kError, 1);
+  Status status = GuardedDiskWrite();
+  EXPECT_EQ(status.code(), StatusCode::kDiskFull);
+  EXPECT_NE(status.message().find("no space"), std::string::npos);
+  EXPECT_TRUE(GuardedDiskWrite().ok());  // single-shot
 }
 
 }  // namespace

@@ -63,6 +63,24 @@ Result<int> MakeResult(bool ok) {
   return Status::NotFound("no int");
 }
 
+TEST(StatusTest, ResilienceCodesAndRetryability) {
+  // The load-shedding statuses (DESIGN.md §11): refused without side
+  // effects, so a later retry can succeed.
+  EXPECT_EQ(Status::Unavailable("ro").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Overloaded("full").code(), StatusCode::kOverloaded);
+  EXPECT_EQ(Status::DeadlineExceeded("late").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::DiskFull("enospc").code(), StatusCode::kDiskFull);
+
+  EXPECT_TRUE(Status::Unavailable("ro").retryable());
+  EXPECT_TRUE(Status::Overloaded("full").retryable());
+  EXPECT_TRUE(Status::DeadlineExceeded("late").retryable());
+  // Disk-full is NOT retryable: retrying cannot create free space.
+  EXPECT_FALSE(Status::DiskFull("enospc").retryable());
+  EXPECT_FALSE(Status::Internal("bug").retryable());
+  EXPECT_FALSE(Status::OK().retryable());
+}
+
 TEST(ResultTest, HoldsValue) {
   Result<int> r = MakeResult(true);
   ASSERT_TRUE(r.ok());

@@ -17,6 +17,15 @@ Only benchmarks present in BOTH files are compared (the smoke run
 usually executes a filtered subset), so renaming or adding benchmarks
 never breaks the gate by itself — but if the filter matches nothing in
 common, that is an error: an empty comparison must not pass silently.
+
+`--list` prints the comparable benchmark names found in a file (useful
+for building a --filter) instead of comparing:
+
+    tools/check_bench_regression.py --baseline BENCH_update.json --list
+
+A missing file, unreadable JSON, or a JSON document without the
+google-benchmark shape is reported as a one-line error (exit 2), never
+a traceback.
 """
 
 import argparse
@@ -25,12 +34,27 @@ import re
 import sys
 
 
+class ToolError(Exception):
+    """A user-facing input problem (bad path, bad JSON, bad shape)."""
+
+
 def load_throughputs(path):
     """name -> items_per_second for every aggregate-free benchmark."""
-    with open(path) as f:
-        doc = json.load(f)
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except OSError as e:
+        raise ToolError(f"cannot read {path}: {e.strerror or e}") from e
+    except json.JSONDecodeError as e:
+        raise ToolError(f"{path} is not valid JSON: {e}") from e
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        raise ToolError(f"{path} has no 'benchmarks' key — not a "
+                        "google-benchmark JSON report?")
     out = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in doc["benchmarks"]:
+        if not isinstance(bench, dict) or "name" not in bench:
+            raise ToolError(f"{path}: malformed benchmark entry "
+                            f"(no 'name'): {bench!r}")
         if bench.get("run_type") == "aggregate":
             continue
         ips = bench.get("items_per_second")
@@ -39,21 +63,24 @@ def load_throughputs(path):
     return out
 
 
-def main():
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--baseline", required=True,
-                        help="committed benchmark JSON (the reference)")
-    parser.add_argument("--candidate", required=True,
-                        help="fresh benchmark JSON to check")
-    parser.add_argument("--filter", default=".*",
-                        help="regex of benchmark names to compare")
-    parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed fractional drop (0.15 = 15%%)")
-    args = parser.parse_args()
-
+def run(args):
     baseline = load_throughputs(args.baseline)
+
+    if args.list:
+        for name in sorted(baseline):
+            print(name)
+        if args.candidate:
+            for name in sorted(load_throughputs(args.candidate)):
+                print(name)
+        return 0
+
+    if not args.candidate:
+        raise ToolError("--candidate is required (or use --list)")
     candidate = load_throughputs(args.candidate)
-    pattern = re.compile(args.filter)
+    try:
+        pattern = re.compile(args.filter)
+    except re.error as e:
+        raise ToolError(f"bad --filter regex {args.filter!r}: {e}") from e
 
     common = sorted(name for name in baseline
                     if name in candidate and pattern.search(name))
@@ -81,6 +108,26 @@ def main():
     print(f"all {len(common)} benchmarks within {args.tolerance:.0%} "
           "of baseline")
     return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", required=True,
+                        help="committed benchmark JSON (the reference)")
+    parser.add_argument("--candidate",
+                        help="fresh benchmark JSON to check")
+    parser.add_argument("--filter", default=".*",
+                        help="regex of benchmark names to compare")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="allowed fractional drop (0.15 = 15%%)")
+    parser.add_argument("--list", action="store_true",
+                        help="print comparable benchmark names and exit")
+    args = parser.parse_args()
+    try:
+        return run(args)
+    except ToolError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -91,6 +91,20 @@ int Usage() {
                "  --group-commit-hold-us <us>\n"
                "                       serve: leader hold window for group "
                "commit (default 200)\n"
+               "  --max-queue-depth <n>\n"
+               "                       serve: shed writes (retryable "
+               "Overloaded) while the\n"
+               "                       group-commit queue holds n commits "
+               "(default 0 = unbounded)\n"
+               "  --default-deadline-ms <ms>\n"
+               "                       serve: cancellation budget for ops "
+               "without an explicit\n"
+               "                       deadline (default 0 = none)\n"
+               "  --recovery-backoff-ms <ms>\n"
+               "                       serve: auto-recover from WAL faults, "
+               "probing with\n"
+               "                       exponential backoff from ms (default 0 "
+               "= stay read-only)\n"
                "  --trace-out <file>   write Chrome trace JSON of the run\n");
   return 2;
 }
@@ -370,6 +384,9 @@ struct ServeOptions {
   std::string wal_dir;          // durable commits ("" = no WAL)
   size_t group_commit_batch = 1;     // WAL group commit: max commits/fsync
   uint32_t group_commit_hold_us = 200;  // leader hold window
+  size_t max_queue_depth = 0;        // admission bound (0 = unbounded)
+  uint64_t default_deadline_ms = 0;  // default op deadline (0 = none)
+  uint64_t recovery_backoff_ms = 0;  // auto-recovery probe (0 = off)
 };
 
 // Loads the data into a schema-guarded server, starts the monitor
@@ -422,6 +439,22 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
   // Lock-free reads for the serving loop: searches and monitor scrapes
   // pin MVCC snapshots instead of racing the writer (DESIGN.md §10).
   server->EnableMvcc();
+
+  // Resilience layer (DESIGN.md §11): queue-bounded admission, default
+  // deadlines, and — when a backoff is given — the WAL recovery probe.
+  // After EnableWal so the admission controller sees the commit queue;
+  // the probe thread pins the server's address, as Start below does too.
+  if (options.max_queue_depth > 0 || options.default_deadline_ms > 0 ||
+      options.recovery_backoff_ms > 0) {
+    DirectoryServer::ResilienceOptions resilience;
+    resilience.admission.max_queue_depth = options.max_queue_depth;
+    resilience.admission.default_deadline_ms = options.default_deadline_ms;
+    if (options.recovery_backoff_ms > 0) {
+      resilience.auto_recover = true;
+      resilience.recovery_backoff.initial_ms = options.recovery_backoff_ms;
+    }
+    server->EnableResilience(resilience);
+  }
 
   MonitorOptions monitor_options;
   monitor_options.port = static_cast<uint16_t>(options.monitor_port);
@@ -592,6 +625,20 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       flags.serve.group_commit_hold_us =
           static_cast<uint32_t>(std::atoi(v));
+    } else if (arg == "--max-queue-depth") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.max_queue_depth = static_cast<size_t>(std::atoi(v));
+    } else if (arg == "--default-deadline-ms") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.default_deadline_ms =
+          static_cast<uint64_t>(std::atoll(v));
+    } else if (arg == "--recovery-backoff-ms") {
+      const char* v = next_value(i);
+      if (v == nullptr) return Usage();
+      flags.serve.recovery_backoff_ms =
+          static_cast<uint64_t>(std::atoll(v));
     } else if (arg == "--trace-out") {
       const char* v = next_value(i);
       if (v == nullptr) return Usage();

@@ -27,12 +27,12 @@ run_asan() {
 }
 
 run_tsan() {
-  echo "=== TSan: concurrency-labeled tests ==="
+  echo "=== TSan: concurrency- and chaos-labeled tests ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DLDAPBOUND_TSAN=ON >/dev/null
   cmake --build build-tsan -j "${jobs}"
   TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-    ctest --test-dir build-tsan --output-on-failure -L concurrency
+    ctest --test-dir build-tsan --output-on-failure -L "concurrency|chaos"
 }
 
 case "${mode}" in
