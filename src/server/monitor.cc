@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "server/directory_server.h"
+#include "server/net_server.h"
 #include "util/json.h"
 #include "util/metrics.h"
 
@@ -34,33 +35,52 @@ void AppendBoolField(std::string& out, const char* key, bool value,
   out += value ? "\":true" : "\":false";
 }
 
+/// `include_body` = false renders the HEAD variant: identical status
+/// line and headers (Content-Length still describes the body a GET
+/// would carry), no body bytes.
 std::string HttpResponse(int code, const char* reason,
-                         const char* content_type, const std::string& body) {
+                         const char* content_type, const std::string& body,
+                         bool include_body = true) {
   char head[160];
   std::snprintf(head, sizeof(head),
                 "HTTP/1.1 %d %s\r\nContent-Type: %s\r\n"
                 "Content-Length: %zu\r\nConnection: close\r\n\r\n",
                 code, reason, content_type, body.size());
-  return head + body;
+  return include_body ? head + body : std::string(head);
 }
 
 void WriteAll(int fd, const std::string& data) {
   size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    // MSG_NOSIGNAL: a scraper that closes mid-response must surface as
+    // EPIPE here, not as a process-killing SIGPIPE (nothing in the
+    // library installs a handler, and a server must not die because a
+    // client hung up).
+    ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
-      return;  // peer went away; a scrape retry is the recovery path
+      return;  // peer went away (EPIPE/ECONNRESET); a retry re-scrapes
     }
     off += static_cast<size_t>(n);
   }
 }
 
-/// Extracts the request path from "GET /path HTTP/1.1..."; empty on
-/// anything that is not a GET.
-std::string ParseRequestPath(const std::string& request) {
-  if (request.rfind("GET ", 0) != 0) return "";
-  size_t start = 4;
+/// Extracts the request path from "GET /path HTTP/1.1..." or the HEAD
+/// equivalent (health probes commonly send HEAD); empty on any other
+/// method. `*is_head` (when non-null) reports which method it was.
+std::string ParseRequestPath(const std::string& request,
+                             bool* is_head = nullptr) {
+  size_t start;
+  if (request.rfind("GET ", 0) == 0) {
+    start = 4;
+    if (is_head != nullptr) *is_head = false;
+  } else if (request.rfind("HEAD ", 0) == 0) {
+    start = 5;
+    if (is_head != nullptr) *is_head = true;
+  } else {
+    return "";
+  }
   size_t end = request.find(' ', start);
   if (end == std::string::npos) return "";
   std::string path = request.substr(start, end - start);
@@ -172,27 +192,31 @@ void MonitorServer::HandleConnection(int fd) {
     }
     request.append(buf, static_cast<size_t>(n));
   }
-  std::string path = ParseRequestPath(request);
+  bool is_head = false;
+  std::string path = ParseRequestPath(request, &is_head);
+  auto respond = [&](int code, const char* reason, const char* type,
+                     const std::string& body) {
+    WriteAll(fd, HttpResponse(code, reason, type, body,
+                              /*include_body=*/!is_head));
+  };
   if (path == "/metrics") {
-    WriteAll(fd, HttpResponse(200, "OK", "text/plain; version=0.0.4",
-                              MetricRegistry::Default().RenderPrometheus()));
+    respond(200, "OK", "text/plain; version=0.0.4",
+            MetricRegistry::Default().RenderPrometheus());
   } else if (path == "/healthz") {
     int code = 200;
     std::string body = RenderHealthz(&code);
-    WriteAll(fd, HttpResponse(code, code == 200 ? "OK" : "Service Unavailable",
-                              "text/plain", body));
+    respond(code, code == 200 ? "OK" : "Service Unavailable", "text/plain",
+            body);
   } else if (path == "/statusz") {
-    WriteAll(fd,
-             HttpResponse(200, "OK", "application/json", RenderStatusz()));
+    respond(200, "OK", "application/json", RenderStatusz());
   } else if (path == "/slowz") {
-    WriteAll(fd, HttpResponse(200, "OK", "application/json", RenderSlowz()));
+    respond(200, "OK", "application/json", RenderSlowz());
   } else if (path.empty()) {
-    WriteAll(fd, HttpResponse(400, "Bad Request", "text/plain",
-                              "only GET is served here\n"));
+    respond(400, "Bad Request", "text/plain",
+            "only GET and HEAD are served here\n");
   } else {
-    WriteAll(fd, HttpResponse(
-                     404, "Not Found", "text/plain",
-                     "endpoints: /metrics /healthz /statusz /slowz\n"));
+    respond(404, "Not Found", "text/plain",
+            "endpoints: /metrics /healthz /statusz /slowz\n");
   }
 }
 
@@ -303,6 +327,25 @@ std::string MonitorServer::RenderStatusz() const {
       AppendU64Field(out, "version", snap->version);
       AppendU64Field(out, "num_alive", snap->num_alive);
     }
+  }
+  out += "}";
+
+  out += ",\"net\":{";
+  const NetServer* net = net_.load(std::memory_order_acquire);
+  AppendBoolField(out, "enabled", net != nullptr, /*first=*/true);
+  if (net != nullptr) {
+    NetServer::Stats wire = net->stats();
+    AppendU64Field(out, "port", net->port());
+    AppendU64Field(out, "connections_accepted", wire.connections_accepted);
+    AppendU64Field(out, "connections_active", wire.connections_active);
+    AppendU64Field(out, "connections_shed", wire.connections_shed);
+    AppendU64Field(out, "ops_shed", wire.ops_shed);
+    AppendU64Field(out, "ops_ok", wire.ops_ok);
+    AppendU64Field(out, "ops_rejected", wire.ops_rejected);
+    AppendU64Field(out, "frames_in", wire.frames_in);
+    AppendU64Field(out, "frames_out", wire.frames_out);
+    AppendU64Field(out, "protocol_errors", wire.protocol_errors);
+    AppendU64Field(out, "idle_closed", wire.idle_closed);
   }
   out += "}";
 

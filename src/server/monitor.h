@@ -1,6 +1,7 @@
 #ifndef LDAPBOUND_SERVER_MONITOR_H_
 #define LDAPBOUND_SERVER_MONITOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -11,6 +12,7 @@
 namespace ldapbound {
 
 class DirectoryServer;
+class NetServer;
 
 /// Where the monitor listens. The default binds the loopback interface on
 /// an ephemeral port (port 0); read the bound port back via port().
@@ -59,6 +61,13 @@ class MonitorServer {
   /// The bound port (the actual one when options.port was 0).
   uint16_t port() const { return port_; }
 
+  /// Attaches (or detaches, with nullptr) the wire front end so /statusz
+  /// can report its connection and shed counters. The net server must
+  /// stay alive until detached or until this monitor has stopped.
+  void SetNetServer(const NetServer* net) {
+    net_.store(net, std::memory_order_release);
+  }
+
   /// The response body one endpoint would serve right now (no socket
   /// involved; tests and the CLI's `status` command use this).
   std::string RenderStatusz() const;
@@ -73,6 +82,7 @@ class MonitorServer {
   void HandleConnection(int fd);
 
   const DirectoryServer* server_;
+  std::atomic<const NetServer*> net_{nullptr};
   int listen_fd_;
   uint16_t port_;
   uint32_t io_timeout_ms_;

@@ -1,0 +1,765 @@
+#include "server/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "core/legality_checker.h"
+#include "ldap/dn.h"
+#include "ldap/search.h"
+#include "server/directory_server.h"
+#include "util/metrics.h"
+#include "util/string_util.h"
+
+namespace ldapbound {
+
+namespace {
+
+/// How often the reactor wakes with no events: idle sweeping and drain
+/// progress both ride on this.
+constexpr int kEpollTimeoutMs = 250;
+
+/// How long Stop() lets pending responses flush before force-closing.
+constexpr auto kDrainGrace = std::chrono::milliseconds(500);
+
+Status Errno(const char* what) {
+  return Status::Internal(std::string("net: ") + what + ": " +
+                          std::strerror(errno));
+}
+
+/// The pre-encoded frame a connection refused at the door receives.
+const std::string& ShedFrame() {
+  static const std::string* frame = [] {
+    WireResponse shed;
+    shed.op = WireOp::kShed;
+    shed.request_id = 0;
+    shed.code = WireCode::kOverloaded;
+    shed.retryable = true;
+    shed.message = "connection refused: at the connection limit or "
+                   "draining; retry with backoff";
+    return new std::string(EncodeResponseFrame(shed));
+  }();
+  return *frame;
+}
+
+}  // namespace
+
+/// Own atomics (for stats()) mirrored into ldapbound_net_* metric
+/// families so the monitor's /metrics sees the serving path.
+struct NetServer::Counters {
+  Counters()
+      : m_accepted(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_connections_total",
+            "Wire connections accepted")),
+        m_shed_conns(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_connections_shed_total",
+            "Wire connections refused at the connection limit or while "
+            "draining")),
+        m_shed_ops(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_ops_shed_total",
+            "Wire requests shed at the dispatch-queue bound")),
+        m_frames_in(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_frames_in_total", "Wire request frames parsed")),
+        m_frames_out(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_frames_out_total",
+            "Wire response frames queued")),
+        m_protocol_errors(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_protocol_errors_total",
+            "Malformed wire frames (connection closed)")),
+        m_idle_closed(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_idle_closed_total",
+            "Wire connections reaped by the idle timeout")),
+        m_active(MetricRegistry::Default().GetGauge(
+            "ldapbound_net_connections_active",
+            "Currently open wire connections")) {}
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> active{0};
+  std::atomic<uint64_t> shed_conns{0};
+  std::atomic<uint64_t> shed_ops{0};
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> frames_out{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> idle_closed{0};
+  std::atomic<uint64_t> ops_ok{0};
+  std::atomic<uint64_t> ops_rejected{0};
+
+  Counter& m_accepted;
+  Counter& m_shed_conns;
+  Counter& m_shed_ops;
+  Counter& m_frames_in;
+  Counter& m_frames_out;
+  Counter& m_protocol_errors;
+  Counter& m_idle_closed;
+  Gauge& m_active;
+};
+
+Result<std::unique_ptr<NetServer>> NetServer::Start(
+    DirectoryServer* server, const NetServerOptions& options) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return Errno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("net: bad bind address '" +
+                                   options.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status status = Errno("bind");
+    ::close(fd);
+    return status;
+  }
+  if (::listen(fd, 1024) != 0) {
+    Status status = Errno("listen");
+    ::close(fd);
+    return status;
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    Status status = Errno("getsockname");
+    ::close(fd);
+    return status;
+  }
+
+  // The read side of the serving path is snapshot-only; make sure the
+  // server publishes them (idempotent, must happen before traffic).
+  server->EnableMvcc();
+
+  std::unique_ptr<NetServer> net(
+      new NetServer(server, options, fd, ntohs(bound.sin_port)));
+  net->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  net->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  if (net->epoll_fd_ < 0 || net->wake_fd_ < 0) {
+    return Errno("epoll/eventfd");  // fds closed by the destructor
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(net->epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0 ) {
+    return Errno("epoll_ctl(listen)");
+  }
+  epoll_event wake{};
+  wake.events = EPOLLIN;
+  wake.data.fd = net->wake_fd_;
+  if (::epoll_ctl(net->epoll_fd_, EPOLL_CTL_ADD, net->wake_fd_, &wake) != 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+
+  size_t workers = options.worker_threads == 0 ? 1 : options.worker_threads;
+  for (size_t i = 0; i < workers; ++i) {
+    net->workers_.emplace_back([raw = net.get()]() { raw->WorkerLoop(); });
+  }
+  net->reactor_ = std::thread([raw = net.get()]() { raw->ReactorLoop(); });
+  return net;
+}
+
+NetServer::NetServer(DirectoryServer* server, const NetServerOptions& options,
+                     int listen_fd, uint16_t port)
+    : server_(server),
+      options_(options),
+      listen_fd_(listen_fd),
+      port_(port),
+      counters_(std::make_unique<Counters>()) {}
+
+NetServer::~NetServer() {
+  Stop();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  ::close(listen_fd_);
+}
+
+void NetServer::Stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true, std::memory_order_release);
+  queue_cv_.notify_all();
+  // Workers drain what is queued, post their completions, and exit;
+  // joining them first means the reactor's final drain sees everything.
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+  uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+  if (reactor_.joinable()) reactor_.join();
+}
+
+NetServer::Stats NetServer::stats() const {
+  Stats s;
+  s.connections_accepted =
+      counters_->accepted.load(std::memory_order_relaxed);
+  s.connections_active = counters_->active.load(std::memory_order_relaxed);
+  s.connections_shed = counters_->shed_conns.load(std::memory_order_relaxed);
+  s.ops_shed = counters_->shed_ops.load(std::memory_order_relaxed);
+  s.frames_in = counters_->frames_in.load(std::memory_order_relaxed);
+  s.frames_out = counters_->frames_out.load(std::memory_order_relaxed);
+  s.protocol_errors =
+      counters_->protocol_errors.load(std::memory_order_relaxed);
+  s.idle_closed = counters_->idle_closed.load(std::memory_order_relaxed);
+  s.ops_ok = counters_->ops_ok.load(std::memory_order_relaxed);
+  s.ops_rejected = counters_->ops_rejected.load(std::memory_order_relaxed);
+  return s;
+}
+
+void NetServer::ReactorLoop() {
+  std::chrono::steady_clock::time_point drain_start{};
+  bool draining_out = false;
+  for (;;) {
+    epoll_event events[128];
+    int n = ::epoll_wait(epoll_fd_, events, 128, kEpollTimeoutMs);
+    if (n < 0 && errno != EINTR) return;  // epoll fd died: nothing to do
+
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained;
+        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // closed earlier this batch
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
+          (events[i].events & EPOLLIN) == 0) {
+        CloseConn(fd);
+        continue;
+      }
+      if ((events[i].events & EPOLLOUT) != 0) {
+        if (!FlushWrites(fd, it->second)) {
+          CloseConn(fd);
+          continue;
+        }
+        // FlushWrites may close a finished connection; re-find.
+        it = conns_.find(fd);
+        if (it == conns_.end()) continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) {
+        HandleReadable(fd, it->second);
+      }
+    }
+
+    DrainCompletions();
+    SweepIdle();
+
+    if (stopping_.load(std::memory_order_acquire)) {
+      // Workers are joined before the reactor is woken for shutdown, so
+      // every completion has been posted by now; let queued responses
+      // flush within the grace period, then force-close.
+      if (!draining_out) {
+        draining_out = true;
+        drain_start = std::chrono::steady_clock::now();
+      }
+      // A conn still owes bytes, or still owes a response a worker has
+      // not posted yet (Stop() joins workers before waking the reactor,
+      // but the reactor can see stopping_ on its own timeout first).
+      bool pending = false;
+      for (auto& [fd, conn] : conns_) {
+        if (conn.out_off < conn.out.size() || conn.inflight > 0) {
+          pending = true;
+        }
+      }
+      if (!pending ||
+          std::chrono::steady_clock::now() - drain_start > kDrainGrace) {
+        std::vector<int> fds;
+        fds.reserve(conns_.size());
+        for (auto& [fd, conn] : conns_) fds.push_back(fd);
+        for (int fd : fds) CloseConn(fd);
+        return;
+      }
+    }
+  }
+}
+
+void NetServer::HandleAccept() {
+  for (;;) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                       SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN, or the listen socket is gone
+    }
+    bool draining =
+        stopping_.load(std::memory_order_acquire) ||
+        server_->health_state() == HealthState::kDraining;
+    if (draining || conns_.size() >= options_.max_connections) {
+      // Shed at the door: a retryable frame, then close. Best-effort —
+      // the client may already be gone, which is fine.
+      (void)!::send(fd, ShedFrame().data(), ShedFrame().size(),
+                    MSG_NOSIGNAL | MSG_DONTWAIT);
+      ::close(fd);
+      counters_->shed_conns.fetch_add(1, std::memory_order_relaxed);
+      counters_->m_shed_conns.Increment();
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.gen = next_gen_++;
+    conn.last_activity = std::chrono::steady_clock::now();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, std::move(conn));
+    counters_->accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_->active.store(conns_.size(), std::memory_order_relaxed);
+    counters_->m_accepted.Increment();
+    counters_->m_active.Set(static_cast<int64_t>(conns_.size()));
+  }
+}
+
+void NetServer::HandleReadable(int fd, Conn& conn) {
+  char buf[16 * 1024];
+  for (;;) {
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      conn.in.append(buf, static_cast<size_t>(n));
+      conn.last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConn(fd);  // ECONNRESET and friends
+      return;
+    }
+    // EOF: the peer half-closed its send side. Responses still owed (a
+    // client may legitimately shutdown(SHUT_WR) after its last request
+    // and read the answers) keep the connection; otherwise close now.
+    conn.read_closed = true;
+    break;
+  }
+  if (!ParseAndDispatch(fd, conn)) {
+    // Protocol error: the error frame is queued; stop reading, flush.
+    conn.read_closed = true;
+  }
+  if (!FlushWrites(fd, conn)) {
+    CloseConn(fd);
+    return;
+  }
+  // FlushWrites closes a connection that finished (closing, or EOF with
+  // nothing owed); only a still-open one needs its epoll mask refreshed.
+  if (conns_.find(fd) != conns_.end()) UpdateEpoll(fd, conn);
+}
+
+bool NetServer::ParseAndDispatch(int fd, Conn& conn) {
+  size_t consumed_total = 0;
+  bool ok = true;
+  for (;;) {
+    WireRequest request;
+    size_t consumed = 0;
+    std::string_view rest =
+        std::string_view(conn.in).substr(consumed_total);
+    Result<bool> extracted =
+        ExtractFrame(rest, options_.max_frame_payload, &request, &consumed);
+    if (!extracted.ok()) {
+      counters_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      counters_->m_protocol_errors.Increment();
+      WireResponse error;
+      error.op = WireOp::kShed;
+      error.request_id = 0;
+      error.code = WireCode::kProtocolError;
+      error.message = extracted.status().message();
+      QueueResponse(fd, conn, error);
+      conn.closing = true;
+      ok = false;
+      break;
+    }
+    if (!*extracted) break;  // partial frame: wait for more bytes
+    counters_->frames_in.fetch_add(1, std::memory_order_relaxed);
+    counters_->m_frames_in.Increment();
+
+    if (request.op == WireOp::kPing) {
+      WireResponse pong;
+      pong.op = WireOp::kPing;
+      pong.request_id = request.request_id;
+      QueueResponse(fd, conn, pong);
+      counters_->ops_ok.fetch_add(1, std::memory_order_relaxed);
+    } else if (stopping_.load(std::memory_order_acquire)) {
+      WireResponse unavailable;
+      unavailable.op = request.op;
+      unavailable.request_id = request.request_id;
+      unavailable.code = WireCode::kUnavailable;
+      unavailable.retryable = true;
+      unavailable.message = "server is draining";
+      QueueResponse(fd, conn, unavailable);
+    } else {
+      bool shed = false;
+      {
+        std::lock_guard<std::mutex> lock(queue_mu_);
+        if (options_.max_pending_ops > 0 &&
+            queue_.size() >= options_.max_pending_ops) {
+          shed = true;
+        } else {
+          WorkItem item;
+          item.fd = fd;
+          item.gen = conn.gen;
+          item.op = request.op;
+          item.request_id = request.request_id;
+          item.body = std::string(request.body);
+          queue_.push_back(std::move(item));
+          conn.inflight++;
+        }
+      }
+      if (shed) {
+        counters_->shed_ops.fetch_add(1, std::memory_order_relaxed);
+        counters_->m_shed_ops.Increment();
+        WireResponse overloaded;
+        overloaded.op = request.op;
+        overloaded.request_id = request.request_id;
+        overloaded.code = WireCode::kOverloaded;
+        overloaded.retryable = true;
+        overloaded.message =
+            "shed at the wire: dispatch queue is full; retry with backoff";
+        QueueResponse(fd, conn, overloaded);
+      } else {
+        queue_cv_.notify_one();
+      }
+    }
+    consumed_total += consumed;
+  }
+  if (consumed_total > 0) conn.in.erase(0, consumed_total);
+  return ok;
+}
+
+void NetServer::QueueResponse(int fd, Conn& conn,
+                              const WireResponse& response) {
+  // Append-only: the caller flushes once after the whole parse batch.
+  // Flushing here could close (and erase) the Conn mid-iteration.
+  (void)fd;
+  conn.out += EncodeResponseFrame(response);
+  counters_->frames_out.fetch_add(1, std::memory_order_relaxed);
+  counters_->m_frames_out.Increment();
+}
+
+bool NetServer::FlushWrites(int fd, Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    ssize_t n = ::send(fd, conn.out.data() + conn.out_off,
+                       conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;  // EPIPE / ECONNRESET: the peer is gone
+    }
+    conn.out_off += static_cast<size_t>(n);
+    conn.last_activity = std::chrono::steady_clock::now();
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  if (conn.closing || (conn.read_closed && conn.inflight == 0)) {
+    CloseConn(fd);
+    return true;  // closed cleanly, not an error; caller must re-find
+  }
+  return true;
+}
+
+void NetServer::CloseConn(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+  counters_->active.store(conns_.size(), std::memory_order_relaxed);
+  counters_->m_active.Set(static_cast<int64_t>(conns_.size()));
+}
+
+void NetServer::SweepIdle() {
+  if (options_.idle_timeout_ms == 0) return;
+  auto now = std::chrono::steady_clock::now();
+  auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+  std::vector<int> idle;
+  for (auto& [fd, conn] : conns_) {
+    if (conn.inflight == 0 && now - conn.last_activity > limit) {
+      idle.push_back(fd);
+    }
+  }
+  for (int fd : idle) {
+    counters_->idle_closed.fetch_add(1, std::memory_order_relaxed);
+    counters_->m_idle_closed.Increment();
+    CloseConn(fd);
+  }
+}
+
+void NetServer::DrainCompletions() {
+  std::vector<Completion> batch;
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    batch.swap(completions_);
+  }
+  for (Completion& completion : batch) {
+    auto it = conns_.find(completion.fd);
+    // The fd may have been closed and reused since the request was
+    // dispatched; the generation check keeps a stale response from
+    // reaching the wrong client.
+    if (it == conns_.end() || it->second.gen != completion.gen) continue;
+    Conn& conn = it->second;
+    conn.inflight--;
+    conn.out += completion.bytes;
+    counters_->frames_out.fetch_add(1, std::memory_order_relaxed);
+    counters_->m_frames_out.Increment();
+    if (!FlushWrites(completion.fd, conn)) {
+      CloseConn(completion.fd);
+      continue;
+    }
+    if (conns_.find(completion.fd) != conns_.end()) {
+      UpdateEpoll(completion.fd, conn);
+    }
+  }
+}
+
+void NetServer::UpdateEpoll(int fd, Conn& conn) {
+  epoll_event ev{};
+  ev.events = 0;
+  if (!conn.read_closed && !conn.closing) ev.events |= EPOLLIN;
+  if (conn.out_off < conn.out.size()) ev.events |= EPOLLOUT;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void NetServer::WorkerLoop() {
+  for (;;) {
+    WorkItem item;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [this] {
+        return !queue_.empty() || stopping_.load(std::memory_order_acquire);
+      });
+      if (queue_.empty()) return;  // stopping and drained
+      item = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    WireResponse response = Execute(item);
+    if (response.ok()) {
+      counters_->ops_ok.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      counters_->ops_rejected.fetch_add(1, std::memory_order_relaxed);
+    }
+    Completion completion;
+    completion.fd = item.fd;
+    completion.gen = item.gen;
+    completion.bytes = EncodeResponseFrame(response);
+    PostCompletion(std::move(completion));
+  }
+}
+
+void NetServer::PostCompletion(Completion completion) {
+  {
+    std::lock_guard<std::mutex> lock(completions_mu_);
+    completions_.push_back(std::move(completion));
+  }
+  uint64_t one = 1;
+  (void)!::write(wake_fd_, &one, sizeof(one));
+}
+
+WireResponse NetServer::Execute(const WorkItem& item) {
+  WireResponse response;
+  response.op = item.op;
+  response.request_id = item.request_id;
+
+  auto fail = [&](const Status& status) {
+    response.code = WireCodeFromStatus(status);
+    response.retryable = status.retryable();
+    response.message = status.ToString();
+    return response;
+  };
+
+  switch (item.op) {
+    case WireOp::kSearch: {
+      WireCursor cursor(item.body);
+      auto base = cursor.GetString();
+      if (!base.ok()) return fail(base.status());
+      auto scope = cursor.GetU8();
+      if (!scope.ok()) return fail(scope.status());
+      auto filter = cursor.GetString();
+      if (!filter.ok()) return fail(filter.status());
+      PinnedSnapshot snap = server_->PinSnapshot();
+      if (!snap) {
+        return fail(Status::Internal("MVCC snapshots are not enabled"));
+      }
+      auto hits =
+          SnapshotSearch(*snap, server_->vocab(), *base, *scope, *filter);
+      if (!hits.ok()) return fail(hits.status());
+      PutU32(response.body, static_cast<uint32_t>(hits->size()));
+      for (EntryId id : *hits) PutU64(response.body, id);
+      return response;
+    }
+    case WireOp::kAdd: {
+      WireCursor cursor(item.body);
+      auto dn_text = cursor.GetString();
+      if (!dn_text.ok()) return fail(dn_text.status());
+      auto dn = DistinguishedName::Parse(*dn_text);
+      if (!dn.ok()) return fail(dn.status());
+      auto nclasses = cursor.GetU16();
+      if (!nclasses.ok()) return fail(nclasses.status());
+      EntrySpec spec;
+      for (uint16_t i = 0; i < *nclasses; ++i) {
+        auto cls = cursor.GetString();
+        if (!cls.ok()) return fail(cls.status());
+        spec.classes.emplace_back(*cls);
+      }
+      auto nvalues = cursor.GetU16();
+      if (!nvalues.ok()) return fail(nvalues.status());
+      for (uint16_t i = 0; i < *nvalues; ++i) {
+        auto attr = cursor.GetString();
+        if (!attr.ok()) return fail(attr.status());
+        auto value = cursor.GetString();
+        if (!value.ok()) return fail(value.status());
+        spec.values.emplace_back(std::string(*attr), std::string(*value));
+      }
+      Status status = server_->Add(*dn, std::move(spec));
+      if (!status.ok()) return fail(status);
+      return response;
+    }
+    case WireOp::kDelete: {
+      WireCursor cursor(item.body);
+      auto dn_text = cursor.GetString();
+      if (!dn_text.ok()) return fail(dn_text.status());
+      auto dn = DistinguishedName::Parse(*dn_text);
+      if (!dn.ok()) return fail(dn.status());
+      Status status = server_->Delete(*dn);
+      if (!status.ok()) return fail(status);
+      return response;
+    }
+    case WireOp::kValidate: {
+      PinnedSnapshot snap = server_->PinSnapshot();
+      if (!snap) {
+        return fail(Status::Internal("MVCC snapshots are not enabled"));
+      }
+      LegalityChecker checker(server_->schema(),
+                              server_->check_options());
+      auto legal = checker.CheckStructureSnapshot(*snap);
+      if (!legal.ok()) return fail(legal.status());
+      PutU8(response.body, *legal ? 1 : 0);
+      PutU64(response.body, snap->num_alive);
+      PutU64(response.body, snap->version);
+      return response;
+    }
+    default:
+      return fail(Status::InvalidArgument(
+          "unknown wire op " +
+          std::to_string(static_cast<unsigned>(item.op))));
+  }
+}
+
+Result<std::vector<EntryId>> SnapshotSearch(const DirectorySnapshot& snapshot,
+                                            const Vocabulary& vocab,
+                                            std::string_view base_dn,
+                                            uint8_t scope,
+                                            std::string_view filter) {
+  if (scope > 2) {
+    return Status::InvalidArgument("search: bad scope " +
+                                   std::to_string(scope));
+  }
+  SearchScope search_scope = static_cast<SearchScope>(scope);
+
+  // Resolve the base: walk the RDN chain root-first through the
+  // snapshot's sibling-RDN index.
+  EntryId base = kInvalidEntryId;
+  if (!base_dn.empty()) {
+    LDAPBOUND_ASSIGN_OR_RETURN(DistinguishedName dn,
+                               DistinguishedName::Parse(base_dn));
+    const auto& rdns = dn.rdns();
+    for (size_t i = rdns.size(); i-- > 0;) {
+      base = snapshot.FindChildByRdn(base, rdns[i]);
+      if (base == kInvalidEntryId) {
+        return Status::NotFound("search base '" + std::string(base_dn) +
+                                "' does not exist");
+      }
+    }
+  } else if (search_scope == SearchScope::kBase) {
+    return Status::InvalidArgument(
+        "search: base scope needs a base DN");
+  }
+
+  // Scope predicate from the order-maintenance labels.
+  uint64_t base_label = 0;
+  uint64_t base_end = 0;
+  if (base != kInvalidEntryId) {
+    base_label = snapshot.index.labels.Get(base, 0);
+    base_end = snapshot.index.end_labels.Get(base, 0);
+  }
+  auto in_scope = [&](EntryId id) {
+    switch (search_scope) {
+      case SearchScope::kBase:
+        return id == base;
+      case SearchScope::kOneLevel:
+        return snapshot.parent(id) == base;
+      case SearchScope::kSubtree:
+      default: {
+        if (base == kInvalidEntryId) return true;
+        uint64_t label = snapshot.index.labels.Get(id, 0);
+        return label >= base_label && label < base_end;
+      }
+    }
+  };
+
+  // The filter, as a posting iteration. A name unknown to the schema or
+  // a value that does not parse as the attribute's type matches nothing
+  // (LDAP filter semantics), it is not an error; only a filter *shape*
+  // the snapshot cannot answer is rejected.
+  std::string_view f = StripWhitespace(filter);
+  if (!f.empty() && f.front() == '(' && f.back() == ')') {
+    f = f.substr(1, f.size() - 2);
+  }
+  std::vector<EntryId> hits;
+  auto collect = [&](EntryId id) {
+    if (snapshot.IsAlive(id) && in_scope(id)) hits.push_back(id);
+  };
+
+  if (f.empty() || EqualsIgnoreCase(f, "objectClass=*")) {
+    if (snapshot.alive != nullptr) snapshot.alive->ForEach(collect);
+    return hits;
+  }
+  size_t eq = f.find('=');
+  if (eq == std::string_view::npos || eq == 0) {
+    return Status::InvalidArgument(
+        "search: unsupported filter '" + std::string(filter) +
+        "' (the wire path answers \"\", \"(objectClass=C)\" and "
+        "\"(attr=value)\" filters)");
+  }
+  std::string_view attr = StripWhitespace(f.substr(0, eq));
+  std::string_view value = f.substr(eq + 1);
+  if (value == "*") {
+    return Status::InvalidArgument(
+        "search: presence filters need entry payloads, which snapshots "
+        "do not carry");
+  }
+  if (EqualsIgnoreCase(attr, "objectClass")) {
+    auto cls = vocab.FindClass(value);
+    if (!cls.ok()) return hits;  // unknown class: no entry has it
+    const EntrySet* members = snapshot.ClassSet(*cls);
+    if (members != nullptr) members->ForEach(collect);
+    return hits;
+  }
+  auto attr_id = vocab.FindAttribute(attr);
+  if (!attr_id.ok()) return hits;  // unknown attribute: matches nothing
+  auto parsed = Value::Parse(vocab.AttributeType(*attr_id), value);
+  if (!parsed.ok()) return hits;  // untypable value: matches nothing
+  const std::vector<EntryId>* posting =
+      snapshot.ValuePosting(*attr_id, *parsed);
+  if (posting != nullptr) {
+    for (EntryId id : *posting) collect(id);
+  }
+  return hits;
+}
+
+}  // namespace ldapbound

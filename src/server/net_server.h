@@ -1,0 +1,209 @@
+#ifndef LDAPBOUND_SERVER_NET_SERVER_H_
+#define LDAPBOUND_SERVER_NET_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "model/directory_snapshot.h"
+#include "server/wire.h"
+#include "util/result.h"
+
+namespace ldapbound {
+
+class DirectoryServer;
+
+/// Where and how the wire front end listens.
+struct NetServerOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
+
+  /// Accepted connections beyond this are shed at the door: a kShed
+  /// frame with a retryable kOverloaded code, then close. Protects the
+  /// reactor's fd budget the way admission control protects the commit
+  /// queue.
+  size_t max_connections = 4096;
+
+  /// Decoded requests waiting for a worker. When the dispatch queue is
+  /// at this bound a new request is answered kOverloaded (retryable)
+  /// immediately instead of queueing unboundedly behind a stalled commit
+  /// path. 0 = unbounded.
+  size_t max_pending_ops = 1024;
+
+  /// Threads executing requests against the DirectoryServer. Writes
+  /// block on WAL durability, so more than one keeps searches flowing
+  /// while a commit group holds its fsync.
+  size_t worker_threads = 2;
+
+  /// Connections with no traffic for this long are closed by the
+  /// reactor's sweep. 0 = never.
+  uint32_t idle_timeout_ms = 60000;
+
+  /// Per-frame payload cap (see wire.h); larger declared lengths are
+  /// protocol errors that close the connection.
+  size_t max_frame_payload = kMaxFramePayload;
+};
+
+/// Async wire-level front end for a DirectoryServer (DESIGN.md §12): one
+/// epoll reactor thread owns every socket — nonblocking accept,
+/// per-connection read/write buffers with partial-frame handling, idle
+/// reaping — and a small worker pool executes decoded requests so a
+/// commit blocked on fsync never stalls the event loop. All socket
+/// writes use send(MSG_NOSIGNAL): a client disconnecting mid-response is
+/// an EPIPE that closes that one connection, never a SIGPIPE that kills
+/// the process.
+///
+/// Overload and lifecycle semantics:
+///  - the connection limit and the dispatch-queue bound shed with
+///    retryable kOverloaded frames at the wire; per-op admission control
+///    (queue depth, deadlines, health) is the DirectoryServer's own and
+///    its verdicts are relayed with their retryable flag intact;
+///  - while the health state machine reports kDraining the reactor
+///    stops accepting new connections (existing ones keep flushing and
+///    reads keep serving — writes already get retryable kUnavailable
+///    from the server);
+///  - Stop() drains gracefully: no new connections, workers finish the
+///    queued requests, pending responses flush (bounded by a grace
+///    period), then everything closes.
+///
+/// Reads (search/validate) run against pinned MVCC snapshots, never the
+/// live directory — Start enables MVCC on the server (idempotent), and
+/// any number of workers may then read while writers commit.
+class NetServer {
+ public:
+  /// Binds, starts the reactor and worker threads. `server` must
+  /// outlive the returned NetServer and must not be moved afterwards.
+  static Result<std::unique_ptr<NetServer>> Start(
+      DirectoryServer* server, const NetServerOptions& options = {});
+
+  /// Graceful drain + shutdown; idempotent.
+  void Stop();
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// The bound port (the actual one when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  const NetServerOptions& options() const { return options_; }
+
+  /// Wire-level counters (mirrored as ldapbound_net_* metric families).
+  struct Stats {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_active = 0;
+    uint64_t connections_shed = 0;   ///< refused at the connection limit
+    uint64_t ops_shed = 0;           ///< refused at the dispatch bound
+    uint64_t frames_in = 0;
+    uint64_t frames_out = 0;
+    uint64_t protocol_errors = 0;
+    uint64_t idle_closed = 0;
+    uint64_t ops_ok = 0;
+    uint64_t ops_rejected = 0;       ///< executed but non-OK status
+  };
+  Stats stats() const;
+
+ private:
+  NetServer(DirectoryServer* server, const NetServerOptions& options,
+            int listen_fd, uint16_t port);
+
+  struct Conn {
+    uint64_t gen = 0;
+    std::string in;        ///< unparsed request bytes
+    std::string out;       ///< encoded responses not yet written
+    size_t out_off = 0;
+    uint32_t inflight = 0; ///< dispatched requests, response pending
+    bool read_closed = false;  ///< peer half-closed (EOF seen)
+    bool closing = false;      ///< close once out drains and inflight==0
+    std::chrono::steady_clock::time_point last_activity;
+  };
+
+  struct WorkItem {
+    int fd = -1;
+    uint64_t gen = 0;
+    WireOp op = WireOp::kPing;
+    uint64_t request_id = 0;
+    std::string body;
+  };
+
+  struct Completion {
+    int fd = -1;
+    uint64_t gen = 0;
+    std::string bytes;
+  };
+
+  void ReactorLoop();
+  void WorkerLoop();
+
+  void HandleAccept();
+  void HandleReadable(int fd, Conn& conn);
+  bool FlushWrites(int fd, Conn& conn);  ///< false = connection died
+  void CloseConn(int fd);
+  void SweepIdle();
+  void DrainCompletions();
+  void UpdateEpoll(int fd, Conn& conn);
+
+  /// Parses complete frames out of conn.in, dispatching each. Returns
+  /// false on protocol error (error response queued, conn marked
+  /// closing).
+  bool ParseAndDispatch(int fd, Conn& conn);
+
+  /// Queues `response` for `fd` (reactor thread only).
+  void QueueResponse(int fd, Conn& conn, const WireResponse& response);
+
+  /// Executes one request against the DirectoryServer (worker threads).
+  WireResponse Execute(const WorkItem& item);
+
+  void PostCompletion(Completion completion);
+
+  DirectoryServer* server_;
+  const NetServerOptions options_;
+  int listen_fd_;
+  uint16_t port_;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd: completions posted / stop requested
+
+  std::thread reactor_;
+  std::vector<std::thread> workers_;
+
+  std::unordered_map<int, Conn> conns_;
+  uint64_t next_gen_ = 1;
+
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::deque<WorkItem> queue_;
+
+  std::mutex completions_mu_;
+  std::vector<Completion> completions_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+
+  struct Counters;
+  std::unique_ptr<Counters> counters_;
+};
+
+/// Filtered, scoped search against a pinned MVCC snapshot — the wire
+/// kSearch implementation, exposed for tests. Supports the filters a
+/// snapshot can answer from postings alone: "" (match everything),
+/// "(objectClass=C)" (class membership) and "(attr=value)" (equality);
+/// anything else is kInvalidArgument. `base_dn` "" = the whole forest
+/// (kSubtree/kOneLevel only). Returns matching alive entry ids,
+/// ascending.
+Result<std::vector<EntryId>> SnapshotSearch(const DirectorySnapshot& snapshot,
+                                            const Vocabulary& vocab,
+                                            std::string_view base_dn,
+                                            uint8_t scope,
+                                            std::string_view filter);
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SERVER_NET_SERVER_H_

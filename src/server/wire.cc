@@ -1,0 +1,242 @@
+#include "server/wire.h"
+
+#include <cstring>
+
+namespace ldapbound {
+
+namespace {
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("wire: truncated ") + what);
+}
+
+}  // namespace
+
+WireCode WireCodeFromStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireCode::kOk;
+    case StatusCode::kInvalidArgument:
+      return WireCode::kInvalidArgument;
+    case StatusCode::kNotFound:
+      return WireCode::kNotFound;
+    case StatusCode::kAlreadyExists:
+      return WireCode::kAlreadyExists;
+    case StatusCode::kIllegal:
+      return WireCode::kIllegal;
+    case StatusCode::kUnavailable:
+      return WireCode::kUnavailable;
+    case StatusCode::kOverloaded:
+      return WireCode::kOverloaded;
+    case StatusCode::kDeadlineExceeded:
+      return WireCode::kDeadlineExceeded;
+    // The remaining in-process codes (FailedPrecondition, OutOfRange,
+    // Inconsistent, Internal, DiskFull) have no client-actionable
+    // distinction on the wire.
+    default:
+      return WireCode::kInternal;
+  }
+}
+
+void PutU8(std::string& out, uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string& out, uint16_t v) {
+  PutU8(out, static_cast<uint8_t>(v));
+  PutU8(out, static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutString(std::string& out, std::string_view s) {
+  PutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+Result<uint8_t> WireCursor::GetU8() {
+  if (remaining() < 1) return Truncated("u8");
+  return static_cast<uint8_t>(data_[pos_++]);
+}
+
+Result<uint16_t> WireCursor::GetU16() {
+  if (remaining() < 2) return Truncated("u16");
+  uint16_t v = static_cast<uint16_t>(
+      static_cast<uint8_t>(data_[pos_]) |
+      static_cast<uint16_t>(static_cast<uint8_t>(data_[pos_ + 1])) << 8);
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> WireCursor::GetU32() {
+  if (remaining() < 4) return Truncated("u32");
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data_[pos_ + i]);
+  }
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> WireCursor::GetU64() {
+  if (remaining() < 8) return Truncated("u64");
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(data_[pos_ + i]);
+  }
+  pos_ += 8;
+  return v;
+}
+
+Result<std::string_view> WireCursor::GetString() {
+  LDAPBOUND_ASSIGN_OR_RETURN(uint32_t len, GetU32());
+  if (remaining() < len) return Truncated("string");
+  std::string_view s = data_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+std::string EncodeFrame(WireOp op, uint64_t request_id,
+                        std::string_view body) {
+  std::string out;
+  out.reserve(4 + 1 + 8 + body.size());
+  PutU32(out, static_cast<uint32_t>(1 + 8 + body.size()));
+  PutU8(out, static_cast<uint8_t>(op));
+  PutU64(out, request_id);
+  out.append(body.data(), body.size());
+  return out;
+}
+
+std::string EncodePingRequest(uint64_t request_id) {
+  return EncodeFrame(WireOp::kPing, request_id, "");
+}
+
+std::string EncodeSearchRequest(uint64_t request_id, std::string_view base_dn,
+                                uint8_t scope, std::string_view filter) {
+  std::string body;
+  PutString(body, base_dn);
+  PutU8(body, scope);
+  PutString(body, filter);
+  return EncodeFrame(WireOp::kSearch, request_id, body);
+}
+
+std::string EncodeAddRequest(
+    uint64_t request_id, std::string_view dn,
+    const std::vector<std::string>& classes,
+    const std::vector<std::pair<std::string, std::string>>& values) {
+  std::string body;
+  PutString(body, dn);
+  PutU16(body, static_cast<uint16_t>(classes.size()));
+  for (const std::string& c : classes) PutString(body, c);
+  PutU16(body, static_cast<uint16_t>(values.size()));
+  for (const auto& [attr, value] : values) {
+    PutString(body, attr);
+    PutString(body, value);
+  }
+  return EncodeFrame(WireOp::kAdd, request_id, body);
+}
+
+std::string EncodeDeleteRequest(uint64_t request_id, std::string_view dn) {
+  std::string body;
+  PutString(body, dn);
+  return EncodeFrame(WireOp::kDelete, request_id, body);
+}
+
+std::string EncodeValidateRequest(uint64_t request_id) {
+  return EncodeFrame(WireOp::kValidate, request_id, "");
+}
+
+std::string EncodeResponseFrame(const WireResponse& response) {
+  std::string payload;
+  payload.reserve(1 + 8 + 2 + 4 + response.message.size() +
+                  response.body.size());
+  PutU8(payload, static_cast<uint8_t>(response.op));
+  PutU64(payload, response.request_id);
+  PutU8(payload, static_cast<uint8_t>(response.code));
+  PutU8(payload, response.retryable ? WireResponse::kRetryableFlag : 0);
+  PutString(payload, response.message);
+  payload += response.body;
+
+  std::string out;
+  out.reserve(4 + payload.size());
+  PutU32(out, static_cast<uint32_t>(payload.size()));
+  out += payload;
+  return out;
+}
+
+Result<bool> ExtractFrame(std::string_view buffer, size_t max_payload,
+                          WireRequest* request, size_t* consumed) {
+  if (buffer.size() < 4) return false;
+  WireCursor header(buffer);
+  uint32_t payload_len = *header.GetU32();
+  if (payload_len > max_payload) {
+    return Status::InvalidArgument(
+        "wire: frame payload of " + std::to_string(payload_len) +
+        " bytes exceeds the limit of " + std::to_string(max_payload));
+  }
+  if (payload_len < 1 + 8) {
+    return Status::InvalidArgument(
+        "wire: frame payload of " + std::to_string(payload_len) +
+        " bytes is shorter than the op + request-id header");
+  }
+  if (buffer.size() < 4 + static_cast<size_t>(payload_len)) return false;
+
+  WireCursor cursor(buffer.substr(4, payload_len));
+  request->op = static_cast<WireOp>(*cursor.GetU8());
+  request->request_id = *cursor.GetU64();
+  request->body = buffer.substr(4 + 1 + 8, payload_len - 1 - 8);
+  *consumed = 4 + payload_len;
+  return true;
+}
+
+Result<WireResponse> DecodeResponsePayload(std::string_view payload) {
+  WireCursor cursor(payload);
+  WireResponse response;
+  LDAPBOUND_ASSIGN_OR_RETURN(uint8_t op, cursor.GetU8());
+  response.op = static_cast<WireOp>(op);
+  LDAPBOUND_ASSIGN_OR_RETURN(response.request_id, cursor.GetU64());
+  LDAPBOUND_ASSIGN_OR_RETURN(uint8_t code, cursor.GetU8());
+  response.code = static_cast<WireCode>(code);
+  LDAPBOUND_ASSIGN_OR_RETURN(uint8_t flags, cursor.GetU8());
+  response.retryable = (flags & WireResponse::kRetryableFlag) != 0;
+  LDAPBOUND_ASSIGN_OR_RETURN(std::string_view message, cursor.GetString());
+  response.message = std::string(message);
+  response.body =
+      std::string(payload.substr(payload.size() - cursor.remaining()));
+  return response;
+}
+
+Result<std::vector<EntryId>> DecodeSearchResponseBody(std::string_view body) {
+  WireCursor cursor(body);
+  LDAPBOUND_ASSIGN_OR_RETURN(uint32_t count, cursor.GetU32());
+  if (cursor.remaining() != static_cast<size_t>(count) * 8) {
+    return Status::InvalidArgument("wire: search body size does not match "
+                                   "its id count");
+  }
+  std::vector<EntryId> ids;
+  ids.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ids.push_back(static_cast<EntryId>(*cursor.GetU64()));
+  }
+  return ids;
+}
+
+Result<WireValidateResult> DecodeValidateResponseBody(std::string_view body) {
+  WireCursor cursor(body);
+  WireValidateResult result;
+  LDAPBOUND_ASSIGN_OR_RETURN(uint8_t legal, cursor.GetU8());
+  result.structure_legal = legal != 0;
+  LDAPBOUND_ASSIGN_OR_RETURN(result.num_entries, cursor.GetU64());
+  LDAPBOUND_ASSIGN_OR_RETURN(result.version, cursor.GetU64());
+  return result;
+}
+
+}  // namespace ldapbound

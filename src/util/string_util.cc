@@ -86,4 +86,38 @@ bool StartsWith(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
+Result<uint64_t> ParseUint(std::string_view text, uint64_t max) {
+  if (text.empty()) {
+    return Status::InvalidArgument("expected a number, got empty text");
+  }
+  if (text[0] == '+' || text[0] == '-') {
+    return Status::InvalidArgument("expected an unsigned number, got '" +
+                                   std::string(text) + "'");
+  }
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument("expected a number, got '" +
+                                     std::string(text) + "'");
+    }
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument("number out of range: '" +
+                                     std::string(text) + "'");
+    }
+    value = value * 10 + digit;
+  }
+  if (value > max) {
+    return Status::InvalidArgument("number out of range: '" +
+                                   std::string(text) + "' (max " +
+                                   std::to_string(max) + ")");
+  }
+  return value;
+}
+
+Result<uint16_t> ParsePort(std::string_view text) {
+  LDAPBOUND_ASSIGN_OR_RETURN(uint64_t value, ParseUint(text, 65535));
+  return static_cast<uint16_t>(value);
+}
+
 }  // namespace ldapbound

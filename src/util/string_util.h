@@ -1,9 +1,12 @@
 #ifndef LDAPBOUND_UTIL_STRING_UTIL_H_
 #define LDAPBOUND_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/result.h"
 
 namespace ldapbound {
 
@@ -30,6 +33,19 @@ std::string Join(const std::vector<std::string>& pieces, std::string_view sep);
 
 /// True if `s` starts with `prefix`.
 bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Strict unsigned-decimal parsing for numeric flags and wire fields.
+/// Unlike std::atoi — which silently turns garbage into 0 and lets a
+/// negative slip through a size_t cast as a huge bound — this rejects
+/// anything that is not a plain decimal number in [0, max]: empty input,
+/// a sign, non-digit characters, and overflow are all kInvalidArgument
+/// with a message naming the offending text.
+Result<uint64_t> ParseUint(std::string_view text,
+                           uint64_t max = UINT64_MAX);
+
+/// ParseUint bounded to a TCP port (0..65535; 0 conventionally means
+/// "ephemeral, kernel picks").
+Result<uint16_t> ParsePort(std::string_view text);
 
 }  // namespace ldapbound
 

@@ -3,12 +3,14 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <gtest/gtest.h>
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -158,6 +160,65 @@ TEST_F(MonitorTest, UnknownPathIs404AndNonGetIs400) {
   EXPECT_NE(response.find("HTTP/1.1 400"), std::string::npos);
 }
 
+// HEAD is answered with the same status line and headers as the GET —
+// Content-Length included — but no body, per RFC 7231 §4.3.2. It used
+// to get a 400.
+TEST_F(MonitorTest, HeadGetsHeadersAndNoBody) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(monitor_->port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  const char kHead[] = "HEAD /healthz HTTP/1.1\r\nHost: x\r\n\r\n";
+  (void)!::write(fd, kHead, sizeof(kHead) - 1);
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos) << response;
+  // Content-Length still names the GET body ("ok\n"), but nothing
+  // follows the header terminator.
+  EXPECT_NE(response.find("Content-Length: 3"), std::string::npos)
+      << response;
+  EXPECT_EQ(Body(response), "") << response;
+}
+
+// Regression for the SIGPIPE death: a client that sends a request and
+// disconnects before the response is written used to kill the whole
+// process (plain write(2), no MSG_NOSIGNAL — the default SIGPIPE action
+// is termination, which a gtest cannot catch after the fact; this test
+// only passes at all because the monitor now writes with
+// send(MSG_NOSIGNAL) and swallows the EPIPE).
+TEST_F(MonitorTest, ClientDisconnectBeforeResponseDoesNotKillTheServer) {
+  for (int i = 0; i < 16; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    ASSERT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(monitor_->port());
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    ASSERT_EQ(
+        ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+    const char kGet[] = "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n";
+    (void)!::write(fd, kGet, sizeof(kGet) - 1);
+    // RST on close (nonzero-linger abort): the monitor's write hits a
+    // dead socket as hard as possible.
+    struct linger abort_close = {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_close,
+                 sizeof(abort_close));
+    ::close(fd);
+  }
+  // Still alive and serving.
+  EXPECT_NE(HttpGet(monitor_->port(), "/healthz").find("200 OK"),
+            std::string::npos);
+}
+
 TEST_F(MonitorTest, StopIsIdempotentAndReleasesThePort) {
   uint16_t port = monitor_->port();
   monitor_->Stop();
@@ -287,6 +348,28 @@ TEST(MonitorCliTest, ServeEndToEnd) {
   std::fputs("quit\n", serve);
   std::fflush(serve);
   EXPECT_EQ(::pclose(serve), 0);
+}
+
+// Strict flag parsing: numeric serve flags that used to go through
+// std::atoi (garbage → 0, negatives → huge sizes) now refuse to start.
+TEST(MonitorCliTest, ServeRejectsMalformedNumericFlags) {
+  std::string schema = std::string(LDAPBOUND_DATA_DIR) + "/white-pages.schema";
+  std::string ldif = std::string(LDAPBOUND_DATA_DIR) + "/white-pages.ldif";
+  const char* bad_flags[] = {
+      "--monitor-port banana",  "--monitor-port -1",
+      "--monitor-port 65536",   "--slow-ops 12x",
+      "--group-commit-batch ''", "--max-queue-depth +3",
+      "--port 70000",           "--net-workers -2",
+  };
+  for (const char* flag : bad_flags) {
+    std::string command = std::string(LDAPBOUND_CLI_PATH) + " serve " +
+                          schema + " " + ldif + " " + flag +
+                          " >/dev/null 2>&1";
+    int rc = std::system(command.c_str());
+    ASSERT_TRUE(WIFEXITED(rc)) << flag;
+    EXPECT_EQ(WEXITSTATUS(rc), 2) << "flag '" << flag
+                                  << "' should have been refused";
+  }
 }
 
 // End-to-end EXPLAIN over both example schemas: every structure-schema

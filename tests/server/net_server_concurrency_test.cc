@@ -1,0 +1,357 @@
+// Concurrency / hostile-client hammering of the wire front end (run
+// under TSan via the `concurrency` ctest label, and under ASan in the
+// sanitizer sweep): slow byte-at-a-time clients, half-closed
+// connections, a disconnect storm racing in-flight responses, and
+// overload sheds at the dispatch bound. The invariants: the process
+// never dies (no SIGPIPE, no data race), every shed is retryable, and
+// the directory is exactly consistent afterwards.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/directory_server.h"
+#include "server/net_server.h"
+#include "server/wire.h"
+
+namespace ldapbound {
+namespace {
+
+constexpr char kSchema[] = R"(
+attribute ou string
+attribute uid string
+attribute name string
+
+class orgUnit : top {
+  require ou
+}
+class person : top {
+  require uid, name
+}
+)";
+
+DistinguishedName Dn(const std::string& s) {
+  return *DistinguishedName::Parse(s);
+}
+
+int Connect(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  timeval timeout{20, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  return fd;
+}
+
+bool SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+/// Reads one response frame from `fd` into `buffer`; false on EOF.
+bool ReadResponse(int fd, std::string& buffer, WireResponse* out) {
+  for (;;) {
+    while (buffer.size() >= 4) {
+      WireCursor header(std::string_view(buffer).substr(0, 4));
+      uint32_t payload_len = *header.GetU32();
+      if (buffer.size() < 4 + static_cast<size_t>(payload_len)) break;
+      auto response = DecodeResponsePayload(
+          std::string_view(buffer).substr(4, payload_len));
+      buffer.erase(0, 4 + payload_len);
+      if (!response.ok()) return false;
+      *out = std::move(*response);
+      return true;
+    }
+    char buf[4096];
+    ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) return false;
+    buffer.append(buf, static_cast<size_t>(n));
+  }
+}
+
+class NetServerConcurrencyTest : public ::testing::Test {
+ protected:
+  NetServerConcurrencyTest()
+      : server_(DirectoryServer::Create(kSchema).value()) {
+    EntrySpec ou;
+    ou.classes = {"top", "orgUnit"};
+    ou.values = {{"ou", "load"}};
+    EXPECT_TRUE(server_.Add(Dn("ou=load"), std::move(ou)).ok());
+    for (int i = 0; i < 8; ++i) {
+      EntrySpec person;
+      person.classes = {"top", "person"};
+      std::string uid = "u" + std::to_string(i);
+      person.values = {{"uid", uid}, {"name", "user " + uid}};
+      EXPECT_TRUE(
+          server_.Add(Dn("uid=" + uid + ",ou=load"), std::move(person))
+              .ok());
+    }
+  }
+
+  void StartNet(NetServerOptions options = {}) {
+    auto net = NetServer::Start(&server_, options);
+    ASSERT_TRUE(net.ok()) << net.status().ToString();
+    net_ = std::move(*net);
+  }
+
+  DirectoryServer server_;
+  std::unique_ptr<NetServer> net_;
+};
+
+// A byte-at-a-time client must be reassembled by the partial-frame
+// buffering, concurrently with fast clients on other connections.
+TEST_F(NetServerConcurrencyTest, SlowClientsReassembleWhileOthersRace) {
+  StartNet();
+  std::atomic<bool> stop{false};
+  std::thread fast([&] {
+    int fd = Connect(net_->port());
+    ASSERT_GE(fd, 0);
+    std::string buffer;
+    uint64_t id = 1000;
+    while (!stop.load()) {
+      ASSERT_TRUE(SendAll(
+          fd, EncodeSearchRequest(id, "ou=load", 2, "(objectClass=person)")));
+      WireResponse response;
+      ASSERT_TRUE(ReadResponse(fd, buffer, &response));
+      ASSERT_EQ(response.request_id, id);
+      ++id;
+    }
+    ::close(fd);
+  });
+
+  int slow = Connect(net_->port());
+  ASSERT_GE(slow, 0);
+  std::string frame = EncodeSearchRequest(7, "ou=load", 2, "(uid=u3)");
+  for (char byte : frame) {
+    ASSERT_TRUE(SendAll(slow, std::string_view(&byte, 1)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string buffer;
+  WireResponse response;
+  ASSERT_TRUE(ReadResponse(slow, buffer, &response));
+  EXPECT_EQ(response.request_id, 7u);
+  EXPECT_TRUE(response.ok()) << response.message;
+  EXPECT_EQ(DecodeSearchResponseBody(response.body)->size(), 1u);
+  ::close(slow);
+
+  stop.store(true);
+  fast.join();
+}
+
+// shutdown(SHUT_WR) after the last request is the polite way to end a
+// wire conversation: the server must still deliver every owed response
+// before closing.
+TEST_F(NetServerConcurrencyTest, HalfClosedClientsStillGetTheirResponses) {
+  StartNet();
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 8; ++c) {
+    clients.emplace_back([&, c] {
+      int fd = Connect(net_->port());
+      if (fd < 0) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::string batch;
+      for (uint64_t i = 0; i < 4; ++i) {
+        batch += EncodeSearchRequest(c * 100 + i, "ou=load", 2, "");
+      }
+      if (!SendAll(fd, batch)) failures.fetch_add(1);
+      ::shutdown(fd, SHUT_WR);  // EOF reaches the server first
+      std::string buffer;
+      int got = 0;
+      WireResponse response;
+      while (ReadResponse(fd, buffer, &response)) {
+        if (!response.ok()) failures.fetch_add(1);
+        ++got;
+      }
+      if (got != 4) failures.fetch_add(1);
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Clients that connect, fire requests, and vanish mid-response — with
+// abortive RST closes — must never take the server down (the SIGPIPE
+// regression at storm scale) or corrupt another connection's stream.
+TEST_F(NetServerConcurrencyTest, DisconnectStormLeavesTheServerServing) {
+  StartNet();
+  std::vector<std::thread> storm;
+  for (int t = 0; t < 8; ++t) {
+    storm.emplace_back([&, t] {
+      for (int round = 0; round < 25; ++round) {
+        int fd = Connect(net_->port());
+        if (fd < 0) continue;
+        std::string burst;
+        for (uint64_t i = 0; i < 8; ++i) {
+          burst += EncodeSearchRequest(i, "ou=load", 2,
+                                       "(objectClass=person)");
+        }
+        SendAll(fd, burst);
+        if (round % 2 == 0) {
+          // Abortive close: RST instead of FIN, so the server's writes
+          // hit ECONNRESET/EPIPE as hard as possible.
+          struct linger abort_close = {1, 0};
+          ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &abort_close,
+                       sizeof(abort_close));
+        }
+        ::close(fd);
+      }
+    });
+  }
+  // A well-behaved client runs closed-loop through the whole storm.
+  std::atomic<bool> stop{false};
+  std::thread steady([&] {
+    int fd = Connect(net_->port());
+    ASSERT_GE(fd, 0);
+    std::string buffer;
+    uint64_t id = 1;
+    while (!stop.load()) {
+      ASSERT_TRUE(SendAll(fd, EncodePingRequest(id)));
+      WireResponse response;
+      ASSERT_TRUE(ReadResponse(fd, buffer, &response));
+      ASSERT_EQ(response.request_id, id);
+      ++id;
+    }
+    ::close(fd);
+  });
+  for (std::thread& t : storm) t.join();
+  stop.store(true);
+  steady.join();
+
+  // Still serving, nothing leaked into the directory.
+  int fd = Connect(net_->port());
+  ASSERT_GE(fd, 0);
+  std::string buffer;
+  WireResponse response;
+  ASSERT_TRUE(SendAll(fd, EncodeValidateRequest(9)));
+  ASSERT_TRUE(ReadResponse(fd, buffer, &response));
+  EXPECT_TRUE(response.ok()) << response.message;
+  auto verdict = DecodeValidateResponseBody(response.body);
+  ASSERT_TRUE(verdict.ok());
+  EXPECT_EQ(verdict->num_entries, 9u);
+  ::close(fd);
+}
+
+// A tiny dispatch queue under pipelined fire-hose load: every response
+// is either OK or an explicitly retryable shed — never a hang, never a
+// silent drop, and the queue bound actually binds.
+TEST_F(NetServerConcurrencyTest, DispatchBoundShedsRetryablyUnderPressure) {
+  NetServerOptions options;
+  options.max_pending_ops = 2;
+  options.worker_threads = 1;
+  StartNet(options);
+
+  std::atomic<uint64_t> ok{0}, shed{0}, other{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&] {
+      int fd = Connect(net_->port());
+      ASSERT_GE(fd, 0);
+      constexpr int kBurst = 32;
+      std::string burst;
+      for (uint64_t i = 0; i < kBurst; ++i) {
+        burst += EncodeSearchRequest(i, "ou=load", 2,
+                                     "(objectClass=person)");
+      }
+      ASSERT_TRUE(SendAll(fd, burst));
+      std::string buffer;
+      for (int i = 0; i < kBurst; ++i) {
+        WireResponse response;
+        ASSERT_TRUE(ReadResponse(fd, buffer, &response));
+        if (response.ok()) {
+          ok.fetch_add(1);
+        } else if (response.code == WireCode::kOverloaded &&
+                   response.retryable) {
+          shed.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(ok.load() + shed.load(), 6u * 32u);
+  EXPECT_EQ(other.load(), 0u);
+  EXPECT_EQ(net_->stats().ops_shed, shed.load());
+}
+
+// Mixed read/write traffic over many connections: wire adds/deletes
+// interleave with snapshot searches and validates; afterwards the
+// directory holds exactly the seed entries again.
+TEST_F(NetServerConcurrencyTest, MixedOpsFromManyConnectionsStayConsistent) {
+  StartNet();
+  std::vector<std::thread> clients;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < 6; ++c) {
+    clients.emplace_back([&, c] {
+      int fd = Connect(net_->port());
+      if (fd < 0) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::string buffer;
+      WireResponse response;
+      auto call = [&](const std::string& frame) -> bool {
+        return SendAll(fd, frame) && ReadResponse(fd, buffer, &response);
+      };
+      for (uint64_t round = 0; round < 20; ++round) {
+        std::string uid =
+            "w" + std::to_string(c) + "n" + std::to_string(round);
+        std::string dn = "uid=" + uid + ",ou=load";
+        if (!call(EncodeAddRequest(1, dn, {"top", "person"},
+                                   {{"uid", uid}, {"name", uid}})) ||
+            !response.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+        if (!call(EncodeSearchRequest(2, "ou=load", 2,
+                                      "(uid=" + uid + ")")) ||
+            !response.ok() ||
+            DecodeSearchResponseBody(response.body)->size() != 1) {
+          failures.fetch_add(1);
+          break;
+        }
+        if (!call(EncodeValidateRequest(3)) || !response.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+        if (!call(EncodeDeleteRequest(4, dn)) || !response.ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+      }
+      ::close(fd);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(server_.directory().NumEntries(), 9u);  // seed only
+  EXPECT_TRUE(server_.IsLegal());
+}
+
+}  // namespace
+}  // namespace ldapbound

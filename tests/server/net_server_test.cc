@@ -1,0 +1,436 @@
+#include "server/net_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "server/directory_server.h"
+#include "server/health.h"
+#include "server/monitor.h"
+#include "server/wire.h"
+
+namespace ldapbound {
+namespace {
+
+constexpr char kSchema[] = R"(
+attribute ou string
+attribute uid string
+attribute name string
+
+class orgUnit : top {
+  require ou
+}
+class person : top {
+  require uid, name
+}
+structure {
+  require-class orgUnit
+  require person ancestor orgUnit
+}
+)";
+
+DistinguishedName Dn(const std::string& s) {
+  return *DistinguishedName::Parse(s);
+}
+
+EntrySpec PersonSpec(const std::string& uid) {
+  EntrySpec spec;
+  spec.classes = {"top", "person"};
+  spec.values = {{"uid", uid}, {"name", "user " + uid}};
+  return spec;
+}
+
+/// Blocking wire client: one connection, synchronous call/response.
+class WireClient {
+ public:
+  explicit WireClient(uint16_t port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      ::close(fd_);
+      fd_ = -1;
+      return;
+    }
+    timeval timeout{10, 0};
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+  ~WireClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  bool Send(const std::string& bytes) {
+    size_t off = 0;
+    while (off < bytes.size()) {
+      ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                         MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// Reads one complete response frame; empty result = connection closed.
+  Result<WireResponse> ReadResponse() {
+    for (;;) {
+      while (buffer_.size() >= 4) {
+        WireCursor header(std::string_view(buffer_).substr(0, 4));
+        uint32_t payload_len = *header.GetU32();
+        if (buffer_.size() < 4 + static_cast<size_t>(payload_len)) break;
+        auto response = DecodeResponsePayload(
+            std::string_view(buffer_).substr(4, payload_len));
+        buffer_.erase(0, 4 + payload_len);
+        return response;
+      }
+      char buf[4096];
+      ssize_t n = ::read(fd_, buf, sizeof(buf));
+      if (n <= 0) {
+        return Status::Unavailable("connection closed");
+      }
+      buffer_.append(buf, static_cast<size_t>(n));
+    }
+  }
+
+  Result<WireResponse> Call(const std::string& frame) {
+    if (!Send(frame)) return Status::Unavailable("send failed");
+    return ReadResponse();
+  }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+class NetServerTest : public ::testing::Test {
+ protected:
+  NetServerTest() : server_(DirectoryServer::Create(kSchema).value()) {
+    EXPECT_TRUE(server_.Add(Dn("ou=load"), OrgSpec()).ok());
+    EXPECT_TRUE(
+        server_.Add(Dn("uid=u0,ou=load"), PersonSpec("u0")).ok());
+    EXPECT_TRUE(
+        server_.Add(Dn("uid=u1,ou=load"), PersonSpec("u1")).ok());
+  }
+
+  static EntrySpec OrgSpec() {
+    EntrySpec spec;
+    spec.classes = {"top", "orgUnit"};
+    spec.values = {{"ou", "load"}};
+    return spec;
+  }
+
+  void StartNet(NetServerOptions options = {}) {
+    auto net = NetServer::Start(&server_, options);
+    ASSERT_TRUE(net.ok()) << net.status().ToString();
+    net_ = std::move(*net);
+  }
+
+  DirectoryServer server_;
+  std::unique_ptr<NetServer> net_;
+};
+
+TEST_F(NetServerTest, PingEchoesTheRequestId) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+  auto pong = client.Call(EncodePingRequest(42));
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->op, WireOp::kPing);
+  EXPECT_EQ(pong->request_id, 42u);
+  EXPECT_TRUE(pong->ok());
+}
+
+TEST_F(NetServerTest, SearchServesScopedFilteredSnapshotReads) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+
+  auto all = client.Call(EncodeSearchRequest(1, "ou=load", 2, ""));
+  ASSERT_TRUE(all.ok() && all->ok()) << all->message;
+  EXPECT_EQ(DecodeSearchResponseBody(all->body)->size(), 3u);
+
+  auto persons = client.Call(
+      EncodeSearchRequest(2, "ou=load", 2, "(objectClass=person)"));
+  ASSERT_TRUE(persons.ok() && persons->ok());
+  EXPECT_EQ(DecodeSearchResponseBody(persons->body)->size(), 2u);
+
+  auto one = client.Call(EncodeSearchRequest(3, "ou=load", 2, "(uid=u1)"));
+  ASSERT_TRUE(one.ok() && one->ok());
+  EXPECT_EQ(DecodeSearchResponseBody(one->body)->size(), 1u);
+
+  // Base scope names exactly the base entry.
+  auto base = client.Call(EncodeSearchRequest(4, "uid=u0,ou=load", 0, ""));
+  ASSERT_TRUE(base.ok() && base->ok());
+  EXPECT_EQ(DecodeSearchResponseBody(base->body)->size(), 1u);
+
+  // Unknown attribute matches nothing (LDAP filter semantics, not an
+  // error); a base that does not exist is NotFound.
+  auto none = client.Call(
+      EncodeSearchRequest(5, "ou=load", 2, "(nosuchattr=x)"));
+  ASSERT_TRUE(none.ok() && none->ok());
+  EXPECT_EQ(DecodeSearchResponseBody(none->body)->size(), 0u);
+
+  auto missing = client.Call(EncodeSearchRequest(6, "ou=nope", 2, ""));
+  ASSERT_TRUE(missing.ok());
+  EXPECT_EQ(missing->code, WireCode::kNotFound);
+  EXPECT_FALSE(missing->retryable);
+}
+
+TEST_F(NetServerTest, AddAndDeleteCommitAndLaterSnapshotsSeeThem) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+
+  auto added = client.Call(EncodeAddRequest(
+      1, "uid=w0,ou=load", {"top", "person"},
+      {{"uid", "w0"}, {"name", "w zero"}}));
+  ASSERT_TRUE(added.ok()) << added.status().ToString();
+  EXPECT_TRUE(added->ok()) << added->message;
+
+  auto found = client.Call(EncodeSearchRequest(2, "ou=load", 2, "(uid=w0)"));
+  ASSERT_TRUE(found.ok() && found->ok());
+  EXPECT_EQ(DecodeSearchResponseBody(found->body)->size(), 1u);
+
+  auto removed = client.Call(EncodeDeleteRequest(3, "uid=w0,ou=load"));
+  ASSERT_TRUE(removed.ok());
+  EXPECT_TRUE(removed->ok()) << removed->message;
+
+  auto gone = client.Call(EncodeSearchRequest(4, "ou=load", 2, "(uid=w0)"));
+  ASSERT_TRUE(gone.ok() && gone->ok());
+  EXPECT_EQ(DecodeSearchResponseBody(gone->body)->size(), 0u);
+}
+
+TEST_F(NetServerTest, SchemaViolationsComeBackAsIllegalNotRetryable) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+  // A person at the root violates `require person ancestor orgUnit`.
+  auto illegal = client.Call(EncodeAddRequest(
+      1, "uid=root", {"top", "person"},
+      {{"uid", "root"}, {"name", "r"}}));
+  ASSERT_TRUE(illegal.ok());
+  EXPECT_EQ(illegal->code, WireCode::kIllegal);
+  EXPECT_FALSE(illegal->retryable);
+  EXPECT_FALSE(illegal->message.empty());
+}
+
+TEST_F(NetServerTest, ValidateChecksTheStructureSnapshot) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+  auto verdict = client.Call(EncodeValidateRequest(5));
+  ASSERT_TRUE(verdict.ok());
+  ASSERT_TRUE(verdict->ok()) << verdict->message;
+  auto decoded = DecodeValidateResponseBody(verdict->body);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->structure_legal);
+  EXPECT_EQ(decoded->num_entries, 3u);
+}
+
+TEST_F(NetServerTest, PipelinedRequestsAllAnswerWithEchoedIds) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+  std::string batch = EncodePingRequest(10) +
+                      EncodeSearchRequest(11, "ou=load", 2, "") +
+                      EncodePingRequest(12);
+  ASSERT_TRUE(client.Send(batch));
+  // Responses are matched by echoed id, not arrival order: pings answer
+  // inline on the reactor while searches run on workers, so a pipelined
+  // batch may legitimately come back reordered (the protocol's contract
+  // is the id echo, and this batch exercises exactly that).
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 3; ++i) {
+    auto response = client.ReadResponse();
+    ASSERT_TRUE(response.ok()) << response.status().ToString();
+    EXPECT_TRUE(response->ok());
+    seen.insert(response->request_id);
+  }
+  EXPECT_EQ(seen, (std::set<uint64_t>{10, 11, 12}));
+}
+
+TEST_F(NetServerTest, StatuszReportsWireConnectionAndShedCounters) {
+  StartNet();
+  auto monitor = MonitorServer::Start(&server_);
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+  (*monitor)->SetNetServer(net_.get());
+
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+  auto response = client.Call(EncodeSearchRequest(5, "ou=load", 2, ""));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+
+  std::string statusz = (*monitor)->RenderStatusz();
+  EXPECT_NE(statusz.find("\"net\":{\"enabled\":true"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("\"connections_accepted\":1"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("\"ops_ok\":1"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("\"connections_shed\":0"), std::string::npos)
+      << statusz;
+
+  (*monitor)->SetNetServer(nullptr);
+  EXPECT_NE((*monitor)->RenderStatusz().find("\"net\":{\"enabled\":false}"),
+            std::string::npos);
+  (*monitor)->Stop();
+}
+
+TEST_F(NetServerTest, MalformedFrameGetsProtocolErrorThenClose) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+  std::string garbage;
+  PutU32(garbage, 0xFFFFFFFF);  // declared length far past the cap
+  ASSERT_TRUE(client.Send(garbage));
+  auto error = client.ReadResponse();
+  ASSERT_TRUE(error.ok()) << error.status().ToString();
+  EXPECT_EQ(error->code, WireCode::kProtocolError);
+  // ...and then the server closes the connection.
+  auto eof = client.ReadResponse();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_EQ(net_->stats().protocol_errors, 1u);
+}
+
+TEST_F(NetServerTest, ConnectionLimitShedsWithARetryableFrame) {
+  NetServerOptions options;
+  options.max_connections = 1;
+  StartNet(options);
+  WireClient first(net_->port());
+  ASSERT_TRUE(first.connected());
+  ASSERT_TRUE(first.Call(EncodePingRequest(1)).ok());  // fully accepted
+
+  WireClient second(net_->port());
+  ASSERT_TRUE(second.connected());  // TCP-accepted, then shed
+  auto shed = second.ReadResponse();
+  ASSERT_TRUE(shed.ok()) << shed.status().ToString();
+  EXPECT_EQ(shed->op, WireOp::kShed);
+  EXPECT_EQ(shed->code, WireCode::kOverloaded);
+  EXPECT_TRUE(shed->retryable);
+  EXPECT_FALSE(second.ReadResponse().ok());  // closed after the frame
+  EXPECT_GE(net_->stats().connections_shed, 1u);
+
+  // The accepted connection is unaffected.
+  EXPECT_TRUE(first.Call(EncodePingRequest(2)).ok());
+}
+
+TEST_F(NetServerTest, DrainingHealthStateShedsNewConnections) {
+  StartNet();
+  auto* health = const_cast<HealthManager*>(server_.health());
+  health->ReportWalFailure(Status::Internal("test fault"));
+  // AttemptRecovery holds the state at kDraining while the callback
+  // runs — the window in which the reactor must shed at the door.
+  bool shed_seen = false;
+  Status recovered = health->AttemptRecovery([&]() -> Status {
+    EXPECT_EQ(server_.health_state(), HealthState::kDraining);
+    WireClient drained(net_->port());
+    if (!drained.connected()) return Status::Internal("connect failed");
+    auto shed = drained.ReadResponse();
+    if (!shed.ok()) return shed.status();
+    shed_seen = shed->op == WireOp::kShed && shed->retryable;
+    return Status::OK();
+  });
+  EXPECT_TRUE(recovered.ok()) << recovered.ToString();
+  EXPECT_TRUE(shed_seen);
+  // ...and once healthy again, connections are accepted as before.
+  WireClient after(net_->port());
+  ASSERT_TRUE(after.connected());
+  EXPECT_TRUE(after.Call(EncodePingRequest(1)).ok());
+}
+
+TEST_F(NetServerTest, IdleConnectionsAreReaped) {
+  NetServerOptions options;
+  options.idle_timeout_ms = 100;
+  StartNet(options);
+  WireClient idle(net_->port());
+  ASSERT_TRUE(idle.connected());
+  // Say nothing; the sweep (every epoll timeout) must close us.
+  auto eof = idle.ReadResponse();
+  EXPECT_FALSE(eof.ok());
+  EXPECT_GE(net_->stats().idle_closed, 1u);
+}
+
+TEST_F(NetServerTest, StopDrainsAndReleasesThePort) {
+  StartNet();
+  uint16_t port = net_->port();
+  WireClient client(port);
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.Call(EncodePingRequest(1)).ok());
+  net_->Stop();
+  net_->Stop();  // idempotent
+  EXPECT_FALSE(client.ReadResponse().ok());  // closed by the drain
+  net_.reset();
+  WireClient late(port);
+  // The listen socket is gone: either connect fails outright or the
+  // kernel-accepted backlog connection yields EOF immediately.
+  if (late.connected()) {
+    EXPECT_FALSE(late.ReadResponse().ok());
+  }
+}
+
+// The SnapshotSearch core, exercised directly against pinned snapshots.
+TEST_F(NetServerTest, SnapshotSearchScopesAndFilters) {
+  server_.EnableMvcc();
+  ASSERT_TRUE(
+      server_.Add(Dn("ou=deep,ou=load"), [] {
+        EntrySpec spec;
+        spec.classes = {"top", "orgUnit"};
+        spec.values = {{"ou", "deep"}};
+        return spec;
+      }()).ok());
+  ASSERT_TRUE(
+      server_.Add(Dn("uid=d0,ou=deep,ou=load"), PersonSpec("d0")).ok());
+
+  PinnedSnapshot snap = server_.PinSnapshot();
+  ASSERT_TRUE(static_cast<bool>(snap));
+  const Vocabulary& vocab = server_.vocab();
+
+  // Subtree from the root base: everything under ou=load.
+  auto subtree = SnapshotSearch(*snap, vocab, "ou=load", 2, "");
+  ASSERT_TRUE(subtree.ok());
+  EXPECT_EQ(subtree->size(), 5u);
+
+  // One-level: direct children only (u0, u1, ou=deep), not the base,
+  // not the grandchild.
+  auto onelevel = SnapshotSearch(*snap, vocab, "ou=load", 1, "");
+  ASSERT_TRUE(onelevel.ok());
+  EXPECT_EQ(onelevel->size(), 3u);
+
+  // Whole-forest search with an empty base.
+  auto forest =
+      SnapshotSearch(*snap, vocab, "", 2, "(objectClass=person)");
+  ASSERT_TRUE(forest.ok());
+  EXPECT_EQ(forest->size(), 3u);
+
+  // Value filter scoped to the nested subtree.
+  auto nested =
+      SnapshotSearch(*snap, vocab, "ou=deep,ou=load", 2, "(uid=d0)");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->size(), 1u);
+  auto empty =
+      SnapshotSearch(*snap, vocab, "ou=deep,ou=load", 2, "(uid=u0)");
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->empty());
+
+  // Unsupported filter shapes are errors; unknown names are empty.
+  EXPECT_FALSE(SnapshotSearch(*snap, vocab, "ou=load", 2, "(a=*)").ok());
+  EXPECT_FALSE(SnapshotSearch(*snap, vocab, "ou=load", 3, "").ok());
+  auto unknown_class = SnapshotSearch(*snap, vocab, "ou=load", 2,
+                                      "(objectClass=nosuch)");
+  ASSERT_TRUE(unknown_class.ok());
+  EXPECT_TRUE(unknown_class->empty());
+}
+
+}  // namespace
+}  // namespace ldapbound

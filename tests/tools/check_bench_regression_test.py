@@ -41,6 +41,14 @@ def bench_json(path, throughputs):
         json.dump(doc, f)
 
 
+def serving_json(path, ips, p99_ns):
+    doc = {"benchmarks": [{
+        "name": "serving/mixed_closed_loop", "run_type": "iteration",
+        "items_per_second": ips, "p50_ns": p99_ns / 4, "p99_ns": p99_ns}]}
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
 def main():
     with tempfile.TemporaryDirectory() as tmp:
         base = os.path.join(tmp, "base.json")
@@ -102,6 +110,50 @@ def main():
         r = run("--baseline", base)
         check("no candidate without --list is an error",
               r.returncode == 2 and "--candidate" in r.stderr, r)
+
+        # Multi-metric gating with directions (the serving-path gate):
+        # throughput is higher-better, p99 latency is lower-better.
+        serve_base = os.path.join(tmp, "serve_base.json")
+        serve_ok = os.path.join(tmp, "serve_ok.json")
+        serve_slow = os.path.join(tmp, "serve_slow.json")
+        serve_fat_tail = os.path.join(tmp, "serve_fat_tail.json")
+        serving_json(serve_base, ips=50000.0, p99_ns=2_000_000.0)
+        serving_json(serve_ok, ips=48000.0, p99_ns=2_100_000.0)
+        serving_json(serve_slow, ips=20000.0, p99_ns=2_000_000.0)
+        serving_json(serve_fat_tail, ips=50000.0, p99_ns=9_000_000.0)
+
+        metric_args = ["--metric", "items_per_second:higher",
+                       "--metric", "p99_ns:lower", "--tolerance", "0.3"]
+        r = run("--baseline", serve_base, "--candidate", serve_ok,
+                *metric_args)
+        check("serving gate passes small moves both ways",
+              r.returncode == 0, r)
+
+        r = run("--baseline", serve_base, "--candidate", serve_slow,
+                *metric_args)
+        check("throughput collapse fails the serving gate",
+              r.returncode == 1 and "regressed" in r.stderr, r)
+
+        r = run("--baseline", serve_base, "--candidate", serve_fat_tail,
+                *metric_args)
+        check("p99 blowup fails even with throughput flat",
+              r.returncode == 1 and "p99_ns" in r.stdout, r)
+
+        r = run("--baseline", serve_base, "--candidate", serve_fat_tail,
+                "--metric", "p99_ns:higher")
+        check("direction matters: a rise is fine for a 'higher' metric",
+              r.returncode == 0, r)
+
+        r = run("--baseline", serve_base, "--candidate", serve_ok,
+                "--metric", "p99_ns:sideways")
+        check("malformed metric spec is graceful",
+              r.returncode == 2 and "--metric" in r.stderr, r)
+
+        r = run("--baseline", base, "--candidate", good,
+                "--metric", "p99_ns:lower")
+        check("metric absent from both sides is an error, not a pass",
+              r.returncode == 2 and ("no comparable" in r.stderr
+                                     or "no common" in r.stderr), r)
 
     if FAILURES:
         print(f"{len(FAILURES)} check(s) failed: {FAILURES}",

@@ -71,5 +71,42 @@ TEST(StartsWithTest, Basic) {
   EXPECT_FALSE(StartsWith("ab", "abc"));
 }
 
+TEST(ParseUintTest, AcceptsPlainDecimal) {
+  EXPECT_EQ(*ParseUint("0"), 0u);
+  EXPECT_EQ(*ParseUint("42"), 42u);
+  EXPECT_EQ(*ParseUint("18446744073709551615"), UINT64_MAX);
+  EXPECT_EQ(*ParseUint("007"), 7u);  // leading zeros are just decimal
+}
+
+TEST(ParseUintTest, RejectsWhatAtoiSilentlyAccepted) {
+  // Each of these came back as 0 (or a wrapped huge value) from atoi.
+  EXPECT_FALSE(ParseUint("").ok());
+  EXPECT_FALSE(ParseUint("banana").ok());
+  EXPECT_FALSE(ParseUint("12x").ok());
+  EXPECT_FALSE(ParseUint("x12").ok());
+  EXPECT_FALSE(ParseUint(" 12").ok());
+  EXPECT_FALSE(ParseUint("1 2").ok());
+  EXPECT_FALSE(ParseUint("-1").ok());  // would wrap through a size_t cast
+  EXPECT_FALSE(ParseUint("+1").ok());
+  EXPECT_FALSE(ParseUint("1.5").ok());
+}
+
+TEST(ParseUintTest, RejectsOverflowAndOutOfRange) {
+  EXPECT_FALSE(ParseUint("18446744073709551616").ok());  // 2^64
+  EXPECT_FALSE(ParseUint("99999999999999999999999").ok());
+  EXPECT_FALSE(ParseUint("256", 255).ok());
+  EXPECT_EQ(*ParseUint("255", 255), 255u);
+}
+
+TEST(ParsePortTest, BoundsToSixteenBits) {
+  EXPECT_EQ(*ParsePort("0"), 0);
+  EXPECT_EQ(*ParsePort("8080"), 8080);
+  EXPECT_EQ(*ParsePort("65535"), 65535);
+  EXPECT_FALSE(ParsePort("65536").ok());
+  EXPECT_FALSE(ParsePort("-1").ok());
+  EXPECT_FALSE(ParsePort("http").ok());
+}
+
 }  // namespace
 }  // namespace ldapbound
+

@@ -32,6 +32,7 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <type_traits>
 #include <vector>
 
 #include "server/directory_server.h"
@@ -39,6 +40,7 @@
 #include "server/health.h"
 #include "util/failpoint.h"
 #include "util/status.h"
+#include "util/string_util.h"
 
 namespace ldapbound {
 namespace {
@@ -331,6 +333,20 @@ int main(int argc, char** argv) {
   auto next_value = [&](int& i) -> const char* {
     return i + 1 < argc ? argv[++i] : nullptr;
   };
+  // Numeric flags parse strictly (util/string_util.h): garbage or a
+  // negative must be a usage error, not a silent 0 writer count or a
+  // queue bound of 2^64-1.
+  auto parse_uint = [](const std::string& flag, const char* v, uint64_t max,
+                       auto* out) {
+    auto parsed = ldapbound::ParseUint(v, max);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", flag.c_str(),
+                   parsed.status().message().c_str());
+      return false;
+    }
+    *out = static_cast<std::remove_pointer_t<decltype(out)>>(*parsed);
+    return true;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const char* v = nullptr;
@@ -339,17 +355,19 @@ int main(int argc, char** argv) {
     } else if (arg == "--fault" && (v = next_value(i))) {
       options.fault = v;
     } else if (arg == "--writers" && (v = next_value(i))) {
-      options.writers = std::atoi(v);
+      if (!parse_uint(arg, v, 1024, &options.writers)) return 2;
     } else if (arg == "--readers" && (v = next_value(i))) {
-      options.readers = std::atoi(v);
+      if (!parse_uint(arg, v, 1024, &options.readers)) return 2;
     } else if (arg == "--seconds" && (v = next_value(i))) {
-      options.seconds = std::atoi(v);
+      if (!parse_uint(arg, v, 86400, &options.seconds)) return 2;
     } else if (arg == "--max-queue-depth" && (v = next_value(i))) {
-      options.max_queue_depth = static_cast<size_t>(std::atoi(v));
+      if (!parse_uint(arg, v, UINT32_MAX, &options.max_queue_depth)) return 2;
     } else if (arg == "--default-deadline-ms" && (v = next_value(i))) {
-      options.default_deadline_ms = static_cast<uint64_t>(std::atoll(v));
+      if (!parse_uint(arg, v, UINT64_MAX, &options.default_deadline_ms)) {
+        return 2;
+      }
     } else if (arg == "--backoff-ms" && (v = next_value(i))) {
-      options.backoff_ms = static_cast<uint64_t>(std::atoll(v));
+      if (!parse_uint(arg, v, UINT64_MAX, &options.backoff_ms)) return 2;
     } else {
       return ldapbound::Usage();
     }

@@ -1,17 +1,30 @@
 #!/usr/bin/env python3
-"""Gate write throughput against the committed benchmark baseline.
+"""Gate benchmark metrics against the committed baselines.
 
-Compares a fresh google-benchmark JSON run against the checked-in
-baseline (BENCH_update.json) and fails when any watched benchmark's
-items_per_second dropped by more than the tolerance. Used by CI's
-bench-smoke step to catch MVCC read-path changes that tax the write
-path:
+Compares a fresh google-benchmark JSON run against a checked-in
+baseline (BENCH_update.json, BENCH_serving.json) and fails when any
+watched benchmark's metric moved the wrong way by more than the
+tolerance. Used by CI's bench-smoke steps to catch MVCC read-path
+changes that tax the write path, and serving-path changes that tax
+sustained ops/s or tail latency:
 
     tools/check_bench_regression.py \
         --baseline BENCH_update.json \
         --candidate BENCH_update.smoke.json \
         --filter 'BM_GroupCommitTxnThroughput' \
         --tolerance 0.15
+
+    tools/check_bench_regression.py \
+        --baseline BENCH_serving.json \
+        --candidate BENCH_serving.smoke.json \
+        --metric items_per_second:higher --metric p99_ns:lower \
+        --tolerance 0.30
+
+`--metric NAME[:higher|:lower]` may repeat; the default is
+`items_per_second:higher`. For a `higher` metric a regression is a
+drop; for a `lower` metric (latencies) a regression is a rise. A
+metric absent from a benchmark entry on either side is skipped for
+that benchmark rather than failing the gate.
 
 Only benchmarks present in BOTH files are compared (the smoke run
 usually executes a filtered subset), so renaming or adding benchmarks
@@ -23,9 +36,9 @@ for building a --filter) instead of comparing:
 
     tools/check_bench_regression.py --baseline BENCH_update.json --list
 
-A missing file, unreadable JSON, or a JSON document without the
-google-benchmark shape is reported as a one-line error (exit 2), never
-a traceback.
+A missing file, unreadable JSON, a JSON document without the
+google-benchmark shape, or a malformed --metric spec is reported as a
+one-line error (exit 2), never a traceback.
 """
 
 import argparse
@@ -38,8 +51,19 @@ class ToolError(Exception):
     """A user-facing input problem (bad path, bad JSON, bad shape)."""
 
 
-def load_throughputs(path):
-    """name -> items_per_second for every aggregate-free benchmark."""
+def parse_metric_spec(spec):
+    """'p99_ns:lower' -> ('p99_ns', 'lower'); bare names mean higher."""
+    name, sep, direction = spec.partition(":")
+    if not sep:
+        direction = "higher"
+    if not name or direction not in ("higher", "lower"):
+        raise ToolError(f"bad --metric spec {spec!r}: expected "
+                        "NAME, NAME:higher, or NAME:lower")
+    return name, direction
+
+
+def load_metrics(path, metric_names):
+    """name -> {metric: value} for every aggregate-free benchmark."""
     try:
         with open(path) as f:
             doc = json.load(f)
@@ -57,26 +81,33 @@ def load_throughputs(path):
                             f"(no 'name'): {bench!r}")
         if bench.get("run_type") == "aggregate":
             continue
-        ips = bench.get("items_per_second")
-        if ips is not None:
-            out[bench["name"]] = float(ips)
+        metrics = {}
+        for metric in metric_names:
+            value = bench.get(metric)
+            if value is not None:
+                metrics[metric] = float(value)
+        if metrics:
+            out[bench["name"]] = metrics
     return out
 
 
 def run(args):
-    baseline = load_throughputs(args.baseline)
+    specs = [parse_metric_spec(s)
+             for s in (args.metric or ["items_per_second:higher"])]
+    metric_names = [name for name, _ in specs]
+    baseline = load_metrics(args.baseline, metric_names)
 
     if args.list:
         for name in sorted(baseline):
             print(name)
         if args.candidate:
-            for name in sorted(load_throughputs(args.candidate)):
+            for name in sorted(load_metrics(args.candidate, metric_names)):
                 print(name)
         return 0
 
     if not args.candidate:
         raise ToolError("--candidate is required (or use --list)")
-    candidate = load_throughputs(args.candidate)
+    candidate = load_metrics(args.candidate, metric_names)
     try:
         pattern = re.compile(args.filter)
     except re.error as e:
@@ -91,21 +122,37 @@ def run(args):
         return 2
 
     failures = 0
+    compared = 0
     for name in common:
-        base = baseline[name]
-        cand = candidate[name]
-        drop = 0.0 if base <= 0 else (base - cand) / base
-        verdict = "FAIL" if drop > args.tolerance else "ok"
-        if drop > args.tolerance:
-            failures += 1
-        print(f"{verdict:4} {name}: baseline {base:,.0f}/s -> "
-              f"candidate {cand:,.0f}/s ({-drop:+.1%})")
+        for metric, direction in specs:
+            base = baseline[name].get(metric)
+            cand = candidate[name].get(metric)
+            if base is None or cand is None:
+                continue
+            compared += 1
+            if base <= 0:
+                change = 0.0
+            elif direction == "higher":
+                change = (base - cand) / base   # fractional drop
+            else:
+                change = (cand - base) / base   # fractional rise
+            regressed = change > args.tolerance
+            failures += regressed
+            sense = "drop" if direction == "higher" else "rise"
+            print(f"{'FAIL' if regressed else 'ok':4} {name} [{metric}]: "
+                  f"baseline {base:,.0f} -> candidate {cand:,.0f} "
+                  f"({change:+.1%} {sense})")
 
+    if compared == 0:
+        print(f"error: no comparable metrics ({', '.join(metric_names)}) "
+              f"between {args.baseline} and {args.candidate}",
+              file=sys.stderr)
+        return 2
     if failures:
-        print(f"error: {failures}/{len(common)} benchmarks regressed "
+        print(f"error: {failures}/{compared} metric comparisons regressed "
               f"beyond {args.tolerance:.0%}", file=sys.stderr)
         return 1
-    print(f"all {len(common)} benchmarks within {args.tolerance:.0%} "
+    print(f"all {compared} metric comparisons within {args.tolerance:.0%} "
           "of baseline")
     return 0
 
@@ -118,8 +165,11 @@ def main():
                         help="fresh benchmark JSON to check")
     parser.add_argument("--filter", default=".*",
                         help="regex of benchmark names to compare")
+    parser.add_argument("--metric", action="append",
+                        help="metric spec NAME[:higher|:lower]; may repeat "
+                             "(default: items_per_second:higher)")
     parser.add_argument("--tolerance", type=float, default=0.15,
-                        help="allowed fractional drop (0.15 = 15%%)")
+                        help="allowed fractional move (0.15 = 15%%)")
     parser.add_argument("--list", action="store_true",
                         help="print comparable benchmark names and exit")
     args = parser.parse_args()

@@ -11,8 +11,9 @@
 //   ldapbound stats <schema> <ldif> --metrics  Prometheus text exposition
 //   ldapbound explain <schema> <ldif>          EXPLAIN every structure-schema
 //                                              constraint's query plan
-//   ldapbound serve <schema> <ldif> --monitor-port <p>
-//                                              serve + monitor endpoint
+//   ldapbound serve <schema> <ldif> --monitor-port <p> [--port <p>]
+//                                              serve + monitor endpoint (+ the
+//                                              wire-protocol front end)
 //   ldapbound recover <wal-dir>                replay WAL, print the directory
 //   ldapbound compact <wal-dir>                recover + snapshot + truncate
 //
@@ -37,6 +38,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "consistency/inference.h"
@@ -50,7 +52,9 @@
 #include "schema/schema_format.h"
 #include "server/directory_server.h"
 #include "server/monitor.h"
+#include "server/net_server.h"
 #include "util/json.h"
+#include "util/string_util.h"
 #include "util/log.h"
 #include "util/metrics.h"
 #include "util/trace.h"
@@ -71,8 +75,9 @@ int Usage() {
                "  ldapbound stats <schema> <ldif> [--metrics]\n"
                "  ldapbound explain <schema> <ldif> [--json]\n"
                "  ldapbound serve <schema> <ldif> --monitor-port <port>\n"
-               "      [--slow-ops <n>] [--log-json <file|->] [--wal-dir <d>]\n"
-               "      [--group-commit-batch <n>] [--group-commit-hold-us <us>]\n"
+               "      [--port <p>] [--slow-ops <n>] [--log-json <file|->]\n"
+               "      [--wal-dir <d>] [--group-commit-batch <n>] "
+               "[--group-commit-hold-us <us>]\n"
                "  ldapbound recover <wal-dir>\n"
                "  ldapbound compact <wal-dir>\n"
                "flags:\n"
@@ -105,6 +110,23 @@ int Usage() {
                "probing with\n"
                "                       exponential backoff from ms (default 0 "
                "= stay read-only)\n"
+               "  --port <p>           serve: wire-protocol front end port "
+               "(0 = ephemeral;\n"
+               "                       omit the flag to serve the monitor "
+               "only)\n"
+               "  --max-connections <n>\n"
+               "                       serve: wire connection limit; beyond "
+               "it connections\n"
+               "                       are shed retryable (default 4096)\n"
+               "  --max-pending-ops <n>\n"
+               "                       serve: wire dispatch-queue bound "
+               "(default 1024)\n"
+               "  --net-workers <n>    serve: wire worker threads (default "
+               "2)\n"
+               "  --idle-timeout-ms <ms>\n"
+               "                       serve: reap idle wire connections "
+               "(default 60000,\n"
+               "                       0 = never)\n"
                "  --trace-out <file>   write Chrome trace JSON of the run\n");
   return 2;
 }
@@ -379,6 +401,7 @@ int RunExplain(const std::string& schema_path, const std::string& ldif_path,
 
 struct ServeOptions {
   int monitor_port = -1;        // required; 0 = ephemeral
+  int wire_port = -1;           // wire front end (-1 = off, 0 = ephemeral)
   size_t slow_ops = 32;         // slow-op log capacity
   std::string log_json;         // JSON op log sink ("" = off, "-" = stderr)
   std::string wal_dir;          // durable commits ("" = no WAL)
@@ -387,6 +410,10 @@ struct ServeOptions {
   size_t max_queue_depth = 0;        // admission bound (0 = unbounded)
   uint64_t default_deadline_ms = 0;  // default op deadline (0 = none)
   uint64_t recovery_backoff_ms = 0;  // auto-recovery probe (0 = off)
+  size_t max_connections = 4096;     // wire connection limit
+  size_t max_pending_ops = 1024;     // wire dispatch-queue bound
+  size_t net_workers = 2;            // wire worker threads
+  uint32_t idle_timeout_ms = 60000;  // wire idle-connection reap (0 = off)
 };
 
 // Loads the data into a schema-guarded server, starts the monitor
@@ -462,6 +489,24 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
   if (!monitor.ok()) return Fail(monitor.status());
 
   std::printf("monitor listening on 127.0.0.1:%u\n", (*monitor)->port());
+
+  // Wire front end (DESIGN.md §12): the binary-protocol reactor. Its
+  // port is the second stdout line, so wrappers (tools/bench_serving.sh,
+  // the load driver) can scrape both.
+  std::unique_ptr<NetServer> net;
+  if (options.wire_port >= 0) {
+    NetServerOptions net_options;
+    net_options.port = static_cast<uint16_t>(options.wire_port);
+    net_options.max_connections = options.max_connections;
+    net_options.max_pending_ops = options.max_pending_ops;
+    net_options.worker_threads = options.net_workers;
+    net_options.idle_timeout_ms = options.idle_timeout_ms;
+    auto started = NetServer::Start(&*server, net_options);
+    if (!started.ok()) return Fail(started.status());
+    net = std::move(*started);
+    (*monitor)->SetNetServer(net.get());  // /statusz "net" section
+    std::printf("wire listening on 127.0.0.1:%u\n", net->port());
+  }
   std::fflush(stdout);
   std::fprintf(stderr, "commands: search <base-dn> <filter> | status | quit\n");
 
@@ -494,6 +539,10 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
     std::fflush(stdout);
   }
 
+  if (net != nullptr) {
+    (*monitor)->SetNetServer(nullptr);
+    net->Stop();  // drain before the monitor goes away
+  }
   (*monitor)->Stop();
   if (log_file != nullptr) {
     JsonLog::Default().SetSink(nullptr);
@@ -594,6 +643,30 @@ int main(int argc, char** argv) {
   auto next_value = [&](int& i) -> const char* {
     return i + 1 < argc ? argv[++i] : nullptr;
   };
+  // Strict numeric flag parsing (util/string_util.h): non-numeric text,
+  // a sign, or an out-of-range value is a usage error, never a silent 0
+  // or a negative cast to a huge unsigned bound.
+  bool flag_error = false;
+  auto uint_flag = [&](const std::string& flag, int& i, uint64_t max,
+                       auto* out) {
+    const char* v = next_value(i);
+    if (v == nullptr) {
+      std::fprintf(stderr, "error: %s needs a value\n", flag.c_str());
+      flag_error = true;
+      return;
+    }
+    auto parsed = ParseUint(v, max);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "error: %s: %s\n", flag.c_str(),
+                   parsed.status().message().c_str());
+      flag_error = true;
+      return;
+    }
+    *out = static_cast<std::remove_pointer_t<decltype(out)>>(*parsed);
+  };
+  auto port_flag = [&](const std::string& flag, int& i, auto* out) {
+    uint_flag(flag, i, 65535, out);
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--metrics") {
@@ -601,13 +674,15 @@ int main(int argc, char** argv) {
     } else if (arg == "--json") {
       flags.json = true;
     } else if (arg == "--monitor-port") {
-      const char* v = next_value(i);
-      if (v == nullptr) return Usage();
-      flags.serve.monitor_port = std::atoi(v);
+      uint16_t port = 0;
+      port_flag(arg, i, &port);
+      if (!flag_error) flags.serve.monitor_port = port;
+    } else if (arg == "--port") {
+      uint16_t port = 0;
+      port_flag(arg, i, &port);
+      if (!flag_error) flags.serve.wire_port = port;
     } else if (arg == "--slow-ops") {
-      const char* v = next_value(i);
-      if (v == nullptr) return Usage();
-      flags.serve.slow_ops = static_cast<size_t>(std::atoi(v));
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.slow_ops);
     } else if (arg == "--log-json") {
       const char* v = next_value(i);
       if (v == nullptr) return Usage();
@@ -617,28 +692,23 @@ int main(int argc, char** argv) {
       if (v == nullptr) return Usage();
       flags.serve.wal_dir = v;
     } else if (arg == "--group-commit-batch") {
-      const char* v = next_value(i);
-      if (v == nullptr) return Usage();
-      flags.serve.group_commit_batch = static_cast<size_t>(std::atoi(v));
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.group_commit_batch);
     } else if (arg == "--group-commit-hold-us") {
-      const char* v = next_value(i);
-      if (v == nullptr) return Usage();
-      flags.serve.group_commit_hold_us =
-          static_cast<uint32_t>(std::atoi(v));
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.group_commit_hold_us);
     } else if (arg == "--max-queue-depth") {
-      const char* v = next_value(i);
-      if (v == nullptr) return Usage();
-      flags.serve.max_queue_depth = static_cast<size_t>(std::atoi(v));
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.max_queue_depth);
     } else if (arg == "--default-deadline-ms") {
-      const char* v = next_value(i);
-      if (v == nullptr) return Usage();
-      flags.serve.default_deadline_ms =
-          static_cast<uint64_t>(std::atoll(v));
+      uint_flag(arg, i, UINT64_MAX, &flags.serve.default_deadline_ms);
     } else if (arg == "--recovery-backoff-ms") {
-      const char* v = next_value(i);
-      if (v == nullptr) return Usage();
-      flags.serve.recovery_backoff_ms =
-          static_cast<uint64_t>(std::atoll(v));
+      uint_flag(arg, i, UINT64_MAX, &flags.serve.recovery_backoff_ms);
+    } else if (arg == "--max-connections") {
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.max_connections);
+    } else if (arg == "--max-pending-ops") {
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.max_pending_ops);
+    } else if (arg == "--net-workers") {
+      uint_flag(arg, i, 256, &flags.serve.net_workers);
+    } else if (arg == "--idle-timeout-ms") {
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.idle_timeout_ms);
     } else if (arg == "--trace-out") {
       const char* v = next_value(i);
       if (v == nullptr) return Usage();
@@ -648,6 +718,7 @@ int main(int argc, char** argv) {
     } else {
       args.push_back(std::move(arg));
     }
+    if (flag_error) return Usage();
   }
   if (!trace_out.empty()) Tracer::Default().Enable();
 

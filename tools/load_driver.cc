@@ -1,0 +1,553 @@
+// Closed-loop wire-protocol load driver for `ldapbound serve --port`.
+//
+// Forks N worker processes; each opens C connections to the serving
+// port and runs a single-threaded epoll client loop. Every connection
+// is closed-loop at pipeline depth 1: send one request, wait for its
+// full response, record the latency, send the next — so measured
+// latency includes queueing inside the server, and offered load adapts
+// to what the server sustains instead of overrunning it (the
+// coordinated-omission-free way to measure a serving path).
+//
+// The request mix per connection (deterministic per-connection LCG, no
+// global RNG):  40% subtree class search, 40% value-equality search,
+// 10% ping, 8% write (alternating add/delete of a connection-unique
+// entry under the load base), 2% structural validate.
+//
+// Latencies go into log2 histograms (8 sub-buckets per power of two,
+// <= 9.4% relative error). After the measure window each child ships
+// its counters over a pipe; the parent merges, computes p50/p99/p99.9,
+// and writes google-benchmark-shaped JSON (so
+// tools/check_bench_regression.py can gate it) to --out.
+//
+//   load_driver --port <p> [--host 127.0.0.1] [--processes 4]
+//       [--connections 256] [--seconds 10] [--warmup-seconds 2]
+//       [--base ou=load] [--out BENCH_serving.json]
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+#include "server/wire.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace ldapbound;
+
+constexpr size_t kHistBuckets = 64 * 8;  // log2 major, 8 sub-buckets
+
+uint64_t NowNs() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+size_t HistBucket(uint64_t ns) {
+  if (ns < 8) return ns;  // exact below the first full major bucket
+  int major = 63 - __builtin_clzll(ns);
+  uint64_t sub = (ns >> (major - 3)) & 7;  // next 3 bits after the MSB
+  size_t idx = static_cast<size_t>(major) * 8 + static_cast<size_t>(sub);
+  return idx < kHistBuckets ? idx : kHistBuckets - 1;
+}
+
+/// Midpoint of a bucket, for percentile readout.
+uint64_t BucketMidNs(size_t idx) {
+  if (idx < 8) return idx;
+  uint64_t major = idx / 8;
+  uint64_t sub = idx % 8;
+  uint64_t lo = (uint64_t{1} << major) | (sub << (major - 3));
+  uint64_t width = uint64_t{1} << (major - 3);
+  return lo + width / 2;
+}
+
+/// What a child ships to the parent when its window closes.
+struct Report {
+  uint64_t ops_ok = 0;
+  uint64_t ops_retryable = 0;  // kOverloaded / kUnavailable responses
+  uint64_t ops_failed = 0;     // any other non-OK response
+  uint64_t conn_shed = 0;      // kShed frame at connect time
+  uint64_t conn_dropped = 0;   // connection died mid-run
+  uint64_t connected = 0;      // connections established
+  uint64_t hist[kHistBuckets] = {};
+};
+
+struct Options {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  size_t processes = 4;
+  size_t connections = 256;  // per process
+  uint64_t seconds = 10;
+  uint64_t warmup_seconds = 2;
+  std::string base = "ou=load";
+  std::string out = "BENCH_serving.json";
+};
+
+/// One closed-loop connection.
+struct Conn {
+  int fd = -1;
+  std::string in;
+  std::string out;
+  size_t out_off = 0;
+  uint64_t sent_at = 0;     // NowNs() when the current request was sent
+  uint64_t lcg;             // per-connection deterministic stream
+  uint64_t next_id = 1;     // request ids (echo-checked)
+  uint64_t write_seq = 0;   // unique entry names
+  bool have_entry = false;  // add next vs delete next
+  bool dead = false;
+};
+
+uint64_t LcgNext(uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return state >> 33;
+}
+
+int ConnectTo(const std::string& host, uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  return fd;
+}
+
+/// Builds the next request for `conn` per the workload mix.
+std::string NextRequest(Conn& conn, size_t proc, size_t index,
+                        const Options& options) {
+  uint64_t roll = LcgNext(conn.lcg) % 100;
+  uint64_t id = conn.next_id++;
+  if (roll < 40) {
+    return EncodeSearchRequest(id, options.base, /*scope=*/2,
+                               "(objectClass=person)");
+  }
+  if (roll < 80) {
+    // Seed entries are uid=u0..u15 (data/serving.ldif); half the value
+    // lookups miss on purpose, exercising the empty-posting path.
+    std::string filter =
+        "(uid=u" + std::to_string(LcgNext(conn.lcg) % 32) + ")";
+    return EncodeSearchRequest(id, options.base, /*scope=*/2, filter);
+  }
+  if (roll < 90) return EncodePingRequest(id);
+  if (roll < 98) {
+    std::string uid = "w" + std::to_string(proc) + "c" +
+                      std::to_string(index) + "n" +
+                      std::to_string(conn.write_seq);
+    std::string dn = "uid=" + uid + "," + options.base;
+    if (conn.have_entry) {
+      conn.have_entry = false;
+      conn.write_seq++;
+      return EncodeDeleteRequest(id, dn);
+    }
+    conn.have_entry = true;
+    return EncodeAddRequest(id, dn, {"top", "person"},
+                            {{"uid", uid}, {"name", "load " + uid}});
+  }
+  return EncodeValidateRequest(id);
+}
+
+bool FlushConn(Conn& conn) {
+  while (conn.out_off < conn.out.size()) {
+    ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_off,
+                       conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      return false;
+    }
+    conn.out_off += static_cast<size_t>(n);
+  }
+  conn.out.clear();
+  conn.out_off = 0;
+  return true;
+}
+
+void SendNext(Conn& conn, size_t proc, size_t index, const Options& options,
+              int epoll_fd) {
+  conn.out += NextRequest(conn, proc, index, options);
+  conn.sent_at = NowNs();
+  if (!FlushConn(conn)) {
+    conn.dead = true;
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  if (conn.out_off < conn.out.size()) ev.events |= EPOLLOUT;
+  ev.data.u64 = index;
+  ::epoll_ctl(epoll_fd, EPOLL_CTL_MOD, conn.fd, &ev);
+}
+
+int RunChild(size_t proc, const Options& options, int report_fd) {
+  Report report;
+  int epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd < 0) return 1;
+
+  std::vector<Conn> conns(options.connections);
+  for (size_t i = 0; i < conns.size(); ++i) {
+    Conn& conn = conns[i];
+    conn.fd = ConnectTo(options.host, options.port);
+    if (conn.fd < 0) {
+      conn.dead = true;
+      continue;
+    }
+    conn.lcg = 0x9e3779b97f4a7c15ull ^ (proc * 8191 + i);
+    report.connected++;
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = i;
+    ::epoll_ctl(epoll_fd, EPOLL_CTL_ADD, conn.fd, &ev);
+  }
+
+  const uint64_t start = NowNs();
+  const uint64_t measure_from = start + options.warmup_seconds * 1000000000ull;
+  const uint64_t measure_to = measure_from + options.seconds * 1000000000ull;
+
+  // Prime the loop: one request in flight per connection.
+  for (size_t i = 0; i < conns.size(); ++i) {
+    if (!conns[i].dead) SendNext(conns[i], proc, i, options, epoll_fd);
+  }
+
+  size_t alive = 0;
+  for (Conn& conn : conns) {
+    if (!conn.dead) alive++;
+  }
+
+  while (alive > 0) {
+    uint64_t now = NowNs();
+    if (now >= measure_to) break;
+    int timeout_ms =
+        static_cast<int>((measure_to - now) / 1000000ull) + 1;
+    epoll_event events[128];
+    int n = ::epoll_wait(epoll_fd, events, 128,
+                         timeout_ms > 250 ? 250 : timeout_ms);
+    if (n < 0 && errno != EINTR) break;
+    for (int e = 0; e < n; ++e) {
+      size_t index = static_cast<size_t>(events[e].data.u64);
+      Conn& conn = conns[index];
+      if (conn.dead) continue;
+      auto drop = [&](bool shed) {
+        (shed ? report.conn_shed : report.conn_dropped)++;
+        ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, conn.fd, nullptr);
+        ::close(conn.fd);
+        conn.dead = true;
+        alive--;
+      };
+      if ((events[e].events & EPOLLOUT) != 0) {
+        if (!FlushConn(conn)) {
+          drop(false);
+          continue;
+        }
+      }
+      if ((events[e].events & EPOLLIN) == 0) {
+        if ((events[e].events & (EPOLLHUP | EPOLLERR)) != 0) drop(false);
+        continue;
+      }
+      char buf[16 * 1024];
+      bool closed = false;
+      for (;;) {
+        ssize_t r = ::read(conn.fd, buf, sizeof(buf));
+        if (r > 0) {
+          conn.in.append(buf, static_cast<size_t>(r));
+          continue;
+        }
+        if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+        if (r < 0 && errno == EINTR) continue;
+        closed = true;
+        break;
+      }
+      // Decode every complete response frame buffered so far.
+      bool advanced = false;
+      while (conn.in.size() >= 4) {
+        WireCursor header(std::string_view(conn.in).substr(0, 4));
+        uint32_t payload_len = *header.GetU32();
+        if (conn.in.size() < 4 + static_cast<size_t>(payload_len)) break;
+        auto response = DecodeResponsePayload(
+            std::string_view(conn.in).substr(4, payload_len));
+        conn.in.erase(0, 4 + payload_len);
+        if (!response.ok()) {
+          closed = true;  // un-decodable response: abandon the conn
+          break;
+        }
+        if (response->op == WireOp::kShed) {
+          drop(true);
+          break;
+        }
+        uint64_t latency = NowNs() - conn.sent_at;
+        uint64_t now2 = NowNs();
+        if (now2 >= measure_from && now2 < measure_to) {
+          if (response->ok()) {
+            report.ops_ok++;
+            report.hist[HistBucket(latency)]++;
+          } else if (response->retryable) {
+            report.ops_retryable++;
+          } else {
+            report.ops_failed++;
+          }
+        }
+        advanced = true;
+      }
+      if (conn.dead) continue;
+      if (closed) {
+        drop(false);
+        continue;
+      }
+      // Closed loop: a response came back, fire the next request.
+      if (advanced) SendNext(conn, proc, index, options, epoll_fd);
+      if (conn.dead) {
+        report.conn_dropped++;
+        alive--;
+      }
+    }
+  }
+
+  for (Conn& conn : conns) {
+    if (!conn.dead && conn.fd >= 0) ::close(conn.fd);
+  }
+  ::close(epoll_fd);
+
+  const char* bytes = reinterpret_cast<const char*>(&report);
+  size_t off = 0;
+  while (off < sizeof(report)) {
+    ssize_t w = ::write(report_fd, bytes + off, sizeof(report) - off);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      return 1;
+    }
+    off += static_cast<size_t>(w);
+  }
+  return 0;
+}
+
+uint64_t Percentile(const uint64_t* hist, uint64_t total, double p) {
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
+  if (rank >= total) rank = total - 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kHistBuckets; ++i) {
+    seen += hist[i];
+    if (seen > rank) return BucketMidNs(i);
+  }
+  return BucketMidNs(kHistBuckets - 1);
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: load_driver --port <p> [--host 127.0.0.1] [--processes 4]\n"
+      "    [--connections 256] [--seconds 10] [--warmup-seconds 2]\n"
+      "    [--base ou=load] [--out BENCH_serving.json]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options options;
+  bool have_port = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    auto uint_arg = [&](uint64_t max, uint64_t* out) {
+      const char* text = value();
+      if (text == nullptr) return false;
+      auto parsed = ParseUint(text, max);
+      if (!parsed.ok()) {
+        std::fprintf(stderr, "error: %s: %s\n", arg.c_str(),
+                     parsed.status().message().c_str());
+        return false;
+      }
+      *out = *parsed;
+      return true;
+    };
+    uint64_t v = 0;
+    if (arg == "--port") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      auto port = ParsePort(text);
+      if (!port.ok()) {
+        std::fprintf(stderr, "error: --port: %s\n",
+                     port.status().message().c_str());
+        return Usage();
+      }
+      options.port = *port;
+      have_port = true;
+    } else if (arg == "--host") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      options.host = text;
+    } else if (arg == "--base") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      options.base = text;
+    } else if (arg == "--out") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      options.out = text;
+    } else if (arg == "--processes") {
+      if (!uint_arg(64, &v)) return Usage();
+      options.processes = static_cast<size_t>(v);
+    } else if (arg == "--connections") {
+      if (!uint_arg(16384, &v)) return Usage();
+      options.connections = static_cast<size_t>(v);
+    } else if (arg == "--seconds") {
+      if (!uint_arg(86400, &v)) return Usage();
+      options.seconds = v;
+    } else if (arg == "--warmup-seconds") {
+      if (!uint_arg(3600, &v)) return Usage();
+      options.warmup_seconds = v;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    }
+  }
+  if (!have_port || options.port == 0 || options.processes == 0 ||
+      options.connections == 0 || options.seconds == 0) {
+    return Usage();
+  }
+
+  std::vector<int> pipes;
+  std::vector<pid_t> pids;
+  for (size_t p = 0; p < options.processes; ++p) {
+    int fds[2];
+    if (::pipe(fds) != 0) {
+      std::perror("pipe");
+      return 1;
+    }
+    pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 1;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      int rc = RunChild(p, options, fds[1]);
+      ::close(fds[1]);
+      ::_exit(rc);
+    }
+    ::close(fds[1]);
+    pipes.push_back(fds[0]);
+    pids.push_back(pid);
+  }
+
+  Report merged;
+  size_t reported = 0;
+  for (size_t p = 0; p < options.processes; ++p) {
+    Report r;
+    char* bytes = reinterpret_cast<char*>(&r);
+    size_t off = 0;
+    while (off < sizeof(r)) {
+      ssize_t n = ::read(pipes[p], bytes + off, sizeof(r) - off);
+      if (n <= 0) {
+        if (n < 0 && errno == EINTR) continue;
+        break;
+      }
+      off += static_cast<size_t>(n);
+    }
+    ::close(pipes[p]);
+    if (off != sizeof(r)) {
+      std::fprintf(stderr, "warning: child %zu reported no data\n", p);
+      continue;
+    }
+    reported++;
+    merged.ops_ok += r.ops_ok;
+    merged.ops_retryable += r.ops_retryable;
+    merged.ops_failed += r.ops_failed;
+    merged.conn_shed += r.conn_shed;
+    merged.conn_dropped += r.conn_dropped;
+    merged.connected += r.connected;
+    for (size_t i = 0; i < kHistBuckets; ++i) merged.hist[i] += r.hist[i];
+  }
+  for (pid_t pid : pids) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  if (reported == 0) {
+    std::fprintf(stderr, "error: no child produced a report\n");
+    return 1;
+  }
+
+  const uint64_t total =
+      merged.ops_ok + merged.ops_retryable + merged.ops_failed;
+  const double wall_s = static_cast<double>(options.seconds);
+  const double ops_per_s = static_cast<double>(merged.ops_ok) / wall_s;
+  const uint64_t p50 = Percentile(merged.hist, merged.ops_ok, 0.50);
+  const uint64_t p99 = Percentile(merged.hist, merged.ops_ok, 0.99);
+  const uint64_t p999 = Percentile(merged.hist, merged.ops_ok, 0.999);
+
+  std::fprintf(stderr,
+               "connections: %" PRIu64 " established, %" PRIu64
+               " shed, %" PRIu64 " dropped\n"
+               "ops:         %" PRIu64 " ok, %" PRIu64 " retryable, %" PRIu64
+               " failed (%.0f ok/s over %.0fs)\n"
+               "latency:     p50 %.3fms  p99 %.3fms  p99.9 %.3fms\n",
+               merged.connected, merged.conn_shed, merged.conn_dropped,
+               merged.ops_ok, merged.ops_retryable, merged.ops_failed,
+               ops_per_s, wall_s, static_cast<double>(p50) / 1e6,
+               static_cast<double>(p99) / 1e6,
+               static_cast<double>(p999) / 1e6);
+
+  std::FILE* out = std::fopen(options.out.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot write '%s'\n", options.out.c_str());
+    return 1;
+  }
+  std::fprintf(
+      out,
+      "{\n"
+      "  \"context\": {\n"
+      "    \"executable\": \"load_driver\",\n"
+      "    \"processes\": %zu,\n"
+      "    \"connections\": %zu,\n"
+      "    \"seconds\": %" PRIu64 ",\n"
+      "    \"connections_established\": %" PRIu64 "\n"
+      "  },\n"
+      "  \"benchmarks\": [\n"
+      "    {\n"
+      "      \"name\": \"serving/mixed_closed_loop\",\n"
+      "      \"run_type\": \"iteration\",\n"
+      "      \"iterations\": %" PRIu64 ",\n"
+      "      \"real_time\": %.1f,\n"
+      "      \"cpu_time\": %.1f,\n"
+      "      \"time_unit\": \"ns\",\n"
+      "      \"items_per_second\": %.3f,\n"
+      "      \"p50_ns\": %" PRIu64 ",\n"
+      "      \"p99_ns\": %" PRIu64 ",\n"
+      "      \"p999_ns\": %" PRIu64 ",\n"
+      "      \"ops_ok\": %" PRIu64 ",\n"
+      "      \"ops_retryable\": %" PRIu64 ",\n"
+      "      \"ops_failed\": %" PRIu64 ",\n"
+      "      \"connections\": %" PRIu64 "\n"
+      "    }\n"
+      "  ]\n"
+      "}\n",
+      options.processes, options.connections, options.seconds,
+      merged.connected, total, wall_s * 1e9,
+      wall_s * 1e9, ops_per_s, p50, p99, p999, merged.ops_ok,
+      merged.ops_retryable, merged.ops_failed, merged.connected);
+  std::fclose(out);
+  std::fprintf(stderr, "wrote %s\n", options.out.c_str());
+  return merged.ops_ok > 0 ? 0 : 1;
+}
