@@ -11,6 +11,7 @@
 #include "ldap/filter.h"
 #include "ldap/ldif.h"
 #include "schema/schema_format.h"
+#include "server/request_stages.h"
 #include "update/incremental.h"
 #include "util/failpoint.h"
 #include "util/log.h"
@@ -270,6 +271,7 @@ Status DirectoryServer::AdmitWrite(Deadline* deadline) {
           "op deadline expired before admission (no work was done; safe to "
           "retry with a fresh budget)");
     }
+    WireStageScope::MarkCurrent(WireStage::kAdmitted);
     return Status::OK();
   }
   if (deadline->infinite()) *deadline = admission_->DefaultDeadline();
@@ -277,6 +279,7 @@ Status DirectoryServer::AdmitWrite(Deadline* deadline) {
   if (!status.ok() && admission_->TakeDegradeSignal()) {
     health_->ReportOverload(admission_->shed_streak());
   }
+  if (status.ok()) WireStageScope::MarkCurrent(WireStage::kAdmitted);
   return status;
 }
 
@@ -305,6 +308,7 @@ Status DirectoryServer::WalPersist(std::string payload,
   } else {
     status = [&]() -> Status {
       LDAPBOUND_FAILPOINT("server.commit");
+      WireStageScope::MarkCurrent(WireStage::kCommitEnqueued);
       return wal_->Append(payload);
     }();
     if (!status.ok()) {
@@ -329,6 +333,7 @@ Status DirectoryServer::WalPersist(std::string payload,
                   "write-ahead log append failed (server is now read-only; "
                   "recover from '" + wal_->dir() + "'): " + status.message());
   }
+  WireStageScope::MarkCurrent(WireStage::kCommitDurable);
   return status;
 }
 

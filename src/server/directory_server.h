@@ -261,6 +261,11 @@ class DirectoryServer {
   /// synchronized: reading it is safe concurrently with any operation.
   const SlowOpLog* slow_ops() const { return slow_ops_.get(); }
 
+  /// Mutable access for co-located record producers (the wire front end
+  /// offers completed requests with their stage breakdown — DESIGN.md
+  /// §13); same synchronization contract as slow_ops().
+  SlowOpLog* mutable_slow_ops() { return slow_ops_.get(); }
+
   /// Worker configuration for the legality passes this server runs
   /// (ImportLdif validation, IsLegal, Modify's key recheck, and the
   /// transaction validators). Defaults to hardware concurrency; set

@@ -1,0 +1,148 @@
+#include "server/flight_recorder.h"
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/json.h"
+
+namespace ldapbound {
+
+namespace {
+
+uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Most samples are integral counter/gauge values; render them without a
+/// fractional tail so the JSON stays compact and diff-friendly.
+void AppendValue(std::string& out, double v) {
+  char buf[40];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+  }
+  out += buf;
+}
+
+}  // namespace
+
+std::unique_ptr<FlightRecorder> FlightRecorder::Start(
+    const FlightRecorderOptions& options, const MetricRegistry* registry) {
+  std::unique_ptr<FlightRecorder> recorder(new FlightRecorder(
+      options, registry != nullptr ? registry : &MetricRegistry::Default()));
+  recorder->SampleOnce();
+  recorder->sampler_ =
+      std::thread([raw = recorder.get()]() { raw->SamplerLoop(); });
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder(const FlightRecorderOptions& options,
+                               const MetricRegistry* registry)
+    : options_(options), registry_(registry) {}
+
+FlightRecorder::~FlightRecorder() { Stop(); }
+
+void FlightRecorder::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mu_);
+    if (stopped_) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (sampler_.joinable()) sampler_.join();
+  std::lock_guard<std::mutex> lock(stop_mu_);
+  stopped_ = true;
+}
+
+void FlightRecorder::SamplerLoop() {
+  std::unique_lock<std::mutex> lock(stop_mu_);
+  for (;;) {
+    if (stop_cv_.wait_for(lock, std::chrono::milliseconds(options_.interval_ms),
+                          [this] { return stopping_; })) {
+      return;
+    }
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+  }
+}
+
+void FlightRecorder::SampleOnce() {
+  Sample sample;
+  sample.t_ms = NowUnixMs();
+  std::lock_guard<std::mutex> lock(mu_);
+  sample.v.assign(series_.size(),
+                  std::numeric_limits<double>::quiet_NaN());
+  registry_->ForEachSample([this, &sample](const std::string& series,
+                                           double value) {
+    if (!options_.prefix.empty() &&
+        series.compare(0, options_.prefix.size(), options_.prefix) != 0) {
+      return;
+    }
+    auto [it, inserted] = series_index_.emplace(series, series_.size());
+    if (inserted) series_.push_back(series);
+    if (it->second >= sample.v.size()) {
+      sample.v.resize(it->second + 1,
+                      std::numeric_limits<double>::quiet_NaN());
+    }
+    sample.v[it->second] = value;
+  });
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > options_.capacity) ring_.pop_front();
+}
+
+size_t FlightRecorder::sample_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::string FlightRecorder::RenderJson(uint64_t window_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t cutoff_ms = 0;
+  if (window_seconds > 0 && !ring_.empty()) {
+    uint64_t now_ms = ring_.back().t_ms;
+    uint64_t span = window_seconds * 1000;
+    cutoff_ms = now_ms > span ? now_ms - span : 0;
+  }
+  std::string out = "{";
+  char buf[96];
+  std::snprintf(buf, sizeof(buf),
+                "\"interval_ms\":%u,\"capacity\":%zu,\"series\":[",
+                options_.interval_ms, options_.capacity);
+  out += buf;
+  for (size_t i = 0; i < series_.size(); ++i) {
+    if (i > 0) out += ',';
+    // Label values carry double quotes (op="add"), so quote properly.
+    out += JsonQuote(series_[i]);
+  }
+  out += "],\"samples\":[";
+  bool first = true;
+  for (const Sample& sample : ring_) {
+    if (sample.t_ms < cutoff_ms) continue;
+    if (!first) out += ',';
+    first = false;
+    std::snprintf(buf, sizeof(buf), "{\"t_ms\":%" PRIu64 ",\"v\":[",
+                  sample.t_ms);
+    out += buf;
+    for (size_t i = 0; i < series_.size(); ++i) {
+      if (i > 0) out += ',';
+      if (i >= sample.v.size() || std::isnan(sample.v[i])) {
+        out += "null";
+      } else {
+        AppendValue(out, sample.v[i]);
+      }
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ldapbound

@@ -1,0 +1,105 @@
+#ifndef LDAPBOUND_SERVER_FLIGHT_RECORDER_H_
+#define LDAPBOUND_SERVER_FLIGHT_RECORDER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace ldapbound {
+
+/// How the always-on flight recorder samples (DESIGN.md §13).
+struct FlightRecorderOptions {
+  /// Sampling period. 1 Hz keeps a spike diagnosable at second
+  /// granularity while costing one registry walk per second.
+  uint32_t interval_ms = 1000;
+
+  /// Retained samples; 300 at 1 Hz = a 5-minute window (the /timeseries
+  /// acceptance floor is 60 s). Memory is bounded by
+  /// capacity x series x 8 bytes (~0.5 MB at 200 series).
+  size_t capacity = 300;
+
+  /// Only series whose rendered name starts with this prefix are
+  /// recorded ("" = everything). The default keeps the ring to the
+  /// ldapbound_* families (server ops, wire stages, net, WAL, ...).
+  std::string prefix = "ldapbound_";
+};
+
+/// Always-on flight recorder: a background sampler snapshots the metric
+/// registry once per interval into a bounded in-memory ring, so the
+/// monitor's /timeseries endpoint can explain a spike minutes after it
+/// happened without any external scraper. Counters and gauges are
+/// recorded directly; histograms as their _count/_sum pair (rates and
+/// interval means fall out of the deltas).
+///
+/// Concurrency: sampling walks the registry under the registry's own
+/// mutex (values are relaxed-atomic reads, so a sample is a consistent
+/// *set of series*, not a consistent cut — the scrape contract). The
+/// ring is guarded by its own mutex; RenderJson and SampleOnce are safe
+/// from any thread while the sampler runs.
+class FlightRecorder {
+ public:
+  /// Starts the sampler thread over `registry` (nullptr = the
+  /// process-wide default registry). Takes one sample immediately so a
+  /// just-started server already answers /timeseries.
+  static std::unique_ptr<FlightRecorder> Start(
+      const FlightRecorderOptions& options = {},
+      const MetricRegistry* registry = nullptr);
+
+  /// Stops and joins the sampler; idempotent. The ring stays readable.
+  void Stop();
+  ~FlightRecorder();
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Takes one sample right now (the sampler thread's body; tests call
+  /// it directly to advance time deterministically).
+  void SampleOnce();
+
+  size_t sample_count() const;
+  const FlightRecorderOptions& options() const { return options_; }
+
+  /// The ring as JSON, oldest sample first:
+  ///   {"interval_ms":...,"capacity":...,"series":["name",...],
+  ///    "samples":[{"t_ms":...,"v":[...]},...]}
+  /// `v` is index-aligned with `series`; a series that appeared after a
+  /// sample was taken renders as null there. `window_seconds` > 0 keeps
+  /// only samples younger than that (0 = everything retained).
+  std::string RenderJson(uint64_t window_seconds = 0) const;
+
+ private:
+  FlightRecorder(const FlightRecorderOptions& options,
+                 const MetricRegistry* registry);
+  void SamplerLoop();
+
+  struct Sample {
+    uint64_t t_ms = 0;        ///< wall clock, unix ms
+    std::vector<double> v;    ///< index-aligned with series_
+  };
+
+  const FlightRecorderOptions options_;
+  const MetricRegistry* registry_;
+
+  mutable std::mutex mu_;
+  std::vector<std::string> series_;  ///< append-only series name table
+  std::unordered_map<std::string, size_t> series_index_;
+  std::deque<Sample> ring_;
+
+  std::mutex stop_mu_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool stopped_ = false;
+  std::thread sampler_;
+};
+
+}  // namespace ldapbound
+
+#endif  // LDAPBOUND_SERVER_FLIGHT_RECORDER_H_

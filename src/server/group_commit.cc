@@ -3,6 +3,7 @@
 #include <chrono>
 #include <vector>
 
+#include "server/request_stages.h"
 #include "server/wal.h"
 #include "util/metrics.h"
 
@@ -55,6 +56,9 @@ GroupCommitQueue::~GroupCommitQueue() = default;
 
 GroupCommitQueue::Ticket* GroupCommitQueue::Enqueue(std::string payload,
                                                     Deadline deadline) {
+  // Wire-path stage model: the durability wait starts here (the caller's
+  // Wait ends it via WalPersist's kCommitDurable stamp).
+  WireStageScope::MarkCurrent(WireStage::kCommitEnqueued);
   auto* ticket = new Ticket{std::move(payload), deadline};
   std::lock_guard<std::mutex> lock(mu_);
   queue_.push_back(ticket);

@@ -11,6 +11,7 @@
 #include <cstring>
 
 #include "server/directory_server.h"
+#include "server/flight_recorder.h"
 #include "server/net_server.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -66,11 +67,13 @@ void WriteAll(int fd, const std::string& data) {
   }
 }
 
-/// Extracts the request path from "GET /path HTTP/1.1..." or the HEAD
-/// equivalent (health probes commonly send HEAD); empty on any other
-/// method. `*is_head` (when non-null) reports which method it was.
+/// Extracts the request path from "GET /path?query HTTP/1.1..." or the
+/// HEAD equivalent (health probes commonly send HEAD); empty on any
+/// other method. `*is_head` (when non-null) reports which method it
+/// was; `*query` (when non-null) gets the part after '?', "" when none.
 std::string ParseRequestPath(const std::string& request,
-                             bool* is_head = nullptr) {
+                             bool* is_head = nullptr,
+                             std::string* query = nullptr) {
   size_t start;
   if (request.rfind("GET ", 0) == 0) {
     start = 4;
@@ -84,9 +87,41 @@ std::string ParseRequestPath(const std::string& request,
   size_t end = request.find(' ', start);
   if (end == std::string::npos) return "";
   std::string path = request.substr(start, end - start);
-  size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  size_t qmark = path.find('?');
+  if (qmark != std::string::npos) {
+    if (query != nullptr) *query = path.substr(qmark + 1);
+    path.resize(qmark);
+  } else if (query != nullptr) {
+    query->clear();
+  }
   return path;
+}
+
+/// The value of `key=N` in a query string ("window=30&x=1"); `fallback`
+/// when absent or non-numeric.
+uint64_t QueryUintParam(const std::string& query, const char* key,
+                        uint64_t fallback) {
+  std::string needle = std::string(key) + "=";
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t amp = query.find('&', pos);
+    std::string_view param(query.data() + pos,
+                           (amp == std::string::npos ? query.size() : amp) -
+                               pos);
+    if (param.substr(0, needle.size()) == needle) {
+      uint64_t value = 0;
+      bool any = false;
+      for (char c : param.substr(needle.size())) {
+        if (c < '0' || c > '9') return fallback;
+        value = value * 10 + static_cast<uint64_t>(c - '0');
+        any = true;
+      }
+      return any ? value : fallback;
+    }
+    if (amp == std::string::npos) break;
+    pos = amp + 1;
+  }
+  return fallback;
 }
 
 }  // namespace
@@ -193,7 +228,8 @@ void MonitorServer::HandleConnection(int fd) {
     request.append(buf, static_cast<size_t>(n));
   }
   bool is_head = false;
-  std::string path = ParseRequestPath(request, &is_head);
+  std::string query;
+  std::string path = ParseRequestPath(request, &is_head, &query);
   auto respond = [&](int code, const char* reason, const char* type,
                      const std::string& body) {
     WriteAll(fd, HttpResponse(code, reason, type, body,
@@ -211,12 +247,15 @@ void MonitorServer::HandleConnection(int fd) {
     respond(200, "OK", "application/json", RenderStatusz());
   } else if (path == "/slowz") {
     respond(200, "OK", "application/json", RenderSlowz());
+  } else if (path == "/timeseries") {
+    respond(200, "OK", "application/json",
+            RenderTimeseries(QueryUintParam(query, "window", 0)));
   } else if (path.empty()) {
     respond(400, "Bad Request", "text/plain",
             "only GET and HEAD are served here\n");
   } else {
     respond(404, "Not Found", "text/plain",
-            "endpoints: /metrics /healthz /statusz /slowz\n");
+            "endpoints: /metrics /healthz /statusz /slowz /timeseries\n");
   }
 }
 
@@ -342,6 +381,7 @@ std::string MonitorServer::RenderStatusz() const {
     AppendU64Field(out, "ops_shed", wire.ops_shed);
     AppendU64Field(out, "ops_ok", wire.ops_ok);
     AppendU64Field(out, "ops_rejected", wire.ops_rejected);
+    AppendU64Field(out, "dispatch_queue_depth", wire.dispatch_queue_depth);
     AppendU64Field(out, "frames_in", wire.frames_in);
     AppendU64Field(out, "frames_out", wire.frames_out);
     AppendU64Field(out, "protocol_errors", wire.protocol_errors);
@@ -365,6 +405,14 @@ std::string MonitorServer::RenderSlowz() const {
     return "{\"enabled\":false,\"ops\":[]}";
   }
   return server_->slow_ops()->RenderJson();
+}
+
+std::string MonitorServer::RenderTimeseries(uint64_t window_seconds) const {
+  const FlightRecorder* recorder = flight_.load(std::memory_order_acquire);
+  if (recorder == nullptr) {
+    return "{\"enabled\":false,\"series\":[],\"samples\":[]}";
+  }
+  return recorder->RenderJson(window_seconds);
 }
 
 }  // namespace ldapbound

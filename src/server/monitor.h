@@ -12,6 +12,7 @@
 namespace ldapbound {
 
 class DirectoryServer;
+class FlightRecorder;
 class NetServer;
 
 /// Where the monitor listens. The default binds the loopback interface on
@@ -38,6 +39,8 @@ struct MonitorOptions {
 ///   GET /statusz  JSON summary: schema shape, entry count, WAL state,
 ///                 operation counters, slow-op log configuration
 ///   GET /slowz    the slow-op diagnostics ring as JSON (slowest first)
+///   GET /timeseries  the flight recorder's 1 Hz metric history as JSON
+///                 (?window=SECONDS keeps only the most recent span)
 ///
 /// One accept thread serves one request per connection (scrapes are rare
 /// and tiny; no keep-alive). /metrics, /healthz and /slowz read only
@@ -68,10 +71,18 @@ class MonitorServer {
     net_.store(net, std::memory_order_release);
   }
 
+  /// Attaches (or detaches, with nullptr) the flight recorder backing
+  /// /timeseries. Same lifetime contract as SetNetServer.
+  void SetFlightRecorder(const FlightRecorder* recorder) {
+    flight_.store(recorder, std::memory_order_release);
+  }
+
   /// The response body one endpoint would serve right now (no socket
   /// involved; tests and the CLI's `status` command use this).
   std::string RenderStatusz() const;
   std::string RenderSlowz() const;
+  /// The /timeseries body; window_seconds 0 = everything retained.
+  std::string RenderTimeseries(uint64_t window_seconds = 0) const;
   /// The /healthz body; `*http_code` (when non-null) gets 200 or 503.
   std::string RenderHealthz(int* http_code = nullptr) const;
 
@@ -83,6 +94,7 @@ class MonitorServer {
 
   const DirectoryServer* server_;
   std::atomic<const NetServer*> net_{nullptr};
+  std::atomic<const FlightRecorder*> flight_{nullptr};
   int listen_fd_;
   uint16_t port_;
   uint32_t io_timeout_ms_;

@@ -34,6 +34,37 @@ Status Errno(const char* what) {
                           std::strerror(errno));
 }
 
+/// Slow-op / span naming for wire requests (span names must be literals:
+/// Tracer::Event stores the pointer).
+const char* WireOpName(WireOp op) {
+  switch (op) {
+    case WireOp::kPing:
+      return "wire.ping";
+    case WireOp::kSearch:
+      return "wire.search";
+    case WireOp::kAdd:
+      return "wire.add";
+    case WireOp::kDelete:
+      return "wire.delete";
+    case WireOp::kValidate:
+      return "wire.validate";
+    default:
+      return "wire.op";
+  }
+}
+
+const char* WireOutcomeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOk:
+      return "ok";
+    case WireCode::kInternal:
+    case WireCode::kProtocolError:
+      return "error";
+    default:
+      return "rejected";
+  }
+}
+
 /// The pre-encoded frame a connection refused at the door receives.
 const std::string& ShedFrame() {
   static const std::string* frame = [] {
@@ -78,7 +109,45 @@ struct NetServer::Counters {
             "Wire connections reaped by the idle timeout")),
         m_active(MetricRegistry::Default().GetGauge(
             "ldapbound_net_connections_active",
-            "Currently open wire connections")) {}
+            "Currently open wire connections")),
+        m_ops_ok(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_ops_total", "Wire requests executed, by outcome",
+            "outcome=\"ok\"")),
+        m_ops_rejected(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_ops_total", "Wire requests executed, by outcome",
+            "outcome=\"rejected\"")),
+        h_epoll_batch(MetricRegistry::Default().GetHistogram(
+            "ldapbound_net_epoll_wakeup_events",
+            "Ready events per epoll_wait wakeup (event-carrying wakeups "
+            "only)")),
+        h_completion_batch(MetricRegistry::Default().GetHistogram(
+            "ldapbound_net_completion_batch",
+            "Worker completions drained per eventfd wakeup")),
+        g_queue_depth(MetricRegistry::Default().GetGauge(
+            "ldapbound_net_dispatch_queue_depth",
+            "Decoded wire requests waiting for a worker")),
+        h_out_hwm(MetricRegistry::Default().GetHistogram(
+            "ldapbound_net_conn_out_hwm_bytes",
+            "Per-connection write-buffer high-watermark, observed at "
+            "connection close")),
+        stage_dispatch(StageHistogram("dispatch")),
+        stage_queue_wait(StageHistogram("queue_wait")),
+        stage_execute(StageHistogram("execute")),
+        stage_commit_wait(StageHistogram("commit_wait")),
+        stage_completion(StageHistogram("completion")),
+        stage_write_back(StageHistogram("write_back")),
+        stage_total(StageHistogram("total")) {}
+
+  static Histogram& StageHistogram(const char* stage) {
+    return MetricRegistry::Default().GetHistogram(
+        "ldapbound_wire_stage_ns",
+        "Per-stage wire request latency decomposition (DESIGN.md §13): "
+        "dispatch = decode to enqueue, queue_wait = enqueue to worker, "
+        "execute = worker execution (commit_wait = its WAL durability "
+        "share), completion = execute done to response queued, write_back "
+        "= response queued to bytes flushed, total = decode to flush",
+        MakeLabel("stage", stage));
+  }
 
   std::atomic<uint64_t> accepted{0};
   std::atomic<uint64_t> active{0};
@@ -99,6 +168,19 @@ struct NetServer::Counters {
   Counter& m_protocol_errors;
   Counter& m_idle_closed;
   Gauge& m_active;
+  Counter& m_ops_ok;
+  Counter& m_ops_rejected;
+  Histogram& h_epoll_batch;
+  Histogram& h_completion_batch;
+  Gauge& g_queue_depth;
+  Histogram& h_out_hwm;
+  Histogram& stage_dispatch;
+  Histogram& stage_queue_wait;
+  Histogram& stage_execute;
+  Histogram& stage_commit_wait;
+  Histogram& stage_completion;
+  Histogram& stage_write_back;
+  Histogram& stage_total;
 };
 
 Result<std::unique_ptr<NetServer>> NetServer::Start(
@@ -210,6 +292,10 @@ NetServer::Stats NetServer::stats() const {
   s.idle_closed = counters_->idle_closed.load(std::memory_order_relaxed);
   s.ops_ok = counters_->ops_ok.load(std::memory_order_relaxed);
   s.ops_rejected = counters_->ops_rejected.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    s.dispatch_queue_depth = queue_.size();
+  }
   return s;
 }
 
@@ -220,6 +306,9 @@ void NetServer::ReactorLoop() {
     epoll_event events[128];
     int n = ::epoll_wait(epoll_fd_, events, 128, kEpollTimeoutMs);
     if (n < 0 && errno != EINTR) return;  // epoll fd died: nothing to do
+    if (n > 0) {
+      counters_->h_epoll_batch.Observe(static_cast<uint64_t>(n));
+    }
 
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
@@ -385,6 +474,7 @@ bool NetServer::ParseAndDispatch(int fd, Conn& conn) {
       break;
     }
     if (!*extracted) break;  // partial frame: wait for more bytes
+    uint64_t decoded_ns = options_.stage_metrics ? Tracer::NowNs() : 0;
     counters_->frames_in.fetch_add(1, std::memory_order_relaxed);
     counters_->m_frames_in.Increment();
 
@@ -416,7 +506,13 @@ bool NetServer::ParseAndDispatch(int fd, Conn& conn) {
           item.op = request.op;
           item.request_id = request.request_id;
           item.body = std::string(request.body);
+          if (options_.stage_metrics) {
+            item.stages.ns[static_cast<size_t>(WireStage::kDecoded)] =
+                decoded_ns;
+            item.stages.Mark(WireStage::kEnqueued);
+          }
           queue_.push_back(std::move(item));
+          counters_->g_queue_depth.Set(static_cast<int64_t>(queue_.size()));
           conn.inflight++;
         }
       }
@@ -446,7 +542,11 @@ void NetServer::QueueResponse(int fd, Conn& conn,
   // Append-only: the caller flushes once after the whole parse batch.
   // Flushing here could close (and erase) the Conn mid-iteration.
   (void)fd;
-  conn.out += EncodeResponseFrame(response);
+  std::string frame = EncodeResponseFrame(response);
+  conn.bytes_queued += frame.size();
+  conn.out += frame;
+  size_t outstanding = conn.out.size() - conn.out_off;
+  if (outstanding > conn.out_hwm) conn.out_hwm = outstanding;
   counters_->frames_out.fetch_add(1, std::memory_order_relaxed);
   counters_->m_frames_out.Increment();
 }
@@ -457,14 +557,19 @@ bool NetServer::FlushWrites(int fd, Conn& conn) {
                        conn.out.size() - conn.out_off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        FinalizeFlushed(conn);
+        return true;
+      }
       return false;  // EPIPE / ECONNRESET: the peer is gone
     }
     conn.out_off += static_cast<size_t>(n);
+    conn.bytes_flushed += static_cast<uint64_t>(n);
     conn.last_activity = std::chrono::steady_clock::now();
   }
   conn.out.clear();
   conn.out_off = 0;
+  FinalizeFlushed(conn);
   if (conn.closing || (conn.read_closed && conn.inflight == 0)) {
     CloseConn(fd);
     return true;  // closed cleanly, not an error; caller must re-find
@@ -472,9 +577,89 @@ bool NetServer::FlushWrites(int fd, Conn& conn) {
   return true;
 }
 
+void NetServer::FinalizeFlushed(Conn& conn) {
+  while (!conn.pending_flush.empty() &&
+         conn.pending_flush.front().end_offset <= conn.bytes_flushed) {
+    StageRecord rec = std::move(conn.pending_flush.front());
+    conn.pending_flush.pop_front();
+    rec.stages.Mark(WireStage::kBytesFlushed);
+
+    auto at = [&rec](WireStage s) { return rec.stages.at(s); };
+    auto span_ns = [&at](WireStage a, WireStage b) -> uint64_t {
+      // A stage pair contributes only when the op crossed both
+      // boundaries in order (clock is monotonic; 0 = never crossed).
+      if (at(a) == 0 || at(b) < at(a)) return 0;
+      return at(b) - at(a);
+    };
+    struct StageSpan {
+      const char* name;  // literal: Tracer::Event stores the pointer
+      Histogram& hist;
+      WireStage from;
+      WireStage to;
+    };
+    const StageSpan kSpans[] = {
+        {"wire.dispatch", counters_->stage_dispatch, WireStage::kDecoded,
+         WireStage::kEnqueued},
+        {"wire.queue_wait", counters_->stage_queue_wait, WireStage::kEnqueued,
+         WireStage::kWorkerStart},
+        {"wire.execute", counters_->stage_execute, WireStage::kWorkerStart,
+         WireStage::kExecuteDone},
+        {"wire.commit_wait", counters_->stage_commit_wait,
+         WireStage::kCommitEnqueued, WireStage::kCommitDurable},
+        {"wire.completion", counters_->stage_completion,
+         WireStage::kExecuteDone, WireStage::kResponseQueued},
+        {"wire.write_back", counters_->stage_write_back,
+         WireStage::kResponseQueued, WireStage::kBytesFlushed},
+        {"wire.total", counters_->stage_total, WireStage::kDecoded,
+         WireStage::kBytesFlushed},
+    };
+
+    SlowOpLog* log = server_->mutable_slow_ops();
+    // Only pay for the SlowOp's strings and span vector when the request
+    // is slow enough to displace something in the ring — at tens of
+    // thousands of ops/s, building a discarded record for every request
+    // is measurable reactor-thread overhead. The floor is advisory (a
+    // concurrent Record can raise it); Record re-checks under the mutex.
+    uint64_t total_ns = span_ns(WireStage::kDecoded, WireStage::kBytesFlushed);
+    const bool offer = log != nullptr && total_ns >= log->retention_floor_ns();
+    SlowOp op;
+    for (const StageSpan& span : kSpans) {
+      if (at(span.from) == 0 || at(span.to) == 0) continue;
+      uint64_t dur = span_ns(span.from, span.to);
+      span.hist.Observe(dur);
+      if (offer) {
+        Tracer::Event event;
+        event.name = span.name;
+        event.tid = 0;
+        event.start_ns = at(span.from);
+        event.dur_ns = dur;
+        event.op_id = rec.request_id;
+        op.spans.push_back(event);
+      }
+    }
+    if (!offer) continue;
+    // Offer the request to the slow-op ring: the keep-the-slowest policy
+    // and its min-duration floor decide retention, so /slowz explains
+    // tail wire requests with their full stage breakdown.
+    op.op = WireOpName(rec.op);
+    op.target = "wire request " + std::to_string(rec.request_id);
+    op.outcome = WireOutcomeName(rec.code);
+    op.wire_request_id = rec.request_id;
+    op.duration_ns = total_ns;
+    uint64_t now_unix_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    uint64_t dur_ms = op.duration_ns / 1000000;
+    op.start_unix_ms = now_unix_ms > dur_ms ? now_unix_ms - dur_ms : 0;
+    log->Record(std::move(op));
+  }
+}
+
 void NetServer::CloseConn(int fd) {
   auto it = conns_.find(fd);
   if (it == conns_.end()) return;
+  counters_->h_out_hwm.Observe(it->second.out_hwm);
   ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
   conns_.erase(it);
@@ -505,6 +690,9 @@ void NetServer::DrainCompletions() {
     std::lock_guard<std::mutex> lock(completions_mu_);
     batch.swap(completions_);
   }
+  if (!batch.empty()) {
+    counters_->h_completion_batch.Observe(batch.size());
+  }
   for (Completion& completion : batch) {
     auto it = conns_.find(completion.fd);
     // The fd may have been closed and reused since the request was
@@ -513,7 +701,20 @@ void NetServer::DrainCompletions() {
     if (it == conns_.end() || it->second.gen != completion.gen) continue;
     Conn& conn = it->second;
     conn.inflight--;
+    conn.bytes_queued += completion.bytes.size();
     conn.out += completion.bytes;
+    size_t outstanding = conn.out.size() - conn.out_off;
+    if (outstanding > conn.out_hwm) conn.out_hwm = outstanding;
+    if (options_.stage_metrics) {
+      completion.stages.Mark(WireStage::kResponseQueued);
+      StageRecord rec;
+      rec.end_offset = conn.bytes_queued;
+      rec.op = completion.op;
+      rec.request_id = completion.request_id;
+      rec.code = completion.code;
+      rec.stages = completion.stages;
+      conn.pending_flush.push_back(std::move(rec));
+    }
     counters_->frames_out.fetch_add(1, std::memory_order_relaxed);
     counters_->m_frames_out.Increment();
     if (!FlushWrites(completion.fd, conn)) {
@@ -546,17 +747,34 @@ void NetServer::WorkerLoop() {
       if (queue_.empty()) return;  // stopping and drained
       item = std::move(queue_.front());
       queue_.pop_front();
+      counters_->g_queue_depth.Set(static_cast<int64_t>(queue_.size()));
     }
-    WireResponse response = Execute(item);
+    WireResponse response;
+    if (options_.stage_metrics) {
+      item.stages.Mark(WireStage::kWorkerStart);
+      // The scope lets the layers below (admission verdict, group-commit
+      // enqueue, WAL durability) stamp this request without plumbing.
+      WireStageScope scope(&item.stages);
+      response = Execute(item);
+      item.stages.Mark(WireStage::kExecuteDone);
+    } else {
+      response = Execute(item);
+    }
     if (response.ok()) {
       counters_->ops_ok.fetch_add(1, std::memory_order_relaxed);
+      counters_->m_ops_ok.Increment();
     } else {
       counters_->ops_rejected.fetch_add(1, std::memory_order_relaxed);
+      counters_->m_ops_rejected.Increment();
     }
     Completion completion;
     completion.fd = item.fd;
     completion.gen = item.gen;
     completion.bytes = EncodeResponseFrame(response);
+    completion.op = item.op;
+    completion.request_id = item.request_id;
+    completion.code = response.code;
+    completion.stages = item.stages;
     PostCompletion(std::move(completion));
   }
 }
@@ -595,6 +813,7 @@ WireResponse NetServer::Execute(const WorkItem& item) {
       if (!snap) {
         return fail(Status::Internal("MVCC snapshots are not enabled"));
       }
+      WireStageScope::MarkCurrent(WireStage::kSnapshotPinned);
       auto hits =
           SnapshotSearch(*snap, server_->vocab(), *base, *scope, *filter);
       if (!hits.ok()) return fail(hits.status());
@@ -644,6 +863,7 @@ WireResponse NetServer::Execute(const WorkItem& item) {
       if (!snap) {
         return fail(Status::Internal("MVCC snapshots are not enabled"));
       }
+      WireStageScope::MarkCurrent(WireStage::kSnapshotPinned);
       LegalityChecker checker(server_->schema(),
                               server_->check_options());
       auto legal = checker.CheckStructureSnapshot(*snap);

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "model/directory_snapshot.h"
+#include "server/request_stages.h"
 #include "server/wire.h"
 #include "util/result.h"
 
@@ -50,6 +51,14 @@ struct NetServerOptions {
   /// Per-frame payload cap (see wire.h); larger declared lengths are
   /// protocol errors that close the connection.
   size_t max_frame_payload = kMaxFramePayload;
+
+  /// Stage-level request observability (DESIGN.md §13): stamp every
+  /// dispatched request at each pipeline boundary, record per-stage
+  /// log-linear histograms (ldapbound_wire_stage_ns{stage=...}) and feed
+  /// slow wire requests — request_id plus full stage breakdown — into
+  /// the DirectoryServer's slow-op ring. Off = the A/B baseline for the
+  /// overhead budget in EXPERIMENTS.md.
+  bool stage_metrics = true;
 };
 
 /// Async wire-level front end for a DirectoryServer (DESIGN.md §12): one
@@ -108,12 +117,25 @@ class NetServer {
     uint64_t idle_closed = 0;
     uint64_t ops_ok = 0;
     uint64_t ops_rejected = 0;       ///< executed but non-OK status
+    uint64_t dispatch_queue_depth = 0;  ///< decoded, waiting for a worker
   };
   Stats stats() const;
 
  private:
   NetServer(DirectoryServer* server, const NetServerOptions& options,
             int listen_fd, uint16_t port);
+
+  /// A dispatched response waiting for its bytes to clear the socket:
+  /// once the connection's flushed-byte counter passes `end_offset`, the
+  /// request's kBytesFlushed stamp lands and the record finalizes into
+  /// the stage histograms (and, when slow, the slow-op ring).
+  struct StageRecord {
+    uint64_t end_offset = 0;  ///< conn bytes_queued after this response
+    WireOp op = WireOp::kPing;
+    uint64_t request_id = 0;
+    WireCode code = WireCode::kOk;
+    WireStageStamps stages;
+  };
 
   struct Conn {
     uint64_t gen = 0;
@@ -124,6 +146,10 @@ class NetServer {
     bool read_closed = false;  ///< peer half-closed (EOF seen)
     bool closing = false;      ///< close once out drains and inflight==0
     std::chrono::steady_clock::time_point last_activity;
+    uint64_t bytes_queued = 0;   ///< lifetime response bytes queued
+    uint64_t bytes_flushed = 0;  ///< lifetime response bytes sent
+    uint64_t out_hwm = 0;        ///< out-buffer high-watermark (bytes)
+    std::deque<StageRecord> pending_flush;  ///< FIFO by end_offset
   };
 
   struct WorkItem {
@@ -132,12 +158,17 @@ class NetServer {
     WireOp op = WireOp::kPing;
     uint64_t request_id = 0;
     std::string body;
+    WireStageStamps stages;
   };
 
   struct Completion {
     int fd = -1;
     uint64_t gen = 0;
     std::string bytes;
+    WireOp op = WireOp::kPing;
+    uint64_t request_id = 0;
+    WireCode code = WireCode::kOk;
+    WireStageStamps stages;
   };
 
   void ReactorLoop();
@@ -159,6 +190,11 @@ class NetServer {
   /// Queues `response` for `fd` (reactor thread only).
   void QueueResponse(int fd, Conn& conn, const WireResponse& response);
 
+  /// Retires every pending_flush record whose bytes have cleared the
+  /// socket: stamps kBytesFlushed, observes the per-stage histograms and
+  /// offers slow requests to the server's slow-op ring (reactor thread).
+  void FinalizeFlushed(Conn& conn);
+
   /// Executes one request against the DirectoryServer (worker threads).
   WireResponse Execute(const WorkItem& item);
 
@@ -177,7 +213,7 @@ class NetServer {
   std::unordered_map<int, Conn> conns_;
   uint64_t next_gen_ = 1;
 
-  std::mutex queue_mu_;
+  mutable std::mutex queue_mu_;  ///< mutable: stats() reads the depth
   std::condition_variable queue_cv_;
   std::deque<WorkItem> queue_;
 

@@ -38,6 +38,9 @@ std::string SlowOp::RenderJson() const {
   if (!explain.empty()) AppendStrField(out, "explain", explain);
   AppendU64Field(out, "start_unix_ms", start_unix_ms);
   AppendU64Field(out, "duration_ns", duration_ns);
+  if (wire_request_id != 0) {
+    AppendU64Field(out, "request_id", wire_request_id);
+  }
   out += ",\"spans\":[";
   for (size_t i = 0; i < spans.size(); ++i) {
     const Tracer::Event& e = spans[i];
@@ -86,6 +89,18 @@ std::vector<SlowOp> SlowOpLog::Snapshot() const {
     return a.op_id < b.op_id;
   });
   return out;
+}
+
+uint64_t SlowOpLog::retention_floor_ns() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ops_.size() < capacity_) return min_duration_ns_;
+  uint64_t fastest = ops_[0].duration_ns;
+  for (size_t i = 1; i < ops_.size(); ++i) {
+    fastest = std::min(fastest, ops_[i].duration_ns);
+  }
+  // When full, a newcomer is only kept if strictly slower than the
+  // fastest retained op (and past the min-duration gate).
+  return std::max(min_duration_ns_, fastest + 1);
 }
 
 uint64_t SlowOpLog::recorded() const {

@@ -24,6 +24,10 @@ struct SlowOp {
   std::string explain;         ///< per-violation "detected by" lines
   uint64_t start_unix_ms = 0;  ///< wall-clock start
   uint64_t duration_ns = 0;
+  /// The wire request id for records produced by the net server's stage
+  /// pipeline (0 = not a wire request): lets an operator line a /slowz
+  /// entry up with the client that sent it.
+  uint64_t wire_request_id = 0;
   std::vector<Tracer::Event> spans;  ///< calling-thread spans, in record order
 
   /// The record as a JSON object (spans included, names escaped).
@@ -55,6 +59,12 @@ class SlowOpLog {
 
   /// Operations offered to Record since construction (retained or not).
   uint64_t recorded() const;
+
+  /// The smallest duration that could currently be retained: callers on
+  /// hot paths (the net server's stage pipeline) check it before paying
+  /// for the SlowOp's strings and span vector. Advisory — a concurrent
+  /// Record can move the floor, so Record re-checks under the mutex.
+  uint64_t retention_floor_ns() const;
 
  private:
   const size_t capacity_;

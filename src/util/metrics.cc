@@ -43,9 +43,49 @@ uint64_t Histogram::Count() const {
 }
 
 size_t Histogram::BucketFor(uint64_t value) {
-  if (value == 0) return 0;
-  size_t width = static_cast<size_t>(std::bit_width(value));
-  return width < kNumBuckets ? width : kNumBuckets - 1;
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  // major = floor(log2(value)) >= kSubBucketBits; the next kSubBucketBits
+  // bits below the leading one select the linear sub-bucket.
+  size_t major = static_cast<size_t>(std::bit_width(value)) - 1;
+  size_t sub = static_cast<size_t>(value >> (major - kSubBucketBits)) &
+               (kSubBuckets - 1);
+  return kSubBuckets + (major - kSubBucketBits) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketUpperBound(size_t i) {
+  if (i < kSubBuckets) return i;
+  size_t major = kSubBucketBits + (i - kSubBuckets) / kSubBuckets;
+  size_t sub = (i - kSubBuckets) % kSubBuckets;
+  uint64_t width = uint64_t{1} << (major - kSubBucketBits);
+  // For the very last bucket (major 63, sub 7) the exact bound 2^64 - 1
+  // falls out of the unsigned wraparound.
+  return (uint64_t{1} << major) + (sub + 1) * width - 1;
+}
+
+uint64_t Histogram::ValueAtQuantile(double q) const {
+  uint64_t counts[kNumBuckets];
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    counts[i] = BucketCount(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double rank = q * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(seen + counts[i]) >= rank) {
+      uint64_t lo = BucketLowerBound(i);
+      uint64_t hi = BucketUpperBound(i);
+      double frac = (rank - static_cast<double>(seen)) /
+                    static_cast<double>(counts[i]);
+      return lo + static_cast<uint64_t>(frac * static_cast<double>(hi - lo));
+    }
+    seen += counts[i];
+  }
+  return BucketUpperBound(kNumBuckets - 1);
 }
 
 MetricRegistry& MetricRegistry::Default() {
@@ -127,6 +167,32 @@ std::string MakeLabel(std::string_view name, std::string_view value) {
   out += EscapeLabelValue(value);
   out += '"';
   return out;
+}
+
+void MetricRegistry::ForEachSample(
+    const std::function<void(const std::string& series, double value)>& fn)
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, family] : families_) {
+    for (const auto& [labels, series] : family.series) {
+      switch (family.kind) {
+        case Kind::kCounter:
+          fn(SeriesName(name, labels),
+             static_cast<double>(series.counter->Value()));
+          break;
+        case Kind::kGauge:
+          fn(SeriesName(name, labels),
+             static_cast<double>(series.gauge->Value()));
+          break;
+        case Kind::kHistogram:
+          fn(SeriesName(name + "_count", labels),
+             static_cast<double>(series.histogram->Count()));
+          fn(SeriesName(name + "_sum", labels),
+             static_cast<double>(series.histogram->Sum()));
+          break;
+      }
+    }
+  }
 }
 
 std::string MetricRegistry::RenderPrometheus() const {

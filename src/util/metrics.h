@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -59,15 +60,24 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-/// Fixed log2-bucket histogram: bucket i counts observations v with
-/// 2^(i-1) <= v < 2^i (bucket 0 counts v == 0), so any uint64 value —
-/// nanoseconds, bytes, scan lengths — lands in one of 64 bins with one
-/// relaxed fetch_add and no allocation. Concurrent Observe/snapshot is
-/// racy only across bins (a scrape may see a count the sum does not yet
-/// include), which Prometheus scrapes tolerate by design.
+/// Fixed log-linear histogram: each power of two is split into
+/// kSubBuckets linear sub-buckets (values below kSubBuckets are exact),
+/// so any uint64 value — nanoseconds, bytes, scan lengths — lands in one
+/// of 496 bins with one relaxed fetch_add and no allocation. Bucket
+/// width is at most 12.5% of the bucket's lower bound, so a quantile
+/// read from the exposition is off by < 2^(1/8) instead of the 2x a
+/// pure log2 grid allows. Concurrent Observe/snapshot is racy only
+/// across bins (a scrape may see a count the sum does not yet include),
+/// which Prometheus scrapes tolerate by design.
 class Histogram {
  public:
-  static constexpr size_t kNumBuckets = 64;
+  /// 8 linear sub-buckets per power of two (3 mantissa bits), the same
+  /// grid tools/load_driver.cc uses client-side.
+  static constexpr size_t kSubBucketBits = 3;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;
+  /// Values 0..7 exact, then 61 powers of two (2^3 .. 2^63) x 8 subs.
+  static constexpr size_t kNumBuckets =
+      kSubBuckets + (64 - kSubBucketBits) * kSubBuckets;
 
   void Observe(uint64_t value) {
     buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
@@ -80,11 +90,18 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   /// Inclusive upper bound of bucket i (the Prometheus `le` value);
-  /// the last bucket is unbounded (+Inf).
-  static uint64_t BucketUpperBound(size_t i) {
-    return (uint64_t{1} << i) - 1;
+  /// the last bucket's bound is UINT64_MAX (rendered before +Inf).
+  static uint64_t BucketUpperBound(size_t i);
+  /// Inclusive lower bound of bucket i (for in-bucket interpolation).
+  static uint64_t BucketLowerBound(size_t i) {
+    return i == 0 ? 0 : BucketUpperBound(i - 1) + 1;
   }
   static size_t BucketFor(uint64_t value);
+
+  /// Approximate value at quantile q in [0,1], linearly interpolated
+  /// inside the winning bucket (error bounded by the 12.5% bucket
+  /// width). Snapshot semantics match the scrape contract above.
+  uint64_t ValueAtQuantile(double q) const;
 
  private:
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
@@ -149,6 +166,17 @@ class MetricRegistry {
   /// Prometheus text exposition format, families and series in
   /// lexicographic order (deterministic for tests and diffing).
   std::string RenderPrometheus() const;
+
+  /// Visits every series as flat numeric samples, in the same
+  /// lexicographic order as RenderPrometheus: counters and gauges as
+  /// `name{labels}` with their current value, histograms as two samples
+  /// `name_count{labels}` and `name_sum{labels}` (bucket vectors are too
+  /// wide to timeline; rates and interval means are derivable from
+  /// count/sum deltas). Holds the registry mutex for the duration, so
+  /// `fn` must not call back into the registry.
+  void ForEachSample(
+      const std::function<void(const std::string& series, double value)>& fn)
+      const;
 
  private:
   enum class Kind { kCounter, kGauge, kHistogram };

@@ -1,0 +1,195 @@
+#include "server/flight_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/directory_server.h"
+#include "server/monitor.h"
+#include "util/metrics.h"
+
+namespace ldapbound {
+namespace {
+
+/// An interval long enough that the background sampler never fires
+/// during a test: every sample below comes from Start's immediate one
+/// or an explicit SampleOnce, so counts are deterministic.
+constexpr uint32_t kNeverMs = 10 * 60 * 1000;
+
+FlightRecorderOptions QuietOptions(size_t capacity = 300,
+                                   std::string prefix = "") {
+  FlightRecorderOptions options;
+  options.interval_ms = kNeverMs;
+  options.capacity = capacity;
+  options.prefix = std::move(prefix);
+  return options;
+}
+
+TEST(FlightRecorderTest, RecordsCountersGaugesAndHistogramPairs) {
+  MetricRegistry registry;
+  Counter& ops = registry.GetCounter("test_ops_total", "ops", "op=\"add\"");
+  Gauge& depth = registry.GetGauge("test_depth", "depth");
+  Histogram& lat = registry.GetHistogram("test_latency_ns", "latency");
+  ops.Increment();
+  depth.Set(7);
+  lat.Observe(100);
+  lat.Observe(300);
+
+  auto recorder = FlightRecorder::Start(QuietOptions(), &registry);
+  EXPECT_EQ(recorder->sample_count(), 1u);  // Start samples immediately
+  std::string json = recorder->RenderJson();
+  EXPECT_NE(json.find("\"test_ops_total{op=\\\"add\\\"}\""),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"test_depth\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_latency_ns_count\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_latency_ns_sum\""), std::string::npos);
+  // The sampled values: count 2, sum 400, gauge 7, counter 1.
+  EXPECT_NE(json.find("400"), std::string::npos) << json;
+  EXPECT_NE(json.find("7"), std::string::npos) << json;
+  recorder->Stop();
+}
+
+TEST(FlightRecorderTest, PrefixFiltersAndRingStaysBounded) {
+  MetricRegistry registry;
+  registry.GetCounter("kept_ops_total", "kept").Increment();
+  registry.GetCounter("other_ops_total", "other").Increment();
+
+  auto recorder =
+      FlightRecorder::Start(QuietOptions(/*capacity=*/4, "kept_"),
+                            &registry);
+  for (int i = 0; i < 10; ++i) recorder->SampleOnce();
+  EXPECT_EQ(recorder->sample_count(), 4u);  // 11 taken, 4 retained
+  std::string json = recorder->RenderJson();
+  EXPECT_NE(json.find("kept_ops_total"), std::string::npos);
+  EXPECT_EQ(json.find("other_ops_total"), std::string::npos) << json;
+  recorder->Stop();
+}
+
+TEST(FlightRecorderTest, LateSeriesBackfillAsNullInEarlierSamples) {
+  MetricRegistry registry;
+  registry.GetCounter("a_total", "a").Increment();
+  auto recorder = FlightRecorder::Start(QuietOptions(), &registry);
+  // A series that appears after the first sample was taken: earlier
+  // samples must render null at its index, not shift or lie.
+  registry.GetCounter("b_total", "b").Increment();
+  recorder->SampleOnce();
+  std::string json = recorder->RenderJson();
+  EXPECT_NE(json.find("\"a_total\",\"b_total\""), std::string::npos) << json;
+  EXPECT_NE(json.find(",null]"), std::string::npos) << json;
+  recorder->Stop();
+}
+
+TEST(FlightRecorderTest, WindowSelectsOnlyRecentSamples) {
+  MetricRegistry registry;
+  registry.GetCounter("w_total", "w").Increment();
+  auto recorder = FlightRecorder::Start(QuietOptions(), &registry);
+  recorder->SampleOnce();
+  recorder->SampleOnce();
+  // All samples land within milliseconds of each other, so any
+  // nonzero window keeps them all and the full render matches...
+  EXPECT_EQ(recorder->RenderJson(/*window_seconds=*/3600),
+            recorder->RenderJson());
+  // ...and rendering stays well-formed with a window when empty-ish.
+  std::string json = recorder->RenderJson(/*window_seconds=*/1);
+  EXPECT_NE(json.find("\"samples\":["), std::string::npos);
+  recorder->Stop();
+}
+
+TEST(FlightRecorderTest, StopIsIdempotentAndRingStaysReadable) {
+  MetricRegistry registry;
+  registry.GetCounter("s_total", "s").Increment();
+  auto recorder = FlightRecorder::Start(QuietOptions(), &registry);
+  recorder->Stop();
+  recorder->Stop();
+  EXPECT_EQ(recorder->sample_count(), 1u);
+  EXPECT_NE(recorder->RenderJson().find("s_total"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, MonitorServesTimeseriesAndReportsDisabled) {
+  auto server = DirectoryServer::Create(R"(
+attribute ou string
+
+class orgUnit : top {
+  require ou
+}
+structure {
+  require-class orgUnit
+}
+)");
+  ASSERT_TRUE(server.ok()) << server.status().ToString();
+  auto monitor = MonitorServer::Start(&*server);
+  ASSERT_TRUE(monitor.ok()) << monitor.status().ToString();
+
+  // No recorder attached: /timeseries says so instead of 404ing.
+  EXPECT_EQ((*monitor)->RenderTimeseries(),
+            "{\"enabled\":false,\"series\":[],\"samples\":[]}");
+
+  MetricRegistry registry;
+  registry.GetCounter("m_total", "m").Increment();
+  auto recorder = FlightRecorder::Start(QuietOptions(), &registry);
+  (*monitor)->SetFlightRecorder(recorder.get());
+  std::string json = (*monitor)->RenderTimeseries();
+  EXPECT_NE(json.find("\"series\":[\"m_total\"]"), std::string::npos)
+      << json;
+  EXPECT_EQ(json, recorder->RenderJson());
+
+  (*monitor)->SetFlightRecorder(nullptr);
+  (*monitor)->Stop();
+  recorder->Stop();
+}
+
+/// Run under TSan (label: concurrency): the sampler thread walking the
+/// registry races against threads mutating metrics and creating new
+/// series, plus concurrent RenderJson readers. Correctness bar: no data
+/// race, ring stays bounded, every render is well-formed.
+TEST(FlightRecorderConcurrencyTest, SamplerVsRegistryMutationAndReaders) {
+  MetricRegistry registry;
+  Counter& base = registry.GetCounter("cc_ops_total", "ops");
+  FlightRecorderOptions options;
+  options.interval_ms = 1;  // sample as fast as the box allows
+  options.capacity = 64;
+  options.prefix = "";
+  auto recorder = FlightRecorder::Start(options, &registry);
+
+  std::atomic<bool> stop{false};
+  std::thread mutator([&] {
+    for (int i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+      base.Increment();
+      // New series keep appearing mid-flight (bounded set: label
+      // strings repeat so the registry does not grow unbounded).
+      registry
+          .GetCounter("cc_labeled_total", "labeled",
+                      MakeLabel("k", std::to_string(i % 8)))
+          .Increment();
+      registry.GetHistogram("cc_lat_ns", "lat").Observe(
+          static_cast<uint64_t>(i));
+    }
+  });
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::string json = recorder->RenderJson(/*window_seconds=*/2);
+      ASSERT_FALSE(json.empty());
+      ASSERT_EQ(json.front(), '{');
+      ASSERT_EQ(json.back(), '}');
+    }
+  });
+  std::thread poker([&] {
+    for (int i = 0; i < 50; ++i) recorder->SampleOnce();
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true, std::memory_order_relaxed);
+  mutator.join();
+  reader.join();
+  poker.join();
+  recorder->Stop();
+  EXPECT_LE(recorder->sample_count(), 64u);
+  EXPECT_GE(recorder->sample_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ldapbound

@@ -345,6 +345,19 @@ TEST(MonitorCliTest, ServeEndToEnd) {
   ExpectBalancedJson(slowz);
   EXPECT_NE(slowz.find("\"op\":\"import\""), std::string::npos) << slowz;
 
+  // The CLI starts a flight recorder by default; its immediate startup
+  // sample means /timeseries answers with at least one sample at once,
+  // and ?window= selection parses.
+  std::string timeseries = Body(HttpGet(port, "/timeseries"));
+  ExpectBalancedJson(timeseries);
+  EXPECT_NE(timeseries.find("\"interval_ms\":1000"), std::string::npos)
+      << timeseries;
+  EXPECT_NE(timeseries.find("ldapbound_server_ops_total"), std::string::npos);
+  EXPECT_NE(timeseries.find("\"t_ms\":"), std::string::npos);
+  std::string windowed = Body(HttpGet(port, "/timeseries?window=60"));
+  ExpectBalancedJson(windowed);
+  EXPECT_NE(windowed.find("\"samples\":["), std::string::npos);
+
   std::fputs("quit\n", serve);
   std::fflush(serve);
   EXPECT_EQ(::pclose(serve), 0);

@@ -79,6 +79,31 @@ TEST(SlowOpLogTest, RenderJsonEscapesAndNests) {
   EXPECT_EQ(depth, 0);
 }
 
+TEST(SlowOpLogTest, RetentionFloorTracksMinDurationThenFastestRetained) {
+  SlowOpLog log(/*capacity=*/2, /*min_duration_ns=*/100);
+  // Not full: the floor is the min-duration gate.
+  EXPECT_EQ(log.retention_floor_ns(), 100u);
+  log.Record(MakeOp(1, 500));
+  EXPECT_EQ(log.retention_floor_ns(), 100u);
+  // Full: a newcomer must be strictly slower than the fastest retained.
+  log.Record(MakeOp(2, 300));
+  EXPECT_EQ(log.retention_floor_ns(), 301u);
+  log.Record(MakeOp(3, 400));  // evicts op 2; fastest retained is now 400
+  EXPECT_EQ(log.retention_floor_ns(), 401u);
+}
+
+TEST(SlowOpLogTest, WireRequestIdRendersOnlyWhenSet) {
+  SlowOpLog log(/*capacity=*/4);
+  log.Record(MakeOp(1, 5000));  // a directory-level op: no request_id
+  SlowOp wire = MakeOp(2, 6000);
+  wire.wire_request_id = 77;
+  log.Record(std::move(wire));
+  std::string json = log.RenderJson();
+  EXPECT_NE(json.find("\"request_id\":77"), std::string::npos) << json;
+  // Exactly one record carries the field.
+  EXPECT_EQ(json.find("\"request_id\""), json.rfind("\"request_id\""));
+}
+
 constexpr char kSchema[] = R"(
 attribute name string
 

@@ -1,5 +1,6 @@
 #include "util/metrics.h"
 
+#include <map>
 #include <thread>
 #include <vector>
 
@@ -26,15 +27,30 @@ TEST(GaugeTest, SetAndAdd) {
 }
 
 TEST(HistogramTest, BucketForBoundaries) {
-  // Bucket 0 holds v == 0; bucket i holds 2^(i-1) <= v < 2^i.
+  // Log-linear grid: values below kSubBuckets are exact, then each power
+  // of two is split into kSubBuckets linear sub-buckets.
   EXPECT_EQ(Histogram::BucketFor(0), 0u);
   EXPECT_EQ(Histogram::BucketFor(1), 1u);
-  EXPECT_EQ(Histogram::BucketFor(2), 2u);
-  EXPECT_EQ(Histogram::BucketFor(3), 2u);
-  EXPECT_EQ(Histogram::BucketFor(4), 3u);
-  EXPECT_EQ(Histogram::BucketFor(1023), 10u);
-  EXPECT_EQ(Histogram::BucketFor(1024), 11u);
+  EXPECT_EQ(Histogram::BucketFor(7), 7u);
+  // [8,16) splits into 8 one-wide sub-buckets right after the exact run.
+  EXPECT_EQ(Histogram::BucketFor(8), 8u);
+  EXPECT_EQ(Histogram::BucketFor(9), 9u);
+  EXPECT_EQ(Histogram::BucketFor(15), 15u);
+  EXPECT_EQ(Histogram::BucketFor(16), 16u);
+  // 1023 is the last value of the [512,1024) decade's top sub-bucket;
+  // 1024 opens the next decade.
+  EXPECT_EQ(Histogram::BucketFor(1023), Histogram::BucketFor(1024) - 1);
   EXPECT_EQ(Histogram::BucketFor(~uint64_t{0}), Histogram::kNumBuckets - 1);
+}
+
+TEST(HistogramTest, BucketWidthBoundsRelativeError) {
+  // The log-linear refinement is the point of the grid: every bucket
+  // above the exact run spans at most 12.5% of its lower bound.
+  for (size_t i = Histogram::kSubBuckets; i < Histogram::kNumBuckets; ++i) {
+    uint64_t lo = Histogram::BucketLowerBound(i);
+    uint64_t hi = Histogram::BucketUpperBound(i);
+    EXPECT_LE(hi - lo + 1, lo / 8 + 1) << "bucket " << i;
+  }
 }
 
 TEST(HistogramTest, BucketUpperBoundMatchesBucketFor) {
@@ -57,7 +73,37 @@ TEST(HistogramTest, ObserveCountsAndSums) {
   EXPECT_EQ(h.Sum(), 11u);
   EXPECT_EQ(h.BucketCount(0), 1u);  // the 0
   EXPECT_EQ(h.BucketCount(1), 1u);  // the 1
-  EXPECT_EQ(h.BucketCount(3), 2u);  // the two 5s (4 <= 5 < 8)
+  EXPECT_EQ(h.BucketCount(5), 2u);  // the two 5s (exact below kSubBuckets)
+}
+
+TEST(HistogramTest, ValueAtQuantileInterpolates) {
+  Histogram h;
+  EXPECT_EQ(h.ValueAtQuantile(0.5), 0u);  // empty
+  for (uint64_t v = 1; v <= 1000; ++v) h.Observe(v);
+  // With the 12.5% bucket width plus in-bucket interpolation, quantiles
+  // of a uniform ramp come back within one bucket width of exact.
+  uint64_t p50 = h.ValueAtQuantile(0.50);
+  uint64_t p99 = h.ValueAtQuantile(0.99);
+  EXPECT_NEAR(static_cast<double>(p50), 500.0, 500.0 / 8.0);
+  EXPECT_NEAR(static_cast<double>(p99), 990.0, 990.0 / 8.0);
+  // q=0 lands at the smallest observed value's bucket floor.
+  EXPECT_EQ(h.ValueAtQuantile(0.0), 1u);
+  EXPECT_LE(h.ValueAtQuantile(1.0), 1023u);
+}
+
+TEST(MetricRegistryTest, ForEachSampleFlattensSeries) {
+  MetricRegistry reg;
+  reg.GetCounter("fes_total", "h", "op=\"add\"").Increment(3);
+  reg.GetGauge("fes_depth", "h").Set(-2);
+  reg.GetHistogram("fes_ns", "h").Observe(10);
+  std::map<std::string, double> samples;
+  reg.ForEachSample(
+      [&](const std::string& series, double v) { samples[series] = v; });
+  EXPECT_EQ(samples.at("fes_total{op=\"add\"}"), 3.0);
+  EXPECT_EQ(samples.at("fes_depth"), -2.0);
+  EXPECT_EQ(samples.at("fes_ns_count"), 1.0);
+  EXPECT_EQ(samples.at("fes_ns_sum"), 10.0);
+  EXPECT_EQ(samples.size(), 4u);
 }
 
 TEST(LatencyTimerTest, ObservesOnDestruction) {

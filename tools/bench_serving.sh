@@ -15,6 +15,9 @@
 #                                      # --smoke)
 #
 # The build tree defaults to build/; override with BUILD=build-foo.
+# EXTRA_SERVE_ARGS adds flags to the `serve` invocation (the stage-
+# stamping A/B in EXPERIMENTS.md sets "--no-wire-stages
+# --flight-capacity 0").
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -71,10 +74,11 @@ trap cleanup EXIT
 # The serve loop reads commands from stdin until EOF, so feed it from a
 # fifo we hold open for the whole run.
 mkfifo "$workdir/stdin"
+# shellcheck disable=SC2086  # EXTRA_SERVE_ARGS is intentionally split
 "$cli" serve data/serving.schema data/serving.ldif \
   --monitor-port 0 --port 0 \
   --max-connections $((processes * connections + 64)) \
-  --net-workers 4 \
+  --net-workers 4 ${EXTRA_SERVE_ARGS:-} \
   <"$workdir/stdin" >"$workdir/serve.out" 2>"$workdir/serve.err" &
 serve_pid=$!
 exec 3>"$workdir/stdin"

@@ -51,6 +51,7 @@
 #include "query/evaluator.h"
 #include "schema/schema_format.h"
 #include "server/directory_server.h"
+#include "server/flight_recorder.h"
 #include "server/monitor.h"
 #include "server/net_server.h"
 #include "util/json.h"
@@ -127,6 +128,17 @@ int Usage() {
                "                       serve: reap idle wire connections "
                "(default 60000,\n"
                "                       0 = never)\n"
+               "  --no-wire-stages     serve: disable stage-level wire "
+               "observability\n"
+               "                       (the A/B baseline for its overhead "
+               "budget)\n"
+               "  --flight-interval-ms <ms>\n"
+               "                       serve: flight-recorder sampling period "
+               "(default 1000)\n"
+               "  --flight-capacity <n>\n"
+               "                       serve: flight-recorder retained "
+               "samples (default 300;\n"
+               "                       0 disables /timeseries)\n"
                "  --trace-out <file>   write Chrome trace JSON of the run\n");
   return 2;
 }
@@ -414,6 +426,9 @@ struct ServeOptions {
   size_t max_pending_ops = 1024;     // wire dispatch-queue bound
   size_t net_workers = 2;            // wire worker threads
   uint32_t idle_timeout_ms = 60000;  // wire idle-connection reap (0 = off)
+  bool wire_stages = true;           // stage-level wire observability
+  uint32_t flight_interval_ms = 1000;  // flight-recorder sampling period
+  size_t flight_capacity = 300;      // retained samples (0 = recorder off)
 };
 
 // Loads the data into a schema-guarded server, starts the monitor
@@ -488,6 +503,18 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
   auto monitor = MonitorServer::Start(&*server, monitor_options);
   if (!monitor.ok()) return Fail(monitor.status());
 
+  // Always-on flight recorder (DESIGN.md §13): 1 Hz metric history for
+  // /timeseries, so a spike is diagnosable after the fact.
+  std::unique_ptr<FlightRecorder> flight;
+  if (options.flight_capacity > 0) {
+    FlightRecorderOptions flight_options;
+    flight_options.interval_ms =
+        options.flight_interval_ms == 0 ? 1000 : options.flight_interval_ms;
+    flight_options.capacity = options.flight_capacity;
+    flight = FlightRecorder::Start(flight_options);
+    (*monitor)->SetFlightRecorder(flight.get());
+  }
+
   std::printf("monitor listening on 127.0.0.1:%u\n", (*monitor)->port());
 
   // Wire front end (DESIGN.md §12): the binary-protocol reactor. Its
@@ -501,6 +528,7 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
     net_options.max_pending_ops = options.max_pending_ops;
     net_options.worker_threads = options.net_workers;
     net_options.idle_timeout_ms = options.idle_timeout_ms;
+    net_options.stage_metrics = options.wire_stages;
     auto started = NetServer::Start(&*server, net_options);
     if (!started.ok()) return Fail(started.status());
     net = std::move(*started);
@@ -542,6 +570,10 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
   if (net != nullptr) {
     (*monitor)->SetNetServer(nullptr);
     net->Stop();  // drain before the monitor goes away
+  }
+  if (flight != nullptr) {
+    (*monitor)->SetFlightRecorder(nullptr);
+    flight->Stop();
   }
   (*monitor)->Stop();
   if (log_file != nullptr) {
@@ -709,6 +741,12 @@ int main(int argc, char** argv) {
       uint_flag(arg, i, 256, &flags.serve.net_workers);
     } else if (arg == "--idle-timeout-ms") {
       uint_flag(arg, i, UINT32_MAX, &flags.serve.idle_timeout_ms);
+    } else if (arg == "--no-wire-stages") {
+      flags.serve.wire_stages = false;
+    } else if (arg == "--flight-interval-ms") {
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.flight_interval_ms);
+    } else if (arg == "--flight-capacity") {
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.flight_capacity);
     } else if (arg == "--trace-out") {
       const char* v = next_value(i);
       if (v == nullptr) return Usage();

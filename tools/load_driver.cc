@@ -9,19 +9,26 @@
 // coordinated-omission-free way to measure a serving path).
 //
 // The request mix per connection (deterministic per-connection LCG, no
-// global RNG):  40% subtree class search, 40% value-equality search,
-// 10% ping, 8% write (alternating add/delete of a connection-unique
-// entry under the load base), 2% structural validate.
+// global RNG) is selected with --mix:
+//
+//   mixed (default): 40% subtree class search, 40% value-equality
+//       search, 10% ping, 8% write (alternating add/delete of a
+//       connection-unique entry under the load base), 2% validate
+//   read:  50% subtree search, 45% value search, 5% ping, no writes
+//   write: 20% subtree search, 20% value search, 5% ping, 50% write,
+//       5% validate
 //
 // Latencies go into log2 histograms (8 sub-buckets per power of two,
 // <= 9.4% relative error). After the measure window each child ships
-// its counters over a pipe; the parent merges, computes p50/p99/p99.9,
+// its counters over a pipe; the parent merges, computes percentiles by
+// linear interpolation inside the winning bucket (p50/p95/p99/p99.9),
 // and writes google-benchmark-shaped JSON (so
 // tools/check_bench_regression.py can gate it) to --out.
 //
 //   load_driver --port <p> [--host 127.0.0.1] [--processes 4]
 //       [--connections 256] [--seconds 10] [--warmup-seconds 2]
-//       [--base ou=load] [--out BENCH_serving.json]
+//       [--base ou=load] [--mix read|mixed|write]
+//       [--out BENCH_serving.json]
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -64,14 +71,19 @@ size_t HistBucket(uint64_t ns) {
   return idx < kHistBuckets ? idx : kHistBuckets - 1;
 }
 
-/// Midpoint of a bucket, for percentile readout.
-uint64_t BucketMidNs(size_t idx) {
+/// Inclusive lower edge of a bucket, for percentile interpolation.
+uint64_t BucketLoNs(size_t idx) {
   if (idx < 8) return idx;
   uint64_t major = idx / 8;
   uint64_t sub = idx % 8;
-  uint64_t lo = (uint64_t{1} << major) | (sub << (major - 3));
-  uint64_t width = uint64_t{1} << (major - 3);
-  return lo + width / 2;
+  return (uint64_t{1} << major) | (sub << (major - 3));
+}
+
+/// Exclusive upper edge of a bucket.
+uint64_t BucketHiNs(size_t idx) {
+  if (idx < 8) return idx + 1;
+  uint64_t major = idx / 8;
+  return BucketLoNs(idx) + (uint64_t{1} << (major - 3));
 }
 
 /// What a child ships to the parent when its window closes.
@@ -85,6 +97,31 @@ struct Report {
   uint64_t hist[kHistBuckets] = {};
 };
 
+/// Cumulative roll thresholds (out of 100) for one request-mix preset:
+/// roll < subtree -> subtree class search, < value -> value-equality
+/// search, < ping -> ping, < write -> alternating add/delete, else
+/// structural validate.
+struct MixProfile {
+  const char* name;
+  uint64_t subtree;
+  uint64_t value;
+  uint64_t ping;
+  uint64_t write;
+};
+
+constexpr MixProfile kMixes[] = {
+    {"read", 50, 95, 100, 100},
+    {"mixed", 40, 80, 90, 98},
+    {"write", 20, 40, 45, 95},
+};
+
+const MixProfile* FindMix(const std::string& name) {
+  for (const MixProfile& mix : kMixes) {
+    if (name == mix.name) return &mix;
+  }
+  return nullptr;
+}
+
 struct Options {
   std::string host = "127.0.0.1";
   uint16_t port = 0;
@@ -94,6 +131,7 @@ struct Options {
   uint64_t warmup_seconds = 2;
   std::string base = "ou=load";
   std::string out = "BENCH_serving.json";
+  const MixProfile* mix = &kMixes[1];  // "mixed"
 };
 
 /// One closed-loop connection.
@@ -136,21 +174,22 @@ int ConnectTo(const std::string& host, uint16_t port) {
 /// Builds the next request for `conn` per the workload mix.
 std::string NextRequest(Conn& conn, size_t proc, size_t index,
                         const Options& options) {
+  const MixProfile& mix = *options.mix;
   uint64_t roll = LcgNext(conn.lcg) % 100;
   uint64_t id = conn.next_id++;
-  if (roll < 40) {
+  if (roll < mix.subtree) {
     return EncodeSearchRequest(id, options.base, /*scope=*/2,
                                "(objectClass=person)");
   }
-  if (roll < 80) {
+  if (roll < mix.value) {
     // Seed entries are uid=u0..u15 (data/serving.ldif); half the value
     // lookups miss on purpose, exercising the empty-posting path.
     std::string filter =
         "(uid=u" + std::to_string(LcgNext(conn.lcg) % 32) + ")";
     return EncodeSearchRequest(id, options.base, /*scope=*/2, filter);
   }
-  if (roll < 90) return EncodePingRequest(id);
-  if (roll < 98) {
+  if (roll < mix.ping) return EncodePingRequest(id);
+  if (roll < mix.write) {
     std::string uid = "w" + std::to_string(proc) + "c" +
                       std::to_string(index) + "n" +
                       std::to_string(conn.write_seq);
@@ -339,16 +378,28 @@ int RunChild(size_t proc, const Options& options, int report_fd) {
   return 0;
 }
 
+/// Percentile with linear interpolation inside the winning bucket: the
+/// rank's position among that bucket's samples picks a point between the
+/// bucket edges instead of snapping every read to the midpoint, so
+/// adjacent sweep points move smoothly instead of in 12.5% steps.
 uint64_t Percentile(const uint64_t* hist, uint64_t total, double p) {
   if (total == 0) return 0;
   uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(total));
   if (rank >= total) rank = total - 1;
   uint64_t seen = 0;
   for (size_t i = 0; i < kHistBuckets; ++i) {
+    if (hist[i] == 0) continue;
+    if (seen + hist[i] > rank) {
+      double frac = (static_cast<double>(rank - seen) + 0.5) /
+                    static_cast<double>(hist[i]);
+      uint64_t lo = BucketLoNs(i);
+      uint64_t hi = BucketHiNs(i);
+      return lo + static_cast<uint64_t>(
+                      frac * static_cast<double>(hi - lo));
+    }
     seen += hist[i];
-    if (seen > rank) return BucketMidNs(i);
   }
-  return BucketMidNs(kHistBuckets - 1);
+  return BucketHiNs(kHistBuckets - 1);
 }
 
 int Usage() {
@@ -356,7 +407,8 @@ int Usage() {
       stderr,
       "usage: load_driver --port <p> [--host 127.0.0.1] [--processes 4]\n"
       "    [--connections 256] [--seconds 10] [--warmup-seconds 2]\n"
-      "    [--base ou=load] [--out BENCH_serving.json]\n");
+      "    [--base ou=load] [--mix read|mixed|write]\n"
+      "    [--out BENCH_serving.json]\n");
   return 2;
 }
 
@@ -406,6 +458,14 @@ int main(int argc, char** argv) {
       const char* text = value();
       if (text == nullptr) return Usage();
       options.out = text;
+    } else if (arg == "--mix") {
+      const char* text = value();
+      if (text == nullptr) return Usage();
+      options.mix = FindMix(text);
+      if (options.mix == nullptr) {
+        std::fprintf(stderr, "error: --mix: unknown preset '%s'\n", text);
+        return Usage();
+      }
     } else if (arg == "--processes") {
       if (!uint_arg(64, &v)) return Usage();
       options.processes = static_cast<size_t>(v);
@@ -494,18 +554,22 @@ int main(int argc, char** argv) {
   const double wall_s = static_cast<double>(options.seconds);
   const double ops_per_s = static_cast<double>(merged.ops_ok) / wall_s;
   const uint64_t p50 = Percentile(merged.hist, merged.ops_ok, 0.50);
+  const uint64_t p95 = Percentile(merged.hist, merged.ops_ok, 0.95);
   const uint64_t p99 = Percentile(merged.hist, merged.ops_ok, 0.99);
   const uint64_t p999 = Percentile(merged.hist, merged.ops_ok, 0.999);
 
   std::fprintf(stderr,
+               "mix:         %s\n"
                "connections: %" PRIu64 " established, %" PRIu64
                " shed, %" PRIu64 " dropped\n"
                "ops:         %" PRIu64 " ok, %" PRIu64 " retryable, %" PRIu64
                " failed (%.0f ok/s over %.0fs)\n"
-               "latency:     p50 %.3fms  p99 %.3fms  p99.9 %.3fms\n",
-               merged.connected, merged.conn_shed, merged.conn_dropped,
-               merged.ops_ok, merged.ops_retryable, merged.ops_failed,
-               ops_per_s, wall_s, static_cast<double>(p50) / 1e6,
+               "latency:     p50 %.3fms  p95 %.3fms  p99 %.3fms  "
+               "p99.9 %.3fms\n",
+               options.mix->name, merged.connected, merged.conn_shed,
+               merged.conn_dropped, merged.ops_ok, merged.ops_retryable,
+               merged.ops_failed, ops_per_s, wall_s,
+               static_cast<double>(p50) / 1e6, static_cast<double>(p95) / 1e6,
                static_cast<double>(p99) / 1e6,
                static_cast<double>(p999) / 1e6);
 
@@ -522,11 +586,12 @@ int main(int argc, char** argv) {
       "    \"processes\": %zu,\n"
       "    \"connections\": %zu,\n"
       "    \"seconds\": %" PRIu64 ",\n"
+      "    \"mix\": \"%s\",\n"
       "    \"connections_established\": %" PRIu64 "\n"
       "  },\n"
       "  \"benchmarks\": [\n"
       "    {\n"
-      "      \"name\": \"serving/mixed_closed_loop\",\n"
+      "      \"name\": \"serving/%s_closed_loop\",\n"
       "      \"run_type\": \"iteration\",\n"
       "      \"iterations\": %" PRIu64 ",\n"
       "      \"real_time\": %.1f,\n"
@@ -534,6 +599,7 @@ int main(int argc, char** argv) {
       "      \"time_unit\": \"ns\",\n"
       "      \"items_per_second\": %.3f,\n"
       "      \"p50_ns\": %" PRIu64 ",\n"
+      "      \"p95_ns\": %" PRIu64 ",\n"
       "      \"p99_ns\": %" PRIu64 ",\n"
       "      \"p999_ns\": %" PRIu64 ",\n"
       "      \"ops_ok\": %" PRIu64 ",\n"
@@ -544,9 +610,10 @@ int main(int argc, char** argv) {
       "  ]\n"
       "}\n",
       options.processes, options.connections, options.seconds,
-      merged.connected, total, wall_s * 1e9,
-      wall_s * 1e9, ops_per_s, p50, p99, p999, merged.ops_ok,
-      merged.ops_retryable, merged.ops_failed, merged.connected);
+      options.mix->name, merged.connected, options.mix->name, total,
+      wall_s * 1e9, wall_s * 1e9, ops_per_s, p50, p95, p99, p999,
+      merged.ops_ok, merged.ops_retryable, merged.ops_failed,
+      merged.connected);
   std::fclose(out);
   std::fprintf(stderr, "wrote %s\n", options.out.c_str());
   return merged.ops_ok > 0 ? 0 : 1;
