@@ -105,6 +105,7 @@ Result<EntryId> Directory::AddEntry(EntryId parent, std::string rdn,
   for (const AttributeValue& av : e.values_) {
     TrackValue(id, av.attribute, av.value, true);
   }
+  TrackEntryPayload(id);
   ++version_;
   return id;
 }
@@ -154,6 +155,7 @@ Status Directory::AddValue(EntryId id, AttributeId attr, Value value) {
   }
   it = e.values_.insert(it, std::move(av));
   TrackValue(id, attr, it->value, true);
+  TrackEntryPayload(id);
   ++version_;
   return Status::OK();
 }
@@ -176,6 +178,7 @@ Status Directory::RemoveValue(EntryId id, AttributeId attr,
   }
   e.values_.erase(it);
   TrackValue(id, attr, value, false);
+  TrackEntryPayload(id);
   ++version_;
   return Status::OK();
 }
@@ -191,6 +194,7 @@ Status Directory::AddClass(EntryId id, ClassId cls) {
   e.classes_.insert(it, cls);
   BumpClassCount(cls, +1);
   TrackClass(id, cls, true);
+  TrackEntryPayload(id);
   ++version_;
   return Status::OK();
 }
@@ -209,6 +213,7 @@ Status Directory::RemoveClass(EntryId id, ClassId cls) {
   e.classes_.erase(it);
   BumpClassCount(cls, -1);
   TrackClass(id, cls, false);
+  TrackEntryPayload(id);
   ++version_;
   return Status::OK();
 }
@@ -258,6 +263,7 @@ Status Directory::Rename(EntryId id, std::string new_rdn) {
   Entry& e = entries_[id];
   if (EqualsIgnoreCase(e.rdn_, new_rdn)) {
     e.rdn_ = std::move(new_rdn);  // case-only change: same index key
+    TrackEntryPayload(id);        // ...but the payload carries the bytes
     ++version_;
     return Status::OK();
   }
@@ -268,6 +274,7 @@ Status Directory::Rename(EntryId id, std::string new_rdn) {
   rdn_index_.Erase(RdnKey(e.parent_, e.rdn_));
   rdn_index_.Set(RdnKey(e.parent_, new_rdn), id);
   e.rdn_ = std::move(new_rdn);
+  TrackEntryPayload(id);
   ++version_;
   return Status::OK();
 }
@@ -288,6 +295,7 @@ Status Directory::DeleteLeaf(EntryId id) {
   for (const AttributeValue& av : e.values_) {
     TrackValue(id, av.attribute, av.value, false);
   }
+  TrackEntryPayload(id, /*alive=*/false);
   if (e.parent_ == kInvalidEntryId) {
     roots_.erase(std::find(roots_.begin(), roots_.end(), id));
   } else {
@@ -417,6 +425,47 @@ void Directory::TrackValue(EntryId id, AttributeId attr, const Value& value,
   }
 }
 
+namespace {
+
+// Mirrors of the server/wire.h little-endian appenders, duplicated here
+// because the model layer cannot depend on src/server. The blob format is
+// documented on DirectorySnapshot::PayloadMap.
+void PayloadPutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void PayloadPutU32(std::string& out, uint32_t v) {
+  PayloadPutU16(out, static_cast<uint16_t>(v));
+  PayloadPutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PayloadPutString(std::string& out, std::string_view s) {
+  PayloadPutU32(out, static_cast<uint32_t>(s.size()));
+  out.append(s.data(), s.size());
+}
+
+}  // namespace
+
+void Directory::TrackEntryPayload(EntryId id, bool alive) {
+  if (!snapshots_enabled_) return;
+  if (!alive) {
+    by_entry_.Erase(id);
+    return;
+  }
+  const Entry& e = entries_[id];
+  std::string blob;
+  PayloadPutString(blob, e.rdn());
+  PayloadPutU16(blob, static_cast<uint16_t>(e.classes().size()));
+  for (ClassId c : e.classes()) PayloadPutString(blob, vocab_->ClassName(c));
+  PayloadPutU16(blob, static_cast<uint16_t>(e.values().size()));
+  for (const AttributeValue& av : e.values()) {
+    PayloadPutString(blob, vocab_->AttributeName(av.attribute));
+    PayloadPutString(blob, av.value.ToString());
+  }
+  by_entry_.Set(id, std::make_shared<const std::string>(std::move(blob)));
+}
+
 void Directory::EnableSnapshots() {
   if (snapshots_enabled_) return;
   snapshots_enabled_ = true;
@@ -429,6 +478,7 @@ void Directory::EnableSnapshots() {
     for (const AttributeValue& av : e.values()) {
       TrackValue(e.id(), av.attribute, av.value, true);
     }
+    TrackEntryPayload(e.id());
   });
   PublishSnapshot();
 }
@@ -445,6 +495,7 @@ void Directory::PublishSnapshot() {
   snap->by_class = by_class_.Freeze();
   snap->by_value = by_value_.Freeze();
   snap->rdn = rdn_index_.Freeze();
+  snap->by_entry = by_entry_.Freeze();
   store_->Publish(snap);
 }
 

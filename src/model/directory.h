@@ -204,6 +204,11 @@ class Directory {
   void TrackAlive(EntryId id, bool on);
   void TrackClass(EntryId id, ClassId cls, bool add);
   void TrackValue(EntryId id, AttributeId attr, const Value& value, bool add);
+  /// Re-serializes entry `id`'s payload blob (DirectorySnapshot::
+  /// PayloadMap format) into the pending delta; with alive == false the
+  /// payload is dropped instead. Names resolve through the Vocabulary
+  /// here, on the writer thread, so snapshot readers never touch it.
+  void TrackEntryPayload(EntryId id, bool alive = true);
 
   std::shared_ptr<Vocabulary> vocab_;
   std::vector<Entry> entries_;
@@ -228,6 +233,7 @@ class Directory {
   bool alive_private_ = false;
   DirectorySnapshot::ClassPostingMap by_class_;
   DirectorySnapshot::ValuePostingMap by_value_;
+  DirectorySnapshot::PayloadMap by_entry_;
   std::unique_ptr<SnapshotStore> store_;
 };
 

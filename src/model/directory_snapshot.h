@@ -51,10 +51,13 @@ std::string SnapshotRdnKey(EntryId parent, std::string_view rdn);
 /// exactly the chunks/overlays of its version alive — untouched parts
 /// are shared with neighboring versions.
 ///
-/// NOTE deliberately absent: Entry payloads. Live Entry objects mutate
-/// in place, so snapshot readers must never dereference into
-/// Directory::entry(); every snapshot query is answered from the data
-/// here.
+/// NOTE: live Entry objects mutate in place, so snapshot readers must
+/// never dereference into Directory::entry(). Entry *content* is instead
+/// carried as immutable pre-serialized payload blobs (`by_entry`),
+/// re-serialized by the writer whenever an entry's rdn/classes/values
+/// change — readers get stable bytes, and the serving path concatenates
+/// them onto the wire without touching the Vocabulary (which is not
+/// read-safe against writer interning).
 struct DirectorySnapshot {
   // Payload pointers are non-const shared_ptrs so the single writer can
   // mutate a payload it cloned within the current (unfrozen) delta;
@@ -65,6 +68,15 @@ struct DirectorySnapshot {
       CowMap<SnapshotValueKey, std::shared_ptr<std::vector<EntryId>>,
              SnapshotValueKeyHash>;
   using RdnMap = CowMap<std::string, EntryId>;
+  /// Per-entry payload blobs in the wire's little-endian encoding
+  /// (server/wire.h primitives — strings are u32 length + bytes):
+  ///
+  ///   str rdn | u16 nclasses | nclasses × str class-name |
+  ///   u16 nvalues | nvalues × (str attr-name, str value-text)
+  ///
+  /// Payloads are write-once: every mutation stores a freshly serialized
+  /// blob, so a shared_ptr handed out by a frozen View never changes.
+  using PayloadMap = CowMap<EntryId, std::shared_ptr<const std::string>>;
 
   uint64_t version = 0;
   size_t id_capacity = 0;
@@ -79,6 +91,7 @@ struct DirectorySnapshot {
   ClassPostingMap::View by_class;
   ValuePostingMap::View by_value;
   RdnMap::View rdn;
+  PayloadMap::View by_entry;
 
   /// Members of class `cls`, or nullptr when no alive entry has it. The
   /// returned set may have capacity != id_capacity (postings grow in
@@ -105,6 +118,13 @@ struct DirectorySnapshot {
   /// The child of `parent` with (case-insensitive) RDN `rdn`, or
   /// kInvalidEntryId. Mirrors Directory::FindChildByRdn.
   EntryId FindChildByRdn(EntryId parent, std::string_view rdn) const;
+
+  /// The serialized payload of entry `id` at this version, or nullptr for
+  /// ids this snapshot does not know (dead, or never had a payload).
+  const std::string* EntryPayload(EntryId id) const {
+    const std::shared_ptr<const std::string>* p = by_entry.Find(id);
+    return p == nullptr ? nullptr : p->get();
+  }
 
   bool IsAlive(EntryId id) const { return alive != nullptr && alive->Contains(id); }
   EntryId parent(EntryId id) const {

@@ -375,9 +375,11 @@ std::string MonitorServer::RenderStatusz() const {
   if (net != nullptr) {
     NetServer::Stats wire = net->stats();
     AppendU64Field(out, "port", net->port());
+    AppendU64Field(out, "reactors", wire.reactors);
     AppendU64Field(out, "connections_accepted", wire.connections_accepted);
     AppendU64Field(out, "connections_active", wire.connections_active);
     AppendU64Field(out, "connections_shed", wire.connections_shed);
+    AppendU64Field(out, "accept_errors", wire.accept_errors);
     AppendU64Field(out, "ops_shed", wire.ops_shed);
     AppendU64Field(out, "ops_ok", wire.ops_ok);
     AppendU64Field(out, "ops_rejected", wire.ops_rejected);
@@ -386,6 +388,9 @@ std::string MonitorServer::RenderStatusz() const {
     AppendU64Field(out, "frames_out", wire.frames_out);
     AppendU64Field(out, "protocol_errors", wire.protocol_errors);
     AppendU64Field(out, "idle_closed", wire.idle_closed);
+    AppendU64Field(out, "owed_bytes_at_stop", wire.owed_bytes_at_stop);
+    AppendU64Field(out, "cursors_open", wire.cursors_open);
+    AppendU64Field(out, "cursors_expired", wire.cursors_expired);
   }
   out += "}";
 

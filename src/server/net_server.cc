@@ -6,8 +6,10 @@
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -22,12 +24,28 @@ namespace ldapbound {
 
 namespace {
 
-/// How often the reactor wakes with no events: idle sweeping and drain
-/// progress both ride on this.
+/// How often a reactor wakes with no events: idle sweeping, cursor
+/// reaping, accept re-arming and drain progress all ride on this.
 constexpr int kEpollTimeoutMs = 250;
 
-/// How long Stop() lets pending responses flush before force-closing.
-constexpr auto kDrainGrace = std::chrono::milliseconds(500);
+/// How long an EMFILE/ENFILE accept failure keeps the listener's EPOLLIN
+/// disarmed. Accepting again immediately would spin hot — the ready
+/// queue stays ready while the process is out of fds.
+constexpr auto kAcceptBackoff = std::chrono::milliseconds(100);
+
+/// Read budget per readable wakeup. Level-triggered epoll re-arms on
+/// leftover socket bytes, so the cap bounds how long one firehose
+/// connection can hold its reactor without starving the rest.
+constexpr size_t kMaxReadBytesPerWake = 256 * 1024;
+
+/// Response frames gathered into one sendmsg call. Safely under Linux's
+/// IOV_MAX (1024); past a few dozen frames the syscall amortization has
+/// flattened anyway.
+constexpr size_t kMaxIovGather = 64;
+
+/// Hard cap on a kSearchEntries page; keeps one page comfortably inside
+/// the frame payload limit for realistic entry sizes.
+constexpr uint32_t kMaxSearchEntriesPage = 1024;
 
 Status Errno(const char* what) {
   return Status::Internal(std::string("net: ") + what + ": " +
@@ -48,6 +66,8 @@ const char* WireOpName(WireOp op) {
       return "wire.delete";
     case WireOp::kValidate:
       return "wire.validate";
+    case WireOp::kSearchEntries:
+      return "wire.search_entries";
     default:
       return "wire.op";
   }
@@ -66,70 +86,136 @@ const char* WireOutcomeName(WireCode code) {
 }
 
 /// The pre-encoded frame a connection refused at the door receives.
-const std::string& ShedFrame() {
-  static const std::string* frame = [] {
-    WireResponse shed;
-    shed.op = WireOp::kShed;
-    shed.request_id = 0;
-    shed.code = WireCode::kOverloaded;
-    shed.retryable = true;
-    shed.message = "connection refused: at the connection limit or "
-                   "draining; retry with backoff";
-    return new std::string(EncodeResponseFrame(shed));
-  }();
-  return *frame;
+std::string EncodeShedFrame() {
+  WireResponse shed;
+  shed.op = WireOp::kShed;
+  shed.request_id = 0;
+  shed.code = WireCode::kOverloaded;
+  shed.retryable = true;
+  shed.message = "connection refused: at the connection limit or "
+                 "draining; retry with backoff";
+  return EncodeResponseFrame(shed);
 }
 
 }  // namespace
 
-/// Own atomics (for stats()) mirrored into ldapbound_net_* metric
-/// families so the monitor's /metrics sees the serving path.
-struct NetServer::Counters {
-  Counters()
-      : m_accepted(MetricRegistry::Default().GetCounter(
-            "ldapbound_net_connections_total",
-            "Wire connections accepted")),
+/// Per-reactor atomics (for stats()) mirrored into ldapbound_net_*
+/// metric series carrying this reactor's `reactor` label, so /metrics
+/// shows how evenly SO_REUSEPORT spreads the load.
+struct NetServer::ReactorCounters {
+  explicit ReactorCounters(size_t index)
+      : label(MakeLabel("reactor", std::to_string(index))),
+        m_accepted(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_connections_total", "Wire connections accepted",
+            label)),
         m_shed_conns(MetricRegistry::Default().GetCounter(
             "ldapbound_net_connections_shed_total",
             "Wire connections refused at the connection limit or while "
-            "draining")),
-        m_shed_ops(MetricRegistry::Default().GetCounter(
-            "ldapbound_net_ops_shed_total",
-            "Wire requests shed at the dispatch-queue bound")),
+            "draining",
+            label)),
         m_frames_in(MetricRegistry::Default().GetCounter(
-            "ldapbound_net_frames_in_total", "Wire request frames parsed")),
+            "ldapbound_net_frames_in_total", "Wire request frames parsed",
+            label)),
         m_frames_out(MetricRegistry::Default().GetCounter(
-            "ldapbound_net_frames_out_total",
-            "Wire response frames queued")),
+            "ldapbound_net_frames_out_total", "Wire response frames queued",
+            label)),
         m_protocol_errors(MetricRegistry::Default().GetCounter(
             "ldapbound_net_protocol_errors_total",
-            "Malformed wire frames (connection closed)")),
+            "Malformed wire frames (connection closed)", label)),
         m_idle_closed(MetricRegistry::Default().GetCounter(
             "ldapbound_net_idle_closed_total",
-            "Wire connections reaped by the idle timeout")),
+            "Wire connections reaped by the idle timeout", label)),
         m_active(MetricRegistry::Default().GetGauge(
             "ldapbound_net_connections_active",
-            "Currently open wire connections")),
+            "Currently open wire connections", label)),
+        m_accept_emfile(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_accept_errors_total",
+            "accept4 failures by errno class (EMFILE/ENFILE back off the "
+            "listener)",
+            MakeLabel("reason", "emfile") + "," + label)),
+        m_accept_enfile(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_accept_errors_total",
+            "accept4 failures by errno class (EMFILE/ENFILE back off the "
+            "listener)",
+            MakeLabel("reason", "enfile") + "," + label)),
+        m_accept_other(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_accept_errors_total",
+            "accept4 failures by errno class (EMFILE/ENFILE back off the "
+            "listener)",
+            MakeLabel("reason", "other") + "," + label)),
+        h_epoll_batch(MetricRegistry::Default().GetHistogram(
+            "ldapbound_net_epoll_wakeup_events",
+            "Ready events per epoll_wait wakeup (event-carrying wakeups "
+            "only)",
+            label)),
+        h_completion_batch(MetricRegistry::Default().GetHistogram(
+            "ldapbound_net_completion_batch",
+            "Worker completions drained per eventfd wakeup", label)),
+        h_out_hwm(MetricRegistry::Default().GetHistogram(
+            "ldapbound_net_conn_out_hwm_bytes",
+            "Per-connection write-buffer high-watermark, observed at "
+            "connection close",
+            label)) {}
+
+  void CountAcceptError(int err) {
+    accept_errors.fetch_add(1, std::memory_order_relaxed);
+    if (err == EMFILE) {
+      m_accept_emfile.Increment();
+    } else if (err == ENFILE) {
+      m_accept_enfile.Increment();
+    } else {
+      m_accept_other.Increment();
+    }
+  }
+
+  const std::string label;
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> shed_conns{0};
+  std::atomic<uint64_t> frames_in{0};
+  std::atomic<uint64_t> frames_out{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> idle_closed{0};
+  std::atomic<uint64_t> accept_errors{0};
+
+  Counter& m_accepted;
+  Counter& m_shed_conns;
+  Counter& m_frames_in;
+  Counter& m_frames_out;
+  Counter& m_protocol_errors;
+  Counter& m_idle_closed;
+  Gauge& m_active;
+  Counter& m_accept_emfile;
+  Counter& m_accept_enfile;
+  Counter& m_accept_other;
+  Histogram& h_epoll_batch;
+  Histogram& h_completion_batch;
+  Histogram& h_out_hwm;
+};
+
+/// Counters with no reactor affiliation: the dispatch queue and the
+/// worker pool are shared, and the stage histograms decompose the whole
+/// pipeline regardless of which shard carried the socket.
+struct NetServer::SharedCounters {
+  SharedCounters()
+      : m_shed_ops(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_ops_shed_total",
+            "Wire requests shed at the dispatch-queue bound")),
         m_ops_ok(MetricRegistry::Default().GetCounter(
             "ldapbound_net_ops_total", "Wire requests executed, by outcome",
             "outcome=\"ok\"")),
         m_ops_rejected(MetricRegistry::Default().GetCounter(
             "ldapbound_net_ops_total", "Wire requests executed, by outcome",
             "outcome=\"rejected\"")),
-        h_epoll_batch(MetricRegistry::Default().GetHistogram(
-            "ldapbound_net_epoll_wakeup_events",
-            "Ready events per epoll_wait wakeup (event-carrying wakeups "
-            "only)")),
-        h_completion_batch(MetricRegistry::Default().GetHistogram(
-            "ldapbound_net_completion_batch",
-            "Worker completions drained per eventfd wakeup")),
         g_queue_depth(MetricRegistry::Default().GetGauge(
             "ldapbound_net_dispatch_queue_depth",
             "Decoded wire requests waiting for a worker")),
-        h_out_hwm(MetricRegistry::Default().GetHistogram(
-            "ldapbound_net_conn_out_hwm_bytes",
-            "Per-connection write-buffer high-watermark, observed at "
-            "connection close")),
+        g_cursors_open(MetricRegistry::Default().GetGauge(
+            "ldapbound_net_cursors_open",
+            "Paged-search cursors retaining a snapshot version")),
+        m_cursors_expired(MetricRegistry::Default().GetCounter(
+            "ldapbound_net_cursors_expired_total",
+            "Paged-search cursors reaped by the idle timeout")),
         stage_dispatch(StageHistogram("dispatch")),
         stage_queue_wait(StageHistogram("queue_wait")),
         stage_execute(StageHistogram("execute")),
@@ -149,31 +235,16 @@ struct NetServer::Counters {
         MakeLabel("stage", stage));
   }
 
-  std::atomic<uint64_t> accepted{0};
-  std::atomic<uint64_t> active{0};
-  std::atomic<uint64_t> shed_conns{0};
   std::atomic<uint64_t> shed_ops{0};
-  std::atomic<uint64_t> frames_in{0};
-  std::atomic<uint64_t> frames_out{0};
-  std::atomic<uint64_t> protocol_errors{0};
-  std::atomic<uint64_t> idle_closed{0};
   std::atomic<uint64_t> ops_ok{0};
   std::atomic<uint64_t> ops_rejected{0};
 
-  Counter& m_accepted;
-  Counter& m_shed_conns;
   Counter& m_shed_ops;
-  Counter& m_frames_in;
-  Counter& m_frames_out;
-  Counter& m_protocol_errors;
-  Counter& m_idle_closed;
-  Gauge& m_active;
   Counter& m_ops_ok;
   Counter& m_ops_rejected;
-  Histogram& h_epoll_batch;
-  Histogram& h_completion_batch;
   Gauge& g_queue_depth;
-  Histogram& h_out_hwm;
+  Gauge& g_cursors_open;
+  Counter& m_cursors_expired;
   Histogram& stage_dispatch;
   Histogram& stage_queue_wait;
   Histogram& stage_execute;
@@ -185,83 +256,111 @@ struct NetServer::Counters {
 
 Result<std::unique_ptr<NetServer>> NetServer::Start(
     DirectoryServer* server, const NetServerOptions& options) {
-  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
-  if (fd < 0) return Errno("socket");
-  int one = 1;
-  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  size_t nreactors = options.reactors;
+  if (nreactors == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    nreactors = hw == 0 ? 1 : hw;
+  }
 
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_port = htons(options.port);
-  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
-      1) {
-    ::close(fd);
-    return Status::InvalidArgument("net: bad bind address '" +
-                                   options.bind_address + "'");
-  }
-  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    Status status = Errno("bind");
-    ::close(fd);
+  // One SO_REUSEPORT listener per reactor, all on the same port: the
+  // option must be set on every socket *before* bind, and with port 0
+  // the first bind learns the ephemeral port the rest then join.
+  std::vector<int> listen_fds;
+  auto fail = [&listen_fds](Status status) {
+    for (int fd : listen_fds) ::close(fd);
     return status;
-  }
-  if (::listen(fd, 1024) != 0) {
-    Status status = Errno("listen");
-    ::close(fd);
-    return status;
-  }
-  sockaddr_in bound{};
-  socklen_t len = sizeof(bound);
-  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
-    Status status = Errno("getsockname");
-    ::close(fd);
-    return status;
+  };
+  uint16_t port = options.port;
+  for (size_t i = 0; i < nreactors; ++i) {
+    int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (fd < 0) return fail(Errno("socket"));
+    listen_fds.push_back(fd);
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof(one)) != 0) {
+      return fail(Errno("setsockopt(SO_REUSEPORT)"));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+        1) {
+      return fail(Status::InvalidArgument("net: bad bind address '" +
+                                          options.bind_address + "'"));
+    }
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+      return fail(Errno("bind"));
+    }
+    if (i == 0) {
+      sockaddr_in bound{};
+      socklen_t len = sizeof(bound);
+      if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+        return fail(Errno("getsockname"));
+      }
+      port = ntohs(bound.sin_port);
+    }
+    if (::listen(fd, 1024) != 0) return fail(Errno("listen"));
   }
 
   // The read side of the serving path is snapshot-only; make sure the
   // server publishes them (idempotent, must happen before traffic).
   server->EnableMvcc();
 
-  std::unique_ptr<NetServer> net(
-      new NetServer(server, options, fd, ntohs(bound.sin_port)));
-  net->epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
-  net->wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
-  if (net->epoll_fd_ < 0 || net->wake_fd_ < 0) {
-    return Errno("epoll/eventfd");  // fds closed by the destructor
+  std::unique_ptr<NetServer> net(new NetServer(server, options, port));
+  for (size_t i = 0; i < nreactors; ++i) {
+    auto r = std::make_unique<Reactor>();
+    r->index = i;
+    r->listen_fd = listen_fds[i];
+    r->shed_frame = EncodeShedFrame();
+    r->counters = std::make_unique<ReactorCounters>(i);
+    net->reactors_.push_back(std::move(r));
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;
-  ev.data.fd = fd;
-  if (::epoll_ctl(net->epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0 ) {
-    return Errno("epoll_ctl(listen)");
-  }
-  epoll_event wake{};
-  wake.events = EPOLLIN;
-  wake.data.fd = net->wake_fd_;
-  if (::epoll_ctl(net->epoll_fd_, EPOLL_CTL_ADD, net->wake_fd_, &wake) != 0) {
-    return Errno("epoll_ctl(wake)");
+  listen_fds.clear();  // owned by the reactors (destructor closes) now
+  for (auto& r : net->reactors_) {
+    r->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    r->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (r->epoll_fd < 0 || r->wake_fd < 0) {
+      return Errno("epoll/eventfd");  // fds closed by the destructor
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = r->listen_fd;
+    if (::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->listen_fd, &ev) != 0) {
+      return Errno("epoll_ctl(listen)");
+    }
+    epoll_event wake{};
+    wake.events = EPOLLIN;
+    wake.data.fd = r->wake_fd;
+    if (::epoll_ctl(r->epoll_fd, EPOLL_CTL_ADD, r->wake_fd, &wake) != 0) {
+      return Errno("epoll_ctl(wake)");
+    }
   }
 
   size_t workers = options.worker_threads == 0 ? 1 : options.worker_threads;
   for (size_t i = 0; i < workers; ++i) {
     net->workers_.emplace_back([raw = net.get()]() { raw->WorkerLoop(); });
   }
-  net->reactor_ = std::thread([raw = net.get()]() { raw->ReactorLoop(); });
+  for (auto& r : net->reactors_) {
+    r->thread = std::thread(
+        [raw = net.get(), reactor = r.get()]() { raw->ReactorLoop(*reactor); });
+  }
   return net;
 }
 
 NetServer::NetServer(DirectoryServer* server, const NetServerOptions& options,
-                     int listen_fd, uint16_t port)
+                     uint16_t port)
     : server_(server),
       options_(options),
-      listen_fd_(listen_fd),
       port_(port),
-      counters_(std::make_unique<Counters>()) {}
+      shared_(std::make_unique<SharedCounters>()) {}
 
 NetServer::~NetServer() {
   Stop();
-  if (epoll_fd_ >= 0) ::close(epoll_fd_);
-  if (wake_fd_ >= 0) ::close(wake_fd_);
-  ::close(listen_fd_);
+  for (auto& r : reactors_) {
+    if (r->epoll_fd >= 0) ::close(r->epoll_fd);
+    if (r->wake_fd >= 0) ::close(r->wake_fd);
+    if (r->listen_fd >= 0) ::close(r->listen_fd);
+  }
 }
 
 void NetServer::Stop() {
@@ -269,29 +368,47 @@ void NetServer::Stop() {
   stopping_.store(true, std::memory_order_release);
   queue_cv_.notify_all();
   // Workers drain what is queued, post their completions, and exit;
-  // joining them first means the reactor's final drain sees everything.
+  // joining them first means every reactor's final drain sees everything.
   for (std::thread& w : workers_) {
     if (w.joinable()) w.join();
   }
-  uint64_t one = 1;
-  (void)!::write(wake_fd_, &one, sizeof(one));
-  if (reactor_.joinable()) reactor_.join();
+  for (auto& r : reactors_) {
+    if (r->wake_fd >= 0) {
+      uint64_t one = 1;
+      (void)!::write(r->wake_fd, &one, sizeof(one));
+    }
+    if (r->thread.joinable()) r->thread.join();
+  }
+  // Every reactor is gone: drop the cursors so their retained snapshot
+  // versions free before the DirectoryServer goes away.
+  std::lock_guard<std::mutex> lock(cursors_mu_);
+  cursors_.clear();
+  shared_->g_cursors_open.Set(0);
 }
 
 NetServer::Stats NetServer::stats() const {
   Stats s;
-  s.connections_accepted =
-      counters_->accepted.load(std::memory_order_relaxed);
-  s.connections_active = counters_->active.load(std::memory_order_relaxed);
-  s.connections_shed = counters_->shed_conns.load(std::memory_order_relaxed);
-  s.ops_shed = counters_->shed_ops.load(std::memory_order_relaxed);
-  s.frames_in = counters_->frames_in.load(std::memory_order_relaxed);
-  s.frames_out = counters_->frames_out.load(std::memory_order_relaxed);
-  s.protocol_errors =
-      counters_->protocol_errors.load(std::memory_order_relaxed);
-  s.idle_closed = counters_->idle_closed.load(std::memory_order_relaxed);
-  s.ops_ok = counters_->ops_ok.load(std::memory_order_relaxed);
-  s.ops_rejected = counters_->ops_rejected.load(std::memory_order_relaxed);
+  s.reactors = reactors_.size();
+  for (const auto& r : reactors_) {
+    const ReactorCounters& c = *r->counters;
+    s.connections_accepted += c.accepted.load(std::memory_order_relaxed);
+    s.connections_shed += c.shed_conns.load(std::memory_order_relaxed);
+    s.accept_errors += c.accept_errors.load(std::memory_order_relaxed);
+    s.frames_in += c.frames_in.load(std::memory_order_relaxed);
+    s.frames_out += c.frames_out.load(std::memory_order_relaxed);
+    s.protocol_errors += c.protocol_errors.load(std::memory_order_relaxed);
+    s.idle_closed += c.idle_closed.load(std::memory_order_relaxed);
+  }
+  s.connections_active = active_conns_.load(std::memory_order_relaxed);
+  s.ops_shed = shared_->shed_ops.load(std::memory_order_relaxed);
+  s.ops_ok = shared_->ops_ok.load(std::memory_order_relaxed);
+  s.ops_rejected = shared_->ops_rejected.load(std::memory_order_relaxed);
+  s.owed_bytes_at_stop = owed_bytes_at_stop_.load(std::memory_order_relaxed);
+  s.cursors_expired = cursors_expired_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    s.cursors_open = cursors_.size();
+  }
   {
     std::lock_guard<std::mutex> lock(queue_mu_);
     s.dispatch_queue_depth = queue_.size();
@@ -299,136 +416,174 @@ NetServer::Stats NetServer::stats() const {
   return s;
 }
 
-void NetServer::ReactorLoop() {
+void NetServer::ReactorLoop(Reactor& r) {
   std::chrono::steady_clock::time_point drain_start{};
   bool draining_out = false;
+  const auto drain_grace = std::chrono::milliseconds(options_.drain_grace_ms);
   for (;;) {
     epoll_event events[128];
-    int n = ::epoll_wait(epoll_fd_, events, 128, kEpollTimeoutMs);
+    int n = ::epoll_wait(r.epoll_fd, events, 128, kEpollTimeoutMs);
     if (n < 0 && errno != EINTR) return;  // epoll fd died: nothing to do
     if (n > 0) {
-      counters_->h_epoll_batch.Observe(static_cast<uint64_t>(n));
+      r.counters->h_epoll_batch.Observe(static_cast<uint64_t>(n));
     }
 
     for (int i = 0; i < n; ++i) {
       int fd = events[i].data.fd;
-      if (fd == listen_fd_) {
-        HandleAccept();
+      if (fd == r.listen_fd) {
+        HandleAccept(r);
         continue;
       }
-      if (fd == wake_fd_) {
+      if (fd == r.wake_fd) {
         uint64_t drained;
-        while (::read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        while (::read(r.wake_fd, &drained, sizeof(drained)) > 0) {
         }
         continue;
       }
-      auto it = conns_.find(fd);
-      if (it == conns_.end()) continue;  // closed earlier this batch
+      auto it = r.conns.find(fd);
+      if (it == r.conns.end()) continue;  // closed earlier this batch
       if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0 &&
           (events[i].events & EPOLLIN) == 0) {
-        CloseConn(fd);
+        CloseConn(r, fd);
         continue;
       }
       if ((events[i].events & EPOLLOUT) != 0) {
-        if (!FlushWrites(fd, it->second)) {
-          CloseConn(fd);
+        if (!FlushWrites(r, fd, it->second)) {
+          CloseConn(r, fd);
           continue;
         }
         // FlushWrites may close a finished connection; re-find.
-        it = conns_.find(fd);
-        if (it == conns_.end()) continue;
+        it = r.conns.find(fd);
+        if (it == r.conns.end()) continue;
       }
       if ((events[i].events & EPOLLIN) != 0) {
-        HandleReadable(fd, it->second);
+        HandleReadable(r, fd, it->second);
       }
     }
 
-    DrainCompletions();
-    SweepIdle();
+    DrainCompletions(r);
+    SweepIdle(r);
+    // One reactor sweeps the shared cursor table; which one is
+    // arbitrary, the table has its own lock.
+    if (r.index == 0) ReapIdleCursors();
+    if (r.accept_disarmed &&
+        std::chrono::steady_clock::now() >= r.accept_rearm_at) {
+      ArmAccept(r, true);
+    }
 
     if (stopping_.load(std::memory_order_acquire)) {
-      // Workers are joined before the reactor is woken for shutdown, so
-      // every completion has been posted by now; let queued responses
+      // Workers are joined before the reactors are woken for shutdown,
+      // so every completion has been posted by now; let queued responses
       // flush within the grace period, then force-close.
       if (!draining_out) {
         draining_out = true;
         drain_start = std::chrono::steady_clock::now();
       }
       // A conn still owes bytes, or still owes a response a worker has
-      // not posted yet (Stop() joins workers before waking the reactor,
-      // but the reactor can see stopping_ on its own timeout first).
+      // not posted yet (Stop() joins workers before waking the reactors,
+      // but a reactor can see stopping_ on its own timeout first).
       bool pending = false;
-      for (auto& [fd, conn] : conns_) {
-        if (conn.out_off < conn.out.size() || conn.inflight > 0) {
-          pending = true;
-        }
+      for (auto& [fd, conn] : r.conns) {
+        if (conn.out_bytes > 0 || conn.inflight > 0) pending = true;
       }
       if (!pending ||
-          std::chrono::steady_clock::now() - drain_start > kDrainGrace) {
+          std::chrono::steady_clock::now() - drain_start > drain_grace) {
         std::vector<int> fds;
-        fds.reserve(conns_.size());
-        for (auto& [fd, conn] : conns_) fds.push_back(fd);
-        for (int fd : fds) CloseConn(fd);
+        fds.reserve(r.conns.size());
+        uint64_t owed = 0;
+        for (auto& [fd, conn] : r.conns) {
+          owed += conn.out_bytes;
+          fds.push_back(fd);
+        }
+        if (owed > 0) {
+          owed_bytes_at_stop_.fetch_add(owed, std::memory_order_relaxed);
+        }
+        for (int fd : fds) CloseConn(r, fd);
         return;
       }
     }
   }
 }
 
-void NetServer::HandleAccept() {
+void NetServer::ArmAccept(Reactor& r, bool on) {
+  epoll_event ev{};
+  ev.events = on ? EPOLLIN : 0;
+  ev.data.fd = r.listen_fd;
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, r.listen_fd, &ev);
+  r.accept_disarmed = !on;
+}
+
+void NetServer::HandleAccept(Reactor& r) {
   for (;;) {
-    int fd = ::accept4(listen_fd_, nullptr, nullptr,
+    int fd = ::accept4(r.listen_fd, nullptr, nullptr,
                        SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      if (errno == EINTR) continue;
-      return;  // EAGAIN, or the listen socket is gone
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      r.counters->CountAcceptError(errno);
+      // Out of fds (or kernel memory): the ready queue stays readable,
+      // so re-arming immediately would spin the reactor hot doing
+      // nothing. Disarm the listener and retry after a breather —
+      // pending connections just wait in the backlog.
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        ArmAccept(r, false);
+        r.accept_rearm_at = std::chrono::steady_clock::now() + kAcceptBackoff;
+      }
+      return;
     }
     bool draining =
         stopping_.load(std::memory_order_acquire) ||
         server_->health_state() == HealthState::kDraining;
-    if (draining || conns_.size() >= options_.max_connections) {
+    if (draining ||
+        active_conns_.load(std::memory_order_relaxed) >=
+            options_.max_connections) {
       // Shed at the door: a retryable frame, then close. Best-effort —
       // the client may already be gone, which is fine.
-      (void)!::send(fd, ShedFrame().data(), ShedFrame().size(),
+      (void)!::send(fd, r.shed_frame.data(), r.shed_frame.size(),
                     MSG_NOSIGNAL | MSG_DONTWAIT);
       ::close(fd);
-      counters_->shed_conns.fetch_add(1, std::memory_order_relaxed);
-      counters_->m_shed_conns.Increment();
+      r.counters->shed_conns.fetch_add(1, std::memory_order_relaxed);
+      r.counters->m_shed_conns.Increment();
       continue;
     }
     int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     Conn conn;
-    conn.gen = next_gen_++;
+    conn.gen = r.next_gen++;
     conn.last_activity = std::chrono::steady_clock::now();
     epoll_event ev{};
     ev.events = EPOLLIN;
     ev.data.fd = fd;
-    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    if (::epoll_ctl(r.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
       ::close(fd);
       continue;
     }
-    conns_.emplace(fd, std::move(conn));
-    counters_->accepted.fetch_add(1, std::memory_order_relaxed);
-    counters_->active.store(conns_.size(), std::memory_order_relaxed);
-    counters_->m_accepted.Increment();
-    counters_->m_active.Set(static_cast<int64_t>(conns_.size()));
+    r.conns.emplace(fd, std::move(conn));
+    active_conns_.fetch_add(1, std::memory_order_relaxed);
+    r.counters->accepted.fetch_add(1, std::memory_order_relaxed);
+    r.counters->m_accepted.Increment();
+    r.counters->m_active.Set(static_cast<int64_t>(r.conns.size()));
   }
 }
 
-void NetServer::HandleReadable(int fd, Conn& conn) {
+void NetServer::HandleReadable(Reactor& r, int fd, Conn& conn) {
   char buf[16 * 1024];
+  size_t budget = kMaxReadBytesPerWake;
   for (;;) {
-    ssize_t n = ::read(fd, buf, sizeof(buf));
+    size_t want = std::min(sizeof(buf), budget);
+    if (want == 0) break;  // budget spent; LT epoll re-fires for the rest
+    ssize_t n = ::read(fd, buf, want);
     if (n > 0) {
       conn.in.append(buf, static_cast<size_t>(n));
       conn.last_activity = std::chrono::steady_clock::now();
+      budget -= static_cast<size_t>(n);
       continue;
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-      CloseConn(fd);  // ECONNRESET and friends
+      CloseConn(r, fd);  // ECONNRESET and friends
       return;
     }
     // EOF: the peer half-closed its send side. Responses still owed (a
@@ -437,22 +592,26 @@ void NetServer::HandleReadable(int fd, Conn& conn) {
     conn.read_closed = true;
     break;
   }
-  if (!ParseAndDispatch(fd, conn)) {
+  if (!ParseAndDispatch(r, fd, conn)) {
     // Protocol error: the error frame is queued; stop reading, flush.
     conn.read_closed = true;
   }
-  if (!FlushWrites(fd, conn)) {
-    CloseConn(fd);
+  if (!FlushWrites(r, fd, conn)) {
+    CloseConn(r, fd);
     return;
   }
   // FlushWrites closes a connection that finished (closing, or EOF with
   // nothing owed); only a still-open one needs its epoll mask refreshed.
-  if (conns_.find(fd) != conns_.end()) UpdateEpoll(fd, conn);
+  if (r.conns.find(fd) != r.conns.end()) UpdateEpoll(r, fd, conn);
 }
 
-bool NetServer::ParseAndDispatch(int fd, Conn& conn) {
+bool NetServer::ParseAndDispatch(Reactor& r, int fd, Conn& conn) {
   size_t consumed_total = 0;
   bool ok = true;
+  // Decode the whole readable batch first, then enqueue it under one
+  // queue lock with one worker wakeup — per-frame lock/notify was
+  // measurable reactor overhead at high pipelining depths.
+  std::vector<WorkItem> batch;
   for (;;) {
     WireRequest request;
     size_t consumed = 0;
@@ -461,29 +620,29 @@ bool NetServer::ParseAndDispatch(int fd, Conn& conn) {
     Result<bool> extracted =
         ExtractFrame(rest, options_.max_frame_payload, &request, &consumed);
     if (!extracted.ok()) {
-      counters_->protocol_errors.fetch_add(1, std::memory_order_relaxed);
-      counters_->m_protocol_errors.Increment();
+      r.counters->protocol_errors.fetch_add(1, std::memory_order_relaxed);
+      r.counters->m_protocol_errors.Increment();
       WireResponse error;
       error.op = WireOp::kShed;
       error.request_id = 0;
       error.code = WireCode::kProtocolError;
       error.message = extracted.status().message();
-      QueueResponse(fd, conn, error);
+      QueueResponse(r, conn, error);
       conn.closing = true;
       ok = false;
       break;
     }
     if (!*extracted) break;  // partial frame: wait for more bytes
     uint64_t decoded_ns = options_.stage_metrics ? Tracer::NowNs() : 0;
-    counters_->frames_in.fetch_add(1, std::memory_order_relaxed);
-    counters_->m_frames_in.Increment();
+    r.counters->frames_in.fetch_add(1, std::memory_order_relaxed);
+    r.counters->m_frames_in.Increment();
 
     if (request.op == WireOp::kPing) {
       WireResponse pong;
       pong.op = WireOp::kPing;
       pong.request_id = request.request_id;
-      QueueResponse(fd, conn, pong);
-      counters_->ops_ok.fetch_add(1, std::memory_order_relaxed);
+      QueueResponse(r, conn, pong);
+      shared_->ops_ok.fetch_add(1, std::memory_order_relaxed);
     } else if (stopping_.load(std::memory_order_acquire)) {
       WireResponse unavailable;
       unavailable.op = request.op;
@@ -491,70 +650,94 @@ bool NetServer::ParseAndDispatch(int fd, Conn& conn) {
       unavailable.code = WireCode::kUnavailable;
       unavailable.retryable = true;
       unavailable.message = "server is draining";
-      QueueResponse(fd, conn, unavailable);
+      QueueResponse(r, conn, unavailable);
     } else {
-      bool shed = false;
-      {
-        std::lock_guard<std::mutex> lock(queue_mu_);
-        if (options_.max_pending_ops > 0 &&
-            queue_.size() >= options_.max_pending_ops) {
-          shed = true;
-        } else {
-          WorkItem item;
-          item.fd = fd;
-          item.gen = conn.gen;
-          item.op = request.op;
-          item.request_id = request.request_id;
-          item.body = std::string(request.body);
-          if (options_.stage_metrics) {
-            item.stages.ns[static_cast<size_t>(WireStage::kDecoded)] =
-                decoded_ns;
-            item.stages.Mark(WireStage::kEnqueued);
-          }
-          queue_.push_back(std::move(item));
-          counters_->g_queue_depth.Set(static_cast<int64_t>(queue_.size()));
-          conn.inflight++;
-        }
+      WorkItem item;
+      item.reactor = r.index;
+      item.fd = fd;
+      item.gen = conn.gen;
+      item.op = request.op;
+      item.request_id = request.request_id;
+      item.body = std::string(request.body);
+      if (options_.stage_metrics) {
+        item.stages.ns[static_cast<size_t>(WireStage::kDecoded)] = decoded_ns;
       }
-      if (shed) {
-        counters_->shed_ops.fetch_add(1, std::memory_order_relaxed);
-        counters_->m_shed_ops.Increment();
-        WireResponse overloaded;
-        overloaded.op = request.op;
-        overloaded.request_id = request.request_id;
-        overloaded.code = WireCode::kOverloaded;
-        overloaded.retryable = true;
-        overloaded.message =
-            "shed at the wire: dispatch queue is full; retry with backoff";
-        QueueResponse(fd, conn, overloaded);
-      } else {
-        queue_cv_.notify_one();
-      }
+      batch.push_back(std::move(item));
     }
     consumed_total += consumed;
   }
   if (consumed_total > 0) conn.in.erase(0, consumed_total);
+
+  if (!batch.empty()) {
+    std::vector<std::pair<WireOp, uint64_t>> shed;
+    size_t enqueued = 0;
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      for (WorkItem& item : batch) {
+        if (options_.max_pending_ops > 0 &&
+            queue_.size() >= options_.max_pending_ops) {
+          shed.emplace_back(item.op, item.request_id);
+          continue;
+        }
+        if (options_.stage_metrics) item.stages.Mark(WireStage::kEnqueued);
+        queue_.push_back(std::move(item));
+        ++enqueued;
+        conn.inflight++;
+      }
+      shared_->g_queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    }
+    if (enqueued == 1) {
+      queue_cv_.notify_one();
+    } else if (enqueued > 1) {
+      queue_cv_.notify_all();
+    }
+    for (const auto& [op, request_id] : shed) {
+      shared_->shed_ops.fetch_add(1, std::memory_order_relaxed);
+      shared_->m_shed_ops.Increment();
+      WireResponse overloaded;
+      overloaded.op = op;
+      overloaded.request_id = request_id;
+      overloaded.code = WireCode::kOverloaded;
+      overloaded.retryable = true;
+      overloaded.message =
+          "shed at the wire: dispatch queue is full; retry with backoff";
+      QueueResponse(r, conn, overloaded);
+    }
+  }
   return ok;
 }
 
-void NetServer::QueueResponse(int fd, Conn& conn,
+void NetServer::QueueResponse(Reactor& r, Conn& conn,
                               const WireResponse& response) {
   // Append-only: the caller flushes once after the whole parse batch.
   // Flushing here could close (and erase) the Conn mid-iteration.
-  (void)fd;
   std::string frame = EncodeResponseFrame(response);
   conn.bytes_queued += frame.size();
-  conn.out += frame;
-  size_t outstanding = conn.out.size() - conn.out_off;
-  if (outstanding > conn.out_hwm) conn.out_hwm = outstanding;
-  counters_->frames_out.fetch_add(1, std::memory_order_relaxed);
-  counters_->m_frames_out.Increment();
+  conn.out_bytes += frame.size();
+  conn.out_frames.push_back(std::move(frame));
+  if (conn.out_bytes > conn.out_hwm) conn.out_hwm = conn.out_bytes;
+  r.counters->frames_out.fetch_add(1, std::memory_order_relaxed);
+  r.counters->m_frames_out.Increment();
 }
 
-bool NetServer::FlushWrites(int fd, Conn& conn) {
-  while (conn.out_off < conn.out.size()) {
-    ssize_t n = ::send(fd, conn.out.data() + conn.out_off,
-                       conn.out.size() - conn.out_off, MSG_NOSIGNAL);
+bool NetServer::FlushWrites(Reactor& r, int fd, Conn& conn) {
+  while (!conn.out_frames.empty()) {
+    // Gather the queued frames into one sendmsg (writev cannot pass
+    // MSG_NOSIGNAL) instead of one send() per frame.
+    iovec iov[kMaxIovGather];
+    size_t cnt = 0;
+    size_t front_off = conn.out_off;
+    for (std::string& frame : conn.out_frames) {
+      if (cnt == kMaxIovGather) break;
+      iov[cnt].iov_base = frame.data() + front_off;
+      iov[cnt].iov_len = frame.size() - front_off;
+      front_off = 0;
+      ++cnt;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = cnt;
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EAGAIN || errno == EWOULDBLOCK) {
@@ -563,15 +746,25 @@ bool NetServer::FlushWrites(int fd, Conn& conn) {
       }
       return false;  // EPIPE / ECONNRESET: the peer is gone
     }
-    conn.out_off += static_cast<size_t>(n);
     conn.bytes_flushed += static_cast<uint64_t>(n);
+    conn.out_bytes -= static_cast<size_t>(n);
     conn.last_activity = std::chrono::steady_clock::now();
+    size_t left = static_cast<size_t>(n);
+    while (left > 0) {
+      size_t avail = conn.out_frames.front().size() - conn.out_off;
+      if (left >= avail) {
+        left -= avail;
+        conn.out_frames.pop_front();
+        conn.out_off = 0;
+      } else {
+        conn.out_off += left;
+        left = 0;
+      }
+    }
   }
-  conn.out.clear();
-  conn.out_off = 0;
   FinalizeFlushed(conn);
   if (conn.closing || (conn.read_closed && conn.inflight == 0)) {
-    CloseConn(fd);
+    CloseConn(r, fd);
     return true;  // closed cleanly, not an error; caller must re-find
   }
   return true;
@@ -598,19 +791,19 @@ void NetServer::FinalizeFlushed(Conn& conn) {
       WireStage to;
     };
     const StageSpan kSpans[] = {
-        {"wire.dispatch", counters_->stage_dispatch, WireStage::kDecoded,
+        {"wire.dispatch", shared_->stage_dispatch, WireStage::kDecoded,
          WireStage::kEnqueued},
-        {"wire.queue_wait", counters_->stage_queue_wait, WireStage::kEnqueued,
+        {"wire.queue_wait", shared_->stage_queue_wait, WireStage::kEnqueued,
          WireStage::kWorkerStart},
-        {"wire.execute", counters_->stage_execute, WireStage::kWorkerStart,
+        {"wire.execute", shared_->stage_execute, WireStage::kWorkerStart,
          WireStage::kExecuteDone},
-        {"wire.commit_wait", counters_->stage_commit_wait,
+        {"wire.commit_wait", shared_->stage_commit_wait,
          WireStage::kCommitEnqueued, WireStage::kCommitDurable},
-        {"wire.completion", counters_->stage_completion,
+        {"wire.completion", shared_->stage_completion,
          WireStage::kExecuteDone, WireStage::kResponseQueued},
-        {"wire.write_back", counters_->stage_write_back,
+        {"wire.write_back", shared_->stage_write_back,
          WireStage::kResponseQueued, WireStage::kBytesFlushed},
-        {"wire.total", counters_->stage_total, WireStage::kDecoded,
+        {"wire.total", shared_->stage_total, WireStage::kDecoded,
          WireStage::kBytesFlushed},
     };
 
@@ -656,55 +849,76 @@ void NetServer::FinalizeFlushed(Conn& conn) {
   }
 }
 
-void NetServer::CloseConn(int fd) {
-  auto it = conns_.find(fd);
-  if (it == conns_.end()) return;
-  counters_->h_out_hwm.Observe(it->second.out_hwm);
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+void NetServer::CloseConn(Reactor& r, int fd) {
+  auto it = r.conns.find(fd);
+  if (it == r.conns.end()) return;
+  r.counters->h_out_hwm.Observe(it->second.out_hwm);
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_DEL, fd, nullptr);
   ::close(fd);
-  conns_.erase(it);
-  counters_->active.store(conns_.size(), std::memory_order_relaxed);
-  counters_->m_active.Set(static_cast<int64_t>(conns_.size()));
+  r.conns.erase(it);
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  r.counters->m_active.Set(static_cast<int64_t>(r.conns.size()));
 }
 
-void NetServer::SweepIdle() {
+void NetServer::SweepIdle(Reactor& r) {
   if (options_.idle_timeout_ms == 0) return;
   auto now = std::chrono::steady_clock::now();
   auto limit = std::chrono::milliseconds(options_.idle_timeout_ms);
   std::vector<int> idle;
-  for (auto& [fd, conn] : conns_) {
+  for (auto& [fd, conn] : r.conns) {
     if (conn.inflight == 0 && now - conn.last_activity > limit) {
       idle.push_back(fd);
     }
   }
   for (int fd : idle) {
-    counters_->idle_closed.fetch_add(1, std::memory_order_relaxed);
-    counters_->m_idle_closed.Increment();
-    CloseConn(fd);
+    r.counters->idle_closed.fetch_add(1, std::memory_order_relaxed);
+    r.counters->m_idle_closed.Increment();
+    CloseConn(r, fd);
   }
 }
 
-void NetServer::DrainCompletions() {
+void NetServer::ReapIdleCursors() {
+  if (options_.cursor_idle_timeout_ms == 0) return;
+  auto now = std::chrono::steady_clock::now();
+  auto limit = std::chrono::milliseconds(options_.cursor_idle_timeout_ms);
+  std::lock_guard<std::mutex> lock(cursors_mu_);
+  for (auto it = cursors_.begin(); it != cursors_.end();) {
+    if (now - it->second.last_used > limit) {
+      it = cursors_.erase(it);
+      cursors_expired_.fetch_add(1, std::memory_order_relaxed);
+      shared_->m_cursors_expired.Increment();
+    } else {
+      ++it;
+    }
+  }
+  shared_->g_cursors_open.Set(static_cast<int64_t>(cursors_.size()));
+}
+
+void NetServer::DrainCompletions(Reactor& r) {
   std::vector<Completion> batch;
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
-    batch.swap(completions_);
+    std::lock_guard<std::mutex> lock(r.completions_mu);
+    batch.swap(r.completions);
   }
-  if (!batch.empty()) {
-    counters_->h_completion_batch.Observe(batch.size());
-  }
+  if (batch.empty()) return;
+  r.counters->h_completion_batch.Observe(batch.size());
+  // Queue every completion's frame first, then flush each touched
+  // connection once: a pipelining client's whole response batch goes out
+  // in one sendmsg gather instead of one send() per response.
+  std::vector<int> touched;
   for (Completion& completion : batch) {
-    auto it = conns_.find(completion.fd);
+    auto it = r.conns.find(completion.fd);
     // The fd may have been closed and reused since the request was
     // dispatched; the generation check keeps a stale response from
-    // reaching the wrong client.
-    if (it == conns_.end() || it->second.gen != completion.gen) continue;
+    // reaching the wrong client. (fds are reactor-local, so a reused fd
+    // on another reactor is simply never found here.)
+    if (it == r.conns.end() || it->second.gen != completion.gen) continue;
     Conn& conn = it->second;
     conn.inflight--;
     conn.bytes_queued += completion.bytes.size();
-    conn.out += completion.bytes;
-    size_t outstanding = conn.out.size() - conn.out_off;
-    if (outstanding > conn.out_hwm) conn.out_hwm = outstanding;
+    conn.out_bytes += completion.bytes.size();
+    conn.out_frames.push_back(std::move(completion.bytes));
+    if (conn.out_bytes > conn.out_hwm) conn.out_hwm = conn.out_bytes;
     if (options_.stage_metrics) {
       completion.stages.Mark(WireStage::kResponseQueued);
       StageRecord rec;
@@ -715,25 +929,36 @@ void NetServer::DrainCompletions() {
       rec.stages = completion.stages;
       conn.pending_flush.push_back(std::move(rec));
     }
-    counters_->frames_out.fetch_add(1, std::memory_order_relaxed);
-    counters_->m_frames_out.Increment();
-    if (!FlushWrites(completion.fd, conn)) {
-      CloseConn(completion.fd);
+    if (completion.code == WireCode::kProtocolError) {
+      // A worker-detected protocol error (e.g. a malformed pagination
+      // cookie): flush the error frame, then close.
+      conn.closing = true;
+    }
+    r.counters->frames_out.fetch_add(1, std::memory_order_relaxed);
+    r.counters->m_frames_out.Increment();
+    touched.push_back(completion.fd);
+  }
+  std::sort(touched.begin(), touched.end());
+  touched.erase(std::unique(touched.begin(), touched.end()), touched.end());
+  for (int fd : touched) {
+    auto it = r.conns.find(fd);
+    if (it == r.conns.end()) continue;
+    if (!FlushWrites(r, fd, it->second)) {
+      CloseConn(r, fd);
       continue;
     }
-    if (conns_.find(completion.fd) != conns_.end()) {
-      UpdateEpoll(completion.fd, conn);
-    }
+    it = r.conns.find(fd);  // FlushWrites may close a finished conn
+    if (it != r.conns.end()) UpdateEpoll(r, fd, it->second);
   }
 }
 
-void NetServer::UpdateEpoll(int fd, Conn& conn) {
+void NetServer::UpdateEpoll(Reactor& r, int fd, Conn& conn) {
   epoll_event ev{};
   ev.events = 0;
   if (!conn.read_closed && !conn.closing) ev.events |= EPOLLIN;
-  if (conn.out_off < conn.out.size()) ev.events |= EPOLLOUT;
+  if (conn.out_bytes > 0) ev.events |= EPOLLOUT;
   ev.data.fd = fd;
-  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+  ::epoll_ctl(r.epoll_fd, EPOLL_CTL_MOD, fd, &ev);
 }
 
 void NetServer::WorkerLoop() {
@@ -747,7 +972,7 @@ void NetServer::WorkerLoop() {
       if (queue_.empty()) return;  // stopping and drained
       item = std::move(queue_.front());
       queue_.pop_front();
-      counters_->g_queue_depth.Set(static_cast<int64_t>(queue_.size()));
+      shared_->g_queue_depth.Set(static_cast<int64_t>(queue_.size()));
     }
     WireResponse response;
     if (options_.stage_metrics) {
@@ -761,11 +986,11 @@ void NetServer::WorkerLoop() {
       response = Execute(item);
     }
     if (response.ok()) {
-      counters_->ops_ok.fetch_add(1, std::memory_order_relaxed);
-      counters_->m_ops_ok.Increment();
+      shared_->ops_ok.fetch_add(1, std::memory_order_relaxed);
+      shared_->m_ops_ok.Increment();
     } else {
-      counters_->ops_rejected.fetch_add(1, std::memory_order_relaxed);
-      counters_->m_ops_rejected.Increment();
+      shared_->ops_rejected.fetch_add(1, std::memory_order_relaxed);
+      shared_->m_ops_rejected.Increment();
     }
     Completion completion;
     completion.fd = item.fd;
@@ -775,17 +1000,18 @@ void NetServer::WorkerLoop() {
     completion.request_id = item.request_id;
     completion.code = response.code;
     completion.stages = item.stages;
-    PostCompletion(std::move(completion));
+    PostCompletion(item.reactor, std::move(completion));
   }
 }
 
-void NetServer::PostCompletion(Completion completion) {
+void NetServer::PostCompletion(size_t reactor, Completion completion) {
+  Reactor& r = *reactors_[reactor];
   {
-    std::lock_guard<std::mutex> lock(completions_mu_);
-    completions_.push_back(std::move(completion));
+    std::lock_guard<std::mutex> lock(r.completions_mu);
+    r.completions.push_back(std::move(completion));
   }
   uint64_t one = 1;
-  (void)!::write(wake_fd_, &one, sizeof(one));
+  (void)!::write(r.wake_fd, &one, sizeof(one));
 }
 
 WireResponse NetServer::Execute(const WorkItem& item) {
@@ -821,6 +1047,8 @@ WireResponse NetServer::Execute(const WorkItem& item) {
       for (EntryId id : *hits) PutU64(response.body, id);
       return response;
     }
+    case WireOp::kSearchEntries:
+      return ExecuteSearchEntries(item);
     case WireOp::kAdd: {
       WireCursor cursor(item.body);
       auto dn_text = cursor.GetString();
@@ -878,6 +1106,145 @@ WireResponse NetServer::Execute(const WorkItem& item) {
           "unknown wire op " +
           std::to_string(static_cast<unsigned>(item.op))));
   }
+}
+
+WireResponse NetServer::ExecuteSearchEntries(const WorkItem& item) {
+  WireResponse response;
+  response.op = item.op;
+  response.request_id = item.request_id;
+  auto fail = [&](const Status& status) {
+    response.code = WireCodeFromStatus(status);
+    response.retryable = status.retryable();
+    response.message = status.ToString();
+    return response;
+  };
+
+  WireCursor cursor(item.body);
+  auto base = cursor.GetString();
+  if (!base.ok()) return fail(base.status());
+  auto scope = cursor.GetU8();
+  if (!scope.ok()) return fail(scope.status());
+  auto filter = cursor.GetString();
+  if (!filter.ok()) return fail(filter.status());
+  auto page_size = cursor.GetU32();
+  if (!page_size.ok()) return fail(page_size.status());
+  auto cookie = cursor.GetString();
+  if (!cookie.ok()) return fail(cookie.status());
+  if (*page_size == 0) {
+    return fail(
+        Status::InvalidArgument("search-entries: page_size must be > 0"));
+  }
+  const size_t limit = std::min(*page_size, kMaxSearchEntriesPage);
+
+  const auto now = std::chrono::steady_clock::now();
+  uint64_t cursor_id = 0;
+  uint64_t from_label = 0;
+  DirectorySnapshot snap;
+  if (cookie->empty()) {
+    PinnedSnapshot pinned = server_->PinSnapshot();
+    if (!pinned) {
+      return fail(Status::Internal("MVCC snapshots are not enabled"));
+    }
+    WireStageScope::MarkCurrent(WireStage::kSnapshotPinned);
+    // Copy the snapshot by value and release the pin immediately: the
+    // copy retains exactly this version's COW state through refcounts,
+    // while a pin held across pages (worse, across client think time)
+    // would stall reclamation for every reader.
+    snap = *pinned;
+    pinned.Release();
+  } else {
+    auto decoded = DecodeSearchCookie(*cookie);
+    if (!decoded.ok()) {
+      // A cookie the server never minted is a protocol error; the
+      // reactor closes the connection after this frame flushes.
+      response.code = WireCode::kProtocolError;
+      response.message = decoded.status().message();
+      return response;
+    }
+    cursor_id = decoded->cursor_id;
+    from_label = decoded->next_label;
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    auto it = cursors_.find(cursor_id);
+    if (it == cursors_.end() ||
+        it->second.snapshot_version != decoded->snapshot_version) {
+      response.code = WireCode::kCursorExpired;
+      response.retryable = true;
+      response.message =
+          "search-entries: pagination cursor expired (reaped or "
+          "superseded); restart from an empty cookie";
+      return response;
+    }
+    it->second.last_used = now;
+    // Copy out under the lock: the idle reaper may erase this slot the
+    // moment we release it, and the copy keeps the version alive.
+    snap = it->second.snap;
+  }
+
+  auto page = SnapshotSearchPage(snap, server_->vocab(), *base, *scope,
+                                 *filter, from_label, limit + 1);
+  if (!page.ok()) {
+    if (cursor_id != 0) {
+      std::lock_guard<std::mutex> lock(cursors_mu_);
+      cursors_.erase(cursor_id);
+      shared_->g_cursors_open.Set(static_cast<int64_t>(cursors_.size()));
+    }
+    return fail(page.status());
+  }
+  const bool has_more = page->size() > limit;
+  if (has_more) page->resize(limit);
+
+  std::string entries;
+  for (const SnapshotPageHit& hit : *page) {
+    auto dn = SnapshotEntryDn(snap, hit.id);
+    if (!dn.ok()) return fail(dn.status());
+    const std::string* payload = snap.EntryPayload(hit.id);
+    if (payload == nullptr) {
+      return fail(Status::Internal("snapshot payload missing for entry " +
+                                   std::to_string(hit.id)));
+    }
+    PutU64(entries, hit.id);
+    PutString(entries, *dn);
+    // The stored payload is `str rdn | classes | values`; the response
+    // carries the full DN instead of the bare RDN, so skip the leading
+    // string and splice the rest verbatim.
+    WireCursor skip(*payload);
+    auto rdn = skip.GetString();
+    if (!rdn.ok()) return fail(rdn.status());
+    entries.append(payload->data() + (payload->size() - skip.remaining()),
+                   skip.remaining());
+  }
+
+  std::string cookie_out;
+  if (has_more) {
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    if (cursor_id == 0) {
+      // First page of a multi-page scan: the cursor slot is what keeps
+      // the snapshot version retained between pages. Single-page scans
+      // never touch the table.
+      cursor_id = next_cursor_id_++;
+      PagedCursor cur;
+      cur.snap = snap;
+      cur.snapshot_version = snap.version;
+      cur.last_used = now;
+      cursors_.emplace(cursor_id, std::move(cur));
+      shared_->g_cursors_open.Set(static_cast<int64_t>(cursors_.size()));
+    }
+    WireSearchCookie next;
+    next.cursor_id = cursor_id;
+    next.snapshot_version = snap.version;
+    next.next_label = page->back().label + 1;
+    cookie_out = EncodeSearchCookie(next);
+  } else if (cursor_id != 0) {
+    std::lock_guard<std::mutex> lock(cursors_mu_);
+    cursors_.erase(cursor_id);
+    shared_->g_cursors_open.Set(static_cast<int64_t>(cursors_.size()));
+  }
+
+  PutU32(response.body, static_cast<uint32_t>(page->size()));
+  PutU8(response.body, has_more ? 1 : 0);
+  PutString(response.body, cookie_out);
+  response.body += entries;
+  return response;
 }
 
 Result<std::vector<EntryId>> SnapshotSearch(const DirectorySnapshot& snapshot,
@@ -960,8 +1327,8 @@ Result<std::vector<EntryId>> SnapshotSearch(const DirectorySnapshot& snapshot,
   std::string_view value = f.substr(eq + 1);
   if (value == "*") {
     return Status::InvalidArgument(
-        "search: presence filters need entry payloads, which snapshots "
-        "do not carry");
+        "search: presence filters are not supported on the wire search "
+        "path");
   }
   if (EqualsIgnoreCase(attr, "objectClass")) {
     auto cls = vocab.FindClass(value);
@@ -980,6 +1347,48 @@ Result<std::vector<EntryId>> SnapshotSearch(const DirectorySnapshot& snapshot,
     for (EntryId id : *posting) collect(id);
   }
   return hits;
+}
+
+Result<std::vector<SnapshotPageHit>> SnapshotSearchPage(
+    const DirectorySnapshot& snapshot, const Vocabulary& vocab,
+    std::string_view base_dn, uint8_t scope, std::string_view filter,
+    uint64_t from_label, size_t limit) {
+  LDAPBOUND_ASSIGN_OR_RETURN(
+      std::vector<EntryId> ids,
+      SnapshotSearch(snapshot, vocab, base_dn, scope, filter));
+  std::vector<SnapshotPageHit> hits;
+  hits.reserve(ids.size());
+  for (EntryId id : ids) {
+    uint64_t label = snapshot.index.labels.Get(id, 0);
+    if (label < from_label) continue;
+    hits.push_back(SnapshotPageHit{label, id});
+  }
+  // Ascending label = stable preorder within this snapshot; the scan
+  // position survives across pages because the snapshot (and so its
+  // labels) is immutable.
+  std::sort(hits.begin(), hits.end(),
+            [](const SnapshotPageHit& a, const SnapshotPageHit& b) {
+              return a.label < b.label;
+            });
+  if (hits.size() > limit) hits.resize(limit);
+  return hits;
+}
+
+Result<std::string> SnapshotEntryDn(const DirectorySnapshot& snapshot,
+                                    EntryId id) {
+  std::string dn;
+  for (EntryId cur = id; cur != kInvalidEntryId; cur = snapshot.parent(cur)) {
+    const std::string* payload = snapshot.EntryPayload(cur);
+    if (payload == nullptr) {
+      return Status::Internal("snapshot payload missing for entry " +
+                              std::to_string(cur));
+    }
+    WireCursor cursor(*payload);
+    LDAPBOUND_ASSIGN_OR_RETURN(std::string_view rdn, cursor.GetString());
+    if (!dn.empty()) dn += ",";
+    dn.append(rdn.data(), rdn.size());
+  }
+  return dn;
 }
 
 }  // namespace ldapbound

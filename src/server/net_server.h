@@ -27,10 +27,17 @@ struct NetServerOptions {
   std::string bind_address = "127.0.0.1";
   uint16_t port = 0;  ///< 0 = ephemeral; read back via port()
 
-  /// Accepted connections beyond this are shed at the door: a kShed
-  /// frame with a retryable kOverloaded code, then close. Protects the
-  /// reactor's fd budget the way admission control protects the commit
-  /// queue.
+  /// Reactor threads. Each owns its own epoll instance and its own
+  /// SO_REUSEPORT listening socket: the kernel steers accepted
+  /// connections across the listeners, and a connection lives its whole
+  /// life on one reactor, so connection state needs no cross-reactor
+  /// locking. 0 = hardware_concurrency.
+  size_t reactors = 0;
+
+  /// Accepted connections (across all reactors) beyond this are shed at
+  /// the door: a kShed frame with a retryable kOverloaded code, then
+  /// close. Protects the fd budget the way admission control protects
+  /// the commit queue.
   size_t max_connections = 4096;
 
   /// Decoded requests waiting for a worker. When the dispatch queue is
@@ -48,6 +55,16 @@ struct NetServerOptions {
   /// reactor's sweep. 0 = never.
   uint32_t idle_timeout_ms = 60000;
 
+  /// How long Stop() lets queued responses flush before force-closing;
+  /// bytes still owed at the force-close surface as
+  /// Stats::owed_bytes_at_stop.
+  uint32_t drain_grace_ms = 500;
+
+  /// Paged-search cursors (kSearchEntries) idle longer than this are
+  /// reaped and their retained snapshot version released; continuing a
+  /// reaped cursor gets a retryable kCursorExpired. 0 = never reap.
+  uint32_t cursor_idle_timeout_ms = 30000;
+
   /// Per-frame payload cap (see wire.h); larger declared lengths are
   /// protocol errors that close the connection.
   size_t max_frame_payload = kMaxFramePayload;
@@ -61,31 +78,38 @@ struct NetServerOptions {
   bool stage_metrics = true;
 };
 
-/// Async wire-level front end for a DirectoryServer (DESIGN.md §12): one
-/// epoll reactor thread owns every socket — nonblocking accept,
-/// per-connection read/write buffers with partial-frame handling, idle
-/// reaping — and a small worker pool executes decoded requests so a
-/// commit blocked on fsync never stalls the event loop. All socket
-/// writes use send(MSG_NOSIGNAL): a client disconnecting mid-response is
-/// an EPIPE that closes that one connection, never a SIGPIPE that kills
-/// the process.
+/// Async wire-level front end for a DirectoryServer (DESIGN.md §12/§15):
+/// N reactor threads, each owning its own epoll instance, its own
+/// SO_REUSEPORT listening socket and the full lifetime of every
+/// connection the kernel steers to it — nonblocking accept with
+/// EMFILE/ENFILE backoff, bounded batched reads per wakeup,
+/// per-connection frame queues flushed with one sendmsg gather, idle
+/// reaping. A shared worker pool executes decoded requests so a commit
+/// blocked on fsync never stalls any event loop; each completion is
+/// posted back to the owning reactor's eventfd. All socket writes use
+/// MSG_NOSIGNAL: a client disconnecting mid-response is an EPIPE that
+/// closes that one connection, never a SIGPIPE that kills the process.
 ///
 /// Overload and lifecycle semantics:
-///  - the connection limit and the dispatch-queue bound shed with
-///    retryable kOverloaded frames at the wire; per-op admission control
-///    (queue depth, deadlines, health) is the DirectoryServer's own and
-///    its verdicts are relayed with their retryable flag intact;
-///  - while the health state machine reports kDraining the reactor
-///    stops accepting new connections (existing ones keep flushing and
+///  - the connection limit (global across reactors) and the
+///    dispatch-queue bound shed with retryable kOverloaded frames at the
+///    wire; per-op admission control (queue depth, deadlines, health) is
+///    the DirectoryServer's own and its verdicts are relayed with their
+///    retryable flag intact;
+///  - while the health state machine reports kDraining the reactors
+///    stop accepting new connections (existing ones keep flushing and
 ///    reads keep serving — writes already get retryable kUnavailable
 ///    from the server);
 ///  - Stop() drains gracefully: no new connections, workers finish the
-///    queued requests, pending responses flush (bounded by a grace
-///    period), then everything closes.
+///    queued requests, pending responses flush (bounded by
+///    drain_grace_ms), then everything closes.
 ///
 /// Reads (search/validate) run against pinned MVCC snapshots, never the
 /// live directory — Start enables MVCC on the server (idempotent), and
-/// any number of workers may then read while writers commit.
+/// any number of workers may then read while writers commit. Paged
+/// kSearchEntries scans retain their snapshot *version* by value (COW
+/// refcounts), never by epoch pin: a pin held across client think time
+/// would stall reclamation for every reader (DESIGN.md §15).
 class NetServer {
  public:
   /// Binds, starts the reactor and worker threads. `server` must
@@ -105,11 +129,15 @@ class NetServer {
 
   const NetServerOptions& options() const { return options_; }
 
-  /// Wire-level counters (mirrored as ldapbound_net_* metric families).
+  /// Wire-level counters, aggregated across reactors (mirrored as
+  /// ldapbound_net_* metric families, which carry a `reactor` label on
+  /// the reactor-owned series).
   struct Stats {
+    uint64_t reactors = 0;
     uint64_t connections_accepted = 0;
     uint64_t connections_active = 0;
     uint64_t connections_shed = 0;   ///< refused at the connection limit
+    uint64_t accept_errors = 0;      ///< accept4 failures (EMFILE/ENFILE/...)
     uint64_t ops_shed = 0;           ///< refused at the dispatch bound
     uint64_t frames_in = 0;
     uint64_t frames_out = 0;
@@ -118,12 +146,18 @@ class NetServer {
     uint64_t ops_ok = 0;
     uint64_t ops_rejected = 0;       ///< executed but non-OK status
     uint64_t dispatch_queue_depth = 0;  ///< decoded, waiting for a worker
+    uint64_t owed_bytes_at_stop = 0; ///< unflushed response bytes force-closed
+    uint64_t cursors_open = 0;       ///< live paged-search cursors
+    uint64_t cursors_expired = 0;    ///< cursors reaped by the idle timeout
   };
   Stats stats() const;
 
  private:
+  struct ReactorCounters;
+  struct SharedCounters;
+
   NetServer(DirectoryServer* server, const NetServerOptions& options,
-            int listen_fd, uint16_t port);
+            uint16_t port);
 
   /// A dispatched response waiting for its bytes to clear the socket:
   /// once the connection's flushed-byte counter passes `end_offset`, the
@@ -140,8 +174,11 @@ class NetServer {
   struct Conn {
     uint64_t gen = 0;
     std::string in;        ///< unparsed request bytes
-    std::string out;       ///< encoded responses not yet written
-    size_t out_off = 0;
+    /// Encoded response frames not yet fully written; flushed with one
+    /// sendmsg gather across up to kMaxIovGather frames per call.
+    std::deque<std::string> out_frames;
+    size_t out_off = 0;    ///< sent bytes of out_frames.front()
+    size_t out_bytes = 0;  ///< unsent bytes across out_frames
     uint32_t inflight = 0; ///< dispatched requests, response pending
     bool read_closed = false;  ///< peer half-closed (EOF seen)
     bool closing = false;      ///< close once out drains and inflight==0
@@ -153,6 +190,7 @@ class NetServer {
   };
 
   struct WorkItem {
+    size_t reactor = 0;  ///< owning reactor; completions route back here
     int fd = -1;
     uint64_t gen = 0;
     WireOp op = WireOp::kPing;
@@ -171,24 +209,58 @@ class NetServer {
     WireStageStamps stages;
   };
 
-  void ReactorLoop();
+  /// One reactor shard: its listener, its epoll/eventfd, its
+  /// connections. Only its own thread touches conns/next_gen/accept
+  /// state; completions is the one cross-thread mailbox (workers post,
+  /// the reactor drains).
+  struct Reactor {
+    size_t index = 0;
+    int listen_fd = -1;
+    int epoll_fd = -1;
+    int wake_fd = -1;  ///< eventfd: completions posted / stop requested
+    std::thread thread;
+    std::unordered_map<int, Conn> conns;
+    uint64_t next_gen = 1;
+    std::mutex completions_mu;
+    std::vector<Completion> completions;
+    std::string shed_frame;  ///< pre-encoded once per reactor
+    bool accept_disarmed = false;  ///< EPOLLIN off after fd exhaustion
+    std::chrono::steady_clock::time_point accept_rearm_at{};
+    std::unique_ptr<ReactorCounters> counters;
+  };
+
+  /// A paged kSearchEntries scan in flight. The by-value snapshot copy
+  /// retains exactly the COW state of its version through shared_ptr
+  /// refcounts — deliberately NOT an epoch pin, which is thread-affine
+  /// and would stall all reclamation while a client paginates.
+  struct PagedCursor {
+    DirectorySnapshot snap;
+    uint64_t snapshot_version = 0;
+    std::chrono::steady_clock::time_point last_used;
+  };
+
+  void ReactorLoop(Reactor& r);
   void WorkerLoop();
 
-  void HandleAccept();
-  void HandleReadable(int fd, Conn& conn);
-  bool FlushWrites(int fd, Conn& conn);  ///< false = connection died
-  void CloseConn(int fd);
-  void SweepIdle();
-  void DrainCompletions();
-  void UpdateEpoll(int fd, Conn& conn);
+  void HandleAccept(Reactor& r);
+  void HandleReadable(Reactor& r, int fd, Conn& conn);
+  bool FlushWrites(Reactor& r, int fd, Conn& conn);  ///< false = conn died
+  void CloseConn(Reactor& r, int fd);
+  void SweepIdle(Reactor& r);
+  void ReapIdleCursors();
+  void DrainCompletions(Reactor& r);
+  void UpdateEpoll(Reactor& r, int fd, Conn& conn);
+  /// Arms (on) or disarms (off, EMFILE/ENFILE backoff) the listener's
+  /// EPOLLIN interest.
+  void ArmAccept(Reactor& r, bool on);
 
-  /// Parses complete frames out of conn.in, dispatching each. Returns
-  /// false on protocol error (error response queued, conn marked
-  /// closing).
-  bool ParseAndDispatch(int fd, Conn& conn);
+  /// Parses complete frames out of conn.in, dispatching the whole batch
+  /// under one queue lock. Returns false on protocol error (error
+  /// response queued, conn marked closing).
+  bool ParseAndDispatch(Reactor& r, int fd, Conn& conn);
 
-  /// Queues `response` for `fd` (reactor thread only).
-  void QueueResponse(int fd, Conn& conn, const WireResponse& response);
+  /// Queues `response` for `conn` (owning reactor thread only).
+  void QueueResponse(Reactor& r, Conn& conn, const WireResponse& response);
 
   /// Retires every pending_flush record whose bytes have cleared the
   /// socket: stamps kBytesFlushed, observes the per-stage histograms and
@@ -197,34 +269,32 @@ class NetServer {
 
   /// Executes one request against the DirectoryServer (worker threads).
   WireResponse Execute(const WorkItem& item);
+  WireResponse ExecuteSearchEntries(const WorkItem& item);
 
-  void PostCompletion(Completion completion);
+  void PostCompletion(size_t reactor, Completion completion);
 
   DirectoryServer* server_;
   const NetServerOptions options_;
-  int listen_fd_;
   uint16_t port_;
-  int epoll_fd_ = -1;
-  int wake_fd_ = -1;  ///< eventfd: completions posted / stop requested
 
-  std::thread reactor_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::thread> workers_;
-
-  std::unordered_map<int, Conn> conns_;
-  uint64_t next_gen_ = 1;
+  std::atomic<size_t> active_conns_{0};  ///< across reactors (shed bound)
 
   mutable std::mutex queue_mu_;  ///< mutable: stats() reads the depth
   std::condition_variable queue_cv_;
   std::deque<WorkItem> queue_;
 
-  std::mutex completions_mu_;
-  std::vector<Completion> completions_;
+  mutable std::mutex cursors_mu_;
+  std::unordered_map<uint64_t, PagedCursor> cursors_;
+  uint64_t next_cursor_id_ = 1;
 
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> owed_bytes_at_stop_{0};
+  std::atomic<uint64_t> cursors_expired_{0};
 
-  struct Counters;
-  std::unique_ptr<Counters> counters_;
+  std::unique_ptr<SharedCounters> shared_;
 };
 
 /// Filtered, scoped search against a pinned MVCC snapshot — the wire
@@ -239,6 +309,29 @@ Result<std::vector<EntryId>> SnapshotSearch(const DirectorySnapshot& snapshot,
                                             std::string_view base_dn,
                                             uint8_t scope,
                                             std::string_view filter);
+
+/// One hit of a paged snapshot scan: the entry and the order-maintenance
+/// label that gives the scan its stable preorder position.
+struct SnapshotPageHit {
+  uint64_t label = 0;
+  EntryId id = kInvalidEntryId;
+};
+
+/// Paged variant of SnapshotSearch — the wire kSearchEntries scan,
+/// exposed for tests. Hits come back in ascending label order (stable
+/// preorder within the snapshot), restricted to labels >= from_label,
+/// at most `limit` of them; resuming with from_label = last label + 1
+/// continues exactly where the previous page stopped.
+Result<std::vector<SnapshotPageHit>> SnapshotSearchPage(
+    const DirectorySnapshot& snapshot, const Vocabulary& vocab,
+    std::string_view base_dn, uint8_t scope, std::string_view filter,
+    uint64_t from_label, size_t limit);
+
+/// Reconstructs entry `id`'s DN at `snapshot`'s version by walking the
+/// parent chain and reading each ancestor's RDN out of its payload blob
+/// — never touches the live Directory or the Vocabulary.
+Result<std::string> SnapshotEntryDn(const DirectorySnapshot& snapshot,
+                                    EntryId id);
 
 }  // namespace ldapbound
 

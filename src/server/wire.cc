@@ -154,6 +154,20 @@ std::string EncodeValidateRequest(uint64_t request_id) {
   return EncodeFrame(WireOp::kValidate, request_id, "");
 }
 
+std::string EncodeSearchEntriesRequest(uint64_t request_id,
+                                       std::string_view base_dn, uint8_t scope,
+                                       std::string_view filter,
+                                       uint32_t page_size,
+                                       std::string_view cookie) {
+  std::string body;
+  PutString(body, base_dn);
+  PutU8(body, scope);
+  PutString(body, filter);
+  PutU32(body, page_size);
+  PutString(body, cookie);
+  return EncodeFrame(WireOp::kSearchEntries, request_id, body);
+}
+
 std::string EncodeResponseFrame(const WireResponse& response) {
   std::string payload;
   payload.reserve(1 + 8 + 2 + 4 + response.message.size() +
@@ -237,6 +251,67 @@ Result<WireValidateResult> DecodeValidateResponseBody(std::string_view body) {
   LDAPBOUND_ASSIGN_OR_RETURN(result.num_entries, cursor.GetU64());
   LDAPBOUND_ASSIGN_OR_RETURN(result.version, cursor.GetU64());
   return result;
+}
+
+Result<WireSearchEntriesResult> DecodeSearchEntriesResponseBody(
+    std::string_view body) {
+  WireCursor cursor(body);
+  WireSearchEntriesResult result;
+  LDAPBOUND_ASSIGN_OR_RETURN(uint32_t count, cursor.GetU32());
+  LDAPBOUND_ASSIGN_OR_RETURN(uint8_t has_more, cursor.GetU8());
+  result.has_more = has_more != 0;
+  LDAPBOUND_ASSIGN_OR_RETURN(std::string_view cookie, cursor.GetString());
+  result.cookie = std::string(cookie);
+  result.entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireEntry entry;
+    LDAPBOUND_ASSIGN_OR_RETURN(uint64_t id, cursor.GetU64());
+    entry.id = static_cast<EntryId>(id);
+    LDAPBOUND_ASSIGN_OR_RETURN(std::string_view dn, cursor.GetString());
+    entry.dn = std::string(dn);
+    LDAPBOUND_ASSIGN_OR_RETURN(uint16_t nclasses, cursor.GetU16());
+    entry.classes.reserve(nclasses);
+    for (uint16_t c = 0; c < nclasses; ++c) {
+      LDAPBOUND_ASSIGN_OR_RETURN(std::string_view cls, cursor.GetString());
+      entry.classes.emplace_back(cls);
+    }
+    LDAPBOUND_ASSIGN_OR_RETURN(uint16_t nvalues, cursor.GetU16());
+    entry.values.reserve(nvalues);
+    for (uint16_t v = 0; v < nvalues; ++v) {
+      LDAPBOUND_ASSIGN_OR_RETURN(std::string_view attr, cursor.GetString());
+      LDAPBOUND_ASSIGN_OR_RETURN(std::string_view value, cursor.GetString());
+      entry.values.emplace_back(std::string(attr), std::string(value));
+    }
+    result.entries.push_back(std::move(entry));
+  }
+  if (!cursor.exhausted()) {
+    return Status::InvalidArgument(
+        "wire: search-entries body has trailing bytes");
+  }
+  return result;
+}
+
+std::string EncodeSearchCookie(const WireSearchCookie& cookie) {
+  std::string out;
+  out.reserve(24);
+  PutU64(out, cookie.cursor_id);
+  PutU64(out, cookie.snapshot_version);
+  PutU64(out, cookie.next_label);
+  return out;
+}
+
+Result<WireSearchCookie> DecodeSearchCookie(std::string_view bytes) {
+  if (bytes.size() != 24) {
+    return Status::InvalidArgument(
+        "wire: malformed pagination cookie (" +
+        std::to_string(bytes.size()) + " bytes, want 24)");
+  }
+  WireCursor cursor(bytes);
+  WireSearchCookie cookie;
+  cookie.cursor_id = *cursor.GetU64();
+  cookie.snapshot_version = *cursor.GetU64();
+  cookie.next_label = *cursor.GetU64();
+  return cookie;
 }
 
 }  // namespace ldapbound

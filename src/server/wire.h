@@ -36,11 +36,27 @@ namespace ldapbound {
 ///              u16 nvalues | nvalues × (str attr, str value)
 ///   kDelete    str dn
 ///   kValidate  (empty)
+///   kSearchEntries
+///              str base_dn | u8 scope | str filter | u32 page_size |
+///              str cookie — an empty cookie opens a new snapshot-pinned
+///              cursor; a non-empty cookie (opaque bytes from the prior
+///              page's response) continues it. The paged scan stays on
+///              the snapshot the cursor pinned, so it is consistent even
+///              while writers publish new versions.
 ///
 /// Response bodies (after the common status header, see WireResponse):
-///   kSearch    u32 count | count × u64 entry_id — entry ids, not DNs:
-///              searches run against pinned MVCC snapshots, which by
-///              design carry no entry payloads (model/directory_snapshot.h)
+///   kSearch    u32 count | count × u64 entry_id — ids only, the cheap
+///              existence answer
+///   kSearchEntries
+///              u32 count | u8 has_more | str cookie |
+///              count × (u64 entry_id | str dn | u16 nclasses |
+///              nclasses × str class | u16 nvalues |
+///              nvalues × (str attr, str value))
+///              — full entry payloads serialized from the pinned
+///              snapshot, in stable preorder (order-maintenance label
+///              order). has_more != 0 means the cookie continues the
+///              scan; a kCursorExpired code means the cursor was reaped
+///              or superseded — retry from an empty cookie.
 ///   kValidate  u8 structure_legal | u64 num_entries | u64 version
 ///   others     (empty)
 enum class WireOp : uint8_t {
@@ -49,6 +65,7 @@ enum class WireOp : uint8_t {
   kAdd = 2,
   kDelete = 3,
   kValidate = 4,
+  kSearchEntries = 5,
   /// Server-initiated: the connection was refused before any request was
   /// read (connection limit / drain). Carries request_id 0.
   kShed = 0xFF,
@@ -69,6 +86,7 @@ enum class WireCode : uint8_t {
   kDeadlineExceeded = 7, ///< cancelled before side effects
   kProtocolError = 8,    ///< malformed frame; the connection is closing
   kInternal = 9,         ///< anything else (bug, I/O failure, disk full)
+  kCursorExpired = 10,   ///< pagination cursor reaped/stale; restart the scan
 };
 
 WireCode WireCodeFromStatus(const Status& status);
@@ -139,6 +157,11 @@ std::string EncodeAddRequest(
     const std::vector<std::pair<std::string, std::string>>& values);
 std::string EncodeDeleteRequest(uint64_t request_id, std::string_view dn);
 std::string EncodeValidateRequest(uint64_t request_id);
+std::string EncodeSearchEntriesRequest(uint64_t request_id,
+                                       std::string_view base_dn, uint8_t scope,
+                                       std::string_view filter,
+                                       uint32_t page_size,
+                                       std::string_view cookie);
 
 /// Server-side response framing. `body` is the op-specific payload.
 std::string EncodeResponseFrame(const WireResponse& response);
@@ -169,6 +192,39 @@ struct WireValidateResult {
   uint64_t version = 0;
 };
 Result<WireValidateResult> DecodeValidateResponseBody(std::string_view body);
+
+/// One decoded entry of a kSearchEntries response page.
+struct WireEntry {
+  EntryId id = kInvalidEntryId;
+  std::string dn;
+  std::vector<std::string> classes;
+  std::vector<std::pair<std::string, std::string>> values;
+};
+
+/// Decoded kSearchEntries response body: one page plus its continuation.
+struct WireSearchEntriesResult {
+  std::vector<WireEntry> entries;
+  bool has_more = false;
+  std::string cookie;  ///< opaque; feed back verbatim to continue
+};
+Result<WireSearchEntriesResult> DecodeSearchEntriesResponseBody(
+    std::string_view body);
+
+/// The pagination cookie's contents — opaque to clients, but the server
+/// (and its tests) need the codec. The cursor id names the server-side
+/// cursor retaining the pinned snapshot; the snapshot version guards
+/// against a reused cursor slot; the label position is where the stable
+/// preorder scan resumes (inclusive lower bound — the server mints it as
+/// the last returned label + 1).
+struct WireSearchCookie {
+  uint64_t cursor_id = 0;
+  uint64_t snapshot_version = 0;
+  uint64_t next_label = 0;
+};
+std::string EncodeSearchCookie(const WireSearchCookie& cookie);
+/// kInvalidArgument unless `bytes` is exactly one encoded cookie — wire
+/// bytes are untrusted, and a truncated/padded cookie is a protocol error.
+Result<WireSearchCookie> DecodeSearchCookie(std::string_view bytes);
 
 }  // namespace ldapbound
 

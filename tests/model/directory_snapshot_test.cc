@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/directory.h"
@@ -212,6 +214,112 @@ TEST(DirectorySnapshotTest, MoveSubtreeReflectedInLabelsAndRdnIndex) {
   EXPECT_LT(label(child), label(leaf));
   EXPECT_LT(end_label(leaf), end_label(child) + 1);
   EXPECT_FALSE(label(a) < label(child) && label(child) < end_label(a));
+}
+
+// Minimal reader for the payload blob's little-endian encoding (the
+// wire primitives, duplicated here so a model test does not reach into
+// server/): str = u32 length + bytes.
+struct PayloadReader {
+  std::string_view data;
+  size_t pos = 0;
+
+  uint16_t U16() {
+    uint16_t v = static_cast<uint8_t>(data[pos]) |
+                 (static_cast<uint16_t>(static_cast<uint8_t>(data[pos + 1]))
+                  << 8);
+    pos += 2;
+    return v;
+  }
+  uint32_t U32() {
+    uint32_t v = 0;
+    for (int i = 3; i >= 0; --i) {
+      v = (v << 8) | static_cast<uint8_t>(data[pos + i]);
+    }
+    pos += 4;
+    return v;
+  }
+  std::string Str() {
+    uint32_t len = U32();
+    std::string s(data.substr(pos, len));
+    pos += len;
+    return s;
+  }
+};
+
+struct DecodedPayload {
+  std::string rdn;
+  std::vector<std::string> classes;
+  std::vector<std::pair<std::string, std::string>> values;
+};
+
+DecodedPayload Decode(const std::string& blob) {
+  PayloadReader r{blob};
+  DecodedPayload out;
+  out.rdn = r.Str();
+  uint16_t nclasses = r.U16();
+  for (uint16_t i = 0; i < nclasses; ++i) out.classes.push_back(r.Str());
+  uint16_t nvalues = r.U16();
+  for (uint16_t i = 0; i < nvalues; ++i) {
+    std::string attr = r.Str();
+    out.values.emplace_back(std::move(attr), r.Str());
+  }
+  EXPECT_EQ(r.pos, blob.size()) << "trailing payload bytes";
+  return out;
+}
+
+// Entry payload blobs: serialized at mutation time, write-once, present
+// exactly for the alive entries of each version, and stable in old pins
+// while the live directory rewrites or deletes the entry.
+TEST(DirectorySnapshotTest, EntryPayloadsTrackMutationsPerVersion) {
+  SimpleWorld w;
+  Directory d(w.vocab);
+  d.EnableSnapshots();
+  EntryId root = AddBare(d, kInvalidEntryId, "o=acme", {w.top, w.org});
+  EntryId alice = AddBare(d, root, "cn=alice", {w.top, w.person});
+  ASSERT_TRUE(d.AddValue(alice, w.name, Value("Alice")).ok());
+  d.PublishSnapshot();
+  PinnedSnapshot old_snap = d.PinSnapshot();
+  ASSERT_TRUE(old_snap);
+
+  const std::string* blob = old_snap->EntryPayload(alice);
+  ASSERT_NE(blob, nullptr);
+  DecodedPayload decoded = Decode(*blob);
+  EXPECT_EQ(decoded.rdn, "cn=alice");
+  EXPECT_EQ(decoded.classes, (std::vector<std::string>{"top", "person"}));
+  ASSERT_EQ(decoded.values.size(), 1u);
+  EXPECT_EQ(decoded.values[0].first, "name");
+  EXPECT_EQ(decoded.values[0].second, "Alice");
+
+  // Value churn and a rename re-serialize; the old pin's blob must not
+  // move (write-once) even though the live entry did.
+  ASSERT_TRUE(d.RemoveValue(alice, w.name, Value("Alice")).ok());
+  ASSERT_TRUE(d.AddValue(alice, w.name, Value("Alicia")).ok());
+  ASSERT_TRUE(d.Rename(alice, "cn=alicia").ok());
+  d.PublishSnapshot();
+  PinnedSnapshot fresh = d.PinSnapshot();
+  ASSERT_TRUE(fresh);
+
+  const std::string* fresh_blob = fresh->EntryPayload(alice);
+  ASSERT_NE(fresh_blob, nullptr);
+  DecodedPayload redone = Decode(*fresh_blob);
+  EXPECT_EQ(redone.rdn, "cn=alicia");
+  ASSERT_EQ(redone.values.size(), 1u);
+  EXPECT_EQ(redone.values[0].second, "Alicia");
+  EXPECT_EQ(Decode(*old_snap->EntryPayload(alice)).values[0].second,
+            "Alice");
+
+  // Deletion drops the payload from the next version but not from pins
+  // that predate it.
+  ASSERT_TRUE(d.DeleteLeaf(alice).ok());
+  d.PublishSnapshot();
+  PinnedSnapshot after_delete = d.PinSnapshot();
+  ASSERT_TRUE(after_delete);
+  EXPECT_EQ(after_delete->EntryPayload(alice), nullptr);
+  EXPECT_NE(fresh->EntryPayload(alice), nullptr);
+  EXPECT_NE(old_snap->EntryPayload(alice), nullptr);
+
+  // Ids the directory never allocated have no payload either.
+  EXPECT_EQ(after_delete->EntryPayload(9999), nullptr);
 }
 
 }  // namespace

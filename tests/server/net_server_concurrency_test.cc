@@ -13,12 +13,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <set>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "server/directory_server.h"
 #include "server/net_server.h"
+#include "server/wal.h"
 #include "server/wire.h"
 
 namespace ldapbound {
@@ -351,6 +354,134 @@ TEST_F(NetServerConcurrencyTest, MixedOpsFromManyConnectionsStayConsistent) {
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(server_.directory().NumEntries(), 9u);  // seed only
   EXPECT_TRUE(server_.IsLegal());
+}
+
+// Snapshot-pinned paged scans racing group-commit writers on a
+// two-reactor front end: every scan must observe one consistent
+// snapshot — all eight seed persons exactly once, no duplicate or torn
+// entries — no matter how many new versions the writers publish between
+// its pages, and the cross-reactor completion routing (worker thread ->
+// owning reactor's eventfd) must be TSan-clean.
+TEST_F(NetServerConcurrencyTest, PagedReadsRaceGroupCommitWriters) {
+  namespace fs = std::filesystem;
+  std::string wal_dir =
+      ::testing::TempDir() + "ldapbound_net_paged_race/wal";
+  fs::remove_all(::testing::TempDir() + "ldapbound_net_paged_race");
+  fs::create_directories(wal_dir);
+  WalOptions wal_options;
+  wal_options.group_commit_max_batch = 8;
+  wal_options.group_commit_hold_us = 200;
+  ASSERT_TRUE(server_.EnableWal(wal_dir, wal_options).ok());
+
+  NetServerOptions options;
+  options.reactors = 2;
+  StartNet(options);
+
+  std::atomic<bool> writers_done{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> scans{0};
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 3; ++r) {
+    readers.emplace_back([&] {
+      int fd = Connect(net_->port());
+      if (fd < 0) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::string buffer;
+      uint64_t id = 1;
+      while (!writers_done.load() || scans.load() < 3) {
+        // One full paged scan; the cursor pins whatever snapshot was
+        // current at page one.
+        std::set<std::string> dns;
+        std::string cookie;
+        bool more = true;
+        bool aborted = false;
+        while (more) {
+          WireResponse response;
+          if (!SendAll(fd, EncodeSearchEntriesRequest(
+                               id++, "ou=load", 2, "(objectClass=person)",
+                               3, cookie)) ||
+              !ReadResponse(fd, buffer, &response)) {
+            failures.fetch_add(1);
+            aborted = true;
+            break;
+          }
+          if (!response.ok()) {
+            // The only legitimate non-OK is an expired cursor (not
+            // expected at this timescale, but it is retryable).
+            if (response.code != WireCode::kCursorExpired) {
+              failures.fetch_add(1);
+            }
+            aborted = true;
+            break;
+          }
+          auto page = DecodeSearchEntriesResponseBody(response.body);
+          if (!page.ok()) {
+            failures.fetch_add(1);
+            aborted = true;
+            break;
+          }
+          for (const WireEntry& entry : page->entries) {
+            if (!dns.insert(entry.dn).second) failures.fetch_add(1);
+            if (entry.classes.size() != 2 || entry.values.size() != 2) {
+              failures.fetch_add(1);  // torn payload
+            }
+          }
+          more = page->has_more;
+          cookie = page->cookie;
+        }
+        if (aborted) continue;
+        // A consistent snapshot always holds every seed person.
+        for (int i = 0; i < 8; ++i) {
+          if (dns.count("uid=u" + std::to_string(i) + ",ou=load") != 1) {
+            failures.fetch_add(1);
+          }
+        }
+        scans.fetch_add(1);
+      }
+      ::close(fd);
+    });
+  }
+
+  std::vector<std::thread> writers;
+  for (int w = 0; w < 2; ++w) {
+    writers.emplace_back([&, w] {
+      int fd = Connect(net_->port());
+      if (fd < 0) {
+        failures.fetch_add(1);
+        return;
+      }
+      std::string buffer;
+      WireResponse response;
+      auto call = [&](const std::string& frame) -> bool {
+        return SendAll(fd, frame) && ReadResponse(fd, buffer, &response) &&
+               response.ok();
+      };
+      for (uint64_t round = 0; round < 15; ++round) {
+        std::string uid =
+            "w" + std::to_string(w) + "n" + std::to_string(round);
+        std::string dn = "uid=" + uid + ",ou=load";
+        if (!call(EncodeAddRequest(1, dn, {"top", "person"},
+                                   {{"uid", uid}, {"name", uid}})) ||
+            !call(EncodeDeleteRequest(2, dn))) {
+          failures.fetch_add(1);
+          break;
+        }
+      }
+      ::close(fd);
+    });
+  }
+
+  for (std::thread& t : writers) t.join();
+  writers_done.store(true);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GE(scans.load(), 3u);
+  EXPECT_EQ(server_.directory().NumEntries(), 9u);  // seed only
+  EXPECT_EQ(net_->stats().reactors, 2u);
 }
 
 }  // namespace

@@ -492,6 +492,238 @@ TEST_F(NetServerTest, StageMetricsOptOutProducesNoWireRecords) {
   }
 }
 
+TEST_F(NetServerTest, SearchEntriesReturnsFullPayloadsWithDns) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+
+  auto response = client.Call(
+      EncodeSearchEntriesRequest(1, "ou=load", 2, "(uid=u0)", 10, ""));
+  ASSERT_TRUE(response.ok() && response->ok()) << response->message;
+  EXPECT_EQ(response->op, WireOp::kSearchEntries);
+  auto page = DecodeSearchEntriesResponseBody(response->body);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_FALSE(page->has_more);
+  EXPECT_TRUE(page->cookie.empty());
+  ASSERT_EQ(page->entries.size(), 1u);
+
+  const WireEntry& entry = page->entries[0];
+  EXPECT_EQ(entry.dn, "uid=u0,ou=load");
+  EXPECT_EQ(entry.classes,
+            (std::vector<std::string>{"top", "person"}));
+  std::map<std::string, std::string> values(entry.values.begin(),
+                                            entry.values.end());
+  EXPECT_EQ(values.at("uid"), "u0");
+  EXPECT_EQ(values.at("name"), "user u0");
+
+  // A single-page scan never opens a server-side cursor.
+  EXPECT_EQ(net_->stats().cursors_open, 0u);
+}
+
+TEST_F(NetServerTest, SearchEntriesPaginatesEveryEntryExactlyOnce) {
+  for (int i = 2; i < 6; ++i) {
+    ASSERT_TRUE(server_
+                    .Add(Dn("uid=u" + std::to_string(i) + ",ou=load"),
+                         PersonSpec("u" + std::to_string(i)))
+                    .ok());
+  }
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+
+  // Six persons, page size two: three pages, stable preorder, each uid
+  // exactly once, cookie non-empty exactly while has_more.
+  std::vector<std::string> uids;
+  std::string cookie;
+  uint64_t id = 1;
+  for (int pages = 0;; ++pages) {
+    ASSERT_LT(pages, 10) << "pagination never terminated";
+    auto response = client.Call(EncodeSearchEntriesRequest(
+        id++, "ou=load", 2, "(objectClass=person)", 2, cookie));
+    ASSERT_TRUE(response.ok() && response->ok()) << response->message;
+    auto page = DecodeSearchEntriesResponseBody(response->body);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    for (const WireEntry& entry : page->entries) {
+      std::map<std::string, std::string> values(entry.values.begin(),
+                                                entry.values.end());
+      uids.push_back(values.at("uid"));
+    }
+    EXPECT_EQ(page->cookie.empty(), !page->has_more);
+    if (!page->has_more) break;
+    EXPECT_EQ(page->entries.size(), 2u);
+    EXPECT_EQ(net_->stats().cursors_open, 1u);
+    cookie = page->cookie;
+  }
+  EXPECT_EQ(uids, (std::vector<std::string>{"u0", "u1", "u2", "u3", "u4",
+                                            "u5"}));
+  // The exhausted scan released its cursor.
+  EXPECT_EQ(net_->stats().cursors_open, 0u);
+}
+
+TEST_F(NetServerTest, SearchEntriesPagesStayOnThePinnedSnapshot) {
+  ASSERT_TRUE(server_.Add(Dn("uid=u2,ou=load"), PersonSpec("u2")).ok());
+  ASSERT_TRUE(server_.Add(Dn("uid=u3,ou=load"), PersonSpec("u3")).ok());
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+
+  // Open the scan (four persons, page size two -> page one pins).
+  auto first = client.Call(EncodeSearchEntriesRequest(
+      1, "ou=load", 2, "(objectClass=person)", 2, ""));
+  ASSERT_TRUE(first.ok() && first->ok());
+  auto page1 = DecodeSearchEntriesResponseBody(first->body);
+  ASSERT_TRUE(page1.ok());
+  ASSERT_TRUE(page1->has_more);
+
+  // A writer lands between pages and publishes a newer snapshot.
+  auto added = client.Call(EncodeAddRequest(
+      2, "uid=zz,ou=load", {"top", "person"},
+      {{"uid", "zz"}, {"name", "user zz"}}));
+  ASSERT_TRUE(added.ok() && added->ok()) << added->message;
+
+  // The continuation still scans the snapshot the cursor pinned: the
+  // new entry is invisible to this scan...
+  std::set<std::string> scanned;
+  std::string cookie = page1->cookie;
+  for (uint64_t id = 3; !cookie.empty(); ++id) {
+    auto response = client.Call(EncodeSearchEntriesRequest(
+        id, "ou=load", 2, "(objectClass=person)", 2, cookie));
+    ASSERT_TRUE(response.ok() && response->ok());
+    auto page = DecodeSearchEntriesResponseBody(response->body);
+    ASSERT_TRUE(page.ok());
+    for (const WireEntry& entry : page->entries) scanned.insert(entry.dn);
+    cookie = page->cookie;
+  }
+  EXPECT_EQ(scanned.count("uid=zz,ou=load"), 0u);
+  EXPECT_EQ(scanned,
+            (std::set<std::string>{"uid=u2,ou=load", "uid=u3,ou=load"}));
+
+  // ...while a fresh scan pins the newer snapshot and sees it.
+  auto fresh = client.Call(EncodeSearchEntriesRequest(
+      99, "ou=load", 2, "(objectClass=person)", 100, ""));
+  ASSERT_TRUE(fresh.ok() && fresh->ok());
+  auto all = DecodeSearchEntriesResponseBody(fresh->body);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->entries.size(), 5u);
+}
+
+TEST_F(NetServerTest, IdleCursorsAreReapedAndExpireRetryably) {
+  ASSERT_TRUE(server_.Add(Dn("uid=u2,ou=load"), PersonSpec("u2")).ok());
+  NetServerOptions options;
+  options.cursor_idle_timeout_ms = 50;
+  StartNet(options);
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+
+  auto first = client.Call(EncodeSearchEntriesRequest(
+      1, "ou=load", 2, "(objectClass=person)", 1, ""));
+  ASSERT_TRUE(first.ok() && first->ok());
+  auto page1 = DecodeSearchEntriesResponseBody(first->body);
+  ASSERT_TRUE(page1.ok());
+  ASSERT_TRUE(page1->has_more);
+
+  // Outlive the idle timeout plus a couple of reactor maintenance ticks
+  // (the reaper runs on reactor 0's 250 ms epoll timeout).
+  std::this_thread::sleep_for(std::chrono::milliseconds(700));
+
+  auto stale = client.Call(EncodeSearchEntriesRequest(
+      2, "ou=load", 2, "(objectClass=person)", 1, page1->cookie));
+  ASSERT_TRUE(stale.ok()) << stale.status().ToString();
+  EXPECT_EQ(stale->code, WireCode::kCursorExpired);
+  EXPECT_TRUE(stale->retryable);
+  EXPECT_GE(net_->stats().cursors_expired, 1u);
+  EXPECT_EQ(net_->stats().cursors_open, 0u);
+
+  // The connection survives: an expired cursor is the client's cue to
+  // restart the scan, not a protocol violation.
+  auto retry = client.Call(EncodeSearchEntriesRequest(
+      3, "ou=load", 2, "(objectClass=person)", 100, ""));
+  ASSERT_TRUE(retry.ok() && retry->ok());
+  EXPECT_EQ(DecodeSearchEntriesResponseBody(retry->body)->entries.size(),
+            3u);
+}
+
+TEST_F(NetServerTest, MalformedCookieIsAProtocolErrorAndCloses) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+
+  auto response = client.Call(EncodeSearchEntriesRequest(
+      1, "ou=load", 2, "", 10, "not-a-cookie"));
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_EQ(response->code, WireCode::kProtocolError);
+  EXPECT_FALSE(response->retryable);
+
+  // The server closes after flushing the error frame.
+  auto after = client.Call(EncodePingRequest(2));
+  EXPECT_FALSE(after.ok());
+}
+
+TEST_F(NetServerTest, ZeroPageSizeIsInvalid) {
+  StartNet();
+  WireClient client(net_->port());
+  ASSERT_TRUE(client.connected());
+  auto response =
+      client.Call(EncodeSearchEntriesRequest(1, "ou=load", 2, "", 0, ""));
+  ASSERT_TRUE(response.ok());
+  EXPECT_EQ(response->code, WireCode::kInvalidArgument);
+  // Plain bad argument, not a framing violation: the connection lives.
+  auto pong = client.Call(EncodePingRequest(2));
+  ASSERT_TRUE(pong.ok());
+  EXPECT_TRUE(pong->ok());
+}
+
+TEST_F(NetServerTest, MultiReactorFrontEndServesEveryConnection) {
+  NetServerOptions options;
+  options.reactors = 2;
+  StartNet(options);
+  EXPECT_EQ(net_->stats().reactors, 2u);
+
+  // A handful of connections; SO_REUSEPORT steers each to one of the
+  // two reactors and every one must serve reads and paged scans.
+  std::vector<std::unique_ptr<WireClient>> clients;
+  for (int i = 0; i < 6; ++i) {
+    clients.push_back(std::make_unique<WireClient>(net_->port()));
+    ASSERT_TRUE(clients.back()->connected()) << "client " << i;
+  }
+  uint64_t id = 1;
+  for (auto& client : clients) {
+    auto pong = client->Call(EncodePingRequest(id++));
+    ASSERT_TRUE(pong.ok() && pong->ok());
+    auto search = client->Call(EncodeSearchEntriesRequest(
+        id++, "ou=load", 2, "(objectClass=person)", 10, ""));
+    ASSERT_TRUE(search.ok() && search->ok()) << search->message;
+    EXPECT_EQ(
+        DecodeSearchEntriesResponseBody(search->body)->entries.size(), 2u);
+  }
+  EXPECT_GE(net_->stats().connections_accepted, 6u);
+
+  // The per-reactor metric families carry the reactor label.
+  std::string metrics = MetricRegistry::Default().RenderPrometheus();
+  EXPECT_NE(metrics.find("ldapbound_net_accept_errors_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("reactor=\"1\""), std::string::npos);
+}
+
+TEST_F(NetServerTest, CleanStopOwesNoBytesAndHonorsDrainGrace) {
+  NetServerOptions options;
+  options.drain_grace_ms = 100;
+  StartNet(options);
+  uint16_t port = net_->port();
+  {
+    WireClient client(port);
+    ASSERT_TRUE(client.connected());
+    auto pong = client.Call(EncodePingRequest(1));
+    ASSERT_TRUE(pong.ok() && pong->ok());
+  }
+  auto started = std::chrono::steady_clock::now();
+  net_->Stop();
+  auto elapsed = std::chrono::steady_clock::now() - started;
+  // Nothing was in flight, so the drain must not eat the full grace.
+  EXPECT_LT(elapsed, std::chrono::milliseconds(2000));
+  EXPECT_EQ(net_->stats().owed_bytes_at_stop, 0u);
+}
+
 // The SnapshotSearch core, exercised directly against pinned snapshots.
 TEST_F(NetServerTest, SnapshotSearchScopesAndFilters) {
   server_.EnableMvcc();
@@ -543,6 +775,39 @@ TEST_F(NetServerTest, SnapshotSearchScopesAndFilters) {
                                       "(objectClass=nosuch)");
   ASSERT_TRUE(unknown_class.ok());
   EXPECT_TRUE(unknown_class->empty());
+}
+
+// The paged core: label-ordered, inclusive from_label, limit-truncated.
+TEST_F(NetServerTest, SnapshotSearchPageResumesAtTheFromLabel) {
+  server_.EnableMvcc();
+  PinnedSnapshot snap = server_.PinSnapshot();
+  ASSERT_TRUE(static_cast<bool>(snap));
+  const Vocabulary& vocab = server_.vocab();
+
+  auto all = SnapshotSearchPage(*snap, vocab, "ou=load", 2, "",
+                                /*from_label=*/0, /*limit=*/100);
+  ASSERT_TRUE(all.ok());
+  ASSERT_EQ(all->size(), 3u);
+  for (size_t i = 1; i < all->size(); ++i) {
+    EXPECT_LT((*all)[i - 1].label, (*all)[i].label);
+  }
+
+  // Limit truncates; resuming at the next hit's own label (inclusive
+  // lower bound) returns exactly the remainder with no gap or repeat.
+  auto head = SnapshotSearchPage(*snap, vocab, "ou=load", 2, "", 0, 2);
+  ASSERT_TRUE(head.ok());
+  ASSERT_EQ(head->size(), 2u);
+  auto tail = SnapshotSearchPage(*snap, vocab, "ou=load", 2, "",
+                                 head->back().label + 1, 100);
+  ASSERT_TRUE(tail.ok());
+  ASSERT_EQ(tail->size(), 1u);
+  EXPECT_EQ(tail->front().id, all->back().id);
+
+  // A from_label past every hit is an empty page, not an error.
+  auto past = SnapshotSearchPage(*snap, vocab, "ou=load", 2, "",
+                                 all->back().label + 1, 100);
+  ASSERT_TRUE(past.ok());
+  EXPECT_TRUE(past->empty());
 }
 
 }  // namespace

@@ -175,6 +175,92 @@ TEST(WireTest, SearchAndValidateBodiesRoundTrip) {
   EXPECT_EQ(verdict->version, 4u);
 }
 
+TEST(WireTest, SearchEntriesRequestRoundTrips) {
+  std::string frame = EncodeSearchEntriesRequest(
+      11, "ou=load", 2, "(objectClass=person)", 64, "cookie-bytes");
+  WireRequest request = MustExtract(frame);
+  EXPECT_EQ(request.op, WireOp::kSearchEntries);
+  EXPECT_EQ(request.request_id, 11u);
+  WireCursor body(request.body);
+  EXPECT_EQ(*body.GetString(), "ou=load");
+  EXPECT_EQ(*body.GetU8(), 2);
+  EXPECT_EQ(*body.GetString(), "(objectClass=person)");
+  EXPECT_EQ(*body.GetU32(), 64u);
+  EXPECT_EQ(*body.GetString(), "cookie-bytes");
+  EXPECT_TRUE(body.exhausted());
+}
+
+TEST(WireTest, SearchEntriesBodyRoundTrips) {
+  // Hand-encode one page of two entries, exactly as the server does.
+  std::string body;
+  PutU32(body, 2);
+  PutU8(body, 1);  // has_more
+  PutString(body, "next-cookie");
+  PutU64(body, 5);
+  PutString(body, "uid=u0,ou=load");
+  PutU16(body, 2);
+  PutString(body, "top");
+  PutString(body, "person");
+  PutU16(body, 2);
+  PutString(body, "uid");
+  PutString(body, "u0");
+  PutString(body, "name");
+  PutString(body, "user u0");
+  PutU64(body, 6);
+  PutString(body, "uid=u1,ou=load");
+  PutU16(body, 1);
+  PutString(body, "top");
+  PutU16(body, 0);
+
+  auto page = DecodeSearchEntriesResponseBody(body);
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_TRUE(page->has_more);
+  EXPECT_EQ(page->cookie, "next-cookie");
+  ASSERT_EQ(page->entries.size(), 2u);
+  EXPECT_EQ(page->entries[0].id, 5u);
+  EXPECT_EQ(page->entries[0].dn, "uid=u0,ou=load");
+  EXPECT_EQ(page->entries[0].classes,
+            (std::vector<std::string>{"top", "person"}));
+  ASSERT_EQ(page->entries[0].values.size(), 2u);
+  EXPECT_EQ(page->entries[0].values[0],
+            (std::pair<std::string, std::string>{"uid", "u0"}));
+  EXPECT_EQ(page->entries[1].id, 6u);
+  EXPECT_EQ(page->entries[1].classes, (std::vector<std::string>{"top"}));
+  EXPECT_TRUE(page->entries[1].values.empty());
+
+  // Truncating anywhere inside an entry is a malformed response, not an
+  // overread.
+  for (size_t cut = body.size() - 1; cut > body.size() - 20; --cut) {
+    EXPECT_FALSE(
+        DecodeSearchEntriesResponseBody(std::string_view(body).substr(0, cut))
+            .ok())
+        << "cut=" << cut;
+  }
+}
+
+TEST(WireTest, SearchCookieRoundTripsAndRejectsWrongSizes) {
+  WireSearchCookie cookie;
+  cookie.cursor_id = 42;
+  cookie.snapshot_version = 7;
+  cookie.next_label = 0x0102030405060708ull;
+  std::string bytes = EncodeSearchCookie(cookie);
+  EXPECT_EQ(bytes.size(), 24u);
+
+  auto decoded = DecodeSearchCookie(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->cursor_id, 42u);
+  EXPECT_EQ(decoded->snapshot_version, 7u);
+  EXPECT_EQ(decoded->next_label, 0x0102030405060708ull);
+
+  // Wire bytes are untrusted: anything but exactly one cookie is
+  // rejected (truncated, padded, garbage).
+  EXPECT_FALSE(DecodeSearchCookie("").ok());
+  EXPECT_FALSE(DecodeSearchCookie("short").ok());
+  EXPECT_FALSE(
+      DecodeSearchCookie(std::string_view(bytes).substr(0, 23)).ok());
+  EXPECT_FALSE(DecodeSearchCookie(bytes + "x").ok());
+}
+
 TEST(WireTest, StatusCodesMapToStableWireCodes) {
   EXPECT_EQ(WireCodeFromStatus(Status::OK()), WireCode::kOk);
   EXPECT_EQ(WireCodeFromStatus(Status::InvalidArgument("x")),

@@ -1,10 +1,14 @@
 #!/usr/bin/env python3
-"""Serving latency-curve sweep: load_driver across connections x mix.
+"""Serving latency-curve sweep: load_driver across connections x mix
+x reactor count.
 
 Boots a fresh `ldapbound serve` (wire front end on an ephemeral port)
 for every grid point, drives it with tools/load_driver at that point's
 connection count and request-mix preset, and collects the per-point
 google-benchmark JSON into one merged report plus a markdown table.
+The --reactors axis (default 1; smoke 1,2) sweeps the server's
+multi-reactor front end (`--net-reactors`) so SO_REUSEPORT sharding
+shows up as its own curve.
 
     tools/latency_sweep.py                      # full grid, ~3.5 min
     tools/latency_sweep.py --smoke              # CI grid, ~30 s
@@ -13,11 +17,12 @@ google-benchmark JSON into one merged report plus a markdown table.
 
 The merged JSON (default BENCH_serving_sweep.json) keeps the
 google-benchmark shape — one benchmark entry per grid point named
-`serving_sweep/<mix>/c<connections>` — so check_bench_regression.py
-can compare sweeps if a baseline is ever committed. The markdown table
-goes to stdout and, with --update-experiments, replaces everything
-between the `<!-- latency-sweep:begin -->` / `<!-- latency-sweep:end -->`
-markers in EXPERIMENTS.md.
+`serving_sweep/<mix>/c<connections>/r<reactors>` — so
+check_bench_regression.py can compare sweeps if a baseline is ever
+committed. The markdown table goes to stdout and, with
+--update-experiments, replaces everything between the
+`<!-- latency-sweep:begin -->` / `<!-- latency-sweep:end -->` markers
+in EXPERIMENTS.md.
 
 Extra server flags pass through with --serve-arg (repeatable), which is
 how the stage-stamping A/B is driven:
@@ -82,11 +87,11 @@ def stop_serve(proc, stdin_pipe):
         proc.wait()
 
 
-def run_point(cli, driver, mix, connections, args, workdir):
+def run_point(cli, driver, mix, connections, reactors, args, workdir):
     """One grid point: boot serve, drive it, return the benchmark dict."""
     processes = 2 if connections <= 128 else 4
     per_proc = max(1, connections // processes)
-    point_dir = os.path.join(workdir, f"{mix}_c{connections}")
+    point_dir = os.path.join(workdir, f"{mix}_c{connections}_r{reactors}")
     os.mkdir(point_dir)
     out_json = os.path.join(point_dir, "point.json")
     serve_out = os.path.join(point_dir, "serve.out")
@@ -97,6 +102,7 @@ def run_point(cli, driver, mix, connections, args, workdir):
         "--monitor-port", "0", "--port", "0",
         "--max-connections", str(processes * per_proc + 64),
         "--net-workers", "4",
+        "--net-reactors", str(reactors),
     ] + args.serve_arg
     with open(serve_out, "wb") as out_f, open(serve_err, "wb") as err_f:
         proc = subprocess.Popen(serve_cmd, cwd=REPO, stdin=subprocess.PIPE,
@@ -120,24 +126,26 @@ def run_point(cli, driver, mix, connections, args, workdir):
     with open(out_json) as f:
         doc = json.load(f)
     bench = dict(doc["benchmarks"][0])
-    bench["name"] = f"serving_sweep/{mix}/c{connections}"
+    bench["name"] = f"serving_sweep/{mix}/c{connections}/r{reactors}"
     bench["mix"] = mix
     bench["connections_target"] = connections
+    bench["reactors"] = reactors
     return bench
 
 
 def markdown_table(benches):
     lines = [
-        "| mix | connections | ops/s | p50 ms | p95 ms | p99 ms "
-        "| p99.9 ms |",
-        "|-----|-------------|-------|--------|--------|--------"
-        "|----------|",
+        "| mix | connections | reactors | ops/s | p50 ms | p95 ms "
+        "| p99 ms | p99.9 ms |",
+        "|-----|-------------|----------|-------|--------|--------"
+        "|--------|----------|",
     ]
     for b in benches:
         lines.append(
-            "| {mix} | {conns} | {ops:,.0f} | {p50:.2f} | {p95:.2f} "
-            "| {p99:.2f} | {p999:.2f} |".format(
+            "| {mix} | {conns} | {reactors} | {ops:,.0f} | {p50:.2f} "
+            "| {p95:.2f} | {p99:.2f} | {p999:.2f} |".format(
                 mix=b["mix"], conns=b["connections_target"],
+                reactors=b.get("reactors", 1),
                 ops=b["items_per_second"],
                 p50=b["p50_ns"] / 1e6, p95=b["p95_ns"] / 1e6,
                 p99=b["p99_ns"] / 1e6, p999=b["p999_ns"] / 1e6))
@@ -177,6 +185,9 @@ def main():
     parser.add_argument("--connections", default=None,
                         help="comma list of total connection counts "
                              "(default 128,512,1024; smoke: 64,128)")
+    parser.add_argument("--reactors", default=None,
+                        help="comma list of reactor counts passed as "
+                             "--net-reactors (default 1; smoke: 1,2)")
     parser.add_argument("--seconds", type=int, default=None,
                         help="measured seconds per point (default 10; "
                              "smoke 3)")
@@ -203,6 +214,9 @@ def main():
     conns = [int(c) for c in
              (args.connections or
               ("64,128" if args.smoke else "128,512,1024")).split(",")]
+    reactor_counts = [int(r) for r in
+                      (args.reactors or
+                       ("1,2" if args.smoke else "1")).split(",")]
     out = args.out or ("BENCH_serving_sweep.smoke.json" if args.smoke
                        else "BENCH_serving_sweep.json")
 
@@ -218,8 +232,11 @@ def main():
     try:
         for mix in mixes:
             for c in conns:
-                print(f"--- mix={mix} connections={c}", file=sys.stderr)
-                benches.append(run_point(cli, driver, mix, c, args, workdir))
+                for r in reactor_counts:
+                    print(f"--- mix={mix} connections={c} reactors={r}",
+                          file=sys.stderr)
+                    benches.append(
+                        run_point(cli, driver, mix, c, r, args, workdir))
     finally:
         shutil.rmtree(workdir, ignore_errors=True)
 
@@ -229,7 +246,8 @@ def main():
             "seconds": args.seconds,
             "warmup_seconds": args.warmup_seconds,
             "serve_args": args.serve_arg,
-            "grid": {"mixes": mixes, "connections": conns},
+            "grid": {"mixes": mixes, "connections": conns,
+                     "reactors": reactor_counts},
         },
         "benchmarks": benches,
     }

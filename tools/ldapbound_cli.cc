@@ -124,6 +124,18 @@ int Usage() {
                "(default 1024)\n"
                "  --net-workers <n>    serve: wire worker threads (default "
                "2)\n"
+               "  --net-reactors <n>   serve: reactor threads, each with its "
+               "own epoll and\n"
+               "                       SO_REUSEPORT listener (default 0 = one "
+               "per core)\n"
+               "  --drain-grace-ms <ms>\n"
+               "                       serve: how long Stop() lets queued "
+               "responses flush\n"
+               "                       before force-closing (default 500)\n"
+               "  --cursor-idle-ms <ms>\n"
+               "                       serve: reap idle paged-search cursors "
+               "(default 30000,\n"
+               "                       0 = never)\n"
                "  --idle-timeout-ms <ms>\n"
                "                       serve: reap idle wire connections "
                "(default 60000,\n"
@@ -425,6 +437,9 @@ struct ServeOptions {
   size_t max_connections = 4096;     // wire connection limit
   size_t max_pending_ops = 1024;     // wire dispatch-queue bound
   size_t net_workers = 2;            // wire worker threads
+  size_t net_reactors = 0;           // reactor threads (0 = one per core)
+  uint32_t drain_grace_ms = 500;     // Stop() response-flush grace
+  uint32_t cursor_idle_ms = 30000;   // paged-cursor reap (0 = never)
   uint32_t idle_timeout_ms = 60000;  // wire idle-connection reap (0 = off)
   bool wire_stages = true;           // stage-level wire observability
   uint32_t flight_interval_ms = 1000;  // flight-recorder sampling period
@@ -528,6 +543,9 @@ int RunServe(const std::string& schema_path, const std::string& ldif_path,
     net_options.max_pending_ops = options.max_pending_ops;
     net_options.worker_threads = options.net_workers;
     net_options.idle_timeout_ms = options.idle_timeout_ms;
+    net_options.reactors = options.net_reactors;
+    net_options.drain_grace_ms = options.drain_grace_ms;
+    net_options.cursor_idle_timeout_ms = options.cursor_idle_ms;
     net_options.stage_metrics = options.wire_stages;
     auto started = NetServer::Start(&*server, net_options);
     if (!started.ok()) return Fail(started.status());
@@ -739,6 +757,12 @@ int main(int argc, char** argv) {
       uint_flag(arg, i, UINT32_MAX, &flags.serve.max_pending_ops);
     } else if (arg == "--net-workers") {
       uint_flag(arg, i, 256, &flags.serve.net_workers);
+    } else if (arg == "--net-reactors") {
+      uint_flag(arg, i, 256, &flags.serve.net_reactors);
+    } else if (arg == "--drain-grace-ms") {
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.drain_grace_ms);
+    } else if (arg == "--cursor-idle-ms") {
+      uint_flag(arg, i, UINT32_MAX, &flags.serve.cursor_idle_ms);
     } else if (arg == "--idle-timeout-ms") {
       uint_flag(arg, i, UINT32_MAX, &flags.serve.idle_timeout_ms);
     } else if (arg == "--no-wire-stages") {

@@ -17,6 +17,11 @@
 //   read:  50% subtree search, 45% value search, 5% ping, no writes
 //   write: 20% subtree search, 20% value search, 5% ping, 50% write,
 //       5% validate
+//   entries: 25% subtree search, 20% value search, 40% paged
+//       entry-payload search (kSearchEntries, page size 4; each
+//       connection carries its continuation cookie across requests, so
+//       the preset exercises the server's snapshot-pinned cursors),
+//       5% ping, 5% write, 5% validate
 //
 // Latencies go into log2 histograms (8 sub-buckets per power of two,
 // <= 9.4% relative error). After the measure window each child ships
@@ -27,7 +32,7 @@
 //
 //   load_driver --port <p> [--host 127.0.0.1] [--processes 4]
 //       [--connections 256] [--seconds 10] [--warmup-seconds 2]
-//       [--base ou=load] [--mix read|mixed|write]
+//       [--base ou=load] [--mix read|mixed|write|entries]
 //       [--out BENCH_serving.json]
 
 #include <arpa/inet.h>
@@ -99,21 +104,28 @@ struct Report {
 
 /// Cumulative roll thresholds (out of 100) for one request-mix preset:
 /// roll < subtree -> subtree class search, < value -> value-equality
-/// search, < ping -> ping, < write -> alternating add/delete, else
-/// structural validate.
+/// search, < entry_search -> paged entry-payload search, < ping -> ping,
+/// < write -> alternating add/delete, else structural validate.
 struct MixProfile {
   const char* name;
   uint64_t subtree;
   uint64_t value;
+  uint64_t entry_search;
   uint64_t ping;
   uint64_t write;
 };
 
 constexpr MixProfile kMixes[] = {
-    {"read", 50, 95, 100, 100},
-    {"mixed", 40, 80, 90, 98},
-    {"write", 20, 40, 45, 95},
+    {"read", 50, 95, 95, 100, 100},
+    {"mixed", 40, 80, 80, 90, 98},
+    {"write", 20, 40, 40, 45, 95},
+    {"entries", 25, 45, 85, 90, 95},
 };
+
+/// Page size the "entries" preset asks for: small enough that the seed
+/// data (16 persons) needs several pages, so continuation cookies and
+/// server-side cursors are actually exercised.
+constexpr uint32_t kEntryPageSize = 4;
 
 const MixProfile* FindMix(const std::string& name) {
   for (const MixProfile& mix : kMixes) {
@@ -145,6 +157,7 @@ struct Conn {
   uint64_t next_id = 1;     // request ids (echo-checked)
   uint64_t write_seq = 0;   // unique entry names
   bool have_entry = false;  // add next vs delete next
+  std::string page_cookie;  // in-flight kSearchEntries continuation
   bool dead = false;
 };
 
@@ -187,6 +200,14 @@ std::string NextRequest(Conn& conn, size_t proc, size_t index,
     std::string filter =
         "(uid=u" + std::to_string(LcgNext(conn.lcg) % 32) + ")";
     return EncodeSearchRequest(id, options.base, /*scope=*/2, filter);
+  }
+  if (roll < mix.entry_search) {
+    // Paged entry-payload scan: continue an open cursor if one is in
+    // flight (the cookie came back with the previous page), else start
+    // a fresh scan on the current snapshot.
+    return EncodeSearchEntriesRequest(id, options.base, /*scope=*/2,
+                                      "(objectClass=person)", kEntryPageSize,
+                                      conn.page_cookie);
   }
   if (roll < mix.ping) return EncodePingRequest(id);
   if (roll < mix.write) {
@@ -332,6 +353,16 @@ int RunChild(size_t proc, const Options& options, int report_fd) {
           drop(true);
           break;
         }
+        if (response->op == WireOp::kSearchEntries) {
+          // Thread the continuation: keep the cookie while the scan has
+          // more pages; drop it when the scan ends or fails (a
+          // retryable kCursorExpired restarts from an empty cookie).
+          conn.page_cookie.clear();
+          if (response->ok()) {
+            auto page = DecodeSearchEntriesResponseBody(response->body);
+            if (page.ok() && page->has_more) conn.page_cookie = page->cookie;
+          }
+        }
         uint64_t latency = NowNs() - conn.sent_at;
         uint64_t now2 = NowNs();
         if (now2 >= measure_from && now2 < measure_to) {
@@ -407,7 +438,7 @@ int Usage() {
       stderr,
       "usage: load_driver --port <p> [--host 127.0.0.1] [--processes 4]\n"
       "    [--connections 256] [--seconds 10] [--warmup-seconds 2]\n"
-      "    [--base ou=load] [--mix read|mixed|write]\n"
+      "    [--base ou=load] [--mix read|mixed|write|entries]\n"
       "    [--out BENCH_serving.json]\n");
   return 2;
 }
